@@ -1,0 +1,52 @@
+"""Shared regeneration logic for the Tables IV/V/VI benches."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.core.means import geometric_mean
+from repro.data.partitions import partition_chain
+from repro.data.table3 import SPEEDUP_TABLE, speedups_for_machine
+from repro.data.tables456 import hgm_table
+from repro.viz.tables import format_hgm_table
+
+__all__ = ["regenerate_hgm_rows", "run_hgm_table_bench"]
+
+# Table III inputs are printed to two decimals, so recomputed scores
+# may sit up to ~0.008 from the published (also two-decimal) outputs.
+ROUNDING_TOLERANCE = 0.008
+
+
+def regenerate_hgm_rows(table_name: str) -> dict[int, tuple[float, float]]:
+    """Recompute every row of one table from the recovered partitions."""
+    chain = partition_chain(table_name)
+    speedups_a = speedups_for_machine("A")
+    speedups_b = speedups_for_machine("B")
+    return {
+        clusters: (
+            hierarchical_geometric_mean(speedups_a, partition),
+            hierarchical_geometric_mean(speedups_b, partition),
+        )
+        for clusters, partition in chain.items()
+    }
+
+
+def run_hgm_table_bench(benchmark, table_name: str, description: str) -> None:
+    """Regenerate, print paper-vs-measured, and assert row-level match."""
+    measured = benchmark(regenerate_hgm_rows, table_name)
+    published = hgm_table(table_name)
+    plain = (
+        geometric_mean(list(SPEEDUP_TABLE["A"].values())),
+        geometric_mean(list(SPEEDUP_TABLE["B"].values())),
+    )
+    emit(
+        description,
+        format_hgm_table(measured, plain=plain, published=published),
+    )
+    for clusters, row in published.items():
+        score_a, score_b = measured[clusters]
+        assert score_a == pytest.approx(row.score_a, abs=ROUNDING_TOLERANCE)
+        assert score_b == pytest.approx(row.score_b, abs=ROUNDING_TOLERANCE)
+        assert score_a / score_b == pytest.approx(row.ratio, abs=0.01)

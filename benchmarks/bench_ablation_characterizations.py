@@ -1,0 +1,121 @@
+"""Ablation — machine-stability across the three characterizations.
+
+The paper's conclusion: SAR-counter clusterings are machine-dependent
+(Tables IV vs V disagree); machine-independent features should make
+"the workload clusters appear similar over a variety of machines".
+This bench measures exactly that with the adjusted Rand index between
+the machine-A and machine-B clusterings under each characterization:
+
+* ``sar`` — collected per machine, so the cuts disagree (ARI < 1);
+* ``methods`` / ``micro`` — program properties, so the cuts agree
+  perfectly (ARI = 1) by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SCIMARK, emit
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.cluster.metrics import adjusted_rand_index
+from repro.som.som import SOMConfig
+from repro.viz.tables import format_table
+from repro.workloads.suite import BenchmarkSuite
+
+SOM = SOMConfig(rows=8, columns=8, steps_per_sample=400, seed=11)
+CUTS = tuple(range(2, 9))
+
+
+def _cuts(characterization: str, machine: str | None, suite):
+    pipeline = WorkloadAnalysisPipeline(
+        characterization=characterization,
+        machine=machine,
+        som_config=SOM,
+        cluster_counts=CUTS,
+    )
+    result = pipeline.run(suite)
+    return {k: result.cut(k).partition for k in CUTS}
+
+
+def _cross_machine_agreement(suite):
+    """Mean ARI over all cut sizes between machine-A and machine-B runs."""
+    agreements = {}
+    for characterization in ("sar", "methods", "micro"):
+        machine_arg_a = "A" if characterization == "sar" else None
+        machine_arg_b = "B" if characterization == "sar" else None
+        on_a = _cuts(characterization, machine_arg_a, suite)
+        on_b = _cuts(characterization, machine_arg_b, suite)
+        per_k = [adjusted_rand_index(on_a[k], on_b[k]) for k in CUTS]
+        agreements[characterization] = float(np.mean(per_k))
+    return agreements
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_cross_machine_stability(benchmark, paper_suite):
+    agreements = benchmark.pedantic(
+        _cross_machine_agreement, args=(paper_suite,), rounds=1, iterations=1
+    )
+
+    emit(
+        "Ablation: machine-A vs machine-B clustering agreement, mean "
+        f"adjusted Rand index over k = {CUTS[0]}..{CUTS[-1]}",
+        format_table(
+            ["Characterization", "mean ARI(A, B)"],
+            [(name, value) for name, value in agreements.items()],
+        ),
+    )
+
+    # Machine-independent characterizations agree perfectly across
+    # machines at every cut; the machine-dependent SAR counters do not
+    # (the Tables IV-vs-V effect).
+    assert agreements["methods"] == pytest.approx(1.0)
+    assert agreements["micro"] == pytest.approx(1.0)
+    assert agreements["sar"] < 0.95
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_scimark_coagulates_under_every_characterization(
+    benchmark, paper_suite
+):
+    """The one structure that *is* characterization-invariant: SciMark2
+    stays a tight group everywhere (Section VII)."""
+
+    def _spreads():
+        spreads = {}
+        for characterization, machine_arg in (
+            ("sar", "A"),
+            ("methods", None),
+            ("micro", None),
+        ):
+            pipeline = WorkloadAnalysisPipeline(
+                characterization=characterization,
+                machine=machine_arg,
+                som_config=SOM,
+            )
+            result = pipeline.run(paper_suite)
+            cells = np.array(
+                [result.positions[n] for n in SCIMARK], dtype=float
+            )
+            all_cells = np.array(
+                list(result.positions.values()), dtype=float
+            )
+            spreads[characterization] = float(
+                np.linalg.norm(cells - cells.mean(axis=0), axis=1).mean()
+                / np.linalg.norm(
+                    all_cells - all_cells.mean(axis=0), axis=1
+                ).mean()
+            )
+        return spreads
+
+    spreads = benchmark.pedantic(_spreads, rounds=1, iterations=1)
+    emit(
+        "Ablation: SciMark2 spread / suite spread per characterization "
+        "(lower = denser cluster)",
+        format_table(
+            ["Characterization", "relative spread"],
+            [(name, value) for name, value in spreads.items()],
+        ),
+    )
+    for name, value in spreads.items():
+        assert value < 0.6, name

@@ -1,0 +1,96 @@
+"""Ablation — score-gaming resistance (the Section I motivation).
+
+A vendor tunes only the SciMark2 cluster (5 of 13 workloads) by a
+factor f.  Under the plain GM the suite score gains f**(5/13); under
+the 6-cluster HGM it gains only f**(1/6).  This bench sweeps f and
+prints the growing resistance, plus the duplication-drift experiment
+(injecting redundant copies moves the plain score but not the
+hierarchical one).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SCIMARK, emit
+from repro.core.means import geometric_mean
+from repro.core.robustness import duplication_drift, gaming_report
+from repro.data.partitions import TABLE4_PARTITIONS
+from repro.data.table3 import speedups_for_machine
+from repro.viz.tables import format_table
+
+FACTORS = (1.1, 1.25, 1.5, 2.0, 3.0)
+
+
+def _sweep():
+    scores = speedups_for_machine("A")
+    partition = TABLE4_PARTITIONS[6]
+    return [
+        gaming_report(scores, partition, tuple(sorted(SCIMARK)), factor)
+        for factor in FACTORS
+    ]
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_gaming_resistance_sweep(benchmark):
+    reports = benchmark(_sweep)
+
+    emit(
+        "Ablation: tuning only the SciMark2 cluster — plain GM vs "
+        "6-cluster HGM",
+        format_table(
+            ["factor", "plain gain", "HGM gain", "resistance"],
+            [
+                (
+                    f"{report.improvement_factor:.2f}x",
+                    report.plain_gain,
+                    report.hierarchical_gain,
+                    report.gaming_resistance,
+                )
+                for report in reports
+            ],
+        ),
+    )
+
+    for report, factor in zip(reports, FACTORS):
+        # Closed forms for the geometric family.
+        assert report.plain_gain == pytest.approx(factor ** (5 / 13))
+        assert report.hierarchical_gain == pytest.approx(factor ** (1 / 6))
+        assert report.gaming_resistance > 1.0
+
+    # Resistance grows with the tuning factor.
+    resistances = [report.gaming_resistance for report in reports]
+    assert all(a < b for a, b in zip(resistances, resistances[1:]))
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_duplication_drift(benchmark):
+    """Injecting redundant copies of the best workload inflates the
+    plain score monotonically; the co-clustered hierarchical score is
+    exactly invariant."""
+    scores = speedups_for_machine("A")
+    best = max(scores, key=scores.get)
+    baseline = geometric_mean(list(scores.values()))
+
+    def _drift_series():
+        return [
+            duplication_drift(scores, best, copies) for copies in (1, 2, 4, 8)
+        ]
+
+    series = benchmark(_drift_series)
+    emit(
+        f"Ablation: duplicating {best} — plain GM drifts, hierarchical "
+        "GM does not",
+        format_table(
+            ["copies", "plain GM", "hierarchical GM"],
+            [
+                (str(copies), plain, clustered)
+                for copies, (plain, clustered) in zip((1, 2, 4, 8), series)
+            ],
+        ),
+    )
+
+    plains = [plain for plain, __ in series]
+    assert all(a < b for a, b in zip(plains, plains[1:]))
+    for __, clustered in series:
+        assert clustered == pytest.approx(baseline)

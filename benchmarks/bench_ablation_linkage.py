@@ -1,0 +1,75 @@
+"""Ablation — linkage choice (the paper picks complete linkage).
+
+Clusters the same machine-A SOM map under all five linkage rules and
+compares the k = 6 cuts and the resulting HGM scores.  The check: the
+paper's complete linkage isolates SciMark2 at a mid-range cut, and the
+suite score is meaningfully sensitive to the linkage choice — which is
+why the choice must be fixed by the methodology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._figure_common import pipeline_result
+from benchmarks.conftest import SCIMARK, emit
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.linkage import LINKAGES
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.data.table3 import speedups_for_machine
+from repro.viz.tables import format_table
+
+
+def _hgm_by_linkage(positions):
+    labels = sorted(positions)
+    points = np.array([positions[label] for label in labels], dtype=float)
+    speedups_a = speedups_for_machine("A")
+    speedups_b = speedups_for_machine("B")
+    rows = {}
+    for name in sorted(LINKAGES):
+        dendrogram = AgglomerativeClustering(linkage=name).fit(
+            points, labels=labels
+        )
+        partition = dendrogram.cut_to_k(6)
+        rows[name] = (
+            hierarchical_geometric_mean(speedups_a, partition),
+            hierarchical_geometric_mean(speedups_b, partition),
+            partition,
+            dendrogram,
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_linkage_choice(benchmark):
+    result = pipeline_result("sar-A")
+    rows = benchmark(_hgm_by_linkage, result.positions)
+
+    emit(
+        "Ablation: linkage rule vs 6-cluster HGM (machine A map)",
+        format_table(
+            ["Linkage", "HGM A", "HGM B", "ratio"],
+            [
+                (name, a, b, a / b)
+                for name, (a, b, __, ___) in sorted(rows.items())
+            ],
+        ),
+    )
+
+    # The paper's configuration isolates SciMark2 at some cut.
+    target = frozenset(SCIMARK)
+    complete_dendrogram = rows["complete"][3]
+    assert any(
+        target in {frozenset(b) for b in complete_dendrogram.cut_to_k(k).blocks}
+        for k in range(2, 9)
+    )
+
+    # Monotone linkages stay monotone on this data.
+    for name in ("single", "complete", "average", "ward"):
+        assert rows[name][3].is_monotone, name
+
+    # The linkage choice matters: not all rules give the same 6-cluster
+    # partition.
+    partitions = {rows[name][2] for name in rows}
+    assert len(partitions) >= 2

@@ -1,0 +1,86 @@
+"""Ablation — hierarchical mean family and the weighted-mean identity.
+
+The paper defines HGM, HAM and HHM (Section II) and contrasts them with
+the subjective weighted-mean workaround (Section I).  This bench
+computes all three families over the recovered machine-A chain and
+verifies two structural facts:
+
+* at every cut, HAM >= HGM >= HHM (the mean inequality survives the
+  hierarchical construction);
+* the HGM is *exactly* a weighted geometric mean whose weights are
+  derived from the cluster structure (1 / (k * |cluster|)) — the
+  hierarchical means are the weighted workaround with the weights made
+  objective.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.hierarchical import hierarchical_mean
+from repro.core.means import weighted_geometric_mean
+from repro.core.robustness import implied_weights
+from repro.data.partitions import TABLE4_PARTITIONS
+from repro.data.table3 import speedups_for_machine
+from repro.viz.tables import format_table
+
+
+def _family_rows():
+    speedups = speedups_for_machine("A")
+    rows = {}
+    for clusters, partition in TABLE4_PARTITIONS.items():
+        rows[clusters] = {
+            family: hierarchical_mean(speedups, partition, mean=family)
+            for family in ("arithmetic", "geometric", "harmonic")
+        }
+    return rows
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_mean_families(benchmark):
+    rows = benchmark(_family_rows)
+
+    emit(
+        "Ablation: hierarchical mean families over the machine-A chain "
+        "(machine A scores)",
+        format_table(
+            ["Clusters", "HAM", "HGM", "HHM"],
+            [
+                (
+                    f"{clusters} Clusters",
+                    values["arithmetic"],
+                    values["geometric"],
+                    values["harmonic"],
+                )
+                for clusters, values in sorted(rows.items())
+            ],
+        ),
+    )
+
+    # HAM >= HGM >= HHM at every cut.
+    for values in rows.values():
+        assert values["arithmetic"] >= values["geometric"] - 1e-12
+        assert values["geometric"] >= values["harmonic"] - 1e-12
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_hgm_is_objectively_weighted_gm(benchmark):
+    """HGM == weighted GM with cluster-derived weights, at every k."""
+    speedups = speedups_for_machine("A")
+    labels = sorted(speedups)
+    values = [speedups[label] for label in labels]
+
+    def _check_identity():
+        deltas = []
+        for partition in TABLE4_PARTITIONS.values():
+            weights = implied_weights(partition)
+            weighted = weighted_geometric_mean(
+                values, [weights[label] for label in labels]
+            )
+            hgm = hierarchical_mean(speedups, partition, mean="geometric")
+            deltas.append(abs(weighted - hgm))
+        return deltas
+
+    deltas = benchmark(_check_identity)
+    assert max(deltas) < 1e-12

@@ -1,0 +1,83 @@
+"""Ablation — robustness of the map structure to SOM hyper-parameters.
+
+The paper fixes one SOM configuration but never justifies it; a
+methodology is only credible if the headline structure (SciMark2
+coagulation) survives reasonable configuration changes.  This bench
+sweeps map size, initialization, neighborhood kernel and training mode
+and measures the SciMark2 spread ratio and map quality under each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SCIMARK, emit
+from repro.characterization.methods import JavaMethodProfiler
+from repro.characterization.preprocess import prepare_method_bits
+from repro.som.quality import quantization_error, topographic_error
+from repro.som.som import SelfOrganizingMap, SOMConfig
+from repro.viz.tables import format_table
+
+VARIANTS = {
+    "8x8 pca gaussian": SOMConfig(rows=8, columns=8, seed=11),
+    "6x6 pca gaussian": SOMConfig(rows=6, columns=6, seed=11),
+    "10x10 pca gaussian": SOMConfig(rows=10, columns=10, seed=11),
+    "8x8 random gaussian": SOMConfig(
+        rows=8, columns=8, initialization="random", seed=11
+    ),
+    "8x8 pca bubble": SOMConfig(
+        rows=8, columns=8, neighborhood="bubble", seed=11
+    ),
+    "8x8 hexagonal": SOMConfig(rows=8, columns=8, topology="hexagonal", seed=11),
+}
+
+
+def _evaluate(suite):
+    prepared = prepare_method_bits(JavaMethodProfiler().profile(suite))
+    labels = list(prepared.labels)
+    scimark_rows = [labels.index(name) for name in SCIMARK]
+    rows = {}
+    for name, config in VARIANTS.items():
+        som = SelfOrganizingMap(config).fit(prepared.matrix)
+        cells = som.project(prepared.matrix).astype(float)
+        scimark_cells = cells[scimark_rows]
+        spread = float(
+            np.linalg.norm(
+                scimark_cells - scimark_cells.mean(axis=0), axis=1
+            ).mean()
+        )
+        total = float(
+            np.linalg.norm(cells - cells.mean(axis=0), axis=1).mean()
+        )
+        rows[name] = (
+            spread / total if total > 0 else 0.0,
+            quantization_error(som, prepared.matrix),
+            topographic_error(som, prepared.matrix),
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_som_configuration_robustness(benchmark, paper_suite):
+    rows = benchmark.pedantic(
+        _evaluate, args=(paper_suite,), rounds=1, iterations=1
+    )
+
+    emit(
+        "Ablation: SOM configuration vs SciMark2 coagulation "
+        "(method-utilization vectors)",
+        format_table(
+            ["Configuration", "SciMark spread ratio", "quant. error", "topo. error"],
+            [
+                (name, spread, qe, te)
+                for name, (spread, qe, te) in rows.items()
+            ],
+        ),
+    )
+
+    for name, (spread, qe, te) in rows.items():
+        # The headline structure survives every reasonable configuration.
+        assert spread < 0.5, name
+        assert 0.0 <= te <= 1.0, name
+        assert qe >= 0.0, name

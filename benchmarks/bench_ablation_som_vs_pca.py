@@ -1,0 +1,59 @@
+"""Ablation — SOM versus PCA as the dimension-reduction stage.
+
+Section III-A (and Related Work) argues SOM over the conventional PCA
+reduction, especially for the highly non-linear method-utilization bit
+vectors.  This bench reduces the same preprocessed vectors both ways,
+measures how strongly SciMark2 coagulates in each reduced space, and
+prints the comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._figure_common import build_pipeline
+from benchmarks.conftest import SCIMARK, emit
+from repro.analysis.redundancy import coagulation_index
+from repro.pca.pca import PCA
+from repro.viz.tables import format_table
+
+
+def _reduce_both_ways(suite):
+    pipeline = build_pipeline("methods")
+    prepared = pipeline.preprocess(pipeline.characterize(suite))
+
+    som, positions = pipeline.reduce(prepared)
+    som_points = [
+        [float(positions[label][0]), float(positions[label][1])]
+        for label in prepared.labels
+    ]
+
+    pca_points = PCA(n_components=2).fit_transform(prepared.matrix)
+    return prepared.labels, som_points, pca_points.tolist()
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_som_vs_pca_reduction(benchmark, paper_suite):
+    labels, som_points, pca_points = benchmark.pedantic(
+        _reduce_both_ways, args=(paper_suite,), rounds=1, iterations=1
+    )
+
+    som_index = coagulation_index(som_points, labels, SCIMARK)
+    pca_index = coagulation_index(pca_points, labels, SCIMARK)
+    emit(
+        "Ablation: SciMark2 coagulation index by reduction method "
+        "(method-utilization vectors; higher = denser isolated cluster)",
+        format_table(
+            ["Reduction", "coagulation index"],
+            [
+                ("SOM (paper)", "inf" if som_index == float("inf") else som_index),
+                ("PCA 2-D", pca_index),
+            ],
+        ),
+    )
+
+    # Both reductions must expose the SciMark2 redundancy at all...
+    assert pca_index > 1.5
+    # ...and the SOM collapses the kernels to a single cell (infinite
+    # coagulation index) for the bit-vector characterization.
+    assert som_index == float("inf") or som_index > pca_index

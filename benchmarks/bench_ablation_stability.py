@@ -1,0 +1,56 @@
+"""Ablation — pipeline stability across characterization reruns.
+
+The paper shows clusterings differ across machines; this bench asks the
+operational follow-up: how much do they differ across *reruns on the
+same machine* (fresh counter noise, fresh SOM draws)?  Prints the
+pairwise adjusted Rand agreement of the 6-cluster cuts and the HGM
+score spread.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.stability import clustering_stability
+from repro.viz.tables import format_table
+from repro.workloads.suite import BenchmarkSuite
+
+SEEDS = (11, 23, 37)
+
+
+def _run():
+    return clustering_stability(
+        BenchmarkSuite.paper_suite(),
+        machine="A",
+        cluster_count=6,
+        seeds=SEEDS,
+        som_rows=8,
+        som_columns=8,
+    )
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_rerun_stability(benchmark):
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [
+        (f"seed {seed}", score)
+        for seed, score in zip(SEEDS, report.scores_a)
+    ]
+    rows.append(("mean pairwise ARI", report.mean_ari))
+    rows.append(("min pairwise ARI", report.min_ari))
+    rows.append(("HGM(A) spread", report.score_spread))
+    emit(
+        "Ablation: 6-cluster cut stability across characterization reruns "
+        "(machine A)",
+        format_table(["Quantity", "value"], rows),
+    )
+
+    # Reruns must agree far better than chance, and the headline score
+    # must not swing wildly.
+    assert report.mean_ari > 0.3
+    assert report.score_spread < 0.6
+    # Every rerun still lands in the Table IV neighbourhood.
+    for score in report.scores_a:
+        assert 2.2 < score < 3.3

@@ -1,0 +1,64 @@
+"""Ablation — cluster-driven benchmark subsetting (refs [10], [11]).
+
+The related work uses cluster information to subset suites; the
+hierarchical-means view makes the approximation explicit: one
+representative per cluster, scored with a plain mean, tracks the full
+suite's hierarchical mean.  This bench sweeps the cluster count on the
+recovered machine-A chain and prints the trade-off between measurement
+reduction and score error.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.subsetting import subsetting_error
+from repro.data.partitions import TABLE4_PARTITIONS
+from repro.data.table3 import speedups_for_machine
+from repro.viz.tables import format_table
+
+
+def _sweep():
+    scores = speedups_for_machine("A")
+    return {
+        clusters: subsetting_error(scores, partition)
+        for clusters, partition in TABLE4_PARTITIONS.items()
+    }
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_subsetting_tradeoff(benchmark):
+    reports = benchmark(_sweep)
+
+    emit(
+        "Ablation: one-representative-per-cluster subsetting "
+        "(machine-A chain)",
+        format_table(
+            ["Clusters", "subset GM", "full HGM", "rel. error", "work saved"],
+            [
+                (
+                    f"{clusters} Clusters",
+                    report.subset_score,
+                    report.full_hierarchical_score,
+                    report.relative_error,
+                    report.reduction,
+                )
+                for clusters, report in sorted(reports.items())
+            ],
+        ),
+    )
+
+    for clusters, report in reports.items():
+        # One representative per cluster, always.
+        assert len(report.representatives) == clusters
+        # Reduction follows directly: 13 workloads -> k measured.
+        assert report.reduction == pytest.approx(1.0 - clusters / 13.0)
+        # Even the worst subset stays within a quarter of the full
+        # score; coarse cuts (k=3, 4) pay for their big heterogeneous
+        # clusters, whose inner mean no single member represents well.
+        assert report.relative_error < 0.25
+
+    # At the paper's recommended cut the clusters are homogeneous
+    # enough that 6 of 13 workloads reproduce the score within ~2%.
+    assert reports[6].relative_error < 0.05

@@ -1,0 +1,58 @@
+"""Figure 1 — the structure of a Self-Organizing Map.
+
+The paper's Figure 1 is expository: a 2-D array of units, each holding
+a weight vector ``w_i`` (same width as the characteristic vectors) and
+a location vector ``r_i``, with every characteristic vector broadcast
+to all units.  This bench constructs the structure, prints its U-matrix
+after training on the paper suite's method vectors, and asserts the
+structural invariants the figure depicts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.characterization.methods import JavaMethodProfiler
+from repro.characterization.preprocess import prepare_method_bits
+from repro.som.som import SelfOrganizingMap, SOMConfig
+from repro.som.umatrix import u_matrix
+from repro.viz.ascii import render_u_matrix
+
+
+def _build_and_train(suite):
+    prepared = prepare_method_bits(JavaMethodProfiler().profile(suite))
+    som = SelfOrganizingMap(
+        SOMConfig(rows=6, columns=6, steps_per_sample=300, seed=4)
+    ).fit(prepared.matrix)
+    return som, prepared
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig1_som_structure(benchmark, paper_suite):
+    som, prepared = benchmark.pedantic(
+        _build_and_train, args=(paper_suite,), rounds=1, iterations=1
+    )
+    grid = som.grid
+
+    emit(
+        "Figure 1: SOM structure — 6x6 units, weight width = "
+        f"{prepared.num_features} features; U-matrix after training",
+        render_u_matrix(u_matrix(som)),
+    )
+
+    # A 2-D array of units...
+    assert grid.shape == (6, 6)
+    assert grid.num_units == 36
+    # ...each with a location vector r_i on the lattice...
+    locations = grid.locations
+    assert locations.shape == (36, 2)
+    assert np.array_equal(locations[0], [0.0, 0.0])
+    # ...and a weight vector w_i of the characteristic-vector width.
+    assert som.weights.shape == (36, prepared.num_features)
+    # Every characteristic vector reaches all units: the BMU search
+    # evaluates all 36 distances and returns a valid unit.
+    for row in prepared.matrix:
+        bmu = som.best_matching_unit(row)
+        assert 0 <= bmu < 36

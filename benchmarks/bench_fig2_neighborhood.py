@@ -1,0 +1,59 @@
+"""Figure 2 — behaviour of the neighborhood kernel h_ci over training.
+
+Regenerates the figure's series: the Gaussian kernel evaluated over map
+distance at several training steps, with both the learning rate and the
+radius decaying, so the bump shrinks and narrows exactly as sketched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.som.decay import ExponentialDecay
+from repro.som.neighborhood import GaussianNeighborhood
+from repro.viz.tables import format_table
+
+DISTANCES = np.arange(0.0, 6.0)  # map distance from the BMU
+PROGRESS_POINTS = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+def _kernel_series():
+    kernel = GaussianNeighborhood()
+    alpha = ExponentialDecay(0.5, 0.01)
+    sigma = ExponentialDecay(3.0, 0.5)
+    series = {}
+    for progress in PROGRESS_POINTS:
+        series[progress] = alpha(progress) * kernel(
+            DISTANCES**2, sigma(progress)
+        )
+    return series
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig2_neighborhood_kernel_decay(benchmark):
+    series = benchmark(_kernel_series)
+
+    rows = [
+        (f"n/N = {progress:.2f}", *values)
+        for progress, values in series.items()
+    ]
+    emit(
+        "Figure 2: h_ci as training progresses (rows: progress; columns: "
+        "map distance 0..5)",
+        format_table(
+            ["progress", *[f"d={int(d)}" for d in DISTANCES]], rows
+        ),
+    )
+
+    # The bump decays in amplitude...
+    peaks = [series[p][0] for p in PROGRESS_POINTS]
+    assert all(a > b for a, b in zip(peaks, peaks[1:]))
+    # ...and narrows: the relative weight of distant units collapses.
+    early_tail = series[0.0][4] / series[0.0][0]
+    late_tail = series[1.0][4] / series[1.0][0]
+    assert late_tail < early_tail
+    # Each individual curve decreases with distance (Gaussian shape).
+    for values in series.values():
+        assert all(a >= b for a, b in zip(values, values[1:]))

@@ -1,0 +1,51 @@
+"""Figure 3 — workload distribution on machine A (SAR counters + SOM).
+
+Regenerates the SOM workload map from synthetic machine-A SAR counters
+and checks the figure's findings: SciMark2 coagulates into a dense
+region, some workloads share cells ("darker cells"), and compress /
+mpegaudio land near each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._figure_common import (
+    build_pipeline,
+    pipeline_result,
+    scimark_spread_ratio,
+)
+from benchmarks.conftest import SCIMARK, emit
+from repro.viz.ascii import render_som_map
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig3_workload_distribution_machine_a(benchmark, paper_suite):
+    result = pipeline_result("sar-A")
+
+    # Time the reduction stage (characterize + SOM) on a fresh pipeline.
+    pipeline = build_pipeline("sar-A")
+    prepared = pipeline.preprocess(pipeline.characterize(paper_suite))
+    benchmark.pedantic(pipeline.reduce, args=(prepared,), rounds=1, iterations=1)
+
+    grid = result.som.grid
+    emit(
+        "Figure 3: workload distribution on machine A",
+        render_som_map(result.positions, grid.rows, grid.columns),
+    )
+
+    # SciMark2 forms a dense cluster relative to the suite.
+    assert scimark_spread_ratio(result, SCIMARK) < 0.6
+
+    # compress and mpegaudio "tend to highly resemble each other":
+    # adjacent on the map (within a couple of cells).
+    compress = np.array(result.positions["jvm98.201.compress"])
+    mpegaudio = np.array(result.positions["jvm98.222.mpegaudio"])
+    assert np.linalg.norm(compress - mpegaudio) <= 3.0
+
+    # Multiple-occupancy ("darker") cells exist among SciMark2.
+    shared = result.shared_cells()
+    assert any(
+        all(name in SCIMARK for name in names) for names in shared.values()
+    )

@@ -1,0 +1,43 @@
+"""Figure 5 — workload distribution on machine B (SAR counters + SOM).
+
+Regenerates the machine-B SOM map and checks the paper's two findings:
+SciMark2 again forms a dense cluster (machine-independent redundancy),
+while the *overall* layout differs from machine A (machine-dependent
+clustering).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._figure_common import (
+    build_pipeline,
+    pipeline_result,
+    scimark_spread_ratio,
+)
+from benchmarks.conftest import SCIMARK, emit
+from repro.viz.ascii import render_som_map
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig5_workload_distribution_machine_b(benchmark, paper_suite):
+    result = pipeline_result("sar-B")
+
+    pipeline = build_pipeline("sar-B")
+    prepared = pipeline.preprocess(pipeline.characterize(paper_suite))
+    benchmark.pedantic(pipeline.reduce, args=(prepared,), rounds=1, iterations=1)
+
+    grid = result.som.grid
+    emit(
+        "Figure 5: workload distribution on machine B",
+        render_som_map(result.positions, grid.rows, grid.columns),
+    )
+
+    # SciMark2 coagulates on machine B as well.
+    assert scimark_spread_ratio(result, SCIMARK) < 0.6
+
+    # But the distribution as a whole is machine-dependent: the same
+    # workloads land on different cells than on machine A.
+    on_a = pipeline_result("sar-A").positions
+    moved = [name for name in on_a if on_a[name] != result.positions[name]]
+    assert len(moved) >= 5

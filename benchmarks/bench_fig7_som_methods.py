@@ -1,0 +1,50 @@
+"""Figure 7 — workload distribution from Java method utilization.
+
+Regenerates the machine-independent SOM map and checks the figure's
+findings: all five SciMark2 kernels map to one single cell (their
+self-contained math library), jess and mtrt separate to opposite
+regions, and chart/xalan gain separation relative to the SAR map.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._figure_common import build_pipeline, pipeline_result
+from benchmarks.conftest import SCIMARK, emit
+from repro.viz.ascii import render_som_map
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig7_workload_distribution_methods(benchmark, paper_suite):
+    result = pipeline_result("methods")
+
+    pipeline = build_pipeline("methods")
+    prepared = pipeline.preprocess(pipeline.characterize(paper_suite))
+    benchmark.pedantic(pipeline.reduce, args=(prepared,), rounds=1, iterations=1)
+
+    grid = result.som.grid
+    emit(
+        "Figure 7: workload distribution, Java method utilization",
+        render_som_map(result.positions, grid.rows, grid.columns),
+    )
+
+    # "Since SciMark2 workloads map to the same single cell..."
+    scimark_cells = {result.positions[name] for name in SCIMARK}
+    assert len(scimark_cells) == 1
+
+    # jess and mtrt "are located on the two extremes": far apart on the
+    # map — at least a third of the grid diagonal.
+    jess = np.array(result.positions["jvm98.202.jess"], dtype=float)
+    mtrt = np.array(result.positions["jvm98.227.mtrt"], dtype=float)
+    assert np.linalg.norm(jess - mtrt) >= grid.diameter / 3.0
+
+    # chart and xalan "show improved separation": distinct cells, and
+    # distinct clusters at the recommended cut (on machine A's SAR
+    # clustering they formed a joint cluster, cf. Section V-B.1).
+    assert result.positions["DaCapo.chart"] != result.positions["DaCapo.xalan"]
+    recommended = result.cut(result.recommended_clusters).partition
+    assert recommended.block_of("DaCapo.chart") != recommended.block_of(
+        "DaCapo.xalan"
+    )

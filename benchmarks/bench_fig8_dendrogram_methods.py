@@ -1,0 +1,56 @@
+"""Figure 8 — clustering dendrogram from Java method utilization.
+
+Regenerates the machine-independent dendrogram and checks the paper's
+reading: SciMark2 merges at distance zero (one shared cell) and so
+"appear[s] in a single cluster no matter which merging distance is
+chosen".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks._figure_common import pipeline_result
+from benchmarks.conftest import SCIMARK, emit
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.viz.ascii import render_dendrogram, render_dendrogram_vertical
+
+
+def _cluster_positions(positions):
+    labels = sorted(positions)
+    points = np.array([positions[label] for label in labels], dtype=float)
+    return AgglomerativeClustering().fit(points, labels=labels)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig8_dendrogram_methods(benchmark):
+    result = pipeline_result("methods")
+    dendrogram = benchmark(_cluster_positions, result.positions)
+
+    emit(
+        "Figure 8: clustering results, Java method utilization",
+        render_dendrogram_vertical(dendrogram)
+        + "\n\n"
+        + render_dendrogram(dendrogram),
+    )
+
+    assert dendrogram.is_monotone
+
+    # SciMark2 kernels share one SOM cell, so their mutual merges all
+    # happen at distance zero...
+    zero_merges = [m for m in dendrogram.merges if m.distance == 0.0]
+    assert len(zero_merges) >= len(SCIMARK) - 1
+
+    # ...and the group stays together at every merging distance — the
+    # paper's exact phrasing.  (Distance cuts, not k cuts: at a k cut,
+    # tie-ordering among the zero-distance merges could transiently
+    # leave one kernel unmerged.)
+    target = set(SCIMARK)
+    thresholds = {0.0} | {m.distance for m in dendrogram.merges}
+    for distance in sorted(thresholds):
+        partition = dendrogram.cut_at_distance(distance)
+        touching = [
+            block for block in partition.blocks if target & set(block)
+        ]
+        assert len(touching) == 1, f"distance={distance}"

@@ -1,0 +1,89 @@
+"""Substrate micro-benchmarks — timing the primitives at scale.
+
+These do not reproduce a paper artifact; they characterize the
+library's own performance on inputs far larger than the 13-workload
+case study, so regressions in the hot paths (pairwise distances,
+hierarchical means over big suites, agglomerative clustering, SOM
+training) show up in benchmark history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.core.hierarchical import hierarchical_mean
+from repro.core.partition import Partition
+from repro.som.som import SelfOrganizingMap, SOMConfig
+from repro.stats.distance import pairwise_distances
+
+
+@pytest.fixture(scope="module")
+def large_scores():
+    rng = np.random.default_rng(0)
+    return {f"w{i:04d}": float(v) for i, v in enumerate(
+        rng.lognormal(0.5, 0.6, size=1000)
+    )}
+
+
+@pytest.fixture(scope="module")
+def large_partition(large_scores):
+    labels = sorted(large_scores)
+    return Partition.from_assignments(
+        {label: index % 25 for index, label in enumerate(labels)}
+    )
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_perf_hgm_over_1000_workloads(benchmark, large_scores, large_partition):
+    result = benchmark(
+        hierarchical_mean, large_scores, large_partition, mean="geometric"
+    )
+    assert result > 0.0
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_perf_pairwise_distances_500_points(benchmark):
+    rng = np.random.default_rng(1)
+    points = rng.normal(size=(500, 32))
+    matrix = benchmark(pairwise_distances, points)
+    assert matrix.shape == (500, 500)
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_perf_complete_linkage_200_points(benchmark):
+    rng = np.random.default_rng(2)
+    points = rng.normal(size=(200, 8))
+
+    def cluster():
+        return AgglomerativeClustering().fit(points)
+
+    dendrogram = benchmark.pedantic(cluster, rounds=3, iterations=1)
+    assert dendrogram.num_leaves == 200
+    assert dendrogram.is_monotone
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_perf_som_training_100x16(benchmark):
+    rng = np.random.default_rng(3)
+    data = rng.normal(size=(100, 16))
+
+    def train():
+        return SelfOrganizingMap(
+            SOMConfig(rows=10, columns=10, steps_per_sample=20, seed=3)
+        ).fit(data)
+
+    som = benchmark.pedantic(train, rounds=3, iterations=1)
+    assert som.is_trained
+
+
+@pytest.mark.benchmark(group="substrates")
+def test_perf_partition_refinement_enumeration(benchmark):
+    partition = Partition.whole([f"w{i}" for i in range(14)])
+
+    def enumerate_refinements():
+        return sum(1 for __ in partition.refinements())
+
+    count = benchmark(enumerate_refinements)
+    assert count == 2**13 - 1

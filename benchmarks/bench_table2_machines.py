@@ -1,0 +1,50 @@
+"""Table II — the hardware settings.
+
+Prints the machine specifications and asserts the Table II values our
+machine models carry (CPU class, cache, bus, memory, OS, JVM).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.viz.tables import format_table
+from repro.workloads.machines import MACHINE_A, MACHINE_B, REFERENCE_MACHINE
+
+
+def _machines():
+    return (MACHINE_A, MACHINE_B, REFERENCE_MACHINE)
+
+
+@pytest.mark.benchmark(group="setup-tables")
+def test_table2_hardware_settings(benchmark):
+    machines = benchmark(_machines)
+
+    emit(
+        "Table II: hardware settings",
+        format_table(
+            ["Machine", "CPU", "L2 (MB)", "Bus (MHz)", "Memory (GB)", "JVM"],
+            [
+                (
+                    m.name,
+                    m.cpu.split("(")[0].strip(),
+                    m.l2_cache_mb,
+                    str(m.bus_mhz),
+                    m.memory_gb,
+                    m.jvm.split(" ")[0],
+                )
+                for m in machines
+            ],
+        ),
+    )
+
+    a, b, reference = machines
+    # Table II values.
+    assert a.clock_ghz == 3.0 and a.l2_cache_mb == 2.0 and a.memory_gb == 2.0
+    assert b.clock_ghz == 3.0 and b.l2_cache_mb == 0.5 and b.memory_gb == 0.5
+    assert reference.clock_ghz == 1.2 and reference.l2_cache_mb == 8.0
+    assert reference.memory_gb == 1.0
+    assert all(m.bus_mhz == 800 for m in machines)
+    assert "Xeon" in a.cpu and "Pentium 4" in b.cpu and "UltraSPARC" in reference.cpu
+    assert "JRockit" in a.jvm and "JRockit" in b.jvm and "HotSpot" in reference.jvm

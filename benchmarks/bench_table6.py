@@ -1,0 +1,33 @@
+"""Table VI — HGM from the Java method-utilization clustering chain.
+
+Regenerates all seven rows of the machine-independent clustering and
+checks that SciMark2 stays co-clustered at every k (the Figure 8
+behaviour the table is built on).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._hgm_common import run_hgm_table_bench
+from benchmarks.conftest import SCIMARK
+from repro.data.partitions import TABLE6_PARTITIONS
+
+
+@pytest.mark.benchmark(group="hgm-tables")
+def test_table6_hgm_method_clustering(benchmark):
+    run_hgm_table_bench(
+        benchmark,
+        "table6",
+        "Table VI: hierarchical geometric mean, clustering from Java "
+        "method utilization",
+    )
+
+    # Figure 8: the SciMark2 kernels appear in a single cluster no
+    # matter which merging distance (here: cluster count) is chosen.
+    target = set(SCIMARK)
+    for clusters, partition in TABLE6_PARTITIONS.items():
+        touching = [
+            block for block in partition.blocks if target & set(block)
+        ]
+        assert len(touching) == 1, f"k={clusters}"

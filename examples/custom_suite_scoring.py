@@ -1,0 +1,118 @@
+"""Score your own composite suite on a what-if machine.
+
+Run with::
+
+    python examples/custom_suite_scoring.py
+
+Shows the downstream-user workflow on *new* inputs the paper never
+measured:
+
+1. compose a suite by merging two sub-suites (a general suite and a
+   kernel suite — the artificial-redundancy recipe);
+2. define a custom machine and simulate the measurement protocol with
+   the analytic performance model (specs -> expected times);
+3. characterize, cluster and score the composite with the hierarchical
+   geometric mean.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.core.means import geometric_mean
+from repro.viz.ascii import render_dendrogram
+from repro.workloads.execution import AnalyticPerformanceModel, ExecutionSimulator
+from repro.workloads.machines import REFERENCE_MACHINE, MachineSpec
+from repro.workloads.speedup import speedup_table
+from repro.workloads.suite import BenchmarkSuite
+
+WORKSTATION = MachineSpec(
+    name="workstation",
+    cpu="what-if 4-core 3.6 GHz",
+    clock_ghz=3.6,
+    l2_cache_mb=8.0,
+    bus_mhz=1333,
+    memory_gb=8.0,
+    os="Linux",
+    jvm="generic JVM",
+    compute_throughput=6.0,
+    memory_bandwidth=4.0,
+    cores=4,
+)
+
+NETBOOK = MachineSpec(
+    name="netbook",
+    cpu="what-if 1-core 1.6 GHz",
+    clock_ghz=1.6,
+    l2_cache_mb=0.5,
+    bus_mhz=533,
+    memory_gb=1.0,
+    os="Linux",
+    jvm="generic JVM",
+    compute_throughput=1.4,
+    memory_bandwidth=0.8,
+    cores=1,
+)
+
+
+def main() -> None:
+    paper = BenchmarkSuite.paper_suite()
+    general = paper.subset(
+        w.name for w in paper if w.source_suite in ("SPECjvm98", "DaCapo")
+    )
+    kernels = paper.subset(
+        w.name for w in paper if w.source_suite == "SciMark2"
+    )
+    composite = BenchmarkSuite.merged("composite", general, kernels)
+    print(
+        f"composite suite: {len(composite)} workloads from "
+        f"{sorted(composite.source_suites())}"
+    )
+
+    # Measure both what-if machines against the reference machine using
+    # the analytic model (pure spec-driven, no published numbers).
+    simulator = ExecutionSimulator(AnalyticPerformanceModel(), seed=21)
+    speedups = speedup_table(
+        simulator,
+        composite,
+        [WORKSTATION, NETBOOK],
+        reference=REFERENCE_MACHINE,
+        runs=10,
+    )
+    for machine_name, column in speedups.items():
+        print(f"\nspeedups on {machine_name} (top 5):")
+        top = sorted(column.items(), key=lambda kv: -kv[1])[:5]
+        for name, value in top:
+            print(f"  {name:<22} {value:6.2f}")
+
+    # Characterize (machine-independent) and score every cut.
+    pipeline = WorkloadAnalysisPipeline(
+        characterization="methods",
+        machine=None,
+        speedups=speedups,
+    )
+    result = pipeline.run(composite)
+
+    print("\ndendrogram over the SOM map:")
+    print(render_dendrogram(result.dendrogram))
+
+    plain = {
+        name: geometric_mean(list(column.values()))
+        for name, column in speedups.items()
+    }
+    print(
+        f"\nplain GM          : workstation {plain['workstation']:.2f}, "
+        f"netbook {plain['netbook']:.2f}"
+    )
+    recommended = result.cut(result.recommended_clusters)
+    print(
+        f"HGM ({recommended.clusters} clusters): workstation "
+        f"{recommended.scores['workstation']:.2f}, "
+        f"netbook {recommended.scores['netbook']:.2f}"
+    )
+    print("\nrecommended clustering:")
+    for block in recommended.partition.blocks:
+        print(f"  {{{', '.join(block)}}}")
+
+
+if __name__ == "__main__":
+    main()

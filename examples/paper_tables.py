@@ -1,0 +1,74 @@
+"""Regenerate every table of the paper, side by side with the published
+numbers.
+
+Run with::
+
+    python examples/paper_tables.py
+
+Table III comes out of the execution simulator through the paper's
+measure-10-times-and-normalize protocol; Tables IV-VI come out of the
+hierarchical geometric mean over the recovered cluster partitions.
+"""
+
+from __future__ import annotations
+
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.core.means import geometric_mean
+from repro.data.partitions import partition_chain
+from repro.data.table3 import SPEEDUP_TABLE, speedups_for_machine
+from repro.data.tables456 import hgm_table
+from repro.viz.tables import format_hgm_table, format_speedup_table
+from repro.workloads.execution import ExecutionSimulator
+from repro.workloads.machines import MACHINE_A, MACHINE_B
+from repro.workloads.speedup import speedup_table
+from repro.workloads.suite import BenchmarkSuite
+
+TABLE_TITLES = {
+    "table4": "Table IV  (clusters from machine-A SAR counters)",
+    "table5": "Table V   (clusters from machine-B SAR counters)",
+    "table6": "Table VI  (clusters from Java method utilization)",
+}
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 70)
+    print(title)
+    print("=" * 70)
+
+
+def main() -> None:
+    suite = BenchmarkSuite.paper_suite()
+
+    banner("Table III (simulated measurements; paper row: GM 2.10 / 1.94)")
+    simulator = ExecutionSimulator(seed=123)
+    measured = speedup_table(simulator, suite, [MACHINE_A, MACHINE_B], runs=10)
+    print(format_speedup_table(measured))
+
+    plain = (
+        geometric_mean(list(SPEEDUP_TABLE["A"].values())),
+        geometric_mean(list(SPEEDUP_TABLE["B"].values())),
+    )
+    speedups_a = speedups_for_machine("A")
+    speedups_b = speedups_for_machine("B")
+    for name, title in TABLE_TITLES.items():
+        banner(title)
+        chain = partition_chain(name)
+        rows = {
+            clusters: (
+                hierarchical_geometric_mean(speedups_a, partition),
+                hierarchical_geometric_mean(speedups_b, partition),
+            )
+            for clusters, partition in chain.items()
+        }
+        print(format_hgm_table(rows, plain=plain, published=hgm_table(name)))
+
+    banner("Recovered cluster memberships (never printed in the paper)")
+    for name in TABLE_TITLES:
+        print(f"\n{name}, 6-cluster cut:")
+        for block in partition_chain(name)[6].blocks:
+            print(f"  {{{', '.join(block)}}}")
+
+
+if __name__ == "__main__":
+    main()

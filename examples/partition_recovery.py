@@ -1,0 +1,70 @@
+"""How the unpublished cluster memberships were recovered.
+
+Run with::
+
+    python examples/partition_recovery.py
+
+Tables IV-VI of the paper print hierarchical geometric means for
+k = 2..8 clusters — but never say *which* workloads formed each
+cluster.  This walkthrough shows the recovery:
+
+1. each printed row constrains the partition twice (machine A's score
+   AND machine B's score are computed from the same Table III inputs);
+2. the rows of a table come from cutting one dendrogram, so the
+   partitions must form a merge chain;
+3. a depth-first search over all bipartitions and their
+   dendrogram-consistent refinements leaves exactly ONE chain per
+   table.
+"""
+
+from __future__ import annotations
+
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.data.table3 import SPEEDUP_TABLE, speedups_for_machine
+from repro.data.tables456 import TABLE4_HGM
+from repro.inference.partition_solver import PartitionChainSolver, TableTarget
+
+
+def main() -> None:
+    print("Published Table IV rows (HGM on machines A and B):")
+    for k, row in TABLE4_HGM.items():
+        print(f"  k={k}:  A={row.score_a:.2f}  B={row.score_b:.2f}")
+
+    print("\nSearching all dendrogram-consistent partition chains whose")
+    print("recomputed scores round to those values on BOTH machines...")
+    targets = [
+        TableTarget(k, {"A": row.score_a, "B": row.score_b})
+        for k, row in TABLE4_HGM.items()
+    ]
+    solver = PartitionChainSolver(SPEEDUP_TABLE, targets, tolerance=0.006)
+    report = solver.solve()
+
+    print(
+        f"\ncandidates surviving per level: {dict(report.candidates_per_level)}"
+    )
+    print(f"complete chains found: {report.num_chains}")
+
+    chain = report.canonical_chain
+    print("\nThe unique chain (the memberships the paper never printed):")
+    speedups_a = speedups_for_machine("A")
+    speedups_b = speedups_for_machine("B")
+    for k in sorted(chain):
+        partition = chain[k]
+        a = hierarchical_geometric_mean(speedups_a, partition)
+        b = hierarchical_geometric_mean(speedups_b, partition)
+        print(f"\n  k={k}  (recomputed: A={a:.2f}, B={b:.2f})")
+        for block in partition.blocks:
+            print(f"    {{{', '.join(block)}}}")
+
+    print(
+        "\nCross-checks against the paper's text:\n"
+        "  * the k=4 partition is exactly the one Section V-B.1 describes;\n"
+        "  * SciMark2 is an exclusive cluster at k=5..7 (Figure 4(b));\n"
+        "  * at k=8 SciMark2 splits into {FFT, LU} and\n"
+        "    {MonteCarlo, SOR, Sparse} — the same three workloads that\n"
+        "    share a SOM cell in Figure 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""The full characterization pipeline: SOM maps and dendrograms.
+
+Run with::
+
+    python examples/som_workload_map.py [sar-A | sar-B | methods]
+
+Reproduces the paper's Figures 3-8 in text form for the chosen
+configuration: collect characteristic vectors, reduce them with a
+Self-Organizing Map, cluster the map, score every cut with the
+hierarchical geometric mean, and recommend a cluster count.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.core.means import geometric_mean
+from repro.data.table3 import SPEEDUP_TABLE
+from repro.viz.ascii import render_dendrogram, render_som_map
+from repro.viz.tables import format_hgm_table
+from repro.workloads.suite import BenchmarkSuite
+
+CONFIGURATIONS = {
+    "sar-A": dict(characterization="sar", machine="A"),
+    "sar-B": dict(characterization="sar", machine="B"),
+    "methods": dict(characterization="methods", machine=None),
+}
+
+
+def main(argv: list[str]) -> int:
+    choice = argv[1] if len(argv) > 1 else "sar-A"
+    if choice not in CONFIGURATIONS:
+        print(f"unknown configuration {choice!r}; pick one of "
+              f"{sorted(CONFIGURATIONS)}", file=sys.stderr)
+        return 1
+
+    pipeline = WorkloadAnalysisPipeline(**CONFIGURATIONS[choice])
+    result = pipeline.run(BenchmarkSuite.paper_suite())
+
+    grid = result.som.grid
+    print(
+        render_som_map(
+            result.positions,
+            grid.rows,
+            grid.columns,
+            title=f"Workload distribution ({choice})",
+        )
+    )
+
+    print("\nDendrogram over the SOM map:")
+    print(render_dendrogram(result.dendrogram))
+
+    shared = result.shared_cells()
+    if shared:
+        print("\nParticularly similar workloads (shared cells):")
+        for cell, names in sorted(shared.items()):
+            print(f"  {cell}: {', '.join(names)}")
+
+    print("\nHierarchical geometric means per cluster count:")
+    measured = {
+        cut.clusters: (cut.scores["A"], cut.scores["B"]) for cut in result.cuts
+    }
+    plain = (
+        geometric_mean(list(SPEEDUP_TABLE["A"].values())),
+        geometric_mean(list(SPEEDUP_TABLE["B"].values())),
+    )
+    print(format_hgm_table(measured, plain=plain))
+
+    print(f"\nrecommended cluster count: {result.recommended_clusters}")
+    recommended = result.cut(result.recommended_clusters).partition
+    for block in recommended.blocks:
+        print(f"  {{{', '.join(block)}}}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,131 @@
+"""Regenerate every table and figure into ``results/`` as text files.
+
+Run from the repository root::
+
+    python scripts/generate_results.py [output_dir]
+
+Produces one artifact per paper table/figure plus the analysis reports,
+so reviewers can diff the reproduction's outputs without running the
+benches.  Everything is seeded; reruns are byte-identical.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.analysis.report import render_analysis_report
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.core.means import geometric_mean
+from repro.data.partitions import partition_chain
+from repro.data.table3 import SPEEDUP_TABLE, speedups_for_machine
+from repro.data.tables456 import hgm_table
+from repro.som.som import SOMConfig
+from repro.viz.ascii import (
+    render_dendrogram,
+    render_dendrogram_vertical,
+    render_som_map,
+    render_u_matrix,
+)
+from repro.viz.tables import format_hgm_table, format_speedup_table
+from repro.som.umatrix import u_matrix
+from repro.workloads.execution import ExecutionSimulator
+from repro.workloads.machines import MACHINE_A, MACHINE_B
+from repro.workloads.speedup import speedup_table
+from repro.workloads.suite import BenchmarkSuite
+
+SOM = SOMConfig(rows=8, columns=8, steps_per_sample=500, seed=11)
+
+CONFIGURATIONS = {
+    "machine_a_sar": dict(characterization="sar", machine="A"),
+    "machine_b_sar": dict(characterization="sar", machine="B"),
+    "methods": dict(characterization="methods", machine=None),
+    "micro": dict(characterization="micro", machine=None),
+}
+
+FIGURE_NAMES = {
+    "machine_a_sar": ("fig3_som", "fig4_dendrogram"),
+    "machine_b_sar": ("fig5_som", "fig6_dendrogram"),
+    "methods": ("fig7_som", "fig8_dendrogram"),
+    "micro": ("figX_som_micro", "figX_dendrogram_micro"),
+}
+
+
+def write(directory: Path, name: str, content: str) -> None:
+    """Write one artifact and log it."""
+    target = directory / f"{name}.txt"
+    target.write_text(content + "\n", encoding="utf-8")
+    print(f"  wrote {target}")
+
+
+def main() -> int:
+    output = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("results")
+    output.mkdir(parents=True, exist_ok=True)
+    suite = BenchmarkSuite.paper_suite()
+
+    print("tables:")
+    simulator = ExecutionSimulator(seed=123)
+    measured = speedup_table(simulator, suite, [MACHINE_A, MACHINE_B], runs=10)
+    write(output, "table3_speedups", format_speedup_table(measured))
+
+    plain = (
+        geometric_mean(list(SPEEDUP_TABLE["A"].values())),
+        geometric_mean(list(SPEEDUP_TABLE["B"].values())),
+    )
+    speedups_a = speedups_for_machine("A")
+    speedups_b = speedups_for_machine("B")
+    for number in (4, 5, 6):
+        name = f"table{number}"
+        chain = partition_chain(name)
+        rows = {
+            k: (
+                hierarchical_geometric_mean(speedups_a, part),
+                hierarchical_geometric_mean(speedups_b, part),
+            )
+            for k, part in chain.items()
+        }
+        body = format_hgm_table(rows, plain=plain, published=hgm_table(name))
+        memberships = ["", "recovered cluster memberships:"]
+        for k, part in chain.items():
+            memberships.append(f"  k={k}:")
+            for block in part.blocks:
+                memberships.append(f"    {{{', '.join(block)}}}")
+        write(output, f"{name}_hgm", body + "\n" + "\n".join(memberships))
+
+    print("figures:")
+    scimark = tuple(w.name for w in suite if w.source_suite == "SciMark2")
+    for key, kwargs in CONFIGURATIONS.items():
+        pipeline = WorkloadAnalysisPipeline(som_config=SOM, **kwargs)
+        result = pipeline.run(suite)
+        map_name, dendro_name = FIGURE_NAMES[key]
+        grid = result.som.grid
+        write(
+            output,
+            map_name,
+            render_som_map(
+                result.positions,
+                grid.rows,
+                grid.columns,
+                title=f"Workload distribution ({key})",
+            )
+            + "\n\nU-matrix:\n"
+            + render_u_matrix(u_matrix(result.som)),
+        )
+        write(
+            output,
+            dendro_name,
+            render_dendrogram_vertical(result.dendrogram)
+            + "\n\n"
+            + render_dendrogram(result.dendrogram),
+        )
+        write(
+            output,
+            f"report_{key}",
+            render_analysis_report(result, suspect_group=scimark),
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""End-to-end analysis: pipeline, redundancy metrics, k recommendation.
+
+* :mod:`repro.analysis.pipeline` — characterize → SOM → cluster →
+  hierarchical means, as one object.
+* :mod:`repro.analysis.redundancy` — coagulation index, shared SOM
+  cells, exclusive-cluster detection.
+* :mod:`repro.analysis.recommend` — the Section V-B.1 cluster-count
+  recommendation heuristic plus a silhouette-based alternative.
+* :mod:`repro.analysis.subsetting` — cluster-driven benchmark
+  subsetting (the related-work application, refs [10]-[11]).
+* :mod:`repro.analysis.stability` — partition/score stability across
+  characterization reruns.
+"""
+
+from repro.analysis.comparison import AnalysisComparison
+from repro.analysis.pipeline import (
+    AnalysisResult,
+    ScoredCut,
+    WorkloadAnalysisPipeline,
+)
+from repro.analysis.recommend import (
+    ratio_fluctuations,
+    recommend_by_silhouette,
+    recommend_cluster_count,
+)
+from repro.analysis.redundancy import (
+    coagulation_index,
+    exclusive_cluster_counts,
+    shared_cells,
+)
+from repro.analysis.report import render_analysis_report
+from repro.analysis.stability import StabilityReport, clustering_stability
+from repro.analysis.subsetting import (
+    SubsetReport,
+    representative_subset,
+    subset_score,
+    subsetting_error,
+)
+
+__all__ = [
+    "WorkloadAnalysisPipeline",
+    "AnalysisResult",
+    "ScoredCut",
+    "AnalysisComparison",
+    "recommend_cluster_count",
+    "recommend_by_silhouette",
+    "ratio_fluctuations",
+    "coagulation_index",
+    "shared_cells",
+    "exclusive_cluster_counts",
+    "SubsetReport",
+    "representative_subset",
+    "subset_score",
+    "subsetting_error",
+    "StabilityReport",
+    "clustering_stability",
+    "render_analysis_report",
+]

@@ -1,0 +1,134 @@
+"""Comparing clusterings across characterizations and machines.
+
+Section V's argument unfolds by *comparing* analyses: machine A versus
+machine B (clusterings differ), SAR versus method utilization
+(clusterings differ), SciMark2 (coagulates everywhere).
+:class:`AnalysisComparison` holds several named
+:class:`~repro.analysis.pipeline.AnalysisResult` objects and answers
+those questions quantitatively: pairwise adjusted-Rand matrices at any
+cut, per-group coagulation, and invariant groups that stay co-clustered
+in every analysis.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.analysis.pipeline import AnalysisResult
+from repro.cluster.metrics import adjusted_rand_index
+from repro.exceptions import MeasurementError
+
+__all__ = ["AnalysisComparison"]
+
+
+class AnalysisComparison:
+    """A set of named analyses over the *same* suite, compared pairwise.
+
+    Example
+    -------
+    >>> from repro.analysis import WorkloadAnalysisPipeline
+    >>> from repro.workloads import BenchmarkSuite
+    >>> suite = BenchmarkSuite.paper_suite()
+    >>> comparison = AnalysisComparison({
+    ...     "methods": WorkloadAnalysisPipeline(
+    ...         characterization="methods", machine=None).run(suite),
+    ...     "micro": WorkloadAnalysisPipeline(
+    ...         characterization="micro", machine=None).run(suite),
+    ... })
+    >>> float(comparison.agreement_matrix(6)["methods"]["micro"]) <= 1.0
+    True
+    """
+
+    def __init__(self, results: Mapping[str, AnalysisResult]) -> None:
+        if len(results) < 2:
+            raise MeasurementError(
+                "AnalysisComparison: need at least two analyses"
+            )
+        label_sets = {
+            name: frozenset(result.positions) for name, result in results.items()
+        }
+        reference = next(iter(label_sets.values()))
+        mismatched = [
+            name for name, labels in label_sets.items() if labels != reference
+        ]
+        if mismatched:
+            raise MeasurementError(
+                "AnalysisComparison: analyses cover different workloads "
+                f"(mismatched: {mismatched})"
+            )
+        self._results = dict(results)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """The analysis names, sorted."""
+        return tuple(sorted(self._results))
+
+    def result(self, name: str) -> AnalysisResult:
+        """One analysis by name."""
+        try:
+            return self._results[name]
+        except KeyError:
+            raise MeasurementError(
+                f"AnalysisComparison: no analysis named {name!r}"
+            ) from None
+
+    # -- agreement ---------------------------------------------------------
+
+    def agreement_matrix(self, clusters: int) -> dict[str, dict[str, float]]:
+        """Pairwise adjusted Rand index of the ``clusters``-way cuts."""
+        partitions = {
+            name: result.cut(clusters).partition
+            for name, result in self._results.items()
+        }
+        matrix: dict[str, dict[str, float]] = {
+            name: {name: 1.0} for name in partitions
+        }
+        for first, second in combinations(sorted(partitions), 2):
+            value = adjusted_rand_index(partitions[first], partitions[second])
+            matrix[first][second] = value
+            matrix[second][first] = value
+        return matrix
+
+    def mean_agreement(self, clusters: int) -> float:
+        """Average off-diagonal ARI at one cut."""
+        matrix = self.agreement_matrix(clusters)
+        names = sorted(matrix)
+        values = [
+            matrix[a][b] for a, b in combinations(names, 2)
+        ]
+        return float(np.mean(values))
+
+    # -- invariants ------------------------------------------------------------
+
+    def always_coclustered(self, clusters: int) -> tuple[frozenset[str], ...]:
+        """Maximal workload groups sharing a block in *every* analysis.
+
+        These are the characterization-invariant redundancy groups —
+        for the paper suite, SciMark2 (or a superset of it).
+        """
+        partitions = [
+            result.cut(clusters).partition for result in self._results.values()
+        ]
+        meet = partitions[0]
+        for partition in partitions[1:]:
+            meet = meet.meet(partition)
+        return tuple(
+            frozenset(block) for block in meet.blocks if len(block) > 1
+        )
+
+    def group_is_invariant(
+        self, group: Iterable[str], clusters: int
+    ) -> bool:
+        """Whether the given workloads share a block in every analysis."""
+        wanted = set(group)
+        if not wanted:
+            raise MeasurementError("group_is_invariant: empty group")
+        for result in self._results.values():
+            partition = result.cut(clusters).partition
+            blocks = {frozenset(b) for b in partition.blocks}
+            if not any(wanted <= block for block in blocks):
+                return False
+        return True

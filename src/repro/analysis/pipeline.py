@@ -1,0 +1,354 @@
+"""The end-to-end pipeline of the paper, as one configurable object.
+
+:class:`WorkloadAnalysisPipeline` chains every stage of Sections III-V:
+
+1. **characterize** the suite (synthetic SAR counters on a chosen
+   machine, or machine-independent Java method bits);
+2. **preprocess** (drop uninformative features, standardize);
+3. **reduce** with a SOM, mapping each workload to a 2-D cell;
+4. **cluster** the cell coordinates with complete-linkage
+   agglomerative clustering ("the Hierarchical Clustering is applied
+   to the reduced dimension");
+5. **score**: cut the dendrogram at every requested cluster count and
+   compute the hierarchical mean of the per-workload speedups on both
+   machines — a regenerated Table IV/V/VI;
+6. **recommend** a cluster count (ratio dampening + SOM alignment).
+
+The result object keeps every intermediate product so examples and
+benches can render maps, dendrograms and tables from one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.recommend import recommend_cluster_count
+from repro.analysis.redundancy import exclusive_cluster_counts, shared_cells
+from repro.characterization.base import CharacteristicVectors
+from repro.characterization.methods import JavaMethodProfiler
+from repro.characterization.micro import MicroarchIndependentProfiler
+from repro.characterization.preprocess import prepare_counters, prepare_method_bits
+from repro.characterization.sar import SARCounterCollector
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.dendrogram import Dendrogram
+from repro.core.hierarchical import hierarchical_mean
+from repro.core.partition import Partition
+from repro.data.table3 import SPEEDUP_TABLE
+from repro.exceptions import CharacterizationError, MeasurementError
+from repro.som.som import SelfOrganizingMap, SOMConfig
+from repro.workloads.machines import MACHINE_A, MACHINE_B, MachineSpec, machine
+from repro.workloads.suite import BenchmarkSuite
+
+__all__ = ["ScoredCut", "AnalysisResult", "WorkloadAnalysisPipeline"]
+
+
+@dataclass(frozen=True)
+class ScoredCut:
+    """One regenerated table row: a cut and its two-machine scores."""
+
+    clusters: int
+    partition: Partition
+    scores: Mapping[str, float]
+
+    @property
+    def ratio(self) -> float:
+        """First-machine score over second-machine score (A/B column)."""
+        names = sorted(self.scores)
+        if len(names) != 2:
+            raise MeasurementError(
+                f"ScoredCut.ratio: defined for exactly two machines, have {names}"
+            )
+        return self.scores[names[0]] / self.scores[names[1]]
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Everything one pipeline run produced."""
+
+    suite_name: str
+    characterization: str
+    machine_name: str | None
+    raw_vectors: CharacteristicVectors
+    prepared_vectors: CharacteristicVectors
+    som: SelfOrganizingMap
+    positions: Mapping[str, tuple[int, int]]
+    dendrogram: Dendrogram
+    cuts: tuple[ScoredCut, ...]
+    recommended_clusters: int
+
+    def cut(self, clusters: int) -> ScoredCut:
+        """The scored cut at one cluster count."""
+        for scored in self.cuts:
+            if scored.clusters == clusters:
+                return scored
+        raise MeasurementError(
+            f"AnalysisResult: no cut with {clusters} clusters was computed"
+        )
+
+    def shared_cells(self) -> dict[tuple[int, int], tuple[str, ...]]:
+        """SOM cells holding more than one workload."""
+        return shared_cells(self.positions)
+
+
+class WorkloadAnalysisPipeline:
+    """Configurable Sections III-V pipeline.
+
+    Parameters
+    ----------
+    characterization:
+        ``"sar"`` (machine-dependent OS counters; requires
+        ``machine``), ``"methods"`` (machine-independent Java method
+        bits), ``"micro"`` (machine-independent instruction-mix and
+        stride features, the Section V-C suggestion) or ``"custom"``
+        (bring your own: pass ``custom_characterizer``, a callable
+        from suite to :class:`CharacteristicVectors`).
+    machine:
+        The machine SAR counters are collected on — a name (``"A"`` /
+        ``"B"``) or a :class:`MachineSpec`.  Ignored for ``"methods"``.
+    speedups:
+        Per-machine workload scores to feed the hierarchical mean;
+        defaults to the published Table III.
+    som_config:
+        SOM hyper-parameters; the default 8x8 map suits the 13-workload
+        suite.
+    cluster_counts:
+        Which table rows to compute; the paper uses 2..8.
+    alignment_group:
+        Workload names whose exclusive-cluster status defines "aligned
+        with the SOM analysis" for the recommendation (default: the
+        SciMark2 adoption set when present in the suite).
+    seed:
+        Seed for the characterization sampling.
+
+    Example
+    -------
+    >>> pipeline = WorkloadAnalysisPipeline(characterization="methods")
+    >>> result = pipeline.run(BenchmarkSuite.paper_suite())
+    >>> 2 <= result.recommended_clusters <= 8
+    True
+    """
+
+    def __init__(
+        self,
+        *,
+        characterization: str = "sar",
+        machine: str | MachineSpec | None = "A",
+        speedups: Mapping[str, Mapping[str, float]] | None = None,
+        som_config: SOMConfig | None = None,
+        cluster_counts: Sequence[int] = tuple(range(2, 9)),
+        alignment_group: Sequence[str] | None = None,
+        linkage: str = "complete",
+        seed: int = 11,
+        custom_characterizer: "Callable[[BenchmarkSuite], CharacteristicVectors] | None" = None,
+    ) -> None:
+        if custom_characterizer is not None:
+            if characterization != "custom":
+                raise CharacterizationError(
+                    "pass characterization='custom' together with "
+                    "custom_characterizer"
+                )
+        elif characterization == "custom":
+            raise CharacterizationError(
+                "characterization='custom' needs a custom_characterizer"
+            )
+        elif characterization not in ("sar", "methods", "micro"):
+            raise CharacterizationError(
+                f"unknown characterization {characterization!r}; "
+                "use 'sar', 'methods', 'micro' or 'custom'"
+            )
+        self._custom_characterizer = custom_characterizer
+        if characterization == "sar" and machine is None:
+            raise CharacterizationError(
+                "SAR characterization needs a machine to collect counters on"
+            )
+        if not cluster_counts:
+            raise MeasurementError("pipeline: no cluster counts requested")
+        self._characterization = characterization
+        self._machine = self._resolve_machine(machine)
+        self._speedups = {
+            name: dict(column)
+            for name, column in (speedups or SPEEDUP_TABLE).items()
+        }
+        self._som_config = som_config or SOMConfig(rows=8, columns=8, seed=seed)
+        self._cluster_counts = tuple(sorted(set(cluster_counts)))
+        self._alignment_group = (
+            tuple(alignment_group) if alignment_group is not None else None
+        )
+        self._linkage = linkage
+        self._seed = seed
+
+    @staticmethod
+    def _resolve_machine(spec: str | MachineSpec | None) -> MachineSpec | None:
+        if spec is None or isinstance(spec, MachineSpec):
+            return spec
+        return machine(spec)
+
+    # -- stages -----------------------------------------------------------
+
+    def characterize(self, suite: BenchmarkSuite) -> CharacteristicVectors:
+        """Stage 1: raw characteristic vectors for the suite."""
+        if self._custom_characterizer is not None:
+            return self._custom_characterizer(suite)
+        if self._characterization == "sar":
+            assert self._machine is not None
+            collector = SARCounterCollector(seed=self._seed)
+            return collector.collect(suite, self._machine)
+        if self._characterization == "micro":
+            return MicroarchIndependentProfiler().profile(suite)
+        return JavaMethodProfiler().profile(suite)
+
+    def preprocess(self, raw: CharacteristicVectors) -> CharacteristicVectors:
+        """Stage 2: the paper's feature filtering and standardization.
+
+        Custom characterizations get the counter-style treatment (drop
+        constants, standardize), which is safe for any real-valued
+        vectors; bit-vector characterizations need ``"methods"``.
+        """
+        if self._characterization == "methods":
+            return prepare_method_bits(raw)
+        return prepare_counters(raw)
+
+    def reduce(
+        self, prepared: CharacteristicVectors
+    ) -> tuple[SelfOrganizingMap, dict[str, tuple[int, int]]]:
+        """Stage 3: SOM training and workload-to-cell mapping."""
+        som = SelfOrganizingMap(self._som_config).fit(prepared.matrix)
+        projected = som.project(prepared.matrix)
+        positions = {
+            label: (int(row), int(col))
+            for label, (row, col) in zip(prepared.labels, projected)
+        }
+        return som, positions
+
+    def cluster(
+        self, positions: Mapping[str, tuple[int, int]]
+    ) -> Dendrogram:
+        """Stage 4: complete-linkage clustering of the 2-D map positions."""
+        labels = sorted(positions)
+        points = np.array([positions[label] for label in labels], dtype=float)
+        algorithm = AgglomerativeClustering(linkage=self._linkage)
+        return algorithm.fit(points, labels=labels)
+
+    def score_cuts(self, dendrogram: Dendrogram) -> tuple[ScoredCut, ...]:
+        """Stage 5: hierarchical geometric means at every cluster count.
+
+        Speedup columns are restricted to the clustered workloads, so
+        subset suites score correctly against the full Table III.
+        """
+        suite_labels = set(dendrogram.labels)
+        cuts = []
+        for clusters in self._cluster_counts:
+            if clusters > dendrogram.num_leaves:
+                continue
+            partition = dendrogram.cut_to_k(clusters)
+            scores = {
+                machine_name: hierarchical_mean(
+                    {
+                        label: value
+                        for label, value in column.items()
+                        if label in suite_labels
+                    },
+                    partition,
+                    mean="geometric",
+                )
+                for machine_name, column in self._speedups.items()
+            }
+            cuts.append(
+                ScoredCut(clusters=clusters, partition=partition, scores=scores)
+            )
+        if not cuts:
+            raise MeasurementError(
+                "pipeline: no requested cluster count fits the suite size"
+            )
+        return tuple(cuts)
+
+    # -- orchestration ---------------------------------------------------------
+
+    def run(self, suite: BenchmarkSuite) -> AnalysisResult:
+        """Run all stages and bundle the intermediates."""
+        self._check_speedup_coverage(suite)
+        raw = self.characterize(suite)
+        prepared = self.preprocess(raw)
+        som, positions = self.reduce(prepared)
+        dendrogram = self.cluster(positions)
+        cuts = self.score_cuts(dendrogram)
+
+        aligned = self._alignment_verdicts(suite, dendrogram)
+        recommended = self._recommend(cuts, positions, dendrogram, aligned)
+
+        return AnalysisResult(
+            suite_name=suite.name,
+            characterization=self._characterization,
+            machine_name=self._machine.name if self._machine else None,
+            raw_vectors=raw,
+            prepared_vectors=prepared,
+            som=som,
+            positions=positions,
+            dendrogram=dendrogram,
+            cuts=cuts,
+            recommended_clusters=recommended,
+        )
+
+    def _recommend(
+        self,
+        cuts: tuple[ScoredCut, ...],
+        positions: Mapping[str, tuple[int, int]],
+        dendrogram: Dendrogram,
+        aligned: dict[int, bool] | None,
+    ) -> int:
+        """Pick the cluster count.
+
+        With exactly two machines the paper's ratio-dampening heuristic
+        applies; for any other machine count the A/B ratio does not
+        exist, so fall back to the silhouette criterion over the map
+        positions (restricted to aligned ks when alignment is known).
+        """
+        if len(cuts) == 1:
+            return cuts[0].clusters
+        two_machines = len(cuts[0].scores) == 2
+        if two_machines:
+            ratios = {cut.clusters: cut.ratio for cut in cuts}
+            return recommend_cluster_count(ratios, aligned=aligned)
+
+        from repro.analysis.recommend import recommend_by_silhouette
+        from repro.stats.distance import pairwise_distances
+
+        labels = sorted(positions)
+        points = np.array([positions[label] for label in labels], dtype=float)
+        counts = [cut.clusters for cut in cuts]
+        if aligned is not None and any(aligned.get(k, False) for k in counts):
+            counts = [k for k in counts if aligned.get(k, False)]
+        best, __ = recommend_by_silhouette(
+            pairwise_distances(points),
+            dendrogram,
+            labels,
+            cluster_counts=counts,
+        )
+        return best
+
+    def _check_speedup_coverage(self, suite: BenchmarkSuite) -> None:
+        for machine_name, column in self._speedups.items():
+            missing = [w.name for w in suite if w.name not in column]
+            if missing:
+                raise MeasurementError(
+                    f"pipeline: machine {machine_name!r} has no speedups for "
+                    f"{missing}"
+                )
+
+    def _alignment_verdicts(
+        self, suite: BenchmarkSuite, dendrogram: Dendrogram
+    ) -> dict[int, bool] | None:
+        group = self._alignment_group
+        if group is None:
+            # Default: the SciMark2 adoption set, when this suite has one.
+            scimark = [
+                w.name for w in suite if w.source_suite == "SciMark2"
+            ]
+            group = tuple(scimark) if len(scimark) >= 2 else None
+        if group is None:
+            return None
+        exclusive = set(exclusive_cluster_counts(dendrogram, group))
+        return {k: (k in exclusive) for k in self._cluster_counts}

@@ -1,0 +1,111 @@
+"""Choosing the cluster count — the Section V-B.1 recommendation logic.
+
+The paper recommends a cluster count by combining two signals:
+
+1. *alignment with the SOM analysis* — the cut should isolate the
+   structure visible on the map (for this suite: SciMark2 as an
+   exclusive cluster), and
+2. *ratio dampening* — "the fluctuation of ratio values tends to
+   dampen around 5, 6 cluster cases".
+
+:func:`recommend_cluster_count` implements exactly that: optionally
+restrict candidates to the ks that satisfy a structural alignment
+predicate, then pick the k whose A/B ratio moves least when one more
+cluster is added, breaking ties toward fewer clusters (a simpler
+scoring model is preferable when equally stable).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.dendrogram import Dendrogram
+from repro.cluster.metrics import silhouette_score
+from repro.exceptions import MeasurementError
+
+__all__ = [
+    "ratio_fluctuations",
+    "recommend_cluster_count",
+    "recommend_by_silhouette",
+]
+
+
+def ratio_fluctuations(ratios: Mapping[int, float]) -> dict[int, float]:
+    """Per-k instability: ``|ratio(k) - ratio(k+1)|``.
+
+    The largest k has no successor and is assigned the fluctuation of
+    its predecessor step, so every k gets a value.
+    """
+    if len(ratios) < 2:
+        raise MeasurementError("ratio_fluctuations: need at least two cluster counts")
+    counts = sorted(ratios)
+    if counts != list(range(counts[0], counts[-1] + 1)):
+        raise MeasurementError(
+            f"ratio_fluctuations: cluster counts must be contiguous, got {counts}"
+        )
+    fluctuations = {
+        k: abs(ratios[k] - ratios[k + 1]) for k in counts[:-1]
+    }
+    fluctuations[counts[-1]] = fluctuations[counts[-2]]
+    return fluctuations
+
+
+def recommend_cluster_count(
+    ratios: Mapping[int, float],
+    *,
+    aligned: Mapping[int, bool] | None = None,
+) -> int:
+    """The recommended cluster count for a hierarchical-mean table.
+
+    Parameters
+    ----------
+    ratios:
+        ``cluster count -> A/B score ratio`` (a Table IV-style column).
+    aligned:
+        Optional structural-alignment verdict per k (e.g. "does
+        SciMark2 form an exclusive cluster at this cut?").  When given
+        and at least one k is aligned, only aligned ks are candidates.
+
+    Returns the candidate k with the smallest ratio fluctuation,
+    breaking ties toward the smaller k.
+    """
+    fluctuations = ratio_fluctuations(ratios)
+    candidates = sorted(ratios)
+    if aligned is not None:
+        aligned_ks = [k for k in candidates if aligned.get(k, False)]
+        if aligned_ks:
+            candidates = aligned_ks
+    return min(candidates, key=lambda k: (fluctuations[k], k))
+
+
+def recommend_by_silhouette(
+    distances: Sequence[Sequence[float]] | np.ndarray,
+    dendrogram: Dendrogram,
+    labels: Sequence[str],
+    *,
+    cluster_counts: Sequence[int] = tuple(range(2, 9)),
+) -> tuple[int, dict[int, float]]:
+    """Silhouette-based alternative to the ratio-dampening heuristic.
+
+    Cuts the dendrogram at every requested cluster count, scores each
+    cut's separation with the mean silhouette coefficient over the
+    given distance matrix, and returns ``(best_k, scores_by_k)``.
+    Counts larger than the leaf count are skipped; at least one count
+    must be evaluable.
+    """
+    evaluated: dict[int, float] = {}
+    for clusters in sorted(set(cluster_counts)):
+        if not (2 <= clusters <= dendrogram.num_leaves):
+            continue
+        partition = dendrogram.cut_to_k(clusters)
+        if partition.num_blocks < 2:
+            continue
+        evaluated[clusters] = silhouette_score(distances, partition, labels)
+    if not evaluated:
+        raise MeasurementError(
+            "recommend_by_silhouette: no evaluable cluster count"
+        )
+    best = max(sorted(evaluated), key=lambda k: evaluated[k])
+    return best, evaluated

@@ -1,0 +1,109 @@
+"""Quantitative redundancy analysis of a characterized suite.
+
+The paper reads redundancy off the SOM picture ("SciMark2 workloads
+form a dense cluster...").  These helpers make the same observations
+quantitative so they can be asserted in tests and printed by benches:
+
+* :func:`coagulation_index` — how much tighter a workload group is
+  than its surroundings (paper: SciMark2 "fail[s] to mix in with the
+  rest");
+* :func:`shared_cells` — workloads mapping to the same SOM cell
+  (Figure 3's "darker cells");
+* :func:`exclusive_cluster_counts` — the cut sizes k at which a group
+  appears as a cluster of its own in a dendrogram.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.cluster.dendrogram import Dendrogram
+from repro.exceptions import ClusteringError, MeasurementError
+from repro.stats.distance import pairwise_distances
+
+__all__ = ["coagulation_index", "shared_cells", "exclusive_cluster_counts"]
+
+
+def coagulation_index(
+    points: Sequence[Sequence[float]] | np.ndarray,
+    labels: Sequence[str],
+    group: Iterable[str],
+) -> float:
+    """Mean group-to-outside distance over mean within-group distance.
+
+    Values well above 1 mean the group is a dense, isolated cluster —
+    mutually redundant workloads.  Requires at least two group members
+    and one outsider.  A perfectly coincident group (zero intra
+    distance) returns ``inf``.
+    """
+    matrix = np.asarray(points, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != len(labels):
+        raise MeasurementError(
+            "coagulation_index: points/labels mismatch "
+            f"({matrix.shape} vs {len(labels)} labels)"
+        )
+    group_set = set(group)
+    unknown = group_set - set(labels)
+    if unknown:
+        raise MeasurementError(
+            f"coagulation_index: labels not present: {sorted(unknown)}"
+        )
+    inside = [i for i, label in enumerate(labels) if label in group_set]
+    outside = [i for i, label in enumerate(labels) if label not in group_set]
+    if len(inside) < 2:
+        raise MeasurementError(
+            "coagulation_index: group needs at least two members"
+        )
+    if not outside:
+        raise MeasurementError(
+            "coagulation_index: group must not cover every workload"
+        )
+
+    distances = pairwise_distances(matrix)
+    intra = distances[np.ix_(inside, inside)]
+    intra_mean = float(intra[np.triu_indices(len(inside), k=1)].mean())
+    inter_mean = float(distances[np.ix_(inside, outside)].mean())
+    if intra_mean == 0.0:
+        return float("inf")
+    return inter_mean / intra_mean
+
+
+def shared_cells(
+    positions: Mapping[str, tuple[int, int]],
+) -> dict[tuple[int, int], tuple[str, ...]]:
+    """SOM cells occupied by more than one workload ("darker cells")."""
+    cells: dict[tuple[int, int], list[str]] = {}
+    for label, cell in positions.items():
+        cells.setdefault(tuple(cell), []).append(label)
+    return {
+        cell: tuple(sorted(names))
+        for cell, names in cells.items()
+        if len(names) > 1
+    }
+
+
+def exclusive_cluster_counts(
+    dendrogram: Dendrogram, group: Iterable[str]
+) -> tuple[int, ...]:
+    """Cluster counts k at which ``group`` is exactly one block of the cut.
+
+    For the paper's Table IV chain this returns the k range where
+    SciMark2 stands alone; an empty result means the group never
+    appears as an exclusive cluster.
+    """
+    target = frozenset(group)
+    if not target:
+        raise ClusteringError("exclusive_cluster_counts: empty group")
+    unknown = target - set(dendrogram.labels)
+    if unknown:
+        raise ClusteringError(
+            f"exclusive_cluster_counts: labels not in dendrogram: {sorted(unknown)}"
+        )
+    matches = []
+    for clusters, partition in dendrogram.partitions():
+        blocks = {frozenset(block) for block in partition.blocks}
+        if target in blocks:
+            matches.append(clusters)
+    return tuple(sorted(matches))

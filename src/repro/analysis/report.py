@@ -1,0 +1,108 @@
+"""One-shot textual report over a full pipeline run.
+
+Bundles the paper's reading of its own figures into a single document:
+the SOM map, the dendrogram, the hierarchical-mean table, redundancy
+diagnostics (shared cells, coagulation of the suspected adoption set)
+and the cluster-count recommendation.  Used by the ``repro-hmeans
+report`` CLI command and handy for notebooks/CI logs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.pipeline import AnalysisResult
+from repro.analysis.redundancy import coagulation_index, exclusive_cluster_counts
+from repro.viz.ascii import render_dendrogram, render_som_map
+from repro.viz.tables import format_hgm_table
+
+__all__ = ["render_analysis_report"]
+
+
+def _section(title: str) -> list[str]:
+    return ["", title, "-" * len(title)]
+
+
+def render_analysis_report(
+    result: AnalysisResult,
+    *,
+    suspect_group: tuple[str, ...] = (),
+) -> str:
+    """Human-readable report of one :class:`AnalysisResult`.
+
+    ``suspect_group`` names workloads suspected of mutual redundancy
+    (e.g. an adopted sub-suite); when given, the report quantifies
+    their coagulation and where they form an exclusive cluster.
+    """
+    source = result.characterization
+    if result.machine_name:
+        source += f" (machine {result.machine_name})"
+    lines = [
+        f"Workload cluster analysis report — suite {result.suite_name!r}, "
+        f"characterization: {source}",
+    ]
+
+    lines += _section("Workload distribution (SOM)")
+    grid = result.som.grid
+    lines.append(
+        render_som_map(result.positions, grid.rows, grid.columns)
+    )
+
+    shared = result.shared_cells()
+    if shared:
+        lines += _section("Particularly similar workloads (shared cells)")
+        for cell, names in sorted(shared.items()):
+            lines.append(f"  {cell}: {', '.join(names)}")
+
+    lines += _section("Dendrogram over the map")
+    lines.append(render_dendrogram(result.dendrogram))
+
+    lines += _section("Hierarchical geometric means")
+    machine_names = sorted(result.cuts[0].scores)
+    if len(machine_names) == 2:
+        measured = {
+            cut.clusters: (
+                cut.scores[machine_names[0]],
+                cut.scores[machine_names[1]],
+            )
+            for cut in result.cuts
+        }
+        lines.append(
+            format_hgm_table(
+                measured, first=machine_names[0], second=machine_names[1]
+            )
+        )
+    else:
+        for cut in result.cuts:
+            rendered = ", ".join(
+                f"{name}={cut.scores[name]:.2f}" for name in machine_names
+            )
+            lines.append(f"  {cut.clusters} clusters: {rendered}")
+
+    if suspect_group:
+        lines += _section(f"Redundancy diagnostics for {set(suspect_group)}")
+        points = np.array(
+            [result.positions[label] for label in sorted(result.positions)],
+            dtype=float,
+        )
+        labels = sorted(result.positions)
+        index = coagulation_index(points, labels, suspect_group)
+        rendered = "inf" if index == float("inf") else f"{index:.2f}"
+        lines.append(f"  coagulation index on the map: {rendered}")
+        exclusive = exclusive_cluster_counts(result.dendrogram, suspect_group)
+        if exclusive:
+            lines.append(
+                "  exclusive cluster at k = "
+                + ", ".join(str(k) for k in exclusive)
+            )
+        else:
+            lines.append("  never appears as an exclusive cluster")
+
+    lines += _section("Recommendation")
+    lines.append(
+        f"  recommended cluster count: {result.recommended_clusters}"
+    )
+    recommended = result.cut(result.recommended_clusters)
+    for block in recommended.partition.blocks:
+        lines.append(f"    {{{', '.join(block)}}}")
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Stability of the clustering pipeline under measurement noise.
+
+Section V-B shows the clustering differs across *machines*; an equally
+practical question for a standards body is how much it differs across
+*reruns of the same machine* — the SAR counters are sampled, so two
+collection campaigns never see identical data.  This module reruns the
+pipeline with different characterization seeds and quantifies the
+agreement of the resulting partitions with the adjusted Rand index, and
+the stability of the suite score at a fixed cluster count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.cluster.metrics import adjusted_rand_index
+from repro.core.partition import Partition
+from repro.exceptions import MeasurementError
+from repro.som.som import SOMConfig
+from repro.workloads.suite import BenchmarkSuite
+
+__all__ = ["StabilityReport", "clustering_stability"]
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Agreement statistics across reruns of the pipeline."""
+
+    cluster_count: int
+    partitions: tuple[Partition, ...]
+    pairwise_ari: tuple[float, ...]
+    scores_a: tuple[float, ...]
+
+    @property
+    def mean_ari(self) -> float:
+        """Average pairwise adjusted Rand index (1.0 = fully stable)."""
+        return float(np.mean(self.pairwise_ari))
+
+    @property
+    def min_ari(self) -> float:
+        """Worst-case pairwise agreement."""
+        return float(min(self.pairwise_ari))
+
+    @property
+    def score_spread(self) -> float:
+        """Max minus min machine-A score across reruns."""
+        return float(max(self.scores_a) - min(self.scores_a))
+
+
+def clustering_stability(
+    suite: BenchmarkSuite,
+    *,
+    machine: str = "A",
+    cluster_count: int = 6,
+    seeds: Sequence[int] = (11, 23, 37, 51),
+    som_rows: int = 8,
+    som_columns: int = 8,
+) -> StabilityReport:
+    """Rerun the SAR pipeline once per seed and compare the cuts.
+
+    Each seed changes both the counter sampling noise and the SOM's
+    random draws; the report says how much the ``cluster_count``-way
+    partition (and its HGM score) moves.
+    """
+    if len(seeds) < 2:
+        raise MeasurementError("clustering_stability: need at least two seeds")
+    if cluster_count < 2:
+        raise MeasurementError("clustering_stability: cluster_count must be >= 2")
+
+    partitions: list[Partition] = []
+    scores_a: list[float] = []
+    for seed in seeds:
+        pipeline = WorkloadAnalysisPipeline(
+            characterization="sar",
+            machine=machine,
+            som_config=SOMConfig(rows=som_rows, columns=som_columns, seed=seed),
+            cluster_counts=(cluster_count,),
+            seed=seed,
+        )
+        result = pipeline.run(suite)
+        cut = result.cut(cluster_count)
+        partitions.append(cut.partition)
+        scores_a.append(cut.scores["A"])
+
+    agreements = tuple(
+        adjusted_rand_index(first, second)
+        for first, second in combinations(partitions, 2)
+    )
+    return StabilityReport(
+        cluster_count=cluster_count,
+        partitions=tuple(partitions),
+        pairwise_ari=agreements,
+        scores_a=tuple(scores_a),
+    )

@@ -1,0 +1,118 @@
+"""Benchmark subsetting from cluster information.
+
+The related work the paper builds on ([10], [11]) uses workload
+clusters for *subsetting*: run one representative per cluster instead
+of the whole suite.  Hierarchical means make the connection exact — a
+subset that keeps the workload closest to each cluster's inner mean
+scores approximately what the full suite's hierarchical mean scores,
+at a fraction of the measurement cost.
+
+:func:`representative_subset` picks the representatives,
+:func:`subset_score` evaluates the reduced suite, and
+:func:`subsetting_error` quantifies the approximation against the full
+hierarchical score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.hierarchical import cluster_representatives, hierarchical_mean
+from repro.core.means import MEAN_FUNCTIONS
+from repro.core.partition import Partition
+from repro.exceptions import MeasurementError
+
+__all__ = [
+    "SubsetReport",
+    "representative_subset",
+    "subset_score",
+    "subsetting_error",
+]
+
+
+@dataclass(frozen=True)
+class SubsetReport:
+    """Outcome of subsetting a suite down to one workload per cluster."""
+
+    representatives: tuple[str, ...]
+    subset_score: float
+    full_hierarchical_score: float
+    suite_size: int
+
+    @property
+    def relative_error(self) -> float:
+        """``|subset - full| / full`` — how faithful the subset is."""
+        return (
+            abs(self.subset_score - self.full_hierarchical_score)
+            / self.full_hierarchical_score
+        )
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of per-machine measurement work saved (0..1)."""
+        return 1.0 - len(self.representatives) / self.suite_size
+
+
+def representative_subset(
+    scores: Mapping[str, float],
+    partition: Partition,
+    *,
+    mean: str = "geometric",
+) -> tuple[str, ...]:
+    """One representative workload per cluster.
+
+    The representative is the member whose score is closest to the
+    cluster's inner mean, so the subset's plain mean tracks the full
+    suite's hierarchical mean.  Ties break toward the alphabetically
+    first name, keeping the selection deterministic.
+    """
+    if mean not in MEAN_FUNCTIONS:
+        known = ", ".join(sorted(MEAN_FUNCTIONS))
+        raise MeasurementError(
+            f"unknown mean family {mean!r}; known families: {known}"
+        )
+    representatives = []
+    inner_means = cluster_representatives(scores, partition, mean=mean)
+    for block, target in inner_means.items():
+        best = min(block, key=lambda name: (abs(scores[name] - target), name))
+        representatives.append(best)
+    return tuple(sorted(representatives))
+
+
+def subset_score(
+    scores: Mapping[str, float],
+    representatives: tuple[str, ...],
+    *,
+    mean: str = "geometric",
+) -> float:
+    """Plain mean over just the representative workloads."""
+    missing = [name for name in representatives if name not in scores]
+    if missing:
+        raise MeasurementError(f"subset_score: no scores for {missing}")
+    if not representatives:
+        raise MeasurementError("subset_score: empty representative set")
+    if mean not in MEAN_FUNCTIONS:
+        known = ", ".join(sorted(MEAN_FUNCTIONS))
+        raise MeasurementError(
+            f"unknown mean family {mean!r}; known families: {known}"
+        )
+    return MEAN_FUNCTIONS[mean]([scores[name] for name in representatives])
+
+
+def subsetting_error(
+    scores: Mapping[str, float],
+    partition: Partition,
+    *,
+    mean: str = "geometric",
+) -> SubsetReport:
+    """Pick representatives, score the subset, compare with the full HGM."""
+    representatives = representative_subset(scores, partition, mean=mean)
+    reduced = subset_score(scores, representatives, mean=mean)
+    full = hierarchical_mean(scores, partition, mean=mean)
+    return SubsetReport(
+        representatives=representatives,
+        subset_score=reduced,
+        full_hierarchical_score=full,
+        suite_size=len(scores),
+    )

@@ -1,0 +1,46 @@
+"""Workload characterization substrate (Sections III and IV-C).
+
+* :mod:`repro.characterization.base` — the labelled characteristic-
+  vector container.
+* :mod:`repro.characterization.sar` — synthetic Linux SAR counter
+  collection (machine-dependent characterization).
+* :mod:`repro.characterization.methods` — Java method-utilization bit
+  vectors (machine-independent characterization).
+* :mod:`repro.characterization.preprocess` — the paper's feature
+  filtering and standardization rules.
+"""
+
+from repro.characterization.base import CharacteristicVectors
+from repro.characterization.methods import FUNCTIONAL_LIBRARIES, JavaMethodProfiler
+from repro.characterization.micro import (
+    MICRO_FEATURES,
+    MicroarchIndependentProfiler,
+    micro_profile,
+)
+from repro.characterization.preprocess import (
+    drop_extreme_usage_features,
+    drop_unvarying_features,
+    prepare_counters,
+    prepare_method_bits,
+)
+from repro.characterization.sar import (
+    LATENT_FEATURES,
+    SARCounterCollector,
+    latent_profile,
+)
+
+__all__ = [
+    "CharacteristicVectors",
+    "SARCounterCollector",
+    "latent_profile",
+    "LATENT_FEATURES",
+    "JavaMethodProfiler",
+    "MicroarchIndependentProfiler",
+    "micro_profile",
+    "MICRO_FEATURES",
+    "FUNCTIONAL_LIBRARIES",
+    "drop_unvarying_features",
+    "drop_extreme_usage_features",
+    "prepare_counters",
+    "prepare_method_bits",
+]

@@ -1,0 +1,112 @@
+"""Shared types for workload characterization (Section III / IV-C).
+
+Workload characterization "maps a workload to a characteristic vector
+comprised of elements that best characterize the workload".
+:class:`CharacteristicVectors` is that product: a labelled matrix with
+one row per workload and one named feature per column, which the
+preprocessing, SOM and clustering stages all consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import CharacterizationError
+
+__all__ = ["CharacteristicVectors"]
+
+
+class CharacteristicVectors:
+    """A labelled (workloads x features) matrix of characterization data.
+
+    Example
+    -------
+    >>> vectors = CharacteristicVectors(
+    ...     labels=["a", "b"],
+    ...     feature_names=["cpu", "mem"],
+    ...     matrix=[[1.0, 2.0], [3.0, 4.0]],
+    ... )
+    >>> vectors.vector_for("b").tolist()
+    [3.0, 4.0]
+    """
+
+    def __init__(
+        self,
+        labels: Sequence[str],
+        feature_names: Sequence[str],
+        matrix: Sequence[Sequence[float]] | np.ndarray,
+    ) -> None:
+        array = np.asarray(matrix, dtype=float)
+        if array.ndim != 2:
+            raise CharacterizationError(
+                f"CharacteristicVectors: expected a 2-D matrix, got {array.shape}"
+            )
+        if array.shape != (len(labels), len(feature_names)):
+            raise CharacterizationError(
+                f"CharacteristicVectors: matrix {array.shape} does not match "
+                f"{len(labels)} labels x {len(feature_names)} features"
+            )
+        if len(set(labels)) != len(labels):
+            raise CharacterizationError("CharacteristicVectors: duplicate labels")
+        if len(set(feature_names)) != len(feature_names):
+            raise CharacterizationError(
+                "CharacteristicVectors: duplicate feature names"
+            )
+        if not np.all(np.isfinite(array)):
+            raise CharacterizationError(
+                "CharacteristicVectors: matrix contains NaN or inf"
+            )
+        self._labels = tuple(labels)
+        self._feature_names = tuple(feature_names)
+        self._matrix = array.copy()
+        self._row_of = {label: i for i, label in enumerate(self._labels)}
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """Workload labels, one per row."""
+        return self._labels
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """Feature names, one per column."""
+        return self._feature_names
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The data matrix (copy)."""
+        return self._matrix.copy()
+
+    @property
+    def num_workloads(self) -> int:
+        """Number of characterized workloads."""
+        return len(self._labels)
+
+    @property
+    def num_features(self) -> int:
+        """Dimensionality of the characteristic vectors."""
+        return len(self._feature_names)
+
+    def vector_for(self, label: str) -> np.ndarray:
+        """The characteristic vector of one workload (copy)."""
+        try:
+            return self._matrix[self._row_of[label]].copy()
+        except KeyError:
+            raise CharacterizationError(
+                f"no characteristic vector for workload {label!r}"
+            ) from None
+
+    def select_features(self, indices: Iterable[int]) -> "CharacteristicVectors":
+        """A new container keeping only the named feature columns."""
+        kept = list(indices)
+        if not kept:
+            raise CharacterizationError("select_features: empty feature selection")
+        names = [self._feature_names[i] for i in kept]
+        return CharacteristicVectors(self._labels, names, self._matrix[:, kept])
+
+    def __repr__(self) -> str:
+        return (
+            f"CharacteristicVectors(workloads={self.num_workloads}, "
+            f"features={self.num_features})"
+        )

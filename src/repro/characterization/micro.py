@@ -1,0 +1,166 @@
+"""Microarchitecture-independent workload characterization.
+
+Sections V-C and VII point past the paper's two characterizations:
+"By employing other microarchitecture independent workload features,
+e.g., instruction mix, memory stride, etc. [5], [6], we expect the
+workload clusters to appear similar over a variety of machines."
+
+:class:`MicroarchIndependentProfiler` implements that suggestion as a
+third characterizer.  Its features are properties of the *program*, not
+of any machine it runs on:
+
+* instruction mix — fractions of integer ALU, floating point, load,
+  store and branch operations;
+* memory access strides — fractions of accesses at stride 0 (register
+  reuse), unit stride (streaming), large constant stride and irregular
+  (pointer-chasing) strides;
+* working-set size (log scale), allocation behaviour, code footprint
+  and available instruction-level/thread-level parallelism.
+
+Like the SAR generator, the profiler synthesizes these from the latent
+demand profiles, expands each base feature into a handful of correlated
+concrete features through a fixed seeded mixing, and — crucially —
+takes **no machine argument**, so two collection campaigns on different
+hardware produce identical vectors and identical clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.characterization.base import CharacteristicVectors
+from repro.exceptions import CharacterizationError
+from repro.workloads.demands import PAPER_DEMANDS, WorkloadDemands
+from repro.workloads.suite import BenchmarkSuite
+
+__all__ = ["MICRO_FEATURES", "micro_profile", "MicroarchIndependentProfiler"]
+
+MICRO_FEATURES: tuple[str, ...] = (
+    "mix_integer",
+    "mix_floating_point",
+    "mix_loads",
+    "mix_stores",
+    "mix_branches",
+    "stride_zero",
+    "stride_unit",
+    "stride_large",
+    "stride_irregular",
+    "working_set_log_mb",
+    "allocation_behaviour",
+    "code_footprint",
+    "instruction_parallelism",
+    "thread_parallelism",
+)
+"""The machine-independent base features (refs [5], [6])."""
+
+#: Concrete features emitted per base feature.
+_FEATURES_PER_BASE = 4
+
+
+def micro_profile(demands: WorkloadDemands) -> np.ndarray:
+    """The 14-dim machine-independent vector of one workload."""
+    compute = demands.integer_intensity + demands.fp_intensity
+    # Instruction mix: compute ops split by intensity; memory ops grow
+    # with working set and allocation; branches with irregularity.
+    total = compute + 0.8 + 0.4 * demands.memory_irregularity
+    mix_integer = demands.integer_intensity / total
+    mix_fp = demands.fp_intensity / total
+    mix_loads = (0.45 + 0.2 * demands.memory_irregularity) / total
+    mix_stores = (0.2 + 0.3 * demands.allocation_rate) / total
+    mix_branches = (0.15 + 0.4 * demands.memory_irregularity) / total
+
+    # Stride profile: irregularity shifts weight from unit stride to
+    # irregular accesses; tiny working sets stay register/cache local.
+    locality = 1.0 / (1.0 + demands.working_set_mb)
+    stride_irregular = 0.6 * demands.memory_irregularity
+    stride_zero = 0.3 * locality
+    stride_large = 0.15 * (1.0 - locality) * (1.0 - demands.memory_irregularity)
+    stride_unit = max(0.0, 1.0 - stride_zero - stride_large - stride_irregular)
+
+    instruction_parallelism = (
+        0.7 * demands.fp_intensity
+        + 0.3 * (1.0 - demands.memory_irregularity)
+    )
+
+    return np.array(
+        [
+            mix_integer,
+            mix_fp,
+            mix_loads,
+            mix_stores,
+            mix_branches,
+            stride_zero,
+            stride_unit,
+            stride_large,
+            stride_irregular,
+            np.log10(1.0 + demands.working_set_mb),
+            demands.allocation_rate,
+            demands.code_footprint,
+            instruction_parallelism,
+            demands.thread_parallelism,
+        ]
+    )
+
+
+class MicroarchIndependentProfiler:
+    """Machine-independent characteristic vectors (instruction mix etc.).
+
+    Parameters
+    ----------
+    demands:
+        Workload behaviour profiles; defaults to the paper suite's.
+    seed:
+        Seeds the fixed base-to-concrete feature mixing.  There is *no*
+        sampling noise: these features are static program properties,
+        like the method bit vectors.
+
+    Example
+    -------
+    >>> profiler = MicroarchIndependentProfiler()
+    >>> vectors = profiler.profile(BenchmarkSuite.paper_suite())
+    >>> vectors.num_workloads
+    13
+    """
+
+    def __init__(
+        self,
+        demands: Mapping[str, WorkloadDemands] | None = None,
+        *,
+        seed: int = 29,
+    ) -> None:
+        self._demands = dict(demands or PAPER_DEMANDS)
+        rng = np.random.default_rng(seed)
+        n_base = len(MICRO_FEATURES)
+        n_out = n_base * _FEATURES_PER_BASE
+        mixing = 0.05 * rng.random((n_out, n_base))
+        names = []
+        for base_index, base in enumerate(MICRO_FEATURES):
+            for sub in range(_FEATURES_PER_BASE):
+                row = base_index * _FEATURES_PER_BASE + sub
+                mixing[row, base_index] = 0.8 + 0.4 * rng.random()
+                names.append(f"micro.{base}.{sub:02d}")
+        self._mixing = mixing
+        self._names = tuple(names)
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        """All concrete feature names."""
+        return self._names
+
+    def profile(self, suite: BenchmarkSuite) -> CharacteristicVectors:
+        """Machine-independent vectors for every suite workload."""
+        missing = [w.name for w in suite if w.name not in self._demands]
+        if missing:
+            raise CharacterizationError(
+                f"profile: no demand profiles for workloads {missing}"
+            )
+        rows = [
+            self._mixing @ micro_profile(self._demands[w.name]) for w in suite
+        ]
+        return CharacteristicVectors(
+            labels=[w.name for w in suite],
+            feature_names=self._names,
+            matrix=np.vstack(rows),
+        )

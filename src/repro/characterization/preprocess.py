@@ -1,0 +1,85 @@
+"""Preprocessing of characteristic vectors before cluster analysis.
+
+Section IV-C prescribes, for both characterizations:
+
+* discard counters that "did not vary over workloads" (no
+  discriminating information);
+* for method bit vectors, also discard methods used by exactly one
+  workload or by all workloads ("these two extremes tend to bias the
+  SOM learning process");
+* standardize every remaining column (subtract mean, divide by
+  standard deviation).
+
+:func:`prepare_counters` and :func:`prepare_method_bits` bundle those
+steps for the two characterization flavours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.characterization.base import CharacteristicVectors
+from repro.exceptions import CharacterizationError
+from repro.stats.standardize import standardize_columns
+
+__all__ = [
+    "drop_unvarying_features",
+    "drop_extreme_usage_features",
+    "prepare_counters",
+    "prepare_method_bits",
+]
+
+
+def drop_unvarying_features(
+    vectors: CharacteristicVectors, *, tolerance: float = 1e-12
+) -> CharacteristicVectors:
+    """Remove features whose values are (numerically) constant."""
+    matrix = vectors.matrix
+    spread = matrix.max(axis=0) - matrix.min(axis=0)
+    kept = np.flatnonzero(spread > tolerance)
+    if kept.size == 0:
+        raise CharacterizationError(
+            "drop_unvarying_features: every feature is constant"
+        )
+    return vectors.select_features(kept.tolist())
+
+
+def drop_extreme_usage_features(vectors: CharacteristicVectors) -> CharacteristicVectors:
+    """Remove bit features used by exactly one workload or by all of them.
+
+    Only meaningful for 0/1 matrices; raises if the data is not binary.
+    """
+    matrix = vectors.matrix
+    if not np.all(np.isin(matrix, (0.0, 1.0))):
+        raise CharacterizationError(
+            "drop_extreme_usage_features: expected a 0/1 bit matrix"
+        )
+    usage = matrix.sum(axis=0)
+    workloads = vectors.num_workloads
+    kept = np.flatnonzero((usage > 1.0) & (usage < workloads))
+    if kept.size == 0:
+        raise CharacterizationError(
+            "drop_extreme_usage_features: no feature is shared by some-but-not-all "
+            "workloads; nothing to cluster on"
+        )
+    return vectors.select_features(kept.tolist())
+
+
+def prepare_counters(vectors: CharacteristicVectors) -> CharacteristicVectors:
+    """SAR-counter preprocessing: drop constants, then standardize."""
+    reduced = drop_unvarying_features(vectors)
+    return CharacteristicVectors(
+        reduced.labels,
+        reduced.feature_names,
+        standardize_columns(reduced.matrix),
+    )
+
+
+def prepare_method_bits(vectors: CharacteristicVectors) -> CharacteristicVectors:
+    """Method-bit preprocessing: drop one-user/all-user methods, standardize."""
+    reduced = drop_extreme_usage_features(vectors)
+    return CharacteristicVectors(
+        reduced.labels,
+        reduced.feature_names,
+        standardize_columns(reduced.matrix),
+    )

@@ -1,0 +1,359 @@
+"""Synthetic SAR (system activity reporter) counter collection.
+
+Section IV-C's first characterization samples "a couple hundred"
+Linux SAR counters — CPU utilization, context switches, interrupts,
+page misses, and friends — 15 times per run over 10 runs, keeping the
+per-counter average.
+
+We cannot run the real programs, so :class:`SARCounterCollector`
+generates the counters from the latent demand profiles
+(:mod:`repro.workloads.demands`) *as seen through a machine*:
+
+1. A 12-dimensional latent OS-visibility vector is computed per
+   (workload, machine): user/system CPU, iowait, context switches,
+   page faults, swap traffic, memory-bus traffic, GC and JIT activity,
+   interrupts and run-queue depth.  Crucially, operating-system
+   counters cannot see the *kind* of computation — integer versus
+   floating point both read as "100% user CPU" — which is exactly why
+   compress and mpegaudio, or the five SciMark2 kernels, look alike to
+   SAR even though their code differs (Figures 3 and 5).
+2. Each latent feature is expanded into ~18 concrete counters with a
+   fixed random mixing per counter (deterministic in the seed), plus a
+   handful of genuinely constant counters that preprocessing must
+   discard, as the paper describes.
+3. Every counter is sampled ``runs x samples_per_run`` times with
+   multiplicative noise and averaged.
+
+Machine dependence enters through cache spill (L2 capacity), memory
+pressure and swapping (physical memory), and core count (run queue,
+context switches) — so machine A and machine B produce *different*
+cluster geometries from the same workloads, reproducing the paper's
+Section V-B finding.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Mapping
+
+import numpy as np
+
+from repro.characterization.base import CharacteristicVectors
+from repro.exceptions import CharacterizationError
+from repro.workloads.demands import PAPER_DEMANDS, WorkloadDemands
+from repro.workloads.machines import MachineSpec
+from repro.workloads.suite import BenchmarkSuite
+
+__all__ = ["LATENT_FEATURES", "latent_profile", "SARCounterCollector"]
+
+LATENT_FEATURES: tuple[str, ...] = (
+    "cpu_user",
+    "cpu_system",
+    "cpu_iowait",
+    "context_switches",
+    "page_faults",
+    "major_faults",
+    "swap_activity",
+    "memory_traffic",
+    "gc_activity",
+    "jit_activity",
+    "interrupts",
+    "run_queue",
+)
+"""The OS-visible latent dimensions counters are synthesized from."""
+
+#: How many concrete SAR counters each latent feature expands into.
+_COUNTERS_PER_FEATURE = 18
+
+#: Counters that never vary across workloads (e.g. kernel build info);
+#: included so that preprocessing has something real to discard.
+_CONSTANT_COUNTERS = 12
+
+
+#: Working sets below this size (MB) are invisible to OS-level
+#: counters: they live in cache and generate no paging or bus traffic a
+#: SAR counter would register.  This is why all five SciMark2 kernels —
+#: and any other cache-resident workload — read identically to SAR.
+_OS_VISIBILITY_FLOOR_MB = 2.0
+
+
+def latent_profile(demands: WorkloadDemands, machine: MachineSpec) -> np.ndarray:
+    """The 12-dim OS-visibility vector of one workload on one machine."""
+    compute_share = demands.integer_intensity + demands.fp_intensity
+    visible_ws = max(0.0, demands.working_set_mb - _OS_VISIBILITY_FLOOR_MB)
+    spill = visible_ws / (visible_ws + machine.l2_cache_mb)
+    memory_mb = machine.memory_gb * 1024.0
+    heap_pressure = demands.working_set_mb / memory_mb
+    # Swapping kicks in when the working set (plus JVM overhead) nears
+    # physical memory; hsqldb on 512 MB machine B is the archetype.
+    swap = max(0.0, 1.6 * demands.working_set_mb - 0.7 * memory_mb) / memory_mb
+
+    busy = compute_share + 0.6 * demands.allocation_rate + demands.io_intensity + 0.1
+    cpu_user = (compute_share + 0.3 * demands.allocation_rate) / busy
+    cpu_system = (
+        0.25 * demands.io_intensity
+        + 0.10 * demands.allocation_rate
+        + 0.5 * swap
+    )
+    cpu_iowait = 0.6 * demands.io_intensity + 1.5 * swap
+    # Threads beyond the core count are the ones the OS sees waiting.
+    waiting_threads = max(0.0, demands.thread_parallelism - machine.cores)
+    context_switches = (
+        0.4 * demands.io_intensity
+        + 0.3 * waiting_threads
+        + 0.2 * demands.allocation_rate
+    )
+    page_faults = 2.0 * heap_pressure + 0.3 * demands.allocation_rate
+    major_faults = 3.0 * swap + 0.2 * heap_pressure
+    memory_traffic = spill * (1.0 + demands.memory_irregularity)
+    gc_activity = demands.allocation_rate * (1.0 + 2.0 * heap_pressure)
+    jit_activity = demands.code_footprint
+    interrupts = 0.5 * demands.io_intensity + 0.1 * waiting_threads
+    run_queue = waiting_threads / machine.cores
+
+    return np.array(
+        [
+            cpu_user,
+            cpu_system,
+            cpu_iowait,
+            context_switches,
+            page_faults,
+            major_faults,
+            swap,
+            memory_traffic,
+            gc_activity,
+            jit_activity,
+            interrupts,
+            run_queue,
+        ]
+    )
+
+
+class SARCounterCollector:
+    """Collects synthetic SAR counters for a suite on one machine.
+
+    Parameters
+    ----------
+    demands:
+        Workload behaviour profiles; defaults to the paper suite's.
+    seed:
+        Drives both the fixed counter-mixing matrix (shared across
+        machines, as the counter *definitions* are machine-independent)
+        and the per-sample measurement noise.
+    sample_noise:
+        Coefficient of variation of a single counter sample.
+    phase_model:
+        When true, samples follow a within-run *phase structure*
+        instead of being i.i.d.: JIT activity spikes during warmup and
+        decays; GC activity arrives in periodic bursts scaled by the
+        allocation rate; user CPU dips complementarily.  The paper's
+        protocol (15 evenly spaced samples per run, averaged) then
+        integrates over the phases.  :meth:`collect_series` exposes
+        the raw series for inspection.
+
+    Example
+    -------
+    >>> from repro.workloads import BenchmarkSuite, MACHINE_A
+    >>> collector = SARCounterCollector(seed=3)
+    >>> vectors = collector.collect(BenchmarkSuite.paper_suite(), MACHINE_A)
+    >>> vectors.num_workloads
+    13
+    """
+
+    def __init__(
+        self,
+        demands: Mapping[str, WorkloadDemands] | None = None,
+        *,
+        seed: int = 11,
+        sample_noise: float = 0.05,
+        phase_model: bool = False,
+    ) -> None:
+        if sample_noise < 0.0:
+            raise CharacterizationError(
+                f"SARCounterCollector: sample_noise must be >= 0, got {sample_noise}"
+            )
+        self._demands = dict(demands or PAPER_DEMANDS)
+        self._seed = seed
+        self._sample_noise = float(sample_noise)
+        self._phase_model = bool(phase_model)
+        self._mixing, self._baselines, self._names = self._build_counter_bank(seed)
+
+    @staticmethod
+    def _build_counter_bank(
+        seed: int,
+    ) -> tuple[np.ndarray, np.ndarray, tuple[str, ...]]:
+        """Fixed latent-to-counter expansion, deterministic in the seed."""
+        rng = np.random.default_rng(seed)
+        n_latent = len(LATENT_FEATURES)
+        n_varying = n_latent * _COUNTERS_PER_FEATURE
+        # Each counter mostly reflects one latent feature with a little
+        # cross-talk from the others, like real correlated OS counters.
+        mixing = 0.08 * rng.random((n_varying, n_latent))
+        names = []
+        for f_index, feature in enumerate(LATENT_FEATURES):
+            for c_index in range(_COUNTERS_PER_FEATURE):
+                row = f_index * _COUNTERS_PER_FEATURE + c_index
+                mixing[row, f_index] = 0.7 + 0.6 * rng.random()
+                names.append(f"sar.{feature}.{c_index:02d}")
+        baselines = 0.05 + 0.2 * rng.random(n_varying)
+        for i in range(_CONSTANT_COUNTERS):
+            names.append(f"sar.constant.{i:02d}")
+        return mixing, baselines, tuple(names)
+
+    @property
+    def counter_names(self) -> tuple[str, ...]:
+        """All counter names, varying counters first."""
+        return self._names
+
+    def _check_collect_args(
+        self, suite: BenchmarkSuite, runs: int, samples_per_run: int
+    ) -> None:
+        if runs < 1 or samples_per_run < 1:
+            raise CharacterizationError(
+                "collect: runs and samples_per_run must be >= 1"
+            )
+        missing = [w.name for w in suite if w.name not in self._demands]
+        if missing:
+            raise CharacterizationError(
+                f"collect: no demand profiles for workloads {missing}"
+            )
+
+    @staticmethod
+    def _phase_factors(
+        demands: WorkloadDemands, progress: float
+    ) -> dict[str, float]:
+        """Within-run modulation factors at run progress ``t`` in [0, 1].
+
+        Each factor has (approximately) unit mean over the run, so the
+        paper's sample averaging recovers the steady profile:
+
+        * JIT activity spikes early and decays (warmup);
+        * GC activity arrives in bursts, amplitude following the
+          allocation rate;
+        * user CPU dips complementarily during GC bursts.
+        """
+        warmup = 4.5 * np.exp(-5.0 * progress) + 0.1
+        gc_wave = np.cos(2.0 * np.pi * 3.0 * progress)
+        gc_burst = 1.0 + 0.8 * min(1.0, demands.allocation_rate) * gc_wave
+        cpu_dip = 1.0 - 0.15 * min(1.0, demands.allocation_rate) * gc_wave
+        return {
+            "jit_activity": float(warmup),
+            "gc_activity": float(gc_burst),
+            "cpu_user": float(cpu_dip),
+        }
+
+    def _latent_at(
+        self,
+        latent: np.ndarray,
+        demands: WorkloadDemands,
+        progress: float,
+    ) -> np.ndarray:
+        if not self._phase_model:
+            return latent
+        adjusted = latent.copy()
+        for feature, factor in self._phase_factors(demands, progress).items():
+            adjusted[LATENT_FEATURES.index(feature)] *= factor
+        return adjusted
+
+    def collect_series(
+        self,
+        suite: BenchmarkSuite,
+        machine: MachineSpec,
+        *,
+        runs: int = 10,
+        samples_per_run: int = 15,
+    ) -> np.ndarray:
+        """Raw counter samples, shape ``(workloads, counters, samples)``.
+
+        Samples are ordered run-major; within a run the 15 samples are
+        evenly spaced over execution progress (Section IV-C).  Counter
+        order matches :attr:`counter_names` (constants last).
+        """
+        self._check_collect_args(suite, runs, samples_per_run)
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self._seed, _machine_discriminator(machine)])
+        )
+        total = runs * samples_per_run
+        progress_grid = [
+            (sample + 0.5) / samples_per_run
+            for __ in range(runs)
+            for sample in range(samples_per_run)
+        ]
+        cube = np.empty((len(suite), len(self._names), total))
+        for w_index, workload in enumerate(suite):
+            demands = self._demands[workload.name]
+            latent = latent_profile(demands, machine)
+            for s_index, progress in enumerate(progress_grid):
+                expected = (
+                    self._mixing @ self._latent_at(latent, demands, progress)
+                    + self._baselines
+                )
+                if self._sample_noise > 0.0:
+                    expected = expected * np.exp(
+                        rng.normal(0.0, self._sample_noise, expected.size)
+                    )
+                cube[w_index, : expected.size, s_index] = expected
+                cube[w_index, expected.size:, s_index] = 1.0
+        return cube
+
+    def collect(
+        self,
+        suite: BenchmarkSuite,
+        machine: MachineSpec,
+        *,
+        runs: int = 10,
+        samples_per_run: int = 15,
+    ) -> CharacteristicVectors:
+        """Sample every counter for every workload; average per counter.
+
+        The representative counter value is the mean over all
+        ``runs * samples_per_run`` samples, exactly the paper's
+        protocol.
+        """
+        self._check_collect_args(suite, runs, samples_per_run)
+        if self._phase_model:
+            cube = self.collect_series(
+                suite, machine, runs=runs, samples_per_run=samples_per_run
+            )
+            matrix = cube.mean(axis=2)
+        else:
+            # Fast path: i.i.d. noise needs no per-sample expectations.
+            rng = np.random.default_rng(
+                np.random.SeedSequence(
+                    [self._seed, _machine_discriminator(machine)]
+                )
+            )
+            total_samples = runs * samples_per_run
+            rows = []
+            for workload in suite:
+                latent = latent_profile(self._demands[workload.name], machine)
+                expected = self._mixing @ latent + self._baselines
+                if self._sample_noise > 0.0:
+                    samples = expected[None, :] * np.exp(
+                        rng.normal(
+                            0.0,
+                            self._sample_noise,
+                            (total_samples, expected.size),
+                        )
+                    )
+                    averaged = samples.mean(axis=0)
+                else:
+                    averaged = expected
+                constants = np.full(_CONSTANT_COUNTERS, 1.0)
+                rows.append(np.concatenate([averaged, constants]))
+            matrix = np.vstack(rows)
+
+        return CharacteristicVectors(
+            labels=[w.name for w in suite],
+            feature_names=self._names,
+            matrix=matrix,
+        )
+
+
+def _machine_discriminator(machine: MachineSpec) -> int:
+    """Stable non-negative integer distinguishing machines for seeding.
+
+    Uses CRC32 rather than :func:`hash` because Python string hashing
+    is randomized per process and would break run-to-run determinism.
+    """
+    return zlib.crc32(machine.name.encode("utf-8"))

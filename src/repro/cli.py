@@ -1,0 +1,364 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Installed as ``repro-hmeans``.  Subcommands:
+
+* ``table3`` — the speedup table, measured through the simulator.
+* ``table4`` / ``table5`` / ``table6`` — the hierarchical-geometric-
+  mean tables from the recovered partitions, side by side with the
+  published values.
+* ``som`` — the workload-distribution SOM map (Figures 3/5/7).
+* ``dendrogram`` — the clustering tree (Figures 4/6/8).
+* ``pipeline`` — the full end-to-end analysis with recommendation.
+* ``gaming`` — the redundancy-gaming demonstration.
+* ``subset`` — cluster-driven benchmark subsetting (one representative
+  per cluster).
+* ``confidence`` — bootstrap confidence intervals for the suite scores.
+* ``solve`` — rerun the partition-inference solver against a published
+  table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.core.means import geometric_mean
+from repro.core.robustness import gaming_report
+from repro.data.partitions import partition_chain
+from repro.data.table3 import SPEEDUP_TABLE, speedups_for_machine
+from repro.data.tables456 import hgm_table
+from repro.exceptions import ReproError
+from repro.viz.ascii import render_dendrogram, render_som_map
+from repro.viz.tables import format_hgm_table, format_speedup_table
+from repro.workloads.execution import ExecutionSimulator
+from repro.workloads.machines import MACHINE_A, MACHINE_B
+from repro.workloads.speedup import speedup_table
+from repro.workloads.suite import BenchmarkSuite
+
+__all__ = ["main"]
+
+
+def _cmd_table3(args: argparse.Namespace) -> str:
+    simulator = ExecutionSimulator(seed=args.seed)
+    measured = speedup_table(
+        simulator, BenchmarkSuite.paper_suite(), [MACHINE_A, MACHINE_B], runs=10
+    )
+    return format_speedup_table(measured)
+
+
+def _cmd_hgm_table(args: argparse.Namespace) -> str:
+    name = f"table{args.table_number}"
+    chain = partition_chain(name)
+    measured = {}
+    for clusters, partition in chain.items():
+        measured[clusters] = (
+            hierarchical_geometric_mean(speedups_for_machine("A"), partition),
+            hierarchical_geometric_mean(speedups_for_machine("B"), partition),
+        )
+    plain = (
+        geometric_mean(list(SPEEDUP_TABLE["A"].values())),
+        geometric_mean(list(SPEEDUP_TABLE["B"].values())),
+    )
+    return format_hgm_table(measured, plain=plain, published=hgm_table(name))
+
+
+def _build_pipeline(args: argparse.Namespace) -> WorkloadAnalysisPipeline:
+    if args.characterization in ("methods", "micro"):
+        return WorkloadAnalysisPipeline(
+            characterization=args.characterization, machine=None, seed=args.seed
+        )
+    return WorkloadAnalysisPipeline(
+        characterization="sar", machine=args.machine, seed=args.seed
+    )
+
+
+def _cmd_som(args: argparse.Namespace) -> str:
+    result = _build_pipeline(args).run(BenchmarkSuite.paper_suite())
+    sources = {
+        "methods": "Java method utilization",
+        "micro": "microarchitecture-independent features",
+    }
+    source = sources.get(
+        args.characterization, f"SAR counters, machine {args.machine}"
+    )
+    grid = result.som.grid
+    return render_som_map(
+        result.positions,
+        grid.rows,
+        grid.columns,
+        title=f"Workload distribution ({source})",
+    )
+
+
+def _cmd_dendrogram(args: argparse.Namespace) -> str:
+    result = _build_pipeline(args).run(BenchmarkSuite.paper_suite())
+    return render_dendrogram(result.dendrogram)
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> str:
+    result = _build_pipeline(args).run(BenchmarkSuite.paper_suite())
+    measured = {
+        cut.clusters: (cut.scores["A"], cut.scores["B"]) for cut in result.cuts
+    }
+    plain = (
+        geometric_mean(list(SPEEDUP_TABLE["A"].values())),
+        geometric_mean(list(SPEEDUP_TABLE["B"].values())),
+    )
+    lines = [
+        format_hgm_table(measured, plain=plain),
+        "",
+        f"recommended cluster count: {result.recommended_clusters}",
+    ]
+    shared = result.shared_cells()
+    if shared:
+        lines.append("shared SOM cells (particularly similar workloads):")
+        for cell, names in sorted(shared.items()):
+            lines.append(f"  {cell}: {', '.join(names)}")
+    return "\n".join(lines)
+
+
+def _cmd_gaming(args: argparse.Namespace) -> str:
+    scores = speedups_for_machine("A")
+    partition = partition_chain("table4")[6]
+    scimark = tuple(
+        sorted(name for name in scores if name.startswith("SciMark2."))
+    )
+    report = gaming_report(scores, partition, scimark, args.factor)
+    return "\n".join(
+        [
+            f"tuning the SciMark2 cluster by {args.factor:.2f}x:",
+            f"  plain GM        : {report.plain_before:.3f} -> "
+            f"{report.plain_after:.3f}  (gain {report.plain_gain:.3f}x)",
+            f"  hierarchical GM : {report.hierarchical_before:.3f} -> "
+            f"{report.hierarchical_after:.3f}  (gain {report.hierarchical_gain:.3f}x)",
+            f"  gaming resistance: {report.gaming_resistance:.3f}x",
+        ]
+    )
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.analysis.report import render_analysis_report
+
+    suite = BenchmarkSuite.paper_suite()
+    result = _build_pipeline(args).run(suite)
+    scimark = tuple(
+        w.name for w in suite if w.source_suite == "SciMark2"
+    )
+    return render_analysis_report(result, suspect_group=scimark)
+
+
+def _cmd_export(args: argparse.Namespace) -> str:
+    from repro.serialization import analysis_result_to_dict, save_json
+
+    result = _build_pipeline(args).run(BenchmarkSuite.paper_suite())
+    data = analysis_result_to_dict(result)
+    save_json(data, args.output)
+    return (
+        f"wrote analysis ({result.characterization}, "
+        f"{len(result.cuts)} cuts) to {args.output}"
+    )
+
+
+def _cmd_subset(args: argparse.Namespace) -> str:
+    from repro.analysis.subsetting import subsetting_error
+    from repro.data.partitions import partition_chain as chains
+
+    scores = speedups_for_machine("A")
+    partition = chains("table4")[args.clusters]
+    report = subsetting_error(scores, partition)
+    lines = [
+        f"subsetting the 13-workload suite with the {args.clusters}-cluster "
+        "machine-A partition:",
+        f"  representatives ({len(report.representatives)}): "
+        + ", ".join(report.representatives),
+        f"  subset plain GM      : {report.subset_score:.3f}",
+        f"  full hierarchical GM : {report.full_hierarchical_score:.3f}",
+        f"  relative error       : {report.relative_error:.1%}",
+        f"  measurement saved    : {report.reduction:.1%}",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_confidence(args: argparse.Namespace) -> str:
+    from repro.core.confidence import bootstrap_ratio, bootstrap_suite_score
+    from repro.core.partition import Partition
+    from repro.data.partitions import partition_chain as chains
+    from repro.workloads.machines import REFERENCE_MACHINE
+
+    suite = BenchmarkSuite.paper_suite()
+    simulator = ExecutionSimulator(seed=args.seed)
+    reference = simulator.measure_suite(suite, REFERENCE_MACHINE)
+    on_a = simulator.measure_suite(suite, MACHINE_A)
+    on_b = simulator.measure_suite(suite, MACHINE_B)
+    singletons = Partition.singletons(suite.workload_names)
+    clustered = chains("table4")[6]
+
+    plain = bootstrap_suite_score(
+        reference, on_a, singletons, resamples=args.resamples, seed=args.seed
+    )
+    hgm_ci = bootstrap_suite_score(
+        reference, on_a, clustered, resamples=args.resamples, seed=args.seed
+    )
+    ratio = bootstrap_ratio(
+        reference, on_a, on_b, clustered, resamples=args.resamples,
+        seed=args.seed,
+    )
+    fmt = "{label:<28}: {ci.estimate:.3f}  [{ci.lower:.3f}, {ci.upper:.3f}]"
+    return "\n".join(
+        [
+            "95% bootstrap intervals over the simulated protocol:",
+            fmt.format(label="plain GM, machine A", ci=plain),
+            fmt.format(label="6-cluster HGM, machine A", ci=hgm_ci),
+            fmt.format(label="6-cluster HGM ratio A/B", ci=ratio),
+        ]
+    )
+
+
+def _cmd_solve(args: argparse.Namespace) -> str:
+    from repro.inference.partition_solver import (
+        PartitionChainSolver,
+        TableTarget,
+    )
+
+    table = hgm_table(f"table{args.table}")
+    targets = [
+        TableTarget(k, {"A": row.score_a, "B": row.score_b})
+        for k, row in table.items()
+    ]
+    report = PartitionChainSolver(
+        SPEEDUP_TABLE, targets, tolerance=args.tolerance
+    ).solve()
+    lines = [
+        f"table{args.table}: {report.num_chains} dendrogram-consistent "
+        f"chain(s) at tolerance {args.tolerance}",
+        f"candidates per level: {dict(report.candidates_per_level)}",
+    ]
+    if report.num_chains:
+        lines.append("canonical chain:")
+        for k, partition in sorted(report.canonical_chain.items()):
+            lines.append(f"  k={k}: {partition}")
+    return "\n".join(lines)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hmeans",
+        description="Regenerate the tables and figures of the hierarchical-means paper.",
+    )
+    parser.add_argument("--seed", type=int, default=11, help="simulation seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table3", help="speedup table (Table III)")
+
+    for number in (4, 5, 6):
+        sub = subparsers.add_parser(
+            f"table{number}", help=f"hierarchical geometric means (Table {'IV V VI'.split()[number - 4]})"
+        )
+        sub.set_defaults(table_number=number)
+
+    for name, help_text in (
+        ("som", "workload-distribution SOM map (Figures 3/5/7)"),
+        ("dendrogram", "clustering dendrogram (Figures 4/6/8)"),
+        ("pipeline", "full end-to-end analysis"),
+        ("report", "complete analysis report with redundancy diagnostics"),
+        ("export", "run the pipeline and write the result as JSON"),
+    ):
+        sub = subparsers.add_parser(name, help=help_text)
+        sub.add_argument(
+            "--characterization",
+            choices=("sar", "methods", "micro"),
+            default="sar",
+            help="characteristic-vector source",
+        )
+        sub.add_argument(
+            "--machine",
+            choices=("A", "B"),
+            default="A",
+            help="machine for SAR collection",
+        )
+        if name == "export":
+            sub.add_argument(
+                "--output",
+                default="analysis.json",
+                help="path of the JSON file to write",
+            )
+
+    gaming = subparsers.add_parser(
+        "gaming", help="score-gaming resistance demonstration"
+    )
+    gaming.add_argument(
+        "--factor",
+        type=float,
+        default=1.5,
+        help="improvement factor applied to the SciMark2 cluster",
+    )
+
+    subset = subparsers.add_parser(
+        "subset", help="cluster-driven benchmark subsetting"
+    )
+    subset.add_argument(
+        "--clusters",
+        type=int,
+        choices=range(2, 9),
+        default=6,
+        help="which machine-A partition to subset with",
+    )
+
+    confidence = subparsers.add_parser(
+        "confidence", help="bootstrap confidence intervals for suite scores"
+    )
+    confidence.add_argument(
+        "--resamples", type=int, default=400, help="bootstrap replicates"
+    )
+
+    solve = subparsers.add_parser(
+        "solve", help="recover a table's cluster partitions from its scores"
+    )
+    solve.add_argument(
+        "--table", type=int, choices=(4, 5, 6), default=4,
+        help="which published table to solve",
+    )
+    solve.add_argument(
+        "--tolerance", type=float, default=0.008,
+        help="score-match tolerance",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "table3": _cmd_table3,
+        "table4": _cmd_hgm_table,
+        "table5": _cmd_hgm_table,
+        "table6": _cmd_hgm_table,
+        "som": _cmd_som,
+        "dendrogram": _cmd_dendrogram,
+        "pipeline": _cmd_pipeline,
+        "report": _cmd_report,
+        "export": _cmd_export,
+        "gaming": _cmd_gaming,
+        "subset": _cmd_subset,
+        "confidence": _cmd_confidence,
+        "solve": _cmd_solve,
+    }
+    try:
+        output = handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        print(output)
+    except BrokenPipeError:
+        # Downstream pager/`head` closed the pipe; not an error.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Hierarchical agglomerative clustering substrate (Section III-B).
+
+* :mod:`repro.cluster.linkage` — cluster-to-cluster distance rules
+  (complete linkage is the paper's choice).
+* :mod:`repro.cluster.agglomerative` — the bottom-up merge algorithm.
+* :mod:`repro.cluster.dendrogram` — merge trees, distance/k cuts, leaf
+  order and cophenetic distances.
+* :mod:`repro.cluster.metrics` — cophenetic correlation and silhouette
+  score.
+"""
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.dendrogram import Dendrogram, Merge, to_linkage_matrix
+from repro.cluster.linkage import (
+    LINKAGES,
+    AverageLinkage,
+    CentroidLinkage,
+    CompleteLinkage,
+    Linkage,
+    SingleLinkage,
+    WardLinkage,
+    resolve_linkage,
+)
+from repro.cluster.metrics import (
+    adjusted_rand_index,
+    cophenetic_correlation,
+    rand_index,
+    silhouette_score,
+)
+
+__all__ = [
+    "AgglomerativeClustering",
+    "Dendrogram",
+    "Merge",
+    "to_linkage_matrix",
+    "Linkage",
+    "SingleLinkage",
+    "CompleteLinkage",
+    "AverageLinkage",
+    "WardLinkage",
+    "CentroidLinkage",
+    "LINKAGES",
+    "resolve_linkage",
+    "cophenetic_correlation",
+    "silhouette_score",
+    "rand_index",
+    "adjusted_rand_index",
+]

@@ -1,0 +1,175 @@
+"""Agglomerative hierarchical clustering (Section III-B).
+
+Implements the paper's pseudo-code directly:
+
+    Initialize: assign each training point to a single cluster
+    Repeat:
+        compute cluster-to-cluster distance for all pairs
+        find the two clusters with minimum distance
+        create a new cluster by merging those two
+    Continue until all the points result in a single cluster
+
+with the cluster-to-cluster distance delegated to a pluggable
+:class:`~repro.cluster.linkage.Linkage` (complete linkage with
+Euclidean point distance is the paper's configuration and the
+default).  Distance updates use the Lance-Williams recurrences, so a
+full fit is O(n^2 log n) rather than recomputing all pair distances
+each round.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.dendrogram import Dendrogram, Merge
+from repro.cluster.linkage import Linkage, resolve_linkage
+from repro.exceptions import ClusteringError
+from repro.stats.distance import DistanceMetric, pairwise_distances
+
+__all__ = ["AgglomerativeClustering"]
+
+
+class AgglomerativeClustering:
+    """Bottom-up hierarchical clustering over labelled points.
+
+    Parameters
+    ----------
+    linkage:
+        Cluster-to-cluster distance rule; the paper uses
+        ``"complete"``.
+    metric:
+        Point-to-point distance; the paper uses ``"euclidean"``.
+
+    Example
+    -------
+    >>> algo = AgglomerativeClustering()
+    >>> dendro = algo.fit([[0.0], [0.1], [5.0]], labels=["a", "b", "c"])
+    >>> dendro.cut_to_k(2).blocks
+    (('a', 'b'), ('c',))
+    """
+
+    def __init__(
+        self,
+        *,
+        linkage: str | Linkage = "complete",
+        metric: str | DistanceMetric = "euclidean",
+    ) -> None:
+        self._linkage = resolve_linkage(linkage)
+        self._metric = metric
+
+    @property
+    def linkage(self) -> Linkage:
+        """The configured linkage rule."""
+        return self._linkage
+
+    def fit(
+        self,
+        points: Sequence[Sequence[float]] | np.ndarray,
+        *,
+        labels: Sequence[str] | None = None,
+    ) -> Dendrogram:
+        """Cluster row-vector points and return the full merge tree."""
+        matrix = np.asarray(points, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise ClusteringError(
+                f"fit: expected a non-empty 2-D point matrix, got {matrix.shape}"
+            )
+        resolved_labels = self._resolve_labels(matrix.shape[0], labels)
+        distances = pairwise_distances(matrix, metric=self._metric)
+        return self.fit_distance_matrix(distances, labels=resolved_labels)
+
+    def fit_distance_matrix(
+        self,
+        distances: Sequence[Sequence[float]] | np.ndarray,
+        *,
+        labels: Sequence[str] | None = None,
+    ) -> Dendrogram:
+        """Cluster from a precomputed symmetric distance matrix.
+
+        Useful when distances come from somewhere other than row
+        vectors — e.g. map-space distances between SOM cells, which is
+        exactly how the paper chains SOM and clustering.
+        """
+        matrix = np.asarray(distances, dtype=float)
+        count = matrix.shape[0]
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1] or count == 0:
+            raise ClusteringError(
+                f"fit_distance_matrix: expected a square matrix, got {matrix.shape}"
+            )
+        if not np.all(np.isfinite(matrix)):
+            raise ClusteringError("fit_distance_matrix: distances contain NaN/inf")
+        if not np.allclose(matrix, matrix.T, atol=1e-9):
+            raise ClusteringError("fit_distance_matrix: matrix is not symmetric")
+        if np.any(np.diag(matrix) != 0.0):
+            raise ClusteringError("fit_distance_matrix: diagonal must be zero")
+        if np.any(matrix < 0.0):
+            raise ClusteringError("fit_distance_matrix: distances must be >= 0")
+        resolved_labels = self._resolve_labels(count, labels)
+
+        if count == 1:
+            return Dendrogram(resolved_labels, [])
+
+        # Working state: `working[i, j]` is the current linkage distance
+        # between active clusters; `cluster_ids[i]` maps matrix slots to
+        # dendrogram cluster ids; `sizes[i]` tracks member counts.
+        working = matrix.astype(float).copy()
+        np.fill_diagonal(working, np.inf)
+        active = np.ones(count, dtype=bool)
+        cluster_ids = list(range(count))
+        sizes = np.ones(count, dtype=int)
+        merges: list[Merge] = []
+
+        for step in range(count - 1):
+            masked = np.where(
+                active[:, None] & active[None, :], working, np.inf
+            )
+            flat_index = int(np.argmin(masked))
+            p, q = divmod(flat_index, count)
+            if p == q or not np.isfinite(masked[p, q]):
+                raise ClusteringError("fit: no finite pair distance found")
+            if p > q:
+                p, q = q, p
+
+            distance = float(working[p, q])
+            merges.append(
+                Merge(
+                    first=cluster_ids[p],
+                    second=cluster_ids[q],
+                    distance=distance,
+                    size=int(sizes[p] + sizes[q]),
+                )
+            )
+
+            # Lance-Williams update into slot p; retire slot q.
+            others = active.copy()
+            others[p] = False
+            others[q] = False
+            updated = self._linkage.update(
+                working[p, others],
+                working[q, others],
+                distance,
+                int(sizes[p]),
+                int(sizes[q]),
+                sizes[others],
+            )
+            working[p, others] = updated
+            working[others, p] = updated
+            active[q] = False
+            sizes[p] += sizes[q]
+            cluster_ids[p] = count + step
+
+        return Dendrogram(resolved_labels, merges)
+
+    @staticmethod
+    def _resolve_labels(
+        count: int, labels: Sequence[str] | None
+    ) -> tuple[str, ...]:
+        if labels is None:
+            return tuple(f"point-{i}" for i in range(count))
+        if len(labels) != count:
+            raise ClusteringError(
+                f"fit: {len(labels)} labels for {count} points"
+            )
+        return tuple(labels)

@@ -1,0 +1,167 @@
+"""Clustering quality metrics.
+
+* :func:`cophenetic_correlation` — how faithfully a dendrogram's merge
+  heights preserve the original pairwise distances (1.0 is perfect).
+* :func:`silhouette_score` — how well separated a flat partition is
+  under a distance matrix; useful when choosing a cluster count, as a
+  quantitative complement to the paper's "fluctuation dampening"
+  heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.dendrogram import Dendrogram
+from repro.core.partition import Partition
+from repro.exceptions import ClusteringError
+
+__all__ = [
+    "cophenetic_correlation",
+    "silhouette_score",
+    "rand_index",
+    "adjusted_rand_index",
+]
+
+
+def cophenetic_correlation(
+    dendrogram: Dendrogram,
+    distances: Sequence[Sequence[float]] | np.ndarray,
+) -> float:
+    """Pearson correlation between pointwise and cophenetic distances."""
+    matrix = np.asarray(distances, dtype=float)
+    count = dendrogram.num_leaves
+    if matrix.shape != (count, count):
+        raise ClusteringError(
+            f"cophenetic_correlation: distance matrix {matrix.shape} does not "
+            f"match {count} leaves"
+        )
+    if count < 3:
+        raise ClusteringError(
+            "cophenetic_correlation: needs at least 3 points for a meaningful value"
+        )
+    cophenetic = dendrogram.cophenetic_matrix()
+    upper = np.triu_indices(count, k=1)
+    original = matrix[upper]
+    heights = cophenetic[upper]
+    if original.std() == 0.0 or heights.std() == 0.0:
+        raise ClusteringError(
+            "cophenetic_correlation: undefined when either distance set is constant"
+        )
+    return float(np.corrcoef(original, heights)[0, 1])
+
+
+def silhouette_score(
+    distances: Sequence[Sequence[float]] | np.ndarray,
+    partition: Partition,
+    labels: Sequence[str],
+) -> float:
+    """Mean silhouette coefficient of a partition over a distance matrix.
+
+    ``labels[i]`` names row/column ``i`` of the distance matrix.
+    Singleton clusters contribute a silhouette of 0 (the standard
+    convention).  Requires at least two clusters — with one cluster
+    "separation" has no meaning.
+    """
+    matrix = np.asarray(distances, dtype=float)
+    count = len(labels)
+    if matrix.shape != (count, count):
+        raise ClusteringError(
+            f"silhouette_score: distance matrix {matrix.shape} does not match "
+            f"{count} labels"
+        )
+    if set(labels) != set(partition.labels):
+        raise ClusteringError(
+            "silhouette_score: labels do not match the partition's label set"
+        )
+    if partition.num_blocks < 2:
+        raise ClusteringError("silhouette_score: needs at least two clusters")
+
+    index_of = {label: i for i, label in enumerate(labels)}
+    block_indices = [
+        np.array([index_of[label] for label in block]) for block in partition.blocks
+    ]
+
+    total = 0.0
+    for block_id, indices in enumerate(block_indices):
+        for i in indices:
+            if indices.size == 1:
+                continue  # silhouette 0 for singletons
+            same = indices[indices != i]
+            cohesion = float(matrix[i, same].mean())
+            separation = min(
+                float(matrix[i, other].mean())
+                for other_id, other in enumerate(block_indices)
+                if other_id != block_id
+            )
+            denom = max(cohesion, separation)
+            if denom > 0.0:
+                total += (separation - cohesion) / denom
+    return total / count
+
+
+def _pair_counts(first: Partition, second: Partition) -> tuple[int, int, int, int]:
+    """Pairwise agreement counts between two partitions of one label set.
+
+    Returns ``(both_together, both_apart, only_first, only_second)``
+    over all unordered label pairs.
+    """
+    if first.labels != second.labels:
+        raise ClusteringError(
+            "partition comparison: partitions cover different label sets"
+        )
+    labels = sorted(first.labels)
+    if len(labels) < 2:
+        raise ClusteringError(
+            "partition comparison: need at least two labels"
+        )
+    assign_first = first.to_assignments()
+    assign_second = second.to_assignments()
+    together_both = apart_both = first_only = second_only = 0
+    for i, a in enumerate(labels):
+        for b in labels[i + 1:]:
+            same_first = assign_first[a] == assign_first[b]
+            same_second = assign_second[a] == assign_second[b]
+            if same_first and same_second:
+                together_both += 1
+            elif not same_first and not same_second:
+                apart_both += 1
+            elif same_first:
+                first_only += 1
+            else:
+                second_only += 1
+    return together_both, apart_both, first_only, second_only
+
+
+def rand_index(first: Partition, second: Partition) -> float:
+    """Fraction of label pairs on which two partitions agree.
+
+    1.0 means identical groupings; used to quantify how much a
+    clustering changes across machines or characterization methods
+    (the paper's Section V-B/V-C comparison, made numeric).
+    """
+    together, apart, first_only, second_only = _pair_counts(first, second)
+    total = together + apart + first_only + second_only
+    return (together + apart) / total
+
+
+def adjusted_rand_index(first: Partition, second: Partition) -> float:
+    """Rand index corrected for chance agreement (ARI).
+
+    0.0 is the expectation for independent random partitions with the
+    same block-size profiles; 1.0 is identity.  Degenerate inputs where
+    the correction denominator vanishes (e.g. both partitions are
+    all-singletons) return 1.0 when the partitions agree on every pair.
+    """
+    together, apart, first_only, second_only = _pair_counts(first, second)
+    total = together + apart + first_only + second_only
+    # Marginal pair counts.
+    pairs_first = together + first_only
+    pairs_second = together + second_only
+    expected = pairs_first * pairs_second / total
+    max_index = (pairs_first + pairs_second) / 2.0
+    if max_index == expected:
+        return 1.0 if first_only == 0 and second_only == 0 else 0.0
+    return (together - expected) / (max_index - expected)

@@ -1,0 +1,95 @@
+"""The paper's primary contribution: hierarchical means and scoring.
+
+* :mod:`repro.core.means` — the plain and weighted mean families the
+  paper builds on (and argues against using naively).
+* :mod:`repro.core.partition` — cluster partitions as immutable value
+  objects with refinement-lattice operations.
+* :mod:`repro.core.hierarchical` — HGM/HAM/HHM and arbitrary-depth
+  hierarchies (Section II).
+* :mod:`repro.core.scoring` — a suite-scoring façade and two-machine
+  comparisons (the Section V methodology).
+* :mod:`repro.core.robustness` — redundancy-bias and gaming analysis
+  (the Section I motivation, made quantitative).
+"""
+
+from repro.core.hierarchical import (
+    Hierarchy,
+    cluster_representatives,
+    hierarchical_arithmetic_mean,
+    hierarchical_geometric_mean,
+    hierarchical_harmonic_mean,
+    hierarchical_mean,
+)
+from repro.core.means import (
+    MEAN_FUNCTIONS,
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    power_mean,
+    weighted_arithmetic_mean,
+    weighted_geometric_mean,
+    weighted_harmonic_mean,
+)
+from repro.core.confidence import (
+    ConfidenceInterval,
+    bootstrap_ratio,
+    bootstrap_suite_score,
+)
+from repro.core.partition import Partition
+from repro.core.robustness import (
+    GamingReport,
+    duplication_drift,
+    gaming_report,
+    implied_weights,
+    redundancy_bias,
+)
+from repro.core.weights import (
+    ClusterWeights,
+    NegotiatedWeights,
+    SourceSuiteWeights,
+    UniformWeights,
+    WeightScheme,
+)
+from repro.core.scoring import (
+    ScoreBreakdown,
+    ScoreComparison,
+    SuiteScorer,
+    compare_machines,
+    rank_machines,
+)
+
+__all__ = [
+    "arithmetic_mean",
+    "geometric_mean",
+    "harmonic_mean",
+    "power_mean",
+    "weighted_arithmetic_mean",
+    "weighted_geometric_mean",
+    "weighted_harmonic_mean",
+    "MEAN_FUNCTIONS",
+    "Partition",
+    "ConfidenceInterval",
+    "bootstrap_suite_score",
+    "bootstrap_ratio",
+    "hierarchical_mean",
+    "hierarchical_geometric_mean",
+    "hierarchical_arithmetic_mean",
+    "hierarchical_harmonic_mean",
+    "cluster_representatives",
+    "Hierarchy",
+    "SuiteScorer",
+    "ScoreBreakdown",
+    "ScoreComparison",
+    "compare_machines",
+    "rank_machines",
+    "implied_weights",
+    "redundancy_bias",
+    "GamingReport",
+    "gaming_report",
+    "duplication_drift",
+    "WeightScheme",
+    "UniformWeights",
+    "SourceSuiteWeights",
+    "NegotiatedWeights",
+    "ClusterWeights",
+]

@@ -1,0 +1,205 @@
+"""Bootstrap confidence intervals for suite scores.
+
+The paper reports point scores from 10-run averages.  A natural
+extension for a production scoring tool is to propagate run-to-run
+variation into the final number: resample each workload's run times
+with replacement, recompute the per-workload score and the suite mean,
+and read a percentile interval off the bootstrap distribution.
+
+Works for both plain means (all-singletons partition) and hierarchical
+means, so one can check — for example — whether machine A's HGM lead
+over machine B survives measurement noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.hierarchical import hierarchical_mean
+from repro.core.means import MEAN_FUNCTIONS
+from repro.core.partition import Partition
+from repro.exceptions import MeasurementError
+from repro.workloads.execution import RunSample
+
+__all__ = ["ConfidenceInterval", "bootstrap_suite_score", "bootstrap_ratio"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate plus a percentile bootstrap interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+    resamples: int
+
+    def __post_init__(self) -> None:
+        if not (self.lower <= self.estimate <= self.upper):
+            raise MeasurementError(
+                "ConfidenceInterval: estimate must sit inside the interval "
+                f"({self.lower}, {self.estimate}, {self.upper})"
+            )
+
+    @property
+    def width(self) -> float:
+        """Upper bound minus lower bound."""
+        return self.upper - self.lower
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` falls inside the interval."""
+        return self.lower <= value <= self.upper
+
+
+def _validate_inputs(
+    reference_samples: Mapping[str, RunSample],
+    machine_samples: Mapping[str, RunSample],
+    partition: Partition,
+    mean: str,
+    confidence: float,
+    resamples: int,
+) -> None:
+    if mean not in MEAN_FUNCTIONS:
+        known = ", ".join(sorted(MEAN_FUNCTIONS))
+        raise MeasurementError(
+            f"unknown mean family {mean!r}; known families: {known}"
+        )
+    if not (0.0 < confidence < 1.0):
+        raise MeasurementError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    if resamples < 10:
+        raise MeasurementError(
+            f"need at least 10 bootstrap resamples, got {resamples}"
+        )
+    if set(reference_samples) != set(machine_samples):
+        raise MeasurementError(
+            "bootstrap: reference and machine measured different workloads"
+        )
+    if set(reference_samples) != set(partition.labels):
+        raise MeasurementError(
+            "bootstrap: samples and partition cover different workloads"
+        )
+
+
+def _resampled_speedups(
+    reference_samples: Mapping[str, RunSample],
+    machine_samples: Mapping[str, RunSample],
+    rng: np.random.Generator,
+) -> dict[str, float]:
+    """One bootstrap replicate of the per-workload speedup column."""
+    speedups = {}
+    for name, reference in reference_samples.items():
+        machine = machine_samples[name]
+        ref_times = np.asarray(reference.times)
+        mach_times = np.asarray(machine.times)
+        ref_mean = float(
+            rng.choice(ref_times, size=ref_times.size, replace=True).mean()
+        )
+        mach_mean = float(
+            rng.choice(mach_times, size=mach_times.size, replace=True).mean()
+        )
+        speedups[name] = ref_mean / mach_mean
+    return speedups
+
+
+def bootstrap_suite_score(
+    reference_samples: Mapping[str, RunSample],
+    machine_samples: Mapping[str, RunSample],
+    partition: Partition,
+    *,
+    mean: str = "geometric",
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile bootstrap interval for a suite score.
+
+    The point estimate uses the full-sample means (the paper's
+    protocol); each replicate resamples every workload's reference and
+    machine run times independently.
+    """
+    _validate_inputs(
+        reference_samples, machine_samples, partition, mean, confidence, resamples
+    )
+    point_speedups = {
+        name: reference_samples[name].mean_time / machine_samples[name].mean_time
+        for name in reference_samples
+    }
+    estimate = hierarchical_mean(point_speedups, partition, mean=mean)
+
+    rng = np.random.default_rng(seed)
+    replicates = np.empty(resamples)
+    for index in range(resamples):
+        speedups = _resampled_speedups(reference_samples, machine_samples, rng)
+        replicates[index] = hierarchical_mean(speedups, partition, mean=mean)
+
+    tail = (1.0 - confidence) / 2.0
+    lower = float(np.quantile(replicates, tail))
+    upper = float(np.quantile(replicates, 1.0 - tail))
+    # Guard against the point estimate grazing the interval edge on
+    # very tight distributions.
+    lower = min(lower, estimate)
+    upper = max(upper, estimate)
+    return ConfidenceInterval(
+        estimate=estimate,
+        lower=lower,
+        upper=upper,
+        confidence=confidence,
+        resamples=resamples,
+    )
+
+
+def bootstrap_ratio(
+    reference_samples: Mapping[str, RunSample],
+    first_samples: Mapping[str, RunSample],
+    second_samples: Mapping[str, RunSample],
+    partition: Partition,
+    *,
+    mean: str = "geometric",
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Bootstrap interval for the two-machine score ratio (A/B column).
+
+    If the interval excludes 1.0, the win is noise-robust.
+    """
+    _validate_inputs(
+        reference_samples, first_samples, partition, mean, confidence, resamples
+    )
+    _validate_inputs(
+        reference_samples, second_samples, partition, mean, confidence, resamples
+    )
+
+    def score(samples: Mapping[str, RunSample]) -> float:
+        speedups = {
+            name: reference_samples[name].mean_time / samples[name].mean_time
+            for name in reference_samples
+        }
+        return hierarchical_mean(speedups, partition, mean=mean)
+
+    estimate = score(first_samples) / score(second_samples)
+
+    rng = np.random.default_rng(seed)
+    replicates = np.empty(resamples)
+    for index in range(resamples):
+        first = _resampled_speedups(reference_samples, first_samples, rng)
+        second = _resampled_speedups(reference_samples, second_samples, rng)
+        replicates[index] = hierarchical_mean(
+            first, partition, mean=mean
+        ) / hierarchical_mean(second, partition, mean=mean)
+
+    tail = (1.0 - confidence) / 2.0
+    lower = min(float(np.quantile(replicates, tail)), estimate)
+    upper = max(float(np.quantile(replicates, 1.0 - tail)), estimate)
+    return ConfidenceInterval(
+        estimate=estimate,
+        lower=lower,
+        upper=upper,
+        confidence=confidence,
+        resamples=resamples,
+    )

@@ -1,0 +1,232 @@
+"""The hierarchical means — the paper's core contribution (Section II).
+
+Given per-workload scores ``X_ij`` and a cluster partition of the
+suite, a hierarchical mean first reduces every cluster to one
+representative value with an *inner* mean, then combines the cluster
+representatives with an *outer* mean of the same family:
+
+* :func:`hierarchical_geometric_mean` (HGM) —
+  ``( prod_i (prod_j X_ij)^(1/n_i) )^(1/k)``
+* :func:`hierarchical_arithmetic_mean` (HAM) —
+  ``(1/k) * sum_i (1/n_i) * sum_j X_ij``
+* :func:`hierarchical_harmonic_mean` (HHM) —
+  ``k / sum_i ( (1/n_i) * sum_j 1/X_ij )``
+
+Each degenerates gracefully to its plain mean when every workload is
+its own cluster, and to the plain mean of the clustered values when
+there is a single cluster of identical workloads — the two properties
+the paper proves for HGM and that the test suite verifies for all
+three families.
+
+:func:`hierarchical_mean` generalizes to any named mean family, and
+:class:`Hierarchy` supports arbitrarily deep cluster trees (e.g.
+suite -> sub-suite -> cluster -> workload), an extension the paper's
+"averaging in a hierarchical manner" phrasing invites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.means import (
+    MEAN_FUNCTIONS,
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+)
+from repro.core.partition import Partition
+from repro.exceptions import MeasurementError, PartitionError
+
+__all__ = [
+    "cluster_representatives",
+    "hierarchical_mean",
+    "hierarchical_geometric_mean",
+    "hierarchical_arithmetic_mean",
+    "hierarchical_harmonic_mean",
+    "Hierarchy",
+]
+
+MeanFunction = Callable[[Sequence[float]], float]
+
+
+def _resolve_mean(mean: str | MeanFunction) -> MeanFunction:
+    """Return a plain-mean callable from a family name or a callable."""
+    if callable(mean):
+        return mean
+    try:
+        return MEAN_FUNCTIONS[mean]
+    except KeyError:
+        known = ", ".join(sorted(MEAN_FUNCTIONS))
+        raise MeasurementError(
+            f"unknown mean family {mean!r}; known families: {known}"
+        ) from None
+
+
+def _validate_scores_against_partition(
+    scores: Mapping[str, float], partition: Partition
+) -> None:
+    """Check that scores and partition cover exactly the same labels."""
+    score_labels = set(scores)
+    if score_labels != set(partition.labels):
+        missing = sorted(partition.labels - score_labels)
+        extra = sorted(score_labels - partition.labels)
+        detail = []
+        if missing:
+            detail.append(f"no score for {missing}")
+        if extra:
+            detail.append(f"scores for labels outside the partition: {extra}")
+        raise PartitionError(
+            "scores and partition cover different workloads: " + "; ".join(detail)
+        )
+
+
+def cluster_representatives(
+    scores: Mapping[str, float],
+    partition: Partition,
+    *,
+    mean: str | MeanFunction = "geometric",
+) -> dict[tuple[str, ...], float]:
+    """Inner-mean value of every cluster, keyed by the cluster's block.
+
+    This is the intermediate quantity of Section II: each cluster
+    collapses to a single representative, cancelling the redundancy of
+    its members before the outer mean equalizes the clusters.
+    """
+    _validate_scores_against_partition(scores, partition)
+    inner = _resolve_mean(mean)
+    return {
+        block: inner([scores[label] for label in block]) for block in partition.blocks
+    }
+
+
+def hierarchical_mean(
+    scores: Mapping[str, float],
+    partition: Partition,
+    *,
+    mean: str | MeanFunction = "geometric",
+) -> float:
+    """Two-level hierarchical mean over an explicit cluster partition.
+
+    Parameters
+    ----------
+    scores:
+        Mapping from workload label to its performance score (the
+        paper uses speedup over a reference machine).
+    partition:
+        Cluster partition over exactly the same labels.
+    mean:
+        The mean family applied at both levels: ``"geometric"``
+        (default, giving HGM), ``"arithmetic"`` (HAM), ``"harmonic"``
+        (HHM), or any ``(values) -> float`` callable.
+    """
+    representatives = cluster_representatives(scores, partition, mean=mean)
+    outer = _resolve_mean(mean)
+    return outer(list(representatives.values()))
+
+
+def hierarchical_geometric_mean(
+    scores: Mapping[str, float], partition: Partition
+) -> float:
+    """HGM: geometric mean of per-cluster geometric means."""
+    return hierarchical_mean(scores, partition, mean=geometric_mean)
+
+
+def hierarchical_arithmetic_mean(
+    scores: Mapping[str, float], partition: Partition
+) -> float:
+    """HAM: arithmetic mean of per-cluster arithmetic means."""
+    return hierarchical_mean(scores, partition, mean=arithmetic_mean)
+
+
+def hierarchical_harmonic_mean(
+    scores: Mapping[str, float], partition: Partition
+) -> float:
+    """HHM: harmonic mean of per-cluster harmonic means."""
+    return hierarchical_mean(scores, partition, mean=harmonic_mean)
+
+
+@dataclass(frozen=True)
+class Hierarchy:
+    """An arbitrarily deep cluster tree over workload labels.
+
+    Leaves are workload labels (strings); internal nodes group children
+    that should be equalized at that level.  Scoring applies the chosen
+    mean bottom-up, so a two-level hierarchy built from a
+    :class:`~repro.core.partition.Partition` reproduces
+    :func:`hierarchical_mean` exactly — the property tests rely on it.
+
+    Example
+    -------
+    >>> tree = Hierarchy.from_partition(Partition([["a", "b"], ["c"]]))
+    >>> tree.score({"a": 2.0, "b": 8.0, "c": 4.0}, mean="geometric")
+    4.0
+    """
+
+    children: tuple["Hierarchy | str", ...]
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise PartitionError("Hierarchy: internal node with no children")
+        seen = self.leaves()
+        if len(seen) != len(set(seen)):
+            raise PartitionError("Hierarchy: a label appears in more than one leaf")
+
+    @classmethod
+    def from_partition(cls, partition: Partition, *, name: str = "suite") -> "Hierarchy":
+        """Two-level tree: root -> cluster nodes -> workload leaves."""
+        cluster_nodes: list[Hierarchy | str] = []
+        for block in partition.blocks:
+            if len(block) == 1:
+                cluster_nodes.append(block[0])
+            else:
+                cluster_nodes.append(cls(children=tuple(block)))
+        return cls(children=tuple(cluster_nodes), name=name)
+
+    def leaves(self) -> tuple[str, ...]:
+        """All workload labels in the tree, in traversal order."""
+        collected: list[str] = []
+        for child in self.children:
+            if isinstance(child, Hierarchy):
+                collected.extend(child.leaves())
+            else:
+                collected.append(child)
+        return tuple(collected)
+
+    @property
+    def depth(self) -> int:
+        """Number of internal levels (a flat node of leaves has depth 1)."""
+        child_depths = [
+            child.depth for child in self.children if isinstance(child, Hierarchy)
+        ]
+        return 1 + (max(child_depths) if child_depths else 0)
+
+    def score(
+        self,
+        scores: Mapping[str, float],
+        *,
+        mean: str | MeanFunction = "geometric",
+    ) -> float:
+        """Bottom-up hierarchical mean over the tree."""
+        leaves = self.leaves()
+        missing = [label for label in leaves if label not in scores]
+        if missing:
+            raise PartitionError(f"Hierarchy.score: no score for {missing}")
+        mean_fn = _resolve_mean(mean)
+        return self._score_node(scores, mean_fn)
+
+    def _score_node(
+        self, scores: Mapping[str, float], mean_fn: MeanFunction
+    ) -> float:
+        values = [
+            child._score_node(scores, mean_fn)
+            if isinstance(child, Hierarchy)
+            else float(scores[child])
+            for child in self.children
+        ]
+        if not np.all(np.isfinite(values)):
+            raise MeasurementError("Hierarchy.score: non-finite intermediate value")
+        return mean_fn(values)

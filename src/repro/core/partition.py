@@ -1,0 +1,314 @@
+"""Cluster partitions over workload labels.
+
+A :class:`Partition` is the piece of "workload cluster information"
+that Section II plugs into the hierarchical means: a division of the
+benchmark suite's workloads into non-empty, pairwise-disjoint blocks
+that together cover every workload exactly once.
+
+Partitions here are immutable value objects with a canonical order
+(blocks sorted by their smallest label), so two partitions with the
+same blocks compare equal regardless of construction order.  The class
+also provides the refinement-lattice operations that the dendrogram cut
+logic and the partition-inference solver rely on: ``merge_blocks``,
+``split_block``, ``is_refinement_of``, and the generators over all
+single-merge coarsenings / single-split refinements.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import PartitionError
+
+__all__ = ["Partition"]
+
+
+def _canonical_blocks(
+    blocks: Iterable[Iterable[str]],
+) -> tuple[tuple[str, ...], ...]:
+    """Sort labels within blocks and blocks by their smallest label."""
+    ordered = [tuple(sorted(block)) for block in blocks]
+    ordered.sort(key=lambda block: block[0] if block else "")
+    return tuple(ordered)
+
+
+class Partition:
+    """Immutable partition of a label set into clusters.
+
+    Parameters
+    ----------
+    blocks:
+        An iterable of iterables of labels.  Labels must be strings;
+        blocks must be non-empty and pairwise disjoint.
+
+    Example
+    -------
+    >>> p = Partition([["fft", "lu"], ["javac"]])
+    >>> p.num_blocks
+    2
+    >>> p.block_of("lu")
+    ('fft', 'lu')
+    """
+
+    __slots__ = ("_blocks", "_labels", "_block_index")
+
+    def __init__(self, blocks: Iterable[Iterable[str]]) -> None:
+        canonical = _canonical_blocks(blocks)
+        if not canonical:
+            raise PartitionError("a partition needs at least one block")
+        label_to_block: dict[str, int] = {}
+        for index, block in enumerate(canonical):
+            if not block:
+                raise PartitionError("partition blocks must be non-empty")
+            for label in block:
+                if not isinstance(label, str):
+                    raise PartitionError(
+                        f"labels must be strings, got {type(label).__name__}"
+                    )
+                if label in label_to_block:
+                    raise PartitionError(
+                        f"label {label!r} appears in more than one block"
+                    )
+                label_to_block[label] = index
+        self._blocks = canonical
+        self._labels = frozenset(label_to_block)
+        self._block_index = label_to_block
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def singletons(cls, labels: Iterable[str]) -> "Partition":
+        """One block per label — the finest partition.
+
+        Under this partition every hierarchical mean degenerates to the
+        corresponding plain mean (Section II).
+        """
+        return cls([[label] for label in labels])
+
+    @classmethod
+    def whole(cls, labels: Iterable[str]) -> "Partition":
+        """A single block holding every label — the coarsest partition."""
+        return cls([list(labels)])
+
+    @classmethod
+    def from_assignments(cls, assignments: Mapping[str, Hashable]) -> "Partition":
+        """Build a partition from a ``label -> cluster id`` mapping.
+
+        Cluster ids may be any hashable values (integers from a
+        clustering algorithm, strings, ...); only their equality
+        matters.
+        """
+        if not assignments:
+            raise PartitionError("from_assignments: empty assignment mapping")
+        by_cluster: dict[Hashable, list[str]] = {}
+        for label, cluster in assignments.items():
+            by_cluster.setdefault(cluster, []).append(label)
+        return cls(by_cluster.values())
+
+    # -- basic accessors ------------------------------------------------
+
+    @property
+    def blocks(self) -> tuple[tuple[str, ...], ...]:
+        """Blocks in canonical order, each a sorted tuple of labels."""
+        return self._blocks
+
+    @property
+    def labels(self) -> frozenset[str]:
+        """The full label set covered by this partition."""
+        return self._labels
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of clusters."""
+        return len(self._blocks)
+
+    @property
+    def block_sizes(self) -> tuple[int, ...]:
+        """Sizes of the blocks, in canonical block order."""
+        return tuple(len(block) for block in self._blocks)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for the all-singletons partition (no grouping at all)."""
+        return all(len(block) == 1 for block in self._blocks)
+
+    def block_of(self, label: str) -> tuple[str, ...]:
+        """The block containing ``label``."""
+        try:
+            return self._blocks[self._block_index[label]]
+        except KeyError:
+            raise PartitionError(f"label {label!r} is not in this partition") from None
+
+    def to_assignments(self) -> dict[str, int]:
+        """Inverse of :meth:`from_assignments`: label -> canonical block index."""
+        return dict(self._block_index)
+
+    def restricted_to(self, labels: Iterable[str]) -> "Partition":
+        """Partition induced on a subset of the labels.
+
+        Blocks that lose all members under the restriction disappear.
+        """
+        keep = set(labels)
+        missing = keep - self._labels
+        if missing:
+            raise PartitionError(
+                f"restricted_to: labels not in partition: {sorted(missing)}"
+            )
+        if not keep:
+            raise PartitionError("restricted_to: empty label subset")
+        reduced = [
+            [label for label in block if label in keep] for block in self._blocks
+        ]
+        return Partition(block for block in reduced if block)
+
+    # -- lattice operations ----------------------------------------------
+
+    def merge_blocks(self, first: int, second: int) -> "Partition":
+        """Coarsen by merging the blocks at two canonical indices."""
+        count = self.num_blocks
+        if not (0 <= first < count and 0 <= second < count):
+            raise PartitionError(
+                f"merge_blocks: block index out of range for {count} blocks"
+            )
+        if first == second:
+            raise PartitionError("merge_blocks: cannot merge a block with itself")
+        merged = list(self._blocks[first]) + list(self._blocks[second])
+        rest = [
+            list(block)
+            for index, block in enumerate(self._blocks)
+            if index not in (first, second)
+        ]
+        return Partition(rest + [merged])
+
+    def split_block(
+        self, index: int, part: Iterable[str]
+    ) -> "Partition":
+        """Refine by splitting one block into ``part`` and its complement."""
+        if not (0 <= index < self.num_blocks):
+            raise PartitionError(
+                f"split_block: block index {index} out of range"
+            )
+        block = set(self._blocks[index])
+        chosen = set(part)
+        if not chosen or chosen == block:
+            raise PartitionError(
+                "split_block: the split must leave two non-empty parts"
+            )
+        if not chosen <= block:
+            raise PartitionError(
+                f"split_block: labels {sorted(chosen - block)} are not in block {index}"
+            )
+        remainder = block - chosen
+        rest = [
+            list(other)
+            for other_index, other in enumerate(self._blocks)
+            if other_index != index
+        ]
+        return Partition(rest + [sorted(chosen), sorted(remainder)])
+
+    def coarsenings(self) -> Iterator["Partition"]:
+        """All partitions reachable by merging exactly one pair of blocks.
+
+        These are the dendrogram-consistent predecessors: an
+        agglomerative clustering moves from a k-partition to one of
+        these (k-1)-partitions.
+        """
+        for first, second in combinations(range(self.num_blocks), 2):
+            yield self.merge_blocks(first, second)
+
+    def refinements(self) -> Iterator["Partition"]:
+        """All partitions reachable by splitting exactly one block in two."""
+        for index, block in enumerate(self._blocks):
+            if len(block) < 2:
+                continue
+            # Enumerate proper non-empty subsets once per unordered split
+            # by pinning the block's first label to one side.
+            head, *tail = block
+            for size in range(len(tail) + 1):
+                for extra in combinations(tail, size):
+                    part = (head, *extra)
+                    if len(part) == len(block):
+                        continue
+                    yield self.split_block(index, part)
+
+    def is_refinement_of(self, other: "Partition") -> bool:
+        """True when every block of ``self`` fits inside a block of ``other``."""
+        if self._labels != other._labels:
+            raise PartitionError(
+                "is_refinement_of: partitions cover different label sets"
+            )
+        other_assignment = other._block_index
+        for block in self._blocks:
+            targets = {other_assignment[label] for label in block}
+            if len(targets) != 1:
+                return False
+        return True
+
+    def meet(self, other: "Partition") -> "Partition":
+        """Coarsest common refinement (blockwise intersection)."""
+        if self._labels != other._labels:
+            raise PartitionError("meet: partitions cover different label sets")
+        pieces: dict[tuple[int, int], list[str]] = {}
+        for label in self._labels:
+            key = (self._block_index[label], other._block_index[label])
+            pieces.setdefault(key, []).append(label)
+        return Partition(pieces.values())
+
+    def join(self, other: "Partition") -> "Partition":
+        """Finest common coarsening (transitive closure of both groupings).
+
+        Two labels share a join block when they are connected by a
+        chain of blocks from either partition — the dual of
+        :meth:`meet`, completing the partition lattice.
+        """
+        if self._labels != other._labels:
+            raise PartitionError("join: partitions cover different label sets")
+        labels = sorted(self._labels)
+        index_of = {label: i for i, label in enumerate(labels)}
+        parent = list(range(len(labels)))
+
+        def find(node: int) -> int:
+            while parent[node] != node:
+                parent[node] = parent[parent[node]]
+                node = parent[node]
+            return node
+
+        def union(a: int, b: int) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_b] = root_a
+
+        for partition in (self, other):
+            for block in partition.blocks:
+                anchor = index_of[block[0]]
+                for label in block[1:]:
+                    union(anchor, index_of[label])
+
+        groups: dict[int, list[str]] = {}
+        for label in labels:
+            groups.setdefault(find(index_of[label]), []).append(label)
+        return Partition(groups.values())
+
+    # -- value-object protocol ---------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        return self._blocks == other._blocks
+
+    def __hash__(self) -> int:
+        return hash(self._blocks)
+
+    def __len__(self) -> int:
+        return self.num_blocks
+
+    def __iter__(self) -> Iterator[tuple[str, ...]]:
+        return iter(self._blocks)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._labels
+
+    def __repr__(self) -> str:
+        rendered = ", ".join("{" + ", ".join(block) + "}" for block in self._blocks)
+        return f"Partition({rendered})"

@@ -1,0 +1,196 @@
+"""Redundancy-bias and score-gaming analysis.
+
+Section I motivates hierarchical means with two failure modes of plain
+averages over redundant suites:
+
+* **amplification** — an architectural improvement that helps one
+  cluster of homogeneous workloads is counted once per member, so the
+  suite score overstates it ("the effect of this architectural
+  parameter will be erroneously evaluated twice");
+* **gaming** — a vendor can tune for the largest redundant cluster and
+  inflate the single number without improving breadth.
+
+The tools here quantify both.  They also expose the *implied weights*
+of a hierarchical mean: an HGM over partition ``{B_1..B_k}`` equals a
+weighted geometric mean with weight ``1/(k * |B_i|)`` on each workload
+of block ``B_i`` — the hierarchical means are exactly the "weighted
+mean workaround" with the weights derived objectively from cluster
+structure instead of negotiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.hierarchical import hierarchical_mean
+from repro.core.means import MEAN_FUNCTIONS
+from repro.core.partition import Partition
+from repro.exceptions import MeasurementError, PartitionError
+
+__all__ = [
+    "implied_weights",
+    "redundancy_bias",
+    "GamingReport",
+    "gaming_report",
+    "duplication_drift",
+]
+
+
+def implied_weights(partition: Partition) -> dict[str, float]:
+    """Per-workload weight a hierarchical mean implicitly assigns.
+
+    Each cluster gets total weight ``1/k`` shared equally among its
+    members, so a workload in block ``B_i`` carries
+    ``1 / (k * |B_i|)``.  The weights sum to one; under the
+    all-singletons partition every workload gets the plain ``1/n``.
+    """
+    k = partition.num_blocks
+    return {
+        label: 1.0 / (k * len(block))
+        for block in partition.blocks
+        for label in block
+    }
+
+
+def redundancy_bias(
+    scores: Mapping[str, float],
+    partition: Partition,
+    *,
+    mean: str = "geometric",
+) -> float:
+    """Ratio of the plain mean to the hierarchical mean under ``partition``.
+
+    Values above 1 mean the redundant clusters happen to score high and
+    inflate the plain number; below 1, they drag it down.  Exactly 1
+    for the all-singletons partition.
+    """
+    plain = hierarchical_mean(
+        scores, Partition.singletons(scores), mean=mean
+    )
+    clustered = hierarchical_mean(scores, partition, mean=mean)
+    return plain / clustered
+
+
+@dataclass(frozen=True)
+class GamingReport:
+    """Outcome of a targeted-tuning (score gaming) experiment."""
+
+    target_block: tuple[str, ...]
+    improvement_factor: float
+    plain_before: float
+    plain_after: float
+    hierarchical_before: float
+    hierarchical_after: float
+
+    @property
+    def plain_gain(self) -> float:
+        """Multiplicative plain-score gain from the targeted tuning."""
+        return self.plain_after / self.plain_before
+
+    @property
+    def hierarchical_gain(self) -> float:
+        """Multiplicative hierarchical-score gain from the same tuning."""
+        return self.hierarchical_after / self.hierarchical_before
+
+    @property
+    def gaming_resistance(self) -> float:
+        """How much smaller the hierarchical gain is (>= 1 is resistant).
+
+        For the geometric family and a target cluster of ``m`` of ``n``
+        workloads in a ``k``-cluster partition, a factor-``f`` tune
+        gains ``f**(m/n)`` plainly but only ``f**(1/k)``
+        hierarchically, so resistance is ``f**(m/n - 1/k)``.
+        """
+        return self.plain_gain / self.hierarchical_gain
+
+
+def gaming_report(
+    scores: Mapping[str, float],
+    partition: Partition,
+    target_block: tuple[str, ...] | int,
+    improvement_factor: float,
+    *,
+    mean: str = "geometric",
+) -> GamingReport:
+    """Tune every workload of one cluster by a factor; compare score gains.
+
+    Parameters
+    ----------
+    target_block:
+        Either a canonical block index into ``partition.blocks`` or the
+        block itself.
+    improvement_factor:
+        Multiplier applied to the scores of the targeted workloads
+        (e.g. ``1.5`` for a 50% speedup on just that cluster).
+    """
+    if improvement_factor <= 0.0:
+        raise MeasurementError("gaming_report: improvement factor must be positive")
+    if isinstance(target_block, int):
+        try:
+            block = partition.blocks[target_block]
+        except IndexError:
+            raise PartitionError(
+                f"gaming_report: block index {target_block} out of range"
+            ) from None
+    else:
+        block = tuple(sorted(target_block))
+        if block not in partition.blocks:
+            raise PartitionError(
+                f"gaming_report: {block} is not a block of the partition"
+            )
+
+    tuned = {
+        label: value * improvement_factor if label in block else value
+        for label, value in scores.items()
+    }
+    singletons = Partition.singletons(scores)
+    return GamingReport(
+        target_block=block,
+        improvement_factor=improvement_factor,
+        plain_before=hierarchical_mean(scores, singletons, mean=mean),
+        plain_after=hierarchical_mean(tuned, singletons, mean=mean),
+        hierarchical_before=hierarchical_mean(scores, partition, mean=mean),
+        hierarchical_after=hierarchical_mean(tuned, partition, mean=mean),
+    )
+
+
+def duplication_drift(
+    scores: Mapping[str, float],
+    label: str,
+    copies: int,
+    *,
+    mean: str = "geometric",
+) -> tuple[float, float]:
+    """Score drift from injecting redundant copies of one workload.
+
+    Adds ``copies`` exact duplicates of ``label`` to the suite and
+    returns ``(plain_score, hierarchical_score)`` of the enlarged
+    suite, where the hierarchical score co-clusters the duplicates with
+    the original (and keeps everything else a singleton).  The
+    hierarchical score equals the original suite's plain score — the
+    invariance the property tests check — while the plain score drifts
+    toward the duplicated workload.
+    """
+    if label not in scores:
+        raise MeasurementError(f"duplication_drift: unknown workload {label!r}")
+    if copies < 1:
+        raise MeasurementError("duplication_drift: need at least one extra copy")
+    if mean not in MEAN_FUNCTIONS:
+        known = ", ".join(sorted(MEAN_FUNCTIONS))
+        raise MeasurementError(
+            f"unknown mean family {mean!r}; known families: {known}"
+        )
+
+    enlarged = dict(scores)
+    duplicate_labels = [label]
+    for index in range(copies):
+        clone = f"{label}#dup{index + 1}"
+        enlarged[clone] = scores[label]
+        duplicate_labels.append(clone)
+
+    plain = hierarchical_mean(enlarged, Partition.singletons(enlarged), mean=mean)
+    blocks = [[other] for other in scores if other != label]
+    blocks.append(duplicate_labels)
+    clustered = hierarchical_mean(enlarged, Partition(blocks), mean=mean)
+    return plain, clustered

@@ -1,0 +1,184 @@
+"""High-level suite-scoring façade.
+
+:class:`SuiteScorer` bundles per-workload measurements with the
+cluster partition and mean family so a benchmark consumer can ask for
+"the number" the way SPEC publishes one, while keeping the full
+decomposition (per-cluster representatives, per-workload scores)
+available for inspection.  :class:`ScoreComparison` reproduces the
+machine-A-versus-machine-B methodology of Section V: two scored
+machines, one ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.hierarchical import cluster_representatives, hierarchical_mean
+from repro.core.means import MEAN_FUNCTIONS
+from repro.core.partition import Partition
+from repro.exceptions import MeasurementError
+
+__all__ = [
+    "ScoreBreakdown",
+    "SuiteScorer",
+    "ScoreComparison",
+    "compare_machines",
+    "rank_machines",
+]
+
+
+@dataclass(frozen=True)
+class ScoreBreakdown:
+    """A suite score together with everything that produced it."""
+
+    score: float
+    mean_family: str
+    partition: Partition
+    workload_scores: Mapping[str, float]
+    cluster_scores: Mapping[tuple[str, ...], float]
+
+    @property
+    def num_clusters(self) -> int:
+        """Number of clusters the score equalized over."""
+        return self.partition.num_blocks
+
+    def dominant_cluster(self) -> tuple[str, ...]:
+        """The cluster with the highest representative value."""
+        return max(self.cluster_scores, key=lambda block: self.cluster_scores[block])
+
+
+class SuiteScorer:
+    """Scores workload measurements under a fixed partition and mean family.
+
+    Parameters
+    ----------
+    partition:
+        Cluster partition of the suite (use
+        ``Partition.singletons(labels)`` for plain-mean behaviour).
+    mean:
+        ``"geometric"`` (default — the paper's HGM), ``"arithmetic"``
+        (HAM) or ``"harmonic"`` (HHM).
+
+    Example
+    -------
+    >>> scorer = SuiteScorer(Partition([["a", "b"], ["c"]]))
+    >>> scorer.score({"a": 2.0, "b": 8.0, "c": 4.0})
+    4.0
+    """
+
+    def __init__(
+        self, partition: Partition, *, mean: str = "geometric"
+    ) -> None:
+        if mean not in MEAN_FUNCTIONS:
+            known = ", ".join(sorted(MEAN_FUNCTIONS))
+            raise MeasurementError(
+                f"unknown mean family {mean!r}; known families: {known}"
+            )
+        self._partition = partition
+        self._mean = mean
+
+    @property
+    def partition(self) -> Partition:
+        """The cluster partition scores are computed under."""
+        return self._partition
+
+    @property
+    def mean_family(self) -> str:
+        """The configured mean family name."""
+        return self._mean
+
+    def score(self, workload_scores: Mapping[str, float]) -> float:
+        """The single-number suite score."""
+        return hierarchical_mean(workload_scores, self._partition, mean=self._mean)
+
+    def breakdown(self, workload_scores: Mapping[str, float]) -> ScoreBreakdown:
+        """Score plus per-cluster representatives for inspection."""
+        clusters = cluster_representatives(
+            workload_scores, self._partition, mean=self._mean
+        )
+        return ScoreBreakdown(
+            score=self.score(workload_scores),
+            mean_family=self._mean,
+            partition=self._partition,
+            workload_scores=dict(workload_scores),
+            cluster_scores=clusters,
+        )
+
+
+@dataclass(frozen=True)
+class ScoreComparison:
+    """Two machines scored under the same partition, plus their ratio."""
+
+    first: ScoreBreakdown
+    second: ScoreBreakdown
+
+    @property
+    def ratio(self) -> float:
+        """``first.score / second.score`` — the paper's A/B column."""
+        return self.first.score / self.second.score
+
+    @property
+    def winner(self) -> str:
+        """``"first"``, ``"second"`` or ``"tie"`` by raw score."""
+        if self.first.score > self.second.score:
+            return "first"
+        if self.second.score > self.first.score:
+            return "second"
+        return "tie"
+
+
+def rank_machines(
+    columns: Mapping[str, Mapping[str, float]],
+    partition: Partition,
+    *,
+    mean: str = "geometric",
+) -> tuple[tuple[str, float], ...]:
+    """Rank any number of machines by their suite score, best first.
+
+    ``columns`` maps machine names to per-workload scores; every machine
+    must cover the same workloads.  Ties keep name order, so rankings
+    are deterministic.
+    """
+    if not columns:
+        raise MeasurementError("rank_machines: no machines given")
+    label_sets = {name: frozenset(scores) for name, scores in columns.items()}
+    reference = next(iter(label_sets.values()))
+    mismatched = sorted(
+        name for name, labels in label_sets.items() if labels != reference
+    )
+    if mismatched:
+        raise MeasurementError(
+            f"rank_machines: machines measured different workload sets: "
+            f"{mismatched}"
+        )
+    scorer = SuiteScorer(partition, mean=mean)
+    ranked = sorted(
+        ((name, scorer.score(scores)) for name, scores in columns.items()),
+        key=lambda item: (-item[1], item[0]),
+    )
+    return tuple(ranked)
+
+
+def compare_machines(
+    scores_first: Mapping[str, float],
+    scores_second: Mapping[str, float],
+    partition: Partition,
+    *,
+    mean: str = "geometric",
+) -> ScoreComparison:
+    """Score two machines under one partition and compare them.
+
+    Both machines must report scores for exactly the workloads of the
+    partition; this is the safeguard against comparing suites that ran
+    different workload subsets.
+    """
+    if set(scores_first) != set(scores_second):
+        raise MeasurementError(
+            "compare_machines: machines measured different workload sets"
+        )
+    scorer = SuiteScorer(partition, mean=mean)
+    return ScoreComparison(
+        first=scorer.breakdown(scores_first),
+        second=scorer.breakdown(scores_second),
+    )

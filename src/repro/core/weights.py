@@ -1,0 +1,149 @@
+"""Weighting schemes — the workaround the hierarchical means replace.
+
+Section I: "the current standard workaround ... is to weigh each
+individual workload during the final score calculation.  Unfortunately,
+such a weight-based score adjustment can significantly undermine the
+objectiveness of benchmark scores, since determining the exact value of
+those weights is always subjective."
+
+This module makes the comparison concrete.  Each scheme produces a
+``workload -> weight`` mapping (normalized to sum 1) that can be fed to
+the weighted means of :mod:`repro.core.means`:
+
+* :class:`UniformWeights` — the plain mean in disguise.
+* :class:`SourceSuiteWeights` — a typical consortium compromise: every
+  *source suite* gets equal total weight regardless of how many
+  workloads it contributed.  Objective-looking, but the split is still
+  a negotiation outcome (why per suite and not per application area?).
+* :class:`NegotiatedWeights` — explicit hand-assigned weights, the
+  fully subjective end of the spectrum.
+* :class:`ClusterWeights` — weights derived from measured cluster
+  structure, ``1 / (k * |cluster|)``; with the geometric mean this is
+  *identical* to the HGM, which is the paper's punchline: hierarchical
+  means are the weighting workaround with the subjectivity removed.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.partition import Partition
+from repro.core.robustness import implied_weights
+from repro.exceptions import MeasurementError, SuiteError
+from repro.workloads.suite import BenchmarkSuite
+
+__all__ = [
+    "WeightScheme",
+    "UniformWeights",
+    "SourceSuiteWeights",
+    "NegotiatedWeights",
+    "ClusterWeights",
+]
+
+
+class WeightScheme:
+    """Interface: produce normalized per-workload weights for a suite."""
+
+    #: Whether the weights are derived from measurements rather than
+    #: negotiation; the paper's objectiveness axis.
+    objective: bool = False
+
+    def weights_for(self, suite: BenchmarkSuite) -> dict[str, float]:
+        """Normalized per-workload weights for ``suite``."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _normalized(raw: Mapping[str, float]) -> dict[str, float]:
+        total = sum(raw.values())
+        if total <= 0.0:
+            raise MeasurementError("weight scheme produced non-positive total")
+        return {name: value / total for name, value in raw.items()}
+
+
+class UniformWeights(WeightScheme):
+    """Every workload weighs 1/n — the plain mean."""
+
+    objective = True
+
+    def weights_for(self, suite: BenchmarkSuite) -> dict[str, float]:
+        """``1/n`` for every workload."""
+        count = len(suite)
+        return {workload.name: 1.0 / count for workload in suite}
+
+
+class SourceSuiteWeights(WeightScheme):
+    """Each source suite gets equal total weight, split among members.
+
+    This is the compromise a consortium reaches when it cannot drop
+    anyone's workloads: SPECjvm98, SciMark2 and DaCapo each get 1/3 of
+    the score, however many programs they contributed.
+    """
+
+    objective = False  # the per-suite split is itself a negotiation
+
+    def weights_for(self, suite: BenchmarkSuite) -> dict[str, float]:
+        """``1/|sources|`` per source suite, split among its members."""
+        sources = suite.source_suites()
+        per_suite = 1.0 / len(sources)
+        weights = {}
+        for source in sources:
+            members = suite.from_source(source)
+            for workload in members:
+                weights[workload.name] = per_suite / len(members)
+        return self._normalized(weights)
+
+
+class NegotiatedWeights(WeightScheme):
+    """Explicit hand-assigned weights (the fully subjective scheme)."""
+
+    objective = False
+
+    def __init__(self, weights: Mapping[str, float]) -> None:
+        if not weights:
+            raise MeasurementError("NegotiatedWeights: empty weight table")
+        if any(value <= 0.0 for value in weights.values()):
+            raise MeasurementError(
+                "NegotiatedWeights: weights must be strictly positive"
+            )
+        self._weights = dict(weights)
+
+    def weights_for(self, suite: BenchmarkSuite) -> dict[str, float]:
+        """The negotiated weights, normalized over the suite."""
+        missing = [w.name for w in suite if w.name not in self._weights]
+        if missing:
+            raise SuiteError(
+                f"NegotiatedWeights: no weight negotiated for {missing}"
+            )
+        return self._normalized(
+            {w.name: self._weights[w.name] for w in suite}
+        )
+
+
+class ClusterWeights(WeightScheme):
+    """Weights derived from a measured cluster partition.
+
+    ``1 / (k * |cluster|)`` per member — exactly the implied weights of
+    the hierarchical means, so the weighted geometric mean under this
+    scheme *is* the HGM.
+    """
+
+    objective = True
+
+    def __init__(self, partition: Partition) -> None:
+        self._partition = partition
+
+    @property
+    def partition(self) -> Partition:
+        """The cluster partition the weights derive from."""
+        return self._partition
+
+    def weights_for(self, suite: BenchmarkSuite) -> dict[str, float]:
+        """``1/(k * |cluster|)`` per member of each measured cluster."""
+        suite_names = set(suite.workload_names)
+        if suite_names != set(self._partition.labels):
+            raise SuiteError(
+                "ClusterWeights: partition does not cover the suite "
+                f"(missing {sorted(suite_names - self._partition.labels)}, "
+                f"extra {sorted(self._partition.labels - suite_names)})"
+            )
+        return implied_weights(self._partition)

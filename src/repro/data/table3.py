@@ -1,0 +1,100 @@
+"""Table III — relative workload speedups on machines A and B.
+
+Each value is the workload's execution-time speedup over the reference
+machine (Sun UltraSPARC III; Table II), averaged over 10 runs, exactly
+as printed in the paper.  These 26 numbers are the *only* performance
+inputs behind Tables IV-VI: every hierarchical-mean row is computed
+from them with a different cluster partition.
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.exceptions import SuiteError
+
+__all__ = [
+    "WORKLOAD_NAMES",
+    "MACHINE_A_SPEEDUPS",
+    "MACHINE_B_SPEEDUPS",
+    "SPEEDUP_TABLE",
+    "PLAIN_GEOMETRIC_MEANS",
+    "speedups_for_machine",
+]
+
+WORKLOAD_NAMES: tuple[str, ...] = (
+    "jvm98.201.compress",
+    "jvm98.202.jess",
+    "jvm98.213.javac",
+    "jvm98.222.mpegaudio",
+    "jvm98.227.mtrt",
+    "SciMark2.FFT",
+    "SciMark2.LU",
+    "SciMark2.MonteCarlo",
+    "SciMark2.SOR",
+    "SciMark2.Sparse",
+    "DaCapo.hsqldb",
+    "DaCapo.chart",
+    "DaCapo.xalan",
+)
+"""The 13 workloads of the hypothetical SPECjvm suite, in Table I order."""
+
+MACHINE_A_SPEEDUPS: Mapping[str, float] = MappingProxyType(
+    {
+        "jvm98.201.compress": 4.75,
+        "jvm98.202.jess": 5.32,
+        "jvm98.213.javac": 3.97,
+        "jvm98.222.mpegaudio": 6.50,
+        "jvm98.227.mtrt": 2.57,
+        "SciMark2.FFT": 1.09,
+        "SciMark2.LU": 1.19,
+        "SciMark2.MonteCarlo": 0.75,
+        "SciMark2.SOR": 1.22,
+        "SciMark2.Sparse": 0.71,
+        "DaCapo.hsqldb": 1.16,
+        "DaCapo.chart": 5.12,
+        "DaCapo.xalan": 1.88,
+    }
+)
+"""Speedup of machine A (dual Xeon, 2 MB L2) over the reference machine."""
+
+MACHINE_B_SPEEDUPS: Mapping[str, float] = MappingProxyType(
+    {
+        "jvm98.201.compress": 3.99,
+        "jvm98.202.jess": 3.65,
+        "jvm98.213.javac": 2.37,
+        "jvm98.222.mpegaudio": 6.11,
+        "jvm98.227.mtrt": 1.41,
+        "SciMark2.FFT": 1.07,
+        "SciMark2.LU": 0.90,
+        "SciMark2.MonteCarlo": 0.98,
+        "SciMark2.SOR": 1.31,
+        "SciMark2.Sparse": 0.90,
+        "DaCapo.hsqldb": 2.31,
+        "DaCapo.chart": 2.77,
+        "DaCapo.xalan": 2.62,
+    }
+)
+"""Speedup of machine B (Pentium 4, 512 KB L2) over the reference machine."""
+
+SPEEDUP_TABLE: Mapping[str, Mapping[str, float]] = MappingProxyType(
+    {"A": MACHINE_A_SPEEDUPS, "B": MACHINE_B_SPEEDUPS}
+)
+"""Both speedup columns of Table III, keyed by machine name."""
+
+PLAIN_GEOMETRIC_MEANS: Mapping[str, float] = MappingProxyType(
+    {"A": 2.10, "B": 1.94}
+)
+"""The plain-GM summary row of Table III (ratio 1.08)."""
+
+
+def speedups_for_machine(machine: str) -> dict[str, float]:
+    """Speedup column for machine ``"A"`` or ``"B"`` as a mutable dict."""
+    try:
+        column = SPEEDUP_TABLE[machine]
+    except KeyError:
+        raise SuiteError(
+            f"unknown machine {machine!r}; Table III covers machines 'A' and 'B'"
+        ) from None
+    return dict(column)

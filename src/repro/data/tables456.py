@@ -1,0 +1,100 @@
+"""Tables IV, V and VI — published hierarchical geometric means.
+
+Each table reports, for cluster counts k = 2..8, the HGM score of
+machines A and B (computed from the Table III speedups under a
+clustering of the suite) plus the A/B ratio.  The three tables differ
+only in where the clustering came from:
+
+* Table IV — complete-linkage clustering of the SOM map of SAR
+  counters collected on machine A (Figures 3-4);
+* Table V — the same analysis on machine B (Figures 5-6);
+* Table VI — clustering of Java method-utilization bit vectors,
+  machine-independent (Figures 7-8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.exceptions import SuiteError
+
+__all__ = [
+    "HGMTableRow",
+    "TABLE4_HGM",
+    "TABLE5_HGM",
+    "TABLE6_HGM",
+    "CLUSTER_COUNTS",
+    "hgm_table",
+]
+
+CLUSTER_COUNTS: tuple[int, ...] = (2, 3, 4, 5, 6, 7, 8)
+"""The cluster-count rows each table reports."""
+
+
+@dataclass(frozen=True, slots=True)
+class HGMTableRow:
+    """One published row: HGM on A, HGM on B, and their printed ratio."""
+
+    clusters: int
+    score_a: float
+    score_b: float
+    ratio: float
+
+
+TABLE4_HGM: Mapping[int, HGMTableRow] = MappingProxyType(
+    {
+        2: HGMTableRow(2, 2.58, 2.06, 1.25),
+        3: HGMTableRow(3, 2.62, 2.18, 1.20),
+        4: HGMTableRow(4, 2.89, 2.22, 1.30),
+        5: HGMTableRow(5, 2.70, 2.24, 1.21),
+        6: HGMTableRow(6, 2.77, 2.31, 1.20),
+        7: HGMTableRow(7, 2.63, 2.40, 1.10),
+        8: HGMTableRow(8, 2.34, 2.15, 1.09),
+    }
+)
+"""Table IV: HGM rows from the machine-A SAR clustering."""
+
+TABLE5_HGM: Mapping[int, HGMTableRow] = MappingProxyType(
+    {
+        2: HGMTableRow(2, 2.42, 2.12, 1.14),
+        3: HGMTableRow(3, 2.39, 2.14, 1.11),
+        4: HGMTableRow(4, 2.88, 2.42, 1.19),
+        5: HGMTableRow(5, 2.39, 2.34, 1.02),
+        6: HGMTableRow(6, 2.75, 2.64, 1.04),
+        7: HGMTableRow(7, 2.30, 2.27, 1.01),
+        8: HGMTableRow(8, 2.11, 2.10, 1.00),
+    }
+)
+"""Table V: HGM rows from the machine-B SAR clustering."""
+
+TABLE6_HGM: Mapping[int, HGMTableRow] = MappingProxyType(
+    {
+        2: HGMTableRow(2, 2.76, 2.30, 1.20),
+        3: HGMTableRow(3, 2.65, 2.31, 1.15),
+        4: HGMTableRow(4, 2.82, 2.36, 1.20),
+        5: HGMTableRow(5, 2.59, 2.38, 1.09),
+        6: HGMTableRow(6, 2.57, 2.46, 1.05),
+        7: HGMTableRow(7, 2.75, 2.52, 1.09),
+        8: HGMTableRow(8, 2.89, 2.52, 1.15),
+    }
+)
+"""Table VI: HGM rows from the Java method-utilization clustering."""
+
+_TABLES: Mapping[str, Mapping[int, HGMTableRow]] = MappingProxyType(
+    {
+        "table4": TABLE4_HGM,
+        "table5": TABLE5_HGM,
+        "table6": TABLE6_HGM,
+    }
+)
+
+
+def hgm_table(name: str) -> Mapping[int, HGMTableRow]:
+    """Published HGM table by name: ``table4``, ``table5`` or ``table6``."""
+    try:
+        return _TABLES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_TABLES))
+        raise SuiteError(f"unknown table {name!r}; known tables: {known}") from None

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one base class at an API
+boundary.  More specific subclasses communicate *which* subsystem
+rejected the input:
+
+* :class:`MeasurementError` -- invalid performance values (non-positive
+  scores fed to a geometric mean, empty measurement sets, NaNs, ...).
+* :class:`PartitionError` -- malformed cluster partitions (overlapping
+  blocks, missing labels, empty blocks, ...).
+* :class:`CharacterizationError` -- invalid characteristic vectors or
+  preprocessing that removed every feature.
+* :class:`ClusteringError` -- invalid clustering requests (cutting a
+  dendrogram into more clusters than points, unknown linkage, ...).
+* :class:`SOMError` -- invalid self-organizing-map configuration or use
+  of an untrained map.
+* :class:`ConvergenceError` -- an iterative algorithm failed to reach a
+  usable state (e.g. the partition solver found no consistent chain).
+* :class:`SuiteError` -- malformed benchmark-suite or machine
+  definitions (duplicate workload names, unknown machine, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "MeasurementError",
+    "PartitionError",
+    "CharacterizationError",
+    "ClusteringError",
+    "SOMError",
+    "ConvergenceError",
+    "SuiteError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class MeasurementError(ReproError, ValueError):
+    """Raised when performance measurements are unusable.
+
+    Examples: an empty set of scores, a non-positive value passed to a
+    geometric or harmonic mean, NaN/inf values, or mismatched lengths
+    between workload labels and values.
+    """
+
+
+class PartitionError(ReproError, ValueError):
+    """Raised when a cluster partition is structurally invalid.
+
+    A valid partition covers every workload label exactly once with
+    non-empty, pairwise-disjoint blocks.
+    """
+
+
+class CharacterizationError(ReproError, ValueError):
+    """Raised when characteristic vectors cannot be built or used."""
+
+
+class ClusteringError(ReproError, ValueError):
+    """Raised for invalid clustering configuration or requests."""
+
+
+class SOMError(ReproError, ValueError):
+    """Raised for invalid SOM configuration or premature queries."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative search or fit fails to converge."""
+
+
+class SuiteError(ReproError, ValueError):
+    """Raised for malformed benchmark suite or machine definitions."""

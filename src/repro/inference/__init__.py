@@ -1,0 +1,20 @@
+"""Inference tools that recover unpublished experimental detail.
+
+Tables IV-VI of the paper print hierarchical geometric means for
+cluster counts k = 2..8 but never print the cluster memberships behind
+them.  Because both machine columns are computed from the *same*
+Table III speedups, each row yields two simultaneous constraints on the
+partition, and the rows of one table must form a dendrogram-consistent
+chain (the k-cluster partition merges two blocks to give the
+(k-1)-cluster partition).  :mod:`repro.inference.partition_solver`
+searches that space and recovers the memberships, which are then frozen
+in :mod:`repro.data.partitions`.
+"""
+
+from repro.inference.partition_solver import (
+    PartitionChainSolver,
+    SolverReport,
+    TableTarget,
+)
+
+__all__ = ["PartitionChainSolver", "SolverReport", "TableTarget"]

@@ -1,0 +1,319 @@
+"""Recover cluster partitions from published hierarchical-mean scores.
+
+The solver answers the question: *which cluster memberships, when fed
+to the hierarchical geometric mean over the Table III speedups, print
+exactly the rows of Tables IV/V/VI?*
+
+Search space and pruning
+------------------------
+A table's rows come from cutting one dendrogram at different heights,
+so the partitions for k = 2..8 form a *chain*: each (k+1)-partition
+refines the k-partition by splitting exactly one block in two.  The
+solver therefore runs a depth-first search:
+
+1. enumerate every bipartition of the suite (4095 for 13 workloads)
+   and keep those whose HGM rounds to the published k=2 row on **both**
+   machines;
+2. expand each survivor through all single-block splits, keeping the
+   refinements that match the k=3 row; and so on up to k=8;
+3. optionally check *anchors* (partitions the paper's text states
+   outright, e.g. the machine-A 4-cluster partition of Section V-B.1)
+   and *together* constraints (label groups that must stay
+   co-clustered at every k, e.g. SciMark2 in Table VI).
+
+Tolerances
+----------
+Published scores are rounded to two decimals, and the Table III inputs
+are themselves rounded, so an exact-arithmetic match is impossible; a
+row matches when the recomputed HGM lies within ``tolerance`` of the
+published value on both machines (default a shade over half an ulp of
+the printed precision).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.partition import Partition
+from repro.exceptions import ConvergenceError, MeasurementError
+
+__all__ = ["TableTarget", "SolverReport", "PartitionChainSolver"]
+
+IndexPartition = frozenset[frozenset[int]]
+
+
+@dataclass(frozen=True, slots=True)
+class TableTarget:
+    """One published table row: cluster count and per-machine HGM."""
+
+    clusters: int
+    scores: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if self.clusters < 1:
+            raise MeasurementError("TableTarget: cluster count must be >= 1")
+        if not self.scores:
+            raise MeasurementError("TableTarget: no target scores")
+
+
+@dataclass(frozen=True)
+class SolverReport:
+    """Everything the solver found for one table.
+
+    ``chains`` holds every dendrogram-consistent partition chain that
+    reproduces all target rows, as ``{cluster_count: Partition}``
+    mappings sorted deterministically; ``chains[0]`` is the canonical
+    choice frozen into :mod:`repro.data.partitions`.
+    """
+
+    chains: tuple[Mapping[int, Partition], ...]
+    candidates_per_level: Mapping[int, int] = field(default_factory=dict)
+
+    @property
+    def num_chains(self) -> int:
+        """How many distinct chains satisfy every constraint."""
+        return len(self.chains)
+
+    @property
+    def canonical_chain(self) -> Mapping[int, Partition]:
+        """The first chain in deterministic order."""
+        if not self.chains:
+            raise ConvergenceError("solver found no consistent partition chain")
+        return self.chains[0]
+
+    def unanimous_rows(self) -> dict[int, Partition]:
+        """Rows whose partition is identical across every surviving chain."""
+        if not self.chains:
+            return {}
+        first = self.chains[0]
+        agreed: dict[int, Partition] = {}
+        for k, partition in first.items():
+            if all(chain[k] == partition for chain in self.chains[1:]):
+                agreed[k] = partition
+        return agreed
+
+
+class PartitionChainSolver:
+    """Depth-first search for dendrogram-consistent partition chains.
+
+    Parameters
+    ----------
+    speedups:
+        ``machine -> workload -> score`` for every machine named in the
+        targets (Table III in the paper's experiments).
+    targets:
+        Published rows, one per cluster count; counts must be
+        contiguous and start at 2.
+    tolerance:
+        Maximum absolute difference between a recomputed HGM and the
+        published value, per machine.
+    anchors:
+        ``cluster_count -> Partition`` equalities the chain must hit.
+    together:
+        Label groups that must share a block at every level.
+    """
+
+    def __init__(
+        self,
+        speedups: Mapping[str, Mapping[str, float]],
+        targets: Sequence[TableTarget],
+        *,
+        tolerance: float = 0.006,
+        anchors: Mapping[int, Partition] | None = None,
+        together: Sequence[Sequence[str]] = (),
+    ) -> None:
+        if not targets:
+            raise MeasurementError("PartitionChainSolver: no targets")
+        self._targets = {target.clusters: target for target in sorted(
+            targets, key=lambda t: t.clusters
+        )}
+        counts = sorted(self._targets)
+        if counts[0] != 2 or counts != list(range(2, counts[-1] + 1)):
+            raise MeasurementError(
+                "PartitionChainSolver: target cluster counts must be contiguous "
+                f"and start at 2, got {counts}"
+            )
+        self._max_clusters = counts[-1]
+        if tolerance <= 0.0:
+            raise MeasurementError("PartitionChainSolver: tolerance must be > 0")
+        self._tolerance = float(tolerance)
+
+        first_machine = next(iter(speedups))
+        self._labels: tuple[str, ...] = tuple(sorted(speedups[first_machine]))
+        self._index_of = {label: i for i, label in enumerate(self._labels)}
+        self._logs: dict[str, tuple[float, ...]] = {}
+        for machine, column in speedups.items():
+            if set(column) != set(self._labels):
+                raise MeasurementError(
+                    f"machine {machine!r} scores cover a different workload set"
+                )
+            for label, value in column.items():
+                if not (math.isfinite(value) and value > 0.0):
+                    raise MeasurementError(
+                        f"speedup for {label!r} on {machine!r} must be positive"
+                    )
+            self._logs[machine] = tuple(
+                math.log(column[label]) for label in self._labels
+            )
+        for target in self._targets.values():
+            unknown = set(target.scores) - set(self._logs)
+            if unknown:
+                raise MeasurementError(
+                    f"target for k={target.clusters} names machines with no "
+                    f"speedups: {sorted(unknown)}"
+                )
+
+        self._anchors = {
+            k: frozenset(
+                frozenset(self._index_of[label] for label in block)
+                for block in partition.blocks
+            )
+            for k, partition in (anchors or {}).items()
+        }
+        self._together: tuple[frozenset[int], ...] = tuple(
+            frozenset(self._index_of[label] for label in group) for group in together
+        )
+        for group in self._together:
+            if len(group) < 2:
+                raise MeasurementError(
+                    "together constraint groups need at least two labels"
+                )
+
+    # -- scoring ---------------------------------------------------------
+
+    def _hgm(self, machine: str, partition: IndexPartition) -> float:
+        logs = self._logs[machine]
+        outer = 0.0
+        for block in partition:
+            inner = 0.0
+            for index in block:
+                inner += logs[index]
+            outer += inner / len(block)
+        return math.exp(outer / len(partition))
+
+    def _matches_target(self, partition: IndexPartition, clusters: int) -> bool:
+        target = self._targets[clusters]
+        for machine, published in target.scores.items():
+            if abs(self._hgm(machine, partition) - published) > self._tolerance:
+                return False
+        return True
+
+    # -- structural constraints -------------------------------------------
+
+    def _satisfies_structure(self, partition: IndexPartition, clusters: int) -> bool:
+        anchor = self._anchors.get(clusters)
+        if anchor is not None and partition != anchor:
+            return False
+        for group in self._together:
+            touched = sum(1 for block in partition if group & block)
+            if touched != 1:
+                return False
+        return True
+
+    # -- enumeration --------------------------------------------------------
+
+    def _bipartitions(self) -> Iterator[IndexPartition]:
+        """Every split of the label set into two non-empty blocks."""
+        indices = tuple(range(len(self._labels)))
+        head, *tail = indices
+        for size in range(len(tail) + 1):
+            for extra in combinations(tail, size):
+                left = frozenset((head, *extra))
+                if len(left) == len(indices):
+                    continue
+                right = frozenset(indices) - left
+                yield frozenset((left, right))
+
+    @staticmethod
+    def _splits(partition: IndexPartition) -> Iterator[IndexPartition]:
+        """Refinements obtained by splitting exactly one block in two."""
+        blocks = tuple(partition)
+        for position, block in enumerate(blocks):
+            if len(block) < 2:
+                continue
+            members = sorted(block)
+            head, *tail = members
+            rest = frozenset(
+                blocks[i] for i in range(len(blocks)) if i != position
+            )
+            for size in range(len(tail)):
+                for extra in combinations(tail, size):
+                    left = frozenset((head, *extra))
+                    right = block - left
+                    yield rest | frozenset((left, right))
+
+    # -- search --------------------------------------------------------------
+
+    def solve(self, *, max_chains: int | None = None) -> SolverReport:
+        """Run the search and return every consistent chain.
+
+        ``max_chains`` caps the number of chains collected (useful when
+        only existence or the canonical chain is needed); ``None``
+        collects all of them.
+        """
+        level_counts: dict[int, int] = {}
+        chains: list[dict[int, IndexPartition]] = []
+
+        roots = [
+            partition
+            for partition in self._bipartitions()
+            if self._satisfies_structure(partition, 2)
+            and self._matches_target(partition, 2)
+        ]
+        level_counts[2] = len(roots)
+
+        def descend(chain: dict[int, IndexPartition], clusters: int) -> bool:
+            """DFS; returns False when the chain cap has been reached."""
+            if clusters == self._max_clusters:
+                chains.append(dict(chain))
+                return max_chains is None or len(chains) < max_chains
+            next_level = clusters + 1
+            seen: set[IndexPartition] = set()
+            for candidate in self._splits(chain[clusters]):
+                if candidate in seen:
+                    continue
+                seen.add(candidate)
+                if not self._satisfies_structure(candidate, next_level):
+                    continue
+                if not self._matches_target(candidate, next_level):
+                    continue
+                level_counts[next_level] = level_counts.get(next_level, 0) + 1
+                chain[next_level] = candidate
+                keep_going = descend(chain, next_level)
+                del chain[next_level]
+                if not keep_going:
+                    return False
+            return True
+
+        for root in roots:
+            if not descend({2: root}, 2):
+                break
+
+        return SolverReport(
+            chains=tuple(
+                {k: self._to_partition(p) for k, p in chain.items()}
+                for chain in self._sorted_chains(chains)
+            ),
+            candidates_per_level=level_counts,
+        )
+
+    def _to_partition(self, partition: IndexPartition) -> Partition:
+        return Partition(
+            [self._labels[index] for index in block] for block in partition
+        )
+
+    def _sorted_chains(
+        self, chains: list[dict[int, IndexPartition]]
+    ) -> list[dict[int, IndexPartition]]:
+        """Order chains deterministically by their rendered block structure."""
+
+        def chain_key(chain: dict[int, IndexPartition]) -> tuple:
+            return tuple(
+                tuple(sorted(tuple(sorted(block)) for block in chain[k]))
+                for k in sorted(chain)
+            )
+
+        return sorted(chains, key=chain_key)

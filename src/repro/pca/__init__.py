@@ -1,0 +1,15 @@
+"""Principal Components Analysis, implemented from scratch on numpy.
+
+PCA plays two roles in the paper:
+
+* the SOM's initial weight vectors are sampled from the plane spanned
+  by the two major principal components of the characteristic vectors
+  (Section III-A), and
+* PCA is the dimension-reduction technique of the related work
+  ([5], [10]-[12]) that SOM is argued to improve on, so it is the
+  natural ablation baseline.
+"""
+
+from repro.pca.pca import PCA, explained_variance_ratio, principal_plane
+
+__all__ = ["PCA", "explained_variance_ratio", "principal_plane"]

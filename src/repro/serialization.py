@@ -1,0 +1,148 @@
+"""JSON serialization for the library's result objects.
+
+A scoring methodology is only auditable if its intermediates can be
+archived: which partition produced which number, from which dendrogram.
+These helpers convert the core value objects to and from plain-JSON
+dictionaries (no custom encoders needed) and read/write them on disk.
+
+Round-trip guarantees are covered by tests: for every supported type,
+``from_dict(to_dict(x)) == x``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.analysis.pipeline import AnalysisResult
+from repro.cluster.dendrogram import Dendrogram, Merge
+from repro.core.partition import Partition
+from repro.exceptions import ReproError
+
+__all__ = [
+    "partition_to_dict",
+    "partition_from_dict",
+    "dendrogram_to_dict",
+    "dendrogram_from_dict",
+    "analysis_result_to_dict",
+    "chain_to_dict",
+    "chain_from_dict",
+    "save_json",
+    "load_json",
+]
+
+
+def partition_to_dict(partition: Partition) -> dict[str, Any]:
+    """Plain-JSON form of a partition: its blocks, canonically ordered."""
+    return {
+        "type": "partition",
+        "blocks": [list(block) for block in partition.blocks],
+    }
+
+
+def partition_from_dict(data: Mapping[str, Any]) -> Partition:
+    """Inverse of :func:`partition_to_dict`."""
+    if data.get("type") != "partition" or "blocks" not in data:
+        raise ReproError("partition_from_dict: not a serialized partition")
+    return Partition(data["blocks"])
+
+
+def dendrogram_to_dict(dendrogram: Dendrogram) -> dict[str, Any]:
+    """Plain-JSON form of a dendrogram: leaf labels plus merge records."""
+    return {
+        "type": "dendrogram",
+        "labels": list(dendrogram.labels),
+        "merges": [
+            {
+                "first": merge.first,
+                "second": merge.second,
+                "distance": merge.distance,
+                "size": merge.size,
+            }
+            for merge in dendrogram.merges
+        ],
+    }
+
+
+def dendrogram_from_dict(data: Mapping[str, Any]) -> Dendrogram:
+    """Inverse of :func:`dendrogram_to_dict`."""
+    if data.get("type") != "dendrogram":
+        raise ReproError("dendrogram_from_dict: not a serialized dendrogram")
+    merges = [
+        Merge(
+            first=entry["first"],
+            second=entry["second"],
+            distance=entry["distance"],
+            size=entry["size"],
+        )
+        for entry in data.get("merges", [])
+    ]
+    return Dendrogram(data["labels"], merges)
+
+
+def chain_to_dict(chain: Mapping[int, Partition]) -> dict[str, Any]:
+    """Plain-JSON form of a ``cluster count -> partition`` chain."""
+    return {
+        "type": "partition-chain",
+        "levels": {
+            str(k): partition_to_dict(partition)["blocks"]
+            for k, partition in chain.items()
+        },
+    }
+
+
+def chain_from_dict(data: Mapping[str, Any]) -> dict[int, Partition]:
+    """Inverse of :func:`chain_to_dict`."""
+    if data.get("type") != "partition-chain":
+        raise ReproError("chain_from_dict: not a serialized partition chain")
+    return {
+        int(k): Partition(blocks) for k, blocks in data.get("levels", {}).items()
+    }
+
+
+def analysis_result_to_dict(result: AnalysisResult) -> dict[str, Any]:
+    """Archivable summary of a pipeline run.
+
+    Keeps positions, the dendrogram, every scored cut and the
+    recommendation; drops the raw characteristic matrices and the SOM
+    weights (bulky, and reproducible from the seeds).
+    """
+    return {
+        "type": "analysis-result",
+        "suite": result.suite_name,
+        "characterization": result.characterization,
+        "machine": result.machine_name,
+        "positions": {
+            label: list(cell) for label, cell in sorted(result.positions.items())
+        },
+        "dendrogram": dendrogram_to_dict(result.dendrogram),
+        "cuts": [
+            {
+                "clusters": cut.clusters,
+                "partition": partition_to_dict(cut.partition)["blocks"],
+                "scores": dict(cut.scores),
+            }
+            for cut in result.cuts
+        ],
+        "recommended_clusters": result.recommended_clusters,
+    }
+
+
+def save_json(data: Mapping[str, Any], path: str | Path) -> None:
+    """Write a serialized object to disk (pretty-printed, stable order)."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_json(path: str | Path) -> dict[str, Any]:
+    """Read a serialized object back from disk."""
+    source = Path(path)
+    if not source.exists():
+        raise ReproError(f"load_json: no such file {source}")
+    try:
+        return json.loads(source.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ReproError(f"load_json: {source} is not valid JSON: {error}") from None

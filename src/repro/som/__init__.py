@@ -1,0 +1,62 @@
+"""Self-Organizing Map substrate (Section III-A), built from scratch.
+
+* :mod:`repro.som.grid` — the 2-D unit lattice and its location
+  vectors.
+* :mod:`repro.som.neighborhood` — the Gaussian kernel ``h_ci`` (and a
+  bubble kernel for ablations).
+* :mod:`repro.som.decay` — monotone schedules for ``alpha(n)`` and
+  ``sigma(n)``.
+* :mod:`repro.som.initialization` — principal-plane and random weight
+  initialization.
+* :mod:`repro.som.som` — the map itself with the paper's sequential
+  training rule plus a deterministic batch mode.
+* :mod:`repro.som.quality` — quantization and topographic error.
+* :mod:`repro.som.umatrix` — unified distance matrix.
+"""
+
+from repro.som.decay import (
+    DecaySchedule,
+    ExponentialDecay,
+    InverseTimeDecay,
+    LinearDecay,
+    resolve_decay,
+)
+from repro.som.grid import Grid
+from repro.som.initialization import (
+    pca_initialization,
+    random_initialization,
+    resolve_initializer,
+)
+from repro.som.neighborhood import (
+    BubbleNeighborhood,
+    GaussianNeighborhood,
+    NeighborhoodKernel,
+    resolve_neighborhood,
+)
+from repro.som.planes import component_plane, dominant_feature_map
+from repro.som.quality import quantization_error, topographic_error
+from repro.som.som import SelfOrganizingMap, SOMConfig
+from repro.som.umatrix import u_matrix
+
+__all__ = [
+    "Grid",
+    "NeighborhoodKernel",
+    "GaussianNeighborhood",
+    "BubbleNeighborhood",
+    "resolve_neighborhood",
+    "DecaySchedule",
+    "LinearDecay",
+    "ExponentialDecay",
+    "InverseTimeDecay",
+    "resolve_decay",
+    "random_initialization",
+    "pca_initialization",
+    "resolve_initializer",
+    "SOMConfig",
+    "SelfOrganizingMap",
+    "quantization_error",
+    "topographic_error",
+    "u_matrix",
+    "component_plane",
+    "dominant_feature_map",
+]

@@ -1,0 +1,121 @@
+"""Decay schedules for the SOM learning rate and neighborhood radius.
+
+Both ``alpha(n)`` and ``sigma(n)`` of Section III-A "monotonically
+decrease as we progress for each learning step n" (Figure 2).  A
+schedule here is a callable of training *progress* in ``[0, 1]``
+(step / total steps), which keeps schedules independent of the total
+step count.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import SOMError
+
+__all__ = [
+    "DecaySchedule",
+    "LinearDecay",
+    "ExponentialDecay",
+    "InverseTimeDecay",
+    "resolve_decay",
+]
+
+
+class DecaySchedule:
+    """Interface: value of a decaying parameter at a given progress."""
+
+    def __init__(self, start: float, end: float) -> None:
+        if not (math.isfinite(start) and math.isfinite(end)):
+            raise SOMError("decay schedule bounds must be finite")
+        if start <= 0.0:
+            raise SOMError(f"decay start value must be positive, got {start}")
+        if end < 0.0:
+            raise SOMError(f"decay end value must be non-negative, got {end}")
+        if end > start:
+            raise SOMError(
+                f"decay must not increase: start={start} < end={end}"
+            )
+        self._start = float(start)
+        self._end = float(end)
+
+    @property
+    def start(self) -> float:
+        """Value at progress 0."""
+        return self._start
+
+    @property
+    def end(self) -> float:
+        """Value approached at progress 1."""
+        return self._end
+
+    @staticmethod
+    def _check_progress(progress: float) -> float:
+        if not (0.0 <= progress <= 1.0):
+            raise SOMError(f"progress must be in [0, 1], got {progress}")
+        return float(progress)
+
+    def __call__(self, progress: float) -> float:
+        raise NotImplementedError
+
+
+class LinearDecay(DecaySchedule):
+    """Straight-line interpolation from start to end."""
+
+    def __call__(self, progress: float) -> float:
+        p = self._check_progress(progress)
+        return self._start + (self._end - self._start) * p
+
+
+class ExponentialDecay(DecaySchedule):
+    """Geometric interpolation: ``start * (end/start)**progress``.
+
+    Requires a strictly positive ``end``; decays fast early and slow
+    late, the shape sketched in Figure 2.
+    """
+
+    def __init__(self, start: float, end: float) -> None:
+        super().__init__(start, end)
+        if end <= 0.0:
+            raise SOMError("ExponentialDecay: end value must be positive")
+
+    def __call__(self, progress: float) -> float:
+        p = self._check_progress(progress)
+        return self._start * (self._end / self._start) ** p
+
+
+class InverseTimeDecay(DecaySchedule):
+    """Hyperbolic decay ``start / (1 + c*p)`` hitting ``end`` at ``p = 1``."""
+
+    def __init__(self, start: float, end: float) -> None:
+        super().__init__(start, end)
+        if end <= 0.0:
+            raise SOMError("InverseTimeDecay: end value must be positive")
+        self._c = self._start / self._end - 1.0
+
+    def __call__(self, progress: float) -> float:
+        p = self._check_progress(progress)
+        return self._start / (1.0 + self._c * p)
+
+
+_SCHEDULES = {
+    "linear": LinearDecay,
+    "exponential": ExponentialDecay,
+    "inverse": InverseTimeDecay,
+}
+
+
+def resolve_decay(
+    schedule: str | DecaySchedule, start: float, end: float
+) -> DecaySchedule:
+    """Build a schedule from a name, or pass an instance through."""
+    if isinstance(schedule, DecaySchedule):
+        return schedule
+    try:
+        factory = _SCHEDULES[schedule]
+    except KeyError:
+        known = ", ".join(sorted(_SCHEDULES))
+        raise SOMError(
+            f"unknown decay schedule {schedule!r}; known schedules: {known}"
+        ) from None
+    return factory(start, end)

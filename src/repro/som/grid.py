@@ -1,0 +1,151 @@
+"""The 2-D lattice of SOM units.
+
+A :class:`Grid` owns the *location vectors* ``r_i`` of Section III-A:
+fixed positions of the units in map space, against which the Gaussian
+neighborhood kernel measures distance.  Rectangular and hexagonal
+layouts are supported; the paper's figures use a rectangular map.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SOMError
+
+__all__ = ["Grid"]
+
+_TOPOLOGIES = ("rectangular", "hexagonal")
+
+
+class Grid:
+    """A rows-by-columns lattice of SOM units with fixed locations.
+
+    Units are indexed in row-major order: unit ``i`` sits at
+    ``(row, col) = divmod(i, columns)``.  For the hexagonal topology,
+    odd rows are shifted half a cell right and rows are compressed by
+    ``sqrt(3)/2``, giving each interior unit six equidistant
+    neighbors.
+
+    Example
+    -------
+    >>> grid = Grid(2, 3)
+    >>> grid.num_units
+    6
+    >>> grid.position_of(4)
+    (1, 1)
+    """
+
+    __slots__ = ("_rows", "_columns", "_topology", "_locations", "_sq_distances")
+
+    def __init__(self, rows: int, columns: int, *, topology: str = "rectangular") -> None:
+        if rows < 1 or columns < 1:
+            raise SOMError(f"Grid: needs positive dimensions, got {rows}x{columns}")
+        if topology not in _TOPOLOGIES:
+            raise SOMError(
+                f"Grid: unknown topology {topology!r}; choose from {_TOPOLOGIES}"
+            )
+        self._rows = rows
+        self._columns = columns
+        self._topology = topology
+
+        row_index, col_index = np.divmod(np.arange(rows * columns), columns)
+        x = col_index.astype(float)
+        y = row_index.astype(float)
+        if topology == "hexagonal":
+            x = x + 0.5 * (row_index % 2)
+            y = y * (np.sqrt(3.0) / 2.0)
+        self._locations = np.column_stack([x, y])
+
+        diff = self._locations[:, None, :] - self._locations[None, :, :]
+        self._sq_distances = np.sum(diff * diff, axis=2)
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Number of rows."""
+        return self._rows
+
+    @property
+    def columns(self) -> int:
+        """Number of columns."""
+        return self._columns
+
+    @property
+    def topology(self) -> str:
+        """``"rectangular"`` or ``"hexagonal"``."""
+        return self._topology
+
+    @property
+    def num_units(self) -> int:
+        """Total number of units."""
+        return self._rows * self._columns
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, columns)``."""
+        return (self._rows, self._columns)
+
+    @property
+    def diameter(self) -> float:
+        """Largest unit-to-unit map distance; a natural initial radius."""
+        return float(np.sqrt(self._sq_distances.max()))
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def locations(self) -> np.ndarray:
+        """Location vectors ``r_i``, one row per unit (read-only copy)."""
+        return self._locations.copy()
+
+    def position_of(self, unit: int) -> tuple[int, int]:
+        """Lattice coordinates ``(row, col)`` of a unit index."""
+        self._check_unit(unit)
+        return divmod(unit, self._columns)
+
+    def index_of(self, row: int, col: int) -> int:
+        """Unit index at lattice coordinates ``(row, col)``."""
+        if not (0 <= row < self._rows and 0 <= col < self._columns):
+            raise SOMError(
+                f"Grid: position ({row}, {col}) outside a {self._rows}x{self._columns} grid"
+            )
+        return row * self._columns + col
+
+    def squared_map_distances_from(self, unit: int) -> np.ndarray:
+        """``||r_c - r_i||^2`` for every unit ``i``, for BMU ``c = unit``.
+
+        This is the vector the neighborhood kernel is evaluated on;
+        it is precomputed for all pairs at construction, so lookups
+        are O(1) per training step.
+        """
+        self._check_unit(unit)
+        return self._sq_distances[unit]
+
+    def map_distance(self, first: int, second: int) -> float:
+        """Map-space distance between two units."""
+        self._check_unit(first)
+        self._check_unit(second)
+        return float(np.sqrt(self._sq_distances[first, second]))
+
+    def are_lattice_neighbors(self, first: int, second: int) -> bool:
+        """True when two units are immediately adjacent on the lattice.
+
+        Used by the topographic-error quality measure: a sample is
+        topographically correct when its best and second-best matching
+        units are adjacent.
+        """
+        self._check_unit(first)
+        self._check_unit(second)
+        if first == second:
+            return False
+        threshold = 1.0 if self._topology == "hexagonal" else np.sqrt(2.0)
+        return bool(self._sq_distances[first, second] <= threshold**2 + 1e-9)
+
+    def _check_unit(self, unit: int) -> None:
+        if not (0 <= unit < self.num_units):
+            raise SOMError(
+                f"Grid: unit index {unit} outside 0..{self.num_units - 1}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Grid(rows={self._rows}, columns={self._columns}, topology={self._topology!r})"

@@ -1,0 +1,77 @@
+"""Neighborhood kernels ``h_ci`` for SOM training.
+
+Section III-A defines the kernel as a Gaussian of map distance from
+the best matching unit, scaled by the learning rate:
+
+    h_ci(n) = alpha(n) * exp(-||r_c - r_i||^2 / (2 * sigma(n)^2))
+
+:class:`GaussianNeighborhood` implements exactly that;
+:class:`BubbleNeighborhood` is the classic hard-radius alternative kept
+for ablations.  Kernels are evaluated on *squared* map distances so the
+training loop can reuse the grid's precomputed distance table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SOMError
+
+__all__ = [
+    "NeighborhoodKernel",
+    "GaussianNeighborhood",
+    "BubbleNeighborhood",
+    "resolve_neighborhood",
+]
+
+
+class NeighborhoodKernel:
+    """Interface: kernel weights from squared map distances and a radius."""
+
+    def __call__(self, squared_distances: np.ndarray, sigma: float) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check_sigma(sigma: float) -> None:
+        if not sigma > 0.0:
+            raise SOMError(f"neighborhood radius must be positive, got {sigma}")
+
+
+class GaussianNeighborhood(NeighborhoodKernel):
+    """The paper's kernel: ``exp(-d^2 / (2 sigma^2))``.
+
+    Every unit receives a non-zero (if tiny) update, with the BMU
+    itself getting weight 1.
+    """
+
+    def __call__(self, squared_distances: np.ndarray, sigma: float) -> np.ndarray:
+        self._check_sigma(sigma)
+        return np.exp(-np.asarray(squared_distances, dtype=float) / (2.0 * sigma * sigma))
+
+
+class BubbleNeighborhood(NeighborhoodKernel):
+    """Hard-radius kernel: 1 inside ``sigma``, 0 outside."""
+
+    def __call__(self, squared_distances: np.ndarray, sigma: float) -> np.ndarray:
+        self._check_sigma(sigma)
+        distances = np.asarray(squared_distances, dtype=float)
+        return (distances <= sigma * sigma).astype(float)
+
+
+_KERNELS = {
+    "gaussian": GaussianNeighborhood,
+    "bubble": BubbleNeighborhood,
+}
+
+
+def resolve_neighborhood(kernel: str | NeighborhoodKernel) -> NeighborhoodKernel:
+    """Kernel instance from a name or an existing instance."""
+    if isinstance(kernel, NeighborhoodKernel):
+        return kernel
+    try:
+        return _KERNELS[kernel]()
+    except KeyError:
+        known = ", ".join(sorted(_KERNELS))
+        raise SOMError(
+            f"unknown neighborhood kernel {kernel!r}; known kernels: {known}"
+        ) from None

@@ -1,0 +1,42 @@
+"""Component planes: per-feature views of a trained SOM.
+
+A component plane slices the weight cube along one feature: the value
+of ``w_i[feature]`` arranged on the lattice.  Comparing a plane with
+the workload map shows *which characteristic drives which region* —
+e.g. the gc-activity plane lights up under the DaCapo corner, and the
+cpu-user plane under the SciMark2 corner.  Standard SOM practice, and a
+natural companion to the U-matrix for interpreting Figures 3/5/7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SOMError
+from repro.som.som import SelfOrganizingMap
+
+__all__ = ["component_plane", "dominant_feature_map"]
+
+
+def component_plane(som: SelfOrganizingMap, feature: int) -> np.ndarray:
+    """Weight values of one feature, shape ``(rows, columns)``."""
+    if not som.is_trained:
+        raise SOMError("component_plane: SOM is not trained")
+    weights = som.weights
+    if not (0 <= feature < weights.shape[1]):
+        raise SOMError(
+            f"component_plane: feature {feature} outside 0..{weights.shape[1] - 1}"
+        )
+    return weights[:, feature].reshape(som.grid.shape)
+
+
+def dominant_feature_map(som: SelfOrganizingMap) -> np.ndarray:
+    """Index of the largest-magnitude weight per unit, lattice-shaped.
+
+    On standardized characteristic vectors this names the feature that
+    most distinguishes each map region from the average workload.
+    """
+    if not som.is_trained:
+        raise SOMError("dominant_feature_map: SOM is not trained")
+    weights = som.weights
+    return np.abs(weights).argmax(axis=1).reshape(som.grid.shape)

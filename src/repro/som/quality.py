@@ -1,0 +1,62 @@
+"""Quality measures for a trained SOM.
+
+Two standard diagnostics:
+
+* **quantization error** — mean distance between each sample and its
+  best matching unit's weight vector; measures how faithfully the map
+  covers the data.
+* **topographic error** — fraction of samples whose best and
+  second-best matching units are *not* lattice neighbors; measures how
+  well the map preserves topology, which is the property the paper
+  leans on when reading cluster structure off the 2-D map.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SOMError
+from repro.som.som import SelfOrganizingMap
+
+__all__ = ["quantization_error", "topographic_error"]
+
+
+def quantization_error(
+    som: SelfOrganizingMap, data: Sequence[Sequence[float]] | np.ndarray
+) -> float:
+    """Mean Euclidean distance from samples to their BMU weights."""
+    if not som.is_trained:
+        raise SOMError("quantization_error: SOM is not trained")
+    matrix = np.asarray(data, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise SOMError(
+            f"quantization_error: expected non-empty 2-D data, got {matrix.shape}"
+        )
+    weights = som.weights
+    total = 0.0
+    for sample in matrix:
+        bmu = som.best_matching_unit(sample)
+        total += float(np.linalg.norm(sample - weights[bmu]))
+    return total / matrix.shape[0]
+
+
+def topographic_error(
+    som: SelfOrganizingMap, data: Sequence[Sequence[float]] | np.ndarray
+) -> float:
+    """Fraction of samples whose two best units are not adjacent."""
+    if not som.is_trained:
+        raise SOMError("topographic_error: SOM is not trained")
+    matrix = np.asarray(data, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] == 0:
+        raise SOMError(
+            f"topographic_error: expected non-empty 2-D data, got {matrix.shape}"
+        )
+    errors = 0
+    for sample in matrix:
+        best = som.best_matching_unit(sample)
+        second = som.second_best_matching_unit(sample)
+        if not som.grid.are_lattice_neighbors(best, second):
+            errors += 1
+    return errors / matrix.shape[0]

@@ -1,0 +1,365 @@
+"""The Self-Organizing Map (Section III-A), trained as in the paper.
+
+Training follows the pseudo-code of Section III-A exactly:
+
+    Initialize: assign initial values to each unit's weight vector
+    Repeat:
+        randomly select a characteristic vector
+        get the best matching unit
+        adjust the weight of itself and its neighbors
+    Continue until converge
+
+with the update rule
+
+    w_i(n+1) = w_i(n) + h_ci(n) * [x(n) - w_i(n)]
+    h_ci(n)  = alpha(n) * exp(-||r_c - r_i||^2 / (2 sigma(n)^2))
+
+where both ``alpha`` and ``sigma`` decay monotonically.  A batch
+training mode (deterministic, the standard Kohonen batch update) is
+provided as an extension for reproducible pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import SOMError
+from repro.som.decay import DecaySchedule, resolve_decay
+from repro.som.grid import Grid
+from repro.som.initialization import resolve_initializer
+from repro.som.neighborhood import NeighborhoodKernel, resolve_neighborhood
+
+__all__ = ["SOMConfig", "SelfOrganizingMap"]
+
+
+@dataclass(frozen=True)
+class SOMConfig:
+    """Hyper-parameters of a :class:`SelfOrganizingMap`.
+
+    Attributes
+    ----------
+    rows, columns:
+        Lattice shape.  The paper's figures use maps around 8x8 for 13
+        workloads; a few units per workload is a good default ratio.
+    topology:
+        ``"rectangular"`` (paper) or ``"hexagonal"``.
+    initialization:
+        ``"pca"`` (paper's principal-plane sampling) or ``"random"``.
+    neighborhood:
+        ``"gaussian"`` (paper) or ``"bubble"``.
+    learning_rate:
+        ``(start, end)`` for ``alpha(n)``.
+    radius:
+        ``(start, end)`` for ``sigma(n)``; ``start=None`` defaults to
+        half the grid diameter.
+    decay:
+        Schedule family for both ``alpha`` and ``sigma``:
+        ``"exponential"`` (default), ``"linear"`` or ``"inverse"``.
+    steps_per_sample:
+        Sequential training runs ``steps_per_sample * n_samples``
+        random-draw steps.
+    seed:
+        Seed for initialization and the random sample draws.
+    """
+
+    rows: int = 8
+    columns: int = 8
+    topology: str = "rectangular"
+    initialization: str = "pca"
+    neighborhood: str = "gaussian"
+    learning_rate: tuple[float, float] = (0.5, 0.01)
+    radius: tuple[float | None, float] = (None, 0.6)
+    decay: str = "exponential"
+    steps_per_sample: int = 500
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.steps_per_sample < 1:
+            raise SOMError("SOMConfig: steps_per_sample must be >= 1")
+        start, end = self.learning_rate
+        if not (0.0 < end <= start <= 1.0):
+            raise SOMError(
+                "SOMConfig: learning_rate must satisfy 0 < end <= start <= 1, "
+                f"got {self.learning_rate}"
+            )
+
+
+class SelfOrganizingMap:
+    """A 2-D Kohonen map for workload characteristic vectors.
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> data = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0]])
+    >>> som = SelfOrganizingMap(SOMConfig(rows=4, columns=4)).fit(data)
+    >>> cells = som.project(data)
+    >>> bool(np.all(cells[0] == cells[1]) or
+    ...      np.abs(cells[0] - cells[1]).sum() <= 2)
+    True
+    """
+
+    def __init__(self, config: SOMConfig | None = None) -> None:
+        self._config = config or SOMConfig()
+        self._grid = Grid(
+            self._config.rows, self._config.columns, topology=self._config.topology
+        )
+        self._kernel: NeighborhoodKernel = resolve_neighborhood(
+            self._config.neighborhood
+        )
+        radius_start = self._config.radius[0]
+        if radius_start is None:
+            radius_start = max(self._grid.diameter / 2.0, self._config.radius[1])
+        self._alpha: DecaySchedule = resolve_decay(
+            self._config.decay, *self._config.learning_rate
+        )
+        self._sigma: DecaySchedule = resolve_decay(
+            self._config.decay, radius_start, self._config.radius[1]
+        )
+        self._weights: np.ndarray | None = None
+        self._history: tuple[tuple[int, float], ...] = ()
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def config(self) -> SOMConfig:
+        """The configuration this map was built with."""
+        return self._config
+
+    @property
+    def grid(self) -> Grid:
+        """The unit lattice."""
+        return self._grid
+
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._weights is not None
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Unit weight vectors, shape ``(num_units, dim)`` (copy)."""
+        self._require_trained()
+        assert self._weights is not None
+        return self._weights.copy()
+
+    @property
+    def weight_grid(self) -> np.ndarray:
+        """Weights reshaped to ``(rows, columns, dim)`` (copy)."""
+        self._require_trained()
+        assert self._weights is not None
+        return self._weights.reshape(
+            self._grid.rows, self._grid.columns, -1
+        ).copy()
+
+    def _require_trained(self) -> None:
+        if self._weights is None:
+            raise SOMError("SelfOrganizingMap: not trained yet; call fit() first")
+
+    # -- data validation ---------------------------------------------------
+
+    @staticmethod
+    def _as_data(data: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
+        matrix = np.asarray(data, dtype=float)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(1, -1)
+        if matrix.ndim != 2 or matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise SOMError(
+                f"SOM: expected a non-empty 2-D data matrix, got shape {matrix.shape}"
+            )
+        if not np.all(np.isfinite(matrix)):
+            raise SOMError("SOM: data contains NaN or inf")
+        return matrix
+
+    # -- training -------------------------------------------------------------
+
+    def fit(
+        self,
+        data: Sequence[Sequence[float]] | np.ndarray,
+        *,
+        mode: str = "sequential",
+        track_quality_every: int = 0,
+    ) -> "SelfOrganizingMap":
+        """Train the map on characteristic vectors (samples in rows).
+
+        ``mode="sequential"`` is the paper's algorithm (random draws,
+        per-sample updates); ``mode="batch"`` is the deterministic
+        batch rule, useful when bit-for-bit reproducibility across
+        sample orderings matters.
+
+        ``track_quality_every`` (sequential mode only): when positive,
+        record the quantization error every that-many steps into
+        :attr:`training_history` — the quantitative version of the
+        pseudo-code's "continue until converge".
+        """
+        if track_quality_every < 0:
+            raise SOMError("SOM: track_quality_every must be >= 0")
+        matrix = self._as_data(data)
+        rng = np.random.default_rng(self._config.seed)
+        initializer = resolve_initializer(self._config.initialization)
+        self._weights = initializer(self._grid, matrix, rng).astype(float)
+        self._history = ()
+
+        if mode == "sequential":
+            self._fit_sequential(matrix, rng, track_quality_every)
+        elif mode == "batch":
+            self._fit_batch(matrix)
+        else:
+            raise SOMError(
+                f"SOM: unknown training mode {mode!r}; use 'sequential' or 'batch'"
+            )
+        return self
+
+    @property
+    def training_history(self) -> tuple[tuple[int, float], ...]:
+        """``(step, quantization error)`` samples recorded during fit."""
+        return self._history
+
+    def _quantization_error_of(self, matrix: np.ndarray) -> float:
+        assert self._weights is not None
+        bmus = self._bmus_of(matrix)
+        return float(
+            np.mean(
+                np.linalg.norm(matrix - self._weights[bmus], axis=1)
+            )
+        )
+
+    def _fit_sequential(
+        self,
+        matrix: np.ndarray,
+        rng: np.random.Generator,
+        track_quality_every: int = 0,
+    ) -> None:
+        assert self._weights is not None
+        total_steps = self._config.steps_per_sample * matrix.shape[0]
+        denominator = max(total_steps - 1, 1)
+        history: list[tuple[int, float]] = []
+        for step in range(total_steps):
+            progress = step / denominator
+            alpha = self._alpha(progress)
+            sigma = self._sigma(progress)
+            sample = matrix[rng.integers(matrix.shape[0])]
+            bmu = self._bmu_of(sample)
+            kernel = alpha * self._kernel(
+                self._grid.squared_map_distances_from(bmu), sigma
+            )
+            self._weights += kernel[:, None] * (sample - self._weights)
+            if track_quality_every and step % track_quality_every == 0:
+                history.append((step, self._quantization_error_of(matrix)))
+        if track_quality_every:
+            history.append(
+                (total_steps - 1, self._quantization_error_of(matrix))
+            )
+            self._history = tuple(history)
+
+    def _fit_batch(self, matrix: np.ndarray, *, epochs: int = 50) -> None:
+        assert self._weights is not None
+        denominator = max(epochs - 1, 1)
+        for epoch in range(epochs):
+            progress = epoch / denominator
+            sigma = self._sigma(progress)
+            bmus = self._bmus_of(matrix)
+            influence = self._kernel(
+                np.stack(
+                    [self._grid.squared_map_distances_from(b) for b in bmus]
+                ),
+                sigma,
+            )  # shape (n_samples, n_units)
+            totals = influence.sum(axis=0)
+            # Units that no sample influences keep their weights.
+            active = totals > 1e-12
+            numerator = influence.T @ matrix
+            self._weights[active] = numerator[active] / totals[active, None]
+
+    # -- queries ------------------------------------------------------------------
+
+    def _bmu_of(self, sample: np.ndarray) -> int:
+        assert self._weights is not None
+        diff = self._weights - sample
+        return int(np.argmin(np.einsum("ij,ij->i", diff, diff)))
+
+    def _bmus_of(self, matrix: np.ndarray) -> np.ndarray:
+        assert self._weights is not None
+        # Squared distances via the expansion trick; argmin per sample.
+        cross = matrix @ self._weights.T
+        weight_norms = np.sum(self._weights * self._weights, axis=1)
+        return np.argmin(weight_norms[None, :] - 2.0 * cross, axis=1)
+
+    def best_matching_unit(self, vector: Sequence[float] | np.ndarray) -> int:
+        """Index of the unit whose weight vector is nearest to ``vector``."""
+        self._require_trained()
+        sample = self._as_data(vector)[0]
+        assert self._weights is not None
+        if sample.size != self._weights.shape[1]:
+            raise SOMError(
+                f"SOM: vector has dimension {sample.size}, map expects "
+                f"{self._weights.shape[1]}"
+            )
+        return self._bmu_of(sample)
+
+    def second_best_matching_unit(
+        self, vector: Sequence[float] | np.ndarray
+    ) -> int:
+        """Index of the second-nearest unit (for topographic error)."""
+        self._require_trained()
+        sample = self._as_data(vector)[0]
+        assert self._weights is not None
+        diff = self._weights - sample
+        distances = np.einsum("ij,ij->i", diff, diff)
+        if distances.size < 2:
+            raise SOMError("SOM: map has a single unit; no second BMU exists")
+        return int(np.argsort(distances)[1])
+
+    def project(
+        self, data: Sequence[Sequence[float]] | np.ndarray
+    ) -> np.ndarray:
+        """Map samples to lattice coordinates, shape ``(n_samples, 2)``.
+
+        Each row is ``(row, col)`` of the sample's best matching unit —
+        the "location of the workloads on the reduced dimension" that
+        Figures 3, 5 and 7 plot.
+        """
+        self._require_trained()
+        matrix = self._as_data(data)
+        assert self._weights is not None
+        if matrix.shape[1] != self._weights.shape[1]:
+            raise SOMError(
+                f"SOM: data has dimension {matrix.shape[1]}, map expects "
+                f"{self._weights.shape[1]}"
+            )
+        bmus = self._bmus_of(matrix)
+        return np.column_stack(np.divmod(bmus, self._grid.columns))
+
+    def hit_map(
+        self, data: Sequence[Sequence[float]] | np.ndarray
+    ) -> np.ndarray:
+        """Per-cell sample counts, shape ``(rows, columns)``.
+
+        Cells with counts above one are the "darker cells" of Figure 3:
+        multiple workloads mapping to the same unit, i.e. particularly
+        similar workloads.
+        """
+        positions = self.project(data)
+        counts = np.zeros(self._grid.shape, dtype=int)
+        for row, col in positions:
+            counts[row, col] += 1
+        return counts
+
+    def label_map(
+        self,
+        data: Sequence[Sequence[float]] | np.ndarray,
+        labels: Sequence[str],
+    ) -> Mapping[tuple[int, int], tuple[str, ...]]:
+        """Labels grouped by the cell their vectors map to."""
+        matrix = self._as_data(data)
+        if len(labels) != matrix.shape[0]:
+            raise SOMError(
+                f"SOM: {len(labels)} labels for {matrix.shape[0]} samples"
+            )
+        positions = self.project(matrix)
+        cells: dict[tuple[int, int], list[str]] = {}
+        for (row, col), label in zip(positions, labels):
+            cells.setdefault((int(row), int(col)), []).append(label)
+        return {cell: tuple(names) for cell, names in cells.items()}

@@ -1,0 +1,41 @@
+"""Unified distance matrix (U-matrix) of a trained SOM.
+
+The U-matrix assigns every unit the average weight-space distance to
+its lattice neighbors.  High values mark cluster boundaries; low
+values mark dense regions — the quantitative counterpart of reading
+"the closer two cells, the more similar the workloads" off Figures
+3, 5 and 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SOMError
+from repro.som.som import SelfOrganizingMap
+
+__all__ = ["u_matrix"]
+
+
+def u_matrix(som: SelfOrganizingMap) -> np.ndarray:
+    """Average neighbor distance per unit, shape ``(rows, columns)``."""
+    if not som.is_trained:
+        raise SOMError("u_matrix: SOM is not trained")
+    grid = som.grid
+    weights = som.weights
+    result = np.zeros(grid.shape, dtype=float)
+    for unit in range(grid.num_units):
+        neighbors = [
+            other
+            for other in range(grid.num_units)
+            if grid.are_lattice_neighbors(unit, other)
+        ]
+        if not neighbors:
+            continue
+        distances = [
+            float(np.linalg.norm(weights[unit] - weights[other]))
+            for other in neighbors
+        ]
+        row, col = grid.position_of(unit)
+        result[row, col] = float(np.mean(distances))
+    return result

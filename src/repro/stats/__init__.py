@@ -1,0 +1,65 @@
+"""Small statistics substrate used across the library.
+
+The paper's pipeline repeatedly needs three primitives:
+
+* **descriptive statistics** over counter samples
+  (:mod:`repro.stats.descriptive`),
+* **z-standardization** of characteristic-vector columns, as required
+  before cluster analysis in Section IV-C
+  (:mod:`repro.stats.standardize`), and
+* **distance metrics** between characteristic vectors and SOM weight
+  vectors (:mod:`repro.stats.distance`).
+
+Everything is implemented on plain numpy arrays so the rest of the
+library has no heavyweight dependencies.
+"""
+
+from repro.stats.descriptive import (
+    coefficient_of_variation,
+    describe,
+    sample_mean,
+    sample_std,
+    SummaryStatistics,
+)
+from repro.stats.correlation import (
+    correlated_pairs,
+    correlation_matrix,
+    decorrelate_features,
+)
+from repro.stats.distance import (
+    DISTANCE_METRICS,
+    chebyshev_distance,
+    cosine_distance,
+    euclidean_distance,
+    manhattan_distance,
+    pairwise_distances,
+    resolve_metric,
+    squared_euclidean_distance,
+)
+from repro.stats.standardize import (
+    ColumnStandardizer,
+    drop_constant_columns,
+    standardize_columns,
+)
+
+__all__ = [
+    "SummaryStatistics",
+    "describe",
+    "sample_mean",
+    "sample_std",
+    "coefficient_of_variation",
+    "euclidean_distance",
+    "squared_euclidean_distance",
+    "manhattan_distance",
+    "chebyshev_distance",
+    "cosine_distance",
+    "pairwise_distances",
+    "resolve_metric",
+    "DISTANCE_METRICS",
+    "ColumnStandardizer",
+    "correlation_matrix",
+    "correlated_pairs",
+    "decorrelate_features",
+    "standardize_columns",
+    "drop_constant_columns",
+]

@@ -1,0 +1,95 @@
+"""Feature-correlation analysis for characteristic vectors.
+
+Section III motivates dimension reduction with "the high dimensionality
+of the characteristic vectors and the correlation among characteristic
+vector elements".  These helpers quantify that correlation: the full
+correlation matrix, the strongly correlated feature pairs, and a greedy
+decorrelation filter that keeps one representative per correlated
+group — a lightweight alternative to SOM/PCA when all that is needed is
+removing outright duplication among counters.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import CharacterizationError
+
+__all__ = [
+    "correlation_matrix",
+    "correlated_pairs",
+    "decorrelate_features",
+]
+
+
+def correlation_matrix(
+    matrix: Sequence[Sequence[float]] | np.ndarray,
+) -> np.ndarray:
+    """Pearson correlation between columns, with constant columns -> 0.
+
+    Standard ``corrcoef`` yields NaN for zero-variance columns; here a
+    constant column simply correlates with nothing, so downstream
+    thresholding logic need not special-case it.
+    """
+    array = np.asarray(matrix, dtype=float)
+    if array.ndim != 2 or array.shape[0] < 2:
+        raise CharacterizationError(
+            "correlation_matrix: need a 2-D matrix with at least two rows, "
+            f"got {array.shape}"
+        )
+    if not np.all(np.isfinite(array)):
+        raise CharacterizationError("correlation_matrix: matrix contains NaN/inf")
+
+    centered = array - array.mean(axis=0)
+    stds = centered.std(axis=0)
+    safe = np.where(stds > 0.0, stds, 1.0)
+    normalized = centered / safe
+    correlation = (normalized.T @ normalized) / array.shape[0]
+    constant = stds == 0.0
+    correlation[constant, :] = 0.0
+    correlation[:, constant] = 0.0
+    np.fill_diagonal(correlation, 1.0)
+    return np.clip(correlation, -1.0, 1.0)
+
+
+def correlated_pairs(
+    matrix: Sequence[Sequence[float]] | np.ndarray,
+    *,
+    threshold: float = 0.95,
+) -> list[tuple[int, int, float]]:
+    """Column pairs with ``|r| >= threshold``, strongest first."""
+    if not (0.0 < threshold <= 1.0):
+        raise CharacterizationError(
+            f"correlated_pairs: threshold must be in (0, 1], got {threshold}"
+        )
+    correlation = correlation_matrix(matrix)
+    count = correlation.shape[0]
+    pairs = [
+        (i, j, float(correlation[i, j]))
+        for i in range(count)
+        for j in range(i + 1, count)
+        if abs(correlation[i, j]) >= threshold
+    ]
+    pairs.sort(key=lambda item: (-abs(item[2]), item[0], item[1]))
+    return pairs
+
+
+def decorrelate_features(
+    matrix: Sequence[Sequence[float]] | np.ndarray,
+    *,
+    threshold: float = 0.95,
+) -> np.ndarray:
+    """Indices of a feature subset with no pair above ``threshold``.
+
+    Greedy: walk the columns in order, keep a column only if its
+    correlation with every kept column stays below the threshold.
+    Deterministic and order-stable, so counter names remain meaningful.
+    """
+    correlation = np.abs(correlation_matrix(matrix))
+    kept: list[int] = []
+    for column in range(correlation.shape[0]):
+        if all(correlation[column, existing] < threshold for existing in kept):
+            kept.append(column)
+    return np.array(kept, dtype=int)

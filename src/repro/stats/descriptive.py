@@ -1,0 +1,105 @@
+"""Descriptive statistics over measurement samples.
+
+The SAR characterization of Section IV-C samples each operating-system
+counter 15 times per run over 10 runs and keeps the *average* sample as
+the representative counter value.  These helpers centralize the summary
+computations (and their input validation) used by that collector and by
+the execution-time simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+
+__all__ = [
+    "SummaryStatistics",
+    "describe",
+    "sample_mean",
+    "sample_std",
+    "coefficient_of_variation",
+]
+
+
+def _as_clean_1d(values: Sequence[float] | np.ndarray, *, context: str) -> np.ndarray:
+    """Convert ``values`` to a finite 1-D float array or raise."""
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise MeasurementError(
+            f"{context}: expected a 1-D sequence, got shape {array.shape}"
+        )
+    if array.size == 0:
+        raise MeasurementError(f"{context}: empty sample")
+    if not np.all(np.isfinite(array)):
+        raise MeasurementError(f"{context}: sample contains NaN or infinite values")
+    return array
+
+
+def sample_mean(values: Sequence[float] | np.ndarray) -> float:
+    """Arithmetic mean of a finite, non-empty sample."""
+    return float(np.mean(_as_clean_1d(values, context="sample_mean")))
+
+
+def sample_std(values: Sequence[float] | np.ndarray, *, ddof: int = 1) -> float:
+    """Sample standard deviation (``ddof=1`` by default).
+
+    A single observation has zero spread by convention rather than NaN,
+    so downstream standardization code can treat it as a constant.
+    """
+    array = _as_clean_1d(values, context="sample_std")
+    if array.size <= ddof:
+        return 0.0
+    return float(np.std(array, ddof=ddof))
+
+
+def coefficient_of_variation(values: Sequence[float] | np.ndarray) -> float:
+    """Ratio of standard deviation to mean, used to flag noisy counters.
+
+    Raises :class:`MeasurementError` when the mean is zero, because the
+    ratio is undefined there.
+    """
+    array = _as_clean_1d(values, context="coefficient_of_variation")
+    mean = float(np.mean(array))
+    if math.isclose(mean, 0.0, abs_tol=1e-300):
+        raise MeasurementError(
+            "coefficient_of_variation: undefined for a zero-mean sample"
+        )
+    return sample_std(array) / abs(mean)
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryStatistics:
+    """Five-number-style summary of one measurement sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def spread(self) -> float:
+        """Range of the sample (max - min)."""
+        return self.maximum - self.minimum
+
+    @property
+    def is_constant(self) -> bool:
+        """True when every observation equals every other one."""
+        return self.spread == 0.0
+
+
+def describe(values: Sequence[float] | np.ndarray) -> SummaryStatistics:
+    """Summarize a finite, non-empty 1-D sample."""
+    array = _as_clean_1d(values, context="describe")
+    return SummaryStatistics(
+        count=int(array.size),
+        mean=float(np.mean(array)),
+        std=sample_std(array),
+        minimum=float(np.min(array)),
+        maximum=float(np.max(array)),
+    )

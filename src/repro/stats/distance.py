@@ -1,0 +1,154 @@
+"""Distance metrics between characteristic vectors.
+
+The paper uses Euclidean distance both for the SOM best-matching-unit
+search (Section III-A) and as the point-to-point distance underneath
+complete-linkage clustering (Section III-B).  Additional metrics are
+provided for ablation studies; every metric shares the same
+``(vector, vector) -> float`` signature so callers can swap them by
+name through :func:`resolve_metric`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+
+__all__ = [
+    "euclidean_distance",
+    "squared_euclidean_distance",
+    "manhattan_distance",
+    "chebyshev_distance",
+    "cosine_distance",
+    "pairwise_distances",
+    "resolve_metric",
+    "DISTANCE_METRICS",
+]
+
+DistanceMetric = Callable[[np.ndarray, np.ndarray], float]
+
+
+def _as_pair(x: Sequence[float], y: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a pair of equal-length finite 1-D vectors."""
+    a = np.asarray(x, dtype=float)
+    b = np.asarray(y, dtype=float)
+    if a.ndim != 1 or b.ndim != 1:
+        raise MeasurementError(
+            f"distance: expected 1-D vectors, got shapes {a.shape} and {b.shape}"
+        )
+    if a.shape != b.shape:
+        raise MeasurementError(
+            f"distance: dimension mismatch ({a.size} vs {b.size})"
+        )
+    if a.size == 0:
+        raise MeasurementError("distance: empty vectors")
+    if not (np.all(np.isfinite(a)) and np.all(np.isfinite(b))):
+        raise MeasurementError("distance: vectors contain NaN or infinite values")
+    return a, b
+
+
+def squared_euclidean_distance(x: Sequence[float], y: Sequence[float]) -> float:
+    """Squared L2 distance; cheaper than :func:`euclidean_distance` for argmin."""
+    a, b = _as_pair(x, y)
+    diff = a - b
+    return float(np.dot(diff, diff))
+
+
+def euclidean_distance(x: Sequence[float], y: Sequence[float]) -> float:
+    """L2 distance, the paper's point-to-point metric."""
+    return float(np.sqrt(squared_euclidean_distance(x, y)))
+
+
+def manhattan_distance(x: Sequence[float], y: Sequence[float]) -> float:
+    """L1 distance."""
+    a, b = _as_pair(x, y)
+    return float(np.sum(np.abs(a - b)))
+
+
+def chebyshev_distance(x: Sequence[float], y: Sequence[float]) -> float:
+    """L-infinity distance."""
+    a, b = _as_pair(x, y)
+    return float(np.max(np.abs(a - b)))
+
+
+def cosine_distance(x: Sequence[float], y: Sequence[float]) -> float:
+    """One minus the cosine similarity.
+
+    Useful for the Java method-utilization bit vectors where the number
+    of shared methods matters more than vector magnitude.  Raises on
+    zero vectors, where the angle is undefined.
+    """
+    a, b = _as_pair(x, y)
+    norm_a = float(np.linalg.norm(a))
+    norm_b = float(np.linalg.norm(b))
+    if norm_a == 0.0 or norm_b == 0.0:
+        raise MeasurementError("cosine_distance: undefined for a zero vector")
+    similarity = float(np.dot(a, b)) / (norm_a * norm_b)
+    # Guard against floating-point drift slightly outside [-1, 1].
+    similarity = max(-1.0, min(1.0, similarity))
+    return 1.0 - similarity
+
+
+DISTANCE_METRICS: Mapping[str, DistanceMetric] = {
+    "euclidean": euclidean_distance,
+    "sqeuclidean": squared_euclidean_distance,
+    "manhattan": manhattan_distance,
+    "chebyshev": chebyshev_distance,
+    "cosine": cosine_distance,
+}
+
+
+def resolve_metric(metric: str | DistanceMetric) -> DistanceMetric:
+    """Return a metric callable from a name or pass a callable through."""
+    if callable(metric):
+        return metric
+    try:
+        return DISTANCE_METRICS[metric]
+    except KeyError:
+        known = ", ".join(sorted(DISTANCE_METRICS))
+        raise MeasurementError(
+            f"unknown distance metric {metric!r}; known metrics: {known}"
+        ) from None
+
+
+def pairwise_distances(
+    points: Sequence[Sequence[float]] | np.ndarray,
+    *,
+    metric: str | DistanceMetric = "euclidean",
+) -> np.ndarray:
+    """Symmetric matrix of pairwise distances between row vectors.
+
+    The diagonal is exactly zero.  Vectorized fast paths cover the
+    metrics used on hot paths (Euclidean family); other metrics fall
+    back to the generic pairwise loop.
+    """
+    array = np.asarray(points, dtype=float)
+    if array.ndim != 2:
+        raise MeasurementError(
+            f"pairwise_distances: expected a 2-D array, got shape {array.shape}"
+        )
+    if array.shape[0] == 0:
+        raise MeasurementError("pairwise_distances: no points")
+    if not np.all(np.isfinite(array)):
+        raise MeasurementError("pairwise_distances: points contain NaN/inf")
+
+    if metric in ("euclidean", "sqeuclidean"):
+        # ||a-b||^2 = ||a||^2 + ||b||^2 - 2 a.b, clipped against round-off.
+        squared_norms = np.sum(array * array, axis=1)
+        squared = squared_norms[:, None] + squared_norms[None, :]
+        squared -= 2.0 * (array @ array.T)
+        np.clip(squared, 0.0, None, out=squared)
+        np.fill_diagonal(squared, 0.0)
+        return squared if metric == "sqeuclidean" else np.sqrt(squared)
+
+    metric_fn = resolve_metric(metric)
+    count = array.shape[0]
+    matrix = np.zeros((count, count), dtype=float)
+    for i in range(count):
+        for j in range(i + 1, count):
+            value = metric_fn(array[i], array[j])
+            matrix[i, j] = value
+            matrix[j, i] = value
+    return matrix

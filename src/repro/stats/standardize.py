@@ -1,0 +1,137 @@
+"""Column standardization for characteristic-vector matrices.
+
+Section IV-C standardizes every counter (subtract the mean, divide by
+the standard deviation) before cluster analysis, and discards counters
+that do not vary across workloads because they carry no discriminating
+information.  :class:`ColumnStandardizer` implements the fit/transform
+pair; the module-level helpers cover the common one-shot uses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import CharacterizationError
+
+__all__ = [
+    "ColumnStandardizer",
+    "standardize_columns",
+    "drop_constant_columns",
+]
+
+
+def _as_matrix(values: Sequence[Sequence[float]] | np.ndarray, *, context: str) -> np.ndarray:
+    """Validate a finite 2-D float matrix."""
+    matrix = np.asarray(values, dtype=float)
+    if matrix.ndim != 2:
+        raise CharacterizationError(
+            f"{context}: expected a 2-D matrix, got shape {matrix.shape}"
+        )
+    if matrix.size == 0:
+        raise CharacterizationError(f"{context}: empty matrix")
+    if not np.all(np.isfinite(matrix)):
+        raise CharacterizationError(f"{context}: matrix contains NaN or inf")
+    return matrix
+
+
+def drop_constant_columns(
+    matrix: Sequence[Sequence[float]] | np.ndarray,
+    *,
+    tolerance: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Remove columns whose values never vary across rows.
+
+    Returns ``(reduced_matrix, kept_column_indices)``.  ``tolerance``
+    widens the definition of "constant" to columns whose spread is at
+    most that value, which absorbs counter quantization noise.
+    Raises when *every* column is constant, because the result would
+    carry no information to cluster on.
+    """
+    array = _as_matrix(matrix, context="drop_constant_columns")
+    spread = array.max(axis=0) - array.min(axis=0)
+    kept = np.flatnonzero(spread > tolerance)
+    if kept.size == 0:
+        raise CharacterizationError(
+            "drop_constant_columns: every column is constant; nothing to cluster on"
+        )
+    return array[:, kept], kept
+
+
+class ColumnStandardizer:
+    """Z-score standardizer fitted on one matrix, applicable to others.
+
+    Constant columns are mapped to zero rather than dividing by zero;
+    pair with :func:`drop_constant_columns` to remove them entirely, as
+    the paper does.
+
+    Example
+    -------
+    >>> scaler = ColumnStandardizer().fit([[1.0, 10.0], [3.0, 10.0]])
+    >>> scaler.transform([[2.0, 10.0]]).tolist()
+    [[0.0, 0.0]]
+    """
+
+    def __init__(self) -> None:
+        self._means: np.ndarray | None = None
+        self._stds: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._means is not None
+
+    @property
+    def means(self) -> np.ndarray:
+        """Fitted per-column means."""
+        self._require_fitted()
+        assert self._means is not None
+        return self._means.copy()
+
+    @property
+    def stds(self) -> np.ndarray:
+        """Fitted per-column standard deviations (0 for constant columns)."""
+        self._require_fitted()
+        assert self._stds is not None
+        return self._stds.copy()
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise CharacterizationError(
+                "ColumnStandardizer: transform called before fit"
+            )
+
+    def fit(self, matrix: Sequence[Sequence[float]] | np.ndarray) -> "ColumnStandardizer":
+        """Learn per-column mean and standard deviation."""
+        array = _as_matrix(matrix, context="ColumnStandardizer.fit")
+        self._means = array.mean(axis=0)
+        # Population std matches the standardization convention of the
+        # paper's cluster-analysis preprocessing.
+        self._stds = array.std(axis=0)
+        return self
+
+    def transform(self, matrix: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
+        """Standardize columns with the fitted statistics."""
+        self._require_fitted()
+        array = _as_matrix(matrix, context="ColumnStandardizer.transform")
+        assert self._means is not None and self._stds is not None
+        if array.shape[1] != self._means.size:
+            raise CharacterizationError(
+                "ColumnStandardizer.transform: column count "
+                f"{array.shape[1]} does not match fitted count {self._means.size}"
+            )
+        centered = array - self._means
+        safe_stds = np.where(self._stds > 0.0, self._stds, 1.0)
+        scaled = centered / safe_stds
+        scaled[:, self._stds == 0.0] = 0.0
+        return scaled
+
+    def fit_transform(self, matrix: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
+        """Fit on ``matrix`` and return its standardized form."""
+        return self.fit(matrix).transform(matrix)
+
+
+def standardize_columns(matrix: Sequence[Sequence[float]] | np.ndarray) -> np.ndarray:
+    """One-shot z-standardization of every column of ``matrix``."""
+    return ColumnStandardizer().fit_transform(matrix)

@@ -1,0 +1,21 @@
+"""Text renderings of the paper's figures and tables."""
+
+from repro.viz.ascii import (
+    render_dendrogram,
+    render_dendrogram_vertical,
+    render_hit_map,
+    render_som_map,
+    render_u_matrix,
+)
+from repro.viz.tables import format_hgm_table, format_speedup_table, format_table
+
+__all__ = [
+    "render_som_map",
+    "render_hit_map",
+    "render_u_matrix",
+    "render_dendrogram",
+    "render_dendrogram_vertical",
+    "format_table",
+    "format_speedup_table",
+    "format_hgm_table",
+]

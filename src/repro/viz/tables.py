@@ -1,0 +1,139 @@
+"""Aligned text tables in the paper's formats.
+
+* :func:`format_table` — generic fixed-width table.
+* :func:`format_speedup_table` — Table III layout (workload, A, B,
+  ratio, plain-GM footer).
+* :func:`format_hgm_table` — Tables IV-VI layout (k, score A, score B,
+  ratio, plain-GM footer), with optional published columns side by
+  side for paper-versus-measured comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.means import geometric_mean
+from repro.data.tables456 import HGMTableRow
+from repro.exceptions import ReproError
+
+__all__ = ["format_table", "format_speedup_table", "format_hgm_table"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Left-aligned first column, right-aligned numerics, dashed rule."""
+    if not headers:
+        raise ReproError("format_table: no headers")
+    rendered_rows = [[_render_cell(value) for value in row] for row in rows]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ReproError(
+                f"format_table: row width {len(row)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(
+            headers[i].ljust(widths[i]) if i == 0 else headers[i].rjust(widths[i])
+            for i in range(len(headers))
+        ),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(
+                row[i].ljust(widths[i]) if i == 0 else row[i].rjust(widths[i])
+                for i in range(len(headers))
+            )
+        )
+    return "\n".join(lines)
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_speedup_table(
+    speedups: Mapping[str, Mapping[str, float]],
+    *,
+    first: str = "A",
+    second: str = "B",
+) -> str:
+    """Table III layout from two speedup columns."""
+    for name in (first, second):
+        if name not in speedups:
+            raise ReproError(f"format_speedup_table: no column for machine {name!r}")
+    col_a = speedups[first]
+    col_b = speedups[second]
+    if set(col_a) != set(col_b):
+        raise ReproError(
+            "format_speedup_table: machines cover different workloads"
+        )
+    rows: list[Sequence[object]] = [
+        (name, col_a[name], col_b[name], col_a[name] / col_b[name])
+        for name in col_a
+    ]
+    gm_a = geometric_mean(list(col_a.values()))
+    gm_b = geometric_mean(list(col_b.values()))
+    rows.append(("Geometric Mean", gm_a, gm_b, gm_a / gm_b))
+    return format_table(
+        ["Workload", first, second, f"ratio(={first}/{second})"], rows
+    )
+
+
+def format_hgm_table(
+    measured: Mapping[int, tuple[float, float]],
+    *,
+    plain: tuple[float, float] | None = None,
+    published: Mapping[int, HGMTableRow] | None = None,
+    first: str = "A",
+    second: str = "B",
+) -> str:
+    """Tables IV-VI layout: per-k HGM scores, optionally versus published.
+
+    ``measured`` maps cluster count to ``(score_first, score_second)``.
+    With ``published`` given, each row also prints the paper's values
+    so drift is visible at a glance.
+    """
+    if not measured:
+        raise ReproError("format_hgm_table: no measured rows")
+    headers = [
+        "Clusters",
+        first,
+        second,
+        f"ratio(={first}/{second})",
+    ]
+    if published is not None:
+        headers += [f"paper {first}", f"paper {second}", "paper ratio"]
+
+    rows: list[Sequence[object]] = []
+    for clusters in sorted(measured):
+        score_a, score_b = measured[clusters]
+        row: list[object] = [
+            f"{clusters} Clusters",
+            score_a,
+            score_b,
+            score_a / score_b,
+        ]
+        if published is not None:
+            if clusters in published:
+                paper_row = published[clusters]
+                row += [paper_row.score_a, paper_row.score_b, paper_row.ratio]
+            else:
+                row += ["-", "-", "-"]
+        rows.append(row)
+
+    if plain is not None:
+        gm_a, gm_b = plain
+        footer: list[object] = ["Geometric Mean", gm_a, gm_b, gm_a / gm_b]
+        if published is not None:
+            footer += ["-", "-", "-"]
+        rows.append(footer)
+    return format_table(headers, rows)

@@ -1,0 +1,58 @@
+"""Benchmark suite, machines and execution substrate (Section IV).
+
+* :mod:`repro.workloads.suite` — the Table I workload metadata and the
+  suite-merging model.
+* :mod:`repro.workloads.machines` — the Table II machine specs.
+* :mod:`repro.workloads.demands` — latent behaviour profiles that
+  stand in for the real programs.
+* :mod:`repro.workloads.execution` — performance models and the
+  repeated-run simulator.
+* :mod:`repro.workloads.speedup` — Table III normalization.
+"""
+
+from repro.workloads.demands import PAPER_DEMANDS, WorkloadDemands, demands_for
+from repro.workloads.execution import (
+    REFERENCE_TIMES,
+    AnalyticPerformanceModel,
+    CalibratedPerformanceModel,
+    ExecutionSimulator,
+    PerformanceModel,
+    RunSample,
+)
+from repro.workloads.machines import (
+    MACHINE_A,
+    MACHINE_B,
+    REFERENCE_MACHINE,
+    MachineSpec,
+    machine,
+)
+from repro.workloads.scenarios import (
+    SCENARIO_MACHINES,
+    scenario_machine,
+)
+from repro.workloads.speedup import speedup, speedup_column, speedup_table
+from repro.workloads.suite import BenchmarkSuite, Workload
+
+__all__ = [
+    "Workload",
+    "BenchmarkSuite",
+    "MachineSpec",
+    "MACHINE_A",
+    "MACHINE_B",
+    "REFERENCE_MACHINE",
+    "machine",
+    "WorkloadDemands",
+    "PAPER_DEMANDS",
+    "demands_for",
+    "PerformanceModel",
+    "CalibratedPerformanceModel",
+    "AnalyticPerformanceModel",
+    "ExecutionSimulator",
+    "RunSample",
+    "REFERENCE_TIMES",
+    "speedup",
+    "speedup_column",
+    "speedup_table",
+    "SCENARIO_MACHINES",
+    "scenario_machine",
+]

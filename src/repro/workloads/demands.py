@@ -1,0 +1,241 @@
+"""Latent resource-demand profiles for the Table I workloads.
+
+The paper measured real executions; we substitute a parametric
+behaviour model per workload (see DESIGN.md, "Substitutions").  Each
+:class:`WorkloadDemands` captures the axes along which the workloads
+differ in the paper's narrative:
+
+* SciMark2 kernels are *numerically intensive, cache-resident,
+  allocation-light* — mutually similar, hence the dense cluster of
+  Figures 3/5/7;
+* SPECjvm98 workloads spread along compute/allocation trade-offs
+  (compress and mpegaudio are steady compute loops; jess and javac
+  allocate heavily; mtrt is the threaded FP outlier);
+* DaCapo workloads are heap-heavy and long-running (hsqldb's working
+  set dwarfs machine B's 512 MB, which is why B beats A's ratio there
+  in Table III).
+
+These demands feed two independent consumers: the analytic execution
+model (:mod:`repro.workloads.execution`) and the synthetic SAR-counter
+generator (:mod:`repro.characterization.sar`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from types import MappingProxyType
+from typing import Mapping
+
+import numpy as np
+
+from repro.exceptions import SuiteError
+
+__all__ = ["WorkloadDemands", "PAPER_DEMANDS", "demands_for"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadDemands:
+    """Behavioural profile of one workload, all axes in [0, 1] except sizes.
+
+    Attributes
+    ----------
+    integer_intensity / fp_intensity:
+        Fraction of work that is scalar-integer / floating-point
+        computation.
+    working_set_mb:
+        Approximate live working set touched per iteration.
+    memory_irregularity:
+        0 = streaming/strided access, 1 = pointer chasing and
+        indirection (Sparse, javac).
+    allocation_rate:
+        Object-allocation pressure driving garbage collection.
+    io_intensity:
+        File/database/system-call pressure.
+    code_footprint:
+        Relative size of the exercised method set (JIT pressure).
+    thread_parallelism:
+        1.0 = single-threaded; >1 can exploit extra cores (mtrt).
+    """
+
+    integer_intensity: float
+    fp_intensity: float
+    working_set_mb: float
+    memory_irregularity: float
+    allocation_rate: float
+    io_intensity: float
+    code_footprint: float
+    thread_parallelism: float
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if not np.isfinite(value) or value < 0.0:
+                raise SuiteError(
+                    f"WorkloadDemands: {spec.name} must be finite and >= 0, "
+                    f"got {value}"
+                )
+
+    def as_vector(self) -> np.ndarray:
+        """The profile as a fixed-order feature vector."""
+        return np.array(
+            [
+                self.integer_intensity,
+                self.fp_intensity,
+                np.log10(1.0 + self.working_set_mb),
+                self.memory_irregularity,
+                self.allocation_rate,
+                self.io_intensity,
+                self.code_footprint,
+                self.thread_parallelism,
+            ]
+        )
+
+
+PAPER_DEMANDS: Mapping[str, WorkloadDemands] = MappingProxyType(
+    {
+        # -- SPECjvm98 -------------------------------------------------
+        "jvm98.201.compress": WorkloadDemands(
+            integer_intensity=0.90,
+            fp_intensity=0.05,
+            working_set_mb=20.0,
+            memory_irregularity=0.15,
+            allocation_rate=0.10,
+            io_intensity=0.05,
+            code_footprint=0.10,
+            thread_parallelism=1.0,
+        ),
+        "jvm98.202.jess": WorkloadDemands(
+            integer_intensity=0.70,
+            fp_intensity=0.05,
+            working_set_mb=12.0,
+            memory_irregularity=0.55,
+            allocation_rate=0.70,
+            io_intensity=0.05,
+            code_footprint=0.45,
+            thread_parallelism=1.0,
+        ),
+        "jvm98.213.javac": WorkloadDemands(
+            integer_intensity=0.65,
+            fp_intensity=0.02,
+            working_set_mb=30.0,
+            memory_irregularity=0.75,
+            allocation_rate=0.80,
+            io_intensity=0.10,
+            code_footprint=0.80,
+            thread_parallelism=1.0,
+        ),
+        "jvm98.222.mpegaudio": WorkloadDemands(
+            integer_intensity=0.55,
+            fp_intensity=0.60,
+            working_set_mb=8.0,
+            memory_irregularity=0.10,
+            allocation_rate=0.05,
+            io_intensity=0.05,
+            code_footprint=0.15,
+            thread_parallelism=1.0,
+        ),
+        "jvm98.227.mtrt": WorkloadDemands(
+            integer_intensity=0.35,
+            fp_intensity=0.75,
+            working_set_mb=25.0,
+            memory_irregularity=0.60,
+            allocation_rate=0.60,
+            io_intensity=0.02,
+            code_footprint=0.35,
+            thread_parallelism=2.0,
+        ),
+        # -- SciMark2 (deliberately near-identical profiles) -----------
+        "SciMark2.FFT": WorkloadDemands(
+            integer_intensity=0.20,
+            fp_intensity=0.95,
+            working_set_mb=0.5,
+            memory_irregularity=0.30,
+            allocation_rate=0.02,
+            io_intensity=0.0,
+            code_footprint=0.05,
+            thread_parallelism=1.0,
+        ),
+        "SciMark2.LU": WorkloadDemands(
+            integer_intensity=0.20,
+            fp_intensity=0.95,
+            working_set_mb=0.3,
+            memory_irregularity=0.15,
+            allocation_rate=0.02,
+            io_intensity=0.0,
+            code_footprint=0.05,
+            thread_parallelism=1.0,
+        ),
+        "SciMark2.MonteCarlo": WorkloadDemands(
+            integer_intensity=0.25,
+            fp_intensity=0.90,
+            working_set_mb=0.05,
+            memory_irregularity=0.05,
+            allocation_rate=0.02,
+            io_intensity=0.0,
+            code_footprint=0.04,
+            thread_parallelism=1.0,
+        ),
+        "SciMark2.SOR": WorkloadDemands(
+            integer_intensity=0.20,
+            fp_intensity=0.92,
+            working_set_mb=0.1,
+            memory_irregularity=0.08,
+            allocation_rate=0.02,
+            io_intensity=0.0,
+            code_footprint=0.04,
+            thread_parallelism=1.0,
+        ),
+        "SciMark2.Sparse": WorkloadDemands(
+            integer_intensity=0.30,
+            fp_intensity=0.88,
+            working_set_mb=0.6,
+            memory_irregularity=0.45,
+            allocation_rate=0.02,
+            io_intensity=0.0,
+            code_footprint=0.05,
+            thread_parallelism=1.0,
+        ),
+        # -- DaCapo -----------------------------------------------------
+        "DaCapo.hsqldb": WorkloadDemands(
+            integer_intensity=0.55,
+            fp_intensity=0.05,
+            working_set_mb=350.0,
+            memory_irregularity=0.70,
+            allocation_rate=0.90,
+            io_intensity=0.40,
+            code_footprint=0.70,
+            thread_parallelism=1.5,
+        ),
+        "DaCapo.chart": WorkloadDemands(
+            integer_intensity=0.45,
+            fp_intensity=0.45,
+            working_set_mb=120.0,
+            memory_irregularity=0.50,
+            allocation_rate=0.85,
+            io_intensity=0.25,
+            code_footprint=0.75,
+            thread_parallelism=1.0,
+        ),
+        "DaCapo.xalan": WorkloadDemands(
+            integer_intensity=0.60,
+            fp_intensity=0.02,
+            working_set_mb=150.0,
+            memory_irregularity=0.65,
+            allocation_rate=0.75,
+            io_intensity=0.35,
+            code_footprint=0.65,
+            thread_parallelism=1.5,
+        ),
+    }
+)
+"""Demand profiles for every Table I workload."""
+
+
+def demands_for(workload_name: str) -> WorkloadDemands:
+    """Demand profile for one paper workload."""
+    try:
+        return PAPER_DEMANDS[workload_name]
+    except KeyError:
+        raise SuiteError(
+            f"no demand profile for workload {workload_name!r}"
+        ) from None

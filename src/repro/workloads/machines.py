@@ -1,0 +1,128 @@
+"""Machine models — the Table II hardware, as parametric specs.
+
+The paper ran on two x86 machines and a SPARC reference box we do not
+have; :class:`MachineSpec` captures both the descriptive fields of
+Table II and the handful of performance parameters the analytic
+execution model (:mod:`repro.workloads.execution`) needs: scalar
+throughput, cache capacity, memory bandwidth, and memory size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SuiteError
+
+__all__ = ["MachineSpec", "MACHINE_A", "MACHINE_B", "REFERENCE_MACHINE", "machine"]
+
+
+@dataclass(frozen=True, slots=True)
+class MachineSpec:
+    """A machine's descriptive and performance-relevant parameters.
+
+    Performance parameters
+    ----------------------
+    compute_throughput:
+        Relative scalar/FP instruction throughput (reference = 1.0);
+        folds together clock, microarchitecture width and JIT quality.
+    l2_cache_mb:
+        Last-level cache capacity; workloads whose working set spills
+        past it pay the memory-intensity penalty.
+    memory_bandwidth:
+        Relative sustained memory bandwidth (reference = 1.0).
+    memory_gb:
+        Physical memory; heaps near this limit trigger GC pressure
+        (DaCapo's hsqldb on the 512 MB machine B is the paper's case).
+    """
+
+    name: str
+    cpu: str
+    clock_ghz: float
+    l2_cache_mb: float
+    bus_mhz: int
+    memory_gb: float
+    os: str
+    jvm: str
+    compute_throughput: float = 1.0
+    memory_bandwidth: float = 1.0
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SuiteError("MachineSpec: empty name")
+        if self.cores < 1:
+            raise SuiteError(
+                f"MachineSpec {self.name!r}: cores must be >= 1, got {self.cores}"
+            )
+        for field_name in (
+            "clock_ghz",
+            "l2_cache_mb",
+            "memory_gb",
+            "compute_throughput",
+            "memory_bandwidth",
+        ):
+            value = getattr(self, field_name)
+            if not value > 0.0:
+                raise SuiteError(
+                    f"MachineSpec {self.name!r}: {field_name} must be positive, "
+                    f"got {value}"
+                )
+
+
+MACHINE_A = MachineSpec(
+    name="A",
+    cpu="Dual Intel Xeon 3.00 GHz (HyperThreading disabled)",
+    clock_ghz=3.0,
+    l2_cache_mb=2.0,
+    bus_mhz=800,
+    memory_gb=2.0,
+    os="Red Hat Enterprise Linux WS release 4 (2.6.9-34.0.1.ELsmp)",
+    jvm="BEA JRockit R26.4.0-jdk1.5.0_06 32 bit",
+    compute_throughput=4.2,
+    memory_bandwidth=2.2,
+    cores=2,
+)
+"""Machine A of Table II: dual Xeon, 2 MB L2, 2 GB memory."""
+
+MACHINE_B = MachineSpec(
+    name="B",
+    cpu="Intel Pentium 4 3.00 GHz (HyperThreading disabled)",
+    clock_ghz=3.0,
+    l2_cache_mb=0.5,
+    bus_mhz=800,
+    memory_gb=0.5,
+    os="Red Hat Enterprise Linux WS release 4 (2.6.9-42.0.3.ELsmp)",
+    jvm="BEA JRockit R26.4.0-jdk1.5.0_06 32 bit",
+    compute_throughput=3.4,
+    memory_bandwidth=1.8,
+)
+"""Machine B of Table II: Pentium 4, 512 KB L2, 512 MB memory."""
+
+REFERENCE_MACHINE = MachineSpec(
+    name="reference",
+    cpu="Sun UltraSPARC III Cu 1.2 GHz",
+    clock_ghz=1.2,
+    l2_cache_mb=8.0,
+    bus_mhz=800,
+    memory_gb=1.0,
+    os="Solaris 8",
+    jvm="Sun Java HotSpot build 1.5.0_09-b01",
+    compute_throughput=1.0,
+    memory_bandwidth=1.0,
+)
+"""The reference machine of Table II, which normalizes all speedups."""
+
+_MACHINES = {
+    "A": MACHINE_A,
+    "B": MACHINE_B,
+    "reference": REFERENCE_MACHINE,
+}
+
+
+def machine(name: str) -> MachineSpec:
+    """Table II machine by name (``"A"``, ``"B"`` or ``"reference"``)."""
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        known = ", ".join(sorted(_MACHINES))
+        raise SuiteError(f"unknown machine {name!r}; known machines: {known}") from None

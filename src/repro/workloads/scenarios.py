@@ -1,0 +1,99 @@
+"""Pre-built what-if machines for exploration and examples.
+
+The paper measures two 2006-era x86 boxes against an UltraSPARC
+reference.  These scenario machines extend the study axis-by-axis: what
+happens to the suite score when only the cache grows, only memory
+grows, or only core count grows?  All values feed the analytic
+performance model (:class:`repro.workloads.execution.AnalyticPerformanceModel`),
+so scenario speedups are self-consistent rather than calibrated to the
+paper.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SuiteError
+from repro.workloads.machines import MACHINE_A, MachineSpec
+
+__all__ = [
+    "BIG_CACHE_VARIANT",
+    "BIG_MEMORY_VARIANT",
+    "MANY_CORE_VARIANT",
+    "LOW_POWER_NETBOOK",
+    "SCENARIO_MACHINES",
+    "scenario_machine",
+]
+
+
+def _variant(base: MachineSpec, name: str, **overrides) -> MachineSpec:
+    """A copy of ``base`` with named fields replaced."""
+    fields = {
+        "name": name,
+        "cpu": base.cpu,
+        "clock_ghz": base.clock_ghz,
+        "l2_cache_mb": base.l2_cache_mb,
+        "bus_mhz": base.bus_mhz,
+        "memory_gb": base.memory_gb,
+        "os": base.os,
+        "jvm": base.jvm,
+        "compute_throughput": base.compute_throughput,
+        "memory_bandwidth": base.memory_bandwidth,
+        "cores": base.cores,
+    }
+    unknown = set(overrides) - set(fields)
+    if unknown:
+        raise SuiteError(f"scenario variant: unknown fields {sorted(unknown)}")
+    fields.update(overrides)
+    return MachineSpec(**fields)
+
+
+BIG_CACHE_VARIANT = _variant(
+    MACHINE_A, "A+cache", l2_cache_mb=16.0
+)
+"""Machine A with a 16 MB last-level cache, everything else equal."""
+
+BIG_MEMORY_VARIANT = _variant(
+    MACHINE_A, "A+memory", memory_gb=16.0
+)
+"""Machine A with 16 GB of memory — removes all swap/GC pressure."""
+
+MANY_CORE_VARIANT = _variant(
+    MACHINE_A, "A+cores", cores=8
+)
+"""Machine A with 8 cores — only threaded workloads can exploit them."""
+
+LOW_POWER_NETBOOK = MachineSpec(
+    name="netbook",
+    cpu="what-if low-power single core, 1.6 GHz",
+    clock_ghz=1.6,
+    l2_cache_mb=0.5,
+    bus_mhz=533,
+    memory_gb=1.0,
+    os="Linux",
+    jvm="generic JVM",
+    compute_throughput=1.4,
+    memory_bandwidth=0.8,
+    cores=1,
+)
+"""A constrained machine: small cache, little memory, one slow core."""
+
+SCENARIO_MACHINES = {
+    machine.name: machine
+    for machine in (
+        BIG_CACHE_VARIANT,
+        BIG_MEMORY_VARIANT,
+        MANY_CORE_VARIANT,
+        LOW_POWER_NETBOOK,
+    )
+}
+"""All scenario machines by name."""
+
+
+def scenario_machine(name: str) -> MachineSpec:
+    """Scenario machine by name."""
+    try:
+        return SCENARIO_MACHINES[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIO_MACHINES))
+        raise SuiteError(
+            f"unknown scenario machine {name!r}; known: {known}"
+        ) from None

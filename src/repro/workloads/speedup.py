@@ -1,0 +1,68 @@
+"""Speedup normalization — how Table III is computed from run times.
+
+The paper's individual-workload score is "the execution time speedup
+over a reference machine" (Section IV-A): the reference machine's
+average time divided by the target machine's average time, each
+averaged over 10 runs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.exceptions import MeasurementError
+from repro.workloads.execution import ExecutionSimulator, RunSample
+from repro.workloads.machines import MachineSpec, REFERENCE_MACHINE
+from repro.workloads.suite import BenchmarkSuite
+
+__all__ = ["speedup", "speedup_column", "speedup_table"]
+
+
+def speedup(reference_sample: RunSample, machine_sample: RunSample) -> float:
+    """Speedup of one workload: reference mean time over machine mean time."""
+    if reference_sample.workload != machine_sample.workload:
+        raise MeasurementError(
+            "speedup: samples measure different workloads "
+            f"({reference_sample.workload!r} vs {machine_sample.workload!r})"
+        )
+    return reference_sample.mean_time / machine_sample.mean_time
+
+
+def speedup_column(
+    reference_samples: Mapping[str, RunSample],
+    machine_samples: Mapping[str, RunSample],
+) -> dict[str, float]:
+    """Per-workload speedups for one machine column of Table III."""
+    if set(reference_samples) != set(machine_samples):
+        raise MeasurementError(
+            "speedup_column: reference and machine measured different workloads"
+        )
+    return {
+        name: speedup(reference_samples[name], machine_samples[name])
+        for name in sorted(reference_samples)
+    }
+
+
+def speedup_table(
+    simulator: ExecutionSimulator,
+    suite: BenchmarkSuite,
+    machines: Sequence[MachineSpec],
+    *,
+    reference: MachineSpec = REFERENCE_MACHINE,
+    runs: int = 10,
+) -> dict[str, dict[str, float]]:
+    """Simulate the full Section IV-B protocol and return speedup columns.
+
+    Every workload runs ``runs`` times on the reference machine and on
+    each target machine; the returned mapping is
+    ``machine name -> workload -> speedup`` (the regenerated
+    Table III).
+    """
+    if not machines:
+        raise MeasurementError("speedup_table: no target machines")
+    reference_samples = simulator.measure_suite(suite, reference, runs=runs)
+    table: dict[str, dict[str, float]] = {}
+    for machine in machines:
+        machine_samples = simulator.measure_suite(suite, machine, runs=runs)
+        table[machine.name] = speedup_column(reference_samples, machine_samples)
+    return table

@@ -1,0 +1,253 @@
+"""The benchmark suite model and the paper's 13-workload suite (Table I).
+
+The paper studies a *hypothetical* Java benchmark suite built by
+merging SPECjvm98, SciMark2 and DaCapo workloads — the exact
+suite-merging process that creates artificial redundancy.
+:class:`BenchmarkSuite` models such composites: it knows which source
+suite each workload came from, supports further merging, and exposes
+the source-suite partition (the "adoption sets" whose members tend to
+be mutually redundant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.partition import Partition
+from repro.exceptions import SuiteError
+
+__all__ = ["Workload", "BenchmarkSuite"]
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """One benchmark program, as described by a Table I row."""
+
+    name: str
+    source_suite: str
+    version: str
+    input_set: str
+    description: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SuiteError("Workload: empty name")
+        if not self.source_suite:
+            raise SuiteError(f"Workload {self.name!r}: empty source suite")
+
+
+class BenchmarkSuite:
+    """An ordered collection of uniquely named workloads.
+
+    Example
+    -------
+    >>> suite = BenchmarkSuite.paper_suite()
+    >>> len(suite)
+    13
+    >>> sorted(suite.source_suites())
+    ['DaCapo', 'SPECjvm98', 'SciMark2']
+    """
+
+    def __init__(self, workloads: Iterable[Workload], *, name: str = "suite") -> None:
+        entries = tuple(workloads)
+        if not entries:
+            raise SuiteError("BenchmarkSuite: needs at least one workload")
+        names = [workload.name for workload in entries]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SuiteError(
+                f"BenchmarkSuite: duplicate workload names: {sorted(duplicates)}"
+            )
+        self._name = name
+        self._workloads = entries
+        self._by_name = {workload.name: workload for workload in entries}
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def paper_suite(cls) -> "BenchmarkSuite":
+        """The hypothetical SPECjvm suite of Table I (13 workloads)."""
+        rows = [
+            (
+                "jvm98.201.compress",
+                "SPECjvm98",
+                "1.04",
+                "s100",
+                "Java port of 129.compress (modified Lempel-Ziv, LZW).",
+            ),
+            (
+                "jvm98.202.jess",
+                "SPECjvm98",
+                "1.04",
+                "s100",
+                "Java Expert Shell System solving CLIPS puzzles with "
+                "if-then rules over a data set.",
+            ),
+            (
+                "jvm98.213.javac",
+                "SPECjvm98",
+                "1.04",
+                "s100",
+                "The Java compiler from JDK 1.0.2.",
+            ),
+            (
+                "jvm98.222.mpegaudio",
+                "SPECjvm98",
+                "1.04",
+                "s100",
+                "Decompresses ISO MPEG Layer-3 audio files.",
+            ),
+            (
+                "jvm98.227.mtrt",
+                "SPECjvm98",
+                "1.04",
+                "s100",
+                "Multi-threaded raytracer rendering a dinosaur scene.",
+            ),
+            (
+                "SciMark2.FFT",
+                "SciMark2",
+                "2.0",
+                "regular",
+                "1-D forward transform of 4K complex numbers; complex "
+                "arithmetic, shuffling, non-constant memory references.",
+            ),
+            (
+                "SciMark2.LU",
+                "SciMark2",
+                "2.0",
+                "regular",
+                "LU factorization of a dense 100x100 matrix with partial "
+                "pivoting; BLAS-style dense linear algebra.",
+            ),
+            (
+                "SciMark2.MonteCarlo",
+                "SciMark2",
+                "2.0",
+                "regular",
+                "Approximates Pi by integrating the quarter circle with "
+                "random points.",
+            ),
+            (
+                "SciMark2.SOR",
+                "SciMark2",
+                "2.0",
+                "regular",
+                "Jacobi successive over-relaxation on a 100x100 grid; "
+                "finite-difference access patterns.",
+            ),
+            (
+                "SciMark2.Sparse",
+                "SciMark2",
+                "2.0",
+                "regular",
+                "Sparse matrix-vector multiply in compressed-row format; "
+                "indirection addressing, irregular memory references.",
+            ),
+            (
+                "DaCapo.hsqldb",
+                "DaCapo",
+                "2006-08",
+                "default",
+                "JDBCbench-like in-memory banking transactions.",
+            ),
+            (
+                "DaCapo.chart",
+                "DaCapo",
+                "2006-08",
+                "default",
+                "Plots complex line graphs with JFreeChart, rendered to PDF.",
+            ),
+            (
+                "DaCapo.xalan",
+                "DaCapo",
+                "2006-08",
+                "default",
+                "Transforms XML documents into HTML.",
+            ),
+        ]
+        return cls(
+            (Workload(*row) for row in rows),
+            name="hypothetical-specjvm",
+        )
+
+    @classmethod
+    def merged(cls, name: str, *suites: "BenchmarkSuite") -> "BenchmarkSuite":
+        """Concatenate several suites — the artificial-redundancy recipe."""
+        if not suites:
+            raise SuiteError("BenchmarkSuite.merged: no suites given")
+        workloads: list[Workload] = []
+        for suite in suites:
+            workloads.extend(suite)
+        return cls(workloads, name=name)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Suite name."""
+        return self._name
+
+    @property
+    def workload_names(self) -> tuple[str, ...]:
+        """Workload names in suite order."""
+        return tuple(workload.name for workload in self._workloads)
+
+    def workload(self, name: str) -> Workload:
+        """Look up one workload by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SuiteError(f"no workload named {name!r} in suite {self._name!r}") from None
+
+    def source_suites(self) -> frozenset[str]:
+        """Names of the source suites represented here."""
+        return frozenset(workload.source_suite for workload in self._workloads)
+
+    def from_source(self, source_suite: str) -> tuple[Workload, ...]:
+        """All workloads adopted from one source suite."""
+        matched = tuple(
+            workload
+            for workload in self._workloads
+            if workload.source_suite == source_suite
+        )
+        if not matched:
+            raise SuiteError(
+                f"suite {self._name!r} has no workloads from {source_suite!r}"
+            )
+        return matched
+
+    def source_partition(self) -> Partition:
+        """Partition of the suite by source benchmark suite.
+
+        This is the "adoption set" structure: if the merged-in
+        workloads fail to diversify, each source suite is a candidate
+        redundancy cluster (exactly what Section V finds for SciMark2).
+        """
+        return Partition.from_assignments(
+            {workload.name: workload.source_suite for workload in self._workloads}
+        )
+
+    def subset(self, names: Iterable[str]) -> "BenchmarkSuite":
+        """A new suite with only the named workloads (suite order kept)."""
+        wanted = set(names)
+        missing = wanted - set(self._by_name)
+        if missing:
+            raise SuiteError(f"subset: unknown workloads {sorted(missing)}")
+        kept = [w for w in self._workloads if w.name in wanted]
+        return BenchmarkSuite(kept, name=f"{self._name}-subset")
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._workloads)
+
+    def __iter__(self) -> Iterator[Workload]:
+        return iter(self._workloads)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __repr__(self) -> str:
+        return f"BenchmarkSuite(name={self._name!r}, workloads={len(self)})"

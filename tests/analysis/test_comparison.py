@@ -1,0 +1,100 @@
+"""Unit tests for cross-analysis comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import AnalysisComparison
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.exceptions import MeasurementError
+from repro.som.som import SOMConfig
+
+FAST_SOM = SOMConfig(rows=6, columns=6, steps_per_sample=150, seed=11)
+
+
+@pytest.fixture(scope="module")
+def comparison(paper_suite):
+    results = {}
+    for name, kwargs in {
+        "sar-A": {"characterization": "sar", "machine": "A"},
+        "sar-B": {"characterization": "sar", "machine": "B"},
+        "methods": {"characterization": "methods", "machine": None},
+    }.items():
+        pipeline = WorkloadAnalysisPipeline(som_config=FAST_SOM, **kwargs)
+        results[name] = pipeline.run(paper_suite)
+    return AnalysisComparison(results)
+
+
+class TestConstruction:
+    def test_names(self, comparison):
+        assert comparison.names == ("methods", "sar-A", "sar-B")
+
+    def test_result_lookup(self, comparison):
+        assert comparison.result("sar-A").machine_name == "A"
+
+    def test_unknown_name(self, comparison):
+        with pytest.raises(MeasurementError, match="no analysis named"):
+            comparison.result("perf")
+
+    def test_needs_two_analyses(self, comparison):
+        with pytest.raises(MeasurementError, match="at least two"):
+            AnalysisComparison({"only": comparison.result("sar-A")})
+
+    def test_rejects_mismatched_workloads(self, comparison, paper_suite):
+        smaller = paper_suite.subset(
+            list(paper_suite.workload_names)[:5]
+        )
+        other = WorkloadAnalysisPipeline(
+            characterization="methods",
+            machine=None,
+            som_config=FAST_SOM,
+            cluster_counts=(2, 3),
+        ).run(smaller)
+        with pytest.raises(MeasurementError, match="different workloads"):
+            AnalysisComparison(
+                {"full": comparison.result("sar-A"), "partial": other}
+            )
+
+
+class TestAgreement:
+    def test_matrix_is_symmetric_with_unit_diagonal(self, comparison):
+        matrix = comparison.agreement_matrix(6)
+        for first in comparison.names:
+            assert matrix[first][first] == 1.0
+            for second in comparison.names:
+                assert matrix[first][second] == matrix[second][first]
+
+    def test_mean_agreement_in_range(self, comparison):
+        value = comparison.mean_agreement(6)
+        assert -1.0 <= value <= 1.0
+
+    def test_identical_analyses_agree_perfectly(self, comparison):
+        doubled = AnalysisComparison(
+            {
+                "one": comparison.result("methods"),
+                "two": comparison.result("methods"),
+            }
+        )
+        assert doubled.mean_agreement(6) == pytest.approx(1.0)
+
+
+class TestInvariants:
+    def test_scimark_is_invariant(self, comparison, scimark_workloads):
+        """The paper's conclusion: SciMark2 co-clusters at the 4-way cut
+        under every characterization and machine."""
+        assert comparison.group_is_invariant(scimark_workloads, 4)
+
+    def test_always_coclustered_contains_scimark(self, comparison, scimark_workloads):
+        groups = comparison.always_coclustered(4)
+        assert any(set(scimark_workloads) <= group for group in groups)
+
+    def test_empty_group_rejected(self, comparison):
+        with pytest.raises(MeasurementError, match="empty group"):
+            comparison.group_is_invariant([], 4)
+
+    def test_scattered_pair_is_not_invariant(self, comparison):
+        # jess and mtrt separate under the methods characterization at
+        # fine cuts.
+        assert not comparison.group_is_invariant(
+            ("jvm98.202.jess", "jvm98.227.mtrt"), 8
+        )

@@ -1,0 +1,170 @@
+"""Unit tests for the end-to-end analysis pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.pipeline import ScoredCut, WorkloadAnalysisPipeline
+from repro.core.partition import Partition
+from repro.exceptions import CharacterizationError, MeasurementError
+from repro.som.som import SOMConfig
+
+
+@pytest.fixture(scope="module")
+def fast_som():
+    """A smaller, quicker SOM for pipeline tests."""
+    return SOMConfig(rows=6, columns=6, steps_per_sample=150, seed=11)
+
+
+@pytest.fixture(scope="module")
+def sar_result(paper_suite, fast_som):
+    pipeline = WorkloadAnalysisPipeline(
+        characterization="sar", machine="A", som_config=fast_som
+    )
+    return pipeline.run(paper_suite)
+
+
+@pytest.fixture(scope="module")
+def methods_result(paper_suite, fast_som):
+    pipeline = WorkloadAnalysisPipeline(
+        characterization="methods", machine=None, som_config=fast_som
+    )
+    return pipeline.run(paper_suite)
+
+
+class TestConfiguration:
+    def test_rejects_unknown_characterization(self):
+        with pytest.raises(CharacterizationError, match="unknown characterization"):
+            WorkloadAnalysisPipeline(characterization="perf-counters")
+
+    def test_sar_requires_machine(self):
+        with pytest.raises(CharacterizationError, match="needs a machine"):
+            WorkloadAnalysisPipeline(characterization="sar", machine=None)
+
+    def test_rejects_empty_cluster_counts(self):
+        with pytest.raises(MeasurementError, match="no cluster counts"):
+            WorkloadAnalysisPipeline(cluster_counts=[])
+
+    def test_missing_speedups_detected(self, paper_suite):
+        pipeline = WorkloadAnalysisPipeline(
+            speedups={"A": {"just-one": 1.0}, "B": {"just-one": 1.0}}
+        )
+        with pytest.raises(MeasurementError, match="no speedups"):
+            pipeline.run(paper_suite)
+
+
+class TestResultStructure:
+    def test_all_cluster_counts_scored(self, sar_result):
+        assert [cut.clusters for cut in sar_result.cuts] == list(range(2, 9))
+
+    def test_cut_lookup(self, sar_result):
+        cut = sar_result.cut(4)
+        assert cut.clusters == 4
+        assert isinstance(cut.partition, Partition)
+
+    def test_cut_lookup_missing(self, sar_result):
+        with pytest.raises(MeasurementError, match="no cut"):
+            sar_result.cut(12)
+
+    def test_positions_cover_suite(self, sar_result, paper_suite):
+        assert set(sar_result.positions) == set(paper_suite.workload_names)
+
+    def test_cut_partitions_form_chain(self, sar_result):
+        for k in range(3, 9):
+            assert sar_result.cut(k).partition.is_refinement_of(
+                sar_result.cut(k - 1).partition
+            )
+
+    def test_scores_cover_both_machines(self, sar_result):
+        for cut in sar_result.cuts:
+            assert set(cut.scores) == {"A", "B"}
+            assert all(v > 0.0 for v in cut.scores.values())
+
+    def test_recommendation_in_requested_range(self, sar_result):
+        assert 2 <= sar_result.recommended_clusters <= 8
+
+    def test_metadata(self, sar_result, methods_result):
+        assert sar_result.characterization == "sar"
+        assert sar_result.machine_name == "A"
+        assert methods_result.characterization == "methods"
+        assert methods_result.machine_name is None
+
+
+class TestPaperStructure:
+    """Structural findings of Section V that the synthetic pipeline
+    must reproduce."""
+
+    def test_scimark_coagulates_on_sar_map(self, sar_result, scimark_workloads):
+        """Figures 3: SciMark2 forms a dense region on the map —
+        tighter than the suite at large."""
+        positions = sar_result.positions
+        scimark_cells = np.array(
+            [positions[name] for name in scimark_workloads], dtype=float
+        )
+        others = np.array(
+            [
+                cell
+                for name, cell in positions.items()
+                if name not in scimark_workloads
+            ],
+            dtype=float,
+        )
+        scimark_spread = np.linalg.norm(
+            scimark_cells - scimark_cells.mean(axis=0), axis=1
+        ).mean()
+        other_spread = np.linalg.norm(
+            others - others.mean(axis=0), axis=1
+        ).mean()
+        assert scimark_spread < other_spread
+
+    def test_scimark_exclusive_cluster_exists_on_sar_chain(
+        self, sar_result, scimark_workloads
+    ):
+        """Some cut between 2 and 8 isolates SciMark2 exactly."""
+        target = frozenset(scimark_workloads)
+        found = any(
+            target in {frozenset(b) for b in cut.partition.blocks}
+            for cut in sar_result.cuts
+        )
+        assert found
+
+    def test_methods_scimark_shares_one_cell(
+        self, methods_result, scimark_workloads
+    ):
+        """Figure 7: SciMark2 maps to a single cell under the
+        machine-independent characterization."""
+        cells = {methods_result.positions[name] for name in scimark_workloads}
+        assert len(cells) == 1
+
+    def test_methods_scimark_never_splits(self, methods_result, scimark_workloads):
+        """Figure 8: one cluster at every merging distance."""
+        target = set(scimark_workloads)
+        for cut in methods_result.cuts:
+            touching = [
+                block for block in cut.partition.blocks if target & set(block)
+            ]
+            assert len(touching) == 1
+
+    def test_ratio_between_reasonable_bounds(self, sar_result):
+        for cut in sar_result.cuts:
+            assert 0.8 < cut.ratio < 1.5
+
+
+class TestScoredCut:
+    def test_ratio_requires_exactly_two_machines(self):
+        cut = ScoredCut(
+            clusters=2,
+            partition=Partition([["a"], ["b"]]),
+            scores={"A": 2.0, "B": 1.0, "C": 3.0},
+        )
+        with pytest.raises(MeasurementError, match="two machines"):
+            _ = cut.ratio
+
+    def test_ratio_value(self):
+        cut = ScoredCut(
+            clusters=2,
+            partition=Partition([["a"], ["b"]]),
+            scores={"A": 2.0, "B": 1.0},
+        )
+        assert cut.ratio == pytest.approx(2.0)

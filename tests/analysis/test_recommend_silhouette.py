@@ -1,0 +1,58 @@
+"""Unit tests for the silhouette-based cluster-count recommendation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.recommend import recommend_by_silhouette
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.exceptions import MeasurementError
+from repro.stats.distance import pairwise_distances
+
+
+def _three_blob_problem():
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.vstack(
+        [center + 0.2 * rng.normal(size=(4, 2)) for center in centers]
+    )
+    labels = [f"p{i}" for i in range(12)]
+    dendrogram = AgglomerativeClustering().fit(points, labels=labels)
+    return pairwise_distances(points), dendrogram, labels
+
+
+class TestRecommendBySilhouette:
+    def test_finds_the_planted_cluster_count(self):
+        distances, dendrogram, labels = _three_blob_problem()
+        best, scores = recommend_by_silhouette(distances, dendrogram, labels)
+        assert best == 3
+        assert scores[3] == max(scores.values())
+
+    def test_scores_for_every_evaluable_k(self):
+        distances, dendrogram, labels = _three_blob_problem()
+        __, scores = recommend_by_silhouette(
+            distances, dendrogram, labels, cluster_counts=range(2, 7)
+        )
+        assert sorted(scores) == [2, 3, 4, 5, 6]
+
+    def test_oversized_counts_are_skipped(self):
+        distances, dendrogram, labels = _three_blob_problem()
+        best, scores = recommend_by_silhouette(
+            distances, dendrogram, labels, cluster_counts=(3, 99)
+        )
+        assert best == 3
+        assert 99 not in scores
+
+    def test_no_evaluable_count_rejected(self):
+        distances, dendrogram, labels = _three_blob_problem()
+        with pytest.raises(MeasurementError, match="no evaluable"):
+            recommend_by_silhouette(
+                distances, dendrogram, labels, cluster_counts=(99,)
+            )
+
+    def test_silhouette_values_in_range(self):
+        distances, dendrogram, labels = _three_blob_problem()
+        __, scores = recommend_by_silhouette(distances, dendrogram, labels)
+        for value in scores.values():
+            assert -1.0 <= value <= 1.0

@@ -1,0 +1,106 @@
+"""Unit tests for the redundancy quantification helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.redundancy import (
+    coagulation_index,
+    exclusive_cluster_counts,
+    shared_cells,
+)
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.exceptions import ClusteringError, MeasurementError
+
+
+class TestCoagulationIndex:
+    def test_dense_isolated_group_scores_high(self):
+        points = np.array(
+            [[0.0, 0.0], [0.1, 0.0], [0.0, 0.1], [10.0, 10.0], [12.0, 8.0]]
+        )
+        labels = ["g1", "g2", "g3", "far1", "far2"]
+        index = coagulation_index(points, labels, ["g1", "g2", "g3"])
+        assert index > 10.0
+
+    def test_mixed_group_scores_near_one(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(10, 2))
+        labels = [f"p{i}" for i in range(10)]
+        index = coagulation_index(points, labels, labels[:5])
+        assert 0.3 < index < 3.0
+
+    def test_coincident_group_is_infinite(self):
+        points = np.array([[1.0, 1.0], [1.0, 1.0], [5.0, 5.0]])
+        index = coagulation_index(points, ["a", "b", "c"], ["a", "b"])
+        assert index == float("inf")
+
+    def test_rejects_single_member_group(self):
+        points = np.array([[0.0], [1.0]])
+        with pytest.raises(MeasurementError, match="two members"):
+            coagulation_index(points, ["a", "b"], ["a"])
+
+    def test_rejects_all_encompassing_group(self):
+        points = np.array([[0.0], [1.0]])
+        with pytest.raises(MeasurementError, match="every workload"):
+            coagulation_index(points, ["a", "b"], ["a", "b"])
+
+    def test_rejects_unknown_labels(self):
+        points = np.array([[0.0], [1.0]])
+        with pytest.raises(MeasurementError, match="not present"):
+            coagulation_index(points, ["a", "b"], ["a", "z"])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(MeasurementError, match="mismatch"):
+            coagulation_index(np.zeros((2, 2)), ["a"], ["a"])
+
+
+class TestSharedCells:
+    def test_finds_multi_occupancy_cells(self):
+        positions = {
+            "a": (0, 0),
+            "b": (0, 0),
+            "c": (1, 1),
+        }
+        shared = shared_cells(positions)
+        assert shared == {(0, 0): ("a", "b")}
+
+    def test_empty_when_all_cells_unique(self):
+        assert shared_cells({"a": (0, 0), "b": (1, 1)}) == {}
+
+    def test_names_are_sorted(self):
+        shared = shared_cells({"z": (0, 0), "a": (0, 0)})
+        assert shared[(0, 0)] == ("a", "z")
+
+
+class TestExclusiveClusterCounts:
+    @pytest.fixture()
+    def dendrogram(self):
+        # Two tight pairs (the a-pair strictly tighter) and an outlier.
+        points = np.array([[0.0], [1.0], [10.0], [12.0], [40.0]])
+        return AgglomerativeClustering().fit(
+            points, labels=["a1", "a2", "b1", "b2", "solo"]
+        )
+
+    def test_pair_is_exclusive_over_a_k_range(self, dendrogram):
+        # k=4 merges the a-pair; k=3 also has the b-pair; at k=2 the
+        # two pairs merge together, ending the exclusivity.
+        counts = exclusive_cluster_counts(dendrogram, ["a1", "a2"])
+        assert counts == (3, 4)
+
+    def test_whole_set_exclusive_only_at_k1(self, dendrogram):
+        counts = exclusive_cluster_counts(
+            dendrogram, ["a1", "a2", "b1", "b2", "solo"]
+        )
+        assert counts == (1,)
+
+    def test_non_cluster_group_is_never_exclusive(self, dendrogram):
+        assert exclusive_cluster_counts(dendrogram, ["a1", "b1"]) == ()
+
+    def test_rejects_empty_group(self, dendrogram):
+        with pytest.raises(ClusteringError, match="empty group"):
+            exclusive_cluster_counts(dendrogram, [])
+
+    def test_rejects_unknown_label(self, dendrogram):
+        with pytest.raises(ClusteringError, match="not in dendrogram"):
+            exclusive_cluster_counts(dendrogram, ["a1", "ghost"])

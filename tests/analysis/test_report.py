@@ -1,0 +1,81 @@
+"""Unit tests for the analysis-report renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.analysis.report import render_analysis_report
+from repro.som.som import SOMConfig
+
+
+@pytest.fixture(scope="module")
+def result(paper_suite):
+    pipeline = WorkloadAnalysisPipeline(
+        characterization="methods",
+        machine=None,
+        som_config=SOMConfig(rows=6, columns=6, steps_per_sample=150, seed=3),
+    )
+    return pipeline.run(paper_suite)
+
+
+class TestRenderAnalysisReport:
+    def test_contains_all_sections(self, result):
+        report = render_analysis_report(result)
+        for heading in (
+            "Workload distribution (SOM)",
+            "Dendrogram over the map",
+            "Hierarchical geometric means",
+            "Recommendation",
+        ):
+            assert heading in report
+
+    def test_mentions_every_workload(self, result, paper_suite):
+        report = render_analysis_report(result)
+        for workload in paper_suite:
+            assert workload.name in report
+
+    def test_suspect_group_section(self, result, scimark_workloads):
+        report = render_analysis_report(
+            result, suspect_group=scimark_workloads
+        )
+        assert "Redundancy diagnostics" in report
+        assert "coagulation index" in report
+
+    def test_no_suspect_group_no_diagnostics(self, result):
+        report = render_analysis_report(result)
+        assert "Redundancy diagnostics" not in report
+
+    def test_recommended_partition_is_listed(self, result):
+        report = render_analysis_report(result)
+        assert f"recommended cluster count: {result.recommended_clusters}" in report
+        recommended = result.cut(result.recommended_clusters).partition
+        first_block = "{" + ", ".join(recommended.blocks[0]) + "}"
+        assert first_block in report
+
+    def test_hgm_table_present_for_two_machines(self, result):
+        report = render_analysis_report(result)
+        assert "Clusters" in report
+        assert "ratio" in report
+
+
+class TestMultiMachineReport:
+    def test_three_machine_report_lists_scores_per_cut(self, paper_suite):
+        """With more than two machines there is no ratio table; the
+        report falls back to a per-cut score listing."""
+        from repro.data.table3 import SPEEDUP_TABLE
+
+        triple = {
+            "A": dict(SPEEDUP_TABLE["A"]),
+            "B": dict(SPEEDUP_TABLE["B"]),
+            "C": {k: 1.2 * v for k, v in SPEEDUP_TABLE["B"].items()},
+        }
+        pipeline = WorkloadAnalysisPipeline(
+            characterization="methods",
+            machine=None,
+            speedups=triple,
+            som_config=SOMConfig(rows=6, columns=6, steps_per_sample=120, seed=3),
+        )
+        report = render_analysis_report(pipeline.run(paper_suite))
+        assert "A=" in report and "B=" in report and "C=" in report
+        assert "clusters:" in report

@@ -1,0 +1,72 @@
+"""Unit tests for clustering stability under characterization reruns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stability import StabilityReport, clustering_stability
+from repro.core.partition import Partition
+from repro.exceptions import MeasurementError
+
+
+@pytest.fixture(scope="module")
+def report(paper_suite):
+    # Small SOM + two seeds keeps the test fast while still exercising
+    # the full rerun-and-compare path.
+    return clustering_stability(
+        paper_suite,
+        machine="A",
+        cluster_count=6,
+        seeds=(11, 23),
+        som_rows=6,
+        som_columns=6,
+    )
+
+
+class TestClusteringStability:
+    def test_one_partition_per_seed(self, report):
+        assert len(report.partitions) == 2
+        assert len(report.pairwise_ari) == 1
+        assert len(report.scores_a) == 2
+
+    def test_partitions_have_requested_cluster_count(self, report):
+        for partition in report.partitions:
+            assert partition.num_blocks == 6
+
+    def test_agreement_in_valid_range(self, report):
+        assert -1.0 <= report.min_ari <= 1.0
+        assert report.mean_ari >= report.min_ari
+
+    def test_reruns_agree_substantially(self, report):
+        """The synthetic counters are noisy but the structure is strong;
+        reruns should agree far better than chance."""
+        assert report.mean_ari > 0.3
+
+    def test_scores_are_stable(self, report):
+        assert report.score_spread < 0.6
+        for score in report.scores_a:
+            assert 2.0 < score < 3.5
+
+    def test_rejects_single_seed(self, paper_suite):
+        with pytest.raises(MeasurementError, match="two seeds"):
+            clustering_stability(paper_suite, seeds=(11,))
+
+    def test_rejects_bad_cluster_count(self, paper_suite):
+        with pytest.raises(MeasurementError, match="cluster_count"):
+            clustering_stability(paper_suite, cluster_count=1, seeds=(1, 2))
+
+
+class TestStabilityReport:
+    def test_aggregates(self):
+        report = StabilityReport(
+            cluster_count=3,
+            partitions=(
+                Partition([["a", "b"], ["c"]]),
+                Partition([["a"], ["b", "c"]]),
+            ),
+            pairwise_ari=(0.4, 0.6),
+            scores_a=(2.0, 2.2),
+        )
+        assert report.mean_ari == pytest.approx(0.5)
+        assert report.min_ari == pytest.approx(0.4)
+        assert report.score_spread == pytest.approx(0.2)

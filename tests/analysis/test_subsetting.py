@@ -1,0 +1,96 @@
+"""Unit tests for cluster-driven benchmark subsetting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.subsetting import (
+    representative_subset,
+    subset_score,
+    subsetting_error,
+)
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.core.partition import Partition
+from repro.exceptions import MeasurementError
+
+SCORES = {"k1": 1.0, "k2": 1.1, "k3": 0.9, "big": 4.0, "db": 2.0}
+PARTITION = Partition([["k1", "k2", "k3"], ["big"], ["db"]])
+
+
+class TestRepresentativeSubset:
+    def test_one_per_cluster(self):
+        subset = representative_subset(SCORES, PARTITION)
+        assert len(subset) == PARTITION.num_blocks
+        assert "big" in subset and "db" in subset
+
+    def test_representative_is_nearest_to_inner_mean(self):
+        # GM(1.0, 1.1, 0.9) ~ 0.9967 -> k1 is nearest.
+        subset = representative_subset(SCORES, PARTITION)
+        assert "k1" in subset
+
+    def test_singleton_cluster_represents_itself(self):
+        subset = representative_subset(SCORES, PARTITION)
+        assert "big" in subset
+
+    def test_deterministic_tie_break(self):
+        scores = {"a": 2.0, "b": 8.0, "c": 1.0}
+        partition = Partition([["a", "b"], ["c"]])
+        # GM(2, 8) = 4; both a and b are equidistant in ratio but not in
+        # absolute distance: |2-4| = 2 < |8-4| = 4, so a wins outright.
+        assert "a" in representative_subset(scores, partition)
+
+    def test_unknown_mean(self):
+        with pytest.raises(MeasurementError, match="unknown mean"):
+            representative_subset(SCORES, PARTITION, mean="mode")
+
+
+class TestSubsetScore:
+    def test_plain_mean_over_representatives(self):
+        value = subset_score(SCORES, ("big", "db"))
+        assert value == pytest.approx((4.0 * 2.0) ** 0.5)
+
+    def test_missing_scores_rejected(self):
+        with pytest.raises(MeasurementError, match="no scores"):
+            subset_score(SCORES, ("big", "ghost"))
+
+    def test_empty_subset_rejected(self):
+        with pytest.raises(MeasurementError, match="empty"):
+            subset_score(SCORES, ())
+
+
+class TestSubsettingError:
+    def test_report_fields(self):
+        report = subsetting_error(SCORES, PARTITION)
+        assert report.suite_size == 5
+        assert len(report.representatives) == 3
+        assert report.reduction == pytest.approx(2.0 / 5.0)
+        assert report.full_hierarchical_score == pytest.approx(
+            hierarchical_geometric_mean(SCORES, PARTITION)
+        )
+
+    def test_subset_tracks_full_hierarchical_score(self):
+        """For tight clusters the one-per-cluster subset approximates
+        the full hierarchical score closely."""
+        report = subsetting_error(SCORES, PARTITION)
+        assert report.relative_error < 0.02
+
+    def test_homogeneous_clusters_give_zero_error(self):
+        scores = {"r1": 2.0, "r2": 2.0, "solo": 5.0}
+        partition = Partition([["r1", "r2"], ["solo"]])
+        report = subsetting_error(scores, partition)
+        assert report.relative_error == pytest.approx(0.0)
+
+    def test_paper_suite_subset(self, speedups_a, machine_a_6_clusters):
+        """Subsetting the 13-workload suite down to 6 representatives
+        keeps the score within a few percent of the full HGM."""
+        report = subsetting_error(speedups_a, machine_a_6_clusters)
+        assert len(report.representatives) == 6
+        assert report.reduction == pytest.approx(7.0 / 13.0)
+        assert report.relative_error < 0.12
+
+    def test_singleton_partition_is_lossless(self, speedups_a):
+        report = subsetting_error(
+            speedups_a, Partition.singletons(speedups_a)
+        )
+        assert report.relative_error == pytest.approx(0.0)
+        assert report.reduction == 0.0

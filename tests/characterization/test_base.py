@@ -1,0 +1,78 @@
+"""Unit tests for the CharacteristicVectors container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization.base import CharacteristicVectors
+from repro.exceptions import CharacterizationError
+
+
+@pytest.fixture()
+def vectors():
+    return CharacteristicVectors(
+        labels=["w1", "w2"],
+        feature_names=["cpu", "mem", "io"],
+        matrix=[[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]],
+    )
+
+
+class TestConstruction:
+    def test_shape_accessors(self, vectors):
+        assert vectors.num_workloads == 2
+        assert vectors.num_features == 3
+        assert vectors.labels == ("w1", "w2")
+        assert vectors.feature_names == ("cpu", "mem", "io")
+
+    def test_matrix_is_copied_on_input(self):
+        source = np.ones((1, 2))
+        container = CharacteristicVectors(["a"], ["f1", "f2"], source)
+        source[0, 0] = 99.0
+        assert container.matrix[0, 0] == 1.0
+
+    def test_matrix_property_returns_copy(self, vectors):
+        first = vectors.matrix
+        first[0, 0] = 99.0
+        assert vectors.matrix[0, 0] == 1.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(CharacterizationError, match="does not match"):
+            CharacteristicVectors(["a"], ["f"], [[1.0, 2.0]])
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(CharacterizationError, match="duplicate labels"):
+            CharacteristicVectors(["a", "a"], ["f"], [[1.0], [2.0]])
+
+    def test_rejects_duplicate_features(self):
+        with pytest.raises(CharacterizationError, match="duplicate feature"):
+            CharacteristicVectors(["a"], ["f", "f"], [[1.0, 2.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(CharacterizationError, match="NaN"):
+            CharacteristicVectors(["a"], ["f"], [[float("nan")]])
+
+    def test_rejects_1d_matrix(self):
+        with pytest.raises(CharacterizationError, match="2-D"):
+            CharacteristicVectors(["a"], ["f"], [1.0])
+
+
+class TestQueries:
+    def test_vector_for(self, vectors):
+        assert vectors.vector_for("w2").tolist() == [4.0, 5.0, 6.0]
+
+    def test_vector_for_unknown(self, vectors):
+        with pytest.raises(CharacterizationError, match="no characteristic"):
+            vectors.vector_for("missing")
+
+    def test_select_features(self, vectors):
+        reduced = vectors.select_features([0, 2])
+        assert reduced.feature_names == ("cpu", "io")
+        assert reduced.matrix.tolist() == [[1.0, 3.0], [4.0, 6.0]]
+
+    def test_select_features_empty(self, vectors):
+        with pytest.raises(CharacterizationError, match="empty"):
+            vectors.select_features([])
+
+    def test_repr(self, vectors):
+        assert "workloads=2" in repr(vectors)

@@ -1,0 +1,102 @@
+"""Unit tests for the Java method-utilization profiler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization.methods import JavaMethodProfiler
+from repro.characterization.preprocess import prepare_method_bits
+from repro.exceptions import CharacterizationError
+from repro.workloads.suite import BenchmarkSuite, Workload
+
+
+class TestProfile:
+    @pytest.fixture(scope="class")
+    def profile(self, paper_suite):
+        return JavaMethodProfiler().profile(paper_suite)
+
+    def test_bit_matrix(self, profile):
+        assert set(np.unique(profile.matrix)) <= {0.0, 1.0}
+
+    def test_core_methods_used_by_everyone(self, profile):
+        core_columns = [
+            i
+            for i, name in enumerate(profile.feature_names)
+            if name.startswith("java.lang.core.")
+        ]
+        assert core_columns
+        assert np.all(profile.matrix[:, core_columns] == 1.0)
+
+    def test_private_methods_used_by_exactly_one(self, profile):
+        private_columns = [
+            i
+            for i, name in enumerate(profile.feature_names)
+            if ".private." in name
+        ]
+        assert private_columns
+        usage = profile.matrix[:, private_columns].sum(axis=0)
+        assert np.all(usage == 1.0)
+
+    def test_scimark_workloads_share_math_library(self, profile, scimark_workloads):
+        math_columns = [
+            i
+            for i, name in enumerate(profile.feature_names)
+            if name.startswith("scimark.math.")
+        ]
+        assert math_columns
+        for workload in scimark_workloads:
+            vector = profile.vector_for(workload)
+            assert all(vector[i] == 1.0 for i in math_columns)
+
+    def test_deterministic(self, paper_suite):
+        first = JavaMethodProfiler().profile(paper_suite)
+        second = JavaMethodProfiler().profile(paper_suite)
+        assert np.array_equal(first.matrix, second.matrix)
+
+    def test_unknown_workload_rejected(self):
+        suite = BenchmarkSuite(
+            [Workload("mystery", "Unknown", "1", "x", "desc")]
+        )
+        with pytest.raises(CharacterizationError, match="no library model"):
+            JavaMethodProfiler().profile(suite)
+
+
+class TestPreprocessedStructure:
+    """After the paper's preprocessing, SciMark2 kernels become
+    *identical* — the mechanism behind Figure 7's single shared cell."""
+
+    @pytest.fixture(scope="class")
+    def prepared(self, paper_suite):
+        return prepare_method_bits(JavaMethodProfiler().profile(paper_suite))
+
+    def test_scimark_vectors_identical_after_preprocessing(
+        self, prepared, scimark_workloads
+    ):
+        reference = prepared.vector_for(scimark_workloads[0])
+        for workload in scimark_workloads[1:]:
+            assert np.allclose(prepared.vector_for(workload), reference)
+
+    def test_jess_and_mtrt_share_only_harness_methods(self, paper_suite):
+        """jess and mtrt sit on opposite ends of Figure 7: beyond the
+        universal core and the suite harness, they call disjoint code."""
+        raw = JavaMethodProfiler().profile(paper_suite)
+        jess = raw.vector_for("jvm98.202.jess")
+        mtrt = raw.vector_for("jvm98.227.mtrt")
+        shared = [
+            name
+            for name, a, b in zip(raw.feature_names, jess, mtrt)
+            if a == 1.0 and b == 1.0
+        ]
+        assert shared  # core + harness exist
+        assert all(
+            name.startswith("java.lang.core.")
+            or name.startswith("specjvm98.harness.")
+            for name in shared
+        )
+
+    def test_extreme_usage_columns_removed(self, prepared, paper_suite):
+        # No column may be constant after preprocessing (all-user and
+        # one-user bits were dropped, then standardized).
+        spread = prepared.matrix.max(axis=0) - prepared.matrix.min(axis=0)
+        assert np.all(spread > 0.0)

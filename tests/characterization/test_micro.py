@@ -1,0 +1,116 @@
+"""Unit tests for the microarchitecture-independent characterization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.characterization.micro import (
+    MICRO_FEATURES,
+    MicroarchIndependentProfiler,
+    micro_profile,
+)
+from repro.characterization.preprocess import prepare_counters
+from repro.exceptions import CharacterizationError
+from repro.som.som import SOMConfig
+from repro.stats.distance import pairwise_distances
+from repro.workloads.demands import PAPER_DEMANDS
+from repro.workloads.suite import BenchmarkSuite, Workload
+
+
+class TestMicroProfile:
+    def test_dimension(self):
+        profile = micro_profile(PAPER_DEMANDS["SciMark2.FFT"])
+        assert profile.shape == (len(MICRO_FEATURES),)
+        assert np.all(np.isfinite(profile))
+
+    def test_instruction_mix_fractions_are_sane(self):
+        for name, demands in PAPER_DEMANDS.items():
+            profile = micro_profile(demands)
+            mix = profile[:5]
+            assert np.all(mix >= 0.0), name
+            assert np.all(mix <= 1.0), name
+
+    def test_stride_fractions_sum_to_one(self):
+        for demands in PAPER_DEMANDS.values():
+            strides = micro_profile(demands)[5:9]
+            assert np.all(strides >= -1e-12)
+            assert strides.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_fp_kernels_are_fp_dominated(self):
+        profile = micro_profile(PAPER_DEMANDS["SciMark2.LU"])
+        fp_index = MICRO_FEATURES.index("mix_floating_point")
+        int_index = MICRO_FEATURES.index("mix_integer")
+        assert profile[fp_index] > profile[int_index]
+
+    def test_pointer_chasers_are_stride_irregular(self):
+        javac = micro_profile(PAPER_DEMANDS["jvm98.213.javac"])
+        sor = micro_profile(PAPER_DEMANDS["SciMark2.SOR"])
+        irregular = MICRO_FEATURES.index("stride_irregular")
+        assert javac[irregular] > sor[irregular]
+
+
+class TestProfiler:
+    @pytest.fixture(scope="class")
+    def vectors(self, paper_suite):
+        return MicroarchIndependentProfiler().profile(paper_suite)
+
+    def test_shape(self, vectors, paper_suite):
+        assert vectors.num_workloads == len(paper_suite)
+        assert vectors.num_features == len(MICRO_FEATURES) * 4
+
+    def test_machine_independence_is_structural(self, paper_suite):
+        """The profiler takes no machine argument, so 'both machines'
+        trivially produce identical vectors — the property the paper's
+        conclusion asks for."""
+        first = MicroarchIndependentProfiler().profile(paper_suite)
+        second = MicroarchIndependentProfiler().profile(paper_suite)
+        assert np.array_equal(first.matrix, second.matrix)
+
+    def test_scimark_kernels_are_mutually_nearest(self, vectors, scimark_workloads):
+        prepared = prepare_counters(vectors)
+        distances = pairwise_distances(prepared.matrix)
+        labels = list(prepared.labels)
+        scimark_idx = [labels.index(n) for n in scimark_workloads]
+        other_idx = [i for i in range(len(labels)) if i not in scimark_idx]
+        intra_max = distances[np.ix_(scimark_idx, scimark_idx)].max()
+        inter_min = distances[np.ix_(scimark_idx, other_idx)].min()
+        assert intra_max < inter_min
+
+    def test_unknown_workload_rejected(self):
+        suite = BenchmarkSuite([Workload("alien", "X", "1", "in", "d")])
+        with pytest.raises(CharacterizationError, match="no demand profiles"):
+            MicroarchIndependentProfiler().profile(suite)
+
+
+class TestMicroPipeline:
+    def test_full_pipeline_runs(self, paper_suite):
+        pipeline = WorkloadAnalysisPipeline(
+            characterization="micro",
+            machine=None,
+            som_config=SOMConfig(rows=6, columns=6, steps_per_sample=150, seed=7),
+        )
+        result = pipeline.run(paper_suite)
+        assert result.characterization == "micro"
+        assert len(result.cuts) == 7
+
+    def test_scimark_stays_coagulated(self, paper_suite, scimark_workloads):
+        """Under instruction-mix features SciMark2 splits along a real
+        program property — stride regularity ({LU, MonteCarlo, SOR} vs
+        the irregular {FFT, Sparse}) — but never scatters: at every
+        mid-range cut the five kernels occupy at most two blocks."""
+        pipeline = WorkloadAnalysisPipeline(
+            characterization="micro",
+            machine=None,
+            som_config=SOMConfig(rows=6, columns=6, steps_per_sample=150, seed=7),
+        )
+        result = pipeline.run(paper_suite)
+        target = set(scimark_workloads)
+        for cut in result.cuts:
+            if cut.clusters > 6:
+                continue
+            touching = [
+                block for block in cut.partition.blocks if target & set(block)
+            ]
+            assert len(touching) <= 2, f"k={cut.clusters}"

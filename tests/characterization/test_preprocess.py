@@ -1,0 +1,88 @@
+"""Unit tests for the paper's characterization preprocessing rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization.base import CharacteristicVectors
+from repro.characterization.preprocess import (
+    drop_extreme_usage_features,
+    drop_unvarying_features,
+    prepare_counters,
+    prepare_method_bits,
+)
+from repro.exceptions import CharacterizationError
+
+
+def _vectors(matrix, features=None):
+    matrix = np.asarray(matrix, dtype=float)
+    features = features or [f"f{i}" for i in range(matrix.shape[1])]
+    labels = [f"w{i}" for i in range(matrix.shape[0])]
+    return CharacteristicVectors(labels, features, matrix)
+
+
+class TestDropUnvarying:
+    def test_removes_constant_feature(self):
+        vectors = _vectors([[1.0, 5.0], [2.0, 5.0]])
+        reduced = drop_unvarying_features(vectors)
+        assert reduced.feature_names == ("f0",)
+
+    def test_keeps_varying_features(self):
+        vectors = _vectors([[1.0, 2.0], [2.0, 1.0]])
+        assert drop_unvarying_features(vectors).num_features == 2
+
+    def test_all_constant_rejected(self):
+        with pytest.raises(CharacterizationError, match="every feature"):
+            drop_unvarying_features(_vectors([[1.0], [1.0]]))
+
+
+class TestDropExtremeUsage:
+    def test_drops_all_user_and_one_user_bits(self):
+        # f0: all use; f1: one uses; f2: two of three use -> only f2 kept.
+        matrix = [
+            [1.0, 1.0, 1.0],
+            [1.0, 0.0, 1.0],
+            [1.0, 0.0, 0.0],
+        ]
+        reduced = drop_extreme_usage_features(_vectors(matrix))
+        assert reduced.feature_names == ("f2",)
+
+    def test_unused_feature_also_dropped(self):
+        matrix = [[0.0, 1.0], [0.0, 1.0], [0.0, 0.0]]
+        reduced = drop_extreme_usage_features(_vectors(matrix))
+        assert reduced.feature_names == ("f1",)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(CharacterizationError, match="bit matrix"):
+            drop_extreme_usage_features(_vectors([[0.5, 1.0], [0.0, 1.0]]))
+
+    def test_nothing_left_rejected(self):
+        matrix = [[1.0, 1.0], [1.0, 0.0]]
+        # f0 used by all, f1 used by one.
+        with pytest.raises(CharacterizationError, match="nothing to cluster"):
+            drop_extreme_usage_features(_vectors(matrix))
+
+
+class TestPreparePipelines:
+    def test_prepare_counters_standardizes(self):
+        vectors = _vectors([[1.0, 5.0, 7.0], [3.0, 5.0, 9.0]])
+        prepared = prepare_counters(vectors)
+        # Constant column dropped; remaining columns standardized.
+        assert prepared.num_features == 2
+        assert np.allclose(prepared.matrix.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(np.abs(prepared.matrix), 1.0, atol=1e-12)
+
+    def test_prepare_method_bits_standardizes(self):
+        matrix = [
+            [1.0, 1.0, 0.0],
+            [1.0, 1.0, 1.0],
+            [1.0, 0.0, 1.0],
+        ]
+        prepared = prepare_method_bits(_vectors(matrix))
+        assert prepared.num_features == 2
+        assert np.allclose(prepared.matrix.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_labels_preserved(self):
+        vectors = _vectors([[1.0, 5.0], [2.0, 5.0]])
+        assert prepare_counters(vectors).labels == vectors.labels

@@ -1,0 +1,142 @@
+"""Unit tests for the synthetic SAR counter collector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization.preprocess import prepare_counters
+from repro.characterization.sar import (
+    LATENT_FEATURES,
+    SARCounterCollector,
+    latent_profile,
+)
+from repro.exceptions import CharacterizationError
+from repro.stats.distance import pairwise_distances
+from repro.workloads.demands import PAPER_DEMANDS
+from repro.workloads.machines import MACHINE_A, MACHINE_B
+
+
+class TestLatentProfile:
+    def test_dimension(self):
+        profile = latent_profile(PAPER_DEMANDS["SciMark2.FFT"], MACHINE_A)
+        assert profile.shape == (len(LATENT_FEATURES),)
+        assert np.all(np.isfinite(profile))
+
+    def test_os_cannot_distinguish_cache_resident_kernels(self):
+        """All SciMark2 working sets live in cache; their OS-visible
+        profiles must be nearly identical (the Figure 3/5 mechanism)."""
+        profiles = [
+            latent_profile(PAPER_DEMANDS[f"SciMark2.{k}"], MACHINE_A)
+            for k in ("FFT", "LU", "MonteCarlo", "SOR", "Sparse")
+        ]
+        stacked = np.vstack(profiles)
+        assert np.max(stacked.max(axis=0) - stacked.min(axis=0)) < 0.06
+
+    def test_hsqldb_swaps_only_on_machine_b(self):
+        """350 MB working set against 512 MB memory swaps; against 2 GB
+        it does not — the machine-dependence the paper stresses."""
+        demands = PAPER_DEMANDS["DaCapo.hsqldb"]
+        swap_index = LATENT_FEATURES.index("swap_activity")
+        assert latent_profile(demands, MACHINE_B)[swap_index] > 0.0
+        assert latent_profile(demands, MACHINE_A)[swap_index] == 0.0
+
+    def test_mtrt_queues_only_on_single_core_machine(self):
+        demands = PAPER_DEMANDS["jvm98.227.mtrt"]
+        rq_index = LATENT_FEATURES.index("run_queue")
+        assert latent_profile(demands, MACHINE_B)[rq_index] > 0.0
+        assert latent_profile(demands, MACHINE_A)[rq_index] == 0.0
+
+
+class TestCollector:
+    @pytest.fixture(scope="class")
+    def collected(self, paper_suite):
+        collector = SARCounterCollector(seed=3)
+        return collector.collect(paper_suite, MACHINE_A)
+
+    def test_shape(self, collected, paper_suite):
+        assert collected.num_workloads == len(paper_suite)
+        # "a couple hundred counters"
+        assert collected.num_features > 200
+
+    def test_counter_names_namespaced(self, collected):
+        assert all(name.startswith("sar.") for name in collected.feature_names)
+
+    def test_contains_constant_counters_to_discard(self, collected):
+        matrix = collected.matrix
+        spread = matrix.max(axis=0) - matrix.min(axis=0)
+        assert np.any(spread == 0.0)
+
+    def test_deterministic_for_same_seed(self, paper_suite):
+        first = SARCounterCollector(seed=9).collect(paper_suite, MACHINE_A)
+        second = SARCounterCollector(seed=9).collect(paper_suite, MACHINE_A)
+        assert np.allclose(first.matrix, second.matrix)
+
+    def test_machines_give_different_counters(self, paper_suite):
+        collector = SARCounterCollector(seed=3)
+        on_a = collector.collect(paper_suite, MACHINE_A)
+        on_b = collector.collect(paper_suite, MACHINE_B)
+        assert not np.allclose(on_a.matrix, on_b.matrix)
+
+    def test_zero_noise_collapse_to_expectation(self, paper_suite):
+        collector = SARCounterCollector(seed=3, sample_noise=0.0)
+        first = collector.collect(paper_suite, MACHINE_A, runs=1, samples_per_run=1)
+        second = collector.collect(paper_suite, MACHINE_A, runs=10, samples_per_run=15)
+        assert np.allclose(first.matrix, second.matrix)
+
+    def test_rejects_zero_runs(self, paper_suite):
+        with pytest.raises(CharacterizationError, match=">= 1"):
+            SARCounterCollector().collect(paper_suite, MACHINE_A, runs=0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(CharacterizationError, match="sample_noise"):
+            SARCounterCollector(sample_noise=-0.1)
+
+    def test_unknown_workload_rejected(self, paper_suite):
+        only_fft = {"SciMark2.FFT": PAPER_DEMANDS["SciMark2.FFT"]}
+        collector = SARCounterCollector(demands=only_fft)
+        with pytest.raises(CharacterizationError, match="no demand profiles"):
+            collector.collect(paper_suite, MACHINE_A)
+
+
+class TestClusterStructure:
+    """The preprocessed counters must show the paper's similarity
+    structure before any SOM is involved."""
+
+    @pytest.fixture(scope="class")
+    def prepared_a(self, paper_suite):
+        collector = SARCounterCollector(seed=3)
+        return prepare_counters(collector.collect(paper_suite, MACHINE_A))
+
+    def test_scimark_intra_distances_are_small(self, prepared_a, scimark_workloads):
+        labels = list(prepared_a.labels)
+        distances = pairwise_distances(prepared_a.matrix)
+        scimark_idx = [labels.index(n) for n in scimark_workloads]
+        other_idx = [
+            i for i in range(len(labels)) if i not in scimark_idx
+        ]
+        intra = distances[np.ix_(scimark_idx, scimark_idx)]
+        max_intra = intra.max()
+        inter = distances[np.ix_(scimark_idx, other_idx)]
+        assert max_intra < inter.min()
+
+    def test_compress_and_mpegaudio_resemble_each_other(self, prepared_a):
+        """Figure 3: 'compress and mpegaudio ... tend to highly resemble
+        each other'."""
+        labels = list(prepared_a.labels)
+        distances = pairwise_distances(prepared_a.matrix)
+        compress = labels.index("jvm98.201.compress")
+        mpegaudio = labels.index("jvm98.222.mpegaudio")
+        pair_distance = distances[compress, mpegaudio]
+        non_scimark = [
+            i for i, n in enumerate(labels) if not n.startswith("SciMark2.")
+        ]
+        median_distance = np.median(
+            [
+                distances[i, j]
+                for i in non_scimark
+                for j in non_scimark
+                if i < j
+            ]
+        )
+        assert pair_distance < median_distance

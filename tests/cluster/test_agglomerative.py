@@ -1,0 +1,158 @@
+"""Unit tests for the agglomerative clustering algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.linkage import CompleteLinkage
+from repro.core.partition import Partition
+from repro.exceptions import ClusteringError
+from repro.stats.distance import pairwise_distances
+
+
+def _two_blobs():
+    """Four points in two obvious pairs."""
+    return np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+
+
+class TestFit:
+    def test_obvious_pairs_merge_first(self):
+        dendrogram = AgglomerativeClustering().fit(
+            _two_blobs(), labels=["a", "b", "c", "d"]
+        )
+        assert dendrogram.cut_to_k(2) == Partition([["a", "b"], ["c", "d"]])
+
+    def test_merge_count(self):
+        dendrogram = AgglomerativeClustering().fit(_two_blobs())
+        assert len(dendrogram.merges) == 3
+
+    def test_default_labels(self):
+        dendrogram = AgglomerativeClustering().fit(_two_blobs())
+        assert dendrogram.labels == ("point-0", "point-1", "point-2", "point-3")
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ClusteringError, match="labels"):
+            AgglomerativeClustering().fit(_two_blobs(), labels=["a"])
+
+    def test_single_point(self):
+        dendrogram = AgglomerativeClustering().fit([[1.0]], labels=["only"])
+        assert dendrogram.num_leaves == 1
+        assert dendrogram.merges == ()
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ClusteringError, match="non-empty"):
+            AgglomerativeClustering().fit(np.empty((0, 2)))
+
+    def test_linkage_property(self):
+        algo = AgglomerativeClustering(linkage="complete")
+        assert isinstance(algo.linkage, CompleteLinkage)
+
+
+class TestAgainstBruteForce:
+    """The Lance-Williams implementation must match a brute-force
+    agglomeration that recomputes all set-to-set distances each round."""
+
+    @pytest.mark.parametrize("linkage_name", ["single", "complete", "average"])
+    def test_merge_distances_match_brute_force(self, linkage_name):
+        rng = np.random.default_rng(17)
+        points = rng.normal(size=(9, 3))
+        distances = pairwise_distances(points)
+
+        dendrogram = AgglomerativeClustering(linkage=linkage_name).fit(points)
+
+        # Brute force: maintain explicit member sets.
+        from repro.cluster.linkage import LINKAGES
+
+        linkage = LINKAGES[linkage_name]()
+        clusters: dict[int, list[int]] = {i: [i] for i in range(9)}
+        brute_distances = []
+        next_id = 9
+        while len(clusters) > 1:
+            best = None
+            ids = sorted(clusters)
+            for idx, p in enumerate(ids):
+                for q in ids[idx + 1:]:
+                    value = linkage.between(distances, clusters[p], clusters[q])
+                    if best is None or value < best[0] - 1e-12:
+                        best = (value, p, q)
+            value, p, q = best
+            brute_distances.append(value)
+            clusters[next_id] = clusters.pop(p) + clusters.pop(q)
+            next_id += 1
+
+        implementation = [merge.distance for merge in dendrogram.merges]
+        assert implementation == pytest.approx(brute_distances)
+
+    def test_partitions_match_brute_force_complete_linkage(self):
+        rng = np.random.default_rng(23)
+        points = rng.normal(size=(8, 2))
+        labels = [f"p{i}" for i in range(8)]
+        dendrogram = AgglomerativeClustering().fit(points, labels=labels)
+
+        distances = pairwise_distances(points)
+        linkage = CompleteLinkage()
+        clusters: list[list[int]] = [[i] for i in range(8)]
+        for target_k in range(7, 1, -1):
+            best = None
+            for i in range(len(clusters)):
+                for j in range(i + 1, len(clusters)):
+                    value = linkage.between(distances, clusters[i], clusters[j])
+                    if best is None or value < best[0] - 1e-12:
+                        best = (value, i, j)
+            __, i, j = best
+            clusters[i] = clusters[i] + clusters.pop(j)
+            expected = Partition(
+                [[labels[m] for m in cluster] for cluster in clusters]
+            )
+            assert dendrogram.cut_to_k(target_k) == expected
+
+
+class TestFitDistanceMatrix:
+    def test_precomputed_matrix_equals_point_fit(self):
+        points = _two_blobs()
+        labels = ["a", "b", "c", "d"]
+        from_points = AgglomerativeClustering().fit(points, labels=labels)
+        from_matrix = AgglomerativeClustering().fit_distance_matrix(
+            pairwise_distances(points), labels=labels
+        )
+        assert [m.distance for m in from_points.merges] == pytest.approx(
+            [m.distance for m in from_matrix.merges]
+        )
+
+    def test_rejects_asymmetric_matrix(self):
+        matrix = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ClusteringError, match="symmetric"):
+            AgglomerativeClustering().fit_distance_matrix(matrix)
+
+    def test_rejects_nonzero_diagonal(self):
+        matrix = np.array([[1.0, 2.0], [2.0, 0.0]])
+        with pytest.raises(ClusteringError, match="diagonal"):
+            AgglomerativeClustering().fit_distance_matrix(matrix)
+
+    def test_rejects_negative_distances(self):
+        matrix = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ClusteringError, match=">= 0"):
+            AgglomerativeClustering().fit_distance_matrix(matrix)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ClusteringError, match="square"):
+            AgglomerativeClustering().fit_distance_matrix(np.zeros((2, 3)))
+
+    def test_rejects_nan(self):
+        matrix = np.array([[0.0, float("nan")], [float("nan"), 0.0]])
+        with pytest.raises(ClusteringError, match="NaN"):
+            AgglomerativeClustering().fit_distance_matrix(matrix)
+
+
+class TestTieHandling:
+    def test_equidistant_points_cluster_deterministically(self):
+        # Four collinear equidistant points: ties everywhere.
+        points = np.array([[0.0], [1.0], [2.0], [3.0]])
+        first = AgglomerativeClustering().fit(points)
+        second = AgglomerativeClustering().fit(points)
+        assert [m.distance for m in first.merges] == (
+            [m.distance for m in second.merges]
+        )
+        assert first.cut_to_k(2) == second.cut_to_k(2)

@@ -1,0 +1,130 @@
+"""Unit tests for the linkage rules and their Lance-Williams recurrences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.linkage import (
+    LINKAGES,
+    AverageLinkage,
+    CentroidLinkage,
+    CompleteLinkage,
+    SingleLinkage,
+    WardLinkage,
+    resolve_linkage,
+)
+from repro.exceptions import ClusteringError
+from repro.stats.distance import pairwise_distances
+
+
+@pytest.fixture(scope="module")
+def point_set():
+    rng = np.random.default_rng(42)
+    points = rng.normal(size=(8, 3))
+    return points, pairwise_distances(points)
+
+
+class TestDirectDefinitions:
+    def test_single_is_min(self, point_set):
+        __, distances = point_set
+        value = SingleLinkage().between(distances, [0, 1], [2, 3])
+        expected = min(distances[i, j] for i in (0, 1) for j in (2, 3))
+        assert value == pytest.approx(expected)
+
+    def test_complete_is_max(self, point_set):
+        __, distances = point_set
+        value = CompleteLinkage().between(distances, [0, 1], [2, 3])
+        expected = max(distances[i, j] for i in (0, 1) for j in (2, 3))
+        assert value == pytest.approx(expected)
+
+    def test_average_is_mean(self, point_set):
+        __, distances = point_set
+        value = AverageLinkage().between(distances, [0, 1, 4], [2, 3])
+        expected = np.mean(
+            [distances[i, j] for i in (0, 1, 4) for j in (2, 3)]
+        )
+        assert value == pytest.approx(expected)
+
+    def test_empty_cluster_rejected(self, point_set):
+        __, distances = point_set
+        with pytest.raises(ClusteringError, match="empty"):
+            SingleLinkage().between(distances, [], [0])
+
+    def test_ward_has_no_direct_form(self, point_set):
+        __, distances = point_set
+        with pytest.raises(ClusteringError, match="no closed"):
+            WardLinkage().between(distances, [0], [1])
+
+
+class TestLanceWilliamsRecurrences:
+    """The recurrence after merging {p} and {q} must equal the direct
+    set-to-set definition on {p, q} versus each singleton {k}."""
+
+    @pytest.mark.parametrize("linkage_name", ["single", "complete", "average"])
+    def test_update_matches_direct_definition(self, point_set, linkage_name):
+        __, distances = point_set
+        linkage = LINKAGES[linkage_name]()
+        p, q = 0, 1
+        others = [2, 3, 4, 5, 6, 7]
+        updated = linkage.update(
+            distances[p, others],
+            distances[q, others],
+            distances[p, q],
+            1,
+            1,
+            np.ones(len(others), dtype=int),
+        )
+        for position, k in enumerate(others):
+            direct = linkage.between(distances, [p, q], [k])
+            assert updated[position] == pytest.approx(direct)
+
+    def test_centroid_update_matches_geometry(self, point_set):
+        """Centroid linkage must equal the distance between centroids."""
+        points, distances = point_set
+        linkage = CentroidLinkage()
+        p, q = 0, 1
+        others = [2, 3, 4]
+        updated = linkage.update(
+            distances[p, others],
+            distances[q, others],
+            distances[p, q],
+            1,
+            1,
+            np.ones(len(others), dtype=int),
+        )
+        centroid = (points[p] + points[q]) / 2.0
+        for position, k in enumerate(others):
+            geometric = float(np.linalg.norm(centroid - points[k]))
+            assert updated[position] == pytest.approx(geometric)
+
+    def test_ward_update_is_non_negative(self, point_set):
+        __, distances = point_set
+        linkage = WardLinkage()
+        updated = linkage.update(
+            distances[0, [2, 3]],
+            distances[1, [2, 3]],
+            distances[0, 1],
+            1,
+            1,
+            np.ones(2, dtype=int),
+        )
+        assert np.all(updated >= 0.0)
+
+
+class TestResolveLinkage:
+    def test_all_names_resolve(self):
+        for name in ("single", "complete", "average", "ward", "centroid"):
+            assert resolve_linkage(name) is not None
+
+    def test_instance_passthrough(self):
+        linkage = CompleteLinkage()
+        assert resolve_linkage(linkage) is linkage
+
+    def test_unknown_name(self):
+        with pytest.raises(ClusteringError, match="unknown linkage"):
+            resolve_linkage("median")
+
+    def test_monotone_flags(self):
+        assert CompleteLinkage.monotone
+        assert not CentroidLinkage.monotone

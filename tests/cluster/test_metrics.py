@@ -1,0 +1,93 @@
+"""Unit tests for clustering quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.metrics import cophenetic_correlation, silhouette_score
+from repro.core.partition import Partition
+from repro.exceptions import ClusteringError
+from repro.stats.distance import pairwise_distances
+
+
+def _blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [
+            [0.0, 0.0] + 0.1 * rng.normal(size=(5, 2)),
+            [10.0, 10.0] + 0.1 * rng.normal(size=(5, 2)),
+        ]
+    )
+
+
+class TestCopheneticCorrelation:
+    def test_high_for_well_separated_blobs(self):
+        points = _blobs()
+        distances = pairwise_distances(points)
+        dendrogram = AgglomerativeClustering().fit(points)
+        assert cophenetic_correlation(dendrogram, distances) > 0.9
+
+    def test_in_valid_range_for_noise(self):
+        rng = np.random.default_rng(5)
+        points = rng.normal(size=(12, 4))
+        distances = pairwise_distances(points)
+        dendrogram = AgglomerativeClustering().fit(points)
+        value = cophenetic_correlation(dendrogram, distances)
+        assert -1.0 <= value <= 1.0
+
+    def test_shape_mismatch(self):
+        dendrogram = AgglomerativeClustering().fit(_blobs())
+        with pytest.raises(ClusteringError, match="does not match"):
+            cophenetic_correlation(dendrogram, np.zeros((3, 3)))
+
+    def test_too_few_points(self):
+        points = np.array([[0.0], [1.0]])
+        dendrogram = AgglomerativeClustering().fit(points)
+        with pytest.raises(ClusteringError, match="at least 3"):
+            cophenetic_correlation(dendrogram, pairwise_distances(points))
+
+
+class TestSilhouetteScore:
+    def test_perfect_separation_close_to_one(self):
+        points = _blobs()
+        labels = [f"p{i}" for i in range(10)]
+        partition = Partition([labels[:5], labels[5:]])
+        value = silhouette_score(pairwise_distances(points), partition, labels)
+        assert value > 0.9
+
+    def test_bad_partition_scores_lower(self):
+        points = _blobs()
+        labels = [f"p{i}" for i in range(10)]
+        good = Partition([labels[:5], labels[5:]])
+        # Mix members across the blobs.
+        bad = Partition([labels[0:3] + labels[5:8], labels[3:5] + labels[8:10]])
+        distances = pairwise_distances(points)
+        assert silhouette_score(distances, good, labels) > silhouette_score(
+            distances, bad, labels
+        )
+
+    def test_singletons_contribute_zero(self):
+        points = np.array([[0.0], [1.0], [10.0]])
+        labels = ["a", "b", "c"]
+        partition = Partition([["a"], ["b"], ["c"]])
+        value = silhouette_score(pairwise_distances(points), partition, labels)
+        assert value == pytest.approx(0.0)
+
+    def test_requires_two_clusters(self):
+        points = np.array([[0.0], [1.0]])
+        labels = ["a", "b"]
+        with pytest.raises(ClusteringError, match="two clusters"):
+            silhouette_score(
+                pairwise_distances(points), Partition.whole(labels), labels
+            )
+
+    def test_label_mismatch(self):
+        points = np.array([[0.0], [1.0]])
+        with pytest.raises(ClusteringError, match="label"):
+            silhouette_score(
+                pairwise_distances(points),
+                Partition([["a"], ["z"]]),
+                ["a", "b"],
+            )

@@ -1,0 +1,105 @@
+"""Unit and property tests for the Rand / adjusted-Rand indices."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.cluster.metrics import adjusted_rand_index, rand_index
+from repro.core.partition import Partition
+from repro.exceptions import ClusteringError
+
+LABELS = ["a", "b", "c", "d", "e"]
+
+
+class TestRandIndex:
+    def test_identical_partitions_score_one(self):
+        p = Partition([["a", "b"], ["c", "d"], ["e"]])
+        assert rand_index(p, p) == 1.0
+
+    def test_known_value(self):
+        # p groups {a,b}; q splits everything: the a-b pair disagrees,
+        # the other 5 pairs agree -> 5/6.
+        p = Partition([["a", "b"], ["c"], ["d"]])
+        q = Partition.singletons(["a", "b", "c", "d"])
+        assert rand_index(p, q) == pytest.approx(5.0 / 6.0)
+
+    def test_opposite_extremes(self):
+        whole = Partition.whole(LABELS)
+        singles = Partition.singletons(LABELS)
+        assert rand_index(whole, singles) == 0.0
+
+    def test_symmetry(self):
+        p = Partition([["a", "b", "c"], ["d", "e"]])
+        q = Partition([["a", "b"], ["c", "d"], ["e"]])
+        assert rand_index(p, q) == rand_index(q, p)
+
+    def test_rejects_different_label_sets(self):
+        with pytest.raises(ClusteringError, match="different label sets"):
+            rand_index(Partition([["a"], ["b"]]), Partition([["a"], ["z"]]))
+
+    def test_rejects_single_label(self):
+        with pytest.raises(ClusteringError, match="two labels"):
+            rand_index(Partition([["a"]]), Partition([["a"]]))
+
+
+class TestAdjustedRandIndex:
+    def test_identity_scores_one(self):
+        p = Partition([["a", "b"], ["c", "d"], ["e"]])
+        assert adjusted_rand_index(p, p) == pytest.approx(1.0)
+
+    def test_degenerate_identical_singletons(self):
+        p = Partition.singletons(LABELS)
+        assert adjusted_rand_index(p, p) == 1.0
+
+    def test_below_plain_rand_for_chance_agreement(self):
+        p = Partition([["a", "b", "c"], ["d", "e"]])
+        q = Partition([["a", "d"], ["b", "e"], ["c"]])
+        assert adjusted_rand_index(p, q) <= rand_index(p, q)
+
+    def test_orthogonal_partitions_score_low(self):
+        p = Partition([["a", "b"], ["c", "d"]])
+        q = Partition([["a", "c"], ["b", "d"]])
+        assert adjusted_rand_index(p, q) < 0.1
+
+
+@st.composite
+def partition_pairs(draw):
+    count = draw(st.integers(min_value=2, max_value=10))
+    labels = [f"w{i}" for i in range(count)]
+
+    def build():
+        assignment = {
+            label: draw(st.integers(min_value=0, max_value=count - 1))
+            for label in labels
+        }
+        return Partition.from_assignments(assignment)
+
+    return build(), build()
+
+
+@given(partition_pairs())
+@settings(max_examples=80)
+def test_rand_index_bounds_and_symmetry(pair):
+    first, second = pair
+    value = rand_index(first, second)
+    assert 0.0 <= value <= 1.0
+    assert value == rand_index(second, first)
+
+
+@given(partition_pairs())
+@settings(max_examples=80)
+def test_adjusted_rand_bounds(pair):
+    first, second = pair
+    value = adjusted_rand_index(first, second)
+    assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+    assert value == pytest.approx(adjusted_rand_index(second, first))
+
+
+@given(partition_pairs())
+@settings(max_examples=80)
+def test_self_agreement_is_perfect(pair):
+    first, __ = pair
+    assert rand_index(first, first) == 1.0
+    assert adjusted_rand_index(first, first) == pytest.approx(1.0)

@@ -1,0 +1,96 @@
+"""Cross-validation of the from-scratch clustering against SciPy.
+
+SciPy is available in the test environment (it is NOT a runtime
+dependency); these tests compare our agglomerative clustering, cut
+logic and cophenetic distances against ``scipy.cluster.hierarchy`` on
+random data — independent evidence that the Lance-Williams
+implementation is correct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+scipy_hierarchy = pytest.importorskip("scipy.cluster.hierarchy")
+from scipy.spatial.distance import pdist  # noqa: E402
+
+from repro.cluster.agglomerative import AgglomerativeClustering  # noqa: E402
+from repro.cluster.dendrogram import to_linkage_matrix  # noqa: E402
+from repro.core.partition import Partition  # noqa: E402
+
+LINKAGE_NAMES = {
+    "single": "single",
+    "complete": "complete",
+    "average": "average",
+}
+
+
+def _random_points(seed, count=20, dim=4):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(count, dim))
+
+
+@pytest.mark.parametrize("linkage", sorted(LINKAGE_NAMES))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestAgainstScipy:
+    def test_merge_distances_match(self, linkage, seed):
+        points = _random_points(seed)
+        ours = AgglomerativeClustering(linkage=linkage).fit(points)
+        theirs = scipy_hierarchy.linkage(
+            pdist(points), method=LINKAGE_NAMES[linkage]
+        )
+        our_distances = sorted(m.distance for m in ours.merges)
+        their_distances = sorted(theirs[:, 2])
+        assert our_distances == pytest.approx(their_distances, rel=1e-9)
+
+    def test_flat_clusters_match(self, linkage, seed):
+        points = _random_points(seed)
+        labels = [f"p{i}" for i in range(len(points))]
+        ours = AgglomerativeClustering(linkage=linkage).fit(
+            points, labels=labels
+        )
+        theirs = scipy_hierarchy.linkage(
+            pdist(points), method=LINKAGE_NAMES[linkage]
+        )
+        for k in (2, 4, 7):
+            our_partition = ours.cut_to_k(k)
+            assignments = scipy_hierarchy.fcluster(
+                theirs, t=k, criterion="maxclust"
+            )
+            scipy_partition = Partition.from_assignments(
+                {labels[i]: int(assignments[i]) for i in range(len(labels))}
+            )
+            assert our_partition == scipy_partition, f"k={k}"
+
+    def test_cophenetic_distances_match(self, linkage, seed):
+        points = _random_points(seed)
+        ours = AgglomerativeClustering(linkage=linkage).fit(points)
+        theirs = scipy_hierarchy.linkage(
+            pdist(points), method=LINKAGE_NAMES[linkage]
+        )
+        their_cophenetic = scipy_hierarchy.cophenet(theirs)
+        our_matrix = ours.cophenetic_matrix()
+        n = len(points)
+        ours_condensed = our_matrix[np.triu_indices(n, k=1)]
+        assert ours_condensed == pytest.approx(their_cophenetic, rel=1e-9)
+
+
+class TestLinkageMatrixExport:
+    def test_usable_by_scipy_fcluster(self):
+        points = _random_points(5)
+        labels = [f"p{i}" for i in range(len(points))]
+        ours = AgglomerativeClustering().fit(points, labels=labels)
+        z = to_linkage_matrix(ours)
+        assignments = scipy_hierarchy.fcluster(z, t=3, criterion="maxclust")
+        scipy_partition = Partition.from_assignments(
+            {labels[i]: int(assignments[i]) for i in range(len(labels))}
+        )
+        assert scipy_partition == ours.cut_to_k(3)
+
+    def test_shape_and_monotone_distances(self):
+        points = _random_points(6)
+        ours = AgglomerativeClustering().fit(points)
+        z = to_linkage_matrix(ours)
+        assert z.shape == (len(points) - 1, 4)
+        assert scipy_hierarchy.is_valid_linkage(z)

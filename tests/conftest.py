@@ -1,0 +1,47 @@
+"""Shared fixtures: the paper's suite, speedups and recovered partitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.partitions import TABLE4_PARTITIONS
+from repro.data.table3 import (
+    MACHINE_A_SPEEDUPS,
+    MACHINE_B_SPEEDUPS,
+    WORKLOAD_NAMES,
+)
+from repro.workloads.suite import BenchmarkSuite
+
+SCIMARK_WORKLOADS = tuple(
+    name for name in WORKLOAD_NAMES if name.startswith("SciMark2.")
+)
+
+
+@pytest.fixture(scope="session")
+def paper_suite() -> BenchmarkSuite:
+    """The 13-workload hypothetical SPECjvm suite of Table I."""
+    return BenchmarkSuite.paper_suite()
+
+
+@pytest.fixture(scope="session")
+def speedups_a() -> dict[str, float]:
+    """Machine A speedups (Table III)."""
+    return dict(MACHINE_A_SPEEDUPS)
+
+
+@pytest.fixture(scope="session")
+def speedups_b() -> dict[str, float]:
+    """Machine B speedups (Table III)."""
+    return dict(MACHINE_B_SPEEDUPS)
+
+
+@pytest.fixture(scope="session")
+def machine_a_6_clusters():
+    """The recovered 6-cluster machine-A partition (SciMark2 exclusive)."""
+    return TABLE4_PARTITIONS[6]
+
+
+@pytest.fixture(scope="session")
+def scimark_workloads() -> tuple[str, ...]:
+    """The five SciMark2 workload names."""
+    return SCIMARK_WORKLOADS

@@ -1,0 +1,155 @@
+"""Unit tests for bootstrap confidence intervals on suite scores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.confidence import (
+    ConfidenceInterval,
+    bootstrap_ratio,
+    bootstrap_suite_score,
+)
+from repro.core.partition import Partition
+from repro.exceptions import MeasurementError
+from repro.workloads.execution import ExecutionSimulator, RunSample
+from repro.workloads.machines import MACHINE_A, MACHINE_B, REFERENCE_MACHINE
+
+
+@pytest.fixture(scope="module")
+def samples(paper_suite):
+    simulator = ExecutionSimulator(seed=5)
+    return {
+        "reference": simulator.measure_suite(paper_suite, REFERENCE_MACHINE),
+        "A": simulator.measure_suite(paper_suite, MACHINE_A),
+        "B": simulator.measure_suite(paper_suite, MACHINE_B),
+    }
+
+
+@pytest.fixture(scope="module")
+def singleton_partition(paper_suite):
+    return Partition.singletons(paper_suite.workload_names)
+
+
+class TestConfidenceInterval:
+    def test_width_and_contains(self):
+        interval = ConfidenceInterval(2.0, 1.9, 2.1, 0.95, 100)
+        assert interval.width == pytest.approx(0.2)
+        assert interval.contains(2.05)
+        assert not interval.contains(2.5)
+
+    def test_estimate_must_sit_inside(self):
+        with pytest.raises(MeasurementError, match="inside"):
+            ConfidenceInterval(5.0, 1.9, 2.1, 0.95, 100)
+
+
+class TestBootstrapSuiteScore:
+    def test_interval_brackets_published_gm(
+        self, samples, singleton_partition
+    ):
+        interval = bootstrap_suite_score(
+            samples["reference"],
+            samples["A"],
+            singleton_partition,
+            resamples=300,
+            seed=1,
+        )
+        # Point estimate lands near the published 2.10; the interval is
+        # tight because the simulator uses 2% run noise over 10 runs.
+        assert interval.estimate == pytest.approx(2.10, abs=0.06)
+        assert interval.contains(interval.estimate)
+        assert interval.width < 0.15
+
+    def test_hierarchical_partition_changes_the_estimate(
+        self, samples, machine_a_6_clusters, singleton_partition
+    ):
+        plain = bootstrap_suite_score(
+            samples["reference"],
+            samples["A"],
+            singleton_partition,
+            resamples=100,
+            seed=2,
+        )
+        clustered = bootstrap_suite_score(
+            samples["reference"],
+            samples["A"],
+            machine_a_6_clusters,
+            resamples=100,
+            seed=2,
+        )
+        assert clustered.estimate > plain.estimate  # Table IV vs Table III
+
+    def test_deterministic_given_seed(self, samples, singleton_partition):
+        first = bootstrap_suite_score(
+            samples["reference"], samples["A"], singleton_partition,
+            resamples=50, seed=9,
+        )
+        second = bootstrap_suite_score(
+            samples["reference"], samples["A"], singleton_partition,
+            resamples=50, seed=9,
+        )
+        assert first == second
+
+    def test_zero_noise_collapses_interval(self, paper_suite, singleton_partition):
+        simulator = ExecutionSimulator(noise=0.0, seed=3)
+        reference = simulator.measure_suite(paper_suite, REFERENCE_MACHINE)
+        machine = simulator.measure_suite(paper_suite, MACHINE_A)
+        interval = bootstrap_suite_score(
+            reference, machine, singleton_partition, resamples=50
+        )
+        assert interval.width == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_bad_confidence(self, samples, singleton_partition):
+        with pytest.raises(MeasurementError, match="confidence"):
+            bootstrap_suite_score(
+                samples["reference"], samples["A"], singleton_partition,
+                confidence=1.5,
+            )
+
+    def test_rejects_too_few_resamples(self, samples, singleton_partition):
+        with pytest.raises(MeasurementError, match="resamples"):
+            bootstrap_suite_score(
+                samples["reference"], samples["A"], singleton_partition,
+                resamples=3,
+            )
+
+    def test_rejects_unknown_mean(self, samples, singleton_partition):
+        with pytest.raises(MeasurementError, match="unknown mean"):
+            bootstrap_suite_score(
+                samples["reference"], samples["A"], singleton_partition,
+                mean="trimmed",
+            )
+
+    def test_rejects_workload_mismatch(self, samples, singleton_partition):
+        partial = dict(list(samples["A"].items())[:3])
+        with pytest.raises(MeasurementError, match="different workloads"):
+            bootstrap_suite_score(
+                samples["reference"], partial, singleton_partition
+            )
+
+
+class TestBootstrapRatio:
+    def test_a_beats_b_robustly(self, samples, machine_a_6_clusters):
+        """Under the 6-cluster HGM, machine A's win (ratio 1.20) should
+        survive 2% measurement noise: the interval excludes 1.0."""
+        interval = bootstrap_ratio(
+            samples["reference"],
+            samples["A"],
+            samples["B"],
+            machine_a_6_clusters,
+            resamples=300,
+            seed=4,
+        )
+        assert interval.estimate == pytest.approx(1.20, abs=0.05)
+        assert interval.lower > 1.0
+
+    def test_self_ratio_centers_on_one(self, samples, singleton_partition):
+        interval = bootstrap_ratio(
+            samples["reference"],
+            samples["A"],
+            samples["A"],
+            singleton_partition,
+            resamples=100,
+            seed=5,
+        )
+        assert interval.estimate == pytest.approx(1.0)
+        assert interval.contains(1.0)

@@ -1,0 +1,111 @@
+"""Property-based tests for hierarchical means (the Section II claims)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.hierarchical import cluster_representatives, hierarchical_mean
+from repro.core.means import MEAN_FUNCTIONS
+from repro.core.partition import Partition
+
+MEAN_NAMES = sorted(MEAN_FUNCTIONS)
+
+
+@st.composite
+def scored_partitions(draw, min_labels=1, max_labels=12):
+    """A random (scores, partition) pair over generated workload labels."""
+    count = draw(st.integers(min_value=min_labels, max_value=max_labels))
+    labels = [f"w{i}" for i in range(count)]
+    scores = {
+        label: draw(st.floats(min_value=1e-2, max_value=1e2)) for label in labels
+    }
+    assignments = {
+        label: draw(st.integers(min_value=0, max_value=max(0, count - 1)))
+        for label in labels
+    }
+    return scores, Partition.from_assignments(assignments)
+
+
+@given(scored_partitions(), st.sampled_from(MEAN_NAMES))
+def test_degeneracy_to_plain_mean_under_singletons(pair, mean_name):
+    """Section II: with one workload per cluster, every hierarchical
+    mean equals its plain mean."""
+    scores, _ = pair
+    singletons = Partition.singletons(scores)
+    hierarchical = hierarchical_mean(scores, singletons, mean=mean_name)
+    plain = MEAN_FUNCTIONS[mean_name](list(scores.values()))
+    assert abs(hierarchical - plain) <= 1e-9 * plain
+
+
+@given(scored_partitions(), st.sampled_from(MEAN_NAMES))
+def test_bounded_by_score_extremes(pair, mean_name):
+    """A hierarchical mean never leaves the [min, max] score range."""
+    scores, partition = pair
+    result = hierarchical_mean(scores, partition, mean=mean_name)
+    values = list(scores.values())
+    assert min(values) * (1 - 1e-9) <= result <= max(values) * (1 + 1e-9)
+
+
+@given(scored_partitions(min_labels=2), st.sampled_from(MEAN_NAMES))
+@settings(max_examples=60)
+def test_duplicate_invariance_for_homogeneous_cluster(pair, mean_name):
+    """Adding exact duplicates of a *fully redundant* (homogeneous)
+    cluster's workload must not change the score — the
+    redundancy-cancellation property that motivates the paper.  (For a
+    heterogeneous cluster a duplicate legitimately shifts the cluster's
+    inner mean, so homogeneity is required for exact invariance.)"""
+    scores, partition = pair
+    victim = sorted(scores)[0]
+    homogeneous = dict(scores)
+    for label in partition.block_of(victim):
+        homogeneous[label] = scores[victim]
+    original = hierarchical_mean(homogeneous, partition, mean=mean_name)
+
+    clone = f"{victim}__dup"
+    enlarged_scores = dict(homogeneous)
+    enlarged_scores[clone] = homogeneous[victim]
+    blocks = [
+        list(block) + ([clone] if victim in block else [])
+        for block in partition.blocks
+    ]
+    enlarged = hierarchical_mean(
+        enlarged_scores, Partition(blocks), mean=mean_name
+    )
+    assert abs(enlarged - original) <= 1e-9 * original
+
+
+@given(scored_partitions(min_labels=2))
+@settings(max_examples=60)
+def test_hgm_scale_equivariance(pair):
+    """HGM(c * X) == c * HGM(X): reference-machine independence survives
+    the hierarchical construction."""
+    scores, partition = pair
+    factor = 3.7
+    scaled = {k: v * factor for k, v in scores.items()}
+    original = hierarchical_mean(scores, partition, mean="geometric")
+    assert abs(
+        hierarchical_mean(scaled, partition, mean="geometric") - factor * original
+    ) <= 1e-6 * factor * original
+
+
+@given(scored_partitions(min_labels=2), st.sampled_from(MEAN_NAMES))
+@settings(max_examples=60)
+def test_constant_scores_fixed_point(pair, mean_name):
+    """When every workload scores the same, any partition gives that score."""
+    scores, partition = pair
+    constant = {k: 5.0 for k in scores}
+    result = hierarchical_mean(constant, partition, mean=mean_name)
+    assert abs(result - 5.0) <= 1e-9
+
+
+@given(scored_partitions(min_labels=2), st.sampled_from(MEAN_NAMES))
+@settings(max_examples=60)
+def test_composition_through_representatives(pair, mean_name):
+    """A hierarchical mean is exactly the plain mean of the per-cluster
+    representatives — the two-stage decomposition of Section II."""
+    scores, partition = pair
+    representatives = cluster_representatives(scores, partition, mean=mean_name)
+    expected = MEAN_FUNCTIONS[mean_name](list(representatives.values()))
+    actual = hierarchical_mean(scores, partition, mean=mean_name)
+    assert abs(actual - expected) <= 1e-9 * expected

@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the mean families."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.means import (
+    arithmetic_mean,
+    geometric_mean,
+    harmonic_mean,
+    power_mean,
+    weighted_geometric_mean,
+)
+
+positive_scores = st.lists(
+    st.floats(min_value=1e-3, max_value=1e3),
+    min_size=1,
+    max_size=30,
+)
+
+TOL = 1e-9
+
+
+@given(positive_scores)
+def test_am_gm_hm_inequality(values):
+    """The classic chain AM >= GM >= HM on positive values."""
+    am = arithmetic_mean(values)
+    gm = geometric_mean(values)
+    hm = harmonic_mean(values)
+    assert am >= gm * (1 - 1e-12) - TOL
+    assert gm >= hm * (1 - 1e-12) - TOL
+
+
+@given(positive_scores)
+def test_means_bounded_by_extremes(values):
+    """Every mean lies between the minimum and maximum score."""
+    for mean in (arithmetic_mean, geometric_mean, harmonic_mean):
+        result = mean(values)
+        assert min(values) - TOL <= result <= max(values) + TOL
+
+
+@given(positive_scores, st.floats(min_value=1e-3, max_value=1e3))
+def test_geometric_mean_scale_equivariance(values, factor):
+    """GM(c * X) == c * GM(X) — the property that makes GM ratios
+    independent of the reference machine."""
+    scaled = [v * factor for v in values]
+    expected = geometric_mean(values) * factor
+    assert abs(geometric_mean(scaled) - expected) <= 1e-6 * expected
+
+
+@given(positive_scores)
+def test_permutation_invariance(values):
+    """Reordering workloads must not change any mean (up to float
+    summation order)."""
+    reversed_values = list(reversed(values))
+    for mean in (arithmetic_mean, geometric_mean, harmonic_mean):
+        forward = mean(values)
+        backward = mean(reversed_values)
+        assert abs(forward - backward) <= 1e-9 * abs(forward)
+
+
+@given(st.floats(min_value=1e-2, max_value=1e2), st.integers(min_value=1, max_value=20))
+def test_constant_suite_fixed_point(value, count):
+    """A suite of identical scores has that score as every mean."""
+    values = [value] * count
+    for mean in (arithmetic_mean, geometric_mean, harmonic_mean):
+        assert abs(mean(values) - value) <= 1e-9 * value
+
+
+@given(
+    positive_scores,
+    st.floats(min_value=-3.0, max_value=3.0),
+    st.floats(min_value=-3.0, max_value=3.0),
+)
+@settings(max_examples=60)
+def test_power_mean_monotone_in_exponent(values, p_low, p_high):
+    """The power mean is non-decreasing in its exponent."""
+    low, high = sorted((p_low, p_high))
+    assert power_mean(values, low) <= power_mean(values, high) * (1 + 1e-9) + TOL
+
+
+@given(positive_scores)
+def test_weighted_gm_with_uniform_weights_is_plain(values):
+    """Uniform weights recover the plain geometric mean."""
+    weights = [1.0] * len(values)
+    plain = geometric_mean(values)
+    weighted = weighted_geometric_mean(values, weights)
+    assert abs(weighted - plain) <= 1e-9 * plain

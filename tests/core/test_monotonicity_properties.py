@@ -1,0 +1,96 @@
+"""Monotonicity properties: better workloads never lower a score.
+
+A single-number scoring method would be broken if improving one
+workload could *reduce* the suite score.  All plain, weighted and
+hierarchical means here are monotone in every coordinate; these
+hypothesis tests pin that down, including through the gaming analysis.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.hierarchical import hierarchical_mean
+from repro.core.means import MEAN_FUNCTIONS, weighted_geometric_mean
+from repro.core.partition import Partition
+
+MEAN_NAMES = sorted(MEAN_FUNCTIONS)
+
+
+@st.composite
+def improvement_cases(draw):
+    count = draw(st.integers(min_value=2, max_value=10))
+    labels = [f"w{i}" for i in range(count)]
+    scores = {
+        label: draw(st.floats(min_value=0.1, max_value=50.0))
+        for label in labels
+    }
+    assignments = {
+        label: draw(st.integers(min_value=0, max_value=count - 1))
+        for label in labels
+    }
+    victim = draw(st.sampled_from(labels))
+    factor = draw(st.floats(min_value=1.0, max_value=10.0))
+    return scores, Partition.from_assignments(assignments), victim, factor
+
+
+@given(improvement_cases(), st.sampled_from(MEAN_NAMES))
+@settings(max_examples=80)
+def test_plain_means_are_monotone(case, mean_name):
+    scores, __, victim, factor = case
+    values = list(scores.values())
+    improved = [
+        value * factor if label == victim else value
+        for label, value in scores.items()
+    ]
+    before = MEAN_FUNCTIONS[mean_name](values)
+    after = MEAN_FUNCTIONS[mean_name](improved)
+    assert after >= before * (1 - 1e-12)
+
+
+@given(improvement_cases(), st.sampled_from(MEAN_NAMES))
+@settings(max_examples=80)
+def test_hierarchical_means_are_monotone(case, mean_name):
+    """Improving any workload cannot decrease any hierarchical mean,
+    whatever the cluster structure."""
+    scores, partition, victim, factor = case
+    improved = dict(scores)
+    improved[victim] = scores[victim] * factor
+    before = hierarchical_mean(scores, partition, mean=mean_name)
+    after = hierarchical_mean(improved, partition, mean=mean_name)
+    assert after >= before * (1 - 1e-12)
+
+
+@given(improvement_cases())
+@settings(max_examples=80)
+def test_weighted_gm_is_monotone(case):
+    scores, partition, victim, factor = case
+    labels = sorted(scores)
+    from repro.core.robustness import implied_weights
+
+    weights = implied_weights(partition)
+    values = [scores[label] for label in labels]
+    improved = [
+        scores[label] * factor if label == victim else scores[label]
+        for label in labels
+    ]
+    weight_list = [weights[label] for label in labels]
+    before = weighted_geometric_mean(values, weight_list)
+    after = weighted_geometric_mean(improved, weight_list)
+    assert after >= before * (1 - 1e-12)
+
+
+@given(improvement_cases())
+@settings(max_examples=60)
+def test_gaming_gains_are_never_negative(case):
+    """Tuning a cluster upward helps (or at worst does nothing) under
+    both plain and hierarchical scoring — gaming is about *relative*
+    gain, not about making scores move backwards."""
+    from repro.core.robustness import gaming_report
+
+    scores, partition, victim, factor = case
+    block = partition.block_of(victim)
+    report = gaming_report(scores, partition, block, factor)
+    assert report.plain_gain >= 1.0 - 1e-12
+    assert report.hierarchical_gain >= 1.0 - 1e-12

@@ -1,0 +1,167 @@
+"""Unit tests for the Partition value object and its lattice operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partition import Partition
+from repro.exceptions import PartitionError
+
+
+class TestConstruction:
+    def test_canonical_block_order(self):
+        p = Partition([["z", "y"], ["a"]])
+        assert p.blocks == (("a",), ("y", "z"))
+
+    def test_equality_ignores_construction_order(self):
+        assert Partition([["a", "b"], ["c"]]) == Partition([["c"], ["b", "a"]])
+
+    def test_hashable_and_usable_in_sets(self):
+        p1 = Partition([["a"], ["b"]])
+        p2 = Partition([["b"], ["a"]])
+        assert len({p1, p2}) == 1
+
+    def test_rejects_empty_partition(self):
+        with pytest.raises(PartitionError, match="at least one block"):
+            Partition([])
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(PartitionError, match="non-empty"):
+            Partition([["a"], []])
+
+    def test_rejects_duplicate_label_across_blocks(self):
+        with pytest.raises(PartitionError, match="more than one block"):
+            Partition([["a", "b"], ["b"]])
+
+    def test_rejects_duplicate_label_within_block(self):
+        with pytest.raises(PartitionError, match="more than one block"):
+            Partition([["a", "a"]])
+
+    def test_rejects_non_string_labels(self):
+        with pytest.raises(PartitionError, match="strings"):
+            Partition([[1, 2]])
+
+    def test_singletons_constructor(self):
+        p = Partition.singletons(["b", "a", "c"])
+        assert p.num_blocks == 3
+        assert p.is_trivial
+
+    def test_whole_constructor(self):
+        p = Partition.whole(["a", "b", "c"])
+        assert p.num_blocks == 1
+        assert p.block_sizes == (3,)
+
+    def test_from_assignments(self):
+        p = Partition.from_assignments({"a": 0, "b": 1, "c": 0})
+        assert p == Partition([["a", "c"], ["b"]])
+
+    def test_from_assignments_rejects_empty(self):
+        with pytest.raises(PartitionError, match="empty"):
+            Partition.from_assignments({})
+
+    def test_from_assignments_accepts_any_hashable_ids(self):
+        p = Partition.from_assignments({"a": "x", "b": ("y", 1), "c": "x"})
+        assert p.num_blocks == 2
+
+
+class TestAccessors:
+    def test_block_of(self):
+        p = Partition([["a", "b"], ["c"]])
+        assert p.block_of("b") == ("a", "b")
+        assert p.block_of("c") == ("c",)
+
+    def test_block_of_unknown_label(self):
+        with pytest.raises(PartitionError, match="not in this partition"):
+            Partition([["a"]]).block_of("z")
+
+    def test_to_assignments_roundtrip(self):
+        p = Partition([["a", "b"], ["c"]])
+        assert Partition.from_assignments(p.to_assignments()) == p
+
+    def test_container_protocol(self):
+        p = Partition([["a", "b"], ["c"]])
+        assert len(p) == 2
+        assert "a" in p
+        assert "z" not in p
+        assert list(p) == [("a", "b"), ("c",)]
+
+    def test_repr_contains_blocks(self):
+        assert "{a, b}" in repr(Partition([["a", "b"]]))
+
+    def test_restricted_to_drops_vanished_blocks(self):
+        p = Partition([["a", "b"], ["c"], ["d"]])
+        restricted = p.restricted_to(["a", "c"])
+        assert restricted == Partition([["a"], ["c"]])
+
+    def test_restricted_to_unknown_label(self):
+        with pytest.raises(PartitionError, match="not in partition"):
+            Partition([["a"]]).restricted_to(["a", "q"])
+
+
+class TestLatticeOperations:
+    def test_merge_blocks(self):
+        p = Partition([["a"], ["b"], ["c"]])
+        merged = p.merge_blocks(0, 2)
+        assert merged == Partition([["a", "c"], ["b"]])
+
+    def test_merge_blocks_self_merge_rejected(self):
+        with pytest.raises(PartitionError, match="itself"):
+            Partition([["a"], ["b"]]).merge_blocks(1, 1)
+
+    def test_merge_blocks_out_of_range(self):
+        with pytest.raises(PartitionError, match="out of range"):
+            Partition([["a"], ["b"]]).merge_blocks(0, 5)
+
+    def test_split_block(self):
+        p = Partition([["a", "b", "c"]])
+        split = p.split_block(0, ["b"])
+        assert split == Partition([["b"], ["a", "c"]])
+
+    def test_split_block_rejects_full_block(self):
+        with pytest.raises(PartitionError, match="two non-empty parts"):
+            Partition([["a", "b"]]).split_block(0, ["a", "b"])
+
+    def test_split_block_rejects_foreign_labels(self):
+        with pytest.raises(PartitionError, match="not in block"):
+            Partition([["a", "b"], ["c"]]).split_block(0, ["c"])
+
+    def test_coarsenings_count(self):
+        # 4 blocks -> C(4,2) = 6 single merges.
+        p = Partition.singletons(["a", "b", "c", "d"])
+        assert len(list(p.coarsenings())) == 6
+
+    def test_refinements_count_for_single_block(self):
+        # One block of 4 -> 2^(4-1) - 1 = 7 unordered proper splits.
+        p = Partition.whole(["a", "b", "c", "d"])
+        refinements = list(p.refinements())
+        assert len(refinements) == 7
+        assert len(set(refinements)) == 7
+
+    def test_refinements_skip_singleton_blocks(self):
+        p = Partition([["a"], ["b"]])
+        assert list(p.refinements()) == []
+
+    def test_is_refinement_of(self):
+        fine = Partition([["a"], ["b"], ["c", "d"]])
+        coarse = Partition([["a", "b"], ["c", "d"]])
+        assert fine.is_refinement_of(coarse)
+        assert not coarse.is_refinement_of(fine)
+
+    def test_every_partition_refines_whole_and_is_refined_by_singletons(self):
+        labels = ["a", "b", "c", "d"]
+        p = Partition([["a", "b"], ["c"], ["d"]])
+        assert p.is_refinement_of(Partition.whole(labels))
+        assert Partition.singletons(labels).is_refinement_of(p)
+
+    def test_is_refinement_rejects_different_labels(self):
+        with pytest.raises(PartitionError, match="different label sets"):
+            Partition([["a"]]).is_refinement_of(Partition([["b"]]))
+
+    def test_meet_is_blockwise_intersection(self):
+        p = Partition([["a", "b"], ["c", "d"]])
+        q = Partition([["a", "c"], ["b", "d"]])
+        assert p.meet(q) == Partition.singletons(["a", "b", "c", "d"])
+
+    def test_meet_with_self_is_identity(self):
+        p = Partition([["a", "b"], ["c"]])
+        assert p.meet(p) == p

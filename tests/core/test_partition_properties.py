@@ -1,0 +1,116 @@
+"""Property-based tests for the partition refinement lattice."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.partition import Partition
+
+
+@st.composite
+def partitions_over_common_labels(draw, how_many=2):
+    count = draw(st.integers(min_value=1, max_value=9))
+    labels = [f"w{i}" for i in range(count)]
+
+    def build():
+        assignment = {
+            label: draw(st.integers(min_value=0, max_value=count - 1))
+            for label in labels
+        }
+        return Partition.from_assignments(assignment)
+
+    return tuple(build() for __ in range(how_many))
+
+
+@given(partitions_over_common_labels(how_many=2))
+@settings(max_examples=80)
+def test_meet_is_the_greatest_lower_bound(pair):
+    p, q = pair
+    meet = p.meet(q)
+    assert meet.is_refinement_of(p)
+    assert meet.is_refinement_of(q)
+    # The all-singletons partition is always a lower bound, and the
+    # meet must be above it.
+    singletons = Partition.singletons(p.labels)
+    assert singletons.is_refinement_of(meet)
+
+
+@given(partitions_over_common_labels(how_many=2))
+@settings(max_examples=80)
+def test_join_is_the_least_upper_bound(pair):
+    p, q = pair
+    join = p.join(q)
+    assert p.is_refinement_of(join)
+    assert q.is_refinement_of(join)
+    # The whole partition is always an upper bound, and the join must
+    # be below it.
+    assert join.is_refinement_of(Partition.whole(p.labels))
+
+
+@given(partitions_over_common_labels(how_many=2))
+@settings(max_examples=80)
+def test_meet_and_join_are_commutative(pair):
+    p, q = pair
+    assert p.meet(q) == q.meet(p)
+    assert p.join(q) == q.join(p)
+
+
+@given(partitions_over_common_labels(how_many=3))
+@settings(max_examples=60)
+def test_meet_and_join_are_associative(triple):
+    p, q, r = triple
+    assert p.meet(q).meet(r) == p.meet(q.meet(r))
+    assert p.join(q).join(r) == p.join(q.join(r))
+
+
+@given(partitions_over_common_labels(how_many=1))
+@settings(max_examples=60)
+def test_idempotence_and_identities(single):
+    (p,) = single
+    assert p.meet(p) == p
+    assert p.join(p) == p
+    singletons = Partition.singletons(p.labels)
+    whole = Partition.whole(p.labels)
+    # Lattice identities: meet with bottom = bottom, join with top = top.
+    assert p.meet(singletons) == singletons
+    assert p.join(whole) == whole
+    # And the absorbing duals.
+    assert p.meet(whole) == p
+    assert p.join(singletons) == p
+
+
+@given(partitions_over_common_labels(how_many=2))
+@settings(max_examples=80)
+def test_absorption_laws(pair):
+    p, q = pair
+    assert p.meet(p.join(q)) == p
+    assert p.join(p.meet(q)) == p
+
+
+@given(partitions_over_common_labels(how_many=2))
+@settings(max_examples=80)
+def test_refinement_is_antisymmetric(pair):
+    p, q = pair
+    if p.is_refinement_of(q) and q.is_refinement_of(p):
+        assert p == q
+
+
+@given(partitions_over_common_labels(how_many=1))
+@settings(max_examples=60)
+def test_coarsenings_are_covers(single):
+    """Every single-merge coarsening sits directly above the partition
+    in the refinement order."""
+    (p,) = single
+    for coarser in p.coarsenings():
+        assert p.is_refinement_of(coarser)
+        assert coarser.num_blocks == p.num_blocks - 1
+
+
+@given(partitions_over_common_labels(how_many=1))
+@settings(max_examples=60)
+def test_refinements_are_covered_by_partition(single):
+    (p,) = single
+    for finer in p.refinements():
+        assert finer.is_refinement_of(p)
+        assert finer.num_blocks == p.num_blocks + 1

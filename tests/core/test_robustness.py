@@ -1,0 +1,148 @@
+"""Unit tests for redundancy-bias and gaming analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.means import geometric_mean
+from repro.core.partition import Partition
+from repro.core.robustness import (
+    duplication_drift,
+    gaming_report,
+    implied_weights,
+    redundancy_bias,
+)
+from repro.exceptions import MeasurementError, PartitionError
+
+
+class TestImpliedWeights:
+    def test_weights_sum_to_one(self):
+        partition = Partition([["a", "b", "c"], ["d"]])
+        weights = implied_weights(partition)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_cluster_members_share_cluster_weight(self):
+        partition = Partition([["a", "b"], ["c"]])
+        weights = implied_weights(partition)
+        # Two clusters: each gets 1/2; a and b split theirs.
+        assert weights["a"] == pytest.approx(0.25)
+        assert weights["b"] == pytest.approx(0.25)
+        assert weights["c"] == pytest.approx(0.5)
+
+    def test_singletons_give_uniform_weights(self):
+        partition = Partition.singletons(["a", "b", "c", "d"])
+        weights = implied_weights(partition)
+        assert all(w == pytest.approx(0.25) for w in weights.values())
+
+    def test_redundant_workload_weight_shrinks_with_cluster_size(
+        self, machine_a_6_clusters
+    ):
+        """In the recovered 6-cluster partition each SciMark2 workload
+        carries 1/(6*5) weight, versus 1/13 under the plain GM."""
+        weights = implied_weights(machine_a_6_clusters)
+        assert weights["SciMark2.FFT"] == pytest.approx(1.0 / 30.0)
+        assert weights["SciMark2.FFT"] < 1.0 / 13.0
+
+
+class TestRedundancyBias:
+    def test_no_bias_for_singletons(self):
+        scores = {"a": 1.0, "b": 4.0}
+        assert redundancy_bias(scores, Partition.singletons(scores)) == (
+            pytest.approx(1.0)
+        )
+
+    def test_high_scoring_redundant_cluster_inflates_plain_mean(self):
+        # Three redundant high scorers vs one low scorer.
+        scores = {"r1": 8.0, "r2": 8.0, "r3": 8.0, "solo": 1.0}
+        partition = Partition([["r1", "r2", "r3"], ["solo"]])
+        assert redundancy_bias(scores, partition) > 1.0
+
+    def test_low_scoring_redundant_cluster_deflates_plain_mean(self):
+        scores = {"r1": 0.5, "r2": 0.5, "r3": 0.5, "solo": 4.0}
+        partition = Partition([["r1", "r2", "r3"], ["solo"]])
+        assert redundancy_bias(scores, partition) < 1.0
+
+    def test_paper_suite_bias_direction(self, speedups_a, machine_a_6_clusters):
+        """SciMark2 scores low on machine A, so the plain GM understates
+        machine A relative to the redundancy-corrected score."""
+        bias = redundancy_bias(speedups_a, machine_a_6_clusters)
+        assert bias < 1.0
+
+
+class TestGamingReport:
+    SCORES = {"r1": 2.0, "r2": 2.0, "r3": 2.0, "x": 3.0, "y": 5.0}
+    PARTITION = Partition([["r1", "r2", "r3"], ["x"], ["y"]])
+
+    def test_gains_match_closed_form_for_gm(self):
+        """Plain gain f**(m/n); hierarchical gain f**(1/k)."""
+        factor = 2.0
+        report = gaming_report(self.SCORES, self.PARTITION, ("r1", "r2", "r3"), factor)
+        assert report.plain_gain == pytest.approx(factor ** (3 / 5))
+        assert report.hierarchical_gain == pytest.approx(factor ** (1 / 3))
+        assert report.gaming_resistance == pytest.approx(
+            factor ** (3 / 5 - 1 / 3)
+        )
+
+    def test_block_may_be_given_by_index(self):
+        by_index = gaming_report(self.SCORES, self.PARTITION, 0, 1.5)
+        by_tuple = gaming_report(
+            self.SCORES, self.PARTITION, ("r1", "r2", "r3"), 1.5
+        )
+        assert by_index.plain_after == pytest.approx(by_tuple.plain_after)
+
+    def test_tuning_a_singleton_cluster_can_favor_hierarchical(self):
+        """Tuning a singleton in a small-k partition moves the
+        hierarchical score more than the plain one (1/k > 1/n)."""
+        report = gaming_report(self.SCORES, self.PARTITION, ("y",), 2.0)
+        assert report.gaming_resistance < 1.0
+
+    def test_before_scores_are_consistent(self, speedups_a, machine_a_6_clusters):
+        report = gaming_report(
+            speedups_a,
+            machine_a_6_clusters,
+            0,
+            1.25,
+        )
+        assert report.plain_before == pytest.approx(
+            geometric_mean(list(speedups_a.values()))
+        )
+
+    def test_rejects_non_positive_factor(self):
+        with pytest.raises(MeasurementError, match="positive"):
+            gaming_report(self.SCORES, self.PARTITION, 0, 0.0)
+
+    def test_rejects_unknown_block(self):
+        with pytest.raises(PartitionError, match="not a block"):
+            gaming_report(self.SCORES, self.PARTITION, ("r1",), 1.5)
+
+    def test_rejects_out_of_range_index(self):
+        with pytest.raises(PartitionError, match="out of range"):
+            gaming_report(self.SCORES, self.PARTITION, 9, 1.5)
+
+
+class TestDuplicationDrift:
+    def test_hierarchical_score_is_invariant(self):
+        scores = {"a": 1.0, "b": 4.0, "c": 9.0}
+        plain_before = geometric_mean(list(scores.values()))
+        plain_after, clustered = duplication_drift(scores, "c", copies=5)
+        assert clustered == pytest.approx(plain_before)
+        assert plain_after > plain_before  # drifted toward the high scorer
+
+    def test_drift_direction_for_low_scorer(self):
+        scores = {"a": 1.0, "b": 4.0, "c": 9.0}
+        plain_before = geometric_mean(list(scores.values()))
+        plain_after, clustered = duplication_drift(scores, "a", copies=5)
+        assert plain_after < plain_before
+        assert clustered == pytest.approx(plain_before)
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(MeasurementError, match="unknown workload"):
+            duplication_drift({"a": 1.0}, "zz", copies=1)
+
+    def test_rejects_zero_copies(self):
+        with pytest.raises(MeasurementError, match="at least one"):
+            duplication_drift({"a": 1.0, "b": 2.0}, "a", copies=0)
+
+    def test_rejects_unknown_mean(self):
+        with pytest.raises(MeasurementError, match="unknown mean family"):
+            duplication_drift({"a": 1.0, "b": 2.0}, "a", copies=1, mean="median")

@@ -1,0 +1,116 @@
+"""Unit tests for the SuiteScorer façade and machine comparisons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.core.partition import Partition
+from repro.core.scoring import SuiteScorer, compare_machines
+from repro.exceptions import MeasurementError
+
+SCORES = {"a": 2.0, "b": 8.0, "c": 4.0}
+PARTITION = Partition([["a", "b"], ["c"]])
+
+
+class TestSuiteScorer:
+    def test_score_matches_hierarchical_mean(self):
+        scorer = SuiteScorer(PARTITION)
+        assert scorer.score(SCORES) == pytest.approx(
+            hierarchical_geometric_mean(SCORES, PARTITION)
+        )
+
+    def test_breakdown_contents(self):
+        breakdown = SuiteScorer(PARTITION).breakdown(SCORES)
+        assert breakdown.num_clusters == 2
+        assert breakdown.mean_family == "geometric"
+        assert breakdown.cluster_scores[("a", "b")] == pytest.approx(4.0)
+        assert breakdown.workload_scores == SCORES
+
+    def test_dominant_cluster(self):
+        scores = {"a": 1.0, "b": 1.0, "c": 9.0}
+        breakdown = SuiteScorer(PARTITION).breakdown(scores)
+        assert breakdown.dominant_cluster() == ("c",)
+
+    def test_arithmetic_family(self):
+        scorer = SuiteScorer(PARTITION, mean="arithmetic")
+        assert scorer.score(SCORES) == pytest.approx(4.5)
+
+    def test_unknown_family_rejected_at_construction(self):
+        with pytest.raises(MeasurementError, match="unknown mean family"):
+            SuiteScorer(PARTITION, mean="mode")
+
+    def test_partition_property_round_trips(self):
+        assert SuiteScorer(PARTITION).partition == PARTITION
+
+
+class TestCompareMachines:
+    def test_ratio_and_winner(self):
+        first = {"a": 2.0, "b": 8.0, "c": 4.0}
+        second = {"a": 1.0, "b": 4.0, "c": 2.0}
+        comparison = compare_machines(first, second, PARTITION)
+        assert comparison.ratio == pytest.approx(2.0)
+        assert comparison.winner == "first"
+
+    def test_tie(self):
+        comparison = compare_machines(SCORES, dict(SCORES), PARTITION)
+        assert comparison.winner == "tie"
+        assert comparison.ratio == pytest.approx(1.0)
+
+    def test_paper_six_cluster_comparison(
+        self, speedups_a, speedups_b, machine_a_6_clusters
+    ):
+        """Machine A vs B under the recovered 6-cluster partition gives
+        the Table IV row: 2.77 vs 2.31, ratio 1.20."""
+        comparison = compare_machines(
+            speedups_a, speedups_b, machine_a_6_clusters
+        )
+        assert comparison.first.score == pytest.approx(2.77, abs=0.005)
+        assert comparison.second.score == pytest.approx(2.31, abs=0.005)
+        assert comparison.ratio == pytest.approx(1.20, abs=0.005)
+
+    def test_mismatched_workload_sets_rejected(self):
+        with pytest.raises(MeasurementError, match="different workload sets"):
+            compare_machines(SCORES, {"a": 1.0}, PARTITION)
+
+
+class TestRankMachines:
+    def test_orders_by_score_descending(self):
+        from repro.core.scoring import rank_machines
+
+        columns = {
+            "slow": {"a": 1.0, "b": 1.0},
+            "fast": {"a": 4.0, "b": 4.0},
+            "mid": {"a": 2.0, "b": 2.0},
+        }
+        ranked = rank_machines(columns, Partition.singletons(["a", "b"]))
+        assert [name for name, __ in ranked] == ["fast", "mid", "slow"]
+
+    def test_table3_ranking(self, speedups_a, speedups_b, machine_a_6_clusters):
+        from repro.core.scoring import rank_machines
+
+        ranked = rank_machines(
+            {"A": speedups_a, "B": speedups_b}, machine_a_6_clusters
+        )
+        assert ranked[0][0] == "A"
+        assert ranked[0][1] == pytest.approx(2.77, abs=0.005)
+
+    def test_ties_break_by_name(self):
+        from repro.core.scoring import rank_machines
+
+        columns = {"zeta": {"a": 2.0}, "alpha": {"a": 2.0}}
+        ranked = rank_machines(columns, Partition.singletons(["a"]))
+        assert [name for name, __ in ranked] == ["alpha", "zeta"]
+
+    def test_rejects_empty(self):
+        from repro.core.scoring import rank_machines
+
+        with pytest.raises(MeasurementError, match="no machines"):
+            rank_machines({}, Partition.singletons(["a"]))
+
+    def test_rejects_mismatched_workloads(self):
+        from repro.core.scoring import rank_machines
+
+        columns = {"x": {"a": 1.0}, "y": {"b": 1.0}}
+        with pytest.raises(MeasurementError, match="different workload sets"):
+            rank_machines(columns, Partition.singletons(["a"]))

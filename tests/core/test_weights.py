@@ -1,0 +1,105 @@
+"""Unit tests for the weighting schemes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.core.means import weighted_geometric_mean
+from repro.core.partition import Partition
+from repro.core.weights import (
+    ClusterWeights,
+    NegotiatedWeights,
+    SourceSuiteWeights,
+    UniformWeights,
+)
+from repro.exceptions import MeasurementError, SuiteError
+
+
+class TestUniformWeights:
+    def test_equal_weights_summing_to_one(self, paper_suite):
+        weights = UniformWeights().weights_for(paper_suite)
+        assert len(weights) == 13
+        assert all(w == pytest.approx(1.0 / 13.0) for w in weights.values())
+
+    def test_marked_objective(self):
+        assert UniformWeights.objective
+
+
+class TestSourceSuiteWeights:
+    def test_each_source_suite_gets_equal_total(self, paper_suite):
+        weights = SourceSuiteWeights().weights_for(paper_suite)
+        per_source = {}
+        for workload in paper_suite:
+            per_source.setdefault(workload.source_suite, 0.0)
+            per_source[workload.source_suite] += weights[workload.name]
+        for total in per_source.values():
+            assert total == pytest.approx(1.0 / 3.0)
+
+    def test_dacapo_members_weigh_more_than_scimark_members(self, paper_suite):
+        """3 DaCapo workloads split a third; 5 SciMark2 split a third."""
+        weights = SourceSuiteWeights().weights_for(paper_suite)
+        assert weights["DaCapo.xalan"] > weights["SciMark2.FFT"]
+
+    def test_sums_to_one(self, paper_suite):
+        weights = SourceSuiteWeights().weights_for(paper_suite)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_marked_subjective(self):
+        assert not SourceSuiteWeights.objective
+
+
+class TestNegotiatedWeights:
+    def test_normalizes_hand_weights(self, paper_suite):
+        raw = {w.name: 2.0 for w in paper_suite}
+        raw["SciMark2.FFT"] = 4.0
+        weights = NegotiatedWeights(raw).weights_for(paper_suite)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert weights["SciMark2.FFT"] == pytest.approx(
+            2.0 * weights["SciMark2.LU"]
+        )
+
+    def test_missing_workload_rejected(self, paper_suite):
+        with pytest.raises(SuiteError, match="no weight negotiated"):
+            NegotiatedWeights({"SciMark2.FFT": 1.0}).weights_for(paper_suite)
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(MeasurementError, match="empty"):
+            NegotiatedWeights({})
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(MeasurementError, match="positive"):
+            NegotiatedWeights({"x": 0.0})
+
+
+class TestClusterWeights:
+    def test_weighted_gm_equals_hgm(
+        self, paper_suite, speedups_a, machine_a_6_clusters
+    ):
+        """The paper's punchline: cluster-derived weights + weighted GM
+        == hierarchical GM, exactly."""
+        weights = ClusterWeights(machine_a_6_clusters).weights_for(paper_suite)
+        labels = sorted(speedups_a)
+        weighted = weighted_geometric_mean(
+            [speedups_a[label] for label in labels],
+            [weights[label] for label in labels],
+        )
+        hgm = hierarchical_geometric_mean(speedups_a, machine_a_6_clusters)
+        assert weighted == pytest.approx(hgm, rel=1e-12)
+
+    def test_marked_objective(self):
+        assert ClusterWeights.objective
+
+    def test_partition_mismatch_rejected(self, paper_suite):
+        partition = Partition([["only", "two"]])
+        with pytest.raises(SuiteError, match="does not cover"):
+            ClusterWeights(partition).weights_for(paper_suite)
+
+    def test_differs_from_source_suite_compromise(
+        self, paper_suite, machine_a_6_clusters
+    ):
+        """Measured clusters are not the negotiated per-suite split —
+        the two schemes disagree on concrete weights."""
+        negotiated = SourceSuiteWeights().weights_for(paper_suite)
+        measured = ClusterWeights(machine_a_6_clusters).weights_for(paper_suite)
+        assert negotiated != pytest.approx(measured)

@@ -1,0 +1,70 @@
+"""Unit tests for the embedded Table III data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.means import geometric_mean
+from repro.data.table3 import (
+    MACHINE_A_SPEEDUPS,
+    MACHINE_B_SPEEDUPS,
+    PLAIN_GEOMETRIC_MEANS,
+    SPEEDUP_TABLE,
+    WORKLOAD_NAMES,
+    speedups_for_machine,
+)
+from repro.exceptions import SuiteError
+
+
+class TestTableShape:
+    def test_thirteen_workloads(self):
+        assert len(WORKLOAD_NAMES) == 13
+        assert set(MACHINE_A_SPEEDUPS) == set(WORKLOAD_NAMES)
+        assert set(MACHINE_B_SPEEDUPS) == set(WORKLOAD_NAMES)
+
+    def test_spot_check_published_values(self):
+        assert MACHINE_A_SPEEDUPS["jvm98.222.mpegaudio"] == 6.50
+        assert MACHINE_B_SPEEDUPS["DaCapo.hsqldb"] == 2.31
+        assert MACHINE_A_SPEEDUPS["SciMark2.Sparse"] == 0.71
+
+    def test_all_speedups_positive(self):
+        for column in SPEEDUP_TABLE.values():
+            assert all(v > 0.0 for v in column.values())
+
+    def test_hsqldb_is_the_inversion_case(self):
+        """The paper's Table III shows machine B beating A only on a few
+        workloads; hsqldb is the extreme at ratio 0.50."""
+        ratio = (
+            MACHINE_A_SPEEDUPS["DaCapo.hsqldb"]
+            / MACHINE_B_SPEEDUPS["DaCapo.hsqldb"]
+        )
+        assert ratio == pytest.approx(0.50, abs=0.005)
+
+
+class TestSummaryRow:
+    def test_published_gm_consistent_with_column_a(self):
+        computed = geometric_mean(list(MACHINE_A_SPEEDUPS.values()))
+        assert computed == pytest.approx(PLAIN_GEOMETRIC_MEANS["A"], abs=0.005)
+
+    def test_published_gm_consistent_with_column_b(self):
+        computed = geometric_mean(list(MACHINE_B_SPEEDUPS.values()))
+        assert computed == pytest.approx(PLAIN_GEOMETRIC_MEANS["B"], abs=0.005)
+
+    def test_published_ratio(self):
+        ratio = PLAIN_GEOMETRIC_MEANS["A"] / PLAIN_GEOMETRIC_MEANS["B"]
+        assert ratio == pytest.approx(1.08, abs=0.005)
+
+
+class TestAccessors:
+    def test_speedups_for_machine_returns_mutable_copy(self):
+        column = speedups_for_machine("A")
+        column["jvm98.201.compress"] = 0.0
+        assert MACHINE_A_SPEEDUPS["jvm98.201.compress"] == 4.75
+
+    def test_unknown_machine(self):
+        with pytest.raises(SuiteError, match="unknown machine"):
+            speedups_for_machine("Z")
+
+    def test_table_is_read_only(self):
+        with pytest.raises(TypeError):
+            MACHINE_A_SPEEDUPS["new"] = 1.0  # type: ignore[index]

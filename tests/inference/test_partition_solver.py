@@ -1,0 +1,149 @@
+"""Unit tests for the partition-chain solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.core.partition import Partition
+from repro.data.partitions import TABLE4_PARTITIONS
+from repro.data.table3 import SPEEDUP_TABLE
+from repro.data.tables456 import TABLE4_HGM
+from repro.exceptions import ConvergenceError, MeasurementError
+from repro.inference.partition_solver import (
+    PartitionChainSolver,
+    SolverReport,
+    TableTarget,
+)
+
+
+def _synthetic_problem():
+    """A small suite with a planted hierarchical chain and its scores."""
+    scores_x = {"a": 1.0, "b": 1.1, "c": 4.0, "d": 4.2, "e": 9.0}
+    scores_y = {"a": 2.0, "b": 2.1, "c": 3.0, "d": 3.1, "e": 1.0}
+    chain = {
+        2: Partition([["a", "b", "c", "d"], ["e"]]),
+        3: Partition([["a", "b"], ["c", "d"], ["e"]]),
+        4: Partition([["a", "b"], ["c"], ["d"], ["e"]]),
+    }
+    targets = [
+        TableTarget(
+            k,
+            {
+                "X": round(hierarchical_geometric_mean(scores_x, part), 2),
+                "Y": round(hierarchical_geometric_mean(scores_y, part), 2),
+            },
+        )
+        for k, part in chain.items()
+    ]
+    return {"X": scores_x, "Y": scores_y}, targets, chain
+
+
+class TestSyntheticRecovery:
+    def test_planted_chain_is_recovered(self):
+        speedups, targets, chain = _synthetic_problem()
+        report = PartitionChainSolver(speedups, targets, tolerance=0.006).solve()
+        assert report.num_chains >= 1
+        canonical = report.canonical_chain
+        for k, expected in chain.items():
+            assert canonical[k] == expected
+
+    def test_max_chains_caps_collection(self):
+        speedups, targets, __ = _synthetic_problem()
+        # A huge tolerance admits every chain; the cap must stop at 3.
+        report = PartitionChainSolver(
+            speedups, targets, tolerance=100.0
+        ).solve(max_chains=3)
+        assert report.num_chains == 3
+
+    def test_unanimous_rows_on_unique_solution(self):
+        speedups, targets, chain = _synthetic_problem()
+        report = PartitionChainSolver(speedups, targets, tolerance=0.006).solve()
+        if report.num_chains == 1:
+            assert set(report.unanimous_rows()) == set(chain)
+
+    def test_anchor_constrains_search(self):
+        speedups, targets, chain = _synthetic_problem()
+        wrong_anchor = Partition([["a", "e"], ["b"], ["c", "d"]])
+        report = PartitionChainSolver(
+            speedups, targets, tolerance=0.006, anchors={3: wrong_anchor}
+        ).solve()
+        assert report.num_chains == 0
+
+    def test_together_constraint(self):
+        speedups, targets, chain = _synthetic_problem()
+        report = PartitionChainSolver(
+            speedups, targets, tolerance=0.006, together=[["a", "b"]]
+        ).solve()
+        assert report.num_chains >= 1
+        for found in report.chains:
+            for partition in found.values():
+                assert partition.block_of("a") == partition.block_of("b")
+
+
+class TestPaperRecovery:
+    def test_table4_chain_is_unique_and_matches_frozen_data(self):
+        """The Table IV chain frozen in repro.data is the solver's unique
+        answer at tolerance 0.006 — without any anchors."""
+        targets = [
+            TableTarget(k, {"A": row.score_a, "B": row.score_b})
+            for k, row in TABLE4_HGM.items()
+        ]
+        report = PartitionChainSolver(
+            SPEEDUP_TABLE, targets, tolerance=0.006
+        ).solve()
+        assert report.num_chains == 1
+        for k, partition in report.canonical_chain.items():
+            assert partition == TABLE4_PARTITIONS[k]
+
+
+class TestValidation:
+    def test_rejects_empty_targets(self):
+        with pytest.raises(MeasurementError, match="no targets"):
+            PartitionChainSolver(SPEEDUP_TABLE, [])
+
+    def test_rejects_non_contiguous_counts(self):
+        targets = [
+            TableTarget(2, {"A": 1.0}),
+            TableTarget(4, {"A": 1.0}),
+        ]
+        with pytest.raises(MeasurementError, match="contiguous"):
+            PartitionChainSolver(SPEEDUP_TABLE, targets)
+
+    def test_rejects_counts_not_starting_at_two(self):
+        with pytest.raises(MeasurementError, match="start at 2"):
+            PartitionChainSolver(SPEEDUP_TABLE, [TableTarget(3, {"A": 1.0})])
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(MeasurementError, match="tolerance"):
+            PartitionChainSolver(
+                SPEEDUP_TABLE, [TableTarget(2, {"A": 1.0})], tolerance=0.0
+            )
+
+    def test_rejects_unknown_target_machine(self):
+        with pytest.raises(MeasurementError, match="no[\\s]+speedups"):
+            PartitionChainSolver(
+                SPEEDUP_TABLE, [TableTarget(2, {"Z": 1.0})]
+            )
+
+    def test_rejects_non_positive_speedups(self):
+        bad = {"A": {"x": 1.0, "y": -1.0}}
+        with pytest.raises(MeasurementError, match="positive"):
+            PartitionChainSolver(bad, [TableTarget(2, {"A": 1.0})])
+
+    def test_rejects_mismatched_machine_columns(self):
+        bad = {"A": {"x": 1.0, "y": 2.0}, "B": {"x": 1.0}}
+        with pytest.raises(MeasurementError, match="different workload set"):
+            PartitionChainSolver(bad, [TableTarget(2, {"A": 1.0})])
+
+    def test_target_validation(self):
+        with pytest.raises(MeasurementError, match=">= 1"):
+            TableTarget(0, {"A": 1.0})
+        with pytest.raises(MeasurementError, match="no target scores"):
+            TableTarget(2, {})
+
+    def test_empty_report_canonical_chain_raises(self):
+        report = SolverReport(chains=())
+        with pytest.raises(ConvergenceError, match="no consistent"):
+            _ = report.canonical_chain
+        assert report.unanimous_rows() == {}

@@ -1,0 +1,104 @@
+"""Property-based tests: the solver recovers randomly planted chains."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.core.partition import Partition
+from repro.inference.partition_solver import PartitionChainSolver, TableTarget
+
+
+@st.composite
+def planted_chain_problems(draw):
+    """A random suite, two score columns, and a planted merge chain."""
+    count = draw(st.integers(min_value=4, max_value=8))
+    labels = [f"w{i}" for i in range(count)]
+    scores_x = {
+        label: draw(
+            st.floats(min_value=0.5, max_value=8.0).filter(lambda v: v > 0)
+        )
+        for label in labels
+    }
+    scores_y = {
+        label: draw(st.floats(min_value=0.5, max_value=8.0))
+        for label in labels
+    }
+
+    # Build a random chain by merging from singletons: partitions for
+    # k = count .. 2, keeping those in the target range 2..4.
+    chain: dict[int, Partition] = {}
+    partition = Partition.singletons(labels)
+    if partition.num_blocks <= 4:
+        chain[partition.num_blocks] = partition
+    while partition.num_blocks > 2:
+        first = draw(
+            st.integers(min_value=0, max_value=partition.num_blocks - 1)
+        )
+        second = draw(
+            st.integers(min_value=0, max_value=partition.num_blocks - 2)
+        )
+        if second >= first:
+            second += 1
+        partition = partition.merge_blocks(first, second)
+        if 2 <= partition.num_blocks <= 4:
+            chain[partition.num_blocks] = partition
+    return {"X": scores_x, "Y": scores_y}, chain
+
+
+@given(planted_chain_problems())
+@settings(max_examples=30, deadline=None)
+def test_solver_finds_the_planted_chain(problem):
+    """With exact (unrounded) targets, the planted chain must be among
+    the solver's answers."""
+    speedups, chain = problem
+    targets = [
+        TableTarget(
+            k,
+            {
+                machine: hierarchical_geometric_mean(column, partition)
+                for machine, column in speedups.items()
+            },
+        )
+        for k, partition in chain.items()
+    ]
+    report = PartitionChainSolver(
+        speedups, targets, tolerance=1e-9
+    ).solve()
+    assert report.num_chains >= 1
+    planted_found = any(
+        all(found[k] == chain[k] for k in chain) for found in report.chains
+    )
+    assert planted_found
+
+
+@given(planted_chain_problems())
+@settings(max_examples=30, deadline=None)
+def test_all_reported_chains_satisfy_the_constraints(problem):
+    """Every chain the solver returns reproduces every target row and
+    is dendrogram-consistent."""
+    speedups, chain = problem
+    targets = [
+        TableTarget(
+            k,
+            {
+                machine: hierarchical_geometric_mean(column, partition)
+                for machine, column in speedups.items()
+            },
+        )
+        for k, partition in chain.items()
+    ]
+    report = PartitionChainSolver(
+        speedups, targets, tolerance=1e-6
+    ).solve(max_chains=20)
+    ks = sorted(chain)
+    for found in report.chains:
+        for k in ks:
+            for machine, column in speedups.items():
+                target = hierarchical_geometric_mean(column, chain[k])
+                value = hierarchical_geometric_mean(column, found[k])
+                assert abs(value - target) <= 1e-6
+        for low, high in zip(ks, ks[1:]):
+            if high == low + 1:
+                assert found[high].is_refinement_of(found[low])

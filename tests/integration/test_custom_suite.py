@@ -1,0 +1,129 @@
+"""Integration: the library on inputs the paper never saw.
+
+Exercises the downstream-user path end to end: synthetic suites with
+planted redundancy, what-if machines through the analytic model, and
+the full scoring pipeline — validating that the system generalizes
+beyond the 13 hard-coded workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.metrics import adjusted_rand_index
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.core.means import geometric_mean
+from repro.core.partition import Partition
+from repro.core.robustness import redundancy_bias
+from repro.synthetic import planted_characteristics, planted_scores
+from repro.workloads.execution import AnalyticPerformanceModel, ExecutionSimulator
+from repro.workloads.machines import REFERENCE_MACHINE
+from repro.workloads.scenarios import BIG_CACHE_VARIANT, LOW_POWER_NETBOOK
+from repro.workloads.speedup import speedup_table
+from repro.workloads.suite import BenchmarkSuite
+
+
+class TestPlantedRedundancyEndToEnd:
+    """Plant clusters, recover them, and show the score correction."""
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return planted_characteristics(
+            clusters=4, per_cluster=5, dimensions=10,
+            separation=8.0, noise=0.4, seed=13,
+        )
+
+    def test_clustering_recovers_planted_structure(self, problem):
+        dendrogram = AgglomerativeClustering().fit(
+            problem.points, labels=list(problem.labels)
+        )
+        recovered = dendrogram.cut_to_k(problem.num_clusters)
+        assert adjusted_rand_index(recovered, problem.truth) == 1.0
+
+    def test_hierarchical_score_corrects_redundancy_bias(self, problem):
+        """With 4 clusters of 5 identical-behaviour workloads, HGM over
+        the truth equals the GM of the 4 latent levels — not the
+        member-weighted plain GM."""
+        scores = planted_scores(problem, noise=0.0, seed=13)
+        hgm = hierarchical_geometric_mean(scores, problem.truth)
+        levels = [
+            geometric_mean([scores[label] for label in block])
+            for block in problem.truth.blocks
+        ]
+        assert hgm == pytest.approx(geometric_mean(levels))
+
+    def test_bias_is_one_for_balanced_planted_clusters(self, problem):
+        """Equal-size clusters: the plain GM equals the HGM, so the
+        redundancy bias is exactly 1 — redundancy only distorts scores
+        when clusters are *unbalanced*."""
+        scores = planted_scores(problem, noise=0.0, seed=13)
+        assert redundancy_bias(scores, problem.truth) == pytest.approx(1.0)
+
+    def test_unbalanced_redundancy_biases_the_plain_score(self, problem):
+        """Dropping one member from a low-scoring cluster tilts the
+        plain GM toward the remaining (higher) clusters."""
+        scores = planted_scores(problem, noise=0.0, seed=13)
+        # Remove one member of the lowest-level cluster (block 0).
+        victim = problem.truth.blocks[0][0]
+        reduced_scores = {k: v for k, v in scores.items() if k != victim}
+        reduced_truth = problem.truth.restricted_to(reduced_scores)
+        bias = redundancy_bias(reduced_scores, reduced_truth)
+        assert bias > 1.0
+
+
+class TestWhatIfMachinesEndToEnd:
+    """Analytic model + simulator + scoring on scenario machines."""
+
+    @pytest.fixture(scope="class")
+    def measured(self, paper_suite):
+        simulator = ExecutionSimulator(AnalyticPerformanceModel(), seed=31)
+        return speedup_table(
+            simulator,
+            paper_suite,
+            [BIG_CACHE_VARIANT, LOW_POWER_NETBOOK],
+            reference=REFERENCE_MACHINE,
+            runs=5,
+        )
+
+    def test_every_workload_measured_on_every_machine(self, measured, paper_suite):
+        for machine_name in ("A+cache", "netbook"):
+            assert set(measured[machine_name]) == set(paper_suite.workload_names)
+            assert all(v > 0.0 for v in measured[machine_name].values())
+
+    def test_workstation_beats_netbook(self, measured):
+        gm_cache = geometric_mean(list(measured["A+cache"].values()))
+        gm_netbook = geometric_mean(list(measured["netbook"].values()))
+        assert gm_cache > gm_netbook
+
+    def test_hierarchical_scores_computable_on_custom_columns(
+        self, measured, machine_a_6_clusters
+    ):
+        for machine_name in ("A+cache", "netbook"):
+            score = hierarchical_geometric_mean(
+                measured[machine_name], machine_a_6_clusters
+            )
+            assert score > 0.0
+
+    def test_suite_merging_and_scoring_roundtrip(self, paper_suite):
+        """Build a composite suite, score a subset partition: the full
+        user journey with no paper data involved."""
+        kernels = paper_suite.subset(
+            w.name for w in paper_suite if w.source_suite == "SciMark2"
+        )
+        general = paper_suite.subset(
+            w.name for w in paper_suite if w.source_suite == "DaCapo"
+        )
+        composite = BenchmarkSuite.merged("combo", kernels, general)
+        partition = composite.source_partition()
+        assert partition.num_blocks == 2
+
+        simulator = ExecutionSimulator(AnalyticPerformanceModel(), seed=33)
+        table = speedup_table(
+            simulator, composite, [LOW_POWER_NETBOOK], runs=3
+        )
+        score = hierarchical_geometric_mean(table["netbook"], partition)
+        plain = geometric_mean(list(table["netbook"].values()))
+        # 5 kernels vs 3 DaCapo: the hierarchical score must differ from
+        # the member-weighted plain score.
+        assert score != pytest.approx(plain, rel=1e-6)

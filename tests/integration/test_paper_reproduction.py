@@ -1,0 +1,139 @@
+"""End-to-end integration tests: the whole paper, regenerated.
+
+These tests chain the real components (no mocks): the execution
+simulator regenerates Table III; the recovered partitions regenerate
+Tables IV-VI; the characterize->SOM->cluster->score pipeline reproduces
+the structural findings of Figures 3-8 on both machines and under both
+characterizations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.core.means import geometric_mean
+from repro.data.partitions import partition_chain
+from repro.data.table3 import SPEEDUP_TABLE
+from repro.data.tables456 import hgm_table
+from repro.som.som import SOMConfig
+from repro.workloads.execution import ExecutionSimulator
+from repro.workloads.machines import MACHINE_A, MACHINE_B
+from repro.workloads.speedup import speedup_table
+
+
+class TestTable3EndToEnd:
+    def test_simulated_protocol_reproduces_table3(self, paper_suite):
+        """10 runs per machine, average, normalize: the measured
+        speedups and the plain-GM summary land on the published
+        Table III (2.10 / 1.94 / 1.08)."""
+        simulator = ExecutionSimulator(seed=123)
+        measured = speedup_table(
+            simulator, paper_suite, [MACHINE_A, MACHINE_B], runs=10
+        )
+        gm_a = geometric_mean(list(measured["A"].values()))
+        gm_b = geometric_mean(list(measured["B"].values()))
+        assert gm_a == pytest.approx(2.10, abs=0.05)
+        assert gm_b == pytest.approx(1.94, abs=0.05)
+        assert gm_a / gm_b == pytest.approx(1.08, abs=0.03)
+
+
+class TestTables456EndToEnd:
+    @pytest.mark.parametrize("name", ["table4", "table5", "table6"])
+    def test_every_row_of_every_table(self, name, speedups_a, speedups_b):
+        chain = partition_chain(name)
+        published = hgm_table(name)
+        for k, row in published.items():
+            a = hierarchical_geometric_mean(speedups_a, chain[k])
+            b = hierarchical_geometric_mean(speedups_b, chain[k])
+            assert a == pytest.approx(row.score_a, abs=0.008), f"{name} k={k}"
+            assert b == pytest.approx(row.score_b, abs=0.008), f"{name} k={k}"
+
+
+@pytest.fixture(scope="module")
+def pipeline_results(paper_suite):
+    """One pipeline run per paper configuration (Figures 3-8)."""
+    som = SOMConfig(rows=8, columns=8, steps_per_sample=300, seed=11)
+    results = {}
+    for key, kwargs in {
+        "sar-A": {"characterization": "sar", "machine": "A"},
+        "sar-B": {"characterization": "sar", "machine": "B"},
+        "methods": {"characterization": "methods", "machine": None},
+    }.items():
+        pipeline = WorkloadAnalysisPipeline(som_config=som, **kwargs)
+        results[key] = pipeline.run(paper_suite)
+    return results
+
+
+class TestFigureStructure:
+    def test_scimark_is_the_tightest_source_suite_everywhere(
+        self, pipeline_results, scimark_workloads
+    ):
+        """The paper's headline finding: SciMark2 coagulates under every
+        characterization, on every machine."""
+        for key, result in pipeline_results.items():
+            cells = np.array(
+                [result.positions[n] for n in scimark_workloads], dtype=float
+            )
+            spread = np.linalg.norm(cells - cells.mean(axis=0), axis=1).mean()
+            all_cells = np.array(list(result.positions.values()), dtype=float)
+            total_spread = np.linalg.norm(
+                all_cells - all_cells.mean(axis=0), axis=1
+            ).mean()
+            assert spread < 0.6 * total_spread, key
+
+    def test_scimark_exclusive_cluster_on_every_configuration(
+        self, pipeline_results, scimark_workloads
+    ):
+        target = frozenset(scimark_workloads)
+        for key, result in pipeline_results.items():
+            ks = [
+                cut.clusters
+                for cut in result.cuts
+                if target in {frozenset(b) for b in cut.partition.blocks}
+            ]
+            assert ks, f"no exclusive SciMark2 cluster on {key}"
+
+    def test_methods_characterization_puts_scimark_in_one_cell(
+        self, pipeline_results, scimark_workloads
+    ):
+        result = pipeline_results["methods"]
+        assert (
+            len({result.positions[n] for n in scimark_workloads}) == 1
+        )
+
+    def test_sar_maps_differ_between_machines(self, pipeline_results):
+        """Section V-B: 'clustering results can appear differently on
+        different machines'."""
+        on_a = pipeline_results["sar-A"].positions
+        on_b = pipeline_results["sar-B"].positions
+        assert on_a != on_b
+
+    def test_hierarchical_scores_beat_plain_gm_under_every_clustering(
+        self, pipeline_results
+    ):
+        """SciMark2 drags the plain GM down on both machines; any
+        clustering that isolates it lifts the hierarchical score."""
+        plain_a = geometric_mean(list(SPEEDUP_TABLE["A"].values()))
+        for result in pipeline_results.values():
+            recommended = result.cut(result.recommended_clusters)
+            assert recommended.scores["A"] > plain_a
+
+    def test_recommended_k_in_papers_window(self, pipeline_results):
+        """The paper recommends 5-6 clusters; allow one either side for
+        synthetic-data wiggle."""
+        for key, result in pipeline_results.items():
+            assert 4 <= result.recommended_clusters <= 7, key
+
+
+class TestCrossCharacterizationFinding:
+    def test_clustering_depends_on_characterization(self, pipeline_results):
+        """Section V-C / conclusion: 'workload clustering heavily
+        depends on how the workloads are characterized' — the SAR and
+        method-based partitions at the recommended cut must differ."""
+        sar = pipeline_results["sar-A"]
+        methods = pipeline_results["methods"]
+        k = 6
+        assert sar.cut(k).partition != methods.cut(k).partition

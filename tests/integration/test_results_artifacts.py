@@ -1,0 +1,64 @@
+"""Integration: the results-artifact generator produces every artifact."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "scripts" / "generate_results.py"
+
+EXPECTED = (
+    "table3_speedups",
+    "table4_hgm",
+    "table5_hgm",
+    "table6_hgm",
+    "fig3_som",
+    "fig4_dendrogram",
+    "fig5_som",
+    "fig6_dendrogram",
+    "fig7_som",
+    "fig8_dendrogram",
+    "report_machine_a_sar",
+    "report_methods",
+)
+
+
+@pytest.fixture(scope="module")
+def generated(tmp_path_factory):
+    output = tmp_path_factory.mktemp("results")
+    completed = subprocess.run(
+        [sys.executable, str(SCRIPT), str(output)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return output
+
+
+class TestGeneratedArtifacts:
+    @pytest.mark.parametrize("name", EXPECTED)
+    def test_artifact_exists_and_is_non_trivial(self, generated, name):
+        target = generated / f"{name}.txt"
+        assert target.exists()
+        assert len(target.read_text(encoding="utf-8")) > 100
+
+    def test_table4_contains_published_peak(self, generated):
+        content = (generated / "table4_hgm.txt").read_text(encoding="utf-8")
+        assert "2.89" in content  # the k=4 peak
+        assert "recovered cluster memberships" in content
+
+    def test_fig7_shows_single_scimark_cell(self, generated):
+        content = (generated / "fig7_som.txt").read_text(encoding="utf-8")
+        assert content.count("(shared cell)") >= 5
+
+    def test_reports_name_the_recommendation(self, generated):
+        content = (generated / "report_machine_a_sar.txt").read_text(
+            encoding="utf-8"
+        )
+        assert "recommended cluster count" in content

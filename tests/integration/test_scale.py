@@ -1,0 +1,101 @@
+"""Integration: the pipeline at several times the paper's scale.
+
+Nothing in the implementation may silently assume 13 workloads, the
+paper's names, or 2 machines; this test runs a 40-workload synthetic
+suite with 3 custom machines end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.characterization.base import CharacteristicVectors
+from repro.cluster.metrics import adjusted_rand_index
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.som.som import SOMConfig
+from repro.synthetic import planted_characteristics, planted_scores
+from repro.workloads.suite import BenchmarkSuite, Workload
+
+
+@pytest.fixture(scope="module")
+def big_problem():
+    return planted_characteristics(
+        clusters=8, per_cluster=5, dimensions=24,
+        separation=9.0, noise=0.5, seed=42,
+    )
+
+
+@pytest.fixture(scope="module")
+def big_suite(big_problem):
+    return BenchmarkSuite(
+        [
+            Workload(label, f"suite-{label.split('w')[0]}", "1.0", "std", f"synthetic workload {label}")
+            for label in big_problem.labels
+        ],
+        name="synthetic-40",
+    )
+
+
+@pytest.fixture(scope="module")
+def big_result(big_problem, big_suite):
+    speedups = {
+        machine: planted_scores(
+            big_problem, base=base, cluster_effect=0.4, noise=0.03, seed=seed
+        )
+        for machine, base, seed in (
+            ("fast", 3.0, 1),
+            ("mid", 2.0, 2),
+            ("slow", 1.0, 3),
+        )
+    }
+
+    def characterize(suite):
+        return CharacteristicVectors(
+            list(big_problem.labels),
+            [f"f{i}" for i in range(big_problem.points.shape[1])],
+            big_problem.points,
+        )
+
+    pipeline = WorkloadAnalysisPipeline(
+        characterization="custom",
+        machine=None,
+        custom_characterizer=characterize,
+        speedups=speedups,
+        som_config=SOMConfig(rows=12, columns=12, steps_per_sample=120, seed=7),
+        cluster_counts=range(2, 13),
+    )
+    return pipeline.run(big_suite)
+
+
+class TestFortyWorkloadPipeline:
+    def test_all_cuts_scored_for_three_machines(self, big_result):
+        assert len(big_result.cuts) == 11
+        for cut in big_result.cuts:
+            assert set(cut.scores) == {"fast", "mid", "slow"}
+
+    def test_planted_clusters_recovered_at_k8(self, big_problem, big_result):
+        recovered = big_result.cut(8).partition
+        assert adjusted_rand_index(recovered, big_problem.truth) > 0.8
+
+    def test_machine_ordering_preserved_by_every_cut(self, big_result):
+        for cut in big_result.cuts:
+            assert cut.scores["fast"] > cut.scores["mid"] > cut.scores["slow"]
+
+    def test_hgm_at_truth_matches_direct_computation(
+        self, big_problem, big_result
+    ):
+        speedups_fast = {
+            label: score
+            for label, score in planted_scores(
+                big_problem, base=3.0, cluster_effect=0.4, noise=0.03, seed=1
+            ).items()
+        }
+        direct = hierarchical_geometric_mean(speedups_fast, big_problem.truth)
+        assert direct > 0.0
+
+    def test_positions_fill_a_larger_map(self, big_result):
+        cells = np.array(list(big_result.positions.values()))
+        # 40 workloads on a 12x12 lattice should use a good spread.
+        assert len({tuple(c) for c in cells.tolist()}) >= 8

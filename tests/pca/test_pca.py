@@ -1,0 +1,129 @@
+"""Unit and property tests for the from-scratch PCA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CharacterizationError
+from repro.pca.pca import PCA, explained_variance_ratio, principal_plane
+
+
+def _line_data(n=40, slope=2.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n)
+    y = slope * x + noise * rng.normal(size=n)
+    return np.column_stack([x, y])
+
+
+class TestFit:
+    def test_first_component_follows_dominant_direction(self):
+        data = _line_data()
+        pca = PCA(n_components=1).fit(data)
+        direction = pca.components[0]
+        expected = np.array([1.0, 2.0]) / np.sqrt(5.0)
+        # Sign convention makes the largest coordinate positive.
+        assert np.allclose(np.abs(direction), expected, atol=1e-6)
+
+    def test_noiseless_line_explains_all_variance(self):
+        pca = PCA().fit(_line_data(noise=0.0))
+        ratios = pca.explained_variance_ratio
+        assert ratios[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_components_are_orthonormal(self):
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=(30, 5))
+        pca = PCA(n_components=3).fit(data)
+        gram = pca.components @ pca.components.T
+        assert np.allclose(gram, np.eye(3), atol=1e-9)
+
+    def test_explained_variance_sorted_descending(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=(50, 6)) * np.array([5, 4, 3, 2, 1, 0.5])
+        variances = PCA().fit(data).explained_variance
+        assert all(a >= b - 1e-12 for a, b in zip(variances, variances[1:]))
+
+    def test_deterministic_sign_convention(self):
+        data = _line_data(seed=1)
+        first = PCA(n_components=1).fit(data).components
+        second = PCA(n_components=1).fit(data).components
+        assert np.allclose(first, second)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(CharacterizationError, match="two samples"):
+            PCA().fit([[1.0, 2.0]])
+
+    def test_rejects_too_many_components(self):
+        with pytest.raises(CharacterizationError, match="components"):
+            PCA(n_components=5).fit([[1.0, 2.0], [2.0, 3.0], [3.0, 1.0]])
+
+    def test_rejects_invalid_component_count(self):
+        with pytest.raises(CharacterizationError, match=">= 1"):
+            PCA(n_components=0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(CharacterizationError, match="NaN"):
+            PCA().fit([[1.0], [float("nan")]])
+
+
+class TestTransform:
+    def test_projection_centers_data(self):
+        data = _line_data()
+        projected = PCA(n_components=2).fit_transform(data)
+        assert np.allclose(projected.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_projection_preserves_pairwise_distances_full_rank(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(10, 4))
+        projected = PCA(n_components=4).fit_transform(data)
+        original_d = np.linalg.norm(data[0] - data[1])
+        projected_d = np.linalg.norm(projected[0] - projected[1])
+        assert projected_d == pytest.approx(original_d, rel=1e-9)
+
+    def test_inverse_transform_roundtrip_full_rank(self):
+        rng = np.random.default_rng(6)
+        data = rng.normal(size=(12, 3))
+        pca = PCA(n_components=3).fit(data)
+        recovered = pca.inverse_transform(pca.transform(data))
+        assert np.allclose(recovered, data, atol=1e-9)
+
+    def test_reconstruction_error_drops_with_components(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=(40, 5)) * np.array([5, 3, 2, 1, 0.5])
+        errors = []
+        for k in (1, 3, 5):
+            pca = PCA(n_components=k).fit(data)
+            recon = pca.inverse_transform(pca.transform(data))
+            errors.append(float(np.mean((recon - data) ** 2)))
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(CharacterizationError, match="not fitted"):
+            PCA().transform([[1.0]])
+
+    def test_feature_count_mismatch(self):
+        pca = PCA().fit([[1.0, 2.0], [3.0, 4.0], [0.0, 1.0]])
+        with pytest.raises(CharacterizationError, match="feature count"):
+            pca.transform([[1.0]])
+
+    def test_inverse_width_mismatch(self):
+        pca = PCA(n_components=1).fit(_line_data())
+        with pytest.raises(CharacterizationError, match="component count"):
+            pca.inverse_transform([[1.0, 2.0]])
+
+
+class TestHelpers:
+    def test_explained_variance_ratio_shortcut(self):
+        data = _line_data()
+        assert explained_variance_ratio(data)[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_principal_plane_returns_two_axes(self):
+        mean, first, second = principal_plane(_line_data(noise=0.3))
+        assert first.shape == (2,)
+        assert second.shape == (2,)
+        assert abs(float(first @ second)) < 1e-9
+
+    def test_principal_plane_single_feature(self):
+        data = np.array([[1.0], [2.0], [3.0]])
+        __, first, second = principal_plane(data)
+        assert np.allclose(second, 0.0)

@@ -1,0 +1,96 @@
+"""Unit and property tests for the decay schedules."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.exceptions import SOMError
+from repro.som.decay import (
+    ExponentialDecay,
+    InverseTimeDecay,
+    LinearDecay,
+    resolve_decay,
+)
+
+ALL_SCHEDULES = (LinearDecay, ExponentialDecay, InverseTimeDecay)
+
+
+class TestEndpoints:
+    @pytest.mark.parametrize("schedule_cls", ALL_SCHEDULES)
+    def test_start_and_end_values(self, schedule_cls):
+        schedule = schedule_cls(0.5, 0.01)
+        assert schedule(0.0) == pytest.approx(0.5)
+        assert schedule(1.0) == pytest.approx(0.01)
+
+    def test_linear_midpoint(self):
+        assert LinearDecay(1.0, 0.0)(0.5) == pytest.approx(0.5)
+
+    def test_exponential_midpoint_is_geometric(self):
+        schedule = ExponentialDecay(1.0, 0.01)
+        assert schedule(0.5) == pytest.approx(0.1)
+
+    def test_inverse_time_shape(self):
+        schedule = InverseTimeDecay(1.0, 0.5)
+        # c = 1 -> value(p) = 1 / (1 + p).
+        assert schedule(0.5) == pytest.approx(1.0 / 1.5)
+
+
+class TestValidation:
+    def test_rejects_increasing_schedule(self):
+        with pytest.raises(SOMError, match="must not increase"):
+            LinearDecay(0.1, 0.5)
+
+    def test_rejects_non_positive_start(self):
+        with pytest.raises(SOMError, match="positive"):
+            LinearDecay(0.0, 0.0)
+
+    def test_linear_allows_zero_end(self):
+        assert LinearDecay(1.0, 0.0)(1.0) == 0.0
+
+    def test_exponential_rejects_zero_end(self):
+        with pytest.raises(SOMError, match="positive"):
+            ExponentialDecay(1.0, 0.0)
+
+    def test_inverse_rejects_zero_end(self):
+        with pytest.raises(SOMError, match="positive"):
+            InverseTimeDecay(1.0, 0.0)
+
+    @pytest.mark.parametrize("schedule_cls", ALL_SCHEDULES)
+    def test_rejects_progress_outside_unit_interval(self, schedule_cls):
+        schedule = schedule_cls(1.0, 0.1)
+        with pytest.raises(SOMError, match="progress"):
+            schedule(1.5)
+
+    def test_rejects_nan_bounds(self):
+        with pytest.raises(SOMError, match="finite"):
+            LinearDecay(float("nan"), 0.1)
+
+
+@given(
+    st.sampled_from(ALL_SCHEDULES),
+    st.floats(min_value=0.011, max_value=10.0),
+    st.floats(min_value=0.0, max_value=1.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_monotone_decrease_property(schedule_cls, start, p1, p2):
+    """Section III-A: alpha(n) and sigma(n) decrease monotonically."""
+    schedule = schedule_cls(start, 0.01)
+    low, high = sorted((p1, p2))
+    assert schedule(low) >= schedule(high) - 1e-12
+
+
+class TestResolve:
+    def test_by_name(self):
+        assert isinstance(resolve_decay("linear", 1.0, 0.1), LinearDecay)
+        assert isinstance(resolve_decay("exponential", 1.0, 0.1), ExponentialDecay)
+        assert isinstance(resolve_decay("inverse", 1.0, 0.1), InverseTimeDecay)
+
+    def test_instance_passthrough(self):
+        schedule = LinearDecay(1.0, 0.1)
+        assert resolve_decay(schedule, 5.0, 0.5) is schedule
+
+    def test_unknown_name(self):
+        with pytest.raises(SOMError, match="unknown decay"):
+            resolve_decay("cosine", 1.0, 0.1)

@@ -1,0 +1,111 @@
+"""Unit tests for the SOM unit lattice."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SOMError
+from repro.som.grid import Grid
+
+
+class TestConstruction:
+    def test_shape_and_count(self):
+        grid = Grid(3, 4)
+        assert grid.shape == (3, 4)
+        assert grid.num_units == 12
+        assert grid.topology == "rectangular"
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(SOMError, match="positive dimensions"):
+            Grid(0, 4)
+
+    def test_rejects_unknown_topology(self):
+        with pytest.raises(SOMError, match="unknown topology"):
+            Grid(2, 2, topology="toroidal")
+
+    def test_repr(self):
+        assert "rows=2" in repr(Grid(2, 3))
+
+
+class TestIndexing:
+    def test_row_major_positions(self):
+        grid = Grid(2, 3)
+        assert grid.position_of(0) == (0, 0)
+        assert grid.position_of(4) == (1, 1)
+        assert grid.position_of(5) == (1, 2)
+
+    def test_index_of_inverts_position_of(self):
+        grid = Grid(4, 5)
+        for unit in range(grid.num_units):
+            row, col = grid.position_of(unit)
+            assert grid.index_of(row, col) == unit
+
+    def test_out_of_range_unit(self):
+        with pytest.raises(SOMError, match="outside"):
+            Grid(2, 2).position_of(4)
+
+    def test_out_of_range_position(self):
+        with pytest.raises(SOMError, match="outside"):
+            Grid(2, 2).index_of(2, 0)
+
+
+class TestGeometry:
+    def test_rectangular_distances(self):
+        grid = Grid(3, 3)
+        # Unit 0 at (0,0) to unit 8 at (2,2): sqrt(8).
+        assert grid.map_distance(0, 8) == pytest.approx(np.sqrt(8.0))
+
+    def test_squared_distances_row_matches_map_distance(self):
+        grid = Grid(3, 4)
+        row = grid.squared_map_distances_from(5)
+        for unit in range(grid.num_units):
+            assert row[unit] == pytest.approx(grid.map_distance(5, unit) ** 2)
+
+    def test_diameter_is_corner_to_corner(self):
+        grid = Grid(3, 4)
+        assert grid.diameter == pytest.approx(np.sqrt(2.0**2 + 3.0**2))
+
+    def test_hexagonal_row_offset(self):
+        grid = Grid(2, 2, topology="hexagonal")
+        locations = grid.locations
+        # Odd row is shifted half a cell right and compressed vertically.
+        assert locations[2][0] == pytest.approx(0.5)
+        assert locations[2][1] == pytest.approx(np.sqrt(3.0) / 2.0)
+
+    def test_hexagonal_neighbors_are_equidistant(self):
+        grid = Grid(3, 3, topology="hexagonal")
+        center = grid.index_of(1, 1)
+        neighbor_distances = [
+            grid.map_distance(center, other)
+            for other in range(grid.num_units)
+            if grid.are_lattice_neighbors(center, other)
+        ]
+        assert len(neighbor_distances) == 6
+        assert all(d == pytest.approx(1.0) for d in neighbor_distances)
+
+    def test_locations_are_copies(self):
+        grid = Grid(2, 2)
+        locations = grid.locations
+        locations[0, 0] = 99.0
+        assert grid.locations[0, 0] == 0.0
+
+
+class TestNeighborhoodPredicate:
+    def test_rectangular_neighbors_include_diagonals(self):
+        grid = Grid(3, 3)
+        center = grid.index_of(1, 1)
+        neighbors = [
+            other
+            for other in range(grid.num_units)
+            if grid.are_lattice_neighbors(center, other)
+        ]
+        assert len(neighbors) == 8
+
+    def test_unit_is_not_its_own_neighbor(self):
+        grid = Grid(2, 2)
+        assert not grid.are_lattice_neighbors(0, 0)
+
+    def test_distant_units_are_not_neighbors(self):
+        grid = Grid(1, 5)
+        assert not grid.are_lattice_neighbors(0, 4)

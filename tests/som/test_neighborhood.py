@@ -1,0 +1,66 @@
+"""Unit tests for the neighborhood kernels h_ci."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SOMError
+from repro.som.neighborhood import (
+    BubbleNeighborhood,
+    GaussianNeighborhood,
+    resolve_neighborhood,
+)
+
+
+class TestGaussianNeighborhood:
+    def test_bmu_weight_is_one(self):
+        kernel = GaussianNeighborhood()
+        assert kernel(np.array([0.0]), sigma=1.0)[0] == pytest.approx(1.0)
+
+    def test_matches_paper_formula(self):
+        # h = exp(-d^2 / (2 sigma^2)) from Section III-A.
+        kernel = GaussianNeighborhood()
+        d_sq, sigma = 4.0, 1.5
+        expected = np.exp(-d_sq / (2 * sigma**2))
+        assert kernel(np.array([d_sq]), sigma)[0] == pytest.approx(expected)
+
+    def test_monotone_decreasing_in_distance(self):
+        kernel = GaussianNeighborhood()
+        weights = kernel(np.array([0.0, 1.0, 4.0, 9.0]), sigma=1.0)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_larger_sigma_widens_neighborhood(self):
+        kernel = GaussianNeighborhood()
+        narrow = kernel(np.array([4.0]), sigma=0.5)[0]
+        wide = kernel(np.array([4.0]), sigma=3.0)[0]
+        assert wide > narrow
+
+    def test_rejects_non_positive_sigma(self):
+        with pytest.raises(SOMError, match="positive"):
+            GaussianNeighborhood()(np.array([1.0]), sigma=0.0)
+
+
+class TestBubbleNeighborhood:
+    def test_hard_cutoff(self):
+        kernel = BubbleNeighborhood()
+        weights = kernel(np.array([0.0, 1.0, 4.0, 9.0]), sigma=2.0)
+        assert weights.tolist() == [1.0, 1.0, 1.0, 0.0]
+
+    def test_boundary_is_inside(self):
+        kernel = BubbleNeighborhood()
+        assert kernel(np.array([4.0]), sigma=2.0)[0] == 1.0
+
+
+class TestResolve:
+    def test_by_name(self):
+        assert isinstance(resolve_neighborhood("gaussian"), GaussianNeighborhood)
+        assert isinstance(resolve_neighborhood("bubble"), BubbleNeighborhood)
+
+    def test_instance_passthrough(self):
+        kernel = GaussianNeighborhood()
+        assert resolve_neighborhood(kernel) is kernel
+
+    def test_unknown_name(self):
+        with pytest.raises(SOMError, match="unknown neighborhood kernel"):
+            resolve_neighborhood("mexican-hat")

@@ -1,0 +1,68 @@
+"""Unit tests for SOM component planes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SOMError
+from repro.som.planes import component_plane, dominant_feature_map
+from repro.som.som import SelfOrganizingMap, SOMConfig
+
+
+@pytest.fixture(scope="module")
+def trained():
+    # Two features: one separates the blobs, one is constant.
+    rng = np.random.default_rng(0)
+    data = np.vstack(
+        [
+            np.column_stack([rng.normal(0.0, 0.1, 10), np.ones(10)]),
+            np.column_stack([rng.normal(8.0, 0.1, 10), np.ones(10)]),
+        ]
+    )
+    som = SelfOrganizingMap(
+        SOMConfig(rows=4, columns=4, steps_per_sample=200, seed=1)
+    ).fit(data)
+    return som
+
+
+class TestComponentPlane:
+    def test_shape(self, trained):
+        assert component_plane(trained, 0).shape == (4, 4)
+
+    def test_discriminating_feature_has_spread(self, trained):
+        plane = component_plane(trained, 0)
+        assert plane.max() - plane.min() > 4.0
+
+    def test_constant_feature_is_flat(self, trained):
+        plane = component_plane(trained, 1)
+        assert plane.max() - plane.min() < 0.5
+
+    def test_matches_weight_cube(self, trained):
+        plane = component_plane(trained, 0)
+        assert np.allclose(plane, trained.weight_grid[:, :, 0])
+
+    def test_feature_out_of_range(self, trained):
+        with pytest.raises(SOMError, match="outside"):
+            component_plane(trained, 5)
+
+    def test_untrained_rejected(self):
+        with pytest.raises(SOMError, match="not trained"):
+            component_plane(SelfOrganizingMap(SOMConfig(rows=2, columns=2)), 0)
+
+
+class TestDominantFeatureMap:
+    def test_shape_and_range(self, trained):
+        dominant = dominant_feature_map(trained)
+        assert dominant.shape == (4, 4)
+        assert set(np.unique(dominant)) <= {0, 1}
+
+    def test_discriminating_feature_dominates_extremes(self, trained):
+        """Units near the far blob carry large weights on feature 0, so
+        feature 0 dominates at least somewhere."""
+        dominant = dominant_feature_map(trained)
+        assert 0 in np.unique(dominant)
+
+    def test_untrained_rejected(self):
+        with pytest.raises(SOMError, match="not trained"):
+            dominant_feature_map(SelfOrganizingMap(SOMConfig(rows=2, columns=2)))

@@ -1,0 +1,182 @@
+"""Unit tests for the SelfOrganizingMap training and queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SOMError
+from repro.som.som import SelfOrganizingMap, SOMConfig
+
+
+def _three_clusters(seed=0, per_cluster=8):
+    """Well-separated blobs at three corners of the plane."""
+    rng = np.random.default_rng(seed)
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    points = np.vstack(
+        [center + 0.2 * rng.normal(size=(per_cluster, 2)) for center in centers]
+    )
+    return points
+
+
+SMALL_CONFIG = SOMConfig(rows=5, columns=5, steps_per_sample=150, seed=5)
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = SOMConfig()
+        assert config.rows == 8 and config.columns == 8
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(SOMError, match="learning_rate"):
+            SOMConfig(learning_rate=(0.01, 0.5))
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(SOMError, match="steps_per_sample"):
+            SOMConfig(steps_per_sample=0)
+
+
+class TestTraining:
+    def test_untrained_map_refuses_queries(self):
+        som = SelfOrganizingMap(SMALL_CONFIG)
+        assert not som.is_trained
+        with pytest.raises(SOMError, match="not trained"):
+            som.project([[0.0, 0.0]])
+        with pytest.raises(SOMError, match="not trained"):
+            _ = som.weights
+
+    def test_fit_returns_self(self):
+        som = SelfOrganizingMap(SMALL_CONFIG)
+        assert som.fit(_three_clusters()) is som
+
+    def test_deterministic_with_same_seed(self):
+        data = _three_clusters()
+        first = SelfOrganizingMap(SMALL_CONFIG).fit(data).weights
+        second = SelfOrganizingMap(SMALL_CONFIG).fit(data).weights
+        assert np.allclose(first, second)
+
+    def test_different_seeds_differ(self):
+        data = _three_clusters()
+        first = SelfOrganizingMap(SOMConfig(rows=5, columns=5, seed=1)).fit(data)
+        second = SelfOrganizingMap(SOMConfig(rows=5, columns=5, seed=2)).fit(data)
+        assert not np.allclose(first.weights, second.weights)
+
+    def test_weight_shapes(self):
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(_three_clusters())
+        assert som.weights.shape == (25, 2)
+        assert som.weight_grid.shape == (5, 5, 2)
+
+    def test_batch_mode_trains(self):
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(_three_clusters(), mode="batch")
+        assert som.is_trained
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SOMError, match="unknown training mode"):
+            SelfOrganizingMap(SMALL_CONFIG).fit(_three_clusters(), mode="online")
+
+    def test_rejects_nan_data(self):
+        with pytest.raises(SOMError, match="NaN"):
+            SelfOrganizingMap(SMALL_CONFIG).fit([[float("nan"), 0.0]])
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(SOMError, match="non-empty"):
+            SelfOrganizingMap(SMALL_CONFIG).fit(np.empty((0, 2)))
+
+
+class TestTopologyPreservation:
+    def test_separated_blobs_land_on_separated_cells(self):
+        """Samples from different blobs must map farther apart on the
+        lattice than samples from the same blob."""
+        data = _three_clusters()
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(data)
+        cells = som.project(data)
+        same_blob = np.linalg.norm(cells[0] - cells[1])
+        cross_blob = np.linalg.norm(cells[0] - cells[8])
+        assert cross_blob > same_blob
+
+    def test_identical_vectors_share_a_cell(self):
+        data = np.array([[1.0, 1.0], [1.0, 1.0], [8.0, 8.0]])
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(data)
+        cells = som.project(data)
+        assert np.array_equal(cells[0], cells[1])
+
+
+class TestQueries:
+    def test_best_matching_unit_is_argmin(self):
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(_three_clusters())
+        sample = np.array([0.0, 0.0])
+        weights = som.weights
+        expected = int(np.argmin(((weights - sample) ** 2).sum(axis=1)))
+        assert som.best_matching_unit(sample) == expected
+
+    def test_second_bmu_differs_from_first(self):
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(_three_clusters())
+        sample = [0.0, 0.0]
+        assert som.second_best_matching_unit(sample) != som.best_matching_unit(
+            sample
+        )
+
+    def test_project_shape_and_bounds(self):
+        data = _three_clusters()
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(data)
+        cells = som.project(data)
+        assert cells.shape == (len(data), 2)
+        assert cells[:, 0].max() < 5 and cells[:, 1].max() < 5
+        assert cells.min() >= 0
+
+    def test_dimension_mismatch_rejected(self):
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(_three_clusters())
+        with pytest.raises(SOMError, match="dimension"):
+            som.project([[1.0, 2.0, 3.0]])
+        with pytest.raises(SOMError, match="dimension"):
+            som.best_matching_unit([1.0])
+
+    def test_hit_map_counts_sum_to_samples(self):
+        data = _three_clusters()
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(data)
+        hits = som.hit_map(data)
+        assert hits.sum() == len(data)
+
+    def test_label_map_groups_by_cell(self):
+        data = np.array([[1.0, 1.0], [1.0, 1.0], [9.0, 9.0]])
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(data)
+        label_map = som.label_map(data, ["a", "b", "c"])
+        clusters = {frozenset(v) for v in label_map.values()}
+        assert frozenset({"a", "b"}) in clusters
+
+    def test_label_map_length_mismatch(self):
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(_three_clusters())
+        with pytest.raises(SOMError, match="labels"):
+            som.label_map([[0.0, 0.0]], ["a", "b"])
+
+
+class TestTrainingHistory:
+    def test_disabled_by_default(self):
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(_three_clusters())
+        assert som.training_history == ()
+
+    def test_records_quantization_error_samples(self):
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(
+            _three_clusters(), track_quality_every=100
+        )
+        history = som.training_history
+        assert len(history) >= 2
+        steps = [step for step, __ in history]
+        assert steps == sorted(steps)
+
+    def test_error_improves_over_training(self):
+        """The map converges: final quantization error is well below
+        the initial one."""
+        som = SelfOrganizingMap(SMALL_CONFIG).fit(
+            _three_clusters(), track_quality_every=50
+        )
+        history = som.training_history
+        first = history[0][1]
+        last = history[-1][1]
+        assert last < first
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(SOMError, match="track_quality_every"):
+            SelfOrganizingMap(SMALL_CONFIG).fit(
+                _three_clusters(), track_quality_every=-1
+            )

@@ -1,0 +1,96 @@
+"""Property-based tests for SOM invariants."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.som.grid import Grid
+from repro.som.neighborhood import GaussianNeighborhood
+from repro.som.som import SelfOrganizingMap, SOMConfig
+
+
+@st.composite
+def small_datasets(draw):
+    count = draw(st.integers(min_value=2, max_value=10))
+    dim = draw(st.integers(min_value=1, max_value=5))
+    values = draw(
+        st.lists(
+            st.floats(min_value=-100.0, max_value=100.0),
+            min_size=count * dim,
+            max_size=count * dim,
+        )
+    )
+    return np.array(values).reshape(count, dim)
+
+
+@given(small_datasets(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_bmu_is_the_true_argmin(data, seed):
+    """The map's BMU answer must equal brute-force nearest weight."""
+    som = SelfOrganizingMap(
+        SOMConfig(rows=3, columns=4, steps_per_sample=50, seed=seed % 100)
+    ).fit(data)
+    weights = som.weights
+    for sample in data:
+        bmu = som.best_matching_unit(sample)
+        brute = int(
+            np.argmin(np.sum((weights - sample) ** 2, axis=1))
+        )
+        assert bmu == brute
+
+
+@given(small_datasets())
+@settings(max_examples=25, deadline=None)
+def test_projection_is_deterministic(data):
+    som = SelfOrganizingMap(
+        SOMConfig(rows=3, columns=3, steps_per_sample=60, seed=5)
+    ).fit(data)
+    first = som.project(data)
+    second = som.project(data)
+    assert np.array_equal(first, second)
+
+
+@given(small_datasets())
+@settings(max_examples=25, deadline=None)
+def test_trained_weights_stay_finite_and_bounded(data):
+    """Convex updates keep weights inside the data's bounding box
+    (plus initial positions): no divergence, no NaN."""
+    som = SelfOrganizingMap(
+        SOMConfig(rows=3, columns=3, steps_per_sample=80, seed=1)
+    ).fit(data)
+    weights = som.weights
+    assert np.all(np.isfinite(weights))
+    margin = 1e-6 + (data.max() - data.min())
+    assert weights.min() >= data.min() - margin
+    assert weights.max() <= data.max() + margin
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=30, deadline=None)
+def test_grid_distance_symmetry_and_identity(rows, columns):
+    grid = Grid(rows, columns)
+    for first in range(grid.num_units):
+        assert grid.map_distance(first, first) == 0.0
+        for second in range(first + 1, grid.num_units):
+            assert grid.map_distance(first, second) == (
+                grid.map_distance(second, first)
+            )
+
+
+@given(
+    st.floats(min_value=0.1, max_value=5.0),
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=20
+    ),
+)
+def test_gaussian_kernel_bounded_and_unit_at_bmu(sigma, squared_distances):
+    kernel = GaussianNeighborhood()
+    values = kernel(np.array(squared_distances), sigma)
+    assert np.all(values >= 0.0)
+    assert np.all(values <= 1.0)
+    assert kernel(np.array([0.0]), sigma)[0] == 1.0

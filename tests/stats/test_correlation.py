@@ -1,0 +1,112 @@
+"""Unit tests for feature-correlation analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CharacterizationError
+from repro.stats.correlation import (
+    correlated_pairs,
+    correlation_matrix,
+    decorrelate_features,
+)
+
+
+def _correlated_data(seed=0, n=60):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=n)
+    return np.column_stack(
+        [
+            base,                                 # 0
+            2.0 * base + 0.01 * rng.normal(size=n),   # 1: ~ duplicate of 0
+            -base + 0.01 * rng.normal(size=n),        # 2: anti-correlated
+            rng.normal(size=n),                       # 3: independent
+            np.full(n, 7.0),                          # 4: constant
+        ]
+    )
+
+
+class TestCorrelationMatrix:
+    def test_diagonal_is_one(self):
+        matrix = correlation_matrix(_correlated_data())
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_symmetry_and_range(self):
+        matrix = correlation_matrix(_correlated_data())
+        assert np.allclose(matrix, matrix.T)
+        assert matrix.min() >= -1.0 and matrix.max() <= 1.0
+
+    def test_duplicate_columns_correlate_strongly(self):
+        matrix = correlation_matrix(_correlated_data())
+        assert matrix[0, 1] > 0.99
+        assert matrix[0, 2] < -0.99
+
+    def test_independent_column_weakly_correlated(self):
+        matrix = correlation_matrix(_correlated_data())
+        assert abs(matrix[0, 3]) < 0.4
+
+    def test_constant_column_correlates_with_nothing(self):
+        matrix = correlation_matrix(_correlated_data())
+        assert np.allclose(matrix[4, :4], 0.0)
+        assert matrix[4, 4] == 1.0
+
+    def test_rejects_single_row(self):
+        with pytest.raises(CharacterizationError, match="two rows"):
+            correlation_matrix([[1.0, 2.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(CharacterizationError, match="NaN"):
+            correlation_matrix([[1.0], [float("nan")]])
+
+
+class TestCorrelatedPairs:
+    def test_finds_both_strong_pairs(self):
+        pairs = correlated_pairs(_correlated_data(), threshold=0.95)
+        found = {(i, j) for i, j, __ in pairs}
+        assert (0, 1) in found
+        assert (0, 2) in found
+        assert (1, 2) in found  # transitively near-duplicates
+
+    def test_sorted_by_strength(self):
+        pairs = correlated_pairs(_correlated_data(), threshold=0.3)
+        strengths = [abs(r) for __, ___, r in pairs]
+        assert strengths == sorted(strengths, reverse=True)
+
+    def test_threshold_validation(self):
+        with pytest.raises(CharacterizationError, match="threshold"):
+            correlated_pairs(_correlated_data(), threshold=0.0)
+
+
+class TestDecorrelateFeatures:
+    def test_keeps_one_of_each_duplicate_group(self):
+        kept = decorrelate_features(_correlated_data(), threshold=0.95)
+        # Columns 1 and 2 duplicate column 0 and must be dropped.
+        assert 0 in kept
+        assert 1 not in kept and 2 not in kept
+        assert 3 in kept
+        assert 4 in kept  # constant correlates with nothing
+
+    def test_result_has_no_pair_above_threshold(self):
+        data = _correlated_data()
+        kept = decorrelate_features(data, threshold=0.9)
+        reduced = np.abs(correlation_matrix(data[:, kept]))
+        np.fill_diagonal(reduced, 0.0)
+        assert reduced.max() < 0.9
+
+    def test_loose_threshold_keeps_everything(self):
+        kept = decorrelate_features(_correlated_data(), threshold=1.0)
+        assert kept.tolist() == [0, 1, 2, 3, 4]
+
+    def test_on_synthetic_sar_counters(self, paper_suite):
+        """The SAR counter bank is built from 12 latent dimensions, so
+        heavy decorrelation collapses its ~216 varying counters toward
+        the latent dimensionality."""
+        from repro.characterization.sar import SARCounterCollector
+        from repro.workloads.machines import MACHINE_A
+
+        vectors = SARCounterCollector(seed=3, sample_noise=0.0).collect(
+            paper_suite, MACHINE_A
+        )
+        kept = decorrelate_features(vectors.matrix, threshold=0.98)
+        assert len(kept) < vectors.num_features / 3

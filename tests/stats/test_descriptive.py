@@ -1,0 +1,79 @@
+"""Unit tests for descriptive statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.stats.descriptive import (
+    coefficient_of_variation,
+    describe,
+    sample_mean,
+    sample_std,
+)
+
+
+class TestSampleMean:
+    def test_simple(self):
+        assert sample_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(MeasurementError, match="empty"):
+            sample_mean([])
+
+    def test_rejects_nan(self):
+        with pytest.raises(MeasurementError, match="NaN"):
+            sample_mean([1.0, float("nan")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(MeasurementError, match="1-D"):
+            sample_mean([[1.0], [2.0]])
+
+
+class TestSampleStd:
+    def test_known_value(self):
+        # Sample std (ddof=1) of [1, 3] is sqrt(2).
+        assert sample_std([1.0, 3.0]) == pytest.approx(2.0**0.5)
+
+    def test_single_observation_is_zero(self):
+        assert sample_std([5.0]) == 0.0
+
+    def test_population_variant(self):
+        assert sample_std([1.0, 3.0], ddof=0) == pytest.approx(1.0)
+
+    def test_constant_sample(self):
+        assert sample_std([2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+
+class TestCoefficientOfVariation:
+    def test_known_value(self):
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(
+            (2.0**0.5) / 2.0
+        )
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(MeasurementError, match="zero-mean"):
+            coefficient_of_variation([-1.0, 1.0])
+
+    def test_negative_mean_uses_absolute_value(self):
+        assert coefficient_of_variation([-1.0, -3.0]) == pytest.approx(
+            (2.0**0.5) / 2.0
+        )
+
+
+class TestDescribe:
+    def test_summary_fields(self):
+        summary = describe([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.spread == pytest.approx(3.0)
+        assert not summary.is_constant
+
+    def test_constant_detection(self):
+        assert describe([7.0, 7.0]).is_constant
+
+    def test_rejects_empty(self):
+        with pytest.raises(MeasurementError):
+            describe([])

@@ -1,0 +1,93 @@
+"""Unit tests for column standardization and constant-column removal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CharacterizationError
+from repro.stats.standardize import (
+    ColumnStandardizer,
+    drop_constant_columns,
+    standardize_columns,
+)
+
+
+class TestDropConstantColumns:
+    def test_removes_constant_column(self):
+        matrix = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        reduced, kept = drop_constant_columns(matrix)
+        assert reduced.shape == (3, 1)
+        assert kept.tolist() == [0]
+
+    def test_tolerance_widens_constant_definition(self):
+        matrix = np.array([[1.0, 5.0], [2.0, 5.001]])
+        __, kept = drop_constant_columns(matrix, tolerance=0.01)
+        assert kept.tolist() == [0]
+
+    def test_all_constant_rejected(self):
+        with pytest.raises(CharacterizationError, match="every column is constant"):
+            drop_constant_columns([[1.0, 2.0], [1.0, 2.0]])
+
+    def test_keeps_everything_when_all_vary(self):
+        matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+        reduced, kept = drop_constant_columns(matrix)
+        assert reduced.shape == (2, 2)
+        assert kept.tolist() == [0, 1]
+
+
+class TestColumnStandardizer:
+    def test_standardized_columns_have_zero_mean_unit_std(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(loc=5.0, scale=3.0, size=(50, 4))
+        result = ColumnStandardizer().fit_transform(matrix)
+        assert np.allclose(result.mean(axis=0), 0.0, atol=1e-12)
+        assert np.allclose(result.std(axis=0), 1.0, atol=1e-12)
+
+    def test_constant_columns_map_to_zero(self):
+        matrix = np.array([[1.0, 7.0], [3.0, 7.0]])
+        result = ColumnStandardizer().fit_transform(matrix)
+        assert np.allclose(result[:, 1], 0.0)
+
+    def test_transform_uses_fitted_statistics(self):
+        scaler = ColumnStandardizer().fit([[0.0], [2.0]])
+        # mean 1, std 1 -> transform(3) = 2.
+        assert scaler.transform([[3.0]]).tolist() == [[2.0]]
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(CharacterizationError, match="before fit"):
+            ColumnStandardizer().transform([[1.0]])
+
+    def test_column_count_mismatch_rejected(self):
+        scaler = ColumnStandardizer().fit([[1.0, 2.0], [3.0, 4.0]])
+        with pytest.raises(CharacterizationError, match="column count"):
+            scaler.transform([[1.0]])
+
+    def test_is_fitted_flag(self):
+        scaler = ColumnStandardizer()
+        assert not scaler.is_fitted
+        scaler.fit([[1.0], [2.0]])
+        assert scaler.is_fitted
+
+    def test_means_and_stds_are_copies(self):
+        scaler = ColumnStandardizer().fit([[1.0], [3.0]])
+        means = scaler.means
+        means[0] = 999.0
+        assert scaler.means[0] == pytest.approx(2.0)
+
+    def test_rejects_nan_input(self):
+        with pytest.raises(CharacterizationError, match="NaN"):
+            ColumnStandardizer().fit([[float("nan")]])
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(CharacterizationError, match="2-D"):
+            ColumnStandardizer().fit([1.0, 2.0])
+
+
+class TestStandardizeColumnsShortcut:
+    def test_one_shot_matches_class(self):
+        matrix = [[1.0, 10.0], [3.0, 30.0]]
+        assert np.allclose(
+            standardize_columns(matrix),
+            ColumnStandardizer().fit_transform(matrix),
+        )

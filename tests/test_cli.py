@@ -1,0 +1,49 @@
+"""Unit tests for the repro-hmeans command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestHgmTables:
+    @pytest.mark.parametrize("table", ["table4", "table5", "table6"])
+    def test_table_commands_print_published_columns(self, table, capsys):
+        assert main([table]) == 0
+        output = capsys.readouterr().out
+        assert "paper A" in output
+        assert "Geometric Mean" in output
+        for k in range(2, 9):
+            assert f"{k} Clusters" in output
+
+    def test_table4_values(self, capsys):
+        main(["table4"])
+        output = capsys.readouterr().out
+        assert "2.89" in output  # the k=4 peak row
+
+
+class TestTable3:
+    def test_speedup_table_regenerates(self, capsys):
+        assert main(["--seed", "3", "table3"]) == 0
+        output = capsys.readouterr().out
+        assert "jvm98.201.compress" in output
+        assert "Geometric Mean" in output
+
+
+class TestGaming:
+    def test_gaming_demonstration(self, capsys):
+        assert main(["gaming", "--factor", "2.0"]) == 0
+        output = capsys.readouterr().out
+        assert "gaming resistance" in output
+        assert "plain GM" in output
+
+
+class TestParser:
+    def test_missing_command_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["tablex"])

@@ -1,0 +1,56 @@
+"""Quality gate: every public item in the library is documented."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_MODULES = sorted(
+    name
+    for __, name, ___ in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    )
+    if not any(part.startswith("_") for part in name.split("."))
+)
+
+
+def _public_members(module):
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [n for n in vars(module) if not n.startswith("_")]
+    for name in names:
+        member = getattr(module, name)
+        # Only inspect things defined in this package.
+        defined_in = getattr(member, "__module__", "")
+        if isinstance(defined_in, str) and defined_in.startswith("repro"):
+            yield name, member
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, member in _public_members(module):
+        if inspect.isclass(member) or inspect.isfunction(member):
+            if not inspect.getdoc(member):
+                undocumented.append(name)
+            if inspect.isclass(member):
+                for attr_name, attr in vars(member).items():
+                    if attr_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(attr) and not inspect.getdoc(attr):
+                        undocumented.append(f"{name}.{attr_name}")
+    assert not undocumented, (
+        f"{module_name}: undocumented public items: {undocumented}"
+    )

@@ -1,0 +1,68 @@
+"""Contract tests for the exception hierarchy.
+
+Callers are promised that (a) every intentional error is a
+:class:`ReproError`, and (b) value-style errors also subclass
+:class:`ValueError` (and convergence failures :class:`RuntimeError`),
+so pre-existing generic handlers keep working.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    CharacterizationError,
+    ClusteringError,
+    ConvergenceError,
+    MeasurementError,
+    PartitionError,
+    ReproError,
+    SOMError,
+    SuiteError,
+)
+
+VALUE_STYLE = (
+    MeasurementError,
+    PartitionError,
+    CharacterizationError,
+    ClusteringError,
+    SOMError,
+    SuiteError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", VALUE_STYLE + (ConvergenceError,))
+    def test_everything_is_a_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    @pytest.mark.parametrize("exc", VALUE_STYLE)
+    def test_value_style_errors_subclass_valueerror(self, exc):
+        assert issubclass(exc, ValueError)
+
+    def test_convergence_error_is_a_runtime_error(self):
+        assert issubclass(ConvergenceError, RuntimeError)
+
+    def test_base_catch_works_across_subsystems(self):
+        """One except-clause at an API boundary catches them all."""
+        from repro.core.means import geometric_mean
+        from repro.core.partition import Partition
+        from repro.som.grid import Grid
+
+        failures = 0
+        for action in (
+            lambda: geometric_mean([]),
+            lambda: Partition([]),
+            lambda: Grid(0, 0),
+        ):
+            try:
+                action()
+            except ReproError:
+                failures += 1
+        assert failures == 3
+
+    def test_catching_valueerror_still_works(self):
+        from repro.core.means import geometric_mean
+
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])

@@ -1,0 +1,53 @@
+"""Smoke tests for the top-level public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version_is_set(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_snippet_from_readme(self):
+        """The README's quickstart must keep working verbatim."""
+        from repro import Partition, geometric_mean, hierarchical_geometric_mean
+
+        scores = {
+            "fft": 1.10,
+            "lu": 1.05,
+            "sor": 1.08,
+            "compiler": 3.90,
+            "database": 2.40,
+        }
+        plain = geometric_mean(list(scores.values()))
+        clusters = Partition(
+            [["fft", "lu", "sor"], ["compiler"], ["database"]]
+        )
+        hgm = hierarchical_geometric_mean(scores, clusters)
+        assert plain == pytest.approx(1.63, abs=0.01)
+        assert hgm == pytest.approx(2.16, abs=0.01)
+        assert hgm > plain  # redundancy correction lifts this suite
+
+    def test_module_docstring_example(self):
+        """The package docstring's doctest value."""
+        from repro import Partition, hierarchical_geometric_mean
+
+        scores = {"fft": 1.1, "lu": 1.2, "javac": 4.0}
+        hgm = hierarchical_geometric_mean(
+            scores, Partition([["fft", "lu"], ["javac"]])
+        )
+        assert round(hgm, 3) == 2.144
+
+    def test_base_exception_importable_from_top_level(self):
+        from repro import ReproError
+        from repro.core.means import geometric_mean
+
+        with pytest.raises(ReproError):
+            geometric_mean([])

@@ -1,0 +1,121 @@
+"""Round-trip tests for the JSON serialization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.core.partition import Partition
+from repro.data.partitions import TABLE4_PARTITIONS
+from repro.exceptions import ReproError
+from repro.serialization import (
+    analysis_result_to_dict,
+    chain_from_dict,
+    chain_to_dict,
+    dendrogram_from_dict,
+    dendrogram_to_dict,
+    load_json,
+    partition_from_dict,
+    partition_to_dict,
+    save_json,
+)
+from repro.som.som import SOMConfig
+
+
+class TestPartitionRoundTrip:
+    def test_round_trip(self):
+        partition = Partition([["a", "b"], ["c"]])
+        assert partition_from_dict(partition_to_dict(partition)) == partition
+
+    def test_recovered_table4_partitions_round_trip(self):
+        for partition in TABLE4_PARTITIONS.values():
+            data = partition_to_dict(partition)
+            assert partition_from_dict(data) == partition
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ReproError, match="not a serialized partition"):
+            partition_from_dict({"type": "something-else"})
+
+
+class TestDendrogramRoundTrip:
+    @pytest.fixture()
+    def dendrogram(self):
+        points = np.array([[0.0], [0.2], [5.0], [5.3]])
+        return AgglomerativeClustering().fit(
+            points, labels=["a", "b", "c", "d"]
+        )
+
+    def test_round_trip_preserves_structure(self, dendrogram):
+        recovered = dendrogram_from_dict(dendrogram_to_dict(dendrogram))
+        assert recovered.labels == dendrogram.labels
+        assert recovered.merges == dendrogram.merges
+        for k in range(1, 5):
+            assert recovered.cut_to_k(k) == dendrogram.cut_to_k(k)
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ReproError, match="not a serialized dendrogram"):
+            dendrogram_from_dict({"type": "partition"})
+
+
+class TestChainRoundTrip:
+    def test_round_trip(self):
+        recovered = chain_from_dict(chain_to_dict(dict(TABLE4_PARTITIONS)))
+        assert recovered == dict(TABLE4_PARTITIONS)
+
+    def test_keys_are_ints_after_round_trip(self):
+        recovered = chain_from_dict(chain_to_dict(dict(TABLE4_PARTITIONS)))
+        assert all(isinstance(k, int) for k in recovered)
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ReproError, match="not a serialized partition chain"):
+            chain_from_dict({"type": "partition"})
+
+
+class TestAnalysisResultExport:
+    @pytest.fixture(scope="class")
+    def result(self, paper_suite):
+        pipeline = WorkloadAnalysisPipeline(
+            characterization="methods",
+            machine=None,
+            som_config=SOMConfig(rows=6, columns=6, steps_per_sample=120, seed=2),
+        )
+        return pipeline.run(paper_suite)
+
+    def test_export_is_json_serializable(self, result, tmp_path):
+        data = analysis_result_to_dict(result)
+        target = tmp_path / "result.json"
+        save_json(data, target)
+        loaded = load_json(target)
+        assert loaded == data
+
+    def test_export_contents(self, result):
+        data = analysis_result_to_dict(result)
+        assert data["characterization"] == "methods"
+        assert data["recommended_clusters"] == result.recommended_clusters
+        assert len(data["cuts"]) == len(result.cuts)
+        assert set(data["positions"]) == set(result.positions)
+
+    def test_exported_dendrogram_reconstructs(self, result):
+        data = analysis_result_to_dict(result)
+        recovered = dendrogram_from_dict(data["dendrogram"])
+        assert recovered.labels == result.dendrogram.labels
+
+    def test_exported_cut_partitions_reconstruct(self, result):
+        data = analysis_result_to_dict(result)
+        for entry in data["cuts"]:
+            partition = Partition(entry["partition"])
+            assert partition == result.cut(entry["clusters"]).partition
+
+
+class TestFileHelpers:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError, match="no such file"):
+            load_json(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_json(bad)

@@ -1,0 +1,98 @@
+"""Unit + recovery tests for the planted-structure generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.cluster.metrics import adjusted_rand_index
+from repro.exceptions import MeasurementError
+from repro.som.som import SelfOrganizingMap, SOMConfig
+from repro.synthetic import planted_characteristics, planted_scores
+
+
+class TestPlantedCharacteristics:
+    def test_shapes(self):
+        problem = planted_characteristics(clusters=3, per_cluster=4, dimensions=6)
+        assert problem.points.shape == (12, 6)
+        assert len(problem.labels) == 12
+        assert problem.num_clusters == 3
+
+    def test_truth_partition_matches_label_prefixes(self):
+        problem = planted_characteristics(clusters=2, per_cluster=3)
+        for block in problem.truth.blocks:
+            prefixes = {label.split("w")[0] for label in block}
+            assert len(prefixes) == 1
+
+    def test_deterministic(self):
+        first = planted_characteristics(seed=5)
+        second = planted_characteristics(seed=5)
+        assert np.allclose(first.points, second.points)
+
+    def test_separation_controls_geometry(self):
+        tight = planted_characteristics(separation=2.0, noise=0.1, seed=1)
+        wide = planted_characteristics(separation=20.0, noise=0.1, seed=1)
+        # Wider separation -> larger spread of the whole cloud.
+        assert wide.points.std() > tight.points.std()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(MeasurementError):
+            planted_characteristics(clusters=0)
+        with pytest.raises(MeasurementError):
+            planted_characteristics(dimensions=0)
+        with pytest.raises(MeasurementError):
+            planted_characteristics(separation=-1.0)
+
+
+class TestPlantedScores:
+    def test_cluster_levels_are_ordered(self):
+        problem = planted_characteristics(clusters=3, per_cluster=2, seed=2)
+        scores = planted_scores(problem, noise=0.0, seed=2)
+        levels = [
+            np.mean([scores[label] for label in block])
+            for block in problem.truth.blocks
+        ]
+        assert levels == sorted(levels)
+
+    def test_zero_noise_members_share_level(self):
+        problem = planted_characteristics(clusters=2, per_cluster=3, seed=3)
+        scores = planted_scores(problem, noise=0.0)
+        for block in problem.truth.blocks:
+            values = {round(scores[label], 12) for label in block}
+            assert len(values) == 1
+
+    def test_rejects_bad_parameters(self):
+        problem = planted_characteristics(seed=0)
+        with pytest.raises(MeasurementError):
+            planted_scores(problem, base=0.0)
+        with pytest.raises(MeasurementError):
+            planted_scores(problem, noise=-0.1)
+
+
+class TestPipelineRecovery:
+    """The from-scratch clustering stack must recover planted truth."""
+
+    def test_agglomerative_recovers_planted_partition(self):
+        problem = planted_characteristics(
+            clusters=4, per_cluster=4, separation=8.0, noise=0.4, seed=7
+        )
+        dendrogram = AgglomerativeClustering().fit(
+            problem.points, labels=list(problem.labels)
+        )
+        recovered = dendrogram.cut_to_k(problem.num_clusters)
+        assert adjusted_rand_index(recovered, problem.truth) == pytest.approx(1.0)
+
+    def test_som_then_clustering_recovers_planted_partition(self):
+        problem = planted_characteristics(
+            clusters=3, per_cluster=4, separation=10.0, noise=0.3, seed=9
+        )
+        som = SelfOrganizingMap(
+            SOMConfig(rows=7, columns=7, steps_per_sample=300, seed=9)
+        ).fit(problem.points)
+        cells = som.project(problem.points).astype(float)
+        dendrogram = AgglomerativeClustering().fit(
+            cells, labels=list(problem.labels)
+        )
+        recovered = dendrogram.cut_to_k(problem.num_clusters)
+        assert adjusted_rand_index(recovered, problem.truth) > 0.9

@@ -1,0 +1,78 @@
+"""Unit tests for the table formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.table3 import SPEEDUP_TABLE
+from repro.data.tables456 import TABLE4_HGM
+from repro.exceptions import ReproError
+from repro.viz.tables import format_hgm_table, format_speedup_table, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        rendered = format_table(["Name", "Value"], [("x", 1.0)])
+        lines = rendered.splitlines()
+        assert lines[0].startswith("Name")
+        assert set(lines[1]) <= {"-", " "}
+        assert "1.00" in lines[2]
+
+    def test_floats_rendered_to_two_decimals(self):
+        rendered = format_table(["a"], [(1.23456,)])
+        assert "1.23" in rendered
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ReproError, match="row width"):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ReproError, match="no headers"):
+            format_table([], [])
+
+    def test_empty_rows_allowed(self):
+        rendered = format_table(["a"], [])
+        assert rendered.splitlines()[0] == "a"
+
+
+class TestFormatSpeedupTable:
+    def test_contains_all_workloads_and_summary(self):
+        rendered = format_speedup_table(SPEEDUP_TABLE)
+        for name in SPEEDUP_TABLE["A"]:
+            assert name in rendered
+        assert "Geometric Mean" in rendered
+        assert "2.10" in rendered and "1.94" in rendered
+
+    def test_missing_machine(self):
+        with pytest.raises(ReproError, match="no column"):
+            format_speedup_table({"A": SPEEDUP_TABLE["A"]})
+
+    def test_workload_mismatch(self):
+        with pytest.raises(ReproError, match="different workloads"):
+            format_speedup_table(
+                {"A": {"x": 1.0}, "B": {"y": 1.0}}
+            )
+
+
+class TestFormatHgmTable:
+    def test_rows_and_footer(self):
+        measured = {2: (2.58, 2.06), 3: (2.62, 2.18)}
+        rendered = format_hgm_table(measured, plain=(2.10, 1.94))
+        assert "2 Clusters" in rendered
+        assert "3 Clusters" in rendered
+        assert "Geometric Mean" in rendered
+
+    def test_published_columns(self):
+        measured = {2: (2.58, 2.06)}
+        rendered = format_hgm_table(measured, published=TABLE4_HGM)
+        assert "paper A" in rendered
+        assert "1.25" in rendered  # published ratio for k=2
+
+    def test_published_gap_shows_dash(self):
+        measured = {9: (2.0, 2.0)}
+        rendered = format_hgm_table(measured, published=TABLE4_HGM)
+        assert "-" in rendered.splitlines()[-1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError, match="no measured rows"):
+            format_hgm_table({})

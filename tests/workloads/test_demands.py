@@ -1,0 +1,98 @@
+"""Unit tests for the workload demand profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.table3 import WORKLOAD_NAMES
+from repro.exceptions import SuiteError
+from repro.workloads.demands import PAPER_DEMANDS, WorkloadDemands, demands_for
+
+
+class TestCoverage:
+    def test_every_paper_workload_has_demands(self):
+        assert set(PAPER_DEMANDS) == set(WORKLOAD_NAMES)
+
+    def test_lookup(self):
+        assert demands_for("SciMark2.FFT").fp_intensity > 0.5
+
+    def test_unknown_lookup(self):
+        with pytest.raises(SuiteError, match="no demand profile"):
+            demands_for("SPECmail")
+
+
+class TestProfileShape:
+    def test_scimark_profiles_are_mutually_similar(self):
+        """The paper's central premise: SciMark2 kernels are redundant.
+        Their demand vectors must be closer to each other than to any
+        non-SciMark workload."""
+        scimark = [n for n in PAPER_DEMANDS if n.startswith("SciMark2.")]
+        others = [n for n in PAPER_DEMANDS if not n.startswith("SciMark2.")]
+        vectors = {n: PAPER_DEMANDS[n].as_vector() for n in PAPER_DEMANDS}
+        max_intra = max(
+            np.linalg.norm(vectors[a] - vectors[b])
+            for a in scimark
+            for b in scimark
+            if a < b
+        )
+        min_inter = min(
+            np.linalg.norm(vectors[a] - vectors[b])
+            for a in scimark
+            for b in others
+        )
+        assert max_intra < min_inter
+
+    def test_scimark_is_numeric_and_allocation_light(self):
+        for name in PAPER_DEMANDS:
+            if name.startswith("SciMark2."):
+                demands = PAPER_DEMANDS[name]
+                assert demands.fp_intensity > 0.8
+                assert demands.allocation_rate < 0.1
+                assert demands.io_intensity == 0.0
+
+    def test_dacapo_is_heap_heavy(self):
+        """DaCapo was included for GC research: big heaps, high allocation."""
+        for name in ("DaCapo.hsqldb", "DaCapo.chart", "DaCapo.xalan"):
+            demands = PAPER_DEMANDS[name]
+            assert demands.working_set_mb > 100.0
+            assert demands.allocation_rate > 0.7
+
+    def test_hsqldb_working_set_exceeds_machine_b_comfort(self):
+        """hsqldb's 350 MB working set crowds machine B's 512 MB — the
+        mechanism behind its 0.50 A/B ratio in Table III."""
+        assert PAPER_DEMANDS["DaCapo.hsqldb"].working_set_mb > 300.0
+
+    def test_mtrt_is_the_threaded_workload(self):
+        assert PAPER_DEMANDS["jvm98.227.mtrt"].thread_parallelism > 1.0
+        singles = [
+            n
+            for n, d in PAPER_DEMANDS.items()
+            if d.thread_parallelism == 1.0 and n.startswith("jvm98")
+        ]
+        assert len(singles) == 4
+
+
+class TestValidation:
+    def test_rejects_negative_axis(self):
+        with pytest.raises(SuiteError, match="finite and >= 0"):
+            WorkloadDemands(
+                integer_intensity=-0.1,
+                fp_intensity=0.5,
+                working_set_mb=1.0,
+                memory_irregularity=0.5,
+                allocation_rate=0.5,
+                io_intensity=0.0,
+                code_footprint=0.5,
+                thread_parallelism=1.0,
+            )
+
+    def test_as_vector_is_fixed_width(self):
+        vector = demands_for("jvm98.202.jess").as_vector()
+        assert vector.shape == (8,)
+        assert np.all(np.isfinite(vector))
+
+    def test_as_vector_log_scales_working_set(self):
+        demands = demands_for("DaCapo.hsqldb")
+        vector = demands.as_vector()
+        assert vector[2] == pytest.approx(np.log10(1.0 + demands.working_set_mb))

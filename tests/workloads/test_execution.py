@@ -1,0 +1,182 @@
+"""Unit tests for the performance models and execution simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.table3 import SPEEDUP_TABLE, WORKLOAD_NAMES
+from repro.exceptions import MeasurementError, SuiteError
+from repro.workloads.execution import (
+    REFERENCE_TIMES,
+    AnalyticPerformanceModel,
+    CalibratedPerformanceModel,
+    ExecutionSimulator,
+    RunSample,
+)
+from repro.workloads.machines import MACHINE_A, MACHINE_B, REFERENCE_MACHINE, MachineSpec
+
+
+class TestCalibratedModel:
+    def test_reference_time_round_trips(self):
+        model = CalibratedPerformanceModel()
+        assert model.expected_time("SciMark2.FFT", REFERENCE_MACHINE) == (
+            REFERENCE_TIMES["SciMark2.FFT"]
+        )
+
+    def test_expected_time_encodes_published_speedup(self):
+        model = CalibratedPerformanceModel()
+        for name in WORKLOAD_NAMES:
+            time_a = model.expected_time(name, MACHINE_A)
+            expected = REFERENCE_TIMES[name] / SPEEDUP_TABLE["A"][name]
+            assert time_a == pytest.approx(expected)
+
+    def test_unknown_workload(self):
+        with pytest.raises(SuiteError, match="no reference time"):
+            CalibratedPerformanceModel().expected_time("nope", MACHINE_A)
+
+    def test_unknown_machine(self):
+        stranger = MachineSpec(
+            name="C",
+            cpu="x",
+            clock_ghz=2.0,
+            l2_cache_mb=1.0,
+            bus_mhz=100,
+            memory_gb=1.0,
+            os="linux",
+            jvm="jvm",
+        )
+        with pytest.raises(SuiteError, match="no published speedup"):
+            CalibratedPerformanceModel().expected_time("SciMark2.FFT", stranger)
+
+    def test_rejects_non_positive_reference_time(self):
+        with pytest.raises(MeasurementError, match="positive"):
+            CalibratedPerformanceModel(reference_times={"x": 0.0})
+
+
+class TestAnalyticModel:
+    def test_all_paper_workloads_have_positive_times(self):
+        model = AnalyticPerformanceModel()
+        for name in WORKLOAD_NAMES:
+            for machine in (MACHINE_A, MACHINE_B, REFERENCE_MACHINE):
+                assert model.expected_time(name, machine) > 0.0
+
+    def test_faster_machine_is_faster_on_compute_bound_work(self):
+        model = AnalyticPerformanceModel()
+        for name in ("SciMark2.LU", "jvm98.201.compress"):
+            assert model.expected_time(name, MACHINE_A) < model.expected_time(
+                name, REFERENCE_MACHINE
+            )
+
+    def test_bigger_cache_never_hurts(self):
+        """Monotonicity: growing the L2 cannot increase expected time."""
+        model = AnalyticPerformanceModel()
+        small = MachineSpec(
+            name="small$", cpu="x", clock_ghz=3.0, l2_cache_mb=0.25,
+            bus_mhz=800, memory_gb=2.0, os="l", jvm="j",
+            compute_throughput=3.0, memory_bandwidth=2.0,
+        )
+        big = MachineSpec(
+            name="big$", cpu="x", clock_ghz=3.0, l2_cache_mb=8.0,
+            bus_mhz=800, memory_gb=2.0, os="l", jvm="j",
+            compute_throughput=3.0, memory_bandwidth=2.0,
+        )
+        for name in WORKLOAD_NAMES:
+            assert model.expected_time(name, big) <= model.expected_time(
+                name, small
+            ) + 1e-12
+
+    def test_memory_pressure_penalizes_hsqldb_on_machine_b(self):
+        """The analytic model must reproduce the Table III inversion:
+        hsqldb is *relatively* worse on the 512 MB machine B than
+        compute-bound work is."""
+        model = AnalyticPerformanceModel()
+        hsqldb_ratio = model.expected_time(
+            "DaCapo.hsqldb", MACHINE_A
+        ) / model.expected_time("DaCapo.hsqldb", MACHINE_B)
+        compress_ratio = model.expected_time(
+            "jvm98.201.compress", MACHINE_A
+        ) / model.expected_time("jvm98.201.compress", MACHINE_B)
+        # Lower time ratio == machine A relatively better.
+        assert hsqldb_ratio < compress_ratio
+
+    def test_extra_core_helps_mtrt_only(self):
+        model = AnalyticPerformanceModel()
+        single = MachineSpec(
+            name="uni$", cpu="x", clock_ghz=3.0, l2_cache_mb=2.0,
+            bus_mhz=800, memory_gb=2.0, os="l", jvm="j",
+            compute_throughput=3.0, memory_bandwidth=2.0, cores=1,
+        )
+        dual = MachineSpec(
+            name="duo$", cpu="x", clock_ghz=3.0, l2_cache_mb=2.0,
+            bus_mhz=800, memory_gb=2.0, os="l", jvm="j",
+            compute_throughput=3.0, memory_bandwidth=2.0, cores=2,
+        )
+        mtrt_gain = model.expected_time(
+            "jvm98.227.mtrt", single
+        ) / model.expected_time("jvm98.227.mtrt", dual)
+        compress_gain = model.expected_time(
+            "jvm98.201.compress", single
+        ) / model.expected_time("jvm98.201.compress", dual)
+        assert mtrt_gain > 1.0
+        assert compress_gain == pytest.approx(1.0)
+
+    def test_rejects_bad_work_scale(self):
+        with pytest.raises(MeasurementError, match="work_scale"):
+            AnalyticPerformanceModel(work_scale=0.0)
+
+    def test_unknown_workload(self):
+        with pytest.raises(SuiteError, match="no demand profile"):
+            AnalyticPerformanceModel().expected_time("nope", MACHINE_A)
+
+
+class TestRunSample:
+    def test_mean_time(self):
+        sample = RunSample("w", "A", (1.0, 2.0, 3.0))
+        assert sample.mean_time == pytest.approx(2.0)
+        assert sample.num_runs == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(MeasurementError, match="no run times"):
+            RunSample("w", "A", ())
+
+    def test_rejects_non_positive_time(self):
+        with pytest.raises(MeasurementError, match="positive"):
+            RunSample("w", "A", (1.0, 0.0))
+
+
+class TestExecutionSimulator:
+    def test_run_count(self):
+        sample = ExecutionSimulator(seed=0).run("SciMark2.FFT", MACHINE_A, runs=10)
+        assert sample.num_runs == 10
+        assert sample.machine == "A"
+
+    def test_zero_noise_is_exact(self):
+        simulator = ExecutionSimulator(noise=0.0, seed=0)
+        sample = simulator.run("SciMark2.FFT", REFERENCE_MACHINE, runs=3)
+        assert all(t == REFERENCE_TIMES["SciMark2.FFT"] for t in sample.times)
+
+    def test_noise_scale(self):
+        simulator = ExecutionSimulator(noise=0.02, seed=1)
+        sample = simulator.run("SciMark2.FFT", REFERENCE_MACHINE, runs=200)
+        cv = np.std(sample.times) / np.mean(sample.times)
+        assert cv == pytest.approx(0.02, rel=0.4)
+
+    def test_deterministic_with_seed(self):
+        first = ExecutionSimulator(seed=5).run("SciMark2.LU", MACHINE_B)
+        second = ExecutionSimulator(seed=5).run("SciMark2.LU", MACHINE_B)
+        assert first.times == second.times
+
+    def test_measure_suite_covers_all_workloads(self, paper_suite):
+        samples = ExecutionSimulator(seed=2).measure_suite(
+            paper_suite, MACHINE_A, runs=2
+        )
+        assert set(samples) == set(paper_suite.workload_names)
+
+    def test_rejects_zero_runs(self):
+        with pytest.raises(MeasurementError, match="at least one run"):
+            ExecutionSimulator().run("SciMark2.FFT", MACHINE_A, runs=0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(MeasurementError, match="noise"):
+            ExecutionSimulator(noise=-0.1)

@@ -1,0 +1,95 @@
+"""Unit tests for the Table II machine specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SuiteError
+from repro.workloads.machines import (
+    MACHINE_A,
+    MACHINE_B,
+    REFERENCE_MACHINE,
+    MachineSpec,
+    machine,
+)
+
+
+class TestTableIIValues:
+    def test_machine_a_spec(self):
+        assert MACHINE_A.l2_cache_mb == 2.0
+        assert MACHINE_A.memory_gb == 2.0
+        assert MACHINE_A.clock_ghz == 3.0
+        assert MACHINE_A.cores == 2  # dual Xeon
+
+    def test_machine_b_spec(self):
+        assert MACHINE_B.l2_cache_mb == 0.5  # 512 KB
+        assert MACHINE_B.memory_gb == 0.5  # 512 MB
+        assert MACHINE_B.cores == 1
+
+    def test_reference_machine_spec(self):
+        assert REFERENCE_MACHINE.clock_ghz == 1.2
+        assert REFERENCE_MACHINE.l2_cache_mb == 8.0
+        assert REFERENCE_MACHINE.compute_throughput == 1.0
+
+    def test_machine_a_outperforms_reference(self):
+        assert MACHINE_A.compute_throughput > REFERENCE_MACHINE.compute_throughput
+
+    def test_machine_a_has_more_cache_than_b(self):
+        assert MACHINE_A.l2_cache_mb > MACHINE_B.l2_cache_mb
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert machine("A") is MACHINE_A
+        assert machine("B") is MACHINE_B
+        assert machine("reference") is REFERENCE_MACHINE
+
+    def test_unknown(self):
+        with pytest.raises(SuiteError, match="unknown machine"):
+            machine("C")
+
+
+class TestValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(SuiteError, match="empty name"):
+            MachineSpec(
+                name="",
+                cpu="x",
+                clock_ghz=1.0,
+                l2_cache_mb=1.0,
+                bus_mhz=100,
+                memory_gb=1.0,
+                os="linux",
+                jvm="jvm",
+            )
+
+    def test_rejects_zero_clock(self):
+        with pytest.raises(SuiteError, match="clock_ghz"):
+            MachineSpec(
+                name="x",
+                cpu="x",
+                clock_ghz=0.0,
+                l2_cache_mb=1.0,
+                bus_mhz=100,
+                memory_gb=1.0,
+                os="linux",
+                jvm="jvm",
+            )
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(SuiteError, match="cores"):
+            MachineSpec(
+                name="x",
+                cpu="x",
+                clock_ghz=1.0,
+                l2_cache_mb=1.0,
+                bus_mhz=100,
+                memory_gb=1.0,
+                os="linux",
+                jvm="jvm",
+                cores=0,
+            )
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            MACHINE_A.clock_ghz = 4.0

@@ -1,0 +1,93 @@
+"""Unit tests for the what-if scenario machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SuiteError
+from repro.workloads.execution import AnalyticPerformanceModel
+from repro.workloads.machines import MACHINE_A
+from repro.workloads.scenarios import (
+    BIG_CACHE_VARIANT,
+    BIG_MEMORY_VARIANT,
+    LOW_POWER_NETBOOK,
+    MANY_CORE_VARIANT,
+    SCENARIO_MACHINES,
+    scenario_machine,
+)
+
+
+class TestVariantsDifferOnOneAxis:
+    def test_big_cache_only_changes_cache(self):
+        assert BIG_CACHE_VARIANT.l2_cache_mb > MACHINE_A.l2_cache_mb
+        assert BIG_CACHE_VARIANT.memory_gb == MACHINE_A.memory_gb
+        assert BIG_CACHE_VARIANT.cores == MACHINE_A.cores
+        assert BIG_CACHE_VARIANT.compute_throughput == (
+            MACHINE_A.compute_throughput
+        )
+
+    def test_big_memory_only_changes_memory(self):
+        assert BIG_MEMORY_VARIANT.memory_gb > MACHINE_A.memory_gb
+        assert BIG_MEMORY_VARIANT.l2_cache_mb == MACHINE_A.l2_cache_mb
+
+    def test_many_core_only_changes_cores(self):
+        assert MANY_CORE_VARIANT.cores > MACHINE_A.cores
+        assert MANY_CORE_VARIANT.l2_cache_mb == MACHINE_A.l2_cache_mb
+
+
+class TestAnalyticConsequences:
+    """Each axis must help exactly the workloads it should."""
+
+    def test_bigger_cache_helps_spilling_workloads_most(self):
+        model = AnalyticPerformanceModel()
+        def gain(name):
+            return model.expected_time(name, MACHINE_A) / model.expected_time(
+                name, BIG_CACHE_VARIANT
+            )
+        # compress streams a 20 MB working set; MonteCarlo fits in cache.
+        assert gain("jvm98.201.compress") > gain("SciMark2.MonteCarlo")
+
+    def test_more_memory_helps_hsqldb_most(self):
+        model = AnalyticPerformanceModel()
+        def gain(name):
+            return model.expected_time(name, MACHINE_A) / model.expected_time(
+                name, BIG_MEMORY_VARIANT
+            )
+        assert gain("DaCapo.hsqldb") > gain("SciMark2.LU")
+
+    def test_cores_beyond_suite_parallelism_are_wasted(self):
+        """Machine A already has 2 cores and no suite workload exceeds
+        2-way parallelism, so 8 cores change nothing — the analytic
+        model correctly refuses to reward unusable hardware."""
+        model = AnalyticPerformanceModel()
+        from repro.data.table3 import WORKLOAD_NAMES
+
+        for name in WORKLOAD_NAMES:
+            assert model.expected_time(name, MANY_CORE_VARIANT) == (
+                pytest.approx(model.expected_time(name, MACHINE_A))
+            )
+
+    def test_netbook_is_slower_across_the_board(self):
+        model = AnalyticPerformanceModel()
+        for name in ("SciMark2.FFT", "DaCapo.hsqldb", "jvm98.213.javac"):
+            assert model.expected_time(name, LOW_POWER_NETBOOK) > (
+                model.expected_time(name, MACHINE_A)
+            )
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert scenario_machine("netbook") is LOW_POWER_NETBOOK
+        assert scenario_machine("A+cache") is BIG_CACHE_VARIANT
+
+    def test_unknown(self):
+        with pytest.raises(SuiteError, match="unknown scenario"):
+            scenario_machine("mainframe")
+
+    def test_registry_complete(self):
+        assert set(SCENARIO_MACHINES) == {
+            "A+cache",
+            "A+memory",
+            "A+cores",
+            "netbook",
+        }

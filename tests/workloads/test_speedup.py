@@ -1,0 +1,77 @@
+"""Unit tests for speedup normalization (the Table III code path)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.means import geometric_mean
+from repro.data.table3 import SPEEDUP_TABLE
+from repro.exceptions import MeasurementError
+from repro.workloads.execution import ExecutionSimulator, RunSample
+from repro.workloads.machines import MACHINE_A, MACHINE_B
+from repro.workloads.speedup import speedup, speedup_column, speedup_table
+
+
+class TestSpeedup:
+    def test_basic_ratio(self):
+        reference = RunSample("w", "reference", (10.0, 10.0))
+        machine = RunSample("w", "A", (2.0, 2.0))
+        assert speedup(reference, machine) == pytest.approx(5.0)
+
+    def test_workload_mismatch_rejected(self):
+        reference = RunSample("w1", "reference", (10.0,))
+        machine = RunSample("w2", "A", (2.0,))
+        with pytest.raises(MeasurementError, match="different workloads"):
+            speedup(reference, machine)
+
+
+class TestSpeedupColumn:
+    def test_column_values(self):
+        reference = {
+            "x": RunSample("x", "reference", (10.0,)),
+            "y": RunSample("y", "reference", (20.0,)),
+        }
+        machine = {
+            "x": RunSample("x", "A", (5.0,)),
+            "y": RunSample("y", "A", (4.0,)),
+        }
+        column = speedup_column(reference, machine)
+        assert column == {"x": pytest.approx(2.0), "y": pytest.approx(5.0)}
+
+    def test_workload_set_mismatch(self):
+        reference = {"x": RunSample("x", "reference", (1.0,))}
+        machine = {"y": RunSample("y", "A", (1.0,))}
+        with pytest.raises(MeasurementError, match="different workloads"):
+            speedup_column(reference, machine)
+
+
+class TestSpeedupTable:
+    def test_regenerates_table3_within_noise(self, paper_suite):
+        """The full Section IV-B protocol over the calibrated model must
+        land on the published Table III speedups to within the
+        simulated measurement noise."""
+        simulator = ExecutionSimulator(seed=7)
+        table = speedup_table(
+            simulator, paper_suite, [MACHINE_A, MACHINE_B], runs=10
+        )
+        for machine_name in ("A", "B"):
+            for name, published in SPEEDUP_TABLE[machine_name].items():
+                measured = table[machine_name][name]
+                assert measured == pytest.approx(published, rel=0.05)
+
+    def test_plain_gm_summary_row(self, paper_suite):
+        """The regenerated suite-level GMs match the paper's 2.10/1.94."""
+        simulator = ExecutionSimulator(seed=7)
+        table = speedup_table(
+            simulator, paper_suite, [MACHINE_A, MACHINE_B], runs=10
+        )
+        assert geometric_mean(list(table["A"].values())) == pytest.approx(
+            2.10, abs=0.05
+        )
+        assert geometric_mean(list(table["B"].values())) == pytest.approx(
+            1.94, abs=0.05
+        )
+
+    def test_rejects_no_machines(self, paper_suite):
+        with pytest.raises(MeasurementError, match="no target machines"):
+            speedup_table(ExecutionSimulator(), paper_suite, [])

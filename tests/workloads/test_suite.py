@@ -1,0 +1,109 @@
+"""Unit tests for the benchmark suite model (Table I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partition import Partition
+from repro.exceptions import SuiteError
+from repro.workloads.suite import BenchmarkSuite, Workload
+
+
+class TestWorkload:
+    def test_fields(self):
+        workload = Workload("x", "S", "1.0", "small", "desc")
+        assert workload.name == "x"
+        assert workload.source_suite == "S"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SuiteError, match="empty name"):
+            Workload("", "S", "1.0", "small", "desc")
+
+    def test_rejects_empty_source(self):
+        with pytest.raises(SuiteError, match="source suite"):
+            Workload("x", "", "1.0", "small", "desc")
+
+
+class TestPaperSuite:
+    def test_has_13_workloads(self, paper_suite):
+        assert len(paper_suite) == 13
+
+    def test_source_composition_matches_table1(self, paper_suite):
+        """5 SPECjvm98 + 5 SciMark2 + 3 DaCapo."""
+        assert len(paper_suite.from_source("SPECjvm98")) == 5
+        assert len(paper_suite.from_source("SciMark2")) == 5
+        assert len(paper_suite.from_source("DaCapo")) == 3
+
+    def test_workload_lookup(self, paper_suite):
+        workload = paper_suite.workload("SciMark2.FFT")
+        assert workload.source_suite == "SciMark2"
+        assert workload.input_set == "regular"
+
+    def test_unknown_workload(self, paper_suite):
+        with pytest.raises(SuiteError, match="no workload named"):
+            paper_suite.workload("SPECweb")
+
+    def test_names_match_table3(self, paper_suite):
+        from repro.data.table3 import WORKLOAD_NAMES
+
+        assert set(paper_suite.workload_names) == set(WORKLOAD_NAMES)
+
+    def test_contains_protocol(self, paper_suite):
+        assert "DaCapo.xalan" in paper_suite
+        assert "nonesuch" not in paper_suite
+
+
+class TestSourcePartition:
+    def test_three_blocks(self, paper_suite):
+        partition = paper_suite.source_partition()
+        assert partition.num_blocks == 3
+        assert sorted(partition.block_sizes) == [3, 5, 5]
+
+    def test_scimark_block(self, paper_suite, scimark_workloads):
+        partition = paper_suite.source_partition()
+        assert partition.block_of("SciMark2.FFT") == tuple(
+            sorted(scimark_workloads)
+        )
+
+    def test_is_partition_instance(self, paper_suite):
+        assert isinstance(paper_suite.source_partition(), Partition)
+
+
+class TestSuiteOperations:
+    def test_merged_concatenates(self, paper_suite):
+        jvm98 = paper_suite.subset(
+            w.name for w in paper_suite.from_source("SPECjvm98")
+        )
+        scimark = paper_suite.subset(
+            w.name for w in paper_suite.from_source("SciMark2")
+        )
+        merged = BenchmarkSuite.merged("combo", jvm98, scimark)
+        assert len(merged) == 10
+        assert merged.name == "combo"
+
+    def test_merged_rejects_duplicate_names(self, paper_suite):
+        with pytest.raises(SuiteError, match="duplicate"):
+            BenchmarkSuite.merged("broken", paper_suite, paper_suite)
+
+    def test_merged_rejects_empty(self):
+        with pytest.raises(SuiteError, match="no suites"):
+            BenchmarkSuite.merged("nothing")
+
+    def test_subset_preserves_order(self, paper_suite):
+        subset = paper_suite.subset(["DaCapo.xalan", "jvm98.202.jess"])
+        assert subset.workload_names == ("jvm98.202.jess", "DaCapo.xalan")
+
+    def test_subset_unknown_name(self, paper_suite):
+        with pytest.raises(SuiteError, match="unknown workloads"):
+            paper_suite.subset(["nope"])
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(SuiteError, match="at least one"):
+            BenchmarkSuite([])
+
+    def test_from_source_unknown(self, paper_suite):
+        with pytest.raises(SuiteError, match="no workloads from"):
+            paper_suite.from_source("SPECint")
+
+    def test_repr(self, paper_suite):
+        assert "workloads=13" in repr(paper_suite)
