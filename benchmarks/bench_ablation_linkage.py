@@ -1,75 +1,94 @@
 """Ablation — linkage choice (the paper picks complete linkage).
 
-Clusters the same machine-A SOM map under all five linkage rules and
-compares the k = 6 cuts and the resulting HGM scores.  The check: the
-paper's complete linkage isolates SciMark2 at a mid-range cut, and the
-suite score is meaningfully sensitive to the linkage choice — which is
-why the choice must be fixed by the methodology.
+Re-runs the full machine-A analysis under all five linkage rules on
+one shared stage-graph engine: the characterization, preprocessing and
+SOM stages are computed once and served from cache for every other
+linkage, so the sweep pays only for clustering, scoring and the
+recommendation.  The check: the paper's complete linkage isolates
+SciMark2 at a mid-range cut, and the suite score is meaningfully
+sensitive to the linkage choice — which is why the choice must be
+fixed by the methodology.
 """
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from benchmarks._figure_common import pipeline_result
+from benchmarks._figure_common import _SOM_CONFIG
 from benchmarks.conftest import SCIMARK, emit
-from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
 from repro.cluster.linkage import LINKAGES
-from repro.core.hierarchical import hierarchical_geometric_mean
-from repro.data.table3 import speedups_for_machine
+from repro.engine import PipelineEngine
 from repro.viz.tables import format_table
+from repro.workloads.suite import BenchmarkSuite
+
+UPSTREAM_STAGES = ("characterize", "preprocess", "reduce")
+DOWNSTREAM_STAGES = ("cluster", "score_cuts", "recommend")
 
 
-def _hgm_by_linkage(positions):
-    labels = sorted(positions)
-    points = np.array([positions[label] for label in labels], dtype=float)
-    speedups_a = speedups_for_machine("A")
-    speedups_b = speedups_for_machine("B")
-    rows = {}
+def _sweep_linkages(engine, suite):
+    """One full pipeline run per linkage rule, all on ``engine``."""
+    results = {}
     for name in sorted(LINKAGES):
-        dendrogram = AgglomerativeClustering(linkage=name).fit(
-            points, labels=labels
+        pipeline = WorkloadAnalysisPipeline(
+            characterization="sar",
+            machine="A",
+            som_config=_SOM_CONFIG,
+            linkage=name,
+            engine=engine,
         )
-        partition = dendrogram.cut_to_k(6)
-        rows[name] = (
-            hierarchical_geometric_mean(speedups_a, partition),
-            hierarchical_geometric_mean(speedups_b, partition),
-            partition,
-            dendrogram,
-        )
-    return rows
+        results[name] = pipeline.run(suite)
+    return results
 
 
 @pytest.mark.benchmark(group="ablations")
-def test_ablation_linkage_choice(benchmark):
-    result = pipeline_result("sar-A")
-    rows = benchmark(_hgm_by_linkage, result.positions)
+def test_ablation_linkage_choice(benchmark, paper_suite):
+    engine = PipelineEngine()
+    results = benchmark.pedantic(
+        _sweep_linkages, args=(engine, paper_suite), rounds=1, iterations=1
+    )
 
     emit(
-        "Ablation: linkage rule vs 6-cluster HGM (machine A map)",
+        "Ablation: linkage rule vs 6-cluster HGM (machine A map, "
+        "shared stage-graph engine)",
         format_table(
             ["Linkage", "HGM A", "HGM B", "ratio"],
             [
-                (name, a, b, a / b)
-                for name, (a, b, __, ___) in sorted(rows.items())
+                (
+                    name,
+                    result.cut(6).scores["A"],
+                    result.cut(6).scores["B"],
+                    result.cut(6).ratio,
+                )
+                for name, result in sorted(results.items())
             ],
         ),
     )
 
+    # The sweep shares upstream stages: every run after the first hits
+    # the cache for characterize/preprocess/reduce and recomputes only
+    # the linkage-dependent stages.
+    ordered = [results[name] for name in sorted(results)]
+    for stage in UPSTREAM_STAGES + DOWNSTREAM_STAGES:
+        assert not ordered[0].run_report.stats_for(stage).cache_hit, stage
+    for result in ordered[1:]:
+        for stage in UPSTREAM_STAGES:
+            assert result.run_report.stats_for(stage).cache_hit, stage
+        for stage in DOWNSTREAM_STAGES:
+            assert not result.run_report.stats_for(stage).cache_hit, stage
+
     # The paper's configuration isolates SciMark2 at some cut.
     target = frozenset(SCIMARK)
-    complete_dendrogram = rows["complete"][3]
     assert any(
-        target in {frozenset(b) for b in complete_dendrogram.cut_to_k(k).blocks}
-        for k in range(2, 9)
+        target in {frozenset(b) for b in cut.partition.blocks}
+        for cut in results["complete"].cuts
     )
 
     # Monotone linkages stay monotone on this data.
     for name in ("single", "complete", "average", "ward"):
-        assert rows[name][3].is_monotone, name
+        assert results[name].dendrogram.is_monotone, name
 
     # The linkage choice matters: not all rules give the same 6-cluster
     # partition.
-    partitions = {rows[name][2] for name in rows}
+    partitions = {result.cut(6).partition for result in results.values()}
     assert len(partitions) >= 2

@@ -1,0 +1,105 @@
+"""Perf hook — what the stage-graph artifact cache buys on sweeps.
+
+Times one 7-variant linkage/SOM parameter sweep twice: once with the
+memo cache disabled (every variant recomputes all six stages, the
+pre-refactor behaviour) and once on a shared caching engine (each
+variant recomputes only the stages downstream of its changed knob).
+Prints both wall times and the speedup so the win is measurable in
+BENCH trajectories.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.engine import PipelineEngine
+from repro.som.som import SOMConfig
+from repro.viz.tables import format_table
+
+_SOM = SOMConfig(rows=8, columns=8, steps_per_sample=300, seed=11)
+
+# Seven variants: five linkage rules on the default map, plus two map
+# sizes under the paper's complete linkage.
+VARIANTS = tuple(
+    [("complete", _SOM)]
+    + [(linkage, _SOM) for linkage in ("average", "single", "ward", "centroid")]
+    + [
+        ("complete", SOMConfig(rows=6, columns=6, steps_per_sample=300, seed=11)),
+        ("complete", SOMConfig(rows=10, columns=10, steps_per_sample=300, seed=11)),
+    ]
+)
+
+
+def _sweep(engine, suite):
+    """Run every variant's full analysis on one engine."""
+    results = []
+    for linkage, som_config in VARIANTS:
+        pipeline = WorkloadAnalysisPipeline(
+            characterization="sar",
+            machine="A",
+            som_config=som_config,
+            linkage=linkage,
+            engine=engine,
+        )
+        results.append(pipeline.run(suite))
+    return results
+
+
+def _timed_sweeps(suite):
+    """(uncached seconds, cached seconds, cache info) for the sweep."""
+    started = time.perf_counter()
+    uncached_results = _sweep(PipelineEngine(cache=False), suite)
+    uncached = time.perf_counter() - started
+
+    engine = PipelineEngine()
+    started = time.perf_counter()
+    cached_results = _sweep(engine, suite)
+    cached = time.perf_counter() - started
+    return uncached, cached, engine.cache_info(), uncached_results, cached_results
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_caching_speedup(benchmark, paper_suite):
+    uncached, cached, info, plain, memoized = benchmark.pedantic(
+        _timed_sweeps, args=(paper_suite,), rounds=1, iterations=1
+    )
+
+    emit(
+        "Engine caching: 7-variant linkage/SOM sweep, "
+        "with vs without the artifact cache",
+        format_table(
+            ["Sweep", "wall s", "stage hits", "stage misses"],
+            [
+                ("no cache", uncached, 0, 7 * 6),
+                ("shared cache", cached, info.hits, info.misses),
+                ("speedup", uncached / cached, "", ""),
+            ],
+        ),
+    )
+
+    # Both sweeps compute identical analyses...
+    for a, b in zip(plain, memoized):
+        assert a.recommended_clusters == b.recommended_clusters
+        assert a.positions == b.positions
+        for cut_a, cut_b in zip(a.cuts, b.cuts):
+            assert cut_a.scores == pytest.approx(cut_b.scores)
+
+    # ...but the cached sweep reuses upstream stages: characterize and
+    # preprocess run once, the SOM trains once per distinct config
+    # (3 of 7), and only downstream stages re-run per variant.
+    assert info.hits > 0
+    assert info.misses < 7 * 6
+    reduce_misses = sum(
+        1
+        for result in memoized
+        if not result.run_report.stats_for("reduce").cache_hit
+    )
+    assert reduce_misses == 3
+
+    # The perf win the cache exists for: the sweep gets measurably
+    # faster (SOM training dominates; 7 trainings collapse to 3).
+    assert cached < uncached

@@ -29,6 +29,7 @@ Quickstart
 
 from repro.analysis import AnalysisResult, WorkloadAnalysisPipeline
 from repro.cluster import AgglomerativeClustering, Dendrogram
+from repro.engine import PipelineEngine, RunReport, Stage
 from repro.core import (
     Hierarchy,
     Partition,
@@ -73,6 +74,9 @@ __all__ = [
     # pipeline
     "WorkloadAnalysisPipeline",
     "AnalysisResult",
+    "PipelineEngine",
+    "RunReport",
+    "Stage",
     "SelfOrganizingMap",
     "SOMConfig",
     "AgglomerativeClustering",

@@ -14,70 +14,70 @@
    machines — a regenerated Table IV/V/VI;
 6. **recommend** a cluster count (ratio dampening + SOM alignment).
 
+Since the stage-graph refactor the pipeline is a thin façade over
+:class:`repro.engine.PipelineEngine`: each paper stage is a
+:class:`repro.engine.Stage` implementation living beside its
+subsystem, and ``run()`` executes the assembled graph.  Passing a
+shared engine to several pipelines memoizes unchanged upstream stages
+across runs, so parameter sweeps (linkage, SOM config, cluster
+counts) only recompute what actually changed; per-stage wall time and
+cache hit/miss stats land on :attr:`AnalysisResult.run_report`.
+
 The result object keeps every intermediate product so examples and
 benches can render maps, dendrograms and tables from one run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
-import numpy as np
-
-from repro.analysis.recommend import recommend_cluster_count
-from repro.analysis.redundancy import exclusive_cluster_counts, shared_cells
+from repro.analysis.redundancy import shared_cells
+from repro.analysis.stages import (
+    RecommendStage,
+    analysis_stages,
+    suite_fingerprint,
+)
 from repro.characterization.base import CharacteristicVectors
-from repro.characterization.methods import JavaMethodProfiler
-from repro.characterization.micro import MicroarchIndependentProfiler
-from repro.characterization.preprocess import prepare_counters, prepare_method_bits
-from repro.characterization.sar import SARCounterCollector
-from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.characterization.stages import CharacterizeStage, PreprocessStage
 from repro.cluster.dendrogram import Dendrogram
-from repro.core.hierarchical import hierarchical_mean
-from repro.core.partition import Partition
+from repro.cluster.stages import ClusterStage
+from repro.core.scoring import ScoredCut
+from repro.core.stages import ScoreCutsStage
 from repro.data.table3 import SPEEDUP_TABLE
+from repro.engine.executor import PipelineEngine, RunReport, run_single
+from repro.engine.stage import Stage
 from repro.exceptions import CharacterizationError, MeasurementError
 from repro.som.som import SelfOrganizingMap, SOMConfig
-from repro.workloads.machines import MACHINE_A, MACHINE_B, MachineSpec, machine
+from repro.som.stages import SOMReduceStage
+from repro.workloads.machines import MachineSpec, machine
 from repro.workloads.suite import BenchmarkSuite
 
 __all__ = ["ScoredCut", "AnalysisResult", "WorkloadAnalysisPipeline"]
 
 
 @dataclass(frozen=True)
-class ScoredCut:
-    """One regenerated table row: a cut and its two-machine scores."""
-
-    clusters: int
-    partition: Partition
-    scores: Mapping[str, float]
-
-    @property
-    def ratio(self) -> float:
-        """First-machine score over second-machine score (A/B column)."""
-        names = sorted(self.scores)
-        if len(names) != 2:
-            raise MeasurementError(
-                f"ScoredCut.ratio: defined for exactly two machines, have {names}"
-            )
-        return self.scores[names[0]] / self.scores[names[1]]
-
-
-@dataclass(frozen=True)
 class AnalysisResult:
-    """Everything one pipeline run produced."""
+    """Everything one pipeline run produced.
+
+    ``raw_vectors``, ``prepared_vectors`` and ``som`` are ``None``
+    only on results reconstructed from their archived JSON form (the
+    export intentionally drops those bulky artifacts).
+    ``run_report`` carries the engine's per-stage instrumentation for
+    results produced by :meth:`WorkloadAnalysisPipeline.run`.
+    """
 
     suite_name: str
     characterization: str
     machine_name: str | None
-    raw_vectors: CharacteristicVectors
-    prepared_vectors: CharacteristicVectors
-    som: SelfOrganizingMap
+    raw_vectors: CharacteristicVectors | None
+    prepared_vectors: CharacteristicVectors | None
+    som: SelfOrganizingMap | None
     positions: Mapping[str, tuple[int, int]]
     dendrogram: Dendrogram
     cuts: tuple[ScoredCut, ...]
     recommended_clusters: int
+    run_report: RunReport | None = field(default=None, compare=False, repr=False)
 
     def cut(self, clusters: int) -> ScoredCut:
         """The scored cut at one cluster count."""
@@ -94,7 +94,7 @@ class AnalysisResult:
 
 
 class WorkloadAnalysisPipeline:
-    """Configurable Sections III-V pipeline.
+    """Configurable Sections III-V pipeline (a façade over the engine).
 
     Parameters
     ----------
@@ -110,7 +110,8 @@ class WorkloadAnalysisPipeline:
         ``"B"``) or a :class:`MachineSpec`.  Ignored for ``"methods"``.
     speedups:
         Per-machine workload scores to feed the hierarchical mean;
-        defaults to the published Table III.
+        defaults to the published Table III.  Column order fixes the
+        ratio orientation of every :class:`ScoredCut`.
     som_config:
         SOM hyper-parameters; the default 8x8 map suits the 13-workload
         suite.
@@ -122,6 +123,12 @@ class WorkloadAnalysisPipeline:
         SciMark2 adoption set when present in the suite).
     seed:
         Seed for the characterization sampling.
+    engine:
+        A :class:`repro.engine.PipelineEngine` to execute on.  Pass
+        one shared engine to several pipelines (or reuse one pipeline)
+        to memoize unchanged stages across runs — a sweep that varies
+        only the linkage re-runs only cluster/score/recommend.  By
+        default each pipeline gets a private engine.
 
     Example
     -------
@@ -143,6 +150,7 @@ class WorkloadAnalysisPipeline:
         linkage: str = "complete",
         seed: int = 11,
         custom_characterizer: "Callable[[BenchmarkSuite], CharacteristicVectors] | None" = None,
+        engine: PipelineEngine | None = None,
     ) -> None:
         if custom_characterizer is not None:
             if characterization != "custom":
@@ -179,6 +187,7 @@ class WorkloadAnalysisPipeline:
         )
         self._linkage = linkage
         self._seed = seed
+        self._engine = engine if engine is not None else PipelineEngine()
 
     @staticmethod
     def _resolve_machine(spec: str | MachineSpec | None) -> MachineSpec | None:
@@ -186,19 +195,36 @@ class WorkloadAnalysisPipeline:
             return spec
         return machine(spec)
 
-    # -- stages -----------------------------------------------------------
+    @property
+    def engine(self) -> PipelineEngine:
+        """The engine this pipeline executes on (shareable)."""
+        return self._engine
+
+    def stages(self) -> tuple[Stage, ...]:
+        """The six-stage graph this pipeline's configuration maps to."""
+        return analysis_stages(
+            characterization=self._characterization,
+            machine_spec=self._machine,
+            seed=self._seed,
+            custom_characterizer=self._custom_characterizer,
+            som_config=self._som_config,
+            linkage=self._linkage,
+            speedups=self._speedups,
+            cluster_counts=self._cluster_counts,
+            alignment_group=self._alignment_group,
+        )
+
+    # -- stages (individually callable, engine-free) -----------------------
 
     def characterize(self, suite: BenchmarkSuite) -> CharacteristicVectors:
         """Stage 1: raw characteristic vectors for the suite."""
-        if self._custom_characterizer is not None:
-            return self._custom_characterizer(suite)
-        if self._characterization == "sar":
-            assert self._machine is not None
-            collector = SARCounterCollector(seed=self._seed)
-            return collector.collect(suite, self._machine)
-        if self._characterization == "micro":
-            return MicroarchIndependentProfiler().profile(suite)
-        return JavaMethodProfiler().profile(suite)
+        stage = CharacterizeStage(
+            characterization=self._characterization,
+            machine_spec=self._machine,
+            seed=self._seed,
+            custom_characterizer=self._custom_characterizer,
+        )
+        return run_single(stage, {"suite": suite})["raw_vectors"]
 
     def preprocess(self, raw: CharacteristicVectors) -> CharacteristicVectors:
         """Stage 2: the paper's feature filtering and standardization.
@@ -207,30 +233,25 @@ class WorkloadAnalysisPipeline:
         constants, standardize), which is safe for any real-valued
         vectors; bit-vector characterizations need ``"methods"``.
         """
-        if self._characterization == "methods":
-            return prepare_method_bits(raw)
-        return prepare_counters(raw)
+        style = "method-bits" if self._characterization == "methods" else "counters"
+        stage = PreprocessStage(style=style)
+        return run_single(stage, {"raw_vectors": raw})["prepared_vectors"]
 
     def reduce(
         self, prepared: CharacteristicVectors
     ) -> tuple[SelfOrganizingMap, dict[str, tuple[int, int]]]:
         """Stage 3: SOM training and workload-to-cell mapping."""
-        som = SelfOrganizingMap(self._som_config).fit(prepared.matrix)
-        projected = som.project(prepared.matrix)
-        positions = {
-            label: (int(row), int(col))
-            for label, (row, col) in zip(prepared.labels, projected)
-        }
-        return som, positions
+        outputs = run_single(
+            SOMReduceStage(self._som_config), {"prepared_vectors": prepared}
+        )
+        return outputs["som"], outputs["positions"]
 
     def cluster(
         self, positions: Mapping[str, tuple[int, int]]
     ) -> Dendrogram:
-        """Stage 4: complete-linkage clustering of the 2-D map positions."""
-        labels = sorted(positions)
-        points = np.array([positions[label] for label in labels], dtype=float)
-        algorithm = AgglomerativeClustering(linkage=self._linkage)
-        return algorithm.fit(points, labels=labels)
+        """Stage 4: agglomerative clustering of the 2-D map positions."""
+        stage = ClusterStage(linkage=self._linkage)
+        return run_single(stage, {"positions": positions})["dendrogram"]
 
     def score_cuts(self, dendrogram: Dendrogram) -> tuple[ScoredCut, ...]:
         """Stage 5: hierarchical geometric means at every cluster count.
@@ -238,96 +259,57 @@ class WorkloadAnalysisPipeline:
         Speedup columns are restricted to the clustered workloads, so
         subset suites score correctly against the full Table III.
         """
-        suite_labels = set(dendrogram.labels)
-        cuts = []
-        for clusters in self._cluster_counts:
-            if clusters > dendrogram.num_leaves:
-                continue
-            partition = dendrogram.cut_to_k(clusters)
-            scores = {
-                machine_name: hierarchical_mean(
-                    {
-                        label: value
-                        for label, value in column.items()
-                        if label in suite_labels
-                    },
-                    partition,
-                    mean="geometric",
-                )
-                for machine_name, column in self._speedups.items()
-            }
-            cuts.append(
-                ScoredCut(clusters=clusters, partition=partition, scores=scores)
-            )
-        if not cuts:
-            raise MeasurementError(
-                "pipeline: no requested cluster count fits the suite size"
-            )
-        return tuple(cuts)
+        stage = ScoreCutsStage(
+            speedups=self._speedups, cluster_counts=self._cluster_counts
+        )
+        return run_single(stage, {"dendrogram": dendrogram})["cuts"]
 
-    # -- orchestration ---------------------------------------------------------
+    def recommend(
+        self,
+        suite: BenchmarkSuite,
+        positions: Mapping[str, tuple[int, int]],
+        dendrogram: Dendrogram,
+        cuts: tuple[ScoredCut, ...],
+    ) -> int:
+        """Stage 6: the recommended cluster count for scored cuts."""
+        stage = RecommendStage(
+            cluster_counts=self._cluster_counts,
+            alignment_group=self._alignment_group,
+        )
+        outputs = run_single(
+            stage,
+            {
+                "suite": suite,
+                "positions": positions,
+                "dendrogram": dendrogram,
+                "cuts": cuts,
+            },
+        )
+        return outputs["recommended_clusters"]
+
+    # -- orchestration -----------------------------------------------------
 
     def run(self, suite: BenchmarkSuite) -> AnalysisResult:
-        """Run all stages and bundle the intermediates."""
+        """Execute the stage graph on the engine and bundle the artifacts."""
         self._check_speedup_coverage(suite)
-        raw = self.characterize(suite)
-        prepared = self.preprocess(raw)
-        som, positions = self.reduce(prepared)
-        dendrogram = self.cluster(positions)
-        cuts = self.score_cuts(dendrogram)
-
-        aligned = self._alignment_verdicts(suite, dendrogram)
-        recommended = self._recommend(cuts, positions, dendrogram, aligned)
-
+        engine_run = self._engine.run(
+            self.stages(),
+            {"suite": suite},
+            source_fingerprints={"suite": suite_fingerprint(suite)},
+        )
         return AnalysisResult(
             suite_name=suite.name,
             characterization=self._characterization,
             machine_name=self._machine.name if self._machine else None,
-            raw_vectors=raw,
-            prepared_vectors=prepared,
-            som=som,
-            positions=positions,
-            dendrogram=dendrogram,
-            cuts=cuts,
-            recommended_clusters=recommended,
+            raw_vectors=engine_run.artifact("raw_vectors"),
+            prepared_vectors=engine_run.artifact("prepared_vectors"),
+            som=engine_run.artifact("som"),
+            positions=engine_run.artifact("positions"),
+            dendrogram=engine_run.artifact("dendrogram"),
+            cuts=engine_run.artifact("cuts"),
+            recommended_clusters=engine_run.artifact("recommended_clusters"),
+            run_report=engine_run.report,
         )
-
-    def _recommend(
-        self,
-        cuts: tuple[ScoredCut, ...],
-        positions: Mapping[str, tuple[int, int]],
-        dendrogram: Dendrogram,
-        aligned: dict[int, bool] | None,
-    ) -> int:
-        """Pick the cluster count.
-
-        With exactly two machines the paper's ratio-dampening heuristic
-        applies; for any other machine count the A/B ratio does not
-        exist, so fall back to the silhouette criterion over the map
-        positions (restricted to aligned ks when alignment is known).
-        """
-        if len(cuts) == 1:
-            return cuts[0].clusters
-        two_machines = len(cuts[0].scores) == 2
-        if two_machines:
-            ratios = {cut.clusters: cut.ratio for cut in cuts}
-            return recommend_cluster_count(ratios, aligned=aligned)
-
-        from repro.analysis.recommend import recommend_by_silhouette
-        from repro.stats.distance import pairwise_distances
-
-        labels = sorted(positions)
-        points = np.array([positions[label] for label in labels], dtype=float)
-        counts = [cut.clusters for cut in cuts]
-        if aligned is not None and any(aligned.get(k, False) for k in counts):
-            counts = [k for k in counts if aligned.get(k, False)]
-        best, __ = recommend_by_silhouette(
-            pairwise_distances(points),
-            dendrogram,
-            labels,
-            cluster_counts=counts,
-        )
-        return best
 
     def _check_speedup_coverage(self, suite: BenchmarkSuite) -> None:
         for machine_name, column in self._speedups.items():
@@ -337,18 +319,3 @@ class WorkloadAnalysisPipeline:
                     f"pipeline: machine {machine_name!r} has no speedups for "
                     f"{missing}"
                 )
-
-    def _alignment_verdicts(
-        self, suite: BenchmarkSuite, dendrogram: Dendrogram
-    ) -> dict[int, bool] | None:
-        group = self._alignment_group
-        if group is None:
-            # Default: the SciMark2 adoption set, when this suite has one.
-            scimark = [
-                w.name for w in suite if w.source_suite == "SciMark2"
-            ]
-            group = tuple(scimark) if len(scimark) >= 2 else None
-        if group is None:
-            return None
-        exclusive = set(exclusive_cluster_counts(dendrogram, group))
-        return {k: (k in exclusive) for k in self._cluster_counts}

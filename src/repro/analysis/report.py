@@ -105,4 +105,8 @@ def render_analysis_report(
     recommended = result.cut(result.recommended_clusters)
     for block in recommended.partition.blocks:
         lines.append(f"    {{{', '.join(block)}}}")
+
+    if result.run_report is not None:
+        lines += _section("Pipeline engine (per-stage instrumentation)")
+        lines.append(result.run_report.summary())
     return "\n".join(lines)

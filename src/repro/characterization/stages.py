@@ -1,0 +1,130 @@
+"""Engine stages for workload characterization (paper stages 1-2).
+
+:class:`CharacterizeStage` produces the raw characteristic vectors of
+a suite; :class:`PreprocessStage` applies the paper's feature
+filtering and standardization.  Both are thin, declarative wrappers
+over the existing collectors/profilers so the same code paths serve
+the engine and direct calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.characterization.base import CharacteristicVectors
+from repro.characterization.methods import JavaMethodProfiler
+from repro.characterization.micro import MicroarchIndependentProfiler
+from repro.characterization.preprocess import prepare_counters, prepare_method_bits
+from repro.characterization.sar import SARCounterCollector
+from repro.engine.stage import RunContext, Stage
+from repro.exceptions import CharacterizationError
+from repro.workloads.machines import MachineSpec, machine
+from repro.workloads.suite import BenchmarkSuite
+
+__all__ = ["CharacterizeStage", "PreprocessStage"]
+
+
+class CharacterizeStage(Stage):
+    """Stage 1: suite → raw characteristic vectors.
+
+    Parameters mirror the pipeline's: ``characterization`` is one of
+    ``"sar"`` (needs ``machine``), ``"methods"``, ``"micro"`` or
+    ``"custom"`` (needs ``custom_characterizer``).
+    """
+
+    name = "characterize"
+    inputs = ("suite",)
+    outputs = ("raw_vectors",)
+
+    def __init__(
+        self,
+        *,
+        characterization: str = "sar",
+        machine_spec: str | MachineSpec | None = None,
+        seed: int = 11,
+        custom_characterizer: (
+            Callable[[BenchmarkSuite], CharacteristicVectors] | None
+        ) = None,
+    ) -> None:
+        if custom_characterizer is None and characterization == "custom":
+            raise CharacterizationError(
+                "characterization='custom' needs a custom_characterizer"
+            )
+        if characterization not in ("sar", "methods", "micro", "custom"):
+            raise CharacterizationError(
+                f"unknown characterization {characterization!r}; "
+                "use 'sar', 'methods', 'micro' or 'custom'"
+            )
+        if characterization == "sar" and machine_spec is None:
+            raise CharacterizationError(
+                "SAR characterization needs a machine to collect counters on"
+            )
+        self._characterization = characterization
+        self._machine = (
+            machine(machine_spec)
+            if isinstance(machine_spec, str)
+            else machine_spec
+        )
+        self._seed = seed
+        self._custom_characterizer = custom_characterizer
+
+    @property
+    def params(self) -> Mapping[str, Any]:
+        """Characterization source, machine, seed and custom callable."""
+        return {
+            "characterization": self._characterization,
+            "machine": self._machine,
+            "seed": self._seed,
+            "characterizer": self._custom_characterizer,
+        }
+
+    def run(self, ctx: RunContext) -> Mapping[str, Any]:
+        """Collect/profile the suite into characteristic vectors."""
+        suite: BenchmarkSuite = ctx["suite"]
+        if self._custom_characterizer is not None:
+            raw = self._custom_characterizer(suite)
+        elif self._characterization == "sar":
+            assert self._machine is not None
+            raw = SARCounterCollector(seed=self._seed).collect(
+                suite, self._machine
+            )
+        elif self._characterization == "micro":
+            raw = MicroarchIndependentProfiler().profile(suite)
+        else:
+            raw = JavaMethodProfiler().profile(suite)
+        return {"raw_vectors": raw}
+
+
+class PreprocessStage(Stage):
+    """Stage 2: raw vectors → filtered, standardized vectors.
+
+    ``style="counters"`` drops constants and standardizes (safe for
+    any real-valued characterization); ``style="method-bits"`` applies
+    the bit-vector treatment for method-utilization vectors.
+    """
+
+    name = "preprocess"
+    inputs = ("raw_vectors",)
+    outputs = ("prepared_vectors",)
+
+    def __init__(self, *, style: str = "counters") -> None:
+        if style not in ("counters", "method-bits"):
+            raise CharacterizationError(
+                f"PreprocessStage: unknown style {style!r}; "
+                "use 'counters' or 'method-bits'"
+            )
+        self._style = style
+
+    @property
+    def params(self) -> Mapping[str, Any]:
+        """The preprocessing style."""
+        return {"style": self._style}
+
+    def run(self, ctx: RunContext) -> Mapping[str, Any]:
+        """Apply the paper's preprocessing to the raw vectors."""
+        raw: CharacteristicVectors = ctx["raw_vectors"]
+        if self._style == "method-bits":
+            prepared = prepare_method_bits(raw)
+        else:
+            prepared = prepare_counters(raw)
+        return {"prepared_vectors": prepared}

@@ -8,7 +8,11 @@ Installed as ``repro-hmeans``.  Subcommands:
   published values.
 * ``som`` — the workload-distribution SOM map (Figures 3/5/7).
 * ``dendrogram`` — the clustering tree (Figures 4/6/8).
-* ``pipeline`` — the full end-to-end analysis with recommendation.
+* ``pipeline`` — the full end-to-end analysis with recommendation
+  (``--stats`` prints the engine's per-stage instrumentation).
+* ``sweep`` — re-run the analysis across several linkage rules on one
+  shared stage-graph engine, so the characterization and SOM stages
+  are computed once and served from cache for every other variant.
 * ``gaming`` — the redundancy-gaming demonstration.
 * ``subset`` — cluster-driven benchmark subsetting (one representative
   per cluster).
@@ -117,6 +121,64 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
         lines.append("shared SOM cells (particularly similar workloads):")
         for cell, names in sorted(shared.items()):
             lines.append(f"  {cell}: {', '.join(names)}")
+    if getattr(args, "stats", False) and result.run_report is not None:
+        lines += ["", "per-stage engine instrumentation:"]
+        lines.append(result.run_report.summary())
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from repro.engine import PipelineEngine
+    from repro.viz.tables import format_table
+
+    linkages = [name.strip() for name in args.linkages.split(",") if name.strip()]
+    if not linkages:
+        raise ReproError("sweep: no linkage rules requested")
+    engine = PipelineEngine()
+    suite = BenchmarkSuite.paper_suite()
+    rows = []
+    for linkage in linkages:
+        if args.characterization in ("methods", "micro"):
+            pipeline = WorkloadAnalysisPipeline(
+                characterization=args.characterization,
+                machine=None,
+                linkage=linkage,
+                seed=args.seed,
+                engine=engine,
+            )
+        else:
+            pipeline = WorkloadAnalysisPipeline(
+                characterization="sar",
+                machine=args.machine,
+                linkage=linkage,
+                seed=args.seed,
+                engine=engine,
+            )
+        result = pipeline.run(suite)
+        cut = result.cut(args.clusters)
+        rows.append(
+            (
+                linkage,
+                cut.scores["A"],
+                cut.scores["B"],
+                cut.ratio,
+                result.recommended_clusters,
+                result.run_report.cache_hits if result.run_report else 0,
+            )
+        )
+    info = engine.cache_info()
+    lines = [
+        f"linkage sweep at k = {args.clusters} "
+        f"({args.characterization} characterization, one shared engine):",
+        format_table(
+            ["Linkage", "HGM A", "HGM B", "ratio A/B", "recommended k", "stages cached"],
+            rows,
+        ),
+        "",
+        f"engine cache: {info.hits} stage hit(s), {info.misses} miss(es) "
+        f"across {len(linkages)} runs — characterize/preprocess/reduce "
+        "computed once and reused",
+    ]
     return "\n".join(lines)
 
 
@@ -285,6 +347,40 @@ def _build_parser() -> argparse.ArgumentParser:
                 default="analysis.json",
                 help="path of the JSON file to write",
             )
+        if name == "pipeline":
+            sub.add_argument(
+                "--stats",
+                action="store_true",
+                help="print per-stage wall time and cache hit/miss stats",
+            )
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="linkage sweep on one shared engine (cached upstream stages)",
+    )
+    sweep.add_argument(
+        "--characterization",
+        choices=("sar", "methods", "micro"),
+        default="sar",
+        help="characteristic-vector source",
+    )
+    sweep.add_argument(
+        "--machine",
+        choices=("A", "B"),
+        default="A",
+        help="machine for SAR collection",
+    )
+    sweep.add_argument(
+        "--linkages",
+        default="complete,average,single,ward,centroid",
+        help="comma-separated linkage rules to sweep",
+    )
+    sweep.add_argument(
+        "--clusters",
+        type=int,
+        default=6,
+        help="cluster count whose scores the table shows",
+    )
 
     gaming = subparsers.add_parser(
         "gaming", help="score-gaming resistance demonstration"
@@ -340,6 +436,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "som": _cmd_som,
         "dendrogram": _cmd_dendrogram,
         "pipeline": _cmd_pipeline,
+        "sweep": _cmd_sweep,
         "report": _cmd_report,
         "export": _cmd_export,
         "gaming": _cmd_gaming,

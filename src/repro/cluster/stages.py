@@ -1,0 +1,44 @@
+"""Engine stage for hierarchical clustering (paper stage 4).
+
+Clusters the 2-D SOM cell coordinates with agglomerative clustering —
+"the Hierarchical Clustering is applied to the reduced dimension".
+Only the linkage rule (and metric) are params, so a linkage sweep
+reuses the cached characterization and SOM stages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.engine.stage import RunContext, Stage
+
+__all__ = ["ClusterStage"]
+
+
+class ClusterStage(Stage):
+    """Stage 4: workload positions → dendrogram."""
+
+    name = "cluster"
+    inputs = ("positions",)
+    outputs = ("dendrogram",)
+
+    def __init__(self, *, linkage: str = "complete") -> None:
+        self._linkage = linkage
+
+    @property
+    def params(self) -> Mapping[str, Any]:
+        """The linkage rule."""
+        return {"linkage": self._linkage}
+
+    def run(self, ctx: RunContext) -> Mapping[str, Any]:
+        """Fit the agglomerative tree over the map positions."""
+        positions: Mapping[str, tuple[int, int]] = ctx["positions"]
+        labels = sorted(positions)
+        points = np.array([positions[label] for label in labels], dtype=float)
+        dendrogram = AgglomerativeClustering(linkage=self._linkage).fit(
+            points, labels=labels
+        )
+        return {"dendrogram": dendrogram}

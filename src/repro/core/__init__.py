@@ -53,6 +53,7 @@ from repro.core.weights import (
 from repro.core.scoring import (
     ScoreBreakdown,
     ScoreComparison,
+    ScoredCut,
     SuiteScorer,
     compare_machines,
     rank_machines,
@@ -80,6 +81,7 @@ __all__ = [
     "SuiteScorer",
     "ScoreBreakdown",
     "ScoreComparison",
+    "ScoredCut",
     "compare_machines",
     "rank_machines",
     "implied_weights",

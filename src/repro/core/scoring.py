@@ -21,11 +21,64 @@ from repro.exceptions import MeasurementError
 
 __all__ = [
     "ScoreBreakdown",
+    "ScoredCut",
     "SuiteScorer",
     "ScoreComparison",
     "compare_machines",
     "rank_machines",
 ]
+
+
+@dataclass(frozen=True)
+class ScoredCut:
+    """One regenerated table row: a cut and its per-machine scores.
+
+    ``machine_order`` records the orientation of the two-machine
+    comparison — the numerator/denominator order of :attr:`ratio` —
+    as captured from the speedup table that produced the scores.
+    When absent (legacy construction) the machines are ordered
+    alphabetically, which preserves the paper's A/B column.
+    """
+
+    clusters: int
+    partition: Partition
+    scores: Mapping[str, float]
+    machine_order: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.machine_order is not None and set(self.machine_order) != set(
+            self.scores
+        ):
+            raise MeasurementError(
+                f"ScoredCut: machine_order {self.machine_order} does not "
+                f"match scored machines {sorted(self.scores)}"
+            )
+
+    @property
+    def ratio(self) -> float:
+        """First-machine score over second-machine score.
+
+        Orientation follows :attr:`machine_order` when set, otherwise
+        the alphabetical order (the A/B column either way for the
+        paper's two machines).
+        """
+        names = self.machine_order or tuple(sorted(self.scores))
+        if len(names) != 2:
+            raise MeasurementError(
+                f"ScoredCut.ratio: defined for exactly two machines, "
+                f"have {sorted(names)}"
+            )
+        return self.ratio_of(names[0], names[1])
+
+    def ratio_of(self, numerator: str, denominator: str) -> float:
+        """Explicit-orientation ratio between two scored machines."""
+        for name in (numerator, denominator):
+            if name not in self.scores:
+                raise MeasurementError(
+                    f"ScoredCut.ratio_of: no score for machine {name!r}; "
+                    f"have {sorted(self.scores)}"
+                )
+        return self.scores[numerator] / self.scores[denominator]
 
 
 @dataclass(frozen=True)

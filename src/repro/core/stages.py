@@ -1,0 +1,96 @@
+"""Engine stage for hierarchical-mean scoring (paper stage 5).
+
+Cuts the dendrogram at every requested cluster count and computes the
+hierarchical mean of the per-workload speedups on every machine — a
+regenerated Table IV/V/VI.  The speedup columns and cluster counts are
+stage params, so swapping either recomputes only scoring and the
+recommendation, never the characterization or the SOM.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.cluster.dendrogram import Dendrogram
+from repro.core.hierarchical import hierarchical_mean
+from repro.core.scoring import ScoredCut
+from repro.engine.stage import RunContext, Stage
+from repro.exceptions import MeasurementError
+
+__all__ = ["ScoreCutsStage"]
+
+
+class ScoreCutsStage(Stage):
+    """Stage 5: dendrogram → scored cuts at every cluster count.
+
+    Speedup columns are restricted to the clustered workloads, so
+    subset suites score correctly against a full published table.
+    The column order of ``speedups`` is recorded on every
+    :class:`~repro.core.scoring.ScoredCut` as its ``machine_order``,
+    fixing the orientation of the two-machine ratio.
+    """
+
+    name = "score_cuts"
+    inputs = ("dendrogram",)
+    outputs = ("cuts",)
+
+    def __init__(
+        self,
+        *,
+        speedups: Mapping[str, Mapping[str, float]],
+        cluster_counts: Sequence[int],
+        mean: str = "geometric",
+    ) -> None:
+        if not cluster_counts:
+            raise MeasurementError("ScoreCutsStage: no cluster counts requested")
+        self._speedups = {
+            name: dict(column) for name, column in speedups.items()
+        }
+        self._machine_order = tuple(self._speedups)
+        self._cluster_counts = tuple(sorted(set(cluster_counts)))
+        self._mean = mean
+
+    @property
+    def params(self) -> Mapping[str, Any]:
+        """Speedup columns (order-sensitive), cluster counts and mean."""
+        return {
+            "speedups": self._speedups,
+            "machine_order": self._machine_order,
+            "cluster_counts": self._cluster_counts,
+            "mean": self._mean,
+        }
+
+    def run(self, ctx: RunContext) -> Mapping[str, Any]:
+        """Score every feasible requested cut on every machine."""
+        dendrogram: Dendrogram = ctx["dendrogram"]
+        suite_labels = set(dendrogram.labels)
+        cuts = []
+        for clusters in self._cluster_counts:
+            if clusters > dendrogram.num_leaves:
+                continue
+            partition = dendrogram.cut_to_k(clusters)
+            scores = {
+                machine_name: hierarchical_mean(
+                    {
+                        label: value
+                        for label, value in column.items()
+                        if label in suite_labels
+                    },
+                    partition,
+                    mean=self._mean,
+                )
+                for machine_name, column in self._speedups.items()
+            }
+            cuts.append(
+                ScoredCut(
+                    clusters=clusters,
+                    partition=partition,
+                    scores=scores,
+                    machine_order=self._machine_order,
+                )
+            )
+        if not cuts:
+            raise MeasurementError(
+                "pipeline: no requested cluster count fits the suite size"
+            )
+        return {"cuts": tuple(cuts)}

@@ -1,0 +1,303 @@
+"""The stage-graph executor: topological scheduling + memoization.
+
+:class:`PipelineEngine` runs a set of :class:`~repro.engine.stage.Stage`
+objects over source artifacts.  Execution order is derived from the
+declared inputs/outputs (the caller may pass stages in any order), and
+each stage is memoized under a *cache key*::
+
+    key = H(stage.name, stage.params, fingerprints of its inputs)
+
+Input fingerprints are provenance hashes — ``H(producer key, name)``
+for intermediate artifacts, content hashes for sources — so a change
+to any upstream knob changes every downstream key, while a change to a
+downstream knob (say, the linkage rule) leaves upstream keys intact
+and their cached outputs reusable.
+
+Every run is instrumented: per-stage wall time, cache hit/miss and
+artifact sizes are collected into a :class:`RunReport` on the
+returned :class:`EngineRun`, and optional hooks observe each
+:class:`StageStats` as it is produced.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.engine.fingerprint import combine, fingerprint
+from repro.engine.stage import RunContext, Stage
+from repro.engine.store import ArtifactStore, CacheInfo, StageCache
+from repro.exceptions import EngineError
+
+__all__ = [
+    "StageStats",
+    "RunReport",
+    "EngineRun",
+    "PipelineEngine",
+    "run_single",
+]
+
+StageHook = Callable[["StageStats"], None]
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Instrumentation record for one stage execution (or cache hit)."""
+
+    stage: str
+    key: str
+    cache_hit: bool
+    wall_seconds: float
+    artifact_sizes: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        """Summed approximate size of this stage's output artifacts."""
+        return sum(self.artifact_sizes.values())
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Per-stage instrumentation of one engine run."""
+
+    stages: tuple[StageStats, ...]
+
+    @property
+    def total_seconds(self) -> float:
+        """Wall time summed over all stages (cache hits are ~free)."""
+        return sum(s.wall_seconds for s in self.stages)
+
+    @property
+    def cache_hits(self) -> int:
+        """How many stages were served from the memo cache."""
+        return sum(1 for s in self.stages if s.cache_hit)
+
+    @property
+    def cache_misses(self) -> int:
+        """How many stages actually computed."""
+        return sum(1 for s in self.stages if not s.cache_hit)
+
+    def stats_for(self, stage_name: str) -> StageStats:
+        """The stats record of one stage, by name."""
+        for stats in self.stages:
+            if stats.stage == stage_name:
+                return stats
+        raise EngineError(
+            f"RunReport: no stage named {stage_name!r}; "
+            f"ran: {[s.stage for s in self.stages]}"
+        )
+
+    def summary(self) -> str:
+        """Human-readable per-stage table (used by reports and the CLI)."""
+        width = max((len(s.stage) for s in self.stages), default=5)
+        lines = [
+            f"  {'stage':<{width}}  {'wall':>9}  {'cache':<5}  {'output bytes':>12}"
+        ]
+        for s in self.stages:
+            lines.append(
+                f"  {s.stage:<{width}}  {s.wall_seconds * 1e3:7.1f}ms  "
+                f"{'hit' if s.cache_hit else 'miss':<5}  {s.total_bytes:>12,}"
+            )
+        lines.append(
+            f"  total {self.total_seconds * 1e3:.1f}ms, "
+            f"{self.cache_hits} cache hit(s), {self.cache_misses} miss(es)"
+        )
+        return "\n".join(lines)
+
+
+class EngineRun:
+    """The product of one :meth:`PipelineEngine.run`: artifacts + stats."""
+
+    def __init__(self, store: ArtifactStore, report: RunReport) -> None:
+        self._store = store
+        self.report = report
+
+    def artifact(self, name: str) -> Any:
+        """The value of one named artifact (source or stage output)."""
+        return self._store.get(name)
+
+    @property
+    def artifacts(self) -> dict[str, Any]:
+        """Every artifact value of the run, by name."""
+        return self._store.values()
+
+    @property
+    def store(self) -> ArtifactStore:
+        """The underlying artifact store (fingerprints, sizes, producers)."""
+        return self._store
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineRun(artifacts={sorted(self._store.names())}, "
+            f"hits={self.report.cache_hits}, misses={self.report.cache_misses})"
+        )
+
+
+class PipelineEngine:
+    """Executes stage graphs with cross-run memoization.
+
+    Parameters
+    ----------
+    cache:
+        ``True`` (default) memoizes stage outputs across runs, so a
+        sweep that varies one knob only recomputes the affected
+        downstream stages.  ``False`` disables memoization entirely.
+    max_cache_entries:
+        LRU capacity of the memo, counted in stages.
+    hooks:
+        Callables invoked with each :class:`StageStats` as stages
+        finish — e.g. a progress printer or a metrics exporter.
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: bool = True,
+        max_cache_entries: int = 128,
+        hooks: Sequence[StageHook] = (),
+    ) -> None:
+        self._cache = StageCache(max_cache_entries) if cache else None
+        self._hooks = tuple(hooks)
+
+    def run(
+        self,
+        stages: Sequence[Stage],
+        sources: Mapping[str, Any],
+        *,
+        source_fingerprints: Mapping[str, str] | None = None,
+    ) -> EngineRun:
+        """Execute ``stages`` over the given source artifacts.
+
+        ``sources`` seeds the artifact namespace; fingerprints for them
+        are taken from ``source_fingerprints`` when given and computed
+        with :func:`~repro.engine.fingerprint.fingerprint` otherwise.
+        Returns an :class:`EngineRun` with every artifact and the
+        instrumentation report.
+        """
+        ordered = _topological_order(stages, set(sources))
+        given = dict(source_fingerprints or {})
+        store = ArtifactStore()
+        for name, value in sources.items():
+            store.put(name, value, given.get(name) or fingerprint(value))
+
+        collected: list[StageStats] = []
+        for stage in ordered:
+            collected.append(self._run_stage(stage, store))
+        report = RunReport(stages=tuple(collected))
+        return EngineRun(store, report)
+
+    def _run_stage(self, stage: Stage, store: ArtifactStore) -> StageStats:
+        """Execute (or replay) one stage against the store."""
+        input_prints = [store.artifact(name).fingerprint for name in stage.inputs]
+        key = combine(stage.signature, *input_prints)
+
+        started = time.perf_counter()
+        outputs = self._cache.get(key) if self._cache is not None else None
+        hit = outputs is not None
+        if outputs is None:
+            ctx = RunContext(
+                {name: store.get(name) for name in stage.inputs}
+            )
+            outputs = dict(stage.run(ctx))
+            if set(outputs) != set(stage.outputs):
+                raise EngineError(
+                    f"stage {stage.name!r}: declared outputs "
+                    f"{sorted(stage.outputs)} but produced {sorted(outputs)}"
+                )
+            if self._cache is not None:
+                self._cache.put(key, outputs)
+        elapsed = time.perf_counter() - started
+
+        sizes = {}
+        for name in stage.outputs:
+            artifact = store.put(
+                name, outputs[name], combine(key, name), producer=stage.name
+            )
+            sizes[name] = artifact.size_bytes
+        stats = StageStats(
+            stage=stage.name,
+            key=key,
+            cache_hit=hit,
+            wall_seconds=elapsed,
+            artifact_sizes=sizes,
+        )
+        for hook in self._hooks:
+            hook(stats)
+        return stats
+
+    def cache_info(self) -> CacheInfo:
+        """Cumulative memo counters (zeros when caching is disabled)."""
+        if self._cache is None:
+            return CacheInfo(hits=0, misses=0, entries=0)
+        return self._cache.info()
+
+    def clear_cache(self) -> None:
+        """Forget every memoized stage output."""
+        if self._cache is not None:
+            self._cache.clear()
+
+
+def _topological_order(
+    stages: Sequence[Stage], available: set[str]
+) -> list[Stage]:
+    """Order stages so every input is produced before it is consumed."""
+    producers: dict[str, Stage] = {}
+    for stage in stages:
+        for name in stage.outputs:
+            if name in producers:
+                raise EngineError(
+                    f"stage graph: artifact {name!r} produced by both "
+                    f"{producers[name].name!r} and {stage.name!r}"
+                )
+            if name in available:
+                raise EngineError(
+                    f"stage graph: stage {stage.name!r} would overwrite "
+                    f"source artifact {name!r}"
+                )
+            producers[name] = stage
+
+    ready = set(available)
+    pending = list(stages)
+    ordered: list[Stage] = []
+    while pending:
+        runnable = [s for s in pending if set(s.inputs) <= ready]
+        if not runnable:
+            missing = {
+                s.name: sorted(set(s.inputs) - ready - set(producers))
+                for s in pending
+            }
+            unproduced = {k: v for k, v in missing.items() if v}
+            if unproduced:
+                raise EngineError(
+                    f"stage graph: unsatisfiable inputs {unproduced}"
+                )
+            raise EngineError(
+                "stage graph: dependency cycle among "
+                f"{sorted(s.name for s in pending)}"
+            )
+        # Keep the caller's relative order among simultaneously-ready
+        # stages so runs are reproducible.
+        nxt = runnable[0]
+        pending.remove(nxt)
+        ordered.append(nxt)
+        ready.update(nxt.outputs)
+    return ordered
+
+
+def run_single(stage: Stage, inputs: Mapping[str, Any]) -> dict[str, Any]:
+    """Run one stage directly on in-memory inputs, bypassing the engine.
+
+    No memoization, no fingerprinting — this is the escape hatch that
+    keeps individual pipeline stage methods usable on their own.
+    """
+    missing = sorted(set(stage.inputs) - set(inputs))
+    if missing:
+        raise EngineError(f"run_single: stage {stage.name!r} missing {missing}")
+    outputs = dict(stage.run(RunContext(dict(inputs))))
+    if set(outputs) != set(stage.outputs):
+        raise EngineError(
+            f"stage {stage.name!r}: declared outputs {sorted(stage.outputs)} "
+            f"but produced {sorted(outputs)}"
+        )
+    return outputs

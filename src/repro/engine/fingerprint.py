@@ -1,0 +1,112 @@
+"""Stable content fingerprints for stage memoization keys.
+
+The engine caches stage outputs under a key derived from the stage's
+parameters and the fingerprints of its input artifacts.  For that to
+be sound the fingerprint must be *deterministic* (same value, same
+digest, in any process) and *discriminating* (different values,
+different digests, with overwhelming probability).  :func:`fingerprint`
+provides this for the value kinds that flow through the analysis
+pipeline: scalars, strings, containers, numpy arrays, dataclasses
+(``SOMConfig``, ``MachineSpec``, ...) and plain callables.
+
+Intermediate artifacts do **not** need content hashing: the engine
+fingerprints them by *provenance* — the key of the stage that produced
+them — which is both cheaper and exact (see
+:meth:`repro.engine.executor.PipelineEngine.run`).  Content hashing is
+only needed for source artifacts fed into the graph from outside.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import fields, is_dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.exceptions import EngineError
+
+__all__ = ["fingerprint", "combine"]
+
+
+def fingerprint(value: Any) -> str:
+    """Hex SHA-256 digest of a canonical encoding of ``value``.
+
+    Supported: ``None``, booleans, integers, floats, strings, bytes,
+    numpy scalars and arrays, dataclass instances, mappings (key order
+    irrelevant), sets, sequences (order significant) and callables
+    (identified by qualified name and bytecode).  Anything else raises
+    :class:`~repro.exceptions.EngineError` — pass an explicit
+    fingerprint for such artifacts instead.
+    """
+    digest = hashlib.sha256()
+    _update(digest, value)
+    return digest.hexdigest()
+
+
+def combine(*parts: str) -> str:
+    """One digest over several already-computed fingerprints."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(b"|")
+        digest.update(part.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def _update(digest: "hashlib._Hash", value: Any) -> None:
+    """Feed one value into ``digest`` with type-tagged framing."""
+    if value is None:
+        digest.update(b"N")
+    elif isinstance(value, bool):
+        digest.update(b"B1" if value else b"B0")
+    elif isinstance(value, int):
+        digest.update(b"I" + str(value).encode("ascii"))
+    elif isinstance(value, float):
+        digest.update(b"F" + struct.pack("<d", value))
+    elif isinstance(value, str):
+        digest.update(b"S" + value.encode("utf-8"))
+    elif isinstance(value, bytes):
+        digest.update(b"Y" + value)
+    elif isinstance(value, np.ndarray):
+        array = np.ascontiguousarray(value)
+        digest.update(
+            b"A" + str(array.dtype).encode("ascii") + repr(array.shape).encode()
+        )
+        digest.update(array.tobytes())
+    elif isinstance(value, np.generic):
+        _update(digest, value.item())
+    elif is_dataclass(value) and not isinstance(value, type):
+        digest.update(b"D" + type(value).__qualname__.encode("utf-8"))
+        for field in fields(value):
+            digest.update(field.name.encode("utf-8") + b"=")
+            _update(digest, getattr(value, field.name))
+    elif isinstance(value, Mapping):
+        digest.update(b"M")
+        for key in sorted(value, key=repr):
+            _update(digest, key)
+            digest.update(b":")
+            _update(digest, value[key])
+    elif isinstance(value, (set, frozenset)):
+        digest.update(b"T")
+        for item in sorted(value, key=repr):
+            _update(digest, item)
+    elif isinstance(value, (list, tuple)):
+        digest.update(b"L")
+        for item in value:
+            digest.update(b",")
+            _update(digest, item)
+    elif callable(value):
+        # Identify functions by name + bytecode so a re-created but
+        # identical lambda still hits the cache within one process.
+        tag = getattr(value, "__qualname__", type(value).__qualname__)
+        digest.update(b"C" + tag.encode("utf-8"))
+        code = getattr(value, "__code__", None)
+        if code is not None:
+            digest.update(code.co_code)
+            digest.update(repr(code.co_consts).encode("utf-8"))
+    else:
+        raise EngineError(
+            f"fingerprint: cannot hash a {type(value).__qualname__}; "
+            "provide an explicit source fingerprint for this artifact"
+        )

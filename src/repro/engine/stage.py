@@ -1,0 +1,146 @@
+"""The :class:`Stage` contract and the context stages run against.
+
+A stage is one named, parameterized unit of the analysis: it declares
+which artifacts it consumes (``inputs``), which it produces
+(``outputs``), and exposes its configuration as a ``params`` mapping.
+The engine never inspects *how* a stage computes — the declaration is
+the whole contract, which is what makes stages memoizable: a stage's
+cache key is a hash of its name, its params and the fingerprints of
+its inputs, so two stages with equal declarations are interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.engine.fingerprint import fingerprint
+from repro.exceptions import EngineError
+
+__all__ = ["RunContext", "Stage", "FunctionStage"]
+
+
+class RunContext(Mapping[str, Any]):
+    """Read-only view of the artifacts available to a running stage.
+
+    Behaves as a mapping from artifact name to value; stages look up
+    their declared inputs with ``ctx["name"]``.
+    """
+
+    def __init__(self, artifacts: Mapping[str, Any]) -> None:
+        self._artifacts = dict(artifacts)
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self._artifacts[name]
+        except KeyError:
+            raise EngineError(
+                f"RunContext: no artifact named {name!r}; "
+                f"available: {sorted(self._artifacts)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._artifacts)
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    def __repr__(self) -> str:
+        return f"RunContext(artifacts={sorted(self._artifacts)})"
+
+
+class Stage(abc.ABC):
+    """One composable, memoizable unit of an analysis pipeline.
+
+    Subclasses set the class (or instance) attributes ``name``,
+    ``inputs`` and ``outputs`` and implement :meth:`run`.  Parameters
+    that affect the result must be exposed through :attr:`params` —
+    they are part of the cache key, so omitting one silently reuses
+    stale results.
+    """
+
+    name: str = ""
+    inputs: tuple[str, ...] = ()
+    outputs: tuple[str, ...] = ()
+
+    @property
+    def params(self) -> Mapping[str, Any]:
+        """Result-affecting configuration, as a fingerprintable mapping."""
+        return {}
+
+    @abc.abstractmethod
+    def run(self, ctx: RunContext) -> Mapping[str, Any]:
+        """Compute this stage's outputs from the artifacts in ``ctx``.
+
+        Must return a mapping covering exactly :attr:`outputs`.
+        """
+
+    @property
+    def signature(self) -> str:
+        """Fingerprint of this stage's identity and parameters."""
+        try:
+            return fingerprint(("stage", self.name, dict(self.params)))
+        except EngineError as error:
+            raise EngineError(
+                f"stage {self.name!r}: unhashable params ({error})"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"inputs={self.inputs}, outputs={self.outputs})"
+        )
+
+
+class FunctionStage(Stage):
+    """Adapter turning a plain function into a :class:`Stage`.
+
+    The function receives the declared inputs as keyword arguments.
+    With a single declared output it may return the bare value; with
+    several it must return a mapping covering all of them.
+
+    Example
+    -------
+    >>> stage = FunctionStage("double", lambda x: 2 * x,
+    ...                       inputs=("x",), outputs=("y",))
+    >>> stage.run(RunContext({"x": 21}))
+    {'y': 42}
+    """
+
+    def __init__(
+        self,
+        name: str,
+        func: Callable[..., Any],
+        *,
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str],
+        params: Mapping[str, Any] | None = None,
+    ) -> None:
+        if not name:
+            raise EngineError("FunctionStage: empty stage name")
+        if not outputs:
+            raise EngineError(f"FunctionStage {name!r}: no outputs declared")
+        self.name = name
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+        self._func = func
+        self._params = dict(params) if params else {}
+
+    @property
+    def params(self) -> Mapping[str, Any]:
+        """The explicit params plus the wrapped function's identity."""
+        return {**self._params, "func": self._func}
+
+    def run(self, ctx: RunContext) -> Mapping[str, Any]:
+        """Call the wrapped function on the declared inputs."""
+        result = self._func(**{name: ctx[name] for name in self.inputs})
+        if len(self.outputs) == 1 and not (
+            isinstance(result, Mapping) and set(result) == set(self.outputs)
+        ):
+            return {self.outputs[0]: result}
+        if not isinstance(result, Mapping):
+            raise EngineError(
+                f"stage {self.name!r}: expected a mapping of outputs "
+                f"{self.outputs}, got {type(result).__qualname__}"
+            )
+        return result

@@ -1,0 +1,173 @@
+"""Artifact and memoization storage for the pipeline engine.
+
+Two separate concerns live here:
+
+* :class:`ArtifactStore` — the *per-run* namespace of named
+  intermediate products (characteristic vectors, SOM, dendrogram, ...)
+  with their fingerprints and approximate sizes;
+* :class:`StageCache` — the *cross-run* memo of stage outputs keyed by
+  the stage's cache key, with LRU eviction and hit/miss accounting.
+
+A sweep that re-runs the pipeline with one changed knob gets a fresh
+store each run but shares the cache, which is what lets unchanged
+upstream stages be served without recomputation.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.exceptions import EngineError
+
+__all__ = ["Artifact", "ArtifactStore", "CacheInfo", "StageCache", "approx_size"]
+
+
+def approx_size(value: Any, *, _depth: int = 0) -> int:
+    """Approximate in-memory footprint of an artifact, in bytes.
+
+    Exact for numpy arrays (``nbytes``); containers are summed one or
+    two levels deep; everything else falls back to ``sys.getsizeof``.
+    Good enough to spot which stage produces the bulky artifacts.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if _depth >= 3:
+        return sys.getsizeof(value, 64)
+    if isinstance(value, Mapping):
+        return sys.getsizeof(value, 64) + sum(
+            approx_size(k, _depth=_depth + 1) + approx_size(v, _depth=_depth + 1)
+            for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sys.getsizeof(value, 64) + sum(
+            approx_size(item, _depth=_depth + 1) for item in value
+        )
+    inner = getattr(value, "__dict__", None)
+    if isinstance(inner, dict) and inner and _depth < 2:
+        return sys.getsizeof(value, 64) + approx_size(inner, _depth=_depth + 1)
+    return sys.getsizeof(value, 64)
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One named intermediate product of a run."""
+
+    name: str
+    value: Any
+    fingerprint: str
+    producer: str
+    size_bytes: int
+
+
+class ArtifactStore:
+    """Mutable namespace of the artifacts produced during one run."""
+
+    def __init__(self) -> None:
+        self._artifacts: dict[str, Artifact] = {}
+
+    def put(
+        self,
+        name: str,
+        value: Any,
+        fingerprint: str,
+        *,
+        producer: str = "source",
+    ) -> Artifact:
+        """Register an artifact; names are write-once within a run."""
+        if name in self._artifacts:
+            raise EngineError(
+                f"ArtifactStore: artifact {name!r} already produced by "
+                f"{self._artifacts[name].producer!r}"
+            )
+        artifact = Artifact(
+            name=name,
+            value=value,
+            fingerprint=fingerprint,
+            producer=producer,
+            size_bytes=approx_size(value),
+        )
+        self._artifacts[name] = artifact
+        return artifact
+
+    def get(self, name: str) -> Any:
+        """The value of one artifact."""
+        return self.artifact(name).value
+
+    def artifact(self, name: str) -> Artifact:
+        """The full :class:`Artifact` record for one name."""
+        try:
+            return self._artifacts[name]
+        except KeyError:
+            raise EngineError(
+                f"ArtifactStore: no artifact named {name!r}; "
+                f"available: {sorted(self._artifacts)}"
+            ) from None
+
+    def values(self) -> dict[str, Any]:
+        """All artifact values, by name."""
+        return {name: a.value for name, a in self._artifacts.items()}
+
+    def names(self) -> tuple[str, ...]:
+        """The registered artifact names, in insertion order."""
+        return tuple(self._artifacts)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._artifacts
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore(names={sorted(self._artifacts)})"
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Cumulative memoization counters of a :class:`StageCache`."""
+
+    hits: int
+    misses: int
+    entries: int
+
+
+class StageCache:
+    """LRU memo of stage outputs, keyed by stage cache key."""
+
+    def __init__(self, max_entries: int = 128) -> None:
+        if max_entries < 1:
+            raise EngineError("StageCache: max_entries must be >= 1")
+        self._max_entries = max_entries
+        self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Cached outputs for ``key``, or ``None``; counts hit/miss."""
+        outputs = self._entries.get(key)
+        if outputs is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return outputs
+
+    def put(self, key: str, outputs: Mapping[str, Any]) -> None:
+        """Memoize one stage's outputs, evicting the LRU entry if full."""
+        self._entries[key] = dict(outputs)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+
+    def info(self) -> CacheInfo:
+        """Current hit/miss/entry counters."""
+        return CacheInfo(
+            hits=self._hits, misses=self._misses, entries=len(self._entries)
+        )
+
+    def clear(self) -> None:
+        """Drop every memoized entry and reset the counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0

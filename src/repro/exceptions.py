@@ -19,6 +19,9 @@ rejected the input:
   usable state (e.g. the partition solver found no consistent chain).
 * :class:`SuiteError` -- malformed benchmark-suite or machine
   definitions (duplicate workload names, unknown machine, ...).
+* :class:`EngineError` -- invalid stage graphs or artifacts in the
+  pipeline engine (missing inputs, duplicate producers, unhashable
+  stage parameters, ...).
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ __all__ = [
     "SOMError",
     "ConvergenceError",
     "SuiteError",
+    "EngineError",
 ]
 
 
@@ -74,3 +78,13 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class SuiteError(ReproError, ValueError):
     """Raised for malformed benchmark suite or machine definitions."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """Raised when a stage graph cannot be assembled or executed.
+
+    Examples: a stage consumes an artifact that nothing produces, two
+    stages declare the same output name, a stage returns outputs that
+    do not match its declaration, or stage parameters cannot be
+    fingerprinted for the memoization key.
+    """

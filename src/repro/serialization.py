@@ -18,6 +18,7 @@ from typing import Any, Mapping
 from repro.analysis.pipeline import AnalysisResult
 from repro.cluster.dendrogram import Dendrogram, Merge
 from repro.core.partition import Partition
+from repro.core.scoring import ScoredCut
 from repro.exceptions import ReproError
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "dendrogram_to_dict",
     "dendrogram_from_dict",
     "analysis_result_to_dict",
+    "analysis_result_from_dict",
     "chain_to_dict",
     "chain_from_dict",
     "save_json",
@@ -122,11 +124,66 @@ def analysis_result_to_dict(result: AnalysisResult) -> dict[str, Any]:
                 "clusters": cut.clusters,
                 "partition": partition_to_dict(cut.partition)["blocks"],
                 "scores": dict(cut.scores),
+                "machine_order": (
+                    list(cut.machine_order)
+                    if cut.machine_order is not None
+                    else None
+                ),
             }
             for cut in result.cuts
         ],
         "recommended_clusters": result.recommended_clusters,
     }
+
+
+def analysis_result_from_dict(data: Mapping[str, Any]) -> AnalysisResult:
+    """Inverse of :func:`analysis_result_to_dict`.
+
+    Rebuilds an :class:`AnalysisResult` from its archived summary.
+    The bulky artifacts the export drops (raw/prepared characteristic
+    vectors, the trained SOM, the engine run report) come back as
+    ``None``; everything the scoring methodology needs — positions,
+    dendrogram, scored cuts, recommendation — round-trips exactly:
+    ``to_dict(from_dict(d)) == d``.
+    """
+    if data.get("type") != "analysis-result":
+        raise ReproError(
+            "analysis_result_from_dict: not a serialized analysis result"
+        )
+    try:
+        positions = {
+            label: (int(cell[0]), int(cell[1]))
+            for label, cell in data["positions"].items()
+        }
+        cuts = tuple(
+            ScoredCut(
+                clusters=int(entry["clusters"]),
+                partition=Partition(entry["partition"]),
+                scores=dict(entry["scores"]),
+                machine_order=(
+                    tuple(entry["machine_order"])
+                    if entry.get("machine_order") is not None
+                    else None
+                ),
+            )
+            for entry in data["cuts"]
+        )
+        return AnalysisResult(
+            suite_name=data["suite"],
+            characterization=data["characterization"],
+            machine_name=data.get("machine"),
+            raw_vectors=None,
+            prepared_vectors=None,
+            som=None,
+            positions=positions,
+            dendrogram=dendrogram_from_dict(data["dendrogram"]),
+            cuts=cuts,
+            recommended_clusters=int(data["recommended_clusters"]),
+        )
+    except (KeyError, IndexError, TypeError) as error:
+        raise ReproError(
+            f"analysis_result_from_dict: malformed payload ({error!r})"
+        ) from None
 
 
 def save_json(data: Mapping[str, Any], path: str | Path) -> None:

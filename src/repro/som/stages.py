@@ -1,0 +1,50 @@
+"""Engine stage for the SOM dimensionality reduction (paper stage 3).
+
+Trains a :class:`~repro.som.som.SelfOrganizingMap` on the prepared
+characteristic vectors and maps each workload to its best-matching
+2-D cell.  The full :class:`~repro.som.som.SOMConfig` is part of the
+stage params, so any hyper-parameter change invalidates the cached
+map while leaving the characterization stages untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.characterization.base import CharacteristicVectors
+from repro.engine.stage import RunContext, Stage
+from repro.som.som import SelfOrganizingMap, SOMConfig
+
+__all__ = ["SOMReduceStage"]
+
+
+class SOMReduceStage(Stage):
+    """Stage 3: prepared vectors → trained SOM + workload positions."""
+
+    name = "reduce"
+    inputs = ("prepared_vectors",)
+    outputs = ("som", "positions")
+
+    def __init__(self, config: SOMConfig | None = None) -> None:
+        self._config = config or SOMConfig()
+
+    @property
+    def config(self) -> SOMConfig:
+        """The SOM hyper-parameters this stage trains with."""
+        return self._config
+
+    @property
+    def params(self) -> Mapping[str, Any]:
+        """The full SOM configuration (a frozen dataclass)."""
+        return {"config": self._config}
+
+    def run(self, ctx: RunContext) -> Mapping[str, Any]:
+        """Train the map and project every workload to a cell."""
+        prepared: CharacteristicVectors = ctx["prepared_vectors"]
+        som = SelfOrganizingMap(self._config).fit(prepared.matrix)
+        projected = som.project(prepared.matrix)
+        positions = {
+            label: (int(row), int(col))
+            for label, (row, col) in zip(prepared.labels, projected)
+        }
+        return {"som": som, "positions": positions}

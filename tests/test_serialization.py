@@ -11,6 +11,7 @@ from repro.core.partition import Partition
 from repro.data.partitions import TABLE4_PARTITIONS
 from repro.exceptions import ReproError
 from repro.serialization import (
+    analysis_result_from_dict,
     analysis_result_to_dict,
     chain_from_dict,
     chain_to_dict,
@@ -107,6 +108,64 @@ class TestAnalysisResultExport:
         for entry in data["cuts"]:
             partition = Partition(entry["partition"])
             assert partition == result.cut(entry["clusters"]).partition
+
+
+class TestAnalysisResultRoundTrip:
+    @pytest.fixture(scope="class")
+    def result(self, paper_suite):
+        pipeline = WorkloadAnalysisPipeline(
+            characterization="methods",
+            machine=None,
+            som_config=SOMConfig(rows=6, columns=6, steps_per_sample=120, seed=2),
+        )
+        return pipeline.run(paper_suite)
+
+    def test_json_round_trip(self, result, tmp_path):
+        """from_dict inverts to_dict through an actual JSON file."""
+        target = tmp_path / "result.json"
+        save_json(analysis_result_to_dict(result), target)
+        recovered = analysis_result_from_dict(load_json(target))
+        assert analysis_result_to_dict(recovered) == analysis_result_to_dict(
+            result
+        )
+
+    def test_recovered_fields(self, result):
+        recovered = analysis_result_from_dict(analysis_result_to_dict(result))
+        assert recovered.suite_name == result.suite_name
+        assert recovered.characterization == result.characterization
+        assert recovered.machine_name == result.machine_name
+        assert recovered.positions == dict(result.positions)
+        assert recovered.recommended_clusters == result.recommended_clusters
+        assert recovered.dendrogram.labels == result.dendrogram.labels
+        for original, restored in zip(result.cuts, recovered.cuts):
+            assert restored.clusters == original.clusters
+            assert restored.partition == original.partition
+            assert restored.scores == original.scores
+            assert restored.machine_order == original.machine_order
+            assert restored.ratio == pytest.approx(original.ratio)
+
+    def test_bulky_artifacts_are_dropped(self, result):
+        recovered = analysis_result_from_dict(analysis_result_to_dict(result))
+        assert recovered.raw_vectors is None
+        assert recovered.prepared_vectors is None
+        assert recovered.som is None
+        assert recovered.run_report is None
+
+    def test_recovered_result_methods_work(self, result):
+        recovered = analysis_result_from_dict(analysis_result_to_dict(result))
+        k = recovered.recommended_clusters
+        assert recovered.cut(k).clusters == k
+        assert recovered.shared_cells() == result.shared_cells()
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ReproError, match="not a serialized analysis"):
+            analysis_result_from_dict({"type": "partition"})
+
+    def test_rejects_malformed_payload(self):
+        with pytest.raises(ReproError, match="malformed"):
+            analysis_result_from_dict(
+                {"type": "analysis-result", "suite": "s"}
+            )
 
 
 class TestFileHelpers:
