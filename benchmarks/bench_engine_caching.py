@@ -4,8 +4,9 @@ Times one 7-variant linkage/SOM parameter sweep twice: once with the
 memo cache disabled (every variant recomputes all six stages, the
 pre-refactor behaviour) and once on a shared caching engine (each
 variant recomputes only the stages downstream of its changed knob).
-Prints both wall times and the speedup so the win is measurable in
-BENCH trajectories.
+Prints both wall times and the speedup, and archives the structured
+numbers — per-stage timing histograms from the metrics registry, span
+counts from the tracer — as ``results/BENCH_engine_caching.json``.
 """
 
 from __future__ import annotations
@@ -14,9 +15,10 @@ import time
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, write_bench_json
 from repro.analysis.pipeline import WorkloadAnalysisPipeline
 from repro.engine import PipelineEngine
+from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
 from repro.som.som import SOMConfig
 from repro.viz.tables import format_table
 
@@ -50,22 +52,61 @@ def _sweep(engine, suite):
 
 
 def _timed_sweeps(suite):
-    """(uncached seconds, cached seconds, cache info) for the sweep."""
-    started = time.perf_counter()
-    uncached_results = _sweep(PipelineEngine(cache=False), suite)
-    uncached = time.perf_counter() - started
+    """Run the sweep twice (uncached, then cached+traced) and time both.
 
-    engine = PipelineEngine()
-    started = time.perf_counter()
-    cached_results = _sweep(engine, suite)
-    cached = time.perf_counter() - started
-    return uncached, cached, engine.cache_info(), uncached_results, cached_results
+    The cached sweep runs under a real tracer and a fresh metrics
+    registry so its per-stage structure lands in the archived JSON.
+    """
+    metrics = MetricsRegistry()
+    with use_metrics(metrics):
+        started = time.perf_counter()
+        uncached_results = _sweep(PipelineEngine(cache=False), suite)
+        uncached = time.perf_counter() - started
+
+        engine = PipelineEngine()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            started = time.perf_counter()
+            cached_results = _sweep(engine, suite)
+            cached = time.perf_counter() - started
+    return (
+        uncached,
+        cached,
+        engine.cache_info(),
+        uncached_results,
+        cached_results,
+        tracer,
+        metrics,
+    )
 
 
 @pytest.mark.benchmark(group="engine")
 def test_engine_caching_speedup(benchmark, paper_suite):
-    uncached, cached, info, plain, memoized = benchmark.pedantic(
+    uncached, cached, info, plain, memoized, tracer, metrics = benchmark.pedantic(
         _timed_sweeps, args=(paper_suite,), rounds=1, iterations=1
+    )
+
+    write_bench_json(
+        "engine_caching",
+        {
+            "variants": len(VARIANTS),
+            "uncached_seconds": uncached,
+            "cached_seconds": cached,
+            "speedup": uncached / cached,
+            "cache": {
+                "hits": info.hits,
+                "misses": info.misses,
+                "entries": info.entries,
+            },
+            "cached_sweep_spans": {
+                "total": sum(1 for _ in tracer.spans()),
+                "stage_spans": sum(
+                    1 for s in tracer.spans() if s.name.startswith("stage.")
+                ),
+                "som_epoch_spans": len(tracer.find("som.epoch")),
+            },
+            "metrics": metrics.as_dict(),
+        },
     )
 
     emit(

@@ -5,13 +5,24 @@ in the paper's layout (run ``pytest benchmarks/ --benchmark-only -s``
 to see the output).  Timing goes through pytest-benchmark; expensive
 stages (SOM training) use ``benchmark.pedantic`` with a single round so
 the suite stays fast.
+
+Benches that measure performance also archive machine-readable results
+with :func:`write_bench_json`: one ``results/BENCH_<name>.json`` per
+bench, built from the tracer/metrics observability API, forming the
+perf trajectory tracked across PRs.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
 import pytest
 
 from repro.workloads.suite import BenchmarkSuite
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 SCIMARK = (
     "SciMark2.FFT",
@@ -32,3 +43,18 @@ def emit(title: str, body: str) -> None:
     """Print one bench's regenerated artifact with a banner."""
     bar = "=" * 72
     print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+def write_bench_json(name: str, payload: Mapping[str, Any]) -> Path:
+    """Archive one bench's structured results as ``BENCH_<name>.json``.
+
+    ``payload`` must be JSON-serializable; tracer span dicts
+    (``Span.to_dict``) and ``MetricsRegistry.as_dict`` snapshots
+    qualify directly.  Returns the written path.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"bench": name, "schema": 1, **payload}, handle, indent=2)
+        handle.write("\n")
+    return path

@@ -16,7 +16,10 @@ library provides:
   simulator (:mod:`repro.workloads`);
 * the **published data** of Tables III-VI plus the recovered cluster
   partitions behind them (:mod:`repro.data`, :mod:`repro.inference`);
-* text renderings of every figure (:mod:`repro.viz`).
+* text renderings of every figure (:mod:`repro.viz`);
+* an **observability layer** — tracing spans with Chrome/JSONL export,
+  a metrics registry, structured logging — threaded through the engine,
+  the SOM and the CLI (:mod:`repro.obs`).
 
 Quickstart
 ----------
@@ -44,6 +47,16 @@ from repro.core import (
     hierarchical_mean,
 )
 from repro.exceptions import ReproError
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    current_metrics,
+    current_tracer,
+    get_logger,
+    use_metrics,
+    use_tracer,
+)
 from repro.som import SelfOrganizingMap, SOMConfig
 from repro.workloads import (
     MACHINE_A,
@@ -81,6 +94,15 @@ __all__ = [
     "SOMConfig",
     "AgglomerativeClustering",
     "Dendrogram",
+    # observability
+    "Tracer",
+    "MetricsRegistry",
+    "current_tracer",
+    "current_metrics",
+    "use_tracer",
+    "use_metrics",
+    "get_logger",
+    "configure_logging",
     # experimental universe
     "BenchmarkSuite",
     "MachineSpec",

@@ -48,6 +48,7 @@ from repro.data.table3 import SPEEDUP_TABLE
 from repro.engine.executor import PipelineEngine, RunReport, run_single
 from repro.engine.stage import Stage
 from repro.exceptions import CharacterizationError, MeasurementError
+from repro.obs.trace import current_tracer
 from repro.som.som import SelfOrganizingMap, SOMConfig
 from repro.som.stages import SOMReduceStage
 from repro.workloads.machines import MachineSpec, machine
@@ -85,7 +86,8 @@ class AnalysisResult:
             if scored.clusters == clusters:
                 return scored
         raise MeasurementError(
-            f"AnalysisResult: no cut with {clusters} clusters was computed"
+            f"AnalysisResult: no cut with {clusters} clusters was computed; "
+            f"computed counts: {[scored.clusters for scored in self.cuts]}"
         )
 
     def shared_cells(self) -> dict[tuple[int, int], tuple[str, ...]]:
@@ -292,11 +294,17 @@ class WorkloadAnalysisPipeline:
     def run(self, suite: BenchmarkSuite) -> AnalysisResult:
         """Execute the stage graph on the engine and bundle the artifacts."""
         self._check_speedup_coverage(suite)
-        engine_run = self._engine.run(
-            self.stages(),
-            {"suite": suite},
-            source_fingerprints={"suite": suite_fingerprint(suite)},
-        )
+        with current_tracer().span(
+            "pipeline.run",
+            suite=suite.name,
+            characterization=self._characterization,
+            machine=self._machine.name if self._machine else None,
+        ):
+            engine_run = self._engine.run(
+                self.stages(),
+                {"suite": suite},
+                source_fingerprints={"suite": suite_fingerprint(suite)},
+            )
         return AnalysisResult(
             suite_name=suite.name,
             characterization=self._characterization,

@@ -28,6 +28,8 @@ from repro.core.scoring import ScoredCut
 from repro.core.stages import ScoreCutsStage
 from repro.engine.fingerprint import fingerprint
 from repro.engine.stage import RunContext, Stage
+from repro.obs.log import fmt_kv, get_logger
+from repro.obs.metrics import current_metrics
 from repro.som.som import SOMConfig
 from repro.som.stages import SOMReduceStage
 from repro.stats.distance import pairwise_distances
@@ -35,6 +37,8 @@ from repro.workloads.machines import MachineSpec
 from repro.workloads.suite import BenchmarkSuite
 
 __all__ = ["RecommendStage", "analysis_stages", "suite_fingerprint"]
+
+_log = get_logger("analysis")
 
 
 class RecommendStage(Stage):
@@ -78,6 +82,20 @@ class RecommendStage(Stage):
         positions: Mapping[str, tuple[int, int]] = ctx["positions"]
         aligned = self._alignment_verdicts(suite, dendrogram)
         recommended = self._recommend(cuts, positions, dendrogram, aligned)
+        current_metrics().gauge("repro_recommended_clusters").set(recommended)
+        if _log.isEnabledFor(20):  # INFO
+            _log.info(
+                fmt_kv(
+                    "recommend",
+                    clusters=recommended,
+                    candidates=len(cuts),
+                    aligned_ks=(
+                        sorted(k for k, ok in aligned.items() if ok)
+                        if aligned
+                        else "n/a"
+                    ),
+                )
+            )
         return {"recommended_clusters": recommended, "alignment": aligned}
 
     def _alignment_verdicts(

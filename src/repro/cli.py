@@ -19,11 +19,17 @@ Installed as ``repro-hmeans``.  Subcommands:
 * ``confidence`` — bootstrap confidence intervals for the suite scores.
 * ``solve`` — rerun the partition-inference solver against a published
   table.
+
+Every subcommand accepts the observability flags ``--trace FILE``
+(Chrome ``trace_event`` JSON of the run, or JSONL when the file ends
+in ``.jsonl``), ``--metrics FILE`` (Prometheus-style text dump) and
+``-v``/``-vv`` (INFO / DEBUG key=value logging on stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from typing import Sequence
 
@@ -35,6 +41,14 @@ from repro.data.partitions import partition_chain
 from repro.data.table3 import SPEEDUP_TABLE, speedups_for_machine
 from repro.data.tables456 import hgm_table
 from repro.exceptions import ReproError
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    fmt_kv,
+    use_metrics,
+    use_tracer,
+)
 from repro.viz.ascii import render_dendrogram, render_som_map
 from repro.viz.tables import format_hgm_table, format_speedup_table
 from repro.workloads.execution import ExecutionSimulator
@@ -124,7 +138,37 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
     if getattr(args, "stats", False) and result.run_report is not None:
         lines += ["", "per-stage engine instrumentation:"]
         lines.append(result.run_report.summary())
+        som_line = _som_stats_line(result)
+        if som_line:
+            lines.append(som_line)
     return "\n".join(lines)
+
+
+def _som_stats_line(result) -> str | None:
+    """One-line SOM training cost summary for ``pipeline --stats``.
+
+    The reduce stage dominates pipeline wall time; this surfaces its
+    internals (epochs, quality trajectory endpoints) so that cost is
+    no longer a black box in run reports.
+    """
+    from repro.som.quality import quantization_error, topographic_error
+
+    som, prepared = result.som, result.prepared_vectors
+    if som is None or prepared is None or not som.is_trained:
+        return None
+    qe = quantization_error(som, prepared.matrix)
+    te = topographic_error(som, prepared.matrix)
+    history = som.training_history
+    trajectory = (
+        f", QE trajectory {history[0][1]:.3f} -> {history[-1][1]:.3f} "
+        f"over {len(history)} samples"
+        if history
+        else ""
+    )
+    return (
+        f"  SOM: {som.epochs_trained} epochs, final quantization error "
+        f"{qe:.3f}, topographic error {te:.3f}{trajectory}"
+    )
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
@@ -305,6 +349,33 @@ def _cmd_solve(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Observability flags shared by every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a trace of the run: Chrome trace_event JSON "
+        "(chrome://tracing), or JSONL when FILE ends in .jsonl",
+    )
+    group.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write a Prometheus-style text dump of run metrics",
+    )
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="key=value logging on stderr (-v INFO, -vv DEBUG)",
+    )
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hmeans",
@@ -312,12 +383,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=11, help="simulation seed")
     subparsers = parser.add_subparsers(dest="command", required=True)
+    obs = _obs_parent()
 
-    subparsers.add_parser("table3", help="speedup table (Table III)")
+    subparsers.add_parser(
+        "table3", help="speedup table (Table III)", parents=[obs]
+    )
 
     for number in (4, 5, 6):
         sub = subparsers.add_parser(
-            f"table{number}", help=f"hierarchical geometric means (Table {'IV V VI'.split()[number - 4]})"
+            f"table{number}",
+            help=f"hierarchical geometric means (Table {'IV V VI'.split()[number - 4]})",
+            parents=[obs],
         )
         sub.set_defaults(table_number=number)
 
@@ -328,7 +404,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ("report", "complete analysis report with redundancy diagnostics"),
         ("export", "run the pipeline and write the result as JSON"),
     ):
-        sub = subparsers.add_parser(name, help=help_text)
+        sub = subparsers.add_parser(name, help=help_text, parents=[obs])
         sub.add_argument(
             "--characterization",
             choices=("sar", "methods", "micro"),
@@ -357,6 +433,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep = subparsers.add_parser(
         "sweep",
         help="linkage sweep on one shared engine (cached upstream stages)",
+        parents=[obs],
     )
     sweep.add_argument(
         "--characterization",
@@ -383,7 +460,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     gaming = subparsers.add_parser(
-        "gaming", help="score-gaming resistance demonstration"
+        "gaming", help="score-gaming resistance demonstration", parents=[obs]
     )
     gaming.add_argument(
         "--factor",
@@ -393,7 +470,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     subset = subparsers.add_parser(
-        "subset", help="cluster-driven benchmark subsetting"
+        "subset", help="cluster-driven benchmark subsetting", parents=[obs]
     )
     subset.add_argument(
         "--clusters",
@@ -404,14 +481,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     confidence = subparsers.add_parser(
-        "confidence", help="bootstrap confidence intervals for suite scores"
+        "confidence",
+        help="bootstrap confidence intervals for suite scores",
+        parents=[obs],
     )
     confidence.add_argument(
         "--resamples", type=int, default=400, help="bootstrap replicates"
     )
 
     solve = subparsers.add_parser(
-        "solve", help="recover a table's cluster partitions from its scores"
+        "solve",
+        help="recover a table's cluster partitions from its scores",
+        parents=[obs],
     )
     solve.add_argument(
         "--table", type=int, choices=(4, 5, 6), default=4,
@@ -444,11 +525,42 @@ def main(argv: Sequence[str] | None = None) -> int:
         "confidence": _cmd_confidence,
         "solve": _cmd_solve,
     }
+
+    log = configure_logging(getattr(args, "verbose", 0))
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    # A real tracer only when requested: the no-op default keeps
+    # instrumentation free on untraced runs.  Metrics always collect
+    # into a per-invocation registry so --metrics dumps one run.
+    tracer = Tracer() if trace_path else None
+    registry = MetricsRegistry()
+
     try:
-        output = handlers[args.command](args)
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(use_metrics(registry))
+            if tracer is not None:
+                stack.enter_context(use_tracer(tracer))
+                stack.enter_context(
+                    tracer.span(f"cli.{args.command}", command=args.command)
+                )
+            output = handlers[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+
+    if tracer is not None and trace_path:
+        tracer.write(trace_path)
+        log.info(
+            fmt_kv(
+                "trace.written",
+                path=trace_path,
+                spans=sum(1 for _ in tracer.spans()),
+            )
+        )
+    if metrics_path:
+        registry.write(metrics_path)
+        log.info(fmt_kv("metrics.written", path=metrics_path))
+
     try:
         print(output)
     except BrokenPipeError:

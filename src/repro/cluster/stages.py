@@ -14,8 +14,12 @@ import numpy as np
 
 from repro.cluster.agglomerative import AgglomerativeClustering
 from repro.engine.stage import RunContext, Stage
+from repro.obs.log import fmt_kv, get_logger
+from repro.obs.metrics import current_metrics
 
 __all__ = ["ClusterStage"]
+
+_log = get_logger("cluster")
 
 
 class ClusterStage(Stage):
@@ -41,4 +45,22 @@ class ClusterStage(Stage):
         dendrogram = AgglomerativeClustering(linkage=self._linkage).fit(
             points, labels=labels
         )
+
+        metrics = current_metrics()
+        metrics.counter(
+            "repro_cluster_merges_total", linkage=self._linkage
+        ).inc(len(dendrogram.merges))
+        if dendrogram.merges:
+            metrics.gauge("repro_cluster_top_merge_distance").set(
+                dendrogram.merges[-1].distance
+            )
+        if _log.isEnabledFor(10):  # DEBUG
+            _log.debug(
+                fmt_kv(
+                    "cluster.fit",
+                    linkage=self._linkage,
+                    leaves=dendrogram.num_leaves,
+                    merges=len(dendrogram.merges),
+                )
+            )
         return {"dendrogram": dendrogram}

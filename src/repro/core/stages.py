@@ -16,8 +16,12 @@ from repro.core.hierarchical import hierarchical_mean
 from repro.core.scoring import ScoredCut
 from repro.engine.stage import RunContext, Stage
 from repro.exceptions import MeasurementError
+from repro.obs.log import fmt_kv, get_logger
+from repro.obs.metrics import current_metrics
 
 __all__ = ["ScoreCutsStage"]
+
+_log = get_logger("core")
 
 
 class ScoreCutsStage(Stage):
@@ -92,5 +96,24 @@ class ScoreCutsStage(Stage):
         if not cuts:
             raise MeasurementError(
                 "pipeline: no requested cluster count fits the suite size"
+            )
+
+        metrics = current_metrics()
+        metrics.counter("repro_cuts_scored_total").inc(len(cuts))
+        for cut in cuts:
+            for machine_name, score in cut.scores.items():
+                metrics.gauge(
+                    "repro_score_hierarchical_mean",
+                    machine=machine_name,
+                    clusters=str(cut.clusters),
+                ).set(score)
+        if _log.isEnabledFor(10):  # DEBUG
+            _log.debug(
+                fmt_kv(
+                    "score.cuts",
+                    mean=self._mean,
+                    cuts=len(cuts),
+                    machines=len(self._speedups),
+                )
             )
         return {"cuts": tuple(cuts)}

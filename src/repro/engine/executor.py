@@ -13,10 +13,16 @@ to any upstream knob changes every downstream key, while a change to a
 downstream knob (say, the linkage rule) leaves upstream keys intact
 and their cached outputs reusable.
 
-Every run is instrumented: per-stage wall time, cache hit/miss and
-artifact sizes are collected into a :class:`RunReport` on the
-returned :class:`EngineRun`, and optional hooks observe each
-:class:`StageStats` as it is produced.
+Every run is instrumented: each stage executes inside a tracing span
+(``stage.<name>``, nested under an ``engine.run`` root span), and the
+per-stage :class:`StageStats` — wall time, cache hit/miss, artifact
+sizes — are built from that span's data and collected into a
+:class:`RunReport` on the returned :class:`EngineRun`.  Optional hooks
+observe each :class:`StageStats` as it is produced, stage timings and
+cache hit/miss counters land in the ambient metrics registry, and a
+``repro.engine`` logger narrates runs at INFO/DEBUG.  With no tracer
+installed the span calls hit :data:`repro.obs.NULL_TRACER`'s no-op
+fast path, so the instrumentation costs nothing when disabled.
 """
 
 from __future__ import annotations
@@ -29,6 +35,11 @@ from repro.engine.fingerprint import combine, fingerprint
 from repro.engine.stage import RunContext, Stage
 from repro.engine.store import ArtifactStore, CacheInfo, StageCache
 from repro.exceptions import EngineError
+from repro.obs.log import fmt_kv, get_logger
+from repro.obs.metrics import MetricsRegistry, current_metrics
+from repro.obs.trace import NullTracer, Tracer, current_tracer
+
+_log = get_logger("engine")
 
 __all__ = [
     "StageStats",
@@ -148,6 +159,14 @@ class PipelineEngine:
     hooks:
         Callables invoked with each :class:`StageStats` as stages
         finish — e.g. a progress printer or a metrics exporter.
+    tracer:
+        Tracer to record ``engine.run`` / ``stage.*`` spans on.  The
+        default (``None``) resolves :func:`repro.obs.current_tracer`
+        at each run, so ``with use_tracer(...):`` around a run traces
+        it without touching the engine.
+    metrics:
+        Registry for stage timings and cache counters; ``None``
+        resolves :func:`repro.obs.current_metrics` at each run.
     """
 
     def __init__(
@@ -156,9 +175,13 @@ class PipelineEngine:
         cache: bool = True,
         max_cache_entries: int = 128,
         hooks: Sequence[StageHook] = (),
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._cache = StageCache(max_cache_entries) if cache else None
         self._hooks = tuple(hooks)
+        self._tracer = tracer
+        self._metrics = metrics
 
     def run(
         self,
@@ -181,33 +204,67 @@ class PipelineEngine:
         for name, value in sources.items():
             store.put(name, value, given.get(name) or fingerprint(value))
 
+        tracer = self._tracer if self._tracer is not None else current_tracer()
+        metrics = (
+            self._metrics if self._metrics is not None else current_metrics()
+        )
         collected: list[StageStats] = []
-        for stage in ordered:
-            collected.append(self._run_stage(stage, store))
+        with tracer.span("engine.run", stages=len(ordered)) as run_span:
+            for stage in ordered:
+                collected.append(
+                    self._run_stage(stage, store, tracer, metrics)
+                )
+            run_span.set(
+                cache_hits=sum(1 for s in collected if s.cache_hit),
+                cache_misses=sum(1 for s in collected if not s.cache_hit),
+            )
         report = RunReport(stages=tuple(collected))
+        if _log.isEnabledFor(20):  # INFO
+            _log.info(
+                fmt_kv(
+                    "engine.run",
+                    stages=len(ordered),
+                    wall_ms=report.total_seconds * 1e3,
+                    cache_hits=report.cache_hits,
+                    cache_misses=report.cache_misses,
+                )
+            )
         return EngineRun(store, report)
 
-    def _run_stage(self, stage: Stage, store: ArtifactStore) -> StageStats:
-        """Execute (or replay) one stage against the store."""
+    def _run_stage(
+        self,
+        stage: Stage,
+        store: ArtifactStore,
+        tracer: Tracer | NullTracer,
+        metrics: MetricsRegistry,
+    ) -> StageStats:
+        """Execute (or replay) one stage inside a ``stage.<name>`` span."""
         input_prints = [store.artifact(name).fingerprint for name in stage.inputs]
         key = combine(stage.signature, *input_prints)
 
-        started = time.perf_counter()
-        outputs = self._cache.get(key) if self._cache is not None else None
-        hit = outputs is not None
-        if outputs is None:
-            ctx = RunContext(
-                {name: store.get(name) for name in stage.inputs}
-            )
-            outputs = dict(stage.run(ctx))
-            if set(outputs) != set(stage.outputs):
-                raise EngineError(
-                    f"stage {stage.name!r}: declared outputs "
-                    f"{sorted(stage.outputs)} but produced {sorted(outputs)}"
+        with tracer.span(f"stage.{stage.name}", stage=stage.name) as span:
+            started = time.perf_counter()
+            outputs = self._cache.get(key) if self._cache is not None else None
+            hit = outputs is not None
+            if outputs is None:
+                ctx = RunContext(
+                    {name: store.get(name) for name in stage.inputs}
                 )
-            if self._cache is not None:
-                self._cache.put(key, outputs)
-        elapsed = time.perf_counter() - started
+                outputs = dict(stage.run(ctx))
+                if set(outputs) != set(stage.outputs):
+                    raise EngineError(
+                        f"stage {stage.name!r}: declared outputs "
+                        f"{sorted(stage.outputs)} but produced {sorted(outputs)}"
+                    )
+                if self._cache is not None:
+                    self._cache.put(key, outputs)
+            elapsed = time.perf_counter() - started
+            span.set(cache_hit=hit, key=key)
+
+        # With a real tracer installed the report is built from span
+        # data, so trace durations and RunReport agree exactly; the
+        # no-op span falls back to the inline clock.
+        wall = span.duration_seconds if getattr(span, "finished", False) else elapsed
 
         sizes = {}
         for name in stage.outputs:
@@ -219,9 +276,29 @@ class PipelineEngine:
             stage=stage.name,
             key=key,
             cache_hit=hit,
-            wall_seconds=elapsed,
+            wall_seconds=wall,
             artifact_sizes=sizes,
         )
+
+        metrics.histogram(
+            "repro_engine_stage_seconds", stage=stage.name
+        ).observe(wall)
+        metrics.counter(
+            "repro_engine_cache_hits_total"
+            if hit
+            else "repro_engine_cache_misses_total"
+        ).inc()
+        if _log.isEnabledFor(10):  # DEBUG
+            _log.debug(
+                fmt_kv(
+                    "stage.done",
+                    stage=stage.name,
+                    wall_ms=wall * 1e3,
+                    cache="hit" if hit else "miss",
+                    output_bytes=stats.total_bytes,
+                )
+            )
+
         for hook in self._hooks:
             hook(stats)
         return stats

@@ -1,0 +1,76 @@
+"""Observability layer: tracing spans, metrics, structured logging.
+
+Three small, dependency-free tools that the engine, the SOM and the
+CLI thread through every run:
+
+* :mod:`repro.obs.trace` — nestable timed spans with JSONL and Chrome
+  ``trace_event`` export (``chrome://tracing`` / Perfetto loadable);
+* :mod:`repro.obs.metrics` — counters, gauges and timing histograms
+  (p50/p95/max) with a Prometheus-style text dump;
+* :mod:`repro.obs.log` — stdlib logging under the ``repro`` namespace
+  with an ``event key=value`` line format.
+
+All three are *ambient*: library code reads :func:`current_tracer` /
+:func:`current_metrics` and the defaults (a no-op tracer, a process
+default registry) make instrumentation free to leave in place.  Scope
+real collectors with :func:`use_tracer` / :func:`use_metrics`::
+
+    from repro.obs import Tracer, MetricsRegistry, use_tracer, use_metrics
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    with use_tracer(tracer), use_metrics(metrics):
+        result = pipeline.run(suite)
+    tracer.write("trace.json")          # open in chrome://tracing
+    print(metrics.render_prometheus())
+"""
+
+from repro.obs.log import (
+    KeyValueFormatter,
+    configure_logging,
+    fmt_kv,
+    get_logger,
+    verbosity_to_level,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    # tracing
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "current_tracer",
+    "set_tracer",
+    "use_tracer",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_metrics",
+    "set_metrics",
+    "use_metrics",
+    # logging
+    "KeyValueFormatter",
+    "fmt_kv",
+    "get_logger",
+    "configure_logging",
+    "verbosity_to_level",
+]

@@ -1,0 +1,114 @@
+"""Structured logging for the ``repro`` namespace.
+
+Thin conventions over stdlib :mod:`logging`:
+
+* every library logger lives under the ``repro`` hierarchy —
+  :func:`get_logger("engine")` → ``repro.engine`` — so one call to
+  :func:`configure_logging` controls the whole library;
+* log lines are ``event key=value`` structured: callers format the
+  payload with :func:`fmt_kv`, and :class:`KeyValueFormatter` prefixes
+  timestamp, level and logger the same way::
+
+      2026-08-06T12:00:00 INFO repro.engine stage.done stage=reduce wall_ms=41.3 cache=miss
+
+* :func:`configure_logging` is idempotent and maps CLI verbosity to
+  levels (0 → WARNING, 1 → INFO, ≥2 → DEBUG).
+
+The library never calls ``configure_logging`` itself — unconfigured,
+its loggers stay silent under stdlib's default handling, so importing
+:mod:`repro` adds no output to host applications.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, TextIO
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "KeyValueFormatter",
+    "fmt_kv",
+    "get_logger",
+    "configure_logging",
+    "verbosity_to_level",
+]
+
+ROOT_LOGGER_NAME = "repro"
+
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+def _format_value(value: Any) -> str:
+    """One ``key=value`` token: floats compact, strings quoted if spacey."""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if not text or any(c in text for c in ' ="'):
+        escaped = text.replace('"', '\\"')
+        return f'"{escaped}"'
+    return text
+
+
+def fmt_kv(event: str, **fields: Any) -> str:
+    """``event key=value ...`` — the structured log payload format."""
+    parts = [event]
+    parts.extend(f"{key}={_format_value(value)}" for key, value in fields.items())
+    return " ".join(parts)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``timestamp LEVEL logger message`` with ISO-8601 timestamps."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            fmt="%(asctime)s %(levelname)s %(name)s %(message)s",
+            datefmt="%Y-%m-%dT%H:%M:%S",
+        )
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.<name>``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """CLI ``-v`` count → logging level (0 WARNING, 1 INFO, 2+ DEBUG)."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(
+    verbosity: int = 0, *, stream: TextIO | None = None
+) -> logging.Logger:
+    """Attach one key=value handler to the ``repro`` logger.
+
+    Idempotent: re-calling adjusts the level (and stream, when given)
+    of the handler installed earlier rather than stacking duplicates.
+    Returns the configured root ``repro`` logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    level = verbosity_to_level(verbosity)
+    handler = next(
+        (h for h in root.handlers if getattr(h, _HANDLER_TAG, False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(KeyValueFormatter())
+        setattr(handler, _HANDLER_TAG, True)
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)  # type: ignore[attr-defined]
+    root.setLevel(level)
+    handler.setLevel(level)
+    # The library's records stop here; don't duplicate into the root
+    # logger of host applications.
+    root.propagate = False
+    return root

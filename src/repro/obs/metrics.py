@@ -1,0 +1,278 @@
+"""Counters, gauges and timing histograms with a Prometheus-style dump.
+
+A :class:`MetricsRegistry` hands out named instruments on demand::
+
+    metrics = MetricsRegistry()
+    metrics.counter("repro_engine_cache_hits_total").inc()
+    metrics.gauge("repro_som_quantization_error").set(0.42)
+    metrics.histogram("repro_engine_stage_seconds", stage="reduce").observe(dt)
+
+Instruments are keyed by name **plus labels**, so one histogram family
+covers every pipeline stage.  :meth:`MetricsRegistry.render_prometheus`
+emits the text exposition format (histograms as quantile summaries),
+and :meth:`MetricsRegistry.as_dict` the JSON shape benchmarks archive
+in their ``BENCH_*.json`` trajectories.
+
+Like tracing, metrics are ambient: :func:`current_metrics` returns the
+installed registry (a process-wide default exists so instrumentation
+never needs a None check) and :func:`use_metrics` scopes a fresh one
+to a ``with`` block — the CLI does this per invocation so ``--metrics``
+dumps exactly one run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from typing import Any, Iterator, Mapping
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "current_metrics",
+    "set_metrics",
+    "use_metrics",
+]
+
+
+def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + body + "}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ReproError(f"Counter.inc: negative amount {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        if not math.isfinite(value):
+            raise ReproError(f"Gauge.set: non-finite value {value}")
+        self.value = float(value)
+
+
+class Histogram:
+    """Observation distribution with nearest-rank percentiles.
+
+    Keeps every observation (runs here are thousands of samples, not
+    millions), so percentiles are exact rather than bucketed.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        if not math.isfinite(value):
+            raise ReproError(f"Histogram.observe: non-finite value {value}")
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return sum(self._values)
+
+    @property
+    def max(self) -> float:
+        """Largest observation (raises when empty)."""
+        if not self._values:
+            raise ReproError("Histogram.max: no observations")
+        return max(self._values)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ReproError(f"Histogram.percentile: q={q} outside [0, 100]")
+        if not self._values:
+            raise ReproError("Histogram.percentile: no observations")
+        ordered = sorted(self._values)
+        rank = max(1, math.ceil(q / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> float:
+        """Median observation."""
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        """95th-percentile observation."""
+        return self.percentile(95)
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/p50/p95/max in one JSON-safe mapping."""
+        if not self._values:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named instrument families, created on first use.
+
+    An instrument is identified by ``(name, labels)``; asking for the
+    same identity twice returns the same object.  Asking for an
+    existing name as a different instrument kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[
+            tuple[str, tuple[tuple[str, str], ...]], Counter | Gauge | Histogram
+        ] = {}
+        self._kinds: dict[str, type] = {}
+
+    def _get(
+        self, kind: type, name: str, labels: Mapping[str, str]
+    ) -> Counter | Gauge | Histogram:
+        if not name:
+            raise ReproError("MetricsRegistry: empty metric name")
+        registered = self._kinds.get(name)
+        if registered is not None and registered is not kind:
+            raise ReproError(
+                f"MetricsRegistry: {name!r} already registered as "
+                f"{registered.__name__}, requested {kind.__name__}"
+            )
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = kind()
+            self._instruments[key] = instrument
+            self._kinds[name] = kind
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter for ``name`` + labels, created on first use."""
+        return self._get(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge for ``name`` + labels, created on first use."""
+        return self._get(Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        """The histogram for ``name`` + labels, created on first use."""
+        return self._get(Histogram, name, labels)  # type: ignore[return-value]
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot: ``{name{labels}: value-or-summary}``."""
+        snapshot: dict[str, Any] = {}
+        for (name, labels), instrument in sorted(self._instruments.items()):
+            key = name + _format_labels(labels)
+            if isinstance(instrument, Histogram):
+                snapshot[key] = instrument.summary()
+            else:
+                snapshot[key] = instrument.value
+        return snapshot
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition of every instrument.
+
+        Counters/gauges render as plain samples; histograms render as
+        quantile summaries (``name{quantile="0.5"}`` …) with ``_count``
+        and ``_sum`` samples, which is what scrapers expect of timing
+        distributions.
+        """
+        type_names = {Counter: "counter", Gauge: "gauge", Histogram: "summary"}
+        lines: list[str] = []
+        seen_types: set[str] = set()
+        for (name, labels), instrument in sorted(self._instruments.items()):
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(
+                    f"# TYPE {name} {type_names[type(instrument)]}"
+                )
+            suffix = _format_labels(labels)
+            if isinstance(instrument, Histogram):
+                if instrument.count:
+                    for q, value in (
+                        ("0.5", instrument.p50),
+                        ("0.95", instrument.p95),
+                        ("1", instrument.max),
+                    ):
+                        q_labels = _label_key(
+                            dict(labels, quantile=q)
+                        )
+                        lines.append(
+                            f"{name}{_format_labels(q_labels)} {value:.9g}"
+                        )
+                lines.append(f"{name}_count{suffix} {instrument.count}")
+                lines.append(f"{name}_sum{suffix} {instrument.total:.9g}")
+            else:
+                lines.append(f"{name}{suffix} {instrument.value:.9g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write(self, path: str) -> None:
+        """Write the Prometheus text dump to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render_prometheus())
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry(instruments={len(self._instruments)})"
+
+
+_current_metrics = MetricsRegistry()
+
+
+def current_metrics() -> MetricsRegistry:
+    """The ambient registry (a process-wide default always exists)."""
+    return _current_metrics
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as ambient; returns the previous one."""
+    global _current_metrics
+    previous = _current_metrics
+    _current_metrics = registry
+    return previous
+
+
+@contextlib.contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` for the duration of a ``with`` block."""
+    previous = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(previous)

@@ -27,12 +27,16 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from repro.exceptions import SOMError
+from repro.obs.log import fmt_kv, get_logger
+from repro.obs.trace import current_tracer
 from repro.som.decay import DecaySchedule, resolve_decay
 from repro.som.grid import Grid
 from repro.som.initialization import resolve_initializer
 from repro.som.neighborhood import NeighborhoodKernel, resolve_neighborhood
 
 __all__ = ["SOMConfig", "SelfOrganizingMap"]
+
+_log = get_logger("som")
 
 
 @dataclass(frozen=True)
@@ -120,6 +124,7 @@ class SelfOrganizingMap:
         )
         self._weights: np.ndarray | None = None
         self._history: tuple[tuple[int, float], ...] = ()
+        self._epochs_trained = 0
 
     # -- accessors ---------------------------------------------------------
 
@@ -193,22 +198,58 @@ class SelfOrganizingMap:
         record the quantization error every that-many steps into
         :attr:`training_history` — the quantitative version of the
         pseudo-code's "continue until converge".
+
+        Training runs inside a ``som.fit`` tracing span with one
+        ``som.epoch`` child span per epoch (an epoch is one pass of
+        ``n_samples`` random draws in sequential mode, one batch
+        update in batch mode) when a tracer is installed; the recorded
+        quality history is surfaced on the span as ``qe`` events.
         """
         if track_quality_every < 0:
             raise SOMError("SOM: track_quality_every must be >= 0")
         matrix = self._as_data(data)
-        rng = np.random.default_rng(self._config.seed)
-        initializer = resolve_initializer(self._config.initialization)
-        self._weights = initializer(self._grid, matrix, rng).astype(float)
-        self._history = ()
+        tracer = current_tracer()
+        with tracer.span(
+            "som.fit",
+            mode=mode,
+            rows=self._grid.rows,
+            columns=self._grid.columns,
+            samples=int(matrix.shape[0]),
+            dim=int(matrix.shape[1]),
+        ) as span:
+            rng = np.random.default_rng(self._config.seed)
+            initializer = resolve_initializer(self._config.initialization)
+            self._weights = initializer(self._grid, matrix, rng).astype(float)
+            self._history = ()
+            self._epochs_trained = 0
 
-        if mode == "sequential":
-            self._fit_sequential(matrix, rng, track_quality_every)
-        elif mode == "batch":
-            self._fit_batch(matrix)
-        else:
-            raise SOMError(
-                f"SOM: unknown training mode {mode!r}; use 'sequential' or 'batch'"
+            if mode == "sequential":
+                self._fit_sequential(matrix, rng, track_quality_every)
+            elif mode == "batch":
+                self._fit_batch(matrix)
+            else:
+                raise SOMError(
+                    f"SOM: unknown training mode {mode!r}; "
+                    "use 'sequential' or 'batch'"
+                )
+            if tracer.enabled:
+                for step, qe in self._history:
+                    span.add_event("qe", step=int(step), value=float(qe))
+                final_qe = self._quantization_error_of(matrix)
+                span.set(
+                    epochs=self.epochs_trained, final_quantization_error=final_qe
+                )
+        if _log.isEnabledFor(10):  # DEBUG
+            _log.debug(
+                fmt_kv(
+                    "som.fit",
+                    mode=mode,
+                    rows=self._grid.rows,
+                    columns=self._grid.columns,
+                    samples=int(matrix.shape[0]),
+                    epochs=self.epochs_trained,
+                    qe=self._quantization_error_of(matrix),
+                )
             )
         return self
 
@@ -216,6 +257,16 @@ class SelfOrganizingMap:
     def training_history(self) -> tuple[tuple[int, float], ...]:
         """``(step, quantization error)`` samples recorded during fit."""
         return self._history
+
+    @property
+    def epochs_trained(self) -> int:
+        """Epochs the last :meth:`fit` ran (0 before training).
+
+        Sequential mode counts one pass of ``n_samples`` random draws
+        as an epoch (so ``steps_per_sample`` epochs total); batch mode
+        counts batch updates.
+        """
+        return self._epochs_trained
 
     def _quantization_error_of(self, matrix: np.ndarray) -> float:
         assert self._weights is not None
@@ -233,10 +284,51 @@ class SelfOrganizingMap:
         track_quality_every: int = 0,
     ) -> None:
         assert self._weights is not None
-        total_steps = self._config.steps_per_sample * matrix.shape[0]
+        n_samples = matrix.shape[0]
+        epochs = self._config.steps_per_sample
+        total_steps = epochs * n_samples
         denominator = max(total_steps - 1, 1)
         history: list[tuple[int, float]] = []
-        for step in range(total_steps):
+        tracer = current_tracer()
+        # The step loop is chunked into epochs of n_samples draws purely
+        # for observability; draw order and updates are unchanged.
+        for epoch in range(epochs):
+            if tracer.enabled:
+                with tracer.span(
+                    "som.epoch", epoch=epoch, steps=n_samples
+                ) as span:
+                    self._sequential_steps(
+                        matrix, rng, epoch * n_samples, n_samples,
+                        denominator, track_quality_every, history,
+                    )
+                    span.set(
+                        quantization_error=self._quantization_error_of(matrix)
+                    )
+            else:
+                self._sequential_steps(
+                    matrix, rng, epoch * n_samples, n_samples,
+                    denominator, track_quality_every, history,
+                )
+        self._epochs_trained = epochs
+        if track_quality_every:
+            history.append(
+                (total_steps - 1, self._quantization_error_of(matrix))
+            )
+            self._history = tuple(history)
+
+    def _sequential_steps(
+        self,
+        matrix: np.ndarray,
+        rng: np.random.Generator,
+        first_step: int,
+        count: int,
+        denominator: int,
+        track_quality_every: int,
+        history: list[tuple[int, float]],
+    ) -> None:
+        """Run ``count`` sequential updates starting at ``first_step``."""
+        assert self._weights is not None
+        for step in range(first_step, first_step + count):
             progress = step / denominator
             alpha = self._alpha(progress)
             sigma = self._sigma(progress)
@@ -248,30 +340,38 @@ class SelfOrganizingMap:
             self._weights += kernel[:, None] * (sample - self._weights)
             if track_quality_every and step % track_quality_every == 0:
                 history.append((step, self._quantization_error_of(matrix)))
-        if track_quality_every:
-            history.append(
-                (total_steps - 1, self._quantization_error_of(matrix))
-            )
-            self._history = tuple(history)
 
     def _fit_batch(self, matrix: np.ndarray, *, epochs: int = 50) -> None:
         assert self._weights is not None
         denominator = max(epochs - 1, 1)
+        tracer = current_tracer()
         for epoch in range(epochs):
-            progress = epoch / denominator
-            sigma = self._sigma(progress)
-            bmus = self._bmus_of(matrix)
-            influence = self._kernel(
-                np.stack(
-                    [self._grid.squared_map_distances_from(b) for b in bmus]
-                ),
-                sigma,
-            )  # shape (n_samples, n_units)
-            totals = influence.sum(axis=0)
-            # Units that no sample influences keep their weights.
-            active = totals > 1e-12
-            numerator = influence.T @ matrix
-            self._weights[active] = numerator[active] / totals[active, None]
+            if tracer.enabled:
+                with tracer.span("som.epoch", epoch=epoch) as span:
+                    self._batch_epoch(matrix, epoch / denominator)
+                    span.set(
+                        quantization_error=self._quantization_error_of(matrix)
+                    )
+            else:
+                self._batch_epoch(matrix, epoch / denominator)
+        self._epochs_trained = epochs
+
+    def _batch_epoch(self, matrix: np.ndarray, progress: float) -> None:
+        """One deterministic Kohonen batch update."""
+        assert self._weights is not None
+        sigma = self._sigma(progress)
+        bmus = self._bmus_of(matrix)
+        influence = self._kernel(
+            np.stack(
+                [self._grid.squared_map_distances_from(b) for b in bmus]
+            ),
+            sigma,
+        )  # shape (n_samples, n_units)
+        totals = influence.sum(axis=0)
+        # Units that no sample influences keep their weights.
+        active = totals > 1e-12
+        numerator = influence.T @ matrix
+        self._weights[active] = numerator[active] / totals[active, None]
 
     # -- queries ------------------------------------------------------------------
 

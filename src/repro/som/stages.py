@@ -5,6 +5,13 @@ characteristic vectors and maps each workload to its best-matching
 2-D cell.  The full :class:`~repro.som.som.SOMConfig` is part of the
 stage params, so any hyper-parameter change invalidates the cached
 map while leaving the characterization stages untouched.
+
+Training cost is the pipeline's dominant term, so this stage is the
+most heavily instrumented one: it asks the map to record its
+quantization-error trajectory (surfaced as ``qe`` events on the
+``som.fit`` tracing span and via ``SelfOrganizingMap.training_history``)
+and publishes the final quantization/topographic errors as gauges in
+the ambient metrics registry.
 """
 
 from __future__ import annotations
@@ -13,9 +20,17 @@ from typing import Any, Mapping
 
 from repro.characterization.base import CharacteristicVectors
 from repro.engine.stage import RunContext, Stage
+from repro.obs.log import fmt_kv, get_logger
+from repro.obs.metrics import current_metrics
+from repro.som.quality import quantization_error, topographic_error
 from repro.som.som import SelfOrganizingMap, SOMConfig
 
 __all__ = ["SOMReduceStage"]
+
+_log = get_logger("som")
+
+# Aim for ~this many quantization-error samples in training_history.
+_HISTORY_POINTS = 20
 
 
 class SOMReduceStage(Stage):
@@ -41,10 +56,31 @@ class SOMReduceStage(Stage):
     def run(self, ctx: RunContext) -> Mapping[str, Any]:
         """Train the map and project every workload to a cell."""
         prepared: CharacteristicVectors = ctx["prepared_vectors"]
-        som = SelfOrganizingMap(self._config).fit(prepared.matrix)
+        total_steps = self._config.steps_per_sample * len(prepared.labels)
+        som = SelfOrganizingMap(self._config).fit(
+            prepared.matrix,
+            track_quality_every=max(1, total_steps // _HISTORY_POINTS),
+        )
         projected = som.project(prepared.matrix)
         positions = {
             label: (int(row), int(col))
             for label, (row, col) in zip(prepared.labels, projected)
         }
+
+        qe = quantization_error(som, prepared.matrix)
+        te = topographic_error(som, prepared.matrix)
+        metrics = current_metrics()
+        metrics.gauge("repro_som_quantization_error").set(qe)
+        metrics.gauge("repro_som_topographic_error").set(te)
+        metrics.gauge("repro_som_epochs").set(som.epochs_trained)
+        if _log.isEnabledFor(20):  # INFO
+            _log.info(
+                fmt_kv(
+                    "som.reduce",
+                    workloads=len(positions),
+                    epochs=som.epochs_trained,
+                    quantization_error=qe,
+                    topographic_error=te,
+                )
+            )
         return {"som": som, "positions": positions}

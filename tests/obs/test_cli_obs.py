@@ -1,0 +1,105 @@
+"""CLI-level tests for the --trace / --metrics / -v observability flags."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.obs import NULL_TRACER, current_metrics, current_tracer
+from repro.obs.log import ROOT_LOGGER_NAME
+
+PAPER_STAGES = (
+    "characterize",
+    "preprocess",
+    "reduce",
+    "cluster",
+    "score_cuts",
+    "recommend",
+)
+
+
+@pytest.fixture(autouse=True)
+def quiet_logging():
+    """Reset repro logging configured by main() so tests stay independent."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.handlers[:] = []
+    root.setLevel(logging.NOTSET)
+
+
+class TestPipelineTraceAndMetrics:
+    def test_acceptance_command_produces_chrome_trace_and_metrics(
+        self, tmp_path, capsys
+    ):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.txt"
+        assert (
+            main(
+                [
+                    "pipeline",
+                    "--machine",
+                    "A",
+                    "--trace",
+                    str(trace_path),
+                    "--metrics",
+                    str(metrics_path),
+                    "--stats",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "SOM:" in output  # the new --stats summary line
+        assert "epochs" in output
+
+        document = json.loads(trace_path.read_text())
+        names = [event["name"] for event in document["traceEvents"]]
+        assert names[0] == "cli.pipeline"
+        for stage in PAPER_STAGES:
+            assert f"stage.{stage}" in names
+        assert names.count("som.epoch") == 500  # 13 samples default schedule
+        assert document["displayTimeUnit"] == "ms"
+
+        metrics_text = metrics_path.read_text()
+        for family in (
+            "repro_engine_stage_seconds",
+            "repro_engine_cache_misses_total",
+            "repro_som_quantization_error",
+            "repro_som_topographic_error",
+            "repro_cluster_merges_total",
+            "repro_cuts_scored_total",
+            "repro_recommended_clusters",
+        ):
+            assert family in metrics_text
+
+    def test_jsonl_suffix_writes_one_record_per_span(self, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["pipeline", "--trace", str(trace_path)]) == 0
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert all("id" in record and "depth" in record for record in records)
+        names = {record["name"] for record in records}
+        assert {f"stage.{s}" for s in PAPER_STAGES} <= names
+
+    def test_verbose_flag_emits_key_value_logs(self, tmp_path, capsys):
+        assert main(["pipeline", "-v"]) == 0
+        err = capsys.readouterr().err
+        assert "repro.engine engine.run" in err
+        assert "stages=6" in err
+
+    def test_ambient_state_restored_after_main(self, tmp_path):
+        before_metrics = current_metrics()
+        assert main(["pipeline", "--trace", str(tmp_path / "t.json")]) == 0
+        assert current_tracer() is NULL_TRACER
+        assert current_metrics() is before_metrics
+
+    def test_flags_work_on_other_subcommands(self, tmp_path, capsys):
+        trace_path = tmp_path / "gaming.json"
+        assert main(["gaming", "--trace", str(trace_path)]) == 0
+        document = json.loads(trace_path.read_text())
+        assert document["traceEvents"][0]["name"] == "cli.gaming"

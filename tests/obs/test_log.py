@@ -1,0 +1,109 @@
+"""Unit tests for the structured logger (repro.obs.log)."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    ROOT_LOGGER_NAME,
+    KeyValueFormatter,
+    configure_logging,
+    fmt_kv,
+    get_logger,
+    verbosity_to_level,
+)
+
+
+@pytest.fixture
+def clean_repro_logger():
+    """Detach any handlers the test adds and restore the default level."""
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    saved_handlers = list(root.handlers)
+    saved_level = root.level
+    saved_propagate = root.propagate
+    yield root
+    root.handlers[:] = saved_handlers
+    root.setLevel(saved_level)
+    root.propagate = saved_propagate
+
+
+class TestFmtKv:
+    def test_event_plus_fields(self):
+        line = fmt_kv("stage.done", stage="reduce", wall_ms=41.25, cache="miss")
+        assert line == "stage.done stage=reduce wall_ms=41.25 cache=miss"
+
+    def test_floats_render_compact(self):
+        assert fmt_kv("e", x=0.30000000000000004) == "e x=0.3"
+
+    def test_values_with_spaces_are_quoted(self):
+        assert fmt_kv("e", msg="two words") == 'e msg="two words"'
+
+    def test_empty_and_quote_values_are_escaped(self):
+        assert fmt_kv("e", a="", b='say "hi"') == 'e a="" b="say \\"hi\\""'
+
+
+class TestGetLogger:
+    def test_namespaces_under_repro(self):
+        assert get_logger("engine").name == "repro.engine"
+        assert get_logger().name == "repro"
+
+    def test_already_qualified_names_pass_through(self):
+        assert get_logger("repro.som").name == "repro.som"
+        assert get_logger("repro").name == "repro"
+
+    def test_loggers_inherit_from_the_repro_root(self):
+        child = get_logger("engine")
+        assert child.parent.name == "repro"
+
+
+class TestVerbosity:
+    def test_mapping(self):
+        assert verbosity_to_level(0) == logging.WARNING
+        assert verbosity_to_level(1) == logging.INFO
+        assert verbosity_to_level(2) == logging.DEBUG
+        assert verbosity_to_level(5) == logging.DEBUG
+        assert verbosity_to_level(-1) == logging.WARNING
+
+
+class TestConfigureLogging:
+    def test_formats_key_value_lines(self, clean_repro_logger):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        get_logger("engine").info(fmt_kv("stage.done", stage="reduce"))
+        line = stream.getvalue().strip()
+        assert " INFO repro.engine stage.done stage=reduce" in line
+        # ISO-8601-ish timestamp prefix.
+        assert line[:4].isdigit() and line[4] == "-"
+
+    def test_idempotent_reconfiguration(self, clean_repro_logger):
+        stream = io.StringIO()
+        root = configure_logging(1, stream=stream)
+        before = len(root.handlers)
+        configure_logging(2, stream=stream)
+        assert len(root.handlers) == before
+        assert root.level == logging.DEBUG
+
+    def test_verbosity_zero_silences_info(self, clean_repro_logger):
+        stream = io.StringIO()
+        configure_logging(0, stream=stream)
+        get_logger("engine").info("should not appear")
+        get_logger("engine").warning("should appear")
+        assert "should not appear" not in stream.getvalue()
+        assert "should appear" in stream.getvalue()
+
+    def test_does_not_propagate_to_the_global_root(self, clean_repro_logger):
+        configure_logging(1, stream=io.StringIO())
+        assert logging.getLogger(ROOT_LOGGER_NAME).propagate is False
+
+
+class TestKeyValueFormatter:
+    def test_record_layout(self):
+        formatter = KeyValueFormatter()
+        record = logging.LogRecord(
+            "repro.test", logging.INFO, __file__, 1, "event k=v", (), None
+        )
+        formatted = formatter.format(record)
+        assert formatted.endswith("INFO repro.test event k=v")

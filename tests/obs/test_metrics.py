@@ -1,0 +1,163 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    set_metrics,
+    use_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ReproError, match="negative"):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge()
+        gauge.set(4.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+    def test_gauge_rejects_non_finite(self):
+        with pytest.raises(ReproError, match="non-finite"):
+            Gauge().set(math.inf)
+
+    def test_histogram_percentiles_are_nearest_rank(self):
+        histogram = Histogram()
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.p50 == 50.0
+        assert histogram.p95 == 95.0
+        assert histogram.max == 100.0
+        assert histogram.percentile(0) == 1.0
+        assert histogram.count == 100
+        assert histogram.total == sum(range(1, 101))
+
+    def test_histogram_single_observation(self):
+        histogram = Histogram()
+        histogram.observe(7.0)
+        assert histogram.p50 == histogram.p95 == histogram.max == 7.0
+
+    def test_histogram_empty_raises(self):
+        with pytest.raises(ReproError, match="no observations"):
+            _ = Histogram().p50
+
+    def test_histogram_summary_shape(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        histogram.observe(3.0)
+        summary = histogram.summary()
+        assert summary == {
+            "count": 2, "sum": 4.0, "p50": 1.0, "p95": 3.0, "max": 3.0
+        }
+        assert Histogram().summary() == {"count": 0, "sum": 0.0}
+
+
+class TestRegistry:
+    def test_same_identity_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", stage="reduce")
+        b = registry.counter("hits", stage="reduce")
+        assert a is b
+
+    def test_labels_separate_instruments(self):
+        registry = MetricsRegistry()
+        registry.histogram("seconds", stage="reduce").observe(1.0)
+        registry.histogram("seconds", stage="cluster").observe(2.0)
+        assert registry.histogram("seconds", stage="reduce").count == 1
+        assert registry.histogram("seconds", stage="cluster").count == 1
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ReproError, match="already registered"):
+            registry.gauge("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError, match="empty metric name"):
+            MetricsRegistry().counter("")
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g", machine="A").set(1.5)
+        registry.histogram("h").observe(2.0)
+        snapshot = registry.as_dict()
+        assert snapshot["c"] == 3
+        assert snapshot['g{machine="A"}'] == 1.5
+        assert snapshot["h"]["count"] == 1
+
+
+class TestPrometheusRender:
+    def test_render_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_cache_hits_total").inc(4)
+        registry.gauge("repro_som_qe").set(0.25)
+        hist = registry.histogram("repro_stage_seconds", stage="reduce")
+        hist.observe(0.1)
+        hist.observe(0.3)
+        text = registry.render_prometheus()
+        assert "# TYPE repro_cache_hits_total counter" in text
+        assert "repro_cache_hits_total 4" in text
+        assert "# TYPE repro_som_qe gauge" in text
+        assert "repro_som_qe 0.25" in text
+        assert "# TYPE repro_stage_seconds summary" in text
+        assert (
+            'repro_stage_seconds{quantile="0.5",stage="reduce"} 0.1' in text
+        )
+        assert 'repro_stage_seconds_count{stage="reduce"} 2' in text
+        assert 'repro_stage_seconds_sum{stage="reduce"} 0.4' in text
+
+    def test_type_line_emitted_once_per_family(self):
+        registry = MetricsRegistry()
+        registry.gauge("score", machine="A").set(1.0)
+        registry.gauge("score", machine="B").set(2.0)
+        text = registry.render_prometheus()
+        assert text.count("# TYPE score gauge") == 1
+
+    def test_write_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        path = tmp_path / "metrics.txt"
+        registry.write(str(path))
+        assert path.read_text() == registry.render_prometheus()
+
+
+class TestAmbientRegistry:
+    def test_default_registry_always_exists(self):
+        assert isinstance(current_metrics(), MetricsRegistry)
+
+    def test_use_metrics_scopes_and_restores(self):
+        outer = current_metrics()
+        fresh = MetricsRegistry()
+        with use_metrics(fresh):
+            assert current_metrics() is fresh
+            current_metrics().counter("scoped").inc()
+        assert current_metrics() is outer
+        assert "scoped" not in outer.as_dict()
+        assert fresh.as_dict()["scoped"] == 1
+
+    def test_set_metrics_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_metrics(fresh)
+        try:
+            assert current_metrics() is fresh
+        finally:
+            set_metrics(previous)

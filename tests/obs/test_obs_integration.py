@@ -1,0 +1,161 @@
+"""Integration: the observability layer wired through a pipeline run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.engine import PipelineEngine
+from repro.exceptions import EngineError, MeasurementError
+from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
+from repro.som.som import SOMConfig
+from repro.workloads.suite import BenchmarkSuite
+
+PAPER_STAGES = (
+    "characterize",
+    "preprocess",
+    "reduce",
+    "cluster",
+    "score_cuts",
+    "recommend",
+)
+
+_SOM = SOMConfig(rows=4, columns=4, steps_per_sample=40, seed=11)
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    """One traced+metered pipeline run shared by the assertions below."""
+    tracer, metrics = Tracer(), MetricsRegistry()
+    pipeline = WorkloadAnalysisPipeline(
+        characterization="methods", machine=None, som_config=_SOM
+    )
+    with use_tracer(tracer), use_metrics(metrics):
+        result = pipeline.run(BenchmarkSuite.paper_suite())
+    return tracer, metrics, result
+
+
+class TestTraceStructure:
+    def test_all_six_stage_spans_nested_under_engine_run(self, traced_run):
+        tracer, __, ___ = traced_run
+        (pipeline_span,) = tracer.find("pipeline.run")
+        (engine_span,) = tracer.find("engine.run")
+        assert engine_span in pipeline_span.children
+        stage_names = [
+            child.name
+            for child in engine_span.children
+            if child.name.startswith("stage.")
+        ]
+        assert stage_names == [f"stage.{name}" for name in PAPER_STAGES]
+
+    def test_run_report_is_built_from_span_durations(self, traced_run):
+        tracer, __, result = traced_run
+        for name in PAPER_STAGES:
+            (span,) = tracer.find(f"stage.{name}")
+            stats = result.run_report.stats_for(name)
+            assert stats.wall_seconds == span.duration_seconds
+            assert span.attributes["cache_hit"] is False
+            assert span.attributes["key"] == stats.key
+
+    def test_som_fit_span_has_per_epoch_children(self, traced_run):
+        tracer, __, ___ = traced_run
+        (fit_span,) = tracer.find("som.fit")
+        (reduce_span,) = tracer.find("stage.reduce")
+        assert fit_span in reduce_span.children
+        epochs = [c for c in fit_span.children if c.name == "som.epoch"]
+        assert len(epochs) == _SOM.steps_per_sample
+        assert [e.attributes["epoch"] for e in epochs] == list(
+            range(_SOM.steps_per_sample)
+        )
+        # Per-epoch quality is recorded while tracing.
+        assert all("quantization_error" in e.attributes for e in epochs)
+
+    def test_training_history_surfaces_as_qe_events(self, traced_run):
+        tracer, __, result = traced_run
+        (fit_span,) = tracer.find("som.fit")
+        qe_events = [e for e in fit_span.events if e["name"] == "qe"]
+        assert len(qe_events) == len(result.som.training_history)
+        assert [e["step"] for e in qe_events] == [
+            step for step, __ in result.som.training_history
+        ]
+        assert fit_span.attributes["epochs"] == result.som.epochs_trained
+
+    def test_training_quality_improves_over_the_trace(self, traced_run):
+        tracer, __, ___ = traced_run
+        (fit_span,) = tracer.find("som.fit")
+        qe_events = [e for e in fit_span.events if e["name"] == "qe"]
+        assert qe_events[-1]["value"] < qe_events[0]["value"]
+
+
+class TestMetricsWiring:
+    def test_stage_timings_cache_counters_and_som_gauges(self, traced_run):
+        __, metrics, ___ = traced_run
+        snapshot = metrics.as_dict()
+        for name in PAPER_STAGES:
+            key = f'repro_engine_stage_seconds{{stage="{name}"}}'
+            assert snapshot[key]["count"] == 1
+        assert snapshot["repro_engine_cache_misses_total"] == 6
+        assert snapshot["repro_som_quantization_error"] >= 0
+        assert 0 <= snapshot["repro_som_topographic_error"] <= 1
+        assert snapshot["repro_som_epochs"] == _SOM.steps_per_sample
+        assert snapshot['repro_cluster_merges_total{linkage="complete"}'] == 12
+        assert snapshot["repro_cuts_scored_total"] == 7
+        assert snapshot["repro_recommended_clusters"] >= 2
+
+    def test_cut_score_gauges_match_the_result(self, traced_run):
+        __, metrics, result = traced_run
+        snapshot = metrics.as_dict()
+        for cut in result.cuts:
+            for machine, score in cut.scores.items():
+                key = (
+                    "repro_score_hierarchical_mean"
+                    f'{{clusters="{cut.clusters}",machine="{machine}"}}'
+                )
+                assert snapshot[key] == pytest.approx(score)
+
+    def test_cache_hits_counted_on_a_shared_engine(self):
+        metrics = MetricsRegistry()
+        engine = PipelineEngine()
+        suite = BenchmarkSuite.paper_suite()
+        with use_metrics(metrics):
+            for _ in range(2):
+                WorkloadAnalysisPipeline(
+                    characterization="methods",
+                    machine=None,
+                    som_config=_SOM,
+                    engine=engine,
+                ).run(suite)
+        snapshot = metrics.as_dict()
+        assert snapshot["repro_engine_cache_hits_total"] == 6
+        assert snapshot["repro_engine_cache_misses_total"] == 6
+
+
+class TestUntracedRuns:
+    def test_pipeline_runs_identically_without_a_tracer(self, traced_run):
+        __, ___, traced_result = traced_run
+        plain = WorkloadAnalysisPipeline(
+            characterization="methods", machine=None, som_config=_SOM
+        ).run(BenchmarkSuite.paper_suite())
+        assert plain.positions == traced_result.positions
+        assert plain.recommended_clusters == traced_result.recommended_clusters
+        for a, b in zip(plain.cuts, traced_result.cuts):
+            assert a.scores == pytest.approx(b.scores)
+
+    def test_run_report_still_collected_without_a_tracer(self):
+        result = WorkloadAnalysisPipeline(
+            characterization="methods", machine=None, som_config=_SOM
+        ).run(BenchmarkSuite.paper_suite())
+        assert [s.stage for s in result.run_report.stages] == list(PAPER_STAGES)
+        assert all(s.wall_seconds >= 0 for s in result.run_report.stages)
+
+
+class TestHelpfulLookupErrors:
+    def test_stats_for_lists_known_stage_names(self, traced_run):
+        __, ___, result = traced_run
+        with pytest.raises(EngineError, match="characterize"):
+            result.run_report.stats_for("reduec")
+
+    def test_cut_lists_computed_cluster_counts(self, traced_run):
+        __, ___, result = traced_run
+        with pytest.raises(MeasurementError, match=r"\[2, 3, 4, 5, 6, 7, 8\]"):
+            result.cut(99)
