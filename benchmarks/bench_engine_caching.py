@@ -1,22 +1,33 @@
-"""Perf hook — what the stage-graph artifact cache buys on sweeps.
+"""Perf hook — what the stage caches and the fan-out executor buy.
 
-Times one 7-variant linkage/SOM parameter sweep twice: once with the
-memo cache disabled (every variant recomputes all six stages, the
-pre-refactor behaviour) and once on a shared caching engine (each
-variant recomputes only the stages downstream of its changed knob).
-Prints both wall times and the speedup, and archives the structured
+Three comparisons over linkage/SOM parameter sweeps, all archived in
+``results/BENCH_engine_caching.json``:
+
+1. **memo cache** — one 7-variant sweep with the in-memory cache
+   disabled vs on a shared caching engine (each variant recomputes
+   only the stages downstream of its changed knob);
+2. **disk cache** — the same sweep cold (empty ``DiskCache``) vs warm
+   through a *fresh* engine over the populated directory, simulating
+   a new process that computes nothing;
+3. **fan-out** — a 5-linkage sweep serial vs across a process pool
+   sharing one disk cache (the timing assertion only applies on
+   multi-core hosts; results must match everywhere).
+
+Prints the wall times and speedups, and archives the structured
 numbers — per-stage timing histograms from the metrics registry, span
-counts from the tracer — as ``results/BENCH_engine_caching.json``.
+counts from the tracer, disk-cache counters — in the JSON.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import pytest
 
 from benchmarks.conftest import emit, write_bench_json
 from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.analysis.sweep import PipelineVariant, run_pipeline_variants
 from repro.engine import PipelineEngine
 from repro.obs import MetricsRegistry, Tracer, use_metrics, use_tracer
 from repro.som.som import SOMConfig
@@ -80,10 +91,59 @@ def _timed_sweeps(suite):
     )
 
 
+def _timed_disk_sweeps(suite, cache_dir):
+    """The sweep cold (empty disk cache) vs warm through a fresh engine.
+
+    The warm engine is a brand-new object over the populated
+    directory — the in-memory cache starts empty, so every hit it
+    gets comes off disk, exactly like a re-run in a new process.
+    """
+    cold_engine = PipelineEngine(disk_cache=cache_dir)
+    started = time.perf_counter()
+    cold_results = _sweep(cold_engine, suite)
+    cold = time.perf_counter() - started
+
+    warm_engine = PipelineEngine(disk_cache=cache_dir)
+    started = time.perf_counter()
+    warm_results = _sweep(warm_engine, suite)
+    warm = time.perf_counter() - started
+    return cold, warm, warm_engine.disk_cache_info(), cold_results, warm_results
+
+
+_FANOUT_LINKAGES = ("complete", "average", "single", "ward", "centroid")
+_FANOUT_WORKERS = 4
+
+
+def _timed_fanout_sweeps(suite, base_dir):
+    """A 5-linkage sweep serial vs parallel, each over a cold cache."""
+    variants = [
+        PipelineVariant(name=linkage, linkage=linkage, seed=11)
+        for linkage in _FANOUT_LINKAGES
+    ]
+    started = time.perf_counter()
+    serial_runs = run_pipeline_variants(
+        variants, suite, workers=1, cache_dir=base_dir / "serial"
+    )
+    serial = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel_runs = run_pipeline_variants(
+        variants, suite, workers=_FANOUT_WORKERS, cache_dir=base_dir / "parallel"
+    )
+    parallel = time.perf_counter() - started
+    return serial, parallel, serial_runs, parallel_runs
+
+
 @pytest.mark.benchmark(group="engine")
-def test_engine_caching_speedup(benchmark, paper_suite):
+def test_engine_caching_speedup(benchmark, paper_suite, tmp_path):
     uncached, cached, info, plain, memoized, tracer, metrics = benchmark.pedantic(
         _timed_sweeps, args=(paper_suite,), rounds=1, iterations=1
+    )
+    cold, warm, disk_info, cold_results, warm_results = _timed_disk_sweeps(
+        paper_suite, tmp_path / "stage-cache"
+    )
+    serial, parallel, serial_runs, parallel_runs = _timed_fanout_sweeps(
+        paper_suite, tmp_path
     )
 
     write_bench_json(
@@ -98,6 +158,24 @@ def test_engine_caching_speedup(benchmark, paper_suite):
                 "misses": info.misses,
                 "entries": info.entries,
             },
+            "disk_cache": {
+                "cold_seconds": cold,
+                "warm_seconds": warm,
+                "speedup": cold / warm,
+                "hits": disk_info.hits,
+                "misses": disk_info.misses,
+                "stores": disk_info.stores,
+                "entries": disk_info.entries,
+                "total_bytes": disk_info.total_bytes,
+            },
+            "fanout": {
+                "variants": len(_FANOUT_LINKAGES),
+                "workers": _FANOUT_WORKERS,
+                "cpu_count": os.cpu_count(),
+                "serial_seconds": serial,
+                "parallel_seconds": parallel,
+                "speedup": serial / parallel,
+            },
             "cached_sweep_spans": {
                 "total": sum(1 for _ in tracer.spans()),
                 "stage_spans": sum(
@@ -110,14 +188,19 @@ def test_engine_caching_speedup(benchmark, paper_suite):
     )
 
     emit(
-        "Engine caching: 7-variant linkage/SOM sweep, "
-        "with vs without the artifact cache",
+        "Engine caching: linkage/SOM sweeps — memo cache, disk cache, fan-out",
         format_table(
             ["Sweep", "wall s", "stage hits", "stage misses"],
             [
                 ("no cache", uncached, 0, 7 * 6),
                 ("shared cache", cached, info.hits, info.misses),
-                ("speedup", uncached / cached, "", ""),
+                ("memo speedup", uncached / cached, "", ""),
+                ("disk cold", cold, 0, 7 * 6),
+                ("disk warm (fresh engine)", warm, disk_info.hits, disk_info.misses),
+                ("disk speedup", cold / warm, "", ""),
+                (f"fan-out serial ({len(_FANOUT_LINKAGES)} variants)", serial, "", ""),
+                (f"fan-out {_FANOUT_WORKERS} workers", parallel, "", ""),
+                ("fan-out speedup", serial / parallel, "", ""),
             ],
         ),
     )
@@ -144,3 +227,32 @@ def test_engine_caching_speedup(benchmark, paper_suite):
     # The perf win the cache exists for: the sweep gets measurably
     # faster (SOM training dominates; 7 trainings collapse to 3).
     assert cached < uncached
+
+    # Disk cache: a fresh engine over the populated directory computes
+    # nothing — every stage comes from disk (or from memory after its
+    # first disk read promoted it) — and produces bit-identical
+    # analyses faster than recomputing.
+    assert disk_info.misses == 0
+    assert all(
+        stats.cache_source in ("disk", "memory")
+        for result in warm_results
+        for stats in result.run_report.stages
+    )
+    for a, b in zip(cold_results, warm_results):
+        assert a.recommended_clusters == b.recommended_clusters
+        assert a.positions == b.positions
+        assert a.dendrogram == b.dendrogram
+        assert a.cuts == b.cuts
+    assert warm < cold
+
+    # Fan-out: parallel and serial execution give identical analyses
+    # (deterministic seeds, shared cache layout).  The wall-clock win
+    # needs real cores; single-CPU hosts only check equivalence.
+    for s, p in zip(serial_runs, parallel_runs):
+        assert s.seed == p.seed
+        assert s.result.positions == p.result.positions
+        assert s.result.dendrogram == p.result.dendrogram
+        assert s.result.cuts == p.result.cuts
+        assert s.result.recommended_clusters == p.result.recommended_clusters
+    if (os.cpu_count() or 1) > 1:
+        assert parallel < serial

@@ -32,7 +32,16 @@ Quickstart
 
 from repro.analysis import AnalysisResult, WorkloadAnalysisPipeline
 from repro.cluster import AgglomerativeClustering, Dendrogram
-from repro.engine import PipelineEngine, RunReport, Stage
+from repro.engine import (
+    DiskCache,
+    FanOutExecutor,
+    PipelineEngine,
+    RunReport,
+    Stage,
+    Variant,
+    derive_seed,
+    run_many,
+)
 from repro.core import (
     Hierarchy,
     Partition,
@@ -90,6 +99,11 @@ __all__ = [
     "PipelineEngine",
     "RunReport",
     "Stage",
+    "DiskCache",
+    "FanOutExecutor",
+    "Variant",
+    "derive_seed",
+    "run_many",
     "SelfOrganizingMap",
     "SOMConfig",
     "AgglomerativeClustering",

@@ -1,0 +1,151 @@
+"""Pipeline variant sweeps on the fan-out executor.
+
+A :class:`PipelineVariant` is a picklable recipe for one
+:class:`~repro.analysis.pipeline.WorkloadAnalysisPipeline`
+configuration — the knobs a sweep actually varies (linkage, SOM
+geometry, characterization, machine).  :func:`run_pipeline_variants`
+executes a batch of them through
+:class:`~repro.engine.fanout.FanOutExecutor`, so the same call serves
+the serial ``sweep`` CLI path and ``--workers N`` parallel runs.
+
+Each worker process (or the single serial run) builds **one** engine
+in its initializer; within a worker, variants share that engine's
+in-memory memoization, and when ``cache_dir`` is given every engine
+reads through the same persistent
+:class:`~repro.engine.diskcache.DiskCache`, so a stage computed by
+any process — or any *previous* sweep over the same directory — is
+computed exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.pipeline import AnalysisResult, WorkloadAnalysisPipeline
+from repro.engine.executor import PipelineEngine
+from repro.engine.fanout import FanOutExecutor, Variant
+from repro.exceptions import MeasurementError
+from repro.som.som import SOMConfig
+from repro.workloads.suite import BenchmarkSuite
+
+__all__ = ["PipelineVariant", "VariantRun", "run_pipeline_variants"]
+
+
+@dataclass(frozen=True)
+class PipelineVariant:
+    """One pipeline configuration of a sweep (picklable by design).
+
+    ``seed=None`` lets the executor derive a deterministic per-variant
+    seed; pin it (the CLI pins every variant to its ``--seed``) when
+    the sweep should hold the characterization/SOM randomness fixed so
+    variants stay comparable.
+    """
+
+    name: str
+    characterization: str = "sar"
+    machine: str | None = "A"
+    linkage: str = "complete"
+    som_rows: int = 8
+    som_columns: int = 8
+    cluster_counts: tuple[int, ...] = tuple(range(2, 9))
+    alignment_group: tuple[str, ...] | None = None
+    seed: int | None = None
+
+    def pipeline(self, seed: int, engine: PipelineEngine | None) -> WorkloadAnalysisPipeline:
+        """Materialize the configured pipeline for one concrete seed."""
+        return WorkloadAnalysisPipeline(
+            characterization=self.characterization,
+            machine=self.machine,
+            som_config=SOMConfig(
+                rows=self.som_rows, columns=self.som_columns, seed=seed
+            ),
+            cluster_counts=self.cluster_counts,
+            alignment_group=self.alignment_group,
+            linkage=self.linkage,
+            seed=seed,
+            engine=engine,
+        )
+
+
+@dataclass(frozen=True)
+class VariantRun:
+    """One executed variant: its spec, effective seed and full result."""
+
+    variant: PipelineVariant
+    seed: int
+    result: AnalysisResult
+    wall_seconds: float
+    worker_pid: int
+
+    @property
+    def name(self) -> str:
+        return self.variant.name
+
+
+# Per-process state, installed by the executor's initializer: one
+# engine per worker process (so in-memory memoization spans the
+# variants that worker handles) over the shared on-disk cache.
+_WORKER_ENGINE: PipelineEngine | None = None
+_WORKER_SUITE: BenchmarkSuite | None = None
+
+
+def _init_worker(cache_dir: str | None, suite: BenchmarkSuite) -> None:
+    global _WORKER_ENGINE, _WORKER_SUITE
+    _WORKER_ENGINE = PipelineEngine(disk_cache=cache_dir)
+    _WORKER_SUITE = suite
+
+
+def _run_variant(params: Mapping[str, Any], seed: int) -> AnalysisResult:
+    """Fan-out task body: run one variant on this process's engine."""
+    spec: PipelineVariant = params["spec"]
+    if _WORKER_ENGINE is None or _WORKER_SUITE is None:
+        raise MeasurementError(
+            "sweep worker used before initialization; run variants through "
+            "run_pipeline_variants"
+        )
+    return spec.pipeline(seed, _WORKER_ENGINE).run(_WORKER_SUITE)
+
+
+def run_pipeline_variants(
+    variants: Sequence[PipelineVariant],
+    suite: BenchmarkSuite,
+    *,
+    workers: int | None = 1,
+    cache_dir: str | Path | None = None,
+    base_seed: int = 11,
+) -> list[VariantRun]:
+    """Run every variant over ``suite``; results come back in order.
+
+    ``workers=1`` (default) runs serially in-process; higher counts
+    fan out across a ``fork`` process pool (degrading to serial, with
+    a warning, where ``fork`` is unavailable).  ``cache_dir`` points
+    every worker's engine at one persistent disk cache; identical
+    results either way — seeds are deterministic per variant.
+    """
+    if not variants:
+        raise MeasurementError("run_pipeline_variants: no variants")
+    executor = FanOutExecutor(
+        _run_variant,
+        workers=workers,
+        base_seed=base_seed,
+        initializer=_init_worker,
+        initargs=(None if cache_dir is None else str(cache_dir), suite),
+    )
+    outcomes = executor.run_many(
+        [
+            Variant(name=v.name, params={"spec": v}, seed=v.seed)
+            for v in variants
+        ]
+    )
+    return [
+        VariantRun(
+            variant=variant,
+            seed=outcome.seed,
+            result=outcome.value,
+            wall_seconds=outcome.wall_seconds,
+            worker_pid=outcome.worker_pid,
+        )
+        for variant, outcome in zip(variants, outcomes)
+    ]

@@ -9,10 +9,13 @@ Installed as ``repro-hmeans``.  Subcommands:
 * ``som`` — the workload-distribution SOM map (Figures 3/5/7).
 * ``dendrogram`` — the clustering tree (Figures 4/6/8).
 * ``pipeline`` — the full end-to-end analysis with recommendation
-  (``--stats`` prints the engine's per-stage instrumentation).
-* ``sweep`` — re-run the analysis across several linkage rules on one
-  shared stage-graph engine, so the characterization and SOM stages
-  are computed once and served from cache for every other variant.
+  (``--stats`` prints the engine's per-stage instrumentation;
+  ``--cache-dir`` persists stage outputs so re-runs skip them).
+* ``sweep`` — re-run the analysis across several linkage rules, with
+  unchanged upstream stages computed once and served from cache;
+  ``--workers N`` fans variants out across processes and
+  ``--cache-dir`` shares one persistent stage cache between workers
+  and future runs.
 * ``gaming`` — the redundancy-gaming demonstration.
 * ``subset`` — cluster-driven benchmark subsetting (one representative
   per cluster).
@@ -84,12 +87,24 @@ def _cmd_hgm_table(args: argparse.Namespace) -> str:
 
 
 def _build_pipeline(args: argparse.Namespace) -> WorkloadAnalysisPipeline:
+    engine = None
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir:
+        from repro.engine import PipelineEngine
+
+        engine = PipelineEngine(disk_cache=cache_dir)
     if args.characterization in ("methods", "micro"):
         return WorkloadAnalysisPipeline(
-            characterization=args.characterization, machine=None, seed=args.seed
+            characterization=args.characterization,
+            machine=None,
+            seed=args.seed,
+            engine=engine,
         )
     return WorkloadAnalysisPipeline(
-        characterization="sar", machine=args.machine, seed=args.seed
+        characterization="sar",
+        machine=args.machine,
+        seed=args.seed,
+        engine=engine,
     )
 
 
@@ -172,57 +187,74 @@ def _som_stats_line(result) -> str | None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
-    from repro.engine import PipelineEngine
+    from repro.analysis.sweep import PipelineVariant, run_pipeline_variants
     from repro.viz.tables import format_table
 
     linkages = [name.strip() for name in args.linkages.split(",") if name.strip()]
     if not linkages:
         raise ReproError("sweep: no linkage rules requested")
-    engine = PipelineEngine()
-    suite = BenchmarkSuite.paper_suite()
+    if args.characterization in ("methods", "micro"):
+        characterization, machine = args.characterization, None
+    else:
+        characterization, machine = "sar", args.machine
+    # Every variant pins the CLI seed: a linkage sweep compares
+    # linkages, so the characterization/SOM randomness stays fixed.
+    variants = [
+        PipelineVariant(
+            name=linkage,
+            characterization=characterization,
+            machine=machine,
+            linkage=linkage,
+            seed=args.seed,
+        )
+        for linkage in linkages
+    ]
+    runs = run_pipeline_variants(
+        variants,
+        BenchmarkSuite.paper_suite(),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        base_seed=args.seed,
+    )
     rows = []
-    for linkage in linkages:
-        if args.characterization in ("methods", "micro"):
-            pipeline = WorkloadAnalysisPipeline(
-                characterization=args.characterization,
-                machine=None,
-                linkage=linkage,
-                seed=args.seed,
-                engine=engine,
-            )
-        else:
-            pipeline = WorkloadAnalysisPipeline(
-                characterization="sar",
-                machine=args.machine,
-                linkage=linkage,
-                seed=args.seed,
-                engine=engine,
-            )
-        result = pipeline.run(suite)
+    hits = misses = disk = 0
+    for run in runs:
+        result = run.result
         cut = result.cut(args.clusters)
+        report = result.run_report
         rows.append(
             (
-                linkage,
+                run.name,
                 cut.scores["A"],
                 cut.scores["B"],
                 cut.ratio,
                 result.recommended_clusters,
-                result.run_report.cache_hits if result.run_report else 0,
+                report.cache_hits if report else 0,
             )
         )
-    info = engine.cache_info()
+        if report:
+            hits += report.cache_hits
+            misses += report.cache_misses
+            disk += sum(1 for s in report.stages if s.cache_source == "disk")
+    mode = (
+        f"{args.workers} workers" if args.workers and args.workers > 1 else "serial"
+    )
     lines = [
         f"linkage sweep at k = {args.clusters} "
-        f"({args.characterization} characterization, one shared engine):",
+        f"({args.characterization} characterization, {mode}):",
         format_table(
             ["Linkage", "HGM A", "HGM B", "ratio A/B", "recommended k", "stages cached"],
             rows,
         ),
         "",
-        f"engine cache: {info.hits} stage hit(s), {info.misses} miss(es) "
-        f"across {len(linkages)} runs — characterize/preprocess/reduce "
-        "computed once and reused",
+        f"engine cache: {hits} stage hit(s) ({disk} from disk), "
+        f"{misses} miss(es) across {len(runs)} runs — unchanged upstream "
+        "stages computed once and reused",
     ]
+    if args.cache_dir:
+        lines.append(
+            f"persistent stage cache: {args.cache_dir} (reused by future runs)"
+        )
     return "\n".join(lines)
 
 
@@ -429,6 +461,13 @@ def _build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="print per-stage wall time and cache hit/miss stats",
             )
+            sub.add_argument(
+                "--cache-dir",
+                metavar="DIR",
+                default=None,
+                help="persistent stage cache directory; re-runs with the "
+                "same configuration skip already-computed stages",
+            )
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -457,6 +496,19 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=6,
         help="cluster count whose scores the table shows",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="run variants across N processes (1 = serial; identical "
+        "results either way)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent stage cache shared by all workers and future runs",
     )
 
     gaming = subparsers.add_parser(

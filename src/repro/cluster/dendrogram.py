@@ -241,6 +241,14 @@ class Dendrogram:
                     matrix[j, i] = merge.distance
         return matrix
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dendrogram):
+            return NotImplemented
+        return self._labels == other._labels and self._merges == other._merges
+
+    def __hash__(self) -> int:
+        return hash((self._labels, self._merges))
+
     def __repr__(self) -> str:
         return (
             f"Dendrogram(num_leaves={self.num_leaves}, "

@@ -13,7 +13,13 @@ provides that shape as reusable machinery:
   execution with cross-run memoization: re-running with one changed
   knob recomputes only the stages downstream of the change;
 * :class:`~repro.engine.executor.RunReport` — per-stage wall time,
-  cache hit/miss and artifact sizes, exposed on every result.
+  cache hit/miss and artifact sizes, exposed on every result;
+* :class:`~repro.engine.diskcache.DiskCache` — a persistent,
+  content-addressed backing store for the stage cache, so fresh
+  processes still skip already-computed stages;
+* :class:`~repro.engine.fanout.FanOutExecutor` — parallel execution
+  of independent pipeline variants over a process pool sharing one
+  disk cache, with deterministic per-variant seeds.
 
 The six paper stages are implemented beside their subsystems
 (:mod:`repro.characterization.stages`, :mod:`repro.som.stages`,
@@ -23,12 +29,21 @@ The six paper stages are implemented beside their subsystems
 thin façade over this engine.
 """
 
+from repro.engine.diskcache import DEFAULT_MAX_BYTES, DiskCache, DiskCacheInfo
 from repro.engine.executor import (
     EngineRun,
     PipelineEngine,
     RunReport,
     StageStats,
     run_single,
+)
+from repro.engine.fanout import (
+    FanOutExecutor,
+    Variant,
+    VariantOutcome,
+    derive_seed,
+    fork_available,
+    run_many,
 )
 from repro.engine.fingerprint import combine, fingerprint
 from repro.engine.stage import FunctionStage, RunContext, Stage
@@ -56,4 +71,13 @@ __all__ = [
     "RunReport",
     "StageStats",
     "run_single",
+    "DiskCache",
+    "DiskCacheInfo",
+    "DEFAULT_MAX_BYTES",
+    "FanOutExecutor",
+    "Variant",
+    "VariantOutcome",
+    "derive_seed",
+    "fork_available",
+    "run_many",
 ]

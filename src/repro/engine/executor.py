@@ -29,8 +29,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.engine.diskcache import DiskCache, DiskCacheInfo
 from repro.engine.fingerprint import combine, fingerprint
 from repro.engine.stage import RunContext, Stage
 from repro.engine.store import ArtifactStore, CacheInfo, StageCache
@@ -54,13 +56,19 @@ StageHook = Callable[["StageStats"], None]
 
 @dataclass(frozen=True)
 class StageStats:
-    """Instrumentation record for one stage execution (or cache hit)."""
+    """Instrumentation record for one stage execution (or cache hit).
+
+    ``cache_source`` says where the outputs came from: ``"memory"``
+    (in-process memo), ``"disk"`` (persistent cache) or ``"compute"``
+    (the stage actually ran).
+    """
 
     stage: str
     key: str
     cache_hit: bool
     wall_seconds: float
     artifact_sizes: Mapping[str, int] = field(default_factory=dict)
+    cache_source: str = "compute"
 
     @property
     def total_bytes(self) -> int:
@@ -103,12 +111,13 @@ class RunReport:
         """Human-readable per-stage table (used by reports and the CLI)."""
         width = max((len(s.stage) for s in self.stages), default=5)
         lines = [
-            f"  {'stage':<{width}}  {'wall':>9}  {'cache':<5}  {'output bytes':>12}"
+            f"  {'stage':<{width}}  {'wall':>9}  {'cache':<6}  {'output bytes':>12}"
         ]
         for s in self.stages:
+            cache = "miss" if s.cache_source == "compute" else s.cache_source
             lines.append(
                 f"  {s.stage:<{width}}  {s.wall_seconds * 1e3:7.1f}ms  "
-                f"{'hit' if s.cache_hit else 'miss':<5}  {s.total_bytes:>12,}"
+                f"{cache:<6}  {s.total_bytes:>12,}"
             )
         lines.append(
             f"  total {self.total_seconds * 1e3:.1f}ms, "
@@ -153,9 +162,17 @@ class PipelineEngine:
     cache:
         ``True`` (default) memoizes stage outputs across runs, so a
         sweep that varies one knob only recomputes the affected
-        downstream stages.  ``False`` disables memoization entirely.
+        downstream stages.  ``False`` disables memoization entirely
+        (including the disk cache).
     max_cache_entries:
         LRU capacity of the memo, counted in stages.
+    disk_cache:
+        Persistent backing store for the memo: a
+        :class:`~repro.engine.diskcache.DiskCache`, or a directory
+        path to build one in.  Lookups read through memory first,
+        then disk; computed outputs are written to both, so a fresh
+        process re-running a known pipeline skips every stage.
+        ``None`` (default) keeps memoization in-memory only.
     hooks:
         Callables invoked with each :class:`StageStats` as stages
         finish — e.g. a progress printer or a metrics exporter.
@@ -174,11 +191,18 @@ class PipelineEngine:
         *,
         cache: bool = True,
         max_cache_entries: int = 128,
+        disk_cache: DiskCache | str | Path | None = None,
         hooks: Sequence[StageHook] = (),
         tracer: Tracer | NullTracer | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self._cache = StageCache(max_cache_entries) if cache else None
+        if disk_cache is None or not cache:
+            self._disk: DiskCache | None = None
+        elif isinstance(disk_cache, DiskCache):
+            self._disk = disk_cache
+        else:
+            self._disk = DiskCache(disk_cache)
         self._hooks = tuple(hooks)
         self._tracer = tracer
         self._metrics = metrics
@@ -245,7 +269,14 @@ class PipelineEngine:
         with tracer.span(f"stage.{stage.name}", stage=stage.name) as span:
             started = time.perf_counter()
             outputs = self._cache.get(key) if self._cache is not None else None
-            hit = outputs is not None
+            source = "memory" if outputs is not None else "compute"
+            if outputs is None and self._disk is not None:
+                outputs = self._disk.get(key, stage=stage.name)
+                if outputs is not None:
+                    source = "disk"
+                    # Promote so repeats within this process stay in RAM.
+                    if self._cache is not None:
+                        self._cache.put(key, outputs)
             if outputs is None:
                 ctx = RunContext(
                     {name: store.get(name) for name in stage.inputs}
@@ -258,8 +289,11 @@ class PipelineEngine:
                     )
                 if self._cache is not None:
                     self._cache.put(key, outputs)
+                if self._disk is not None:
+                    self._disk.put(key, outputs, stage=stage.name)
+            hit = source != "compute"
             elapsed = time.perf_counter() - started
-            span.set(cache_hit=hit, key=key)
+            span.set(cache_hit=hit, cache_source=source, key=key)
 
         # With a real tracer installed the report is built from span
         # data, so trace durations and RunReport agree exactly; the
@@ -278,6 +312,7 @@ class PipelineEngine:
             cache_hit=hit,
             wall_seconds=wall,
             artifact_sizes=sizes,
+            cache_source=source,
         )
 
         metrics.histogram(
@@ -309,10 +344,21 @@ class PipelineEngine:
             return CacheInfo(hits=0, misses=0, entries=0)
         return self._cache.info()
 
+    @property
+    def disk_cache(self) -> DiskCache | None:
+        """The persistent backing store, when one is configured."""
+        return self._disk
+
+    def disk_cache_info(self) -> DiskCacheInfo | None:
+        """Counters of the persistent store (``None`` without one)."""
+        return self._disk.info() if self._disk is not None else None
+
     def clear_cache(self) -> None:
-        """Forget every memoized stage output."""
+        """Forget every memoized stage output (memory and disk)."""
         if self._cache is not None:
             self._cache.clear()
+        if self._disk is not None:
+            self._disk.clear()
 
 
 def _topological_order(

@@ -1,0 +1,306 @@
+"""Parallel fan-out over independent pipeline variants.
+
+A sweep — linkage rules, k grids, ablation matrices — is a set of
+*independent* runs that differ in one knob.  :class:`FanOutExecutor`
+executes such a set across a process pool (``fork``), falling back to
+in-process serial execution when ``workers=1`` or the platform has no
+``fork`` start method, with identical results either way:
+
+* **deterministic seeds** — a variant without an explicit seed gets
+  one derived from ``H(base_seed, index, name)``, the same value in
+  serial and parallel mode, so the execution strategy can never change
+  the numbers;
+* **shared read-through cache** — workers build their engines over one
+  :class:`~repro.engine.diskcache.DiskCache` directory, so common
+  upstream stages computed by any process are reused by all later ones
+  (and by future runs — the cache persists);
+* **observability** — one ``fanout.run`` span with a ``fanout.variant``
+  child per variant (wall seconds, seed, worker pid), plus
+  ``repro_fanout_*`` metrics in the ambient registry.
+
+The executor is generic: it runs any picklable module-level
+``task(params, seed) -> value``.  The analysis-pipeline wiring lives
+in :mod:`repro.analysis.sweep`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.exceptions import EngineError
+from repro.obs.log import fmt_kv, get_logger
+from repro.obs.metrics import MetricsRegistry, current_metrics
+from repro.obs.trace import NullTracer, Tracer, current_tracer
+
+__all__ = [
+    "Variant",
+    "VariantOutcome",
+    "FanOutExecutor",
+    "run_many",
+    "derive_seed",
+    "fork_available",
+]
+
+_log = get_logger("engine.fanout")
+
+TaskFn = Callable[[Mapping[str, Any], int], Any]
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the ``fork`` start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def derive_seed(base_seed: int, index: int, name: str) -> int:
+    """Deterministic per-variant seed: stable across runs and modes.
+
+    Hash-derived (not ``base_seed + index``) so reordering or renaming
+    variants changes seeds loudly instead of silently shifting them
+    onto each other.
+    """
+    digest = hashlib.sha256(
+        f"{base_seed}:{index}:{name}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+@dataclass(frozen=True)
+class Variant:
+    """One independent unit of a fan-out.
+
+    ``params`` is handed to the task verbatim and must be picklable
+    for parallel execution.  ``seed`` pins the variant's seed; leave
+    ``None`` to have the executor derive one deterministically.
+    """
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+
+
+@dataclass(frozen=True)
+class VariantOutcome:
+    """The product of one executed variant."""
+
+    name: str
+    seed: int
+    value: Any
+    wall_seconds: float
+    worker_pid: int
+
+    @property
+    def in_parent(self) -> bool:
+        """True when the variant ran in the parent process (serial mode)."""
+        return self.worker_pid == os.getpid()
+
+
+def _invoke(payload: tuple[TaskFn, dict[str, Any], int, str]) -> tuple[Any, float, int]:
+    """Pool worker body: run one task and time it (module-level, picklable)."""
+    task, params, seed, _name = payload
+    started = time.perf_counter()
+    value = task(params, seed)
+    return value, time.perf_counter() - started, os.getpid()
+
+
+class FanOutExecutor:
+    """Runs one task over many variants, in parallel when it can.
+
+    Parameters
+    ----------
+    task:
+        Module-level callable ``task(params, seed) -> value``.  Must be
+        picklable for ``workers > 1``.
+    workers:
+        Process count.  ``1`` (default) runs serially in-process;
+        ``None`` means one per CPU.  Requests above 1 degrade to
+        serial (with a warning) when the platform lacks ``fork``.
+    base_seed:
+        Root of the deterministic per-variant seed derivation, used
+        for variants that do not pin their own seed.
+    initializer / initargs:
+        Per-process setup, exactly as :class:`multiprocessing.Pool`
+        takes it — e.g. building the process's cache-backed engine.
+        In serial mode the initializer runs once, in-process, before
+        the first variant, so both modes see the same lifecycle.
+    tracer / metrics:
+        Explicit observability sinks; default to the ambient ones.
+    """
+
+    def __init__(
+        self,
+        task: TaskFn,
+        *,
+        workers: int | None = 1,
+        base_seed: int = 0,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise EngineError(f"FanOutExecutor: workers must be >= 1, got {workers}")
+        self._task = task
+        self._workers = workers
+        self._base_seed = base_seed
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._tracer = tracer
+        self._metrics = metrics
+
+    @property
+    def workers(self) -> int:
+        """The configured worker count (before any fallback)."""
+        return self._workers
+
+    def run_many(self, variants: Sequence[Variant]) -> list[VariantOutcome]:
+        """Execute every variant; outcomes come back in variant order."""
+        if not variants:
+            raise EngineError("FanOutExecutor.run_many: no variants")
+        names = [v.name for v in variants]
+        if len(set(names)) != len(names):
+            duplicated = sorted({n for n in names if names.count(n) > 1})
+            raise EngineError(
+                f"FanOutExecutor.run_many: duplicate variant names {duplicated}"
+            )
+        payloads = [
+            (
+                self._task,
+                dict(variant.params),
+                variant.seed
+                if variant.seed is not None
+                else derive_seed(self._base_seed, index, variant.name),
+                variant.name,
+            )
+            for index, variant in enumerate(variants)
+        ]
+        workers = min(self._workers, len(payloads))
+        parallel = workers > 1
+        if parallel and not fork_available():
+            _log.warning(
+                fmt_kv(
+                    "fanout.no_fork",
+                    requested_workers=workers,
+                    fallback="serial",
+                )
+            )
+            parallel = False
+
+        tracer = self._tracer if self._tracer is not None else current_tracer()
+        metrics = (
+            self._metrics if self._metrics is not None else current_metrics()
+        )
+        mode = "parallel" if parallel else "serial"
+        started = time.perf_counter()
+        with tracer.span(
+            "fanout.run", variants=len(payloads), workers=workers, mode=mode
+        ) as run_span:
+            if parallel:
+                outcomes = self._run_parallel(payloads, workers, tracer)
+            else:
+                outcomes = self._run_serial(payloads, tracer)
+            run_span.set(wall_seconds=time.perf_counter() - started)
+
+        metrics.counter("repro_fanout_variants_total").inc(len(outcomes))
+        metrics.gauge("repro_fanout_workers").set(workers if parallel else 1)
+        for outcome in outcomes:
+            metrics.histogram("repro_fanout_variant_seconds").observe(
+                outcome.wall_seconds
+            )
+        if _log.isEnabledFor(20):  # INFO
+            _log.info(
+                fmt_kv(
+                    "fanout.run",
+                    variants=len(outcomes),
+                    mode=mode,
+                    workers=workers if parallel else 1,
+                    wall_s=time.perf_counter() - started,
+                )
+            )
+        return outcomes
+
+    def _run_serial(
+        self,
+        payloads: list[tuple[TaskFn, dict[str, Any], int, str]],
+        tracer: Tracer | NullTracer,
+    ) -> list[VariantOutcome]:
+        if self._initializer is not None:
+            self._initializer(*self._initargs)
+        outcomes = []
+        for task, params, seed, name in payloads:
+            with tracer.span(
+                "fanout.variant", variant=name, seed=seed, mode="serial"
+            ) as span:
+                value, wall, pid = _invoke((task, params, seed, name))
+                span.set(wall_seconds=wall, worker_pid=pid)
+            outcomes.append(
+                VariantOutcome(
+                    name=name,
+                    seed=seed,
+                    value=value,
+                    wall_seconds=wall,
+                    worker_pid=pid,
+                )
+            )
+        return outcomes
+
+    def _run_parallel(
+        self,
+        payloads: list[tuple[TaskFn, dict[str, Any], int, str]],
+        workers: int,
+        tracer: Tracer | NullTracer,
+    ) -> list[VariantOutcome]:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(
+            processes=workers,
+            initializer=self._initializer,
+            initargs=self._initargs,
+        ) as pool:
+            results = pool.map(_invoke, payloads)
+        outcomes = []
+        for (task, params, seed, name), (value, wall, pid) in zip(
+            payloads, results
+        ):
+            # The work happened in a pool process; record its span
+            # after the fact so the trace still carries one node per
+            # variant with the measured wall time as an attribute.
+            with tracer.span(
+                "fanout.variant", variant=name, seed=seed, mode="parallel"
+            ) as span:
+                span.set(wall_seconds=wall, worker_pid=pid)
+            outcomes.append(
+                VariantOutcome(
+                    name=name,
+                    seed=seed,
+                    value=value,
+                    wall_seconds=wall,
+                    worker_pid=pid,
+                )
+            )
+        return outcomes
+
+
+def run_many(
+    task: TaskFn,
+    variants: Sequence[Variant],
+    *,
+    workers: int | None = 1,
+    base_seed: int = 0,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple[Any, ...] = (),
+) -> list[VariantOutcome]:
+    """One-shot convenience over :class:`FanOutExecutor`."""
+    executor = FanOutExecutor(
+        task,
+        workers=workers,
+        base_seed=base_seed,
+        initializer=initializer,
+        initargs=initargs,
+    )
+    return executor.run_many(variants)

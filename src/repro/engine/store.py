@@ -27,17 +27,54 @@ from repro.exceptions import EngineError
 __all__ = ["Artifact", "ArtifactStore", "CacheInfo", "StageCache", "approx_size"]
 
 
+def _flat_size(value: Any, *, max_nodes: int = 4096) -> int:
+    """Depth-free footprint estimate: walk the whole object graph flat.
+
+    Used past the recursion cutoff of :func:`approx_size`, where the
+    old behaviour — ``sys.getsizeof`` on the container alone — scored
+    a dict of megabyte arrays as a few hundred bytes.  An iterative
+    worklist (no recursion limit to respect) sums ``nbytes`` for every
+    array and ``getsizeof`` for everything else, bounded by
+    ``max_nodes`` visited objects so pathological graphs stay cheap.
+    Shared references are counted once; cycles are safe.
+    """
+    total = 0
+    seen: set[int] = set()
+    stack = [value]
+    while stack and len(seen) < max_nodes:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, np.ndarray):
+            total += int(node.nbytes)
+            continue
+        total += sys.getsizeof(node, 64)
+        if isinstance(node, Mapping):
+            stack.extend(node.keys())
+            stack.extend(node.values())
+        elif isinstance(node, (list, tuple, set, frozenset)):
+            stack.extend(node)
+        else:
+            inner = getattr(node, "__dict__", None)
+            if isinstance(inner, dict) and inner:
+                stack.append(inner)
+    return total
+
+
 def approx_size(value: Any, *, _depth: int = 0) -> int:
     """Approximate in-memory footprint of an artifact, in bytes.
 
-    Exact for numpy arrays (``nbytes``); containers are summed one or
-    two levels deep; everything else falls back to ``sys.getsizeof``.
-    Good enough to spot which stage produces the bulky artifacts.
+    Exact for numpy arrays (``nbytes``); containers are summed
+    recursively a few levels deep, then by an iterative flat estimate
+    (so deeply nested dict-of-arrays artifacts are not undercounted);
+    everything else falls back to ``sys.getsizeof``.  Good enough to
+    spot which stage produces the bulky artifacts.
     """
     if isinstance(value, np.ndarray):
         return int(value.nbytes)
     if _depth >= 3:
-        return sys.getsizeof(value, 64)
+        return _flat_size(value)
     if isinstance(value, Mapping):
         return sys.getsizeof(value, 64) + sum(
             approx_size(k, _depth=_depth + 1) + approx_size(v, _depth=_depth + 1)

@@ -7,19 +7,37 @@ dictionaries (no custom encoders needed) and read/write them on disk.
 
 Round-trip guarantees are covered by tests: for every supported type,
 ``from_dict(to_dict(x)) == x``.
+
+Beyond the audit-oriented ``*_to_dict`` helpers, this module also
+provides the **artifact payload codec** used by the engine's
+persistent stage cache (:class:`repro.engine.diskcache.DiskCache`):
+:func:`payload_to_bytes` / :func:`payload_from_bytes` serialize a
+whole ``{artifact name: value}`` mapping into one self-describing,
+versioned ``.npz`` container — JSON for the structure (with tuples,
+dicts and the library's value objects tagged so they round-trip
+exactly) and native numpy storage for every array.  The format is
+versioned by :data:`PAYLOAD_FORMAT_VERSION`; readers reject any other
+version so stale cache entries degrade to a recompute instead of a
+wrong answer.
 """
 
 from __future__ import annotations
 
+import io
 import json
+import zipfile
 from pathlib import Path
 from typing import Any, Mapping
 
+import numpy as np
+
 from repro.analysis.pipeline import AnalysisResult
+from repro.characterization.base import CharacteristicVectors
 from repro.cluster.dendrogram import Dendrogram, Merge
 from repro.core.partition import Partition
 from repro.core.scoring import ScoredCut
 from repro.exceptions import ReproError
+from repro.som.som import SelfOrganizingMap, SOMConfig
 
 __all__ = [
     "partition_to_dict",
@@ -32,6 +50,11 @@ __all__ = [
     "chain_from_dict",
     "save_json",
     "load_json",
+    "PAYLOAD_FORMAT_VERSION",
+    "encode_artifact",
+    "decode_artifact",
+    "payload_to_bytes",
+    "payload_from_bytes",
 ]
 
 
@@ -192,6 +215,265 @@ def save_json(data: Mapping[str, Any], path: str | Path) -> None:
     target.write_text(
         json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
+
+
+# -- artifact payload codec (engine disk cache) -----------------------------
+
+PAYLOAD_FORMAT_VERSION = 1
+"""Version stamp of the on-disk artifact payload format.
+
+Bump on any change to the tagged encoding below; readers refuse other
+versions, which the disk cache treats as a miss-and-recompute.
+"""
+
+_KIND = "__artifact__"
+
+
+def encode_artifact(value: Any, arrays: dict[str, np.ndarray]) -> Any:
+    """Encode one artifact value as a JSON-safe structure.
+
+    Numpy arrays are not inlined: each is appended to ``arrays`` under
+    a generated name and referenced by that name, so the caller can
+    store them natively (``.npz``) beside the JSON structure.  Tuples,
+    dicts (any hashable keys), and the library's value objects
+    (:class:`Partition`, :class:`Dendrogram`, :class:`ScoredCut`,
+    :class:`CharacteristicVectors`, :class:`SelfOrganizingMap`,
+    :class:`SOMConfig`) are tagged so :func:`decode_artifact` rebuilds
+    them exactly.  Unsupported types raise :class:`ReproError` — the
+    disk cache skips persisting such entries rather than guessing.
+    """
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, np.ndarray):
+        name = f"a{len(arrays)}"
+        arrays[name] = value
+        return {_KIND: "ndarray", "ref": name}
+    if isinstance(value, np.generic):
+        name = f"a{len(arrays)}"
+        arrays[name] = np.asarray(value)
+        return {_KIND: "npscalar", "ref": name}
+    if isinstance(value, tuple):
+        return {_KIND: "tuple", "items": [encode_artifact(v, arrays) for v in value]}
+    if isinstance(value, list):
+        return {_KIND: "list", "items": [encode_artifact(v, arrays) for v in value]}
+    if isinstance(value, Partition):
+        return {_KIND: "partition", "blocks": [list(b) for b in value.blocks]}
+    if isinstance(value, Merge):
+        return {
+            _KIND: "merge",
+            "first": value.first,
+            "second": value.second,
+            "distance": value.distance,
+            "size": value.size,
+        }
+    if isinstance(value, Dendrogram):
+        return {
+            _KIND: "dendrogram",
+            "labels": list(value.labels),
+            "merges": [encode_artifact(m, arrays) for m in value.merges],
+        }
+    if isinstance(value, ScoredCut):
+        return {
+            _KIND: "scored-cut",
+            "clusters": value.clusters,
+            "partition": encode_artifact(value.partition, arrays),
+            "scores": encode_artifact(dict(value.scores), arrays),
+            "machine_order": encode_artifact(value.machine_order, arrays),
+        }
+    if isinstance(value, CharacteristicVectors):
+        name = f"a{len(arrays)}"
+        arrays[name] = value.matrix
+        return {
+            _KIND: "characteristic-vectors",
+            "labels": list(value.labels),
+            "feature_names": list(value.feature_names),
+            "ref": name,
+        }
+    if isinstance(value, SOMConfig):
+        return {
+            _KIND: "som-config",
+            "fields": {
+                "rows": value.rows,
+                "columns": value.columns,
+                "topology": value.topology,
+                "initialization": value.initialization,
+                "neighborhood": value.neighborhood,
+                "learning_rate": encode_artifact(tuple(value.learning_rate), arrays),
+                "radius": encode_artifact(tuple(value.radius), arrays),
+                "decay": value.decay,
+                "steps_per_sample": value.steps_per_sample,
+                "seed": value.seed,
+            },
+        }
+    if isinstance(value, SelfOrganizingMap):
+        state = value.state_dict()
+        return {
+            _KIND: "som",
+            "config": encode_artifact(state["config"], arrays),
+            "weights": encode_artifact(state["weights"], arrays),
+            "history": encode_artifact(state["history"], arrays),
+            "epochs_trained": state["epochs_trained"],
+        }
+    if isinstance(value, Mapping):
+        return {
+            _KIND: "dict",
+            "items": [
+                [encode_artifact(k, arrays), encode_artifact(v, arrays)]
+                for k, v in value.items()
+            ],
+        }
+    raise ReproError(
+        f"encode_artifact: no payload encoding for {type(value).__qualname__}"
+    )
+
+
+def decode_artifact(obj: Any, arrays: Mapping[str, np.ndarray]) -> Any:
+    """Inverse of :func:`encode_artifact`."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if not isinstance(obj, dict) or _KIND not in obj:
+        raise ReproError(f"decode_artifact: untagged payload node {obj!r}")
+    kind = obj[_KIND]
+    try:
+        if kind == "ndarray":
+            return np.asarray(arrays[obj["ref"]])
+        if kind == "npscalar":
+            return np.asarray(arrays[obj["ref"]])[()]
+        if kind == "tuple":
+            return tuple(decode_artifact(v, arrays) for v in obj["items"])
+        if kind == "list":
+            return [decode_artifact(v, arrays) for v in obj["items"]]
+        if kind == "partition":
+            return Partition(obj["blocks"])
+        if kind == "merge":
+            return Merge(
+                first=obj["first"],
+                second=obj["second"],
+                distance=obj["distance"],
+                size=obj["size"],
+            )
+        if kind == "dendrogram":
+            return Dendrogram(
+                obj["labels"],
+                [decode_artifact(m, arrays) for m in obj["merges"]],
+            )
+        if kind == "scored-cut":
+            return ScoredCut(
+                clusters=obj["clusters"],
+                partition=decode_artifact(obj["partition"], arrays),
+                scores=decode_artifact(obj["scores"], arrays),
+                machine_order=decode_artifact(obj["machine_order"], arrays),
+            )
+        if kind == "characteristic-vectors":
+            return CharacteristicVectors(
+                labels=obj["labels"],
+                feature_names=obj["feature_names"],
+                matrix=np.asarray(arrays[obj["ref"]]),
+            )
+        if kind == "som-config":
+            fields = {
+                k: decode_artifact(v, arrays) for k, v in obj["fields"].items()
+            }
+            return SOMConfig(**fields)
+        if kind == "som":
+            return SelfOrganizingMap.from_state(
+                {
+                    "config": decode_artifact(obj["config"], arrays),
+                    "weights": decode_artifact(obj["weights"], arrays),
+                    "history": decode_artifact(obj["history"], arrays),
+                    "epochs_trained": obj["epochs_trained"],
+                }
+            )
+        if kind == "dict":
+            return {
+                decode_artifact(k, arrays): decode_artifact(v, arrays)
+                for k, v in obj["items"]
+            }
+    except (KeyError, IndexError, TypeError, ValueError) as error:
+        raise ReproError(
+            f"decode_artifact: malformed {kind!r} node ({error!r})"
+        ) from None
+    raise ReproError(f"decode_artifact: unknown payload kind {kind!r}")
+
+
+def payload_to_bytes(
+    outputs: Mapping[str, Any], *, meta: Mapping[str, Any] | None = None
+) -> bytes:
+    """Serialize an artifact mapping into one versioned ``.npz`` blob.
+
+    The blob holds a ``__payload__`` member (UTF-8 JSON: format
+    version, caller ``meta``, and the tagged structure of every
+    output) plus one native-numpy member per referenced array.  Raises
+    :class:`ReproError` when any value has no payload encoding.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    encoded = {
+        str(name): encode_artifact(value, arrays)
+        for name, value in outputs.items()
+    }
+    document = {
+        "format": PAYLOAD_FORMAT_VERSION,
+        "meta": dict(meta or {}),
+        "outputs": encoded,
+    }
+    blob = json.dumps(document).encode("utf-8")
+    buffer = io.BytesIO()
+    np.savez_compressed(
+        buffer, __payload__=np.frombuffer(blob, dtype=np.uint8), **arrays
+    )
+    return buffer.getvalue()
+
+
+def payload_from_bytes(raw: bytes) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Inverse of :func:`payload_to_bytes`: ``(outputs, meta)``.
+
+    Raises :class:`ReproError` on any corruption (truncated zip,
+    missing members, malformed JSON or structure) and on a format
+    version other than :data:`PAYLOAD_FORMAT_VERSION` — callers treat
+    both identically, as a cache miss.
+    """
+    try:
+        with np.load(io.BytesIO(raw), allow_pickle=False) as archive:
+            try:
+                blob = bytes(archive["__payload__"].tobytes())
+            except KeyError:
+                raise ReproError(
+                    "payload_from_bytes: no __payload__ member"
+                ) from None
+            document = json.loads(blob.decode("utf-8"))
+            version = document.get("format")
+            if version != PAYLOAD_FORMAT_VERSION:
+                raise ReproError(
+                    f"payload_from_bytes: format version {version!r} "
+                    f"(expected {PAYLOAD_FORMAT_VERSION})"
+                )
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if name != "__payload__"
+            }
+            outputs = {
+                name: decode_artifact(node, arrays)
+                for name, node in document["outputs"].items()
+            }
+            return outputs, dict(document.get("meta", {}))
+    except ReproError:
+        raise
+    except (
+        zipfile.BadZipFile,
+        json.JSONDecodeError,
+        UnicodeDecodeError,
+        KeyError,
+        OSError,
+        EOFError,
+        ValueError,
+        TypeError,
+    ) as error:
+        raise ReproError(
+            f"payload_from_bytes: unreadable payload ({error!r})"
+        ) from None
 
 
 def load_json(path: str | Path) -> dict[str, Any]:

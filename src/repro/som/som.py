@@ -22,7 +22,7 @@ provided as an extension for reproducible pipelines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -267,6 +267,42 @@ class SelfOrganizingMap:
         counts batch updates.
         """
         return self._epochs_trained
+
+    # -- persistence -------------------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """Everything needed to rebuild this map: config + learned state.
+
+        The inverse is :meth:`from_state`; together they let trained
+        maps be archived (the engine's disk cache stores SOM artifacts
+        through this pair via :mod:`repro.serialization`).
+        """
+        return {
+            "config": self._config,
+            "weights": None if self._weights is None else self._weights.copy(),
+            "history": tuple(self._history),
+            "epochs_trained": self._epochs_trained,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "SelfOrganizingMap":
+        """Rebuild a map from :meth:`state_dict` output.
+
+        The reconstructed map projects and scores identically to the
+        original; it does not replay training.
+        """
+        try:
+            som = cls(state["config"])
+            weights = state.get("weights")
+            if weights is not None:
+                som._weights = np.asarray(weights, dtype=float).copy()
+            som._history = tuple(
+                (int(step), float(qe)) for step, qe in state.get("history", ())
+            )
+            som._epochs_trained = int(state.get("epochs_trained", 0))
+        except (KeyError, TypeError, ValueError) as error:
+            raise SOMError(f"SOM.from_state: malformed state ({error!r})") from None
+        return som
 
     def _quantization_error_of(self, matrix: np.ndarray) -> float:
         assert self._weights is not None

@@ -1,0 +1,243 @@
+"""Randomized algebraic properties of the means and the partition lattice.
+
+Property-style tests driven by seeded ``numpy.random`` generators:
+each property is checked over many independently drawn score vectors
+and partitions (up to 12 labels), with the seeds fixed so failures
+reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchical import (
+    cluster_representatives,
+    hierarchical_arithmetic_mean,
+    hierarchical_geometric_mean,
+    hierarchical_harmonic_mean,
+    hierarchical_mean,
+)
+from repro.core.means import arithmetic_mean, geometric_mean, harmonic_mean
+from repro.core.partition import Partition
+
+SEEDS = range(20)
+
+_FAMILIES = (
+    ("geometric", geometric_mean),
+    ("arithmetic", arithmetic_mean),
+    ("harmonic", harmonic_mean),
+)
+
+
+def _random_scores(rng: np.random.Generator, count: int) -> dict[str, float]:
+    """Positive scores (speedup-like, spanning ~3 decades)."""
+    values = np.exp(rng.uniform(np.log(0.05), np.log(50.0), size=count))
+    return {f"w{i:02d}": float(v) for i, v in enumerate(values)}
+
+
+def _random_partition(
+    rng: np.random.Generator, labels: list[str]
+) -> Partition:
+    """A uniform-ish random partition via random block assignments."""
+    blocks = int(rng.integers(1, len(labels) + 1))
+    assignments = {
+        label: int(rng.integers(0, blocks)) for label in labels
+    }
+    return Partition.from_assignments(assignments)
+
+
+class TestCollapseToPlainMeans:
+    """H*M over trivial partitions is the plain mean (Section II)."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("family,plain", _FAMILIES, ids=[f[0] for f in _FAMILIES])
+    def test_singletons_collapse(self, seed, family, plain):
+        rng = np.random.default_rng(seed)
+        scores = _random_scores(rng, int(rng.integers(1, 13)))
+        partition = Partition.singletons(scores)
+        assert hierarchical_mean(scores, partition, mean=family) == pytest.approx(
+            plain(list(scores.values())), rel=1e-12
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("family,plain", _FAMILIES, ids=[f[0] for f in _FAMILIES])
+    def test_whole_suite_collapses(self, seed, family, plain):
+        rng = np.random.default_rng(seed)
+        scores = _random_scores(rng, int(rng.integers(1, 13)))
+        partition = Partition.whole(scores)
+        assert hierarchical_mean(scores, partition, mean=family) == pytest.approx(
+            plain(list(scores.values())), rel=1e-12
+        )
+
+    def test_named_families_match_the_dedicated_functions(self):
+        rng = np.random.default_rng(0)
+        scores = _random_scores(rng, 9)
+        partition = _random_partition(rng, sorted(scores))
+        assert hierarchical_mean(
+            scores, partition, mean="geometric"
+        ) == pytest.approx(hierarchical_geometric_mean(scores, partition))
+        assert hierarchical_mean(
+            scores, partition, mean="arithmetic"
+        ) == pytest.approx(hierarchical_arithmetic_mean(scores, partition))
+        assert hierarchical_mean(
+            scores, partition, mean="harmonic"
+        ) == pytest.approx(hierarchical_harmonic_mean(scores, partition))
+
+
+class TestInvariance:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_score_insertion_order_is_irrelevant(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = _random_scores(rng, 10)
+        partition = _random_partition(rng, sorted(scores))
+        shuffled_keys = list(scores)
+        rng.shuffle(shuffled_keys)
+        shuffled = {key: scores[key] for key in shuffled_keys}
+        for family, _ in _FAMILIES:
+            # Same canonical partition, same per-block value lists:
+            # the results are bit-identical, not just close.
+            assert hierarchical_mean(
+                scores, partition, mean=family
+            ) == hierarchical_mean(shuffled, partition, mean=family)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_consistent_relabeling_preserves_every_mean(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = _random_scores(rng, 11)
+        partition = _random_partition(rng, sorted(scores))
+        renames = {
+            label: f"bench-{rng.integers(10**9)}-{label}" for label in scores
+        }
+        renamed_scores = {renames[k]: v for k, v in scores.items()}
+        renamed_partition = Partition(
+            tuple(renames[label] for label in block)
+            for block in partition.blocks
+        )
+        for family, _ in _FAMILIES:
+            assert hierarchical_mean(
+                renamed_scores, renamed_partition, mean=family
+            ) == pytest.approx(
+                hierarchical_mean(scores, partition, mean=family), rel=1e-12
+            )
+
+
+class TestMeanInequalities:
+    """HM <= GM <= AM, per cluster and through the hierarchy."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_per_cluster_representatives_are_ordered(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = _random_scores(rng, 12)
+        partition = _random_partition(rng, sorted(scores))
+        hm = cluster_representatives(scores, partition, mean="harmonic")
+        gm = cluster_representatives(scores, partition, mean="geometric")
+        am = cluster_representatives(scores, partition, mean="arithmetic")
+        for block in partition.blocks:
+            assert hm[block] <= gm[block] + 1e-12
+            assert gm[block] <= am[block] + 1e-12
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_outer_hierarchical_means_are_ordered(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = _random_scores(rng, 12)
+        partition = _random_partition(rng, sorted(scores))
+        hhm = hierarchical_harmonic_mean(scores, partition)
+        hgm = hierarchical_geometric_mean(scores, partition)
+        ham = hierarchical_arithmetic_mean(scores, partition)
+        assert hhm <= hgm * (1 + 1e-12)
+        assert hgm <= ham * (1 + 1e-12)
+        assert all(math.isfinite(v) for v in (hhm, hgm, ham))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_equal_scores_make_every_mean_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        value = float(np.exp(rng.uniform(-2, 2)))
+        scores = {f"w{i}": value for i in range(8)}
+        partition = _random_partition(rng, sorted(scores))
+        for family, _ in _FAMILIES:
+            assert hierarchical_mean(
+                scores, partition, mean=family
+            ) == pytest.approx(value, rel=1e-12)
+
+
+class TestPartitionLattice:
+    """Refinement is a partial order; meet/join are its lattice ops."""
+
+    LABELS = [f"w{i:02d}" for i in range(12)]
+
+    def _pair(self, seed):
+        rng = np.random.default_rng(seed)
+        return (
+            _random_partition(rng, self.LABELS),
+            _random_partition(rng, self.LABELS),
+        )
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_refinement_is_reflexive(self, seed):
+        p, _ = self._pair(seed)
+        assert p.is_refinement_of(p)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_refinement_is_antisymmetric(self, seed):
+        p, q = self._pair(seed)
+        if p.is_refinement_of(q) and q.is_refinement_of(p):
+            assert p == q
+        # And the constructive direction: mutual refinement with any
+        # partition equal to p must hold.
+        assert p.is_refinement_of(Partition(p.blocks))
+        assert Partition(p.blocks).is_refinement_of(p)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_refinement_is_transitive(self, seed):
+        rng = np.random.default_rng(seed)
+        coarse = _random_partition(rng, self.LABELS)
+        middle = coarse.meet(_random_partition(rng, self.LABELS))
+        fine = middle.meet(_random_partition(rng, self.LABELS))
+        assert fine.is_refinement_of(middle)
+        assert middle.is_refinement_of(coarse)
+        assert fine.is_refinement_of(coarse)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_meet_is_the_greatest_lower_bound(self, seed):
+        p, q = self._pair(seed)
+        met = p.meet(q)
+        assert met.is_refinement_of(p)
+        assert met.is_refinement_of(q)
+        assert met == q.meet(p)
+        assert p.meet(p) == p
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_join_is_the_least_upper_bound(self, seed):
+        p, q = self._pair(seed)
+        joined = p.join(q)
+        assert p.is_refinement_of(joined)
+        assert q.is_refinement_of(joined)
+        assert joined == q.join(p)
+        assert p.join(p) == p
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_absorption_round_trips(self, seed):
+        p, q = self._pair(seed)
+        assert p.join(p.meet(q)) == p
+        assert p.meet(p.join(q)) == p
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_comparable_pairs_collapse_meet_and_join(self, seed):
+        rng = np.random.default_rng(seed)
+        coarse = _random_partition(rng, self.LABELS)
+        fine = coarse.meet(_random_partition(rng, self.LABELS))
+        assert fine.meet(coarse) == fine
+        assert fine.join(coarse) == coarse
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_singletons_and_whole_are_the_lattice_bounds(self, seed):
+        p, _ = self._pair(seed)
+        bottom = Partition.singletons(self.LABELS)
+        top = Partition.whole(self.LABELS)
+        assert bottom.is_refinement_of(p)
+        assert p.is_refinement_of(top)
+        assert p.meet(bottom) == bottom
+        assert p.join(top) == top

@@ -1,0 +1,59 @@
+"""approx_size: deep artifacts must not be undercounted at the depth cap."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import approx_size
+
+
+def _nested(depth: int, leaf):
+    value = leaf
+    for level in range(depth):
+        value = {f"level{level}": value}
+    return value
+
+
+class TestApproxSize:
+    def test_array_is_exact(self):
+        array = np.zeros(1000)
+        assert approx_size(array) == array.nbytes
+
+    def test_shallow_containers_count_members(self):
+        arrays = {"a": np.zeros(1000), "b": np.zeros(500)}
+        assert approx_size(arrays) >= 1500 * 8
+
+    def test_deeply_nested_dict_of_arrays_counts_the_arrays(self):
+        # Five dict levels put the array past the recursion cutoff;
+        # the flat fallback must still see its 8000 bytes (the old
+        # behaviour scored the whole subtree as sizeof(dict) ~ 64).
+        value = _nested(5, {"payload": np.zeros(1000)})
+        assert approx_size(value) >= 8000
+
+    def test_deep_mixed_containers_count_arrays(self):
+        value = _nested(4, [np.zeros(250), (np.zeros(250), np.zeros(500))])
+        assert approx_size(value) >= 1000 * 8
+
+    def test_deep_object_attributes_count_arrays(self):
+        class Holder:
+            def __init__(self):
+                self.matrix = np.zeros(1000)
+
+        value = _nested(4, Holder())
+        assert approx_size(value) >= 8000
+
+    def test_shared_arrays_count_once_past_the_cutoff(self):
+        shared = np.zeros(1000)
+        value = _nested(4, [shared, shared, shared])
+        assert 8000 <= approx_size(value) < 3 * 8000
+
+    def test_cyclic_structures_terminate(self):
+        inner: dict = {"x": np.zeros(100)}
+        inner["self"] = inner
+        value = _nested(4, inner)
+        assert approx_size(value) >= 800
+
+    def test_scalars_fall_back_to_getsizeof(self):
+        assert approx_size(5) > 0
+        assert approx_size("text") > 0
+        assert approx_size(None) > 0

@@ -1,0 +1,134 @@
+"""Regenerate the golden regression fixtures under ``tests/golden/``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+Each fixture is the full JSON-able state of one deterministic
+computation (fixed seeds throughout).  The companion test module
+recomputes the same state and diffs it against the stored files —
+exact for discrete structure (cluster assignments, dendrogram
+topology, recommendations), tolerance-based for floats.  See
+``README.md`` beside this file for when and how to refresh.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.core.hierarchical import hierarchical_geometric_mean
+from repro.data.partitions import partition_chain
+from repro.data.table3 import speedups_for_machine
+from repro.workloads.execution import ExecutionSimulator
+from repro.workloads.machines import MACHINE_A, MACHINE_B
+from repro.workloads.speedup import speedup_table
+from repro.workloads.suite import BenchmarkSuite
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+SEED = 11
+RUNS = 10
+
+# The three pipeline configurations the paper's figures come from:
+# SAR counters on each machine (Figures 3-6) and the
+# machine-independent method profile (Figures 7-8).
+PIPELINE_CONFIGS = {
+    "pipeline_sar_A": {"characterization": "sar", "machine": "A"},
+    "pipeline_sar_B": {"characterization": "sar", "machine": "B"},
+    "pipeline_methods": {"characterization": "methods", "machine": None},
+}
+
+
+def compute_table3() -> dict:
+    """The simulated Table III speedup columns (seed-pinned)."""
+    simulator = ExecutionSimulator(seed=SEED)
+    table = speedup_table(
+        simulator, BenchmarkSuite.paper_suite(), [MACHINE_A, MACHINE_B], runs=RUNS
+    )
+    return {"seed": SEED, "runs": RUNS, "speedups": table}
+
+
+def compute_tables456() -> dict:
+    """HGM scores of Tables IV-VI from the recovered partition chains."""
+    tables = {}
+    for number in (4, 5, 6):
+        name = f"table{number}"
+        chain = partition_chain(name)
+        rows = {}
+        for clusters, partition in sorted(chain.items()):
+            rows[str(clusters)] = {
+                "clusters": sorted(sorted(block) for block in partition.blocks),
+                "score_a": hierarchical_geometric_mean(
+                    speedups_for_machine("A"), partition
+                ),
+                "score_b": hierarchical_geometric_mean(
+                    speedups_for_machine("B"), partition
+                ),
+            }
+        tables[name] = rows
+    return {"tables": tables}
+
+
+def compute_pipeline(characterization: str, machine: str | None) -> dict:
+    """Full pipeline state for one configuration (Figures 3-8, Tables IV-VI)."""
+    pipeline = WorkloadAnalysisPipeline(
+        characterization=characterization, machine=machine, seed=SEED
+    )
+    result = pipeline.run(BenchmarkSuite.paper_suite())
+    return {
+        "seed": SEED,
+        "characterization": characterization,
+        "machine": machine,
+        "positions": {
+            name: list(cell) for name, cell in sorted(result.positions.items())
+        },
+        "dendrogram": {
+            "labels": list(result.dendrogram.labels),
+            "merges": [
+                {
+                    "first": m.first,
+                    "second": m.second,
+                    "distance": m.distance,
+                    "size": m.size,
+                }
+                for m in result.dendrogram.merges
+            ],
+        },
+        "cuts": {
+            str(cut.clusters): {
+                "clusters": sorted(
+                    sorted(block) for block in cut.partition.blocks
+                ),
+                "scores": dict(cut.scores),
+                "ratio": cut.ratio,
+            }
+            for cut in result.cuts
+        },
+        "recommended_clusters": result.recommended_clusters,
+    }
+
+
+def fixtures() -> dict[str, dict]:
+    """Every fixture, keyed by its file stem."""
+    built = {
+        "table3": compute_table3(),
+        "tables456": compute_tables456(),
+    }
+    for stem, config in PIPELINE_CONFIGS.items():
+        built[stem] = compute_pipeline(**config)
+    return built
+
+
+def main() -> None:
+    for stem, payload in fixtures().items():
+        path = GOLDEN_DIR / f"{stem}.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Golden regression: recompute Tables III-VI / Figures 3-8 state and diff.
+
+Discrete structure (cluster assignments, dendrogram topology, SOM
+positions, recommendations) must match the stored fixtures **exactly**;
+floating-point scores and distances match to a tight relative
+tolerance (they are deterministic, but the tolerance keeps the
+fixtures portable across BLAS builds and Python versions).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.golden import generate
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+FLOAT_RTOL = 1e-8
+
+_REFRESH_HINT = (
+    "golden fixture drift — if the change is intentional, refresh with "
+    "`PYTHONPATH=src python tests/golden/generate.py` (see tests/golden/README.md)"
+)
+
+
+def _load(stem: str) -> dict:
+    path = GOLDEN_DIR / f"{stem}.json"
+    assert path.exists(), f"missing fixture {path}; run tests/golden/generate.py"
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _assert_matches(actual, expected, crumb: str = "$") -> None:
+    """Structural diff: exact for everything except floats."""
+    if isinstance(expected, float) or isinstance(actual, float):
+        assert actual == pytest.approx(expected, rel=FLOAT_RTOL), (
+            f"{crumb}: {actual!r} != {expected!r}; {_REFRESH_HINT}"
+        )
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{crumb}: {type(actual)}; {_REFRESH_HINT}"
+        assert sorted(actual) == sorted(expected), (
+            f"{crumb}: keys {sorted(actual)} != {sorted(expected)}; {_REFRESH_HINT}"
+        )
+        for key in expected:
+            _assert_matches(actual[key], expected[key], f"{crumb}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{crumb}: {type(actual)}; {_REFRESH_HINT}"
+        assert len(actual) == len(expected), (
+            f"{crumb}: length {len(actual)} != {len(expected)}; {_REFRESH_HINT}"
+        )
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            _assert_matches(a, e, f"{crumb}[{index}]")
+    else:
+        assert actual == expected, f"{crumb}: {actual!r} != {expected!r}; {_REFRESH_HINT}"
+
+
+def _normalize(payload: dict) -> dict:
+    """Round-trip through JSON so tuples/ints line up with the fixture."""
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+class TestTableFixtures:
+    def test_table3_speedups(self):
+        _assert_matches(_normalize(generate.compute_table3()), _load("table3"))
+
+    def test_tables_4_5_6_scores_and_partitions(self):
+        _assert_matches(
+            _normalize(generate.compute_tables456()), _load("tables456")
+        )
+
+
+class TestPipelineFixtures:
+    @pytest.mark.parametrize("stem", sorted(generate.PIPELINE_CONFIGS))
+    def test_pipeline_state(self, stem):
+        config = generate.PIPELINE_CONFIGS[stem]
+        actual = _normalize(generate.compute_pipeline(**config))
+        expected = _load(stem)
+        # Exact discrete structure first (sharper failure messages than
+        # the full structural diff below would give).
+        assert actual["positions"] == expected["positions"], _REFRESH_HINT
+        assert (
+            actual["recommended_clusters"] == expected["recommended_clusters"]
+        ), _REFRESH_HINT
+        for k, cut in expected["cuts"].items():
+            assert actual["cuts"][k]["clusters"] == cut["clusters"], (
+                f"k={k}: {_REFRESH_HINT}"
+            )
+        _assert_matches(actual, expected)
+
+
+class TestFixtureHygiene:
+    def test_every_fixture_has_a_generator_and_vice_versa(self):
+        stems = {p.stem for p in GOLDEN_DIR.glob("*.json")}
+        expected = {"table3", "tables456"} | set(generate.PIPELINE_CONFIGS)
+        assert stems == expected, (
+            "fixtures on disk and generate.py disagree; "
+            "run tests/golden/generate.py and commit the result"
+        )

@@ -11,6 +11,7 @@ from repro.core.partition import Partition
 from repro.data.partitions import TABLE4_PARTITIONS
 from repro.exceptions import ReproError
 from repro.serialization import (
+    PAYLOAD_FORMAT_VERSION,
     analysis_result_from_dict,
     analysis_result_to_dict,
     chain_from_dict,
@@ -20,6 +21,8 @@ from repro.serialization import (
     load_json,
     partition_from_dict,
     partition_to_dict,
+    payload_from_bytes,
+    payload_to_bytes,
     save_json,
 )
 from repro.som.som import SOMConfig
@@ -178,3 +181,107 @@ class TestFileHelpers:
         bad.write_text("{not json", encoding="utf-8")
         with pytest.raises(ReproError, match="not valid JSON"):
             load_json(bad)
+
+
+class TestPayloadCodec:
+    """The versioned bytes format backing the on-disk stage cache."""
+
+    def test_scalar_and_container_round_trip(self):
+        outputs = {
+            "none": None,
+            "flag": True,
+            "count": 13,
+            "ratio": 1.25,
+            "name": "machine-A",
+            "pair": (1, "two"),
+            "nested": {"inner": [1.0, 2.0], "cell": (3, 4)},
+        }
+        recovered, meta = payload_from_bytes(payload_to_bytes(outputs))
+        assert recovered == outputs
+        assert isinstance(recovered["pair"], tuple)
+        assert isinstance(recovered["nested"]["cell"], tuple)
+        assert meta == {}
+
+    def test_arrays_round_trip_bitwise(self):
+        outputs = {
+            "floats": np.linspace(0.0, 1.0, 101),
+            "ints": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "bools": np.array([True, False, True]),
+        }
+        recovered, _ = payload_from_bytes(payload_to_bytes(outputs))
+        for key, original in outputs.items():
+            assert recovered[key].dtype == original.dtype
+            assert np.array_equal(recovered[key], original)
+
+    def test_domain_artifacts_round_trip(self):
+        points = np.array([[0.0], [0.2], [5.0], [5.3]])
+        dendrogram = AgglomerativeClustering().fit(
+            points, labels=["a", "b", "c", "d"]
+        )
+        outputs = {
+            "partition": Partition([["a", "b"], ["c", "d"]]),
+            "dendrogram": dendrogram,
+        }
+        recovered, _ = payload_from_bytes(payload_to_bytes(outputs))
+        assert recovered["partition"] == outputs["partition"]
+        assert recovered["dendrogram"].labels == dendrogram.labels
+        assert recovered["dendrogram"].merges == dendrogram.merges
+
+    def test_meta_round_trips(self):
+        raw = payload_to_bytes({"x": 1}, meta={"key": "abc", "stage": "s"})
+        _, meta = payload_from_bytes(raw)
+        assert meta == {"key": "abc", "stage": "s"}
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(ReproError):
+            payload_to_bytes({"bad": object()})
+
+    def test_truncated_bytes_raise(self):
+        raw = payload_to_bytes({"x": np.arange(10)})
+        with pytest.raises(ReproError):
+            payload_from_bytes(raw[: len(raw) // 2])
+
+    def test_garbage_bytes_raise(self):
+        with pytest.raises(ReproError):
+            payload_from_bytes(b"definitely not a payload")
+
+    def test_stale_format_version_raises(self):
+        import io
+        import json as jsonlib
+
+        raw = payload_to_bytes({"x": 1})
+        # Rewrite the embedded header with an unknown format version.
+        with np.load(io.BytesIO(raw)) as archive:
+            blob = jsonlib.loads(archive["__payload__"].tobytes())
+        assert blob["format"] == PAYLOAD_FORMAT_VERSION
+
+        blob["format"] = PAYLOAD_FORMAT_VERSION + 999
+        body = jsonlib.dumps(blob).encode("utf-8")
+        buffer = io.BytesIO()
+        np.savez_compressed(
+            buffer, __payload__=np.frombuffer(body, dtype=np.uint8)
+        )
+        with pytest.raises(ReproError, match="format"):
+            payload_from_bytes(buffer.getvalue())
+
+    def test_som_state_round_trips_and_projects(self, paper_suite):
+        pipeline = WorkloadAnalysisPipeline(
+            characterization="methods",
+            machine=None,
+            som_config=SOMConfig(rows=6, columns=6, steps_per_sample=120, seed=2),
+        )
+        result = pipeline.run(paper_suite)
+        recovered, _ = payload_from_bytes(
+            payload_to_bytes({"som": result.som})
+        )
+        som = recovered["som"]
+        assert np.array_equal(som.weights, result.som.weights)
+        assert som.epochs_trained == result.som.epochs_trained
+        projected = som.project(result.prepared_vectors.matrix)
+        positions = {
+            label: (int(row), int(col))
+            for label, (row, col) in zip(
+                result.prepared_vectors.labels, projected
+            )
+        }
+        assert positions == dict(result.positions)
