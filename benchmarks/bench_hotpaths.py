@@ -1,0 +1,310 @@
+"""Perf hook — the vectorized hot-path kernels vs their scalar ancestors.
+
+Times each hot kernel old vs. new, using the pre-vectorization scalar
+formulations preserved in ``tests/reference_kernels.py`` as the "old"
+side, and archives the numbers in ``results/BENCH_hotpaths.json``:
+
+1. **SOM sequential fit** — the paper's SAR-A configuration (8x8 map,
+   500 steps/sample) at both the prepared-matrix dimensionality
+   (13, 216) and the reduced dimensionality (13, 14); the vectorized
+   loop must stay **bitwise identical** to the scalar one, so the
+   comparison is exact, not approximate;
+2. **SOM batch influence** — per-BMU ``np.stack`` row gathering vs one
+   fancy-indexed lookup into the grid's cached distance table;
+3. **pairwise distances** — the O(n^2) per-pair python loop vs the
+   broadcast/Gram fast paths, for all five named metrics;
+4. **linkage fit** — complete-linkage clustering over the SOM-unit
+   distance matrix (no old/new pair; tracked for regression);
+5. **bootstrap** — one-replicate-at-a-time resampling + scalar
+   ``hierarchical_mean`` calls vs the matrix resampler +
+   ``hierarchical_mean_many``, equal at 1e-12 for the same seed.
+
+``scripts/check_bench_regression.py`` compares a fresh run of this
+bench against the committed baseline.  Set ``BENCH_HOTPATHS_SMOKE=1``
+(CI does) to shrink the workloads so the bench finishes in seconds;
+smoke runs still check every equivalence, they just measure less.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit, write_bench_json
+from repro.cluster.agglomerative import AgglomerativeClustering
+from repro.core.confidence import _resampled_speedup_matrix
+from repro.core.hierarchical import hierarchical_mean_many
+from repro.core.partition import Partition
+from repro.som.som import SOMConfig, SelfOrganizingMap
+from repro.stats.distance import DISTANCE_METRICS, pairwise_distances
+from repro.viz.tables import format_table
+from repro.workloads.execution import RunSample
+
+from tests.reference_kernels import (
+    reference_bootstrap_scores,
+    reference_pairwise_distances,
+    reference_resampled_speedups,
+    reference_sequential_weights,
+)
+
+SMOKE = os.environ.get("BENCH_HOTPATHS_SMOKE") == "1"
+
+# SAR-A production shape: 8x8 map, 500 sequential steps per sample,
+# 13 workloads x 216 prepared counter ratios (and x14 after PCA).
+STEPS_PER_SAMPLE = 25 if SMOKE else 500
+SOM_SHAPES = ((13, 216), (13, 14))
+PAIRWISE_SHAPE = (24, 16) if SMOKE else (64, 216)
+BOOTSTRAP_RESAMPLES = 50 if SMOKE else 1000
+BOOTSTRAP_WORKLOADS = [f"w{i}" for i in range(1, 14)]
+BOOTSTRAP_PARTITION = Partition(
+    [
+        ["w1", "w2", "w3", "w4"],
+        ["w5", "w6"],
+        ["w7", "w8", "w9", "w10"],
+        ["w11"],
+        ["w12", "w13"],
+    ]
+)
+
+
+def _best_of(fn, repeats):
+    """Best wall time over ``repeats`` calls, plus the last result."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _bench_som_sequential():
+    rows = {}
+    for shape in SOM_SHAPES:
+        config = SOMConfig(steps_per_sample=STEPS_PER_SAMPLE)
+        rng = np.random.default_rng(shape[1])
+        data = rng.normal(size=shape) * 3.0 + 1.0
+        old_seconds, old_weights = _best_of(
+            lambda: reference_sequential_weights(config, data), repeats=1
+        )
+        new_seconds, som = _best_of(
+            lambda: SelfOrganizingMap(config).fit(data), repeats=1
+        )
+        assert np.array_equal(old_weights, som.weights), (
+            f"sequential fit at {shape} drifted from the scalar reference"
+        )
+        rows[f"{config.rows}x{config.columns} dim={shape[1]}"] = {
+            "steps": STEPS_PER_SAMPLE * shape[0],
+            "reference_seconds": old_seconds,
+            "vectorized_seconds": new_seconds,
+            "speedup": old_seconds / new_seconds,
+            "bitwise_equal": True,
+        }
+    return rows
+
+
+def _bench_som_batch():
+    config = SOMConfig(seed=6)
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(13, 216))
+    fit_seconds, som = _best_of(
+        lambda: SelfOrganizingMap(config).fit(data, mode="batch"), repeats=1
+    )
+    grid = som.grid
+    bmus = som._bmus_of(data)
+
+    def stacked():
+        return np.stack([grid.squared_map_distances_from(int(b)) for b in bmus])
+
+    def fancy():
+        return grid.squared_distance_table[bmus]
+
+    loops = 200 if SMOKE else 2000
+    old_seconds, old_rows = _best_of(
+        lambda: [stacked() for _ in range(loops)][-1], repeats=3
+    )
+    new_seconds, new_rows = _best_of(
+        lambda: [fancy() for _ in range(loops)][-1], repeats=3
+    )
+    assert np.array_equal(old_rows, new_rows)
+    return {
+        "fit_seconds": fit_seconds,
+        "epochs": som.epochs_trained,
+        "influence_gather_loops": loops,
+        "stack_seconds": old_seconds,
+        "fancy_index_seconds": new_seconds,
+        "speedup": old_seconds / new_seconds,
+    }
+
+
+def _bench_pairwise():
+    rng = np.random.default_rng(3)
+    points = rng.normal(size=PAIRWISE_SHAPE) * rng.lognormal(size=PAIRWISE_SHAPE)
+    rows = {}
+    for metric in sorted(DISTANCE_METRICS):
+        old_seconds, old_matrix = _best_of(
+            lambda m=metric: reference_pairwise_distances(
+                points, DISTANCE_METRICS[m]
+            ),
+            repeats=1 if SMOKE else 3,
+        )
+        new_seconds, new_matrix = _best_of(
+            lambda m=metric: pairwise_distances(points, metric=m),
+            repeats=3 if SMOKE else 10,
+        )
+        assert np.allclose(old_matrix, new_matrix, rtol=1e-12, atol=1e-12)
+        rows[metric] = {
+            "loop_seconds": old_seconds,
+            "vectorized_seconds": new_seconds,
+            "speedup": old_seconds / new_seconds,
+        }
+    return rows
+
+
+def _bench_linkage():
+    rng = np.random.default_rng(8)
+    points = rng.normal(size=PAIRWISE_SHAPE)
+    distances = pairwise_distances(points)
+    seconds, dendrogram = _best_of(
+        lambda: AgglomerativeClustering().fit_distance_matrix(distances),
+        repeats=1 if SMOKE else 3,
+    )
+    assert len(dendrogram.merges) == PAIRWISE_SHAPE[0] - 1
+    return {"units": PAIRWISE_SHAPE[0], "fit_seconds": seconds}
+
+
+def _bootstrap_inputs():
+    rng = np.random.default_rng(9)
+
+    def samples(machine, scale):
+        return {
+            name: RunSample(
+                workload=name,
+                machine=machine,
+                times=tuple(
+                    float(t)
+                    for t in rng.lognormal(mean=np.log(scale), sigma=0.1, size=10)
+                ),
+            )
+            for name in BOOTSTRAP_WORKLOADS
+        }
+
+    return samples("R", 10.0), samples("A", 4.0)
+
+
+def _bench_bootstrap():
+    reference_samples, machine_samples = _bootstrap_inputs()
+    ref_times = {n: reference_samples[n].times for n in BOOTSTRAP_WORKLOADS}
+    mach_times = {n: machine_samples[n].times for n in BOOTSTRAP_WORKLOADS}
+
+    def scalar():
+        speedups = reference_resampled_speedups(
+            ref_times,
+            mach_times,
+            BOOTSTRAP_WORKLOADS,
+            BOOTSTRAP_RESAMPLES,
+            np.random.default_rng(21),
+        )
+        return reference_bootstrap_scores(
+            speedups,
+            BOOTSTRAP_WORKLOADS,
+            BOOTSTRAP_PARTITION,
+            "geometric",
+            BOOTSTRAP_RESAMPLES,
+            seed=21,
+        )
+
+    def vectorized():
+        matrix = _resampled_speedup_matrix(
+            reference_samples,
+            machine_samples,
+            BOOTSTRAP_WORKLOADS,
+            BOOTSTRAP_RESAMPLES,
+            np.random.default_rng(21),
+        )
+        return hierarchical_mean_many(
+            matrix, BOOTSTRAP_WORKLOADS, BOOTSTRAP_PARTITION, mean="geometric"
+        )
+
+    old_seconds, old_scores = _best_of(scalar, repeats=1 if SMOKE else 3)
+    new_seconds, new_scores = _best_of(vectorized, repeats=3 if SMOKE else 10)
+    assert np.allclose(old_scores, new_scores, rtol=1e-12, atol=0.0)
+    return {
+        "resamples": BOOTSTRAP_RESAMPLES,
+        "workloads": len(BOOTSTRAP_WORKLOADS),
+        "scalar_seconds": old_seconds,
+        "vectorized_seconds": new_seconds,
+        "speedup": old_seconds / new_seconds,
+    }
+
+
+@pytest.mark.benchmark(group="hotpaths")
+def test_hotpath_kernels_speedup(benchmark):
+    payload = benchmark.pedantic(
+        lambda: {
+            "smoke": SMOKE,
+            "som_sequential": _bench_som_sequential(),
+            "som_batch": _bench_som_batch(),
+            "pairwise": _bench_pairwise(),
+            "linkage": _bench_linkage(),
+            "bootstrap": _bench_bootstrap(),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    write_bench_json("hotpaths", payload)
+
+    table_rows = []
+    for shape, stats in payload["som_sequential"].items():
+        table_rows.append(
+            (
+                f"SOM sequential {shape}",
+                stats["reference_seconds"],
+                stats["vectorized_seconds"],
+                stats["speedup"],
+            )
+        )
+    table_rows.append(
+        (
+            "SOM batch influence gather",
+            payload["som_batch"]["stack_seconds"],
+            payload["som_batch"]["fancy_index_seconds"],
+            payload["som_batch"]["speedup"],
+        )
+    )
+    for metric, stats in payload["pairwise"].items():
+        table_rows.append(
+            (
+                f"pairwise {metric}",
+                stats["loop_seconds"],
+                stats["vectorized_seconds"],
+                stats["speedup"],
+            )
+        )
+    table_rows.append(
+        ("linkage fit", payload["linkage"]["fit_seconds"], "", "")
+    )
+    table_rows.append(
+        (
+            f"bootstrap x{payload['bootstrap']['resamples']}",
+            payload["bootstrap"]["scalar_seconds"],
+            payload["bootstrap"]["vectorized_seconds"],
+            payload["bootstrap"]["speedup"],
+        )
+    )
+    emit(
+        "Hot-path kernels: scalar reference vs vectorized "
+        + ("(smoke)" if SMOKE else "(full)"),
+        format_table(["Kernel", "old s", "new s", "speedup"], table_rows),
+    )
+
+    # Equivalence asserted above; the perf claims only hold on a
+    # full-size run (smoke shapes are too small to dominate overhead).
+    if not SMOKE:
+        for stats in payload["som_sequential"].values():
+            assert stats["speedup"] > 1.0
+        assert payload["bootstrap"]["speedup"] > 5.0
+        for stats in payload["pairwise"].values():
+            assert stats["speedup"] > 1.0

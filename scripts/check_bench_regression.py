@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Compare a fresh ``BENCH_hotpaths.json`` against the committed baseline.
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --baseline /tmp/baseline.json \
+        --fresh results/BENCH_hotpaths.json [--strict-absolute]
+
+Walks both payloads and compares every shared numeric leaf:
+
+* ``speedup`` keys (vectorized-vs-scalar ratios, largely
+  machine-portable): **fail** when a fresh speedup collapses below
+  half its baseline value, **warn** below 1/1.25 of it.
+* ``*_seconds`` keys (absolute wall times, only meaningful on the same
+  machine): warn above 1.25x the baseline; with ``--strict-absolute``
+  (for same-machine refreshes) also **fail** above 2x.
+
+When the two runs were taken at different sizes (``smoke`` flags
+differ), neither seconds nor speedups are comparable — everything
+downgrades to warnings so CI smoke runs stay informative without
+flaking.  Exit status: 0 (clean or warnings only), 1 (regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+FAIL_RATIO = 2.0
+WARN_RATIO = 1.25
+
+
+def _numeric_leaves(payload, prefix=""):
+    """Flatten nested dicts to ``{dotted.path: float}`` numeric leaves."""
+    leaves = {}
+    for key, value in payload.items():
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            leaves.update(_numeric_leaves(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            leaves[path] = float(value)
+    return leaves
+
+
+def _load(path: Path):
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("bench") != "hotpaths":
+        raise SystemExit(f"{path}: not a BENCH_hotpaths payload")
+    return payload
+
+
+def compare(baseline: dict, fresh: dict, *, strict_absolute: bool):
+    """Yield ``(level, message)`` pairs; level is ``"fail"`` or ``"warn"``."""
+    comparable = baseline.get("smoke") == fresh.get("smoke")
+    if not comparable:
+        yield (
+            "warn",
+            "baseline and fresh runs used different sizes "
+            f"(smoke={baseline.get('smoke')} vs {fresh.get('smoke')}); "
+            "all checks downgraded to warnings",
+        )
+    old_leaves = _numeric_leaves(baseline)
+    new_leaves = _numeric_leaves(fresh)
+    shared = sorted(set(old_leaves) & set(new_leaves))
+
+    for path in shared:
+        old, new = old_leaves[path], new_leaves[path]
+        if old <= 0.0:
+            continue
+        if path.endswith("speedup"):
+            ratio = old / new if new > 0.0 else float("inf")
+            detail = f"{path}: speedup {old:.2f} -> {new:.2f}"
+            if ratio > FAIL_RATIO:
+                yield ("fail" if comparable else "warn", detail)
+            elif ratio > WARN_RATIO:
+                yield ("warn", detail)
+        elif path.endswith("_seconds"):
+            ratio = new / old
+            detail = f"{path}: {old * 1e3:.2f}ms -> {new * 1e3:.2f}ms ({ratio:.2f}x)"
+            if ratio > FAIL_RATIO and strict_absolute and comparable:
+                yield ("fail", detail)
+            elif ratio > WARN_RATIO:
+                yield ("warn", detail)
+
+    missing = sorted(set(old_leaves) - set(new_leaves))
+    for path in missing:
+        if path.endswith(("speedup", "_seconds")):
+            yield ("warn", f"{path}: present in baseline, missing from fresh run")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        default=Path("results/BENCH_hotpaths.json"),
+        help="fresh bench output (default: results/BENCH_hotpaths.json)",
+    )
+    parser.add_argument(
+        "--strict-absolute",
+        action="store_true",
+        help="also fail (not just warn) on >2x absolute wall-time growth; "
+        "use when baseline and fresh ran on the same machine",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    fresh = _load(args.fresh)
+
+    failures = 0
+    findings = list(
+        compare(baseline, fresh, strict_absolute=args.strict_absolute)
+    )
+    for level, message in findings:
+        print(f"[{level.upper()}] {message}")
+        failures += level == "fail"
+    if not findings:
+        print("bench regression check: all comparable timings within tolerance")
+    if failures:
+        print(f"bench regression check: {failures} regression(s) beyond 2x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

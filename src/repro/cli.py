@@ -153,10 +153,31 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
     if getattr(args, "stats", False) and result.run_report is not None:
         lines += ["", "per-stage engine instrumentation:"]
         lines.append(result.run_report.summary())
+        share_line = _reduce_share_line(result.run_report)
+        if share_line:
+            lines.append(share_line)
         som_line = _som_stats_line(result)
         if som_line:
             lines.append(som_line)
     return "\n".join(lines)
+
+
+def _reduce_share_line(report) -> str | None:
+    """Reduce-stage share of total wall time, as a percentage.
+
+    The SOM reduce stage dominates end-to-end pipeline cost; calling
+    its share out directly means nobody has to divide raw per-stage
+    milliseconds to see where the time went.
+    """
+    total = report.total_seconds
+    stats = next((s for s in report.stages if s.stage == "reduce"), None)
+    if stats is None or total <= 0.0:
+        return None
+    share = 100.0 * stats.wall_seconds / total
+    return (
+        f"  reduce stage share: {share:.1f}% of total wall time "
+        f"({stats.wall_seconds * 1e3:.1f}ms of {total * 1e3:.1f}ms)"
+    )
 
 
 def _som_stats_line(result) -> str | None:

@@ -19,6 +19,7 @@ from repro.core.hierarchical import (
     hierarchical_geometric_mean,
     hierarchical_harmonic_mean,
     hierarchical_mean,
+    hierarchical_mean_many,
 )
 from repro.core.means import (
     MEAN_FUNCTIONS,
@@ -73,6 +74,7 @@ __all__ = [
     "bootstrap_suite_score",
     "bootstrap_ratio",
     "hierarchical_mean",
+    "hierarchical_mean_many",
     "hierarchical_geometric_mean",
     "hierarchical_arithmetic_mean",
     "hierarchical_harmonic_mean",

@@ -18,7 +18,7 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.core.hierarchical import hierarchical_mean
+from repro.core.hierarchical import hierarchical_mean, hierarchical_mean_many
 from repro.core.means import MEAN_FUNCTIONS
 from repro.core.partition import Partition
 from repro.exceptions import MeasurementError
@@ -85,25 +85,38 @@ def _validate_inputs(
         )
 
 
-def _resampled_speedups(
+def _resampled_speedup_matrix(
     reference_samples: Mapping[str, RunSample],
     machine_samples: Mapping[str, RunSample],
+    workloads: list[str],
+    resamples: int,
     rng: np.random.Generator,
-) -> dict[str, float]:
-    """One bootstrap replicate of the per-workload speedup column."""
-    speedups = {}
-    for name, reference in reference_samples.items():
-        machine = machine_samples[name]
-        ref_times = np.asarray(reference.times)
-        mach_times = np.asarray(machine.times)
-        ref_mean = float(
-            rng.choice(ref_times, size=ref_times.size, replace=True).mean()
+) -> np.ndarray:
+    """All bootstrap replicates of the per-workload speedups at once.
+
+    Returns an ``(resamples, n_workloads)`` matrix whose columns line
+    up with ``workloads``.  Draws are workload-major: for each
+    workload one ``(resamples, n_ref)`` block of reference-run indices
+    then one ``(resamples, n_mach)`` block for the machine under test,
+    so a single ``rng.integers`` call replaces ``2 * resamples``
+    per-replicate draws.  The scalar reference implementation in
+    ``tests/reference_kernels.py`` consumes the stream identically and
+    pins equivalence at 1e-12.
+    """
+    matrix = np.empty((resamples, len(workloads)))
+    for column, name in enumerate(workloads):
+        ref_times = np.asarray(reference_samples[name].times, dtype=float)
+        mach_times = np.asarray(machine_samples[name].times, dtype=float)
+        ref_draws = rng.integers(
+            ref_times.size, size=(resamples, ref_times.size)
         )
-        mach_mean = float(
-            rng.choice(mach_times, size=mach_times.size, replace=True).mean()
+        mach_draws = rng.integers(
+            mach_times.size, size=(resamples, mach_times.size)
         )
-        speedups[name] = ref_mean / mach_mean
-    return speedups
+        matrix[:, column] = ref_times[ref_draws].mean(axis=1) / mach_times[
+            mach_draws
+        ].mean(axis=1)
+    return matrix
 
 
 def bootstrap_suite_score(
@@ -132,10 +145,13 @@ def bootstrap_suite_score(
     estimate = hierarchical_mean(point_speedups, partition, mean=mean)
 
     rng = np.random.default_rng(seed)
-    replicates = np.empty(resamples)
-    for index in range(resamples):
-        speedups = _resampled_speedups(reference_samples, machine_samples, rng)
-        replicates[index] = hierarchical_mean(speedups, partition, mean=mean)
+    workloads = list(reference_samples)
+    speedup_matrix = _resampled_speedup_matrix(
+        reference_samples, machine_samples, workloads, resamples, rng
+    )
+    replicates = hierarchical_mean_many(
+        speedup_matrix, workloads, partition, mean=mean
+    )
 
     tail = (1.0 - confidence) / 2.0
     lower = float(np.quantile(replicates, tail))
@@ -185,13 +201,16 @@ def bootstrap_ratio(
     estimate = score(first_samples) / score(second_samples)
 
     rng = np.random.default_rng(seed)
-    replicates = np.empty(resamples)
-    for index in range(resamples):
-        first = _resampled_speedups(reference_samples, first_samples, rng)
-        second = _resampled_speedups(reference_samples, second_samples, rng)
-        replicates[index] = hierarchical_mean(
-            first, partition, mean=mean
-        ) / hierarchical_mean(second, partition, mean=mean)
+    workloads = list(reference_samples)
+    first_matrix = _resampled_speedup_matrix(
+        reference_samples, first_samples, workloads, resamples, rng
+    )
+    second_matrix = _resampled_speedup_matrix(
+        reference_samples, second_samples, workloads, resamples, rng
+    )
+    replicates = hierarchical_mean_many(
+        first_matrix, workloads, partition, mean=mean
+    ) / hierarchical_mean_many(second_matrix, workloads, partition, mean=mean)
 
     tail = (1.0 - confidence) / 2.0
     lower = min(float(np.quantile(replicates, tail)), estimate)

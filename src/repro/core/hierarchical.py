@@ -43,6 +43,7 @@ from repro.exceptions import MeasurementError, PartitionError
 __all__ = [
     "cluster_representatives",
     "hierarchical_mean",
+    "hierarchical_mean_many",
     "hierarchical_geometric_mean",
     "hierarchical_arithmetic_mean",
     "hierarchical_harmonic_mean",
@@ -50,6 +51,14 @@ __all__ = [
 ]
 
 MeanFunction = Callable[[Sequence[float]], float]
+
+# Axis-1 reductions matching MEAN_FUNCTIONS row-for-row; the kernels
+# behind hierarchical_mean_many's per-block reductions.
+_AXIS_MEANS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "arithmetic": lambda block: block.mean(axis=1),
+    "geometric": lambda block: np.exp(np.log(block).mean(axis=1)),
+    "harmonic": lambda block: block.shape[1] / np.sum(1.0 / block, axis=1),
+}
 
 
 def _resolve_mean(mean: str | MeanFunction) -> MeanFunction:
@@ -125,6 +134,76 @@ def hierarchical_mean(
     representatives = cluster_representatives(scores, partition, mean=mean)
     outer = _resolve_mean(mean)
     return outer(list(representatives.values()))
+
+
+def hierarchical_mean_many(
+    scores: Sequence[Sequence[float]] | np.ndarray,
+    workloads: Sequence[str],
+    partition: Partition,
+    *,
+    mean: str | MeanFunction = "geometric",
+) -> np.ndarray:
+    """Hierarchical mean of many score rows at once.
+
+    The matrix form of :func:`hierarchical_mean`: ``scores`` is an
+    ``(n_evaluations, n_workloads)`` array whose columns line up with
+    ``workloads``, and every row is scored against the same partition
+    in one pass of per-block axis reductions — this is what makes
+    thousand-replicate bootstraps cheap (see
+    :mod:`repro.core.confidence`).  For the named mean families each
+    row of the result matches the scalar call to within floating-point
+    noise (pinned at 1e-12 by the equivalence tests); a callable
+    ``mean`` falls back to scoring row by row.
+
+    Returns an array of ``n_evaluations`` suite scores.
+    """
+    matrix = np.asarray(scores, dtype=float)
+    if matrix.ndim != 2:
+        raise MeasurementError(
+            "hierarchical_mean_many: expected an (n_evaluations, n_workloads) "
+            f"matrix, got shape {matrix.shape}"
+        )
+    labels = [str(label) for label in workloads]
+    if len(labels) != len(set(labels)):
+        raise MeasurementError("hierarchical_mean_many: duplicate workload labels")
+    if matrix.shape[1] != len(labels):
+        raise MeasurementError(
+            f"hierarchical_mean_many: {len(labels)} workload labels for "
+            f"{matrix.shape[1]} score columns"
+        )
+    _validate_scores_against_partition(dict.fromkeys(labels, 1.0), partition)
+
+    if callable(mean):
+        return np.array(
+            [
+                hierarchical_mean(dict(zip(labels, row)), partition, mean=mean)
+                for row in matrix
+            ]
+        )
+    try:
+        reduce_axis1 = _AXIS_MEANS[mean]
+    except KeyError:
+        known = ", ".join(sorted(MEAN_FUNCTIONS))
+        raise MeasurementError(
+            f"unknown mean family {mean!r}; known families: {known}"
+        ) from None
+    if not np.all(np.isfinite(matrix)):
+        raise MeasurementError(
+            "hierarchical_mean_many: scores contain NaN or infinite values"
+        )
+    if mean in ("geometric", "harmonic") and not np.all(matrix > 0.0):
+        worst = float(matrix.min()) if matrix.size else 0.0
+        raise MeasurementError(
+            f"{mean}_mean: scores must be strictly positive, found {worst}"
+        )
+
+    column = {label: index for index, label in enumerate(labels)}
+    representatives = np.empty((matrix.shape[0], partition.num_blocks))
+    for index, block in enumerate(partition.blocks):
+        representatives[:, index] = reduce_axis1(
+            matrix[:, [column[label] for label in block]]
+        )
+    return reduce_axis1(representatives)
 
 
 def hierarchical_geometric_mean(

@@ -23,7 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.core.hierarchical import hierarchical_mean
+import numpy as np
+
+from repro.core.hierarchical import hierarchical_mean_many
 from repro.core.means import MEAN_FUNCTIONS
 from repro.core.partition import Partition
 from repro.exceptions import MeasurementError, PartitionError
@@ -65,10 +67,16 @@ def redundancy_bias(
     inflate the plain number; below 1, they drag it down.  Exactly 1
     for the all-singletons partition.
     """
-    plain = hierarchical_mean(
-        scores, Partition.singletons(scores), mean=mean
+    labels = list(scores)
+    row = np.array([[scores[label] for label in labels]])
+    plain = float(
+        hierarchical_mean_many(
+            row, labels, Partition.singletons(scores), mean=mean
+        )[0]
     )
-    clustered = hierarchical_mean(scores, partition, mean=mean)
+    clustered = float(
+        hierarchical_mean_many(row, labels, partition, mean=mean)[0]
+    )
     return plain / clustered
 
 
@@ -145,13 +153,27 @@ def gaming_report(
         for label, value in scores.items()
     }
     singletons = Partition.singletons(scores)
+    # Both before/after rows score in one vectorized pass per partition.
+    labels = list(scores)
+    rows = np.array(
+        [
+            [scores[label] for label in labels],
+            [tuned[label] for label in labels],
+        ]
+    )
+    plain_before, plain_after = hierarchical_mean_many(
+        rows, labels, singletons, mean=mean
+    )
+    hierarchical_before, hierarchical_after = hierarchical_mean_many(
+        rows, labels, partition, mean=mean
+    )
     return GamingReport(
         target_block=block,
         improvement_factor=improvement_factor,
-        plain_before=hierarchical_mean(scores, singletons, mean=mean),
-        plain_after=hierarchical_mean(tuned, singletons, mean=mean),
-        hierarchical_before=hierarchical_mean(scores, partition, mean=mean),
-        hierarchical_after=hierarchical_mean(tuned, partition, mean=mean),
+        plain_before=float(plain_before),
+        plain_after=float(plain_after),
+        hierarchical_before=float(hierarchical_before),
+        hierarchical_after=float(hierarchical_after),
     )
 
 
@@ -189,8 +211,16 @@ def duplication_drift(
         enlarged[clone] = scores[label]
         duplicate_labels.append(clone)
 
-    plain = hierarchical_mean(enlarged, Partition.singletons(enlarged), mean=mean)
+    labels = list(enlarged)
+    row = np.array([[enlarged[name] for name in labels]])
+    plain = float(
+        hierarchical_mean_many(
+            row, labels, Partition.singletons(enlarged), mean=mean
+        )[0]
+    )
     blocks = [[other] for other in scores if other != label]
     blocks.append(duplicate_labels)
-    clustered = hierarchical_mean(enlarged, Partition(blocks), mean=mean)
+    clustered = float(
+        hierarchical_mean_many(row, labels, Partition(blocks), mean=mean)[0]
+    )
     return plain, clustered

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.exceptions import SOMError
 
 __all__ = [
@@ -55,8 +57,29 @@ class DecaySchedule:
             raise SOMError(f"progress must be in [0, 1], got {progress}")
         return float(progress)
 
+    @staticmethod
+    def _check_progress_array(progress: "np.ndarray") -> "np.ndarray":
+        array = np.asarray(progress, dtype=float)
+        if array.size and not (
+            float(array.min()) >= 0.0 and float(array.max()) <= 1.0
+        ):
+            raise SOMError("progress values must all be in [0, 1]")
+        return array
+
     def __call__(self, progress: float) -> float:
         raise NotImplementedError
+
+    def values(self, progress: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`__call__` over an array of progress values.
+
+        Subclasses override with closed-form array expressions that are
+        bitwise identical to looping the scalar call; this fallback
+        covers custom schedules that only define ``__call__``.
+        """
+        array = self._check_progress_array(progress)
+        return np.array([self(float(p)) for p in array.ravel()]).reshape(
+            array.shape
+        )
 
 
 class LinearDecay(DecaySchedule):
@@ -64,6 +87,10 @@ class LinearDecay(DecaySchedule):
 
     def __call__(self, progress: float) -> float:
         p = self._check_progress(progress)
+        return self._start + (self._end - self._start) * p
+
+    def values(self, progress: "np.ndarray") -> "np.ndarray":
+        p = self._check_progress_array(progress)
         return self._start + (self._end - self._start) * p
 
 
@@ -83,6 +110,17 @@ class ExponentialDecay(DecaySchedule):
         p = self._check_progress(progress)
         return self._start * (self._end / self._start) ** p
 
+    def values(self, progress: "np.ndarray") -> "np.ndarray":
+        # numpy's vectorized pow loop differs from scalar libm pow in
+        # the last ulp, so evaluate elementwise with scalar pow to stay
+        # bitwise identical to __call__ (this runs once per fit, not
+        # per step).
+        p = self._check_progress_array(progress)
+        ratio = self._end / self._start
+        return np.array(
+            [self._start * ratio**value for value in p.ravel().tolist()]
+        ).reshape(p.shape)
+
 
 class InverseTimeDecay(DecaySchedule):
     """Hyperbolic decay ``start / (1 + c*p)`` hitting ``end`` at ``p = 1``."""
@@ -95,6 +133,10 @@ class InverseTimeDecay(DecaySchedule):
 
     def __call__(self, progress: float) -> float:
         p = self._check_progress(progress)
+        return self._start / (1.0 + self._c * p)
+
+    def values(self, progress: "np.ndarray") -> "np.ndarray":
+        p = self._check_progress_array(progress)
         return self._start / (1.0 + self._c * p)
 
 

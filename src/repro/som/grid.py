@@ -58,6 +58,8 @@ class Grid:
 
         diff = self._locations[:, None, :] - self._locations[None, :, :]
         self._sq_distances = np.sum(diff * diff, axis=2)
+        # Frozen so row views handed to the training loop stay pristine.
+        self._sq_distances.setflags(write=False)
 
     # -- shape ------------------------------------------------------------
 
@@ -111,12 +113,22 @@ class Grid:
             )
         return row * self._columns + col
 
+    @property
+    def squared_distance_table(self) -> np.ndarray:
+        """The full ``(num_units, num_units)`` squared-distance table.
+
+        A read-only view of the table precomputed at construction.
+        Batch training fancy-indexes it with a BMU vector
+        (``table[bmus]``) instead of stacking per-unit rows.
+        """
+        return self._sq_distances
+
     def squared_map_distances_from(self, unit: int) -> np.ndarray:
         """``||r_c - r_i||^2`` for every unit ``i``, for BMU ``c = unit``.
 
         This is the vector the neighborhood kernel is evaluated on;
         it is precomputed for all pairs at construction, so lookups
-        are O(1) per training step.
+        are O(1) per training step (a read-only row view, no copy).
         """
         self._check_unit(unit)
         return self._sq_distances[unit]

@@ -26,9 +26,20 @@ __all__ = [
 
 
 class NeighborhoodKernel:
-    """Interface: kernel weights from squared map distances and a radius."""
+    """Interface: kernel weights from squared map distances and a radius.
 
-    def __call__(self, squared_distances: np.ndarray, sigma: float) -> np.ndarray:
+    ``out``, when given, receives the result in place (no allocation);
+    the training hot loop relies on this to reuse one kernel buffer
+    across all steps.  The in-place path is bitwise identical to the
+    allocating one.
+    """
+
+    def __call__(
+        self,
+        squared_distances: np.ndarray,
+        sigma: float,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         raise NotImplementedError
 
     @staticmethod
@@ -44,18 +55,39 @@ class GaussianNeighborhood(NeighborhoodKernel):
     itself getting weight 1.
     """
 
-    def __call__(self, squared_distances: np.ndarray, sigma: float) -> np.ndarray:
+    def __call__(
+        self,
+        squared_distances: np.ndarray,
+        sigma: float,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         self._check_sigma(sigma)
-        return np.exp(-np.asarray(squared_distances, dtype=float) / (2.0 * sigma * sigma))
+        distances = np.asarray(squared_distances, dtype=float)
+        if out is None:
+            return np.exp(-distances / (2.0 * sigma * sigma))
+        # d / -(2s^2) is bitwise equal to -d / (2s^2) (IEEE division is
+        # sign-symmetric), and lets the negation ride on the scalar.
+        np.divide(distances, -(2.0 * sigma * sigma), out=out)
+        np.exp(out, out=out)
+        return out
 
 
 class BubbleNeighborhood(NeighborhoodKernel):
     """Hard-radius kernel: 1 inside ``sigma``, 0 outside."""
 
-    def __call__(self, squared_distances: np.ndarray, sigma: float) -> np.ndarray:
+    def __call__(
+        self,
+        squared_distances: np.ndarray,
+        sigma: float,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
         self._check_sigma(sigma)
         distances = np.asarray(squared_distances, dtype=float)
-        return (distances <= sigma * sigma).astype(float)
+        inside = distances <= sigma * sigma
+        if out is None:
+            return inside.astype(float)
+        np.copyto(out, inside)
+        return out
 
 
 _KERNELS = {

@@ -21,6 +21,8 @@ provided as an extension for reproducible pipelines.
 
 from __future__ import annotations
 
+import inspect
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
@@ -28,15 +30,56 @@ import numpy as np
 
 from repro.exceptions import SOMError
 from repro.obs.log import fmt_kv, get_logger
+from repro.obs.metrics import current_metrics
 from repro.obs.trace import current_tracer
 from repro.som.decay import DecaySchedule, resolve_decay
 from repro.som.grid import Grid
 from repro.som.initialization import resolve_initializer
-from repro.som.neighborhood import NeighborhoodKernel, resolve_neighborhood
+from repro.som.neighborhood import (
+    GaussianNeighborhood,
+    NeighborhoodKernel,
+    resolve_neighborhood,
+)
 
 __all__ = ["SOMConfig", "SelfOrganizingMap"]
 
 _log = get_logger("som")
+
+try:  # The raw einsum entry point skips np.einsum's parsing wrapper;
+    # it is the exact same C kernel, so results are bit-identical.
+    from numpy._core._multiarray_umath import c_einsum as _einsum
+except ImportError:  # pragma: no cover - other numpy layouts
+    _einsum = np.einsum
+
+# Pre-tiling every sample to the (n_units, dim) update shape turns the
+# per-step subtract into a same-shape ufunc call (numpy's broadcast
+# inner loop is measurably slower).  Skip the tiling when it would cost
+# real memory and broadcast from the raw rows instead.
+_TILE_BUDGET_BYTES = 32 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class _SequentialPlan:
+    """Precomputed draws, schedules and buffers for one sequential fit.
+
+    Everything the per-step hot loop needs, materialized up front: the
+    whole random-index stream in one ``rng.integers`` call (same
+    Generator stream as per-step scalar draws), the alpha/sigma decay
+    schedules as plain lists, per-sample update operands, row views of
+    the grid's squared-distance table, and reusable scratch buffers.
+    """
+
+    samples: list  # per-sample operand for "sample - weights"
+    indices: list  # pre-drawn sample index per step
+    alphas: list  # learning rate per step
+    sigmas: list  # neighborhood radius per step
+    distance_rows: list  # row views of the grid distance table
+    diff: np.ndarray  # (n_units, dim) scratch
+    dist: np.ndarray  # (n_units,) squared-distance scratch
+    kernel_buf: np.ndarray  # (n_units,) neighborhood scratch
+    kernel_col: np.ndarray  # column view of kernel_buf
+    kernel_takes_out: bool  # whether the kernel accepts out=
+    neg_two_sigma_sq: list | None  # Gaussian fast path: -(2 sigma^2) per step
 
 
 @dataclass(frozen=True)
@@ -204,11 +247,18 @@ class SelfOrganizingMap:
         ``n_samples`` random draws in sequential mode, one batch
         update in batch mode) when a tracer is installed; the recorded
         quality history is surfaced on the span as ``qe`` events.
+        Per-epoch quantization error on the epoch spans is opt-in via
+        ``track_quality_every`` (epochs without a tracked quality
+        sample record ``quantization_error_skipped``), so tracing
+        alone never adds extra distance passes.  Each fit also emits
+        ``repro_som_fit_seconds`` and ``repro_som_steps_total``
+        metrics.
         """
         if track_quality_every < 0:
             raise SOMError("SOM: track_quality_every must be >= 0")
         matrix = self._as_data(data)
         tracer = current_tracer()
+        started = time.perf_counter()
         with tracer.span(
             "som.fit",
             mode=mode,
@@ -226,7 +276,7 @@ class SelfOrganizingMap:
             if mode == "sequential":
                 self._fit_sequential(matrix, rng, track_quality_every)
             elif mode == "batch":
-                self._fit_batch(matrix)
+                self._fit_batch(matrix, track_quality_every=track_quality_every)
             else:
                 raise SOMError(
                     f"SOM: unknown training mode {mode!r}; "
@@ -239,6 +289,13 @@ class SelfOrganizingMap:
                 span.set(
                     epochs=self.epochs_trained, final_quantization_error=final_qe
                 )
+        elapsed = time.perf_counter() - started
+        steps_run = self._epochs_trained * (
+            matrix.shape[0] if mode == "sequential" else 1
+        )
+        metrics = current_metrics()
+        metrics.histogram("repro_som_fit_seconds", mode=mode).observe(elapsed)
+        metrics.counter("repro_som_steps_total", mode=mode).inc(steps_run)
         if _log.isEnabledFor(10):  # DEBUG
             _log.debug(
                 fmt_kv(
@@ -323,7 +380,7 @@ class SelfOrganizingMap:
         n_samples = matrix.shape[0]
         epochs = self._config.steps_per_sample
         total_steps = epochs * n_samples
-        denominator = max(total_steps - 1, 1)
+        plan = self._sequential_plan(matrix, rng, total_steps)
         history: list[tuple[int, float]] = []
         tracer = current_tracer()
         # The step loop is chunked into epochs of n_samples draws purely
@@ -333,17 +390,28 @@ class SelfOrganizingMap:
                 with tracer.span(
                     "som.epoch", epoch=epoch, steps=n_samples
                 ) as span:
+                    recorded = len(history)
                     self._sequential_steps(
-                        matrix, rng, epoch * n_samples, n_samples,
-                        denominator, track_quality_every, history,
+                        matrix, plan, epoch * n_samples, n_samples,
+                        track_quality_every, history,
                     )
-                    span.set(
-                        quantization_error=self._quantization_error_of(matrix)
-                    )
+                    # Per-epoch quality on the span is opt-in: reuse the
+                    # quality samples the caller asked for instead of
+                    # paying a full distance pass on every epoch (the
+                    # old behavior made --trace inflate the very stage
+                    # it measured).
+                    if track_quality_every and len(history) > recorded:
+                        step_seen, qe = history[-1]
+                        span.set(
+                            quantization_error=qe,
+                            quantization_error_step=step_seen,
+                        )
+                    else:
+                        span.set(quantization_error_skipped=True)
             else:
                 self._sequential_steps(
-                    matrix, rng, epoch * n_samples, n_samples,
-                    denominator, track_quality_every, history,
+                    matrix, plan, epoch * n_samples, n_samples,
+                    track_quality_every, history,
                 )
         self._epochs_trained = epochs
         if track_quality_every:
@@ -352,32 +420,138 @@ class SelfOrganizingMap:
             )
             self._history = tuple(history)
 
-    def _sequential_steps(
+    def _sequential_plan(
         self,
         matrix: np.ndarray,
         rng: np.random.Generator,
+        total_steps: int,
+    ) -> _SequentialPlan:
+        """Materialize draws, schedules and buffers for a sequential fit.
+
+        Drawing all sample indices in one ``rng.integers(n, size=k)``
+        call consumes the Generator stream exactly as ``k`` scalar
+        draws would, so pre-drawing does not change which samples each
+        step sees.
+        """
+        n_samples, dim = matrix.shape
+        n_units = self._grid.num_units
+        denominator = max(total_steps - 1, 1)
+        indices = rng.integers(n_samples, size=total_steps)
+        progress = np.arange(total_steps) / denominator
+        alphas = self._alpha.values(progress)
+        sigmas = self._sigma.values(progress)
+        if n_samples * n_units * dim * 8 <= _TILE_BUDGET_BYTES:
+            samples = list(
+                np.ascontiguousarray(
+                    np.broadcast_to(
+                        matrix[:, None, :], (n_samples, n_units, dim)
+                    )
+                )
+            )
+        else:
+            samples = list(matrix)
+        kernel_buf = np.empty(n_units)
+        try:
+            kernel_takes_out = "out" in inspect.signature(
+                self._kernel.__call__
+            ).parameters
+        except (TypeError, ValueError):  # pragma: no cover - C callables
+            kernel_takes_out = False
+        sigma_list = sigmas.tolist()
+        # The paper's Gaussian kernel inlines to two in-place ufuncs
+        # with -(2 sigma^2) hoisted out of the loop; d / -(2s^2) is
+        # bitwise equal to -d / (2s^2).  Non-positive sigmas (possible
+        # only at the last step of a linear-to-zero radius schedule)
+        # fall back to the kernel object so its validation still fires
+        # at the right step.
+        neg_two_sigma_sq = None
+        if type(self._kernel) is GaussianNeighborhood and all(
+            sigma > 0.0 for sigma in sigma_list
+        ):
+            neg_two_sigma_sq = [
+                -(2.0 * sigma * sigma) for sigma in sigma_list
+            ]
+        return _SequentialPlan(
+            samples=samples,
+            indices=indices.tolist(),
+            alphas=alphas.tolist(),
+            sigmas=sigma_list,
+            distance_rows=list(self._grid.squared_distance_table),
+            diff=np.empty((n_units, dim)),
+            dist=np.empty(n_units),
+            kernel_buf=kernel_buf,
+            kernel_col=kernel_buf[:, None],
+            kernel_takes_out=kernel_takes_out,
+            neg_two_sigma_sq=neg_two_sigma_sq,
+        )
+
+    def _sequential_steps(
+        self,
+        matrix: np.ndarray,
+        plan: _SequentialPlan,
         first_step: int,
         count: int,
-        denominator: int,
         track_quality_every: int,
         history: list[tuple[int, float]],
     ) -> None:
-        """Run ``count`` sequential updates starting at ``first_step``."""
-        assert self._weights is not None
+        """Run ``count`` sequential updates starting at ``first_step``.
+
+        The body is the paper's update rule as five in-place ufunc
+        calls on preallocated buffers; every step is bitwise identical
+        to the scalar reference loop (pinned by
+        ``tests/som/test_kernel_equivalence.py``): squares make the
+        diff direction irrelevant for the BMU search, so one
+        ``sample - weights`` buffer serves both the search and the
+        update term.
+        """
+        weights = self._weights
+        assert weights is not None
+        diff, dist = plan.diff, plan.dist
+        kernel_buf, kernel_col = plan.kernel_buf, plan.kernel_col
+        samples, rows = plan.samples, plan.distance_rows
+        indices, alphas, sigmas = plan.indices, plan.alphas, plan.sigmas
+        takes_out = plan.kernel_takes_out
+        neg_two_sigma_sq = plan.neg_two_sigma_sq
+        kernel = self._kernel
+        subtract, multiply, add = np.subtract, np.multiply, np.add
+        divide, exp = np.divide, np.exp
+        einsum = _einsum
+        if neg_two_sigma_sq is not None:
+            for step in range(first_step, first_step + count):
+                subtract(samples[indices[step]], weights, out=diff)
+                einsum("ij,ij->i", diff, diff, out=dist)
+                bmu = dist.argmin()
+                divide(rows[bmu], neg_two_sigma_sq[step], out=kernel_buf)
+                exp(kernel_buf, out=kernel_buf)
+                multiply(kernel_buf, alphas[step], out=kernel_buf)
+                multiply(diff, kernel_col, out=diff)
+                add(weights, diff, out=weights)
+                if track_quality_every and step % track_quality_every == 0:
+                    history.append(
+                        (step, self._quantization_error_of(matrix))
+                    )
+            return
         for step in range(first_step, first_step + count):
-            progress = step / denominator
-            alpha = self._alpha(progress)
-            sigma = self._sigma(progress)
-            sample = matrix[rng.integers(matrix.shape[0])]
-            bmu = self._bmu_of(sample)
-            kernel = alpha * self._kernel(
-                self._grid.squared_map_distances_from(bmu), sigma
-            )
-            self._weights += kernel[:, None] * (sample - self._weights)
+            subtract(samples[indices[step]], weights, out=diff)
+            einsum("ij,ij->i", diff, diff, out=dist)
+            bmu = dist.argmin()
+            if takes_out:
+                kernel(rows[bmu], sigmas[step], out=kernel_buf)
+            else:
+                kernel_buf[...] = kernel(rows[bmu], sigmas[step])
+            multiply(kernel_buf, alphas[step], out=kernel_buf)
+            multiply(diff, kernel_col, out=diff)
+            add(weights, diff, out=weights)
             if track_quality_every and step % track_quality_every == 0:
                 history.append((step, self._quantization_error_of(matrix)))
 
-    def _fit_batch(self, matrix: np.ndarray, *, epochs: int = 50) -> None:
+    def _fit_batch(
+        self,
+        matrix: np.ndarray,
+        *,
+        epochs: int = 50,
+        track_quality_every: int = 0,
+    ) -> None:
         assert self._weights is not None
         denominator = max(epochs - 1, 1)
         tracer = current_tracer()
@@ -385,9 +559,16 @@ class SelfOrganizingMap:
             if tracer.enabled:
                 with tracer.span("som.epoch", epoch=epoch) as span:
                     self._batch_epoch(matrix, epoch / denominator)
-                    span.set(
-                        quantization_error=self._quantization_error_of(matrix)
-                    )
+                    # Opt-in, as in sequential mode: per-epoch quality
+                    # costs a full distance pass.
+                    if track_quality_every:
+                        span.set(
+                            quantization_error=self._quantization_error_of(
+                                matrix
+                            )
+                        )
+                    else:
+                        span.set(quantization_error_skipped=True)
             else:
                 self._batch_epoch(matrix, epoch / denominator)
         self._epochs_trained = epochs
@@ -398,10 +579,7 @@ class SelfOrganizingMap:
         sigma = self._sigma(progress)
         bmus = self._bmus_of(matrix)
         influence = self._kernel(
-            np.stack(
-                [self._grid.squared_map_distances_from(b) for b in bmus]
-            ),
-            sigma,
+            self._grid.squared_distance_table[bmus], sigma
         )  # shape (n_samples, n_units)
         totals = influence.sum(axis=0)
         # Units that no sample influences keep their weights.

@@ -120,9 +120,11 @@ def pairwise_distances(
 ) -> np.ndarray:
     """Symmetric matrix of pairwise distances between row vectors.
 
-    The diagonal is exactly zero.  Vectorized fast paths cover the
-    metrics used on hot paths (Euclidean family); other metrics fall
-    back to the generic pairwise loop.
+    The diagonal is exactly zero.  Vectorized fast paths cover all
+    five named metrics (Gram-matrix expansions for the Euclidean
+    family and cosine, broadcast reductions for L1/L-inf); metric
+    callables fall back to the generic pairwise loop.  The fast paths
+    are cross-checked against the loop form by the equivalence tests.
     """
     array = np.asarray(points, dtype=float)
     if array.ndim != 2:
@@ -143,6 +145,21 @@ def pairwise_distances(
         np.fill_diagonal(squared, 0.0)
         return squared if metric == "sqeuclidean" else np.sqrt(squared)
 
+    if metric in ("manhattan", "chebyshev"):
+        return _pairwise_elementwise(array, metric)
+
+    if metric == "cosine":
+        # Gram matrix over unit-normalized rows; same zero-vector and
+        # [-1, 1]-clipping semantics as the scalar metric.
+        norms = np.linalg.norm(array, axis=1)
+        if np.any(norms == 0.0):
+            raise MeasurementError("cosine_distance: undefined for a zero vector")
+        similarity = (array @ array.T) / np.outer(norms, norms)
+        np.clip(similarity, -1.0, 1.0, out=similarity)
+        distances = 1.0 - similarity
+        np.fill_diagonal(distances, 0.0)
+        return distances
+
     metric_fn = resolve_metric(metric)
     count = array.shape[0]
     matrix = np.zeros((count, count), dtype=float)
@@ -151,4 +168,26 @@ def pairwise_distances(
             value = metric_fn(array[i], array[j])
             matrix[i, j] = value
             matrix[j, i] = value
+    return matrix
+
+
+# 3-D broadcast of an (n, n, dim) difference tensor is fastest for
+# small inputs but quadratic in memory; above this budget the fast
+# path reduces one broadcast row at a time instead.
+_BROADCAST_BUDGET_BYTES = 16 * 1024 * 1024
+
+
+def _pairwise_elementwise(array: np.ndarray, metric: str) -> np.ndarray:
+    """Broadcast fast path for the elementwise metrics (L1, L-inf)."""
+    reduce = np.sum if metric == "manhattan" else np.max
+    count, dim = array.shape
+    if count * count * dim * 8 <= _BROADCAST_BUDGET_BYTES:
+        matrix = reduce(
+            np.abs(array[:, None, :] - array[None, :, :]), axis=2
+        )
+    else:
+        matrix = np.empty((count, count))
+        for i in range(count):
+            matrix[i] = reduce(np.abs(array - array[i]), axis=1)
+    np.fill_diagonal(matrix, 0.0)
     return matrix

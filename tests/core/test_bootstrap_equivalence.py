@@ -1,0 +1,167 @@
+"""Vectorized bootstrap replicates vs the one-at-a-time scalar loop.
+
+``hierarchical_mean_many`` and the matrix resampler behind
+``bootstrap_suite_score`` promise agreement with scalar evaluation at
+1e-12 for the same seed.  The scalar forms live in
+``tests/reference_kernels.py`` and consume the Generator stream
+identically, so any drift here is a numerics bug, not sampling noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import (
+    _resampled_speedup_matrix,
+    bootstrap_ratio,
+    bootstrap_suite_score,
+)
+from repro.core.hierarchical import hierarchical_mean, hierarchical_mean_many
+from repro.core.partition import Partition
+from repro.exceptions import MeasurementError
+from repro.workloads.execution import RunSample
+
+from tests.reference_kernels import (
+    reference_bootstrap_scores,
+    reference_resampled_speedups,
+)
+
+WORKLOADS = ["w1", "w2", "w3", "w4", "w5"]
+PARTITION = Partition([["w1", "w2"], ["w3"], ["w4", "w5"]])
+
+
+def _samples(machine: str, scale: float, seed: int) -> dict[str, RunSample]:
+    rng = np.random.default_rng(seed)
+    return {
+        name: RunSample(
+            workload=name,
+            machine=machine,
+            times=tuple(
+                float(t)
+                for t in rng.lognormal(mean=np.log(scale), sigma=0.1, size=10)
+            ),
+        )
+        for name in WORKLOADS
+    }
+
+
+class TestHierarchicalMeanMany:
+    @pytest.mark.parametrize("mean", ["arithmetic", "geometric", "harmonic"])
+    def test_matches_scalar_loop_at_1e12(self, mean):
+        rng = np.random.default_rng(7)
+        matrix = rng.lognormal(sigma=0.5, size=(1000, len(WORKLOADS)))
+        vectorized = hierarchical_mean_many(
+            matrix, WORKLOADS, PARTITION, mean=mean
+        )
+        scalar = reference_bootstrap_scores(
+            matrix, WORKLOADS, PARTITION, mean, 1000, seed=0
+        )
+        assert np.allclose(vectorized, scalar, rtol=1e-12, atol=0.0)
+
+    def test_single_row_matches_hierarchical_mean(self):
+        scores = {"w1": 2.0, "w2": 8.0, "w3": 4.0, "w4": 1.0, "w5": 1.0}
+        row = np.array([[scores[name] for name in WORKLOADS]])
+        many = hierarchical_mean_many(row, WORKLOADS, PARTITION)
+        assert many.shape == (1,)
+        assert many[0] == pytest.approx(
+            hierarchical_mean(scores, PARTITION), rel=1e-14
+        )
+
+    def test_callable_mean_falls_back_to_row_wise_scoring(self):
+        def midrange(values):
+            return (min(values) + max(values)) / 2.0
+
+        matrix = np.array([[1.0, 3.0, 2.0, 4.0, 6.0], [2.0, 2.0, 2.0, 2.0, 2.0]])
+        many = hierarchical_mean_many(
+            matrix, WORKLOADS, PARTITION, mean=midrange
+        )
+        expected = [
+            hierarchical_mean(
+                dict(zip(WORKLOADS, row)), PARTITION, mean=midrange
+            )
+            for row in matrix
+        ]
+        assert np.array_equal(many, np.array(expected))
+
+    def test_validation_mirrors_scalar_path(self):
+        matrix = np.ones((3, len(WORKLOADS)))
+        with pytest.raises(MeasurementError, match="unknown mean family"):
+            hierarchical_mean_many(matrix, WORKLOADS, PARTITION, mean="median")
+        with pytest.raises(MeasurementError, match="strictly positive"):
+            hierarchical_mean_many(
+                matrix * -1.0, WORKLOADS, PARTITION, mean="geometric"
+            )
+        with pytest.raises(MeasurementError, match="NaN"):
+            bad = matrix.copy()
+            bad[1, 2] = np.nan
+            hierarchical_mean_many(bad, WORKLOADS, PARTITION, mean="arithmetic")
+        with pytest.raises(MeasurementError, match="workload labels"):
+            hierarchical_mean_many(matrix, WORKLOADS[:-1], PARTITION)
+
+
+class TestResampledSpeedupMatrix:
+    def test_matches_scalar_resampler_for_same_seed(self):
+        reference_samples = _samples("R", scale=10.0, seed=1)
+        machine_samples = _samples("A", scale=5.0, seed=2)
+        resamples = 500
+        vectorized = _resampled_speedup_matrix(
+            reference_samples,
+            machine_samples,
+            WORKLOADS,
+            resamples,
+            np.random.default_rng(42),
+        )
+        scalar = reference_resampled_speedups(
+            {name: reference_samples[name].times for name in WORKLOADS},
+            {name: machine_samples[name].times for name in WORKLOADS},
+            WORKLOADS,
+            resamples,
+            np.random.default_rng(42),
+        )
+        assert np.allclose(vectorized, scalar, rtol=1e-12, atol=0.0)
+
+
+class TestBootstrapEndToEnd:
+    def test_suite_score_replicates_match_scalar_pipeline(self):
+        reference_samples = _samples("R", scale=10.0, seed=3)
+        machine_samples = _samples("A", scale=4.0, seed=4)
+        resamples, seed = 200, 11
+        interval = bootstrap_suite_score(
+            reference_samples,
+            machine_samples,
+            PARTITION,
+            mean="geometric",
+            resamples=resamples,
+            seed=seed,
+        )
+        # Rebuild the replicate distribution with the scalar reference
+        # kernels and check the interval endpoints agree.
+        speedups = reference_resampled_speedups(
+            {name: reference_samples[name].times for name in WORKLOADS},
+            {name: machine_samples[name].times for name in WORKLOADS},
+            WORKLOADS,
+            resamples,
+            np.random.default_rng(seed),
+        )
+        scores = reference_bootstrap_scores(
+            speedups, WORKLOADS, PARTITION, "geometric", resamples, seed
+        )
+        assert interval.lower == pytest.approx(
+            min(float(np.quantile(scores, 0.025)), interval.estimate),
+            rel=1e-12,
+        )
+        assert interval.upper == pytest.approx(
+            max(float(np.quantile(scores, 0.975)), interval.estimate),
+            rel=1e-12,
+        )
+
+    def test_ratio_interval_brackets_estimate(self):
+        reference_samples = _samples("R", scale=10.0, seed=5)
+        first = _samples("A", scale=4.0, seed=6)
+        second = _samples("B", scale=6.0, seed=7)
+        interval = bootstrap_ratio(
+            reference_samples, first, second, PARTITION, resamples=100, seed=0
+        )
+        assert interval.lower <= interval.estimate <= interval.upper
+        assert interval.width > 0.0

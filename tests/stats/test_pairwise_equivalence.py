@@ -1,0 +1,74 @@
+"""Vectorized pairwise-distance fast paths vs the per-pair loop form.
+
+``pairwise_distances`` promises that every named metric's fast path
+reproduces the O(n^2) scalar loop it replaced.  The loop form lives in
+``tests/reference_kernels.py`` and is driven with the exact same
+metric callables from ``DISTANCE_METRICS``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.stats.distance as distance_module
+from repro.exceptions import MeasurementError
+from repro.stats.distance import DISTANCE_METRICS, pairwise_distances
+
+from tests.reference_kernels import reference_pairwise_distances
+
+METRICS = sorted(DISTANCE_METRICS)
+
+
+def _points(count: int, dim: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    # Mixed-sign, mixed-scale values so abs/max/clip paths all matter.
+    return rng.normal(size=(count, dim)) * rng.lognormal(size=(count, dim))
+
+
+class TestFastPathsMatchLoopForm:
+    @pytest.mark.parametrize("metric", METRICS)
+    @pytest.mark.parametrize("count,dim", [(2, 1), (7, 3), (23, 17), (40, 9)])
+    def test_fast_path_matches_reference_loop(self, metric, count, dim):
+        points = _points(count, dim, seed=count * dim)
+        fast = pairwise_distances(points, metric=metric)
+        slow = reference_pairwise_distances(points, DISTANCE_METRICS[metric])
+        assert np.allclose(fast, slow, rtol=1e-12, atol=1e-12)
+        assert np.array_equal(fast, fast.T)
+        assert np.all(np.diag(fast) == 0.0)
+
+    @pytest.mark.parametrize("metric", ["manhattan", "chebyshev"])
+    def test_blocked_path_matches_broadcast_path(self, metric, monkeypatch):
+        points = _points(31, 8, seed=5)
+        broadcast = pairwise_distances(points, metric=metric)
+        # Shrink the broadcast budget so the same call takes the
+        # row-blocked branch.
+        monkeypatch.setattr(distance_module, "_BROADCAST_BUDGET_BYTES", 0)
+        blocked = pairwise_distances(points, metric=metric)
+        assert np.array_equal(broadcast, blocked)
+
+    def test_callable_metric_still_uses_generic_loop(self):
+        points = _points(6, 4, seed=8)
+
+        def half_manhattan(a, b):
+            return 0.5 * float(np.sum(np.abs(a - b)))
+
+        result = pairwise_distances(points, metric=half_manhattan)
+        expected = reference_pairwise_distances(points, half_manhattan)
+        assert np.array_equal(result, expected)
+
+
+class TestCosineSemanticsPreserved:
+    def test_zero_vector_raises_like_scalar_metric(self):
+        points = np.array([[1.0, 2.0], [0.0, 0.0], [3.0, 4.0]])
+        with pytest.raises(MeasurementError, match="zero vector"):
+            pairwise_distances(points, metric="cosine")
+
+    def test_similarity_clipped_to_unit_interval(self):
+        # Parallel and anti-parallel vectors graze the clip boundary.
+        points = np.array([[1.0, 1.0], [2.0, 2.0], [-3.0, -3.0]])
+        result = pairwise_distances(points, metric="cosine")
+        assert result[0, 1] == pytest.approx(0.0, abs=1e-15)
+        assert result[0, 2] == pytest.approx(2.0, abs=1e-15)
+        assert np.all(result >= 0.0)
+        assert np.all(result <= 2.0)
