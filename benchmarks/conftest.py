@@ -9,17 +9,22 @@ the suite stays fast.
 Benches that measure performance also archive machine-readable results
 with :func:`write_bench_json`: one ``results/BENCH_<name>.json`` per
 bench, built from the tracer/metrics observability API, forming the
-perf trajectory tracked across PRs.
+perf trajectory tracked across PRs.  When the ``REPRO_LEDGER``
+environment variable names a run-ledger file, each archived bench also
+appends a ``bench:<name>`` record there, so CLI runs and bench runs
+share one longitudinal timeline (`repro-hmeans obs runs`).
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Mapping
 
 import pytest
 
+from repro.obs.ledger import RunLedger, RunRecorder, ledger_path_from_env
 from repro.workloads.suite import BenchmarkSuite
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
@@ -57,4 +62,25 @@ def write_bench_json(name: str, payload: Mapping[str, Any]) -> Path:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump({"bench": name, "schema": 1, **payload}, handle, indent=2)
         handle.write("\n")
+    _ledger_bench_record(name, payload)
     return path
+
+
+def _ledger_bench_record(name: str, payload: Mapping[str, Any]) -> None:
+    """Mirror one archived bench into the run ledger (REPRO_LEDGER)."""
+    ledger_path = ledger_path_from_env()
+    if not ledger_path:
+        return
+    recorder = RunRecorder(f"bench:{name}", {"bench": name})
+    record = recorder.finish()
+    # Benches report through heterogeneous payloads; surface any
+    # engine-style stage timings they carry so `obs diff` can compare
+    # bench runs, and keep the rest discoverable via the JSON file.
+    stages = payload.get("stages")
+    if isinstance(stages, list):
+        record["stages"] = [s for s in stages if isinstance(s, Mapping)]
+    metrics = payload.get("metrics")
+    if isinstance(metrics, Mapping):
+        record["metrics"] = dict(metrics)
+    record["bench_json"] = os.fspath(RESULTS_DIR / f"BENCH_{name}.json")
+    RunLedger(ledger_path).append(record)

@@ -22,11 +22,18 @@ Installed as ``repro-hmeans``.  Subcommands:
 * ``confidence`` — bootstrap confidence intervals for the suite scores.
 * ``solve`` — rerun the partition-inference solver against a published
   table.
+* ``obs`` — inspect the persistent run ledger: ``obs runs`` (recent
+  runs), ``obs show RUN`` (ASCII flame view of one run's stage
+  timings), ``obs diff A B`` (per-stage wall-time deltas, nonzero
+  exit when a stage regresses past ``--threshold``).
 
 Every subcommand accepts the observability flags ``--trace FILE``
 (Chrome ``trace_event`` JSON of the run, or JSONL when the file ends
-in ``.jsonl``), ``--metrics FILE`` (Prometheus-style text dump) and
-``-v``/``-vv`` (INFO / DEBUG key=value logging on stderr).
+in ``.jsonl``), ``--metrics FILE`` (Prometheus-style text dump),
+``-v``/``-vv`` (INFO / DEBUG key=value logging on stderr) and
+``--ledger [FILE]`` (append the run — stage walls, cache sources,
+metrics, trace — to a persistent JSONL ledger; the ``REPRO_LEDGER``
+environment variable enables the same thing).
 """
 
 from __future__ import annotations
@@ -45,11 +52,16 @@ from repro.data.table3 import SPEEDUP_TABLE, speedups_for_machine
 from repro.data.tables456 import hgm_table
 from repro.exceptions import ReproError
 from repro.obs import (
+    DEFAULT_LEDGER_PATH,
     MetricsRegistry,
+    RunLedger,
+    RunRecorder,
     Tracer,
     configure_logging,
     fmt_kv,
+    ledger_path_from_env,
     use_metrics,
+    use_recorder,
     use_tracer,
 )
 from repro.viz.ascii import render_dendrogram, render_som_map
@@ -402,6 +414,36 @@ def _cmd_solve(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _resolve_ledger(args: argparse.Namespace) -> RunLedger:
+    """The ledger an ``obs`` subcommand reads (flag, env, default)."""
+    path = args.ledger or ledger_path_from_env() or DEFAULT_LEDGER_PATH
+    return RunLedger(path)
+
+
+def _cmd_obs(args: argparse.Namespace) -> tuple[str, int]:
+    """Dispatch ``obs runs`` / ``obs show`` / ``obs diff``."""
+    from repro.obs.render import render_diff, render_flame, render_runs_table
+
+    ledger = _resolve_ledger(args)
+    if args.obs_command == "runs":
+        return render_runs_table(ledger.records(), limit=args.limit), 0
+    if args.obs_command == "show":
+        return (
+            render_flame(
+                ledger.find(args.run),
+                width=args.width,
+                max_depth=None if args.full else 4,
+            ),
+            0,
+        )
+    text, regressed = render_diff(
+        ledger.find(args.run_a),
+        ledger.find(args.run_b),
+        threshold=args.threshold,
+    )
+    return text, 1 if regressed else 0
+
+
 def _obs_parent() -> argparse.ArgumentParser:
     """Observability flags shared by every subcommand."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -425,6 +467,17 @@ def _obs_parent() -> argparse.ArgumentParser:
         action="count",
         default=0,
         help="key=value logging on stderr (-v INFO, -vv DEBUG)",
+    )
+    group.add_argument(
+        "--ledger",
+        metavar="FILE",
+        nargs="?",
+        const=DEFAULT_LEDGER_PATH,
+        default=None,
+        help="append this run (stage walls, cache sources, metrics, "
+        f"trace) to a persistent JSONL run ledger (default FILE: "
+        f"{DEFAULT_LEDGER_PATH}); the REPRO_LEDGER environment "
+        "variable enables the same recording",
     )
     return parent
 
@@ -575,7 +628,78 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tolerance", type=float, default=0.008,
         help="score-match tolerance",
     )
+
+    obs_cmd = subparsers.add_parser(
+        "obs",
+        help="inspect the persistent run ledger (runs / show / diff)",
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    def ledger_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--ledger",
+            metavar="FILE",
+            default=None,
+            help="ledger file to read (default: $REPRO_LEDGER, then "
+            f"{DEFAULT_LEDGER_PATH})",
+        )
+
+    runs = obs_sub.add_parser("runs", help="list recent recorded runs")
+    ledger_flag(runs)
+    runs.add_argument(
+        "--limit", type=int, default=15, help="show at most N runs"
+    )
+
+    show = obs_sub.add_parser(
+        "show", help="ASCII flame view of one run's stage timings"
+    )
+    ledger_flag(show)
+    show.add_argument(
+        "run",
+        help="run to show: run-id prefix, integer index (-1 latest), "
+        "'last' or 'first'",
+    )
+    show.add_argument(
+        "--width", type=int, default=40, help="bar width of the flame view"
+    )
+    show.add_argument(
+        "--full",
+        action="store_true",
+        help="render the whole span tree (default stops at depth 4)",
+    )
+
+    diff = obs_sub.add_parser(
+        "diff", help="per-stage wall-time deltas between two runs"
+    )
+    ledger_flag(diff)
+    diff.add_argument("run_a", help="baseline run (prefix/index/'first')")
+    diff.add_argument("run_b", help="candidate run (prefix/index/'last')")
+    diff.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 when any stage of RUN_B is slower than RUN_A by "
+        "more than PCT percent",
+    )
     return parser
+
+
+_OBS_FLAGS = ("command", "trace", "metrics", "verbose", "ledger")
+
+
+def _recordable_args(args: argparse.Namespace) -> dict[str, object]:
+    """The subcommand's own arguments, minus the observability flags.
+
+    This is what the ledger fingerprints: two runs with the same
+    command and the same knobs compare apples-to-apples even when one
+    was traced and the other was not.
+    """
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in _OBS_FLAGS
+    }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -597,6 +721,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "subset": _cmd_subset,
         "confidence": _cmd_confidence,
         "solve": _cmd_solve,
+        "obs": _cmd_obs,
     }
 
     log = configure_logging(getattr(args, "verbose", 0))
@@ -607,10 +732,35 @@ def main(argv: Sequence[str] | None = None) -> int:
     # into a per-invocation registry so --metrics dumps one run.
     tracer = Tracer() if trace_path else None
     registry = MetricsRegistry()
+    # The run ledger (flag or REPRO_LEDGER) persists this invocation's
+    # telemetry for `repro-hmeans obs`; ledger inspection commands
+    # themselves are not recorded.
+    ledger_path = (
+        getattr(args, "ledger", None) or ledger_path_from_env()
+        if args.command != "obs"
+        else None
+    )
+    recorder = (
+        RunRecorder(args.command, _recordable_args(args))
+        if ledger_path
+        else None
+    )
+
+    def record(exit_code: int) -> None:
+        if recorder is None:
+            return
+        run_id = RunLedger(ledger_path).append(
+            recorder.finish(
+                metrics=registry, tracer=tracer, exit_code=exit_code
+            )
+        )
+        log.info(fmt_kv("ledger.recorded", run_id=run_id, path=ledger_path))
 
     try:
         with contextlib.ExitStack() as stack:
             stack.enter_context(use_metrics(registry))
+            if recorder is not None:
+                stack.enter_context(use_recorder(recorder))
             if tracer is not None:
                 stack.enter_context(use_tracer(tracer))
                 stack.enter_context(
@@ -618,8 +768,12 @@ def main(argv: Sequence[str] | None = None) -> int:
                 )
             output = handlers[args.command](args)
     except ReproError as error:
+        record(exit_code=1)
         print(f"error: {error}", file=sys.stderr)
         return 1
+    code = 0
+    if isinstance(output, tuple):
+        output, code = output
 
     if tracer is not None and trace_path:
         tracer.write(trace_path)
@@ -633,13 +787,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     if metrics_path:
         registry.write(metrics_path)
         log.info(fmt_kv("metrics.written", path=metrics_path))
+    record(exit_code=code)
 
     try:
         print(output)
     except BrokenPipeError:
         # Downstream pager/`head` closed the pipe; not an error.
         sys.stderr.close()
-    return 0
+    return code
 
 
 if __name__ == "__main__":

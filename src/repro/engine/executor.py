@@ -37,6 +37,7 @@ from repro.engine.fingerprint import combine, fingerprint
 from repro.engine.stage import RunContext, Stage
 from repro.engine.store import ArtifactStore, CacheInfo, StageCache
 from repro.exceptions import EngineError
+from repro.obs.ledger import current_recorder
 from repro.obs.log import fmt_kv, get_logger
 from repro.obs.metrics import MetricsRegistry, current_metrics
 from repro.obs.trace import NullTracer, Tracer, current_tracer
@@ -336,6 +337,10 @@ class PipelineEngine:
 
         for hook in self._hooks:
             hook(stats)
+        # The ambient run recorder (see repro.obs.ledger) persists
+        # per-stage walls and cache sources across process exits; the
+        # default NULL_RECORDER makes this free when no ledger is on.
+        current_recorder().add_stage(stats)
         return stats
 
     def cache_info(self) -> CacheInfo:

@@ -14,9 +14,16 @@ in-process serial execution when ``workers=1`` or the platform has no
   :class:`~repro.engine.diskcache.DiskCache` directory, so common
   upstream stages computed by any process are reused by all later ones
   (and by future runs — the cache persists);
-* **observability** — one ``fanout.run`` span with a ``fanout.variant``
-  child per variant (wall seconds, seed, worker pid), plus
-  ``repro_fanout_*`` metrics in the ambient registry.
+* **observability with cross-process propagation** — every variant
+  (serial or parallel) runs under its own child
+  :class:`~repro.obs.trace.Tracer` and
+  :class:`~repro.obs.metrics.MetricsRegistry`; the child's finished
+  span tree ships back through the pool as a payload and is grafted
+  under the parent's ``fanout.run`` span with its *real* start/end
+  timestamps and worker pid, and the child's metrics are merged into
+  the ambient registry (counters sum, gauges last-write, histograms
+  concatenate).  Serial and parallel runs therefore produce
+  structurally identical traces and identical merged counter totals.
 
 The executor is generic: it runs any picklable module-level
 ``task(params, seed) -> value``.  The analysis-pipeline wiring lives
@@ -25,6 +32,7 @@ in :mod:`repro.analysis.sweep`.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import multiprocessing
 import os
@@ -34,8 +42,14 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.exceptions import EngineError
 from repro.obs.log import fmt_kv, get_logger
-from repro.obs.metrics import MetricsRegistry, current_metrics
-from repro.obs.trace import NullTracer, Tracer, current_tracer
+from repro.obs.metrics import MetricsRegistry, current_metrics, use_metrics
+from repro.obs.trace import (
+    NullTracer,
+    Tracer,
+    current_tracer,
+    span_from_payload,
+    use_tracer,
+)
 
 __all__ = [
     "Variant",
@@ -99,12 +113,43 @@ class VariantOutcome:
         return self.worker_pid == os.getpid()
 
 
-def _invoke(payload: tuple[TaskFn, dict[str, Any], int, str]) -> tuple[Any, float, int]:
-    """Pool worker body: run one task and time it (module-level, picklable)."""
-    task, params, seed, _name = payload
-    started = time.perf_counter()
-    value = task(params, seed)
-    return value, time.perf_counter() - started, os.getpid()
+_InvokePayload = tuple[TaskFn, dict[str, Any], int, str, str, bool]
+_InvokeResult = tuple[Any, float, int, dict[str, Any] | None, dict[str, Any]]
+
+
+def _invoke(payload: _InvokePayload) -> _InvokeResult:
+    """Pool worker body: run one task under child telemetry sinks.
+
+    Module-level and picklable.  The task executes with a fresh
+    ambient :class:`MetricsRegistry` (and, when the parent is tracing,
+    a fresh child :class:`Tracer` whose root is the variant's
+    ``fanout.variant`` span).  Both ship back with the result so the
+    parent can graft the real span tree and merge the metrics —
+    identically in serial and parallel mode.
+    """
+    task, params, seed, name, mode, traced = payload
+    child_metrics = MetricsRegistry()
+    child_tracer = Tracer() if traced else None
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(use_metrics(child_metrics))
+        if child_tracer is not None:
+            stack.enter_context(use_tracer(child_tracer))
+            span = stack.enter_context(
+                child_tracer.span(
+                    "fanout.variant", variant=name, seed=seed, mode=mode
+                )
+            )
+        else:
+            span = None
+        started = time.perf_counter()
+        value = task(params, seed)
+        wall = time.perf_counter() - started
+        if span is not None:
+            span.set(wall_seconds=wall, worker_pid=os.getpid())
+    span_payload = (
+        child_tracer.roots[0].to_payload() if child_tracer is not None else None
+    )
+    return value, wall, os.getpid(), span_payload, child_metrics.snapshot()
 
 
 class FanOutExecutor:
@@ -169,18 +214,13 @@ class FanOutExecutor:
             raise EngineError(
                 f"FanOutExecutor.run_many: duplicate variant names {duplicated}"
             )
-        payloads = [
-            (
-                self._task,
-                dict(variant.params),
-                variant.seed
-                if variant.seed is not None
-                else derive_seed(self._base_seed, index, variant.name),
-                variant.name,
-            )
+        seeds = [
+            variant.seed
+            if variant.seed is not None
+            else derive_seed(self._base_seed, index, variant.name)
             for index, variant in enumerate(variants)
         ]
-        workers = min(self._workers, len(payloads))
+        workers = min(self._workers, len(variants))
         parallel = workers > 1
         if parallel and not fork_available():
             _log.warning(
@@ -197,14 +237,41 @@ class FanOutExecutor:
             self._metrics if self._metrics is not None else current_metrics()
         )
         mode = "parallel" if parallel else "serial"
+        traced = bool(getattr(tracer, "enabled", False))
+        payloads: list[_InvokePayload] = [
+            (self._task, dict(variant.params), seed, variant.name, mode, traced)
+            for variant, seed in zip(variants, seeds)
+        ]
         started = time.perf_counter()
         with tracer.span(
             "fanout.run", variants=len(payloads), workers=workers, mode=mode
         ) as run_span:
             if parallel:
-                outcomes = self._run_parallel(payloads, workers, tracer)
+                results = self._run_parallel(payloads, workers)
             else:
-                outcomes = self._run_serial(payloads, tracer)
+                results = self._run_serial(payloads)
+            outcomes = []
+            for payload, (value, wall, pid, span_payload, snapshot) in zip(
+                payloads, results
+            ):
+                _task, _params, seed, name, _mode, _traced = payload
+                # Graft the child's real span tree (true start/end
+                # timestamps, worker pid) under fanout.run and fold its
+                # metrics into the ambient registry: the trace and the
+                # counters come out the same whether the variant ran
+                # here or in a pool process.
+                if span_payload is not None:
+                    tracer.graft(span_from_payload(span_payload))
+                metrics.merge(snapshot)
+                outcomes.append(
+                    VariantOutcome(
+                        name=name,
+                        seed=seed,
+                        value=value,
+                        wall_seconds=wall,
+                        worker_pid=pid,
+                    )
+                )
             run_span.set(wall_seconds=time.perf_counter() - started)
 
         metrics.counter("repro_fanout_variants_total").inc(len(outcomes))
@@ -225,65 +292,21 @@ class FanOutExecutor:
             )
         return outcomes
 
-    def _run_serial(
-        self,
-        payloads: list[tuple[TaskFn, dict[str, Any], int, str]],
-        tracer: Tracer | NullTracer,
-    ) -> list[VariantOutcome]:
+    def _run_serial(self, payloads: list[_InvokePayload]) -> list[_InvokeResult]:
         if self._initializer is not None:
             self._initializer(*self._initargs)
-        outcomes = []
-        for task, params, seed, name in payloads:
-            with tracer.span(
-                "fanout.variant", variant=name, seed=seed, mode="serial"
-            ) as span:
-                value, wall, pid = _invoke((task, params, seed, name))
-                span.set(wall_seconds=wall, worker_pid=pid)
-            outcomes.append(
-                VariantOutcome(
-                    name=name,
-                    seed=seed,
-                    value=value,
-                    wall_seconds=wall,
-                    worker_pid=pid,
-                )
-            )
-        return outcomes
+        return [_invoke(payload) for payload in payloads]
 
     def _run_parallel(
-        self,
-        payloads: list[tuple[TaskFn, dict[str, Any], int, str]],
-        workers: int,
-        tracer: Tracer | NullTracer,
-    ) -> list[VariantOutcome]:
+        self, payloads: list[_InvokePayload], workers: int
+    ) -> list[_InvokeResult]:
         context = multiprocessing.get_context("fork")
         with context.Pool(
             processes=workers,
             initializer=self._initializer,
             initargs=self._initargs,
         ) as pool:
-            results = pool.map(_invoke, payloads)
-        outcomes = []
-        for (task, params, seed, name), (value, wall, pid) in zip(
-            payloads, results
-        ):
-            # The work happened in a pool process; record its span
-            # after the fact so the trace still carries one node per
-            # variant with the measured wall time as an attribute.
-            with tracer.span(
-                "fanout.variant", variant=name, seed=seed, mode="parallel"
-            ) as span:
-                span.set(wall_seconds=wall, worker_pid=pid)
-            outcomes.append(
-                VariantOutcome(
-                    name=name,
-                    seed=seed,
-                    value=value,
-                    wall_seconds=wall,
-                    worker_pid=pid,
-                )
-            )
-        return outcomes
+            return pool.map(_invoke, payloads)
 
 
 def run_many(

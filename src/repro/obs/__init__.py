@@ -1,12 +1,21 @@
-"""Observability layer: tracing spans, metrics, structured logging.
+"""Observability layer: spans, metrics, logging and the run ledger.
 
-Three small, dependency-free tools that the engine, the SOM and the
-CLI thread through every run:
+Small, dependency-free tools that the engine, the SOM and the CLI
+thread through every run:
 
 * :mod:`repro.obs.trace` — nestable timed spans with JSONL and Chrome
-  ``trace_event`` export (``chrome://tracing`` / Perfetto loadable);
+  ``trace_event`` export (``chrome://tracing`` / Perfetto loadable),
+  plus span payload serialization (:func:`span_from_payload`,
+  :meth:`Tracer.graft`) so fork-pool workers' traces survive the
+  process boundary;
 * :mod:`repro.obs.metrics` — counters, gauges and timing histograms
-  (p50/p95/max) with a Prometheus-style text dump;
+  (p50/p95/max) with a Prometheus-style text dump and
+  snapshot/merge cross-process propagation;
+* :mod:`repro.obs.ledger` — a persistent JSONL ledger of runs
+  (per-stage walls, cache sources, metrics, traces) read back by the
+  ``repro-hmeans obs`` subcommands;
+* :mod:`repro.obs.render` — ASCII rendering of ledger records (run
+  tables, flame views, regression diffs);
 * :mod:`repro.obs.log` — stdlib logging under the ``repro`` namespace
   with an ``event key=value`` line format.
 
@@ -24,6 +33,18 @@ real collectors with :func:`use_tracer` / :func:`use_metrics`::
     print(metrics.render_prometheus())
 """
 
+from repro.obs.ledger import (
+    DEFAULT_LEDGER_PATH,
+    LEDGER_ENV,
+    NULL_RECORDER,
+    NullRecorder,
+    RunLedger,
+    RunRecorder,
+    current_recorder,
+    ledger_path_from_env,
+    set_recorder,
+    use_recorder,
+)
 from repro.obs.log import (
     KeyValueFormatter,
     configure_logging,
@@ -47,6 +68,7 @@ from repro.obs.trace import (
     Tracer,
     current_tracer,
     set_tracer,
+    span_from_payload,
     use_tracer,
 )
 
@@ -59,6 +81,18 @@ __all__ = [
     "current_tracer",
     "set_tracer",
     "use_tracer",
+    "span_from_payload",
+    # run ledger
+    "DEFAULT_LEDGER_PATH",
+    "LEDGER_ENV",
+    "RunLedger",
+    "RunRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "current_recorder",
+    "set_recorder",
+    "use_recorder",
+    "ledger_path_from_env",
     # metrics
     "Counter",
     "Gauge",

@@ -1,0 +1,350 @@
+"""Persistent run ledger: one JSONL record per CLI/bench invocation.
+
+Telemetry used to evaporate at process exit — traces, metrics and
+stage timings lived exactly as long as the run that produced them.
+The ledger makes runs comparable *across* invocations: every recorded
+run appends one schema-versioned JSON line to ``results/runs.jsonl``
+(command, argument fingerprint, per-stage wall times, cache hit
+sources, a metrics snapshot and — when tracing was on — the full span
+tree), and the ``repro-hmeans obs`` subcommands read it back for
+listing, flame views and regression diffs.
+
+Recording is ambient, mirroring tracing and metrics: the CLI driver
+opens a :class:`RunRecorder` for the invocation and installs it with
+:func:`use_recorder`; :class:`~repro.engine.executor.PipelineEngine`
+feeds every :class:`~repro.engine.executor.StageStats` to
+:func:`current_recorder` as stages finish (the default
+:data:`NULL_RECORDER` swallows them for free); at exit the CLI calls
+:meth:`RunRecorder.finish` and :meth:`RunLedger.append` writes the
+line atomically (single ``O_APPEND`` write), so concurrent runs never
+interleave records.
+
+Enable it with ``--ledger [FILE]`` on any subcommand or the
+``REPRO_LEDGER`` environment variable (benchmarks honor the same
+variable through :func:`benchmarks.conftest.write_bench_json`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.exceptions import ReproError
+from repro.obs.log import fmt_kv, get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullTracer, Tracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "LEDGER_ENV",
+    "DEFAULT_LEDGER_PATH",
+    "RunLedger",
+    "RunRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "current_recorder",
+    "set_recorder",
+    "use_recorder",
+    "ledger_path_from_env",
+]
+
+_log = get_logger("obs.ledger")
+
+SCHEMA_VERSION = 1
+
+LEDGER_ENV = "REPRO_LEDGER"
+
+DEFAULT_LEDGER_PATH = "results/runs.jsonl"
+
+# Prefix of the per-stage timing histogram family the engine records;
+# used to rebuild stage walls from merged metrics when the stages ran
+# in worker processes (their StageStats never reach this process).
+_STAGE_SECONDS_PREFIX = 'repro_engine_stage_seconds{stage="'
+
+
+def ledger_path_from_env() -> str | None:
+    """The ``REPRO_LEDGER`` ledger path, or ``None`` when unset/empty."""
+    return os.environ.get(LEDGER_ENV) or None
+
+
+def _cache_sources_from_metrics(metrics: Mapping[str, Any]) -> dict[str, int]:
+    """Approximate stage cache sources from the engine's counters.
+
+    Worker-side stages report no ``StageStats`` here, but the merged
+    counters still say how many stage executions hit (and how many of
+    those came from disk) versus computed.
+    """
+    hits = int(metrics.get("repro_engine_cache_hits_total", 0) or 0)
+    misses = int(metrics.get("repro_engine_cache_misses_total", 0) or 0)
+    disk = int(metrics.get("repro_engine_disk_hits_total", 0) or 0)
+    sources = {
+        "memory": max(0, hits - disk),
+        "disk": min(disk, hits),
+        "compute": misses,
+    }
+    return {k: v for k, v in sources.items() if v}
+
+
+def _args_fingerprint(args: Mapping[str, Any]) -> str:
+    """Stable 12-hex-digit digest of an argument mapping."""
+    canonical = json.dumps(args, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def _new_run_id(command: str) -> str:
+    """A readable, collision-resistant run id: timestamp + short hash."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.localtime())
+    digest = hashlib.sha256(
+        f"{time.time_ns()}:{os.getpid()}:{command}".encode("utf-8")
+    ).hexdigest()[:6]
+    return f"{stamp}-{digest}"
+
+
+class RunRecorder:
+    """Collects one invocation's telemetry into a ledger record.
+
+    Install with :func:`use_recorder` so the engine can feed stage
+    stats ambiently, then :meth:`finish` to produce the JSON-safe
+    record for :meth:`RunLedger.append`.
+    """
+
+    active = True
+
+    def __init__(self, command: str, args: Mapping[str, Any] | None = None):
+        self.command = command
+        self.args = dict(args or {})
+        self._started_unix = time.time()
+        self._started = time.perf_counter()
+        self._stages: list[dict[str, Any]] = []
+
+    def add_stage(self, stats: Any) -> None:
+        """Record one executed stage (duck-typed ``StageStats``)."""
+        self._stages.append(
+            {
+                "stage": stats.stage,
+                "wall_seconds": stats.wall_seconds,
+                "cache_source": stats.cache_source,
+                "cache_hit": stats.cache_hit,
+            }
+        )
+
+    @property
+    def stages(self) -> tuple[dict[str, Any], ...]:
+        """The stage records collected so far."""
+        return tuple(self._stages)
+
+    def _stages_from_metrics(self, metrics: Mapping[str, Any]) -> list[dict[str, Any]]:
+        """Rebuild per-stage walls from ``repro_engine_stage_seconds``.
+
+        Parallel sweeps execute stages in pool workers, whose
+        ``StageStats`` never pass through this process — but their
+        metrics do (merged by the fan-out executor), so the stage
+        timing histograms still carry the truth.
+        """
+        stages = []
+        for key, value in metrics.items():
+            if not key.startswith(_STAGE_SECONDS_PREFIX):
+                continue
+            name = key[len(_STAGE_SECONDS_PREFIX):].split('"', 1)[0]
+            if isinstance(value, Mapping) and value.get("count"):
+                stages.append(
+                    {
+                        "stage": name,
+                        "wall_seconds": float(value["sum"]),
+                        "executions": int(value["count"]),
+                        "cache_source": None,
+                        "cache_hit": None,
+                    }
+                )
+        return stages
+
+    def finish(
+        self,
+        *,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | NullTracer | None = None,
+        exit_code: int = 0,
+    ) -> dict[str, Any]:
+        """The finished, JSON-safe ledger record for this invocation."""
+        metrics_dict = metrics.as_dict() if metrics is not None else {}
+        stages = list(self._stages)
+        if not stages and metrics_dict:
+            stages = self._stages_from_metrics(metrics_dict)
+        sources: dict[str, int] = {}
+        for stage in stages:
+            source = stage.get("cache_source")
+            if source is not None:
+                sources[source] = sources.get(source, 0) + 1
+        if not sources and metrics_dict:
+            sources = _cache_sources_from_metrics(metrics_dict)
+        trace = None
+        if tracer is not None and getattr(tracer, "enabled", False):
+            trace = [
+                root.to_payload() for root in tracer.roots if root.finished
+            ]
+        return {
+            "schema": SCHEMA_VERSION,
+            "run_id": _new_run_id(self.command),
+            "timestamp_unix": self._started_unix,
+            "command": self.command,
+            "args": self.args,
+            "args_fingerprint": _args_fingerprint(self.args),
+            "pid": os.getpid(),
+            "wall_seconds": time.perf_counter() - self._started,
+            "exit_code": exit_code,
+            "stages": stages,
+            "cache_sources": sources,
+            "metrics": metrics_dict,
+            "trace": trace,
+        }
+
+
+class NullRecorder:
+    """Disabled recorder: :meth:`add_stage` is free and records nothing."""
+
+    active = False
+
+    def add_stage(self, stats: Any) -> None:
+        """Discard the stage record."""
+
+
+NULL_RECORDER = NullRecorder()
+
+_current_recorder: RunRecorder | NullRecorder = NULL_RECORDER
+
+
+def current_recorder() -> RunRecorder | NullRecorder:
+    """The ambient recorder (:data:`NULL_RECORDER` unless installed)."""
+    return _current_recorder
+
+
+def set_recorder(
+    recorder: RunRecorder | NullRecorder,
+) -> RunRecorder | NullRecorder:
+    """Install ``recorder`` as ambient; returns the previous one."""
+    global _current_recorder
+    previous = _current_recorder
+    _current_recorder = recorder
+    return previous
+
+
+@contextlib.contextmanager
+def use_recorder(
+    recorder: RunRecorder | NullRecorder,
+) -> Iterator[RunRecorder | NullRecorder]:
+    """Install ``recorder`` for the duration of a ``with`` block."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)
+
+
+class RunLedger:
+    """Append-only JSONL store of run records.
+
+    One line per run, written with a single ``O_APPEND`` ``write`` so
+    concurrent invocations over the same file never interleave.
+    Corrupt lines (a torn write from a crash, manual edits) are
+    skipped with a warning on read, never fatal.
+    """
+
+    def __init__(self, path: str | Path = DEFAULT_LEDGER_PATH) -> None:
+        self.path = Path(path)
+
+    def append(self, record: Mapping[str, Any]) -> str:
+        """Append one record atomically; returns its ``run_id``."""
+        run_id = str(record.get("run_id", ""))
+        if not run_id:
+            raise ReproError("RunLedger.append: record has no run_id")
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        if _log.isEnabledFor(20):  # INFO
+            _log.info(
+                fmt_kv(
+                    "ledger.append",
+                    path=str(self.path),
+                    run_id=run_id,
+                    command=record.get("command", "?"),
+                )
+            )
+        return run_id
+
+    def records(self) -> list[dict[str, Any]]:
+        """Every parseable record, oldest first (corrupt lines skipped)."""
+        if not self.path.exists():
+            raise ReproError(f"RunLedger: no ledger at {self.path}")
+        records = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    _log.warning(
+                        fmt_kv(
+                            "ledger.corrupt_line",
+                            path=str(self.path),
+                            line=number,
+                        )
+                    )
+                    continue
+                if isinstance(record, dict) and record.get("run_id"):
+                    records.append(record)
+        return records
+
+    def find(self, ref: str) -> dict[str, Any]:
+        """Resolve one run by reference.
+
+        ``ref`` may be ``last``/``first``, an integer index into the
+        ledger (``0`` oldest, ``-1`` latest), or a ``run_id`` prefix
+        that matches exactly one record.
+        """
+        records = self.records()
+        if not records:
+            raise ReproError(f"RunLedger: {self.path} holds no runs")
+        if ref == "last":
+            return records[-1]
+        if ref == "first":
+            return records[0]
+        try:
+            index = int(ref)
+        except ValueError:
+            index = None
+        if index is not None:
+            try:
+                return records[index]
+            except IndexError:
+                raise ReproError(
+                    f"RunLedger: index {index} out of range "
+                    f"({len(records)} run(s) in {self.path})"
+                )
+        matches = [r for r in records if str(r["run_id"]).startswith(ref)]
+        if len(matches) == 1:
+            return matches[0]
+        known = ", ".join(str(r["run_id"]) for r in records[-5:])
+        if not matches:
+            raise ReproError(
+                f"RunLedger: no run matching {ref!r}; recent ids: {known}"
+            )
+        raise ReproError(
+            f"RunLedger: {ref!r} is ambiguous "
+            f"({len(matches)} matches); recent ids: {known}"
+        )
+
+    def __repr__(self) -> str:
+        return f"RunLedger({str(self.path)!r})"

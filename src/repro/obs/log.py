@@ -40,12 +40,23 @@ _HANDLER_TAG = "_repro_obs_handler"
 
 
 def _format_value(value: Any) -> str:
-    """One ``key=value`` token: floats compact, strings quoted if spacey."""
+    """One ``key=value`` token: floats compact, strings quoted if needed.
+
+    Values containing spaces, ``=``, quotes or line breaks are quoted,
+    with quotes and newlines backslash-escaped — a log line is always
+    exactly one line, whatever the payload.
+    """
     if isinstance(value, float):
         return f"{value:.6g}"
     text = str(value)
-    if not text or any(c in text for c in ' ="'):
-        escaped = text.replace('"', '\\"')
+    if not text or any(c in text for c in ' ="\n\r\t'):
+        escaped = (
+            text.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
+        )
         return f'"{escaped}"'
     return text
 

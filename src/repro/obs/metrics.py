@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import contextlib
 import math
-from typing import Any, Iterator, Mapping
+import random
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.exceptions import ReproError
 
@@ -83,37 +84,89 @@ class Gauge:
 class Histogram:
     """Observation distribution with nearest-rank percentiles.
 
-    Keeps every observation (runs here are thousands of samples, not
-    millions), so percentiles are exact rather than bucketed.
+    By default every observation is kept (runs here are thousands of
+    samples, not millions), so percentiles are exact rather than
+    bucketed.  Long-lived registries — e.g. one feeding the run
+    ledger — can cap memory with ``max_samples``: observations beyond
+    the cap enter a deterministic reservoir (Algorithm R over a
+    fixed-seed PRNG), keeping ``count``/``total``/``max`` exact while
+    percentiles become reservoir estimates.
     """
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_count", "_sum", "_max", "max_samples", "_rng")
 
-    def __init__(self) -> None:
+    def __init__(self, max_samples: int | None = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ReproError(
+                f"Histogram: max_samples must be >= 1, got {max_samples}"
+            )
         self._values: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._max: float | None = None
+        self.max_samples = max_samples
+        # Seeded so capped percentile estimates are reproducible.
+        self._rng = random.Random(0x5EED) if max_samples is not None else None
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         if not math.isfinite(value):
             raise ReproError(f"Histogram.observe: non-finite value {value}")
-        self._values.append(float(value))
+        value = float(value)
+        self._count += 1
+        self._sum += value
+        if self._max is None or value > self._max:
+            self._max = value
+        self._keep(value)
+
+    def _keep(self, value: float) -> None:
+        """Admit ``value`` to the sample list, through the reservoir if capped."""
+        if self.max_samples is None or len(self._values) < self.max_samples:
+            self._values.append(value)
+            return
+        slot = self._rng.randrange(self._count)  # type: ignore[union-attr]
+        if slot < self.max_samples:
+            self._values[slot] = value
+
+    def _absorb(
+        self,
+        count: int,
+        total: float,
+        maximum: float | None,
+        samples: Sequence[float],
+    ) -> None:
+        """Merge another histogram's snapshot (exact count/sum/max,
+        samples concatenated through this histogram's reservoir)."""
+        if count < 0:
+            raise ReproError(f"Histogram: cannot absorb negative count {count}")
+        self._count += count
+        self._sum += total
+        if maximum is not None and (self._max is None or maximum > self._max):
+            self._max = float(maximum)
+        for value in samples:
+            self._keep(float(value))
 
     @property
     def count(self) -> int:
-        """Number of observations."""
-        return len(self._values)
+        """Number of observations (exact even when sampling is capped)."""
+        return self._count
 
     @property
     def total(self) -> float:
-        """Sum of observations."""
-        return sum(self._values)
+        """Sum of observations (exact even when sampling is capped)."""
+        return self._sum
+
+    @property
+    def samples(self) -> tuple[float, ...]:
+        """The retained observations (all of them unless capped)."""
+        return tuple(self._values)
 
     @property
     def max(self) -> float:
         """Largest observation (raises when empty)."""
-        if not self._values:
+        if self._max is None:
             raise ReproError("Histogram.max: no observations")
-        return max(self._values)
+        return self._max
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile, ``q`` in [0, 100]."""
@@ -137,8 +190,8 @@ class Histogram:
 
     def summary(self) -> dict[str, float]:
         """count/sum/p50/p95/max in one JSON-safe mapping."""
-        if not self._values:
-            return {"count": 0, "sum": 0.0}
+        if not self._count or not self._values:
+            return {"count": self._count, "sum": self._sum}
         return {
             "count": self.count,
             "sum": self.total,
@@ -154,13 +207,18 @@ class MetricsRegistry:
     An instrument is identified by ``(name, labels)``; asking for the
     same identity twice returns the same object.  Asking for an
     existing name as a different instrument kind raises.
+
+    ``histogram_max_samples`` caps every histogram the registry
+    creates (see :class:`Histogram`); the default ``None`` keeps all
+    observations.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, histogram_max_samples: int | None = None) -> None:
         self._instruments: dict[
             tuple[str, tuple[tuple[str, str], ...]], Counter | Gauge | Histogram
         ] = {}
         self._kinds: dict[str, type] = {}
+        self._histogram_max_samples = histogram_max_samples
 
     def _get(
         self, kind: type, name: str, labels: Mapping[str, str]
@@ -176,7 +234,10 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         instrument = self._instruments.get(key)
         if instrument is None:
-            instrument = kind()
+            if kind is Histogram:
+                instrument = Histogram(max_samples=self._histogram_max_samples)
+            else:
+                instrument = kind()
             self._instruments[key] = instrument
             self._kinds[name] = kind
         return instrument
@@ -193,12 +254,83 @@ class MetricsRegistry:
         """The histogram for ``name`` + labels, created on first use."""
         return self._get(Histogram, name, labels)  # type: ignore[return-value]
 
+    # -- cross-process merging ---------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Full-fidelity, JSON-safe dump of every instrument.
+
+        Unlike :meth:`as_dict` (which summarizes histograms), the
+        snapshot carries each histogram's retained samples plus its
+        exact count/sum/max, so :meth:`merge` in another process can
+        reconstruct the distribution.  Deterministically ordered by
+        instrument name then label set.
+        """
+        instruments: list[dict[str, Any]] = []
+        for (name, labels), instrument in self._sorted_instruments():
+            entry: dict[str, Any] = {
+                "name": name,
+                "labels": [list(pair) for pair in labels],
+            }
+            if isinstance(instrument, Counter):
+                entry["kind"] = "counter"
+                entry["value"] = instrument.value
+            elif isinstance(instrument, Gauge):
+                entry["kind"] = "gauge"
+                entry["value"] = instrument.value
+            else:
+                entry["kind"] = "histogram"
+                entry["count"] = instrument.count
+                entry["sum"] = instrument.total
+                entry["max"] = instrument.max if instrument.count else None
+                entry["samples"] = list(instrument.samples)
+            instruments.append(entry)
+        return {"schema": 1, "instruments": instruments}
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one.
+
+        Counters **sum**, gauges take the snapshot's value (**last
+        write wins**, merge order deciding), histograms **concatenate**
+        observations (count/sum/max exactly; samples flow through this
+        registry's reservoir policy).  Instruments absent here are
+        created.
+        """
+        for entry in snapshot.get("instruments", ()):
+            name = entry.get("name")
+            kind = entry.get("kind")
+            labels = {str(k): str(v) for k, v in (entry.get("labels") or ())}
+            if kind == "counter":
+                self.counter(name, **labels).inc(float(entry.get("value", 0)))
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(float(entry.get("value", 0.0)))
+            elif kind == "histogram":
+                maximum = entry.get("max")
+                self.histogram(name, **labels)._absorb(
+                    int(entry.get("count", 0)),
+                    float(entry.get("sum", 0.0)),
+                    None if maximum is None else float(maximum),
+                    [float(v) for v in entry.get("samples") or ()],
+                )
+            else:
+                raise ReproError(
+                    f"MetricsRegistry.merge: unknown instrument kind {kind!r} "
+                    f"for {name!r}"
+                )
+
     # -- export ------------------------------------------------------------
+
+    def _sorted_instruments(
+        self,
+    ) -> list[tuple[tuple[str, tuple[tuple[str, str], ...]], Counter | Gauge | Histogram]]:
+        """Instruments sorted by name then label set: every dump —
+        Prometheus text, :meth:`as_dict`, :meth:`snapshot` — renders in
+        this one deterministic order regardless of creation order."""
+        return sorted(self._instruments.items(), key=lambda item: item[0])
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-safe snapshot: ``{name{labels}: value-or-summary}``."""
         snapshot: dict[str, Any] = {}
-        for (name, labels), instrument in sorted(self._instruments.items()):
+        for (name, labels), instrument in self._sorted_instruments():
             key = name + _format_labels(labels)
             if isinstance(instrument, Histogram):
                 snapshot[key] = instrument.summary()
@@ -217,7 +349,7 @@ class MetricsRegistry:
         type_names = {Counter: "counter", Gauge: "gauge", Histogram: "summary"}
         lines: list[str] = []
         seen_types: set[str] = set()
-        for (name, labels), instrument in sorted(self._instruments.items()):
+        for (name, labels), instrument in self._sorted_instruments():
             if name not in seen_types:
                 seen_types.add(name)
                 lines.append(

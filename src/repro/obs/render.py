@@ -1,0 +1,222 @@
+"""ASCII rendering of run-ledger records: tables, flames, diffs.
+
+The ``repro-hmeans obs`` subcommands are thin wrappers over three
+pure functions here:
+
+* :func:`render_runs_table` — tabular recent-run listing
+  (``obs runs``);
+* :func:`render_flame` — a depth-indented flame view of one run's
+  stored span tree, falling back to its stage list when the run was
+  not traced (``obs show``);
+* :func:`render_diff` — per-stage wall-time and cache-source deltas
+  between two runs, with percent-change highlighting and a regression
+  verdict against a threshold (``obs diff``).
+
+Everything takes plain ledger record dicts (see
+:mod:`repro.obs.ledger`), so the functions are directly testable and
+usable on hand-loaded JSONL.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import ReproError
+from repro.viz.tables import format_table
+
+__all__ = [
+    "stage_walls",
+    "render_runs_table",
+    "render_flame",
+    "render_diff",
+]
+
+
+def stage_walls(record: Mapping[str, Any]) -> dict[str, float]:
+    """Per-stage wall seconds of one run, summed over repeat executions.
+
+    A sweep runs the engine once per variant, so the same stage name
+    appears several times in ``record["stages"]``; the flame and diff
+    views care about where the invocation's time went, so repeats sum.
+    """
+    walls: dict[str, float] = {}
+    for stage in record.get("stages") or ():
+        name = str(stage.get("stage", "?"))
+        walls[name] = walls.get(name, 0.0) + float(stage.get("wall_seconds", 0.0))
+    return walls
+
+
+def _when(record: Mapping[str, Any]) -> str:
+    stamp = record.get("timestamp_unix")
+    if not isinstance(stamp, (int, float)) or stamp <= 0:
+        return "?"
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(stamp))
+
+
+def _cache_summary(record: Mapping[str, Any]) -> str:
+    sources = record.get("cache_sources") or {}
+    if not sources:
+        return "-"
+    return ",".join(f"{k}:{v}" for k, v in sorted(sources.items()))
+
+
+def render_runs_table(
+    records: Iterable[Mapping[str, Any]], *, limit: int = 15
+) -> str:
+    """The most recent ``limit`` runs, newest last, as an ASCII table."""
+    rows = list(records)[-limit:]
+    if not rows:
+        raise ReproError("render_runs_table: no runs to list")
+    table = format_table(
+        ["run id", "when", "command", "wall", "stages", "cache", "args"],
+        [
+            (
+                str(r.get("run_id", "?")),
+                _when(r),
+                str(r.get("command", "?")),
+                f"{float(r.get('wall_seconds', 0.0)):.3f}s",
+                len(r.get("stages") or ()),
+                _cache_summary(r),
+                str(r.get("args_fingerprint", "?")),
+            )
+            for r in rows
+        ],
+    )
+    return table + f"\n{len(rows)} run(s) shown (newest last)"
+
+
+def _flame_lines(
+    span: Mapping[str, Any],
+    depth: int,
+    scale: float,
+    width: int,
+    lines: list[str],
+    max_depth: int | None,
+) -> None:
+    duration = float(span["end_seconds"]) - float(span["start_seconds"])
+    bar = "█" * max(1, round(duration * scale)) if duration > 0 else "·"
+    pid = (span.get("attributes") or {}).get("worker_pid")
+    tag = f"  [pid {pid}]" if pid is not None else ""
+    lines.append(
+        f"{'  ' * depth}{span.get('name', '?'):<{max(1, 28 - 2 * depth)}} "
+        f"{duration * 1e3:9.1f}ms  {bar}{tag}"
+    )
+    if max_depth is not None and depth + 1 >= max_depth:
+        return
+    for child in span.get("children") or ():
+        _flame_lines(child, depth + 1, scale, width, lines, max_depth)
+
+
+def render_flame(
+    record: Mapping[str, Any], *, width: int = 40, max_depth: int | None = 4
+) -> str:
+    """One run's stage timing tree as a depth-indented ASCII flame view.
+
+    Bars scale to the longest root span.  Runs recorded without a
+    trace (no ``--trace``) fall back to a flat per-stage bar chart
+    built from the stored ``StageStats`` walls.  ``max_depth`` bounds
+    the tree depth (``None`` renders everything, including e.g. one
+    line per SOM epoch).
+    """
+    header = (
+        f"run {record.get('run_id', '?')}  "
+        f"command={record.get('command', '?')}  "
+        f"wall={float(record.get('wall_seconds', 0.0)):.3f}s  "
+        f"({_when(record)})"
+    )
+    trace = record.get("trace")
+    if trace:
+        longest = max(
+            float(root["end_seconds"]) - float(root["start_seconds"])
+            for root in trace
+        )
+        scale = width / longest if longest > 0 else 0.0
+        lines: list[str] = [header, ""]
+        for root in trace:
+            _flame_lines(root, 0, scale, width, lines, max_depth)
+        return "\n".join(lines)
+    walls = stage_walls(record)
+    if not walls:
+        return header + "\n\n(no trace or stage data recorded for this run)"
+    longest = max(walls.values())
+    scale = width / longest if longest > 0 else 0.0
+    lines = [header, "", "per-stage wall time (no trace stored; from StageStats):"]
+    for name, wall in sorted(walls.items(), key=lambda kv: -kv[1]):
+        bar = "█" * max(1, round(wall * scale)) if wall > 0 else "·"
+        lines.append(f"  {name:<16} {wall * 1e3:9.1f}ms  {bar}")
+    return "\n".join(lines)
+
+
+def render_diff(
+    a: Mapping[str, Any],
+    b: Mapping[str, Any],
+    *,
+    threshold: float | None = None,
+) -> tuple[str, bool]:
+    """Per-stage deltas between two ledger runs.
+
+    Returns ``(text, regressed)`` where ``regressed`` is True when any
+    stage of ``b`` is slower than in ``a`` by more than ``threshold``
+    percent (never True when ``threshold`` is ``None``).  Stages
+    present in only one run are listed as added/removed and do not
+    count as regressions.
+    """
+    walls_a, walls_b = stage_walls(a), stage_walls(b)
+    names = sorted(set(walls_a) | set(walls_b))
+    if not names:
+        raise ReproError("render_diff: neither run recorded stage data")
+    rows = []
+    regressed: list[str] = []
+    for name in names:
+        wall_a, wall_b = walls_a.get(name), walls_b.get(name)
+        if wall_a is None:
+            rows.append((name, "-", f"{wall_b * 1e3:.1f}ms", "added", ""))
+            continue
+        if wall_b is None:
+            rows.append((name, f"{wall_a * 1e3:.1f}ms", "-", "removed", ""))
+            continue
+        if wall_a > 0:
+            change = 100.0 * (wall_b - wall_a) / wall_a
+            change_text = f"{change:+.1f}%"
+        else:
+            change = 0.0 if wall_b == 0 else float("inf")
+            change_text = "+inf%" if change else "+0.0%"
+        over = threshold is not None and change > threshold
+        if over:
+            regressed.append(name)
+        rows.append(
+            (
+                name,
+                f"{wall_a * 1e3:.1f}ms",
+                f"{wall_b * 1e3:.1f}ms",
+                change_text,
+                "<-- REGRESSION" if over else ("improved" if change < 0 else ""),
+            )
+        )
+    lines = [
+        f"a: {a.get('run_id', '?')}  ({a.get('command', '?')}, "
+        f"wall {float(a.get('wall_seconds', 0.0)):.3f}s, "
+        f"cache {_cache_summary(a)})",
+        f"b: {b.get('run_id', '?')}  ({b.get('command', '?')}, "
+        f"wall {float(b.get('wall_seconds', 0.0)):.3f}s, "
+        f"cache {_cache_summary(b)})",
+        "",
+        format_table(["stage", "a", "b", "delta", ""], rows),
+    ]
+    total_a = sum(walls_a.values())
+    total_b = sum(walls_b.values())
+    if total_a > 0:
+        lines.append(
+            f"\nstage total: {total_a * 1e3:.1f}ms -> {total_b * 1e3:.1f}ms "
+            f"({100.0 * (total_b - total_a) / total_a:+.1f}%)"
+        )
+    if threshold is not None:
+        verdict = (
+            f"REGRESSED: {', '.join(regressed)} slower than "
+            f"+{threshold:g}% threshold"
+            if regressed
+            else f"ok: no stage slower than +{threshold:g}% threshold"
+        )
+        lines.append(verdict)
+    return "\n".join(lines), bool(regressed)

@@ -46,6 +46,7 @@ __all__ = [
     "current_tracer",
     "set_tracer",
     "use_tracer",
+    "span_from_payload",
 ]
 
 
@@ -148,6 +149,34 @@ class Span:
         for child in self.children:
             yield from child.walk()
 
+    def to_payload(self) -> dict[str, Any]:
+        """Recursive JSON-safe serialization of this finished subtree.
+
+        The payload round-trips through :func:`span_from_payload` with
+        real timestamps intact, which is how worker processes ship
+        their span trees back to the parent for grafting.  Raises
+        until the span has finished.
+        """
+        if self.end_seconds is None:
+            raise ReproError(
+                f"Span.to_payload: span {self.name!r} has not finished"
+            )
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "start_unix": self.start_unix,
+            "start_seconds": self.start_seconds,
+            "end_seconds": self.end_seconds,
+        }
+        if self.attributes:
+            payload["attributes"] = _json_safe(self.attributes)
+        if self.counters:
+            payload["counters"] = dict(self.counters)
+        if self.events:
+            payload["events"] = _json_safe(self.events)
+        if self.children:
+            payload["children"] = [c.to_payload() for c in self.children]
+        return payload
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-safe flat record of this span (children by name only)."""
         record: dict[str, Any] = {
@@ -247,6 +276,26 @@ class Tracer:
         """All spans with the given name, in depth-first order."""
         return tuple(s for s in self.spans() if s.name == name)
 
+    # -- cross-process grafting --------------------------------------------
+
+    def graft(self, span: Span) -> Span:
+        """Adopt a finished span tree produced elsewhere.
+
+        ``span`` (typically rebuilt from a worker payload with
+        :func:`span_from_payload`) becomes a child of the currently
+        open span, or a new root when no span is open.  Its recorded
+        timestamps are kept verbatim — grafting never re-times.
+        """
+        if not span.finished:
+            raise ReproError(
+                f"Tracer.graft: span {span.name!r} has not finished"
+            )
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+        return span
+
     # -- export ------------------------------------------------------------
 
     def to_jsonl(self) -> str:
@@ -282,7 +331,20 @@ class Tracer:
         and event names land in each event's ``args``.
         """
         events: list[dict[str, Any]] = []
-        pid = os.getpid()
+        own_pid = os.getpid()
+        # Grafted worker subtrees carry a worker_pid attribute on their
+        # root; inherit it downward so each worker renders as its own
+        # process track instead of overlapping the parent's.
+        pids: dict[int, int] = {}
+
+        def assign(span: Span, inherited: int) -> None:
+            pid = span.attributes.get("worker_pid", inherited)
+            pids[id(span)] = pid if isinstance(pid, int) else inherited
+            for child in span.children:
+                assign(child, pids[id(span)])
+
+        for root in self._roots:
+            assign(root, own_pid)
         origin = min(
             (s.start_seconds for s in self.spans() if s.finished),
             default=0.0,
@@ -299,7 +361,7 @@ class Tracer:
                 {
                     "name": span.name,
                     "ph": "X",
-                    "pid": pid,
+                    "pid": pids.get(id(span), own_pid),
                     "tid": 1,
                     "ts": (span.start_seconds - origin) * 1e6,
                     "dur": span.duration_seconds * 1e6,
@@ -354,6 +416,10 @@ class NullTracer:
         """Always empty."""
         return ()
 
+    def graft(self, span: Span) -> Span:
+        """Discard the grafted tree (nothing is recorded)."""
+        return span
+
     def __repr__(self) -> str:
         return "NullTracer()"
 
@@ -384,3 +450,36 @@ def use_tracer(tracer: Tracer | NullTracer) -> Iterator[Tracer | NullTracer]:
         yield tracer
     finally:
         set_tracer(previous)
+
+
+def span_from_payload(payload: Mapping[str, Any]) -> Span:
+    """Rebuild a finished :class:`Span` tree from :meth:`Span.to_payload`.
+
+    The reconstructed spans carry the original wall-clock and
+    ``perf_counter`` timestamps (on Linux ``perf_counter`` is the
+    system-wide monotonic clock, so spans recorded in ``fork``
+    children stay on the parent's timeline).  They are detached —
+    graft them into a live trace with :meth:`Tracer.graft`.
+    """
+    try:
+        name = payload["name"]
+        start_seconds = float(payload["start_seconds"])
+        end_seconds = float(payload["end_seconds"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise ReproError(f"span_from_payload: malformed payload: {error}")
+    if end_seconds < start_seconds:
+        raise ReproError(
+            f"span_from_payload: span {name!r} ends before it starts"
+        )
+    span = Span(None, name, dict(payload.get("attributes") or {}))  # type: ignore[arg-type]
+    span.start_unix = float(payload.get("start_unix", 0.0))
+    span.start_seconds = start_seconds
+    span.end_seconds = end_seconds
+    span.counters = {
+        str(k): float(v) for k, v in (payload.get("counters") or {}).items()
+    }
+    span.events = list(payload.get("events") or [])
+    span.children = [
+        span_from_payload(child) for child in payload.get("children") or []
+    ]
+    return span

@@ -99,6 +99,13 @@ class TestSerialExecution:
             "b",
         ]
         assert all("wall_seconds" in s.attributes for s in variant_spans)
+        # The span now times the task itself, so its duration is the
+        # measured wall time (it used to be a ~0 bookkeeping span).
+        for span in variant_spans:
+            assert span.duration_seconds == pytest.approx(
+                span.attributes["wall_seconds"], rel=0.5, abs=5e-3
+            )
+            assert span.attributes["worker_pid"] == os.getpid()
 
 
 @pytest.mark.skipif(not fork_available(), reason="platform lacks fork")
@@ -122,6 +129,21 @@ class TestParallelExecution:
         # 1 variant with 8 workers collapses to serial execution.
         (outcome,) = run_many(_identity, [Variant("only")], workers=8)
         assert outcome.in_parent
+
+    def test_parallel_variant_spans_time_the_task(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            outcomes = run_many(
+                _scaled_draw, [Variant("a"), Variant("b")], workers=2
+            )
+        variant_spans = tracer.find("fanout.variant")
+        assert len(variant_spans) == 2
+        for span, outcome in zip(variant_spans, outcomes):
+            assert span.attributes["mode"] == "parallel"
+            assert span.attributes["worker_pid"] == outcome.worker_pid
+            assert span.duration_seconds == pytest.approx(
+                span.attributes["wall_seconds"], rel=0.5, abs=5e-3
+            )
 
 
 class TestPipelineSweeps:

@@ -103,3 +103,207 @@ class TestPipelineTraceAndMetrics:
         assert main(["gaming", "--trace", str(trace_path)]) == 0
         document = json.loads(trace_path.read_text())
         assert document["traceEvents"][0]["name"] == "cli.gaming"
+
+
+def _synthetic_run(run_id, command="pipeline", stages=None):
+    """A hand-built ledger record with controllable stage walls."""
+    return {
+        "schema": 1,
+        "run_id": run_id,
+        "timestamp_unix": 1754000000.0,
+        "command": command,
+        "args": {},
+        "args_fingerprint": "0" * 12,
+        "pid": 1,
+        "wall_seconds": sum(s["wall_seconds"] for s in stages or []),
+        "exit_code": 0,
+        "stages": stages or [],
+        "cache_sources": {},
+        "metrics": {},
+        "trace": None,
+    }
+
+
+class TestLedgerRecording:
+    def test_ledger_flag_appends_full_record(self, tmp_path, capsys):
+        from repro.obs import RunLedger
+
+        ledger_path = tmp_path / "runs.jsonl"
+        trace_path = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "pipeline",
+                    "--ledger",
+                    str(ledger_path),
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        (record,) = RunLedger(ledger_path).records()
+        assert record["command"] == "pipeline"
+        assert record["exit_code"] == 0
+        stage_names = {s["stage"] for s in record["stages"]}
+        assert {f"{s}" for s in PAPER_STAGES} <= stage_names
+        assert record["trace"][0]["name"] == "cli.pipeline"
+        assert record["metrics"]["repro_engine_cache_misses_total"] >= 1
+        # Observability flags are excluded from the fingerprinted args.
+        assert "ledger" not in record["args"]
+        assert "trace" not in record["args"]
+
+    def test_env_variable_enables_recording(self, tmp_path, monkeypatch):
+        from repro.obs import LEDGER_ENV, RunLedger
+
+        ledger_path = tmp_path / "envruns.jsonl"
+        monkeypatch.setenv(LEDGER_ENV, str(ledger_path))
+        assert main(["gaming"]) == 0
+        (record,) = RunLedger(ledger_path).records()
+        assert record["command"] == "gaming"
+        assert record["trace"] is None  # untraced run stores no spans
+
+    def test_unrecorded_without_flag_or_env(self, tmp_path, monkeypatch):
+        from repro.obs import LEDGER_ENV
+
+        monkeypatch.delenv(LEDGER_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert main(["gaming"]) == 0
+        assert not (tmp_path / "results" / "runs.jsonl").exists()
+
+    def test_failed_run_recorded_with_exit_code_1(self, tmp_path, capsys):
+        from repro.obs import RunLedger
+
+        ledger_path = tmp_path / "runs.jsonl"
+        assert (
+            main(["sweep", "--linkages", ",", "--ledger", str(ledger_path)])
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+        (record,) = RunLedger(ledger_path).records()
+        assert record["command"] == "sweep"
+        assert record["exit_code"] == 1
+
+
+class TestObsCommands:
+    @pytest.fixture
+    def seeded_ledger(self, tmp_path):
+        """A ledger holding a baseline run and a 50%-slower rerun."""
+        from repro.obs import RunLedger
+
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        ledger.append(
+            _synthetic_run(
+                "run-base",
+                stages=[
+                    {"stage": "reduce", "wall_seconds": 1.0},
+                    {"stage": "cluster", "wall_seconds": 0.1},
+                ],
+            )
+        )
+        ledger.append(
+            _synthetic_run(
+                "run-slow",
+                stages=[
+                    {"stage": "reduce", "wall_seconds": 1.5},
+                    {"stage": "cluster", "wall_seconds": 0.1},
+                ],
+            )
+        )
+        return path
+
+    def test_obs_runs_lists_records(self, seeded_ledger, capsys):
+        assert main(["obs", "runs", "--ledger", str(seeded_ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "run-base" in out and "run-slow" in out
+        assert "2 run(s) shown" in out
+
+    def test_obs_show_renders_stage_bars(self, seeded_ledger, capsys):
+        assert main(["obs", "show", "last", "--ledger", str(seeded_ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "run run-slow" in out
+        assert "reduce" in out and "█" in out
+
+    def test_obs_diff_within_threshold_exits_zero(self, seeded_ledger, capsys):
+        assert (
+            main(
+                [
+                    "obs",
+                    "diff",
+                    "first",
+                    "last",
+                    "--ledger",
+                    str(seeded_ledger),
+                    "--threshold",
+                    "100",
+                ]
+            )
+            == 0
+        )
+        assert "ok: no stage slower" in capsys.readouterr().out
+
+    def test_obs_diff_over_threshold_exits_one(self, seeded_ledger, capsys):
+        assert (
+            main(
+                [
+                    "obs",
+                    "diff",
+                    "run-base",
+                    "run-slow",
+                    "--ledger",
+                    str(seeded_ledger),
+                    "--threshold",
+                    "10",
+                ]
+            )
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "<-- REGRESSION" in out
+        assert "REGRESSED: reduce" in out
+
+    def test_obs_commands_are_not_recorded(self, seeded_ledger, capsys):
+        from repro.obs import RunLedger
+
+        before = len(RunLedger(seeded_ledger).records())
+        assert main(["obs", "runs", "--ledger", str(seeded_ledger)]) == 0
+        assert len(RunLedger(seeded_ledger).records()) == before
+
+    def test_missing_ledger_is_a_clean_error(self, tmp_path, capsys):
+        assert (
+            main(
+                ["obs", "runs", "--ledger", str(tmp_path / "absent.jsonl")]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_traced_ledger_run_shows_flame(self, tmp_path, capsys):
+        from repro.obs import RunLedger
+
+        path = tmp_path / "runs.jsonl"
+        record = _synthetic_run("run-traced")
+        record["trace"] = [
+            {
+                "name": "cli.pipeline",
+                "start_seconds": 0.0,
+                "end_seconds": 1.0,
+                "attributes": {},
+                "children": [
+                    {
+                        "name": "stage.reduce",
+                        "start_seconds": 0.1,
+                        "end_seconds": 0.9,
+                        "attributes": {"worker_pid": 77},
+                        "children": [],
+                    }
+                ],
+            }
+        ]
+        RunLedger(path).append(record)
+        assert main(["obs", "show", "run-traced", "--ledger", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli.pipeline" in out
+        assert "  stage.reduce" in out
+        assert "[pid 77]" in out

@@ -44,6 +44,23 @@ class TestFmtKv:
     def test_empty_and_quote_values_are_escaped(self):
         assert fmt_kv("e", a="", b='say "hi"') == 'e a="" b="say \\"hi\\""'
 
+    def test_values_with_equals_are_quoted(self):
+        assert fmt_kv("e", expr="a=b") == 'e expr="a=b"'
+
+    def test_newlines_never_break_the_line(self):
+        line = fmt_kv("e", msg="first\nsecond\rthird\ttabbed")
+        assert "\n" not in line and "\r" not in line
+        assert line == 'e msg="first\\nsecond\\rthird\\ttabbed"'
+
+    def test_backslashes_escape_unambiguously(self):
+        # A literal backslash-n must stay distinct from a real newline.
+        assert fmt_kv("e", a="x\\ny") == "e a=x\\ny"  # no quoting trigger
+        assert fmt_kv("e", a="x\\n y") == 'e a="x\\\\n y"'
+        assert fmt_kv("e", a="x\ny") == 'e a="x\\ny"'
+
+    def test_non_string_values_pass_through(self):
+        assert fmt_kv("e", n=3, flag=True, none=None) == "e n=3 flag=True none=None"
+
 
 class TestGetLogger:
     def test_namespaces_under_repro(self):
@@ -85,6 +102,27 @@ class TestConfigureLogging:
         configure_logging(2, stream=stream)
         assert len(root.handlers) == before
         assert root.level == logging.DEBUG
+
+    def test_reconfiguration_redirects_stream(self, clean_repro_logger):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging(1, stream=first)
+        configure_logging(1, stream=second)
+        get_logger("engine").info("redirected")
+        assert "redirected" not in first.getvalue()
+        assert "redirected" in second.getvalue()
+
+    def test_reconfiguration_without_stream_keeps_existing(self, clean_repro_logger):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        configure_logging(2)  # level change only
+        get_logger("engine").debug("still here")
+        assert "still here" in stream.getvalue()
+
+    def test_quoted_payloads_stay_single_line(self, clean_repro_logger):
+        stream = io.StringIO()
+        configure_logging(1, stream=stream)
+        get_logger("engine").info(fmt_kv("boom", err="line1\nline2"))
+        assert len(stream.getvalue().strip().splitlines()) == 1
 
     def test_verbosity_zero_silences_info(self, clean_repro_logger):
         stream = io.StringIO()

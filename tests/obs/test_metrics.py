@@ -161,3 +161,174 @@ class TestAmbientRegistry:
             assert current_metrics() is fresh
         finally:
             set_metrics(previous)
+
+
+class TestDeterministicDumps:
+    """Satellite: dump output is a function of contents, not history."""
+
+    @staticmethod
+    def _populate(registry, order):
+        ops = {
+            "a": lambda r: r.counter("alpha_total").inc(2),
+            "b": lambda r: r.counter("beta_total", shard="2").inc(1),
+            "c": lambda r: r.counter("beta_total", shard="1").inc(3),
+            "d": lambda r: r.gauge("gamma_level", zone="eu", tier="gold").set(7),
+            "e": lambda r: r.gauge("gamma_level", tier="gold", zone="eu").set(7),
+            "f": lambda r: r.histogram("delta_seconds").observe(0.5),
+        }
+        for key in order:
+            ops[key](registry)
+
+    def test_population_order_never_changes_prometheus_dump(self):
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        self._populate(forward, "abcdef")
+        self._populate(backward, "fedcba")
+        assert forward.render_prometheus() == backward.render_prometheus()
+
+    def test_label_keyword_order_never_changes_identity_or_dump(self):
+        one, two = MetricsRegistry(), MetricsRegistry()
+        self._populate(one, "d")
+        self._populate(two, "e")
+        assert one.render_prometheus() == two.render_prometheus()
+        assert one.as_dict() == two.as_dict()
+
+    def test_as_dict_and_snapshot_are_sorted(self):
+        registry = MetricsRegistry()
+        self._populate(registry, "fedcba")
+        names = list(registry.as_dict())
+        assert names == sorted(names)
+        snapshot_names = [
+            (i["name"], i["labels"]) for i in registry.snapshot()["instruments"]
+        ]
+        assert snapshot_names == sorted(snapshot_names)
+
+
+class TestHistogramReservoir:
+    """Satellite: optional max_samples cap via Algorithm R."""
+
+    def test_uncapped_by_default(self):
+        histogram = Histogram()
+        for i in range(5000):
+            histogram.observe(float(i))
+        assert len(histogram.samples) == 5000
+
+    def test_cap_bounds_memory_but_keeps_exact_count_sum_max(self):
+        histogram = Histogram(max_samples=100)
+        for i in range(10_000):
+            histogram.observe(float(i))
+        assert len(histogram.samples) == 100
+        assert histogram.count == 10_000
+        assert histogram.total == sum(range(10_000))
+        assert histogram.max == 9999.0
+        summary = histogram.summary()
+        assert summary["count"] == 10_000
+        assert summary["sum"] == pytest.approx(float(sum(range(10_000))))
+
+    def test_percentiles_stay_within_tolerance_under_capping(self):
+        exact = Histogram()
+        capped = Histogram(max_samples=500)
+        # Fixed-seed reservoir + deterministic input -> reproducible
+        # estimates; a uniform ramp makes the expected quantiles obvious.
+        for i in range(20_000):
+            value = float(i % 1000)
+            exact.observe(value)
+            capped.observe(value)
+        for q in (50.0, 90.0, 99.0):
+            true = exact.percentile(q)
+            estimate = capped.percentile(q)
+            assert abs(estimate - true) <= 60, (q, true, estimate)
+
+    def test_cap_validates(self):
+        with pytest.raises(ReproError, match="max_samples"):
+            Histogram(max_samples=0)
+
+    def test_below_cap_behaves_exactly(self):
+        capped = Histogram(max_samples=1000)
+        for value in (5.0, 1.0, 3.0):
+            capped.observe(value)
+        assert capped.percentile(50) == 3.0
+        assert sorted(capped.samples) == [1.0, 3.0, 5.0]
+
+    def test_registry_passes_cap_to_new_histograms(self):
+        registry = MetricsRegistry(histogram_max_samples=10)
+        histogram = registry.histogram("capped_seconds")
+        for i in range(100):
+            histogram.observe(float(i))
+        assert len(histogram.samples) == 10
+        assert histogram.count == 100
+
+
+class TestSnapshotMerge:
+    """Cross-process propagation: snapshot on the worker, merge here."""
+
+    def test_round_trip_preserves_every_kind(self):
+        child = MetricsRegistry()
+        child.counter("runs_total").inc(3)
+        child.gauge("level", zone="eu").set(4.5)
+        child.histogram("lat_seconds").observe(0.1)
+        child.histogram("lat_seconds").observe(0.3)
+        parent = MetricsRegistry()
+        parent.merge(child.snapshot())
+        assert parent.as_dict() == child.as_dict()
+        assert parent.render_prometheus() == child.render_prometheus()
+
+    def test_merge_semantics_counter_sum_gauge_last_histogram_concat(self):
+        parent = MetricsRegistry()
+        parent.counter("runs_total").inc(1)
+        parent.gauge("level").set(1.0)
+        parent.histogram("lat_seconds").observe(1.0)
+        child = MetricsRegistry()
+        child.counter("runs_total").inc(2)
+        child.gauge("level").set(9.0)
+        child.histogram("lat_seconds").observe(3.0)
+        parent.merge(child.snapshot())
+        snapshot = parent.as_dict()
+        assert snapshot["runs_total"] == 3
+        assert snapshot["level"] == 9.0
+        assert snapshot["lat_seconds"]["count"] == 2
+        assert snapshot["lat_seconds"]["max"] == 3.0
+
+    def test_merge_is_associative_over_many_children(self):
+        parent = MetricsRegistry()
+        for pid in range(4):
+            child = MetricsRegistry()
+            child.counter("runs_total").inc()
+            child.histogram("lat_seconds").observe(float(pid))
+            parent.merge(child.snapshot())
+        assert parent.as_dict()["runs_total"] == 4
+        assert parent.as_dict()["lat_seconds"]["count"] == 4
+
+    def test_merged_capped_histograms_keep_exact_totals(self):
+        parent = MetricsRegistry(histogram_max_samples=50)
+        for _ in range(3):
+            child = MetricsRegistry()
+            for i in range(1000):
+                child.histogram("lat_seconds").observe(float(i))
+            parent.merge(child.snapshot())
+        merged = parent.histogram("lat_seconds")
+        assert merged.count == 3000
+        assert merged.total == 3 * sum(range(1000))
+        assert len(merged.samples) == 50
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("runs_total", mode="parallel").inc()
+        registry.histogram("lat_seconds").observe(0.25)
+        payload = json.loads(json.dumps(registry.snapshot()))
+        fresh = MetricsRegistry()
+        fresh.merge(payload)
+        assert fresh.as_dict() == registry.as_dict()
+
+    def test_merge_rejects_unknown_kind(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ReproError, match="kind"):
+            registry.merge(
+                {
+                    "schema": 1,
+                    "instruments": [
+                        {"name": "x", "labels": [], "kind": "summary"}
+                    ],
+                }
+            )
