@@ -1,13 +1,25 @@
 #!/usr/bin/env python
-"""Compare a fresh ``BENCH_hotpaths.json`` against the committed baseline.
+"""Gate CI on the committed benchmark payloads.
 
-Usage::
+Two independent checks, composable in one invocation::
 
     python scripts/check_bench_regression.py \
         --baseline /tmp/baseline.json \
-        --fresh results/BENCH_hotpaths.json [--strict-absolute]
+        --fresh results/BENCH_hotpaths.json [--strict-absolute] \
+        --engine-caching results/BENCH_engine_caching.json
 
-Walks both payloads and compares every shared numeric leaf:
+``--baseline`` compares a fresh ``BENCH_hotpaths.json`` against the
+committed baseline.  ``--engine-caching`` gates the scheduler bench:
+the planned fan-out sweep must not be slower than serial beyond
+tolerance (speedup >= 0.9 — the plan -> execute scheduler's whole
+point is that parallelism never loses to serial, even on a 1-CPU
+runner where the planner must pick serial), the warm dedup sweep must
+execute zero compute stages, and the sharded SOM merge must be
+bitwise identical to the unsharded run.  At least one of the two
+flags is required.
+
+The baseline comparison walks both payloads over every shared numeric
+leaf:
 
 * ``speedup`` keys (vectorized-vs-scalar ratios, largely
   machine-portable): **fail** when a fresh speedup collapses below
@@ -31,6 +43,7 @@ from pathlib import Path
 
 FAIL_RATIO = 2.0
 WARN_RATIO = 1.25
+FANOUT_MIN_SPEEDUP = 0.9
 
 
 def _numeric_leaves(payload, prefix=""):
@@ -45,12 +58,71 @@ def _numeric_leaves(payload, prefix=""):
     return leaves
 
 
-def _load(path: Path):
+def _load(path: Path, *, bench: str):
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
-    if payload.get("bench") != "hotpaths":
-        raise SystemExit(f"{path}: not a BENCH_hotpaths payload")
+    if payload.get("bench") != bench:
+        raise SystemExit(f"{path}: not a BENCH_{bench} payload")
     return payload
+
+
+def check_engine_caching(payload: dict):
+    """Yield ``(level, message)`` findings for the scheduler bench.
+
+    The fan-out gate is the PR-6 acceptance criterion: with the
+    planner choosing mode and worker count, a sweep at the planned
+    settings must never lose to serial by more than 10% — on a 1-CPU
+    runner the planner is expected to pick serial, which trivially
+    satisfies the gate.
+    """
+    fanout = payload.get("fanout")
+    if not isinstance(fanout, dict):
+        yield ("fail", "fanout: section missing from engine-caching payload")
+        return
+    speedup = fanout.get("speedup")
+    if not isinstance(speedup, (int, float)):
+        yield ("fail", "fanout.speedup: missing or non-numeric")
+    elif speedup < FANOUT_MIN_SPEEDUP:
+        yield (
+            "fail",
+            f"fanout.speedup: {speedup:.2f} < {FANOUT_MIN_SPEEDUP} "
+            f"(planned mode {fanout.get('planned_mode')!r} on "
+            f"{fanout.get('available_cpus')} CPU(s) lost to serial)",
+        )
+    else:
+        yield (
+            "ok",
+            f"fanout.speedup: {speedup:.2f} >= {FANOUT_MIN_SPEEDUP} "
+            f"(planned mode {fanout.get('planned_mode')!r}, "
+            f"{fanout.get('planned_workers')} worker(s))",
+        )
+    warm_computed = fanout.get("warm_computed_stages")
+    if warm_computed is None:
+        yield ("warn", "fanout.warm_computed_stages: missing")
+    elif warm_computed != 0:
+        yield (
+            "fail",
+            f"fanout.warm_computed_stages: {warm_computed} stage(s) "
+            "recomputed on a fully warm cache (dedup/replay broken)",
+        )
+    else:
+        yield ("ok", "fanout.warm_computed_stages: 0 (warm sweep replays)")
+    sharded = payload.get("sharded")
+    if not isinstance(sharded, dict):
+        yield ("fail", "sharded: section missing from engine-caching payload")
+    elif sharded.get("bitwise_identical") is not True:
+        yield (
+            "fail",
+            f"sharded.bitwise_identical: {sharded.get('bitwise_identical')!r}"
+            " (sharded SOM merge diverged from the unsharded run)",
+        )
+    else:
+        yield (
+            "ok",
+            f"sharded.bitwise_identical: true "
+            f"({sharded.get('shards')} shard(s), "
+            f"{sharded.get('workers')} worker(s))",
+        )
 
 
 def compare(baseline: dict, fresh: dict, *, strict_absolute: bool):
@@ -94,7 +166,11 @@ def compare(baseline: dict, fresh: dict, *, strict_absolute: bool):
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        help="committed BENCH_hotpaths baseline to compare --fresh against",
+    )
     parser.add_argument(
         "--fresh",
         type=Path,
@@ -107,22 +183,36 @@ def main(argv=None) -> int:
         help="also fail (not just warn) on >2x absolute wall-time growth; "
         "use when baseline and fresh ran on the same machine",
     )
+    parser.add_argument(
+        "--engine-caching",
+        type=Path,
+        help="BENCH_engine_caching payload to gate (fan-out speedup >= "
+        f"{FANOUT_MIN_SPEEDUP}, warm sweep computes 0 stages, sharded "
+        "merge bitwise identical)",
+    )
     args = parser.parse_args(argv)
+    if args.baseline is None and args.engine_caching is None:
+        parser.error("pass --baseline and/or --engine-caching")
 
-    baseline = _load(args.baseline)
-    fresh = _load(args.fresh)
+    findings = []
+    if args.baseline is not None:
+        baseline = _load(args.baseline, bench="hotpaths")
+        fresh = _load(args.fresh, bench="hotpaths")
+        findings.extend(
+            compare(baseline, fresh, strict_absolute=args.strict_absolute)
+        )
+    if args.engine_caching is not None:
+        payload = _load(args.engine_caching, bench="engine_caching")
+        findings.extend(check_engine_caching(payload))
 
     failures = 0
-    findings = list(
-        compare(baseline, fresh, strict_absolute=args.strict_absolute)
-    )
     for level, message in findings:
         print(f"[{level.upper()}] {message}")
         failures += level == "fail"
     if not findings:
         print("bench regression check: all comparable timings within tolerance")
     if failures:
-        print(f"bench regression check: {failures} regression(s) beyond 2x")
+        print(f"bench regression check: {failures} gate failure(s)")
         return 1
     return 0
 

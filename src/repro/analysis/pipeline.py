@@ -131,6 +131,11 @@ class WorkloadAnalysisPipeline:
         to memoize unchanged stages across runs — a sweep that varies
         only the linkage re-runs only cluster/score/recommend.  By
         default each pipeline gets a private engine.
+    som_mode:
+        SOM training mode: ``"sequential"`` (the paper's algorithm,
+        default) or ``"batch"`` (deterministic Kohonen batch update —
+        the only mode whose BMU search can be sharded; see
+        :mod:`repro.analysis.shard`).
 
     Example
     -------
@@ -153,6 +158,7 @@ class WorkloadAnalysisPipeline:
         seed: int = 11,
         custom_characterizer: "Callable[[BenchmarkSuite], CharacteristicVectors] | None" = None,
         engine: PipelineEngine | None = None,
+        som_mode: str = "sequential",
     ) -> None:
         if custom_characterizer is not None:
             if characterization != "custom":
@@ -189,6 +195,7 @@ class WorkloadAnalysisPipeline:
         )
         self._linkage = linkage
         self._seed = seed
+        self._som_mode = som_mode
         self._engine = engine if engine is not None else PipelineEngine()
 
     @staticmethod
@@ -214,6 +221,7 @@ class WorkloadAnalysisPipeline:
             speedups=self._speedups,
             cluster_counts=self._cluster_counts,
             alignment_group=self._alignment_group,
+            som_mode=self._som_mode,
         )
 
     # -- stages (individually callable, engine-free) -----------------------
@@ -293,6 +301,20 @@ class WorkloadAnalysisPipeline:
 
     def run(self, suite: BenchmarkSuite) -> AnalysisResult:
         """Execute the stage graph on the engine and bundle the artifacts."""
+        return self.run_stages(suite, self.stages())
+
+    def run_stages(
+        self, suite: BenchmarkSuite, stages: tuple[Stage, ...]
+    ) -> AnalysisResult:
+        """Execute a (possibly substituted) stage graph on the engine.
+
+        The graph must produce the same artifact names as
+        :meth:`stages` — this hook exists so callers can swap a stage
+        for a result-identical execution strategy (e.g.
+        :mod:`repro.analysis.shard` replacing the reduce stage with a
+        sharded-BMU-search variant) while reusing the coverage checks
+        and result assembly.
+        """
         self._check_speedup_coverage(suite)
         with current_tracer().span(
             "pipeline.run",
@@ -301,7 +323,7 @@ class WorkloadAnalysisPipeline:
             machine=self._machine.name if self._machine else None,
         ):
             engine_run = self._engine.run(
-                self.stages(),
+                stages,
                 {"suite": suite},
                 source_fingerprints={"suite": suite_fingerprint(suite)},
             )

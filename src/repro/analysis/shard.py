@@ -1,0 +1,195 @@
+"""Sharded execution of one large batch-SOM analysis run.
+
+Fan-out (:mod:`repro.analysis.sweep`) parallelizes *across* variants;
+this module parallelizes *within* one: the batch-mode SOM's per-epoch
+BMU search — the pipeline's dominant term — is split into contiguous
+sample shards computed by a fork pool and concatenated back.
+
+The merge is deterministic and **bitwise**: the einsum BMU kernel
+(:func:`repro.som.bmu.bmu_indices`) is row-slice invariant —
+``bmu_indices(matrix[a:b], weights)`` equals
+``bmu_indices(matrix, weights)[a:b]`` exactly, not approximately
+(pinned by ``tests/som/test_bmu_invariance.py``) — so a sharded run
+and an unsharded run produce identical weights, positions, and
+downstream clusters.  That identity is also why the hook is *not*
+part of the reduce stage's params: both runs share one cache key, so
+a sharded run's artifacts are replayed by later unsharded runs (and
+vice versa) through the shared disk cache.
+
+Only ``som_mode="batch"`` shards.  Sequential training updates the
+map after every sample draw, so its BMU searches are order-dependent
+by construction — there is nothing independent to split.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.pipeline import AnalysisResult
+from repro.analysis.sweep import PipelineVariant
+from repro.engine.executor import PipelineEngine
+from repro.engine.fanout import derive_seed, fork_available
+from repro.engine.hostinfo import available_cpus
+from repro.exceptions import MeasurementError
+from repro.obs.log import fmt_kv, get_logger
+from repro.som.bmu import bmu_indices, shard_bounds
+from repro.som.stages import SOMReduceStage
+from repro.workloads.suite import BenchmarkSuite
+
+__all__ = ["ShardedBMUSearch", "ShardedRun", "run_sharded_analysis"]
+
+_log = get_logger("analysis.shard")
+
+
+def _shard_task(payload: tuple) -> "np.ndarray":
+    """Pool body: BMU indices for one contiguous sample shard."""
+    weights, shard = payload
+    return bmu_indices(shard, weights)
+
+
+class ShardedBMUSearch:
+    """A ``bmu_search`` hook that splits the search across a fork pool.
+
+    Usable as a context manager; the pool is created lazily on the
+    first call (the hook fires once per training epoch) and reused
+    until :meth:`close`.  With one worker — or where ``fork`` is
+    unavailable — the shards are computed inline in the parent, still
+    shard by shard, so the arithmetic path (and therefore the bitwise
+    result) never depends on where the shards ran.
+
+    Parameters
+    ----------
+    shards:
+        How many contiguous sample ranges to split each search into
+        (:func:`repro.som.bmu.shard_bounds`; shards beyond the sample
+        count collapse away).
+    workers:
+        Pool size; defaults to ``min(shards, available_cpus())``.
+    """
+
+    def __init__(self, shards: int, *, workers: int | None = None) -> None:
+        if shards < 1:
+            raise MeasurementError(
+                f"ShardedBMUSearch: shards must be >= 1, got {shards}"
+            )
+        self.shards = shards
+        if workers is None:
+            workers = min(shards, available_cpus())
+        if workers < 1:
+            raise MeasurementError(
+                f"ShardedBMUSearch: workers must be >= 1, got {workers}"
+            )
+        self.workers = workers
+        self.calls = 0
+        self._pool = None
+        self._pooled = self.workers > 1 and fork_available()
+        if self.workers > 1 and not self._pooled:
+            _log.warning(
+                fmt_kv(
+                    "shard.no_fork", workers=self.workers, fallback="inline"
+                )
+            )
+
+    def __call__(self, weights: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        bounds = shard_bounds(matrix.shape[0], self.shards)
+        self.calls += 1
+        payloads = [
+            (weights, matrix[start:stop]) for start, stop in bounds
+        ]
+        if self._pooled and len(bounds) > 1:
+            if self._pool is None:
+                context = multiprocessing.get_context("fork")
+                self._pool = context.Pool(processes=self.workers)
+            parts = self._pool.map(_shard_task, payloads)
+        else:
+            parts = [_shard_task(payload) for payload in payloads]
+        return np.concatenate(parts)
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedBMUSearch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass(frozen=True)
+class ShardedRun:
+    """One sharded analysis run plus how it was split."""
+
+    result: AnalysisResult
+    seed: int
+    shards: int
+    workers: int
+    searches: int
+
+
+def run_sharded_analysis(
+    variant: PipelineVariant,
+    suite: BenchmarkSuite,
+    *,
+    shards: int,
+    workers: int | None = None,
+    cache_dir: str | Path | None = None,
+    base_seed: int = 11,
+) -> ShardedRun:
+    """Run one variant with its BMU search sharded across processes.
+
+    Requires ``variant.som_mode == "batch"``.  The variant's normal
+    stage graph executes on a normal engine — only the reduce stage is
+    swapped for one carrying the sharded search hook — so cache
+    write-through lands under the canonical stage keys and the merged
+    output is bitwise identical to an unsharded run of the same
+    variant.
+    """
+    if variant.som_mode != "batch":
+        raise MeasurementError(
+            f"run_sharded_analysis: variant {variant.name!r} uses "
+            f"som_mode={variant.som_mode!r}; only batch-mode SOM training "
+            "has an order-independent BMU search to shard"
+        )
+    seed = (
+        variant.seed
+        if variant.seed is not None
+        else derive_seed(base_seed, 0, variant.name)
+    )
+    engine = PipelineEngine(
+        disk_cache=None if cache_dir is None else str(cache_dir)
+    )
+    pipeline = variant.pipeline(seed, engine)
+    with ShardedBMUSearch(shards, workers=workers) as search:
+        stages = tuple(
+            SOMReduceStage(stage.config, mode=stage.mode, bmu_search=search)
+            if isinstance(stage, SOMReduceStage)
+            else stage
+            for stage in pipeline.stages()
+        )
+        result = pipeline.run_stages(suite, stages)
+        searches = search.calls
+    if _log.isEnabledFor(20):  # INFO
+        _log.info(
+            fmt_kv(
+                "shard.run",
+                variant=variant.name,
+                shards=search.shards,
+                workers=search.workers,
+                searches=searches,
+            )
+        )
+    return ShardedRun(
+        result=result,
+        seed=seed,
+        shards=search.shards,
+        workers=search.workers,
+        searches=searches,
+    )

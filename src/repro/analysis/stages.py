@@ -152,6 +152,8 @@ def analysis_stages(
     cluster_counts: Sequence[int] = tuple(range(2, 9)),
     alignment_group: Sequence[str] | None = None,
     mean: str = "geometric",
+    som_mode: str = "sequential",
+    som_bmu_search: Any = None,
 ) -> tuple[Stage, ...]:
     """The six paper stages, wired as one ``suite``-rooted graph.
 
@@ -170,7 +172,7 @@ def analysis_stages(
         PreprocessStage(
             style="method-bits" if characterization == "methods" else "counters"
         ),
-        SOMReduceStage(som_config),
+        SOMReduceStage(som_config, mode=som_mode, bmu_search=som_bmu_search),
         ClusterStage(linkage=linkage),
         ScoreCutsStage(
             speedups=speedups, cluster_counts=cluster_counts, mean=mean

@@ -10,12 +10,17 @@ Installed as ``repro-hmeans``.  Subcommands:
 * ``dendrogram`` — the clustering tree (Figures 4/6/8).
 * ``pipeline`` — the full end-to-end analysis with recommendation
   (``--stats`` prints the engine's per-stage instrumentation;
-  ``--cache-dir`` persists stage outputs so re-runs skip them).
+  ``--cache-dir`` persists stage outputs so re-runs skip them;
+  ``--som-mode batch --shards N`` shards the SOM's BMU search across
+  processes with a bitwise-identical merged result).
 * ``sweep`` — re-run the analysis across several linkage rules, with
-  unchanged upstream stages computed once and served from cache;
-  ``--workers N`` fans variants out across processes and
-  ``--cache-dir`` shares one persistent stage cache between workers
-  and future runs.
+  unchanged upstream stages computed once and served from cache.
+  Sweeps are planned before they run (see ``docs/SCHEDULING.md``):
+  ``--workers N|auto`` sizes the fork pool (clamped to available
+  CPUs, serial when forking would cost more than it saves),
+  ``--dry-run`` prints the plan — predicted cache hits, dedup
+  decisions, cost estimates — without executing, and ``--cache-dir``
+  shares one persistent stage cache between workers and future runs.
 * ``gaming`` — the redundancy-gaming demonstration.
 * ``subset`` — cluster-driven benchmark subsetting (one representative
   per cluster).
@@ -98,6 +103,13 @@ def _cmd_hgm_table(args: argparse.Namespace) -> str:
     return format_hgm_table(measured, plain=plain, published=hgm_table(name))
 
 
+def _workers_arg(value: str) -> int | str:
+    """``--workers`` values: a positive integer or the string 'auto'."""
+    if value == "auto":
+        return value
+    return int(value)
+
+
 def _build_pipeline(args: argparse.Namespace) -> WorkloadAnalysisPipeline:
     engine = None
     cache_dir = getattr(args, "cache_dir", None)
@@ -105,18 +117,21 @@ def _build_pipeline(args: argparse.Namespace) -> WorkloadAnalysisPipeline:
         from repro.engine import PipelineEngine
 
         engine = PipelineEngine(disk_cache=cache_dir)
+    som_mode = getattr(args, "som_mode", "sequential")
     if args.characterization in ("methods", "micro"):
         return WorkloadAnalysisPipeline(
             characterization=args.characterization,
             machine=None,
             seed=args.seed,
             engine=engine,
+            som_mode=som_mode,
         )
     return WorkloadAnalysisPipeline(
         characterization="sar",
         machine=args.machine,
         seed=args.seed,
         engine=engine,
+        som_mode=som_mode,
     )
 
 
@@ -144,7 +159,32 @@ def _cmd_dendrogram(args: argparse.Namespace) -> str:
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> str:
-    result = _build_pipeline(args).run(BenchmarkSuite.paper_suite())
+    suite = BenchmarkSuite.paper_suite()
+    shards = getattr(args, "shards", None)
+    if shards:
+        from repro.analysis.shard import run_sharded_analysis
+        from repro.analysis.sweep import PipelineVariant
+
+        if args.characterization in ("methods", "micro"):
+            characterization, machine = args.characterization, None
+        else:
+            characterization, machine = "sar", args.machine
+        sharded = run_sharded_analysis(
+            PipelineVariant(
+                name="pipeline",
+                characterization=characterization,
+                machine=machine,
+                seed=args.seed,
+                som_mode=getattr(args, "som_mode", "sequential"),
+            ),
+            suite,
+            shards=shards,
+            cache_dir=getattr(args, "cache_dir", None),
+            base_seed=args.seed,
+        )
+        result = sharded.result
+    else:
+        result = _build_pipeline(args).run(suite)
     measured = {
         cut.clusters: (cut.scores["A"], cut.scores["B"]) for cut in result.cuts
     }
@@ -157,6 +197,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
         "",
         f"recommended cluster count: {result.recommended_clusters}",
     ]
+    if shards:
+        lines.append(
+            f"sharded SOM reduce: {sharded.shards} shard(s) on "
+            f"{sharded.workers} worker(s), {sharded.searches} BMU "
+            "search(es) — merged output bitwise identical to unsharded"
+        )
     shared = result.shared_cells()
     if shared:
         lines.append("shared SOM cells (particularly similar workloads):")
@@ -220,7 +266,11 @@ def _som_stats_line(result) -> str | None:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
-    from repro.analysis.sweep import PipelineVariant, run_pipeline_variants
+    from repro.analysis.sweep import (
+        PipelineVariant,
+        plan_pipeline_variants,
+        run_pipeline_variants,
+    )
     from repro.viz.tables import format_table
 
     linkages = [name.strip() for name in args.linkages.split(",") if name.strip()]
@@ -242,12 +292,27 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         )
         for linkage in linkages
     ]
-    runs = run_pipeline_variants(
+    suite = BenchmarkSuite.paper_suite()
+    # Stage costs come from the same ledger the run records to, when
+    # one is configured — the sweep learns from its own history.
+    ledger_path = getattr(args, "ledger", None) or ledger_path_from_env()
+    plan = plan_pipeline_variants(
         variants,
-        BenchmarkSuite.paper_suite(),
+        suite,
         workers=args.workers,
         cache_dir=args.cache_dir,
         base_seed=args.seed,
+        ledger_path=ledger_path,
+    )
+    if args.dry_run:
+        return plan.render()
+    runs = run_pipeline_variants(
+        variants,
+        suite,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        base_seed=args.seed,
+        plan=plan,
     )
     rows = []
     hits = misses = disk = 0
@@ -269,9 +334,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
             hits += report.cache_hits
             misses += report.cache_misses
             disk += sum(1 for s in report.stages if s.cache_source == "disk")
-    mode = (
-        f"{args.workers} workers" if args.workers and args.workers > 1 else "serial"
-    )
+    mode = f"{plan.workers} workers" if plan.parallel else "serial"
     lines = [
         f"linkage sweep at k = {args.clusters} "
         f"({args.characterization} characterization, {mode}):",
@@ -284,6 +347,11 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         f"{misses} miss(es) across {len(runs)} runs — unchanged upstream "
         "stages computed once and reused",
     ]
+    if plan.deduped or plan.cached:
+        lines.append(
+            f"plan: {len(plan.deduped)} duplicate variant(s) elided, "
+            f"{len(plan.cached)} replayed fully from the disk cache"
+        )
     if args.cache_dir:
         lines.append(
             f"persistent stage cache: {args.cache_dir} (reused by future runs)"
@@ -542,6 +610,22 @@ def _build_parser() -> argparse.ArgumentParser:
                 help="persistent stage cache directory; re-runs with the "
                 "same configuration skip already-computed stages",
             )
+            sub.add_argument(
+                "--som-mode",
+                choices=("sequential", "batch"),
+                default="sequential",
+                help="SOM training mode (batch is deterministic and the "
+                "only shardable one)",
+            )
+            sub.add_argument(
+                "--shards",
+                type=int,
+                default=None,
+                metavar="N",
+                help="shard the batch SOM's BMU search into N sample ranges "
+                "across a process pool (requires --som-mode batch; merged "
+                "output is bitwise identical to an unsharded run)",
+            )
 
     sweep = subparsers.add_parser(
         "sweep",
@@ -573,10 +657,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--workers",
-        type=int,
+        type=_workers_arg,
         default=1,
-        help="run variants across N processes (1 = serial; identical "
-        "results either way)",
+        metavar="N|auto",
+        help="run variants across N processes ('auto' sizes the pool from "
+        "available CPUs and the cost model; explicit counts are clamped to "
+        "available CPUs with a warning; identical results either way)",
+    )
+    sweep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the sweep plan (predicted cache hits, dedup decisions, "
+        "worker count, cost estimates) without executing anything",
     )
     sweep.add_argument(
         "--cache-dir",

@@ -17,9 +17,16 @@ provides that shape as reusable machinery:
 * :class:`~repro.engine.diskcache.DiskCache` — a persistent,
   content-addressed backing store for the stage cache, so fresh
   processes still skip already-computed stages;
-* :class:`~repro.engine.fanout.FanOutExecutor` — parallel execution
-  of independent pipeline variants over a process pool sharing one
-  disk cache, with deterministic per-variant seeds.
+* :class:`~repro.engine.plan.SweepPlanner` — the thinking half of
+  fan-out: per-variant stage keys probed against the disk-cache index,
+  ledger-fed cost estimates, dedup of identical fingerprint chains,
+  and a serial-vs-parallel verdict sized to
+  :func:`~repro.engine.hostinfo.available_cpus`;
+* :class:`~repro.engine.fanout.SweepScheduler` — the acting half:
+  executes a :class:`~repro.engine.plan.SweepPlan` over a process
+  pool sharing one disk cache, with deterministic per-variant seeds
+  (:class:`~repro.engine.fanout.FanOutExecutor` remains the
+  explicit-workers façade).
 
 The six paper stages are implemented beside their subsystems
 (:mod:`repro.characterization.stages`, :mod:`repro.som.stages`,
@@ -35,17 +42,29 @@ from repro.engine.executor import (
     PipelineEngine,
     RunReport,
     StageStats,
+    precompute_stage_keys,
     run_single,
 )
 from repro.engine.fanout import (
     FanOutExecutor,
+    SweepScheduler,
     Variant,
     VariantOutcome,
     derive_seed,
+    derive_seeds,
     fork_available,
     run_many,
 )
 from repro.engine.fingerprint import combine, fingerprint
+from repro.engine.hostinfo import available_cpus
+from repro.engine.plan import (
+    PlanEntry,
+    StageCostModel,
+    StagePlan,
+    SweepPlan,
+    SweepPlanner,
+    VariantPlan,
+)
 from repro.engine.stage import FunctionStage, RunContext, Stage
 from repro.engine.store import (
     Artifact,
@@ -71,13 +90,23 @@ __all__ = [
     "RunReport",
     "StageStats",
     "run_single",
+    "precompute_stage_keys",
     "DiskCache",
     "DiskCacheInfo",
     "DEFAULT_MAX_BYTES",
     "FanOutExecutor",
+    "SweepScheduler",
     "Variant",
     "VariantOutcome",
     "derive_seed",
+    "derive_seeds",
     "fork_available",
     "run_many",
+    "available_cpus",
+    "PlanEntry",
+    "StageCostModel",
+    "StagePlan",
+    "SweepPlan",
+    "SweepPlanner",
+    "VariantPlan",
 ]

@@ -165,6 +165,18 @@ class DiskCache:
 
     # -- core protocol -----------------------------------------------------
 
+    def contains(self, key: str) -> bool:
+        """Whether an entry for ``key`` is on disk, without reading it.
+
+        A pure index probe (one ``stat``): it does not deserialize the
+        payload, bump the LRU clock, or touch the hit/miss counters —
+        planners call this per variant per stage, and a probe is a
+        prediction, not a cache access.  A ``True`` here can still turn
+        into a miss at execution time (corrupt entry, concurrent
+        eviction); callers must treat it as a hint.
+        """
+        return self.path_for(key).is_file()
+
     def get(self, key: str, *, stage: str = "") -> dict[str, Any] | None:
         """Cached outputs for ``key``, or ``None``; never raises on bad data.
 

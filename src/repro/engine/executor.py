@@ -50,6 +50,7 @@ __all__ = [
     "EngineRun",
     "PipelineEngine",
     "run_single",
+    "precompute_stage_keys",
 ]
 
 StageHook = Callable[["StageStats"], None]
@@ -411,6 +412,42 @@ def _topological_order(
         ordered.append(nxt)
         ready.update(nxt.outputs)
     return ordered
+
+
+def precompute_stage_keys(
+    stages: Sequence[Stage],
+    source_fingerprints: Mapping[str, str],
+) -> dict[str, str]:
+    """Every stage's cache key, computed without executing anything.
+
+    Walks the graph in topological order, deriving each intermediate
+    artifact's fingerprint as ``H(producer key, name)`` — exactly the
+    provenance chain :meth:`PipelineEngine._run_stage` builds while
+    executing — so the returned keys are the ones an actual run would
+    probe the caches with.  This is what lets a scheduler predict
+    cache hits and dedup identical variants *before* spawning workers.
+
+    ``source_fingerprints`` must cover every source artifact the graph
+    consumes (content hashes, e.g.
+    :func:`repro.analysis.stages.suite_fingerprint`); unlike
+    :meth:`PipelineEngine.run` there are no values to fall back on.
+    The result is ordered by execution position.
+    """
+    ordered = _topological_order(stages, set(source_fingerprints))
+    prints = dict(source_fingerprints)
+    keys: dict[str, str] = {}
+    for stage in ordered:
+        missing = sorted(set(stage.inputs) - set(prints))
+        if missing:
+            raise EngineError(
+                f"precompute_stage_keys: stage {stage.name!r} consumes "
+                f"unfingerprinted sources {missing}"
+            )
+        key = combine(stage.signature, *[prints[name] for name in stage.inputs])
+        keys[stage.name] = key
+        for name in stage.outputs:
+            prints[name] = combine(key, name)
+    return keys
 
 
 def run_single(stage: Stage, inputs: Mapping[str, Any]) -> dict[str, Any]:

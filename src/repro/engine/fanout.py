@@ -1,10 +1,22 @@
-"""Parallel fan-out over independent pipeline variants.
+"""Plan-driven fan-out over independent pipeline variants.
 
 A sweep — linkage rules, k grids, ablation matrices — is a set of
-*independent* runs that differ in one knob.  :class:`FanOutExecutor`
-executes such a set across a process pool (``fork``), falling back to
-in-process serial execution when ``workers=1`` or the platform has no
-``fork`` start method, with identical results either way:
+*independent* runs that differ in one knob.  Execution is split into
+two phases:
+
+1. **plan** — :class:`repro.engine.plan.SweepPlanner` predicts each
+   variant's cache hits (stage keys precomputed via
+   :func:`repro.engine.executor.precompute_stage_keys`, probed against
+   the :class:`~repro.engine.diskcache.DiskCache` index), prices the
+   work with ledger-fed stage costs, dedups variants whose fingerprint
+   chains coincide, and decides serial vs parallel + worker count from
+   :func:`~repro.engine.hostinfo.available_cpus`;
+2. **execute** — :class:`SweepScheduler` carries the plan out: pool
+   variants fork (``fork`` start method), while duplicates and
+   fully-cached variants replay in the parent against the shared
+   cache, never occupying a worker.
+
+Every path makes the same guarantees:
 
 * **deterministic seeds** — a variant without an explicit seed gets
   one derived from ``H(base_seed, index, name)``, the same value in
@@ -25,9 +37,14 @@ in-process serial execution when ``workers=1`` or the platform has no
   concatenate).  Serial and parallel runs therefore produce
   structurally identical traces and identical merged counter totals.
 
-The executor is generic: it runs any picklable module-level
-``task(params, seed) -> value``.  The analysis-pipeline wiring lives
-in :mod:`repro.analysis.sweep`.
+:class:`FanOutExecutor` and :func:`run_many` remain as façades with
+their original signatures and their original *explicit* worker
+semantics — ``workers=3`` means three forks, capped only by variant
+count — because callers of the raw executor are saying how to run,
+not asking.  Cost-model scheduling (CPU clamping, dedup, serial
+fallback) applies on the planned path:
+:func:`repro.analysis.sweep.run_pipeline_variants` and the ``sweep``
+CLI plan first, then hand the plan to a :class:`SweepScheduler`.
 """
 
 from __future__ import annotations
@@ -40,6 +57,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.engine.hostinfo import available_cpus
+from repro.engine.plan import PlanEntry, SweepPlan, SweepPlanner
 from repro.exceptions import EngineError
 from repro.obs.log import fmt_kv, get_logger
 from repro.obs.metrics import MetricsRegistry, current_metrics, use_metrics
@@ -55,8 +74,10 @@ __all__ = [
     "Variant",
     "VariantOutcome",
     "FanOutExecutor",
+    "SweepScheduler",
     "run_many",
     "derive_seed",
+    "derive_seeds",
     "fork_available",
 ]
 
@@ -81,6 +102,20 @@ def derive_seed(base_seed: int, index: int, name: str) -> int:
         f"{base_seed}:{index}:{name}".encode("utf-8")
     ).digest()
     return int.from_bytes(digest[:4], "big")
+
+
+def derive_seeds(variants: Sequence["Variant"], base_seed: int) -> list[int]:
+    """Each variant's effective seed: its own, or the derived default.
+
+    The single source of truth shared by the executor and the planner,
+    so a plan's seeds always match what execution will use.
+    """
+    return [
+        variant.seed
+        if variant.seed is not None
+        else derive_seed(base_seed, index, variant.name)
+        for index, variant in enumerate(variants)
+    ]
 
 
 @dataclass(frozen=True)
@@ -152,8 +187,196 @@ def _invoke(payload: _InvokePayload) -> _InvokeResult:
     return value, wall, os.getpid(), span_payload, child_metrics.snapshot()
 
 
+def _check_variants(variants: Sequence[Variant], caller: str) -> None:
+    if not variants:
+        raise EngineError(f"{caller}: no variants")
+    names = [v.name for v in variants]
+    if len(set(names)) != len(names):
+        duplicated = sorted({n for n in names if names.count(n) > 1})
+        raise EngineError(f"{caller}: duplicate variant names {duplicated}")
+
+
+class SweepScheduler:
+    """Executes a :class:`~repro.engine.plan.SweepPlan` over variants.
+
+    The acting half of the plan/execute split: the plan says which
+    variants deserve a pool worker (``pool_eligible``) and how many
+    workers to fork; the scheduler forks exactly those, then replays
+    duplicates and predicted-cached variants in the parent process —
+    after the pool, so their fingerprints find a warm shared cache.
+    Telemetry (spans grafted in variant order, metrics merged) is
+    structurally identical however the plan splits the work.
+
+    Parameters
+    ----------
+    task:
+        Module-level callable ``task(params, seed) -> value``; must be
+        picklable for parallel plans.
+    initializer / initargs:
+        Per-process setup, exactly as :class:`multiprocessing.Pool`
+        takes it.  Runs in every pool worker and — when any variant
+        executes in the parent — once in the parent too, so both
+        lifecycles match serial execution.
+    tracer / metrics:
+        Explicit observability sinks; default to the ambient ones.
+    """
+
+    def __init__(
+        self,
+        task: TaskFn,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+        tracer: Tracer | NullTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._task = task
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._tracer = tracer
+        self._metrics = metrics
+
+    def execute(
+        self, plan: SweepPlan, variants: Sequence[Variant]
+    ) -> list[VariantOutcome]:
+        """Run ``variants`` as ``plan`` dictates; outcomes in variant order."""
+        _check_variants(variants, "SweepScheduler.execute")
+        planned = {vp.name: vp for vp in plan.variants}
+        missing = [v.name for v in variants if v.name not in planned]
+        if missing or len(variants) != len(plan.variants):
+            raise EngineError(
+                f"SweepScheduler.execute: plan covers "
+                f"{sorted(planned)} but got variants "
+                f"{[v.name for v in variants]}"
+            )
+
+        parallel = plan.parallel
+        if parallel and not fork_available():
+            _log.warning(
+                fmt_kv(
+                    "fanout.no_fork",
+                    requested_workers=plan.workers,
+                    fallback="serial",
+                )
+            )
+            parallel = False
+
+        tracer = self._tracer if self._tracer is not None else current_tracer()
+        metrics = (
+            self._metrics if self._metrics is not None else current_metrics()
+        )
+        mode = "parallel" if parallel else "serial"
+        workers = plan.workers if parallel else 1
+        traced = bool(getattr(tracer, "enabled", False))
+        pooled = [
+            parallel and planned[variant.name].pool_eligible
+            for variant in variants
+        ]
+        payloads: list[_InvokePayload] = [
+            (
+                self._task,
+                dict(variant.params),
+                planned[variant.name].seed,
+                variant.name,
+                "parallel" if in_pool else "serial",
+                traced,
+            )
+            for variant, in_pool in zip(variants, pooled)
+        ]
+        started = time.perf_counter()
+        with tracer.span(
+            "fanout.run", variants=len(payloads), workers=workers, mode=mode
+        ) as run_span:
+            results: list[_InvokeResult | None] = [None] * len(payloads)
+            if parallel:
+                pool_indices = [i for i, in_pool in enumerate(pooled) if in_pool]
+                context = multiprocessing.get_context("fork")
+                with context.Pool(
+                    processes=workers,
+                    initializer=self._initializer,
+                    initargs=self._initargs,
+                ) as pool:
+                    pool_results = pool.map(
+                        _invoke, [payloads[i] for i in pool_indices]
+                    )
+                for index, result in zip(pool_indices, pool_results):
+                    results[index] = result
+            # Everything the pool did not take — all variants in serial
+            # mode, duplicates and predicted-cached variants in
+            # parallel mode — runs here, after the pool, so replays
+            # land on the cache the workers just populated.
+            parent_indices = [
+                i for i, result in enumerate(results) if result is None
+            ]
+            if parent_indices and self._initializer is not None:
+                self._initializer(*self._initargs)
+            for index in parent_indices:
+                results[index] = _invoke(payloads[index])
+
+            outcomes = []
+            for payload, result in zip(payloads, results):
+                assert result is not None
+                value, wall, pid, span_payload, snapshot = result
+                _task, _params, seed, name, _mode, _traced = payload
+                # Graft the child's real span tree (true start/end
+                # timestamps, worker pid) under fanout.run and fold its
+                # metrics into the ambient registry: the trace and the
+                # counters come out the same whether the variant ran
+                # here or in a pool process.
+                if span_payload is not None:
+                    tracer.graft(span_from_payload(span_payload))
+                metrics.merge(snapshot)
+                outcomes.append(
+                    VariantOutcome(
+                        name=name,
+                        seed=seed,
+                        value=value,
+                        wall_seconds=wall,
+                        worker_pid=pid,
+                    )
+                )
+            run_span.set(wall_seconds=time.perf_counter() - started)
+
+        metrics.counter("repro_fanout_variants_total").inc(len(outcomes))
+        metrics.gauge("repro_fanout_workers").set(workers)
+        metrics.gauge("repro_fanout_available_cpus").set(plan.cpus)
+        if plan.deduped:
+            metrics.counter("repro_fanout_deduped_total").inc(
+                len(plan.deduped)
+            )
+        if plan.cached:
+            metrics.counter("repro_fanout_cache_replays_total").inc(
+                len(plan.cached)
+            )
+        for outcome in outcomes:
+            metrics.histogram("repro_fanout_variant_seconds").observe(
+                outcome.wall_seconds
+            )
+        if _log.isEnabledFor(20):  # INFO
+            _log.info(
+                fmt_kv(
+                    "fanout.run",
+                    variants=len(outcomes),
+                    mode=mode,
+                    workers=workers,
+                    deduped=len(plan.deduped),
+                    cached=len(plan.cached),
+                    wall_s=time.perf_counter() - started,
+                )
+            )
+        return outcomes
+
+
 class FanOutExecutor:
-    """Runs one task over many variants, in parallel when it can.
+    """Runs one task over many variants, in parallel when told to.
+
+    A façade over the plan/execute machinery with **explicit** worker
+    semantics: the requested count is honored exactly, capped only by
+    variant count — no CPU clamping, no cost model.  Sweep-level
+    callers that want scheduling decisions plan with
+    :class:`~repro.engine.plan.SweepPlanner` and execute with
+    :class:`SweepScheduler` directly (see
+    :func:`repro.analysis.sweep.run_pipeline_variants`).
 
     Parameters
     ----------
@@ -162,8 +385,10 @@ class FanOutExecutor:
         picklable for ``workers > 1``.
     workers:
         Process count.  ``1`` (default) runs serially in-process;
-        ``None`` means one per CPU.  Requests above 1 degrade to
-        serial (with a warning) when the platform lacks ``fork``.
+        ``None`` means one per *available* CPU
+        (:func:`~repro.engine.hostinfo.available_cpus`, which honors
+        the affinity mask).  Requests above 1 degrade to serial (with
+        a warning) when the platform lacks ``fork``.
     base_seed:
         Root of the deterministic per-variant seed derivation, used
         for variants that do not pin their own seed.
@@ -188,16 +413,19 @@ class FanOutExecutor:
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers is None:
-            workers = os.cpu_count() or 1
+            workers = available_cpus()
         if workers < 1:
             raise EngineError(f"FanOutExecutor: workers must be >= 1, got {workers}")
         self._task = task
         self._workers = workers
         self._base_seed = base_seed
-        self._initializer = initializer
-        self._initargs = tuple(initargs)
-        self._tracer = tracer
-        self._metrics = metrics
+        self._scheduler = SweepScheduler(
+            task,
+            initializer=initializer,
+            initargs=initargs,
+            tracer=tracer,
+            metrics=metrics,
+        )
 
     @property
     def workers(self) -> int:
@@ -206,107 +434,17 @@ class FanOutExecutor:
 
     def run_many(self, variants: Sequence[Variant]) -> list[VariantOutcome]:
         """Execute every variant; outcomes come back in variant order."""
-        if not variants:
-            raise EngineError("FanOutExecutor.run_many: no variants")
-        names = [v.name for v in variants]
-        if len(set(names)) != len(names):
-            duplicated = sorted({n for n in names if names.count(n) > 1})
-            raise EngineError(
-                f"FanOutExecutor.run_many: duplicate variant names {duplicated}"
-            )
-        seeds = [
-            variant.seed
-            if variant.seed is not None
-            else derive_seed(self._base_seed, index, variant.name)
-            for index, variant in enumerate(variants)
-        ]
-        workers = min(self._workers, len(variants))
-        parallel = workers > 1
-        if parallel and not fork_available():
-            _log.warning(
-                fmt_kv(
-                    "fanout.no_fork",
-                    requested_workers=workers,
-                    fallback="serial",
-                )
-            )
-            parallel = False
-
-        tracer = self._tracer if self._tracer is not None else current_tracer()
-        metrics = (
-            self._metrics if self._metrics is not None else current_metrics()
+        _check_variants(variants, "FanOutExecutor.run_many")
+        seeds = derive_seeds(variants, self._base_seed)
+        plan = SweepPlanner().plan(
+            [
+                PlanEntry(name=variant.name, seed=seed)
+                for variant, seed in zip(variants, seeds)
+            ],
+            workers=self._workers,
+            policy="explicit",
         )
-        mode = "parallel" if parallel else "serial"
-        traced = bool(getattr(tracer, "enabled", False))
-        payloads: list[_InvokePayload] = [
-            (self._task, dict(variant.params), seed, variant.name, mode, traced)
-            for variant, seed in zip(variants, seeds)
-        ]
-        started = time.perf_counter()
-        with tracer.span(
-            "fanout.run", variants=len(payloads), workers=workers, mode=mode
-        ) as run_span:
-            if parallel:
-                results = self._run_parallel(payloads, workers)
-            else:
-                results = self._run_serial(payloads)
-            outcomes = []
-            for payload, (value, wall, pid, span_payload, snapshot) in zip(
-                payloads, results
-            ):
-                _task, _params, seed, name, _mode, _traced = payload
-                # Graft the child's real span tree (true start/end
-                # timestamps, worker pid) under fanout.run and fold its
-                # metrics into the ambient registry: the trace and the
-                # counters come out the same whether the variant ran
-                # here or in a pool process.
-                if span_payload is not None:
-                    tracer.graft(span_from_payload(span_payload))
-                metrics.merge(snapshot)
-                outcomes.append(
-                    VariantOutcome(
-                        name=name,
-                        seed=seed,
-                        value=value,
-                        wall_seconds=wall,
-                        worker_pid=pid,
-                    )
-                )
-            run_span.set(wall_seconds=time.perf_counter() - started)
-
-        metrics.counter("repro_fanout_variants_total").inc(len(outcomes))
-        metrics.gauge("repro_fanout_workers").set(workers if parallel else 1)
-        for outcome in outcomes:
-            metrics.histogram("repro_fanout_variant_seconds").observe(
-                outcome.wall_seconds
-            )
-        if _log.isEnabledFor(20):  # INFO
-            _log.info(
-                fmt_kv(
-                    "fanout.run",
-                    variants=len(outcomes),
-                    mode=mode,
-                    workers=workers if parallel else 1,
-                    wall_s=time.perf_counter() - started,
-                )
-            )
-        return outcomes
-
-    def _run_serial(self, payloads: list[_InvokePayload]) -> list[_InvokeResult]:
-        if self._initializer is not None:
-            self._initializer(*self._initargs)
-        return [_invoke(payload) for payload in payloads]
-
-    def _run_parallel(
-        self, payloads: list[_InvokePayload], workers: int
-    ) -> list[_InvokeResult]:
-        context = multiprocessing.get_context("fork")
-        with context.Pool(
-            processes=workers,
-            initializer=self._initializer,
-            initargs=self._initargs,
-        ) as pool:
-            return pool.map(_invoke, payloads)
+        return self._scheduler.execute(plan, variants)
 
 
 def run_many(

@@ -187,6 +187,10 @@ class RunRecorder:
             trace = [
                 root.to_payload() for root in tracer.roots if root.finished
             ]
+        # Local import: repro.engine packages import this module at
+        # load time, so a top-level import would be circular.
+        from repro.engine.hostinfo import available_cpus
+
         return {
             "schema": SCHEMA_VERSION,
             "run_id": _new_run_id(self.command),
@@ -195,6 +199,7 @@ class RunRecorder:
             "args": self.args,
             "args_fingerprint": _args_fingerprint(self.args),
             "pid": os.getpid(),
+            "available_cpus": available_cpus(),
             "wall_seconds": time.perf_counter() - self._started,
             "exit_code": exit_code,
             "stages": stages,
@@ -306,6 +311,42 @@ class RunLedger:
                 if isinstance(record, dict) and record.get("run_id"):
                     records.append(record)
         return records
+
+    def stage_costs(self, *, limit: int = 50) -> dict[str, float]:
+        """Mean *computed* wall seconds per stage over recent runs.
+
+        The empirical half of the scheduler's cost model: scans the
+        newest ``limit`` records and averages ``wall_seconds`` of the
+        stage entries that actually computed (``cache_source ==
+        "compute"``) — cache hits would drag the estimate toward zero
+        and metrics-derived entries (``cache_source is None``) cannot
+        be attributed.  Stages never seen computing are absent; a
+        missing or empty ledger yields ``{}`` so planners can always
+        call this and fall back to static costs.
+        """
+        try:
+            records = self.records()
+        except ReproError:
+            return {}
+        totals: dict[str, tuple[float, int]] = {}
+        for record in records[-max(1, limit):]:
+            for stage in record.get("stages") or ():
+                if not isinstance(stage, Mapping):
+                    continue
+                if stage.get("cache_source") != "compute":
+                    continue
+                name = stage.get("stage")
+                try:
+                    wall = float(stage.get("wall_seconds"))
+                except (TypeError, ValueError):
+                    continue
+                if not isinstance(name, str) or wall < 0:
+                    continue
+                total, count = totals.get(name, (0.0, 0))
+                totals[name] = (total + wall, count + 1)
+        return {
+            name: total / count for name, (total, count) in totals.items()
+        }
 
     def find(self, ref: str) -> dict[str, Any]:
         """Resolve one run by reference.

@@ -24,7 +24,7 @@ from __future__ import annotations
 import inspect
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.exceptions import SOMError
 from repro.obs.log import fmt_kv, get_logger
 from repro.obs.metrics import current_metrics
 from repro.obs.trace import current_tracer
+from repro.som.bmu import bmu_indices
 from repro.som.decay import DecaySchedule, resolve_decay
 from repro.som.grid import Grid
 from repro.som.initialization import resolve_initializer
@@ -229,6 +230,7 @@ class SelfOrganizingMap:
         *,
         mode: str = "sequential",
         track_quality_every: int = 0,
+        bmu_search: "Callable[[np.ndarray, np.ndarray], np.ndarray] | None" = None,
     ) -> "SelfOrganizingMap":
         """Train the map on characteristic vectors (samples in rows).
 
@@ -236,6 +238,13 @@ class SelfOrganizingMap:
         per-sample updates); ``mode="batch"`` is the deterministic
         batch rule, useful when bit-for-bit reproducibility across
         sample orderings matters.
+
+        ``bmu_search`` (batch mode only) swaps the per-epoch BMU
+        search for a custom ``search(weights, matrix) -> indices``
+        callable — the hook sharded executors use to fan the search
+        out across processes.  Because the default search is already
+        shard-invariant (:func:`repro.som.bmu.bmu_indices`), any hook
+        built on the same kernel trains bitwise-identical weights.
 
         ``track_quality_every`` (sequential mode only): when positive,
         record the quantization error every that-many steps into
@@ -256,6 +265,12 @@ class SelfOrganizingMap:
         """
         if track_quality_every < 0:
             raise SOMError("SOM: track_quality_every must be >= 0")
+        if bmu_search is not None and mode != "batch":
+            raise SOMError(
+                "SOM: bmu_search is a batch-mode hook; sequential training "
+                "updates weights after every single draw and cannot delegate "
+                "its search"
+            )
         matrix = self._as_data(data)
         tracer = current_tracer()
         started = time.perf_counter()
@@ -276,7 +291,11 @@ class SelfOrganizingMap:
             if mode == "sequential":
                 self._fit_sequential(matrix, rng, track_quality_every)
             elif mode == "batch":
-                self._fit_batch(matrix, track_quality_every=track_quality_every)
+                self._fit_batch(
+                    matrix,
+                    track_quality_every=track_quality_every,
+                    bmu_search=bmu_search,
+                )
             else:
                 raise SOMError(
                     f"SOM: unknown training mode {mode!r}; "
@@ -551,6 +570,7 @@ class SelfOrganizingMap:
         *,
         epochs: int = 50,
         track_quality_every: int = 0,
+        bmu_search: "Callable[[np.ndarray, np.ndarray], np.ndarray] | None" = None,
     ) -> None:
         assert self._weights is not None
         denominator = max(epochs - 1, 1)
@@ -558,7 +578,7 @@ class SelfOrganizingMap:
         for epoch in range(epochs):
             if tracer.enabled:
                 with tracer.span("som.epoch", epoch=epoch) as span:
-                    self._batch_epoch(matrix, epoch / denominator)
+                    self._batch_epoch(matrix, epoch / denominator, bmu_search)
                     # Opt-in, as in sequential mode: per-epoch quality
                     # costs a full distance pass.
                     if track_quality_every:
@@ -570,14 +590,22 @@ class SelfOrganizingMap:
                     else:
                         span.set(quantization_error_skipped=True)
             else:
-                self._batch_epoch(matrix, epoch / denominator)
+                self._batch_epoch(matrix, epoch / denominator, bmu_search)
         self._epochs_trained = epochs
 
-    def _batch_epoch(self, matrix: np.ndarray, progress: float) -> None:
+    def _batch_epoch(
+        self,
+        matrix: np.ndarray,
+        progress: float,
+        bmu_search: "Callable[[np.ndarray, np.ndarray], np.ndarray] | None" = None,
+    ) -> None:
         """One deterministic Kohonen batch update."""
         assert self._weights is not None
         sigma = self._sigma(progress)
-        bmus = self._bmus_of(matrix)
+        if bmu_search is not None:
+            bmus = np.asarray(bmu_search(self._weights, matrix))
+        else:
+            bmus = self._bmus_of(matrix)
         influence = self._kernel(
             self._grid.squared_distance_table[bmus], sigma
         )  # shape (n_samples, n_units)
@@ -596,10 +624,11 @@ class SelfOrganizingMap:
 
     def _bmus_of(self, matrix: np.ndarray) -> np.ndarray:
         assert self._weights is not None
-        # Squared distances via the expansion trick; argmin per sample.
-        cross = matrix @ self._weights.T
-        weight_norms = np.sum(self._weights * self._weights, axis=1)
-        return np.argmin(weight_norms[None, :] - 2.0 * cross, axis=1)
+        # The shard-invariant einsum search: per-row results do not
+        # depend on which other rows are in the batch, so sharded
+        # training and projection stay bitwise identical to full-matrix
+        # calls (see repro.som.bmu).
+        return bmu_indices(matrix, self._weights)
 
     def best_matching_unit(self, vector: Sequence[float] | np.ndarray) -> int:
         """Index of the unit whose weight vector is nearest to ``vector``."""

@@ -40,8 +40,16 @@ class SOMReduceStage(Stage):
     inputs = ("prepared_vectors",)
     outputs = ("som", "positions")
 
-    def __init__(self, config: SOMConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: SOMConfig | None = None,
+        *,
+        mode: str = "sequential",
+        bmu_search: Any = None,
+    ) -> None:
         self._config = config or SOMConfig()
+        self._mode = mode
+        self._bmu_search = bmu_search
 
     @property
     def config(self) -> SOMConfig:
@@ -49,9 +57,22 @@ class SOMReduceStage(Stage):
         return self._config
 
     @property
+    def mode(self) -> str:
+        """The training mode (``"sequential"`` or ``"batch"``)."""
+        return self._mode
+
+    @property
     def params(self) -> Mapping[str, Any]:
-        """The full SOM configuration (a frozen dataclass)."""
-        return {"config": self._config}
+        """The SOM configuration plus the training mode.
+
+        ``bmu_search`` is deliberately *not* part of the params: it is
+        an execution strategy, not a result knob — any hook must return
+        bitwise the same BMU indices as the built-in search (sharded
+        search does, by the row-slice invariance of the einsum kernel;
+        see ``docs/SCHEDULING.md``), so a sharded and an unsharded run
+        share one cache key and dedup against each other for free.
+        """
+        return {"config": self._config, "mode": self._mode}
 
     def run(self, ctx: RunContext) -> Mapping[str, Any]:
         """Train the map and project every workload to a cell."""
@@ -59,6 +80,8 @@ class SOMReduceStage(Stage):
         total_steps = self._config.steps_per_sample * len(prepared.labels)
         som = SelfOrganizingMap(self._config).fit(
             prepared.matrix,
+            mode=self._mode,
+            bmu_search=self._bmu_search,
             track_quality_every=max(1, total_steps // _HISTORY_POINTS),
         )
         projected = som.project(prepared.matrix)

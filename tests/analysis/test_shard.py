@@ -1,0 +1,115 @@
+"""Sharded batch-SOM execution: bitwise merge, guards, cache identity.
+
+The headline contract: a sharded run of the golden SAR configuration
+produces **bitwise identical** weights (and therefore identical
+positions, dendrogram, cuts and recommendation) to the unsharded run —
+for any shard count, pooled or inline.  Secondary contracts: only
+batch mode shards, and a sharded run writes through the *same* cache
+keys as an unsharded one, so either replays the other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.shard import (
+    ShardedBMUSearch,
+    run_sharded_analysis,
+)
+from repro.analysis.sweep import PipelineVariant
+from repro.exceptions import MeasurementError
+from repro.workloads.suite import BenchmarkSuite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return BenchmarkSuite.paper_suite()
+
+
+def _batch_variant(**overrides):
+    defaults = dict(name="batch-sar-A", som_mode="batch", seed=11)
+    defaults.update(overrides)
+    return PipelineVariant(**defaults)
+
+
+@pytest.fixture(scope="module")
+def unsharded(suite):
+    """The reference: the same variant run without sharding."""
+    return _batch_variant().pipeline(11, None).run(suite)
+
+
+class TestBitwiseMerge:
+    @pytest.mark.parametrize("shards", [2, 3, 5, 13])
+    def test_sharded_equals_unsharded_bitwise(self, suite, unsharded, shards):
+        sharded = run_sharded_analysis(
+            _batch_variant(), suite, shards=shards
+        ).result
+        np.testing.assert_array_equal(
+            sharded.som.weights, unsharded.som.weights
+        )
+        assert sharded.positions == unsharded.positions
+        assert sharded.dendrogram == unsharded.dendrogram
+        assert sharded.cuts == unsharded.cuts
+        assert (
+            sharded.recommended_clusters == unsharded.recommended_clusters
+        )
+
+    def test_pooled_workers_match_inline_bitwise(self, suite, unsharded):
+        """Forked shard workers give the same bits as the inline path."""
+        pooled = run_sharded_analysis(
+            _batch_variant(), suite, shards=2, workers=2
+        )
+        assert pooled.workers == 2
+        np.testing.assert_array_equal(
+            pooled.result.som.weights, unsharded.som.weights
+        )
+
+    def test_more_shards_than_samples_still_merge(self, suite, unsharded):
+        oversplit = run_sharded_analysis(
+            _batch_variant(), suite, shards=100
+        ).result
+        np.testing.assert_array_equal(
+            oversplit.som.weights, unsharded.som.weights
+        )
+
+
+class TestGuards:
+    def test_sequential_mode_refuses_to_shard(self, suite):
+        sequential = _batch_variant(som_mode="sequential")
+        with pytest.raises(MeasurementError, match="batch"):
+            run_sharded_analysis(sequential, suite, shards=2)
+
+    def test_bad_shard_and_worker_counts_raise(self):
+        with pytest.raises(MeasurementError, match="shards"):
+            ShardedBMUSearch(0)
+        with pytest.raises(MeasurementError, match="workers"):
+            ShardedBMUSearch(2, workers=0)
+
+    def test_search_runs_once_per_epoch(self, suite):
+        run = run_sharded_analysis(_batch_variant(), suite, shards=2)
+        assert run.searches == run.result.som.epochs_trained
+
+
+class TestCacheIdentity:
+    def test_sharded_run_warms_the_unsharded_cache(self, suite, tmp_path):
+        """bmu_search is execution strategy, not params: one cache key.
+
+        A sharded run over a cache directory must leave artifacts an
+        unsharded run of the same variant replays without computing.
+        """
+        cache_dir = tmp_path / "cache"
+        run_sharded_analysis(
+            _batch_variant(), suite, shards=3, cache_dir=cache_dir
+        )
+        from repro.engine.executor import PipelineEngine
+
+        replay = (
+            _batch_variant()
+            .pipeline(11, PipelineEngine(disk_cache=str(cache_dir)))
+            .run(suite)
+        )
+        assert all(
+            stats.cache_source in ("memory", "disk")
+            for stats in replay.run_report.stages
+        )

@@ -100,6 +100,24 @@ class TestDiskCacheBasics:
         got = fresh.get(_key())
         assert got is not None and got["count"] == 3
 
+    def test_contains_probes_without_counting(self, tmp_path):
+        """contains() is a pure index probe: no hit/miss bookkeeping."""
+        cache = DiskCache(tmp_path)
+        assert cache.contains(_key()) is False
+        cache.put(_key(), _outputs())
+        assert cache.contains(_key()) is True
+        assert cache.contains(_key(1)) is False
+        info = cache.info()
+        assert (info.hits, info.misses) == (0, 0)
+
+    def test_contains_does_not_bump_the_lru_clock(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.put(_key(), _outputs())
+        path = cache.path_for(_key())
+        os.utime(path, (1, 1))
+        cache.contains(_key())
+        assert path.stat().st_mtime == 1
+
     def test_metrics_feed_the_ambient_registry(self, tmp_path):
         registry = MetricsRegistry()
         with use_metrics(registry):

@@ -225,6 +225,53 @@ class TestRunLedger:
         assert len(ids) == 50
 
 
+class TestStageCosts:
+    def test_records_carry_available_cpus(self):
+        from repro.engine.hostinfo import available_cpus
+
+        assert _record()["available_cpus"] == available_cpus()
+
+    def test_stage_costs_average_compute_walls_only(self, tmp_path):
+        """Means per stage over compute executions; cache replays ignored."""
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        ledger.append(
+            _record(stages=[_stats("reduce", wall=1.0, source="compute")])
+        )
+        ledger.append(
+            _record(
+                stages=[
+                    _stats("reduce", wall=3.0, source="compute"),
+                    _stats("cluster", wall=9.0, source="disk", hit=True),
+                ]
+            )
+        )
+        costs = ledger.stage_costs()
+        assert costs["reduce"] == pytest.approx(2.0)
+        assert "cluster" not in costs
+
+    def test_stage_costs_honor_the_record_limit(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        for wall in (10.0, 2.0, 4.0):
+            ledger.append(
+                _record(stages=[_stats("reduce", wall=wall)])
+            )
+        assert ledger.stage_costs(limit=2)["reduce"] == pytest.approx(3.0)
+
+    def test_stage_costs_empty_on_missing_ledger(self, tmp_path):
+        assert RunLedger(tmp_path / "absent.jsonl").stage_costs() == {}
+
+    def test_stage_costs_skip_malformed_records(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs.jsonl")
+        ledger.append({"run_id": "r-bad", "stages": "not-a-list"})
+        ledger.append(
+            {"run_id": "r-bad2", "stages": [{"stage": "reduce"}]}
+        )
+        ledger.append(
+            _record(stages=[_stats("reduce", wall=5.0)])
+        )
+        assert ledger.stage_costs() == {"reduce": pytest.approx(5.0)}
+
+
 class TestLedgerEnv:
     def test_env_variable_controls_path(self, monkeypatch):
         monkeypatch.delenv(LEDGER_ENV, raising=False)

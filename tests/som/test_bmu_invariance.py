@@ -1,0 +1,124 @@
+"""The shard-invariance contract of the einsum BMU kernel.
+
+``bmu_indices`` promises that computing BMUs for a row slice of the
+sample matrix gives *bitwise* the same answers as slicing the
+full-matrix result — the property :mod:`repro.analysis.shard` builds
+its deterministic merge on.  These tests pin it (against adversarial
+shard splits and near-tie weight layouts), pin agreement with a
+brute-force nearest-weight scan, and pin the ``shard_bounds``
+partition invariants.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.som.bmu import bmu_indices, shard_bounds
+
+
+@st.composite
+def matrices_and_weights(draw):
+    samples = draw(st.integers(min_value=1, max_value=24))
+    units = draw(st.integers(min_value=1, max_value=12))
+    dim = draw(st.integers(min_value=1, max_value=8))
+    finite = st.floats(min_value=-50.0, max_value=50.0, width=32)
+    matrix = np.array(
+        draw(
+            st.lists(finite, min_size=samples * dim, max_size=samples * dim)
+        )
+    ).reshape(samples, dim)
+    weights = np.array(
+        draw(st.lists(finite, min_size=units * dim, max_size=units * dim))
+    ).reshape(units, dim)
+    return matrix, weights
+
+
+class TestRowSliceInvariance:
+    @given(matrices_and_weights(), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_equals_unsharded_bitwise(self, data, shards):
+        """Concatenating per-shard BMUs == one full-matrix call, exactly."""
+        matrix, weights = data
+        full = bmu_indices(matrix, weights)
+        parts = [
+            bmu_indices(matrix[start:stop], weights)
+            for start, stop in shard_bounds(matrix.shape[0], shards)
+        ]
+        np.testing.assert_array_equal(np.concatenate(parts), full)
+
+    @given(matrices_and_weights())
+    @settings(max_examples=60, deadline=None)
+    def test_single_rows_equal_full_matrix(self, data):
+        """The extreme split — one shard per sample — is still bitwise."""
+        matrix, weights = data
+        full = bmu_indices(matrix, weights)
+        for row in range(matrix.shape[0]):
+            assert bmu_indices(matrix[row : row + 1], weights)[0] == full[row]
+
+    def test_near_tie_distances_stay_invariant(self):
+        """Ulp-scale distance ties resolve identically under slicing.
+
+        Weights that differ in the last few bits are exactly where a
+        blocked BLAS product and a slice disagree; the einsum kernel
+        must not.
+        """
+        rng = np.random.default_rng(7)
+        base = rng.normal(size=(1, 6))
+        weights = np.repeat(base, 16, axis=0)
+        weights += rng.normal(scale=1e-15, size=weights.shape)
+        matrix = np.repeat(base, 64, axis=0) + rng.normal(
+            scale=1e-13, size=(64, 6)
+        )
+        full = bmu_indices(matrix, weights)
+        for shards in (2, 3, 7, 64):
+            parts = [
+                bmu_indices(matrix[a:b], weights)
+                for a, b in shard_bounds(64, shards)
+            ]
+            np.testing.assert_array_equal(np.concatenate(parts), full)
+
+    @given(matrices_and_weights())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force_nearest_weight(self, data):
+        """The expansion-trick argmin is the true nearest-weight index."""
+        matrix, weights = data
+        got = bmu_indices(matrix, weights)
+        for sample, index in zip(matrix, got):
+            distances = np.sum((weights - sample) ** 2, axis=1)
+            assert distances[index] == distances.min()
+
+
+class TestShardBounds:
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounds_partition_the_range(self, n_samples, shards):
+        """Bounds are contiguous, ordered, non-empty, and cover [0, n)."""
+        bounds = shard_bounds(n_samples, shards)
+        assert len(bounds) <= shards
+        position = 0
+        for start, stop in bounds:
+            assert start == position
+            assert stop > start
+            position = stop
+        assert position == n_samples
+
+    @given(
+        st.integers(min_value=1, max_value=500),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_shard_sizes_are_balanced(self, n_samples, shards):
+        """No shard is more than one row bigger than another."""
+        sizes = [stop - start for start, stop in shard_bounds(n_samples, shards)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_samples_collapse(self):
+        assert shard_bounds(3, 8) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_zero_samples_yield_no_bounds(self):
+        assert shard_bounds(0, 4) == []

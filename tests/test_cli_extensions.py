@@ -87,3 +87,60 @@ class TestPipelineAndDendrogramCommands:
         assert main(["dendrogram", "--characterization", "methods"]) == 0
         output = capsys.readouterr().out
         assert "[d=" in output
+
+
+class TestSweepPlanFlags:
+    def test_dry_run_prints_plan_without_executing(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--linkages",
+                    "complete,average",
+                    "--dry-run",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "sweep plan: 2 variant(s)" in output
+        assert "complete" in output and "average" in output
+        assert "cost sources" in output
+        # Nothing executed: the plan renders instead of the results table.
+        assert "HGM A" not in output
+        assert "engine cache" not in output
+
+    def test_workers_auto_is_accepted(self, capsys):
+        assert (
+            main(["sweep", "--linkages", "complete", "--workers", "auto", "--dry-run"])
+            == 0
+        )
+        assert "requested auto" in capsys.readouterr().out
+
+    def test_dry_run_predicts_replay_after_a_real_run(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["sweep", "--linkages", "complete", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert (
+            main(["sweep", "--linkages", "complete", "--cache-dir", cache, "--dry-run"])
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "replay (cached)" in output
+        assert "disk 6/6" in output
+
+
+class TestShardedPipelineFlags:
+    def test_sharded_batch_pipeline_runs(self, capsys):
+        assert (
+            main(["pipeline", "--som-mode", "batch", "--shards", "2"]) == 0
+        )
+        output = capsys.readouterr().out
+        assert "sharded SOM reduce: 2 shard(s)" in output
+        assert "recommended cluster count" in output
+
+    def test_shards_require_batch_mode(self, capsys):
+        assert main(["pipeline", "--shards", "2"]) == 1
+        assert "batch" in capsys.readouterr().err
