@@ -70,6 +70,7 @@ def pipeline_result(configuration: str) -> AnalysisResult:
             "som_epoch_spans": len(tracer.find("som.epoch")),
             "metrics": metrics.as_dict(),
         },
+        config={"configuration": configuration},
     )
     return result
 

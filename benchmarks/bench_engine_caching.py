@@ -285,6 +285,10 @@ def test_engine_caching_speedup(benchmark, paper_suite, tmp_path):
             },
             "metrics": metrics.as_dict(),
         },
+        config={
+            "variants": len(_FANOUT_LINKAGES),
+            "workers": _FANOUT_WORKERS,
+        },
     )
 
     emit(

@@ -254,7 +254,7 @@ def test_hotpath_kernels_speedup(benchmark):
         rounds=1,
         iterations=1,
     )
-    write_bench_json("hotpaths", payload)
+    write_bench_json("hotpaths", payload, config={"smoke": SMOKE})
 
     table_rows = []
     for shape, stats in payload["som_sequential"].items():

@@ -1,12 +1,13 @@
 #!/usr/bin/env python
-"""Gate CI on the committed benchmark payloads.
+"""Gate CI on the committed benchmark payloads and/or the run ledger.
 
-Two independent checks, composable in one invocation::
+Three independent checks, composable in one invocation::
 
     python scripts/check_bench_regression.py \
         --baseline /tmp/baseline.json \
         --fresh results/BENCH_hotpaths.json [--strict-absolute] \
-        --engine-caching results/BENCH_engine_caching.json
+        --engine-caching results/BENCH_engine_caching.json \
+        --ledger results/runs.jsonl --policy ci/slo.toml
 
 ``--baseline`` compares a fresh ``BENCH_hotpaths.json`` against the
 committed baseline.  ``--engine-caching`` gates the scheduler bench:
@@ -15,8 +16,13 @@ tolerance (speedup >= 0.9 — the plan -> execute scheduler's whole
 point is that parallelism never loses to serial, even on a 1-CPU
 runner where the planner must pick serial), the warm dedup sweep must
 execute zero compute stages, and the sharded SOM merge must be
-bitwise identical to the unsharded run.  At least one of the two
-flags is required.
+bitwise identical to the unsharded run.  ``--ledger`` gates the run
+ledger against an SLO policy file — the trailing-window trend logic
+is **not** reimplemented here; it delegates wholesale to
+:mod:`repro.obs.analytics` (the same code path as ``repro-hmeans obs
+gate``), this script only translating the violation report into the
+``[FAIL]`` findings format.  At least one of the three modes is
+required.
 
 The baseline comparison walks both payloads over every shared numeric
 leaf:
@@ -40,6 +46,10 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+# The SLO mode imports repro.obs.analytics; make the in-repo package
+# importable no matter where the script is invoked from.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 FAIL_RATIO = 2.0
 WARN_RATIO = 1.25
@@ -125,6 +135,44 @@ def check_engine_caching(payload: dict):
         )
 
 
+def check_ledger_slo(ledger_path: Path, policy_path: Path | None, last):
+    """Yield ``(level, message)`` findings from the SLO gate.
+
+    All trailing-window statistics and budget evaluation happen inside
+    :mod:`repro.obs.analytics` — this function only loads the frame,
+    runs :func:`evaluate_gate`, and reformats the report.
+    """
+    from repro.exceptions import ReproError
+    from repro.obs.analytics import LedgerFrame, SLOPolicy, evaluate_gate
+    from repro.obs.ledger import RunLedger
+
+    policy = (
+        SLOPolicy.from_file(policy_path)
+        if policy_path is not None
+        else SLOPolicy()
+    )
+    try:
+        frame = LedgerFrame.load(RunLedger(ledger_path), last=last)
+        report = evaluate_gate(frame, policy)
+    except ReproError as exc:
+        yield ("warn", f"ledger SLO gate skipped: {exc}")
+        return
+    for label, reason in sorted(report.skipped.items()):
+        yield ("warn", f"{label}: skipped ({reason})")
+    for violation in report.violations:
+        yield (
+            "fail",
+            f"{violation.group.label} {violation.stage} "
+            f"[{violation.rule}]: {violation.detail}",
+        )
+    if report.ok:
+        yield (
+            "ok",
+            f"ledger SLO gate: {len(report.checked)} stage series within "
+            f"budget over {report.runs} run(s) ({policy.source})",
+        )
+
+
 def compare(baseline: dict, fresh: dict, *, strict_absolute: bool):
     """Yield ``(level, message)`` pairs; level is ``"fail"`` or ``"warn"``."""
     comparable = baseline.get("smoke") == fresh.get("smoke")
@@ -190,9 +238,31 @@ def main(argv=None) -> int:
         f"{FANOUT_MIN_SPEEDUP}, warm sweep computes 0 stages, sharded "
         "merge bitwise identical)",
     )
+    parser.add_argument(
+        "--ledger",
+        type=Path,
+        help="run-ledger JSONL to gate against an SLO policy "
+        "(delegates to repro.obs.analytics.evaluate_gate)",
+    )
+    parser.add_argument(
+        "--policy",
+        type=Path,
+        help="SLO policy file (TOML or JSON) for --ledger; "
+        "defaults to the built-in regression-only policy",
+    )
+    parser.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        help="only consider the newest N ledger records for --ledger",
+    )
     args = parser.parse_args(argv)
-    if args.baseline is None and args.engine_caching is None:
-        parser.error("pass --baseline and/or --engine-caching")
+    if (
+        args.baseline is None
+        and args.engine_caching is None
+        and args.ledger is None
+    ):
+        parser.error("pass --baseline, --engine-caching, and/or --ledger")
 
     findings = []
     if args.baseline is not None:
@@ -204,6 +274,8 @@ def main(argv=None) -> int:
     if args.engine_caching is not None:
         payload = _load(args.engine_caching, bench="engine_caching")
         findings.extend(check_engine_caching(payload))
+    if args.ledger is not None:
+        findings.extend(check_ledger_slo(args.ledger, args.policy, args.last))
 
     failures = 0
     for level, message in findings:

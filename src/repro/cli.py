@@ -27,10 +27,17 @@ Installed as ``repro-hmeans``.  Subcommands:
 * ``confidence`` — bootstrap confidence intervals for the suite scores.
 * ``solve`` — rerun the partition-inference solver against a published
   table.
-* ``obs`` — inspect the persistent run ledger: ``obs runs`` (recent
-  runs), ``obs show RUN`` (ASCII flame view of one run's stage
-  timings), ``obs diff A B`` (per-stage wall-time deltas, nonzero
-  exit when a stage regresses past ``--threshold``).
+* ``obs`` — inspect and analyze the persistent run ledger: ``obs
+  runs`` (recent runs), ``obs show RUN`` (ASCII flame view of one
+  run's stage timings), ``obs diff A B`` (per-stage wall-time deltas,
+  nonzero exit when a stage regresses past ``--threshold``), ``obs
+  trend`` (per-stage trends with sparklines across the last N runs),
+  ``obs top`` (which stages/configs burn the most cumulative fleet
+  time), ``obs gate --policy FILE`` (SLO gate — exits nonzero with a
+  violation report when the ledger breaches the policy's budgets) and
+  ``obs prune --keep N`` (atomic ledger compaction).  Every read-only
+  ``obs`` view takes ``--json`` for schema-versioned, deterministic
+  machine-readable output.
 
 Every subcommand accepts the observability flags ``--trace FILE``
 (Chrome ``trace_event`` JSON of the run, or JSONL when the file ends
@@ -489,27 +496,110 @@ def _resolve_ledger(args: argparse.Namespace) -> RunLedger:
 
 
 def _cmd_obs(args: argparse.Namespace) -> tuple[str, int]:
-    """Dispatch ``obs runs`` / ``obs show`` / ``obs diff``."""
-    from repro.obs.render import render_diff, render_flame, render_runs_table
+    """Dispatch the ``obs`` subcommands (runs/show/diff/trend/top/gate/prune)."""
+    from repro.obs import SIZE_WARNING_BYTES, LedgerFrame, SLOPolicy, to_json
+    from repro.obs.analytics import (
+        build_top,
+        build_trend,
+        evaluate_gate,
+        gate_payload,
+        top_payload,
+        trend_payload,
+    )
+    from repro.obs.render import (
+        diff_payload,
+        render_diff,
+        render_flame,
+        render_gate,
+        render_runs_table,
+        render_top,
+        render_trend,
+        runs_payload,
+    )
 
     ledger = _resolve_ledger(args)
+    as_json = getattr(args, "json", False)
+
+    def json_text(payload) -> str:
+        # to_json ends with a newline; main() prints with one more, so
+        # strip ours to keep piped output byte-stable ("}\n", not "}\n\n").
+        return to_json(payload).rstrip("\n")
+
     if args.obs_command == "runs":
-        return render_runs_table(ledger.records(), limit=args.limit), 0
+        records = ledger.records()
+        if as_json:
+            return json_text(runs_payload(records, limit=args.limit)), 0
+        text = render_runs_table(records, limit=args.limit)
+        size = ledger.size_bytes()
+        if size > SIZE_WARNING_BYTES:
+            text += (
+                f"\nwarning: ledger is {size / 1024 / 1024:.1f} MiB "
+                f"(> {SIZE_WARNING_BYTES // 1024 // 1024} MiB); consider "
+                "`obs prune --keep N` to compact it"
+            )
+        return text, 0
     if args.obs_command == "show":
+        record = ledger.find(args.run)
+        if as_json:
+            import json as _json
+
+            return _json.dumps(record, indent=2, sort_keys=True), 0
         return (
             render_flame(
-                ledger.find(args.run),
+                record,
                 width=args.width,
                 max_depth=None if args.full else 4,
             ),
             0,
         )
-    text, regressed = render_diff(
-        ledger.find(args.run_a),
-        ledger.find(args.run_b),
-        threshold=args.threshold,
+    if args.obs_command == "diff":
+        a, b = ledger.find(args.run_a), ledger.find(args.run_b)
+        if as_json:
+            payload, regressed = diff_payload(a, b, threshold=args.threshold)
+            return json_text(payload), 1 if regressed else 0
+        text, regressed = render_diff(a, b, threshold=args.threshold)
+        return text, 1 if regressed else 0
+    if args.obs_command == "trend":
+        frame = LedgerFrame.load(
+            ledger, last=args.last, command=args.command_filter
+        )
+        report = build_trend(
+            frame,
+            stage=args.stage,
+            window=args.window,
+            tolerance_pct=args.tolerance,
+        )
+        if as_json:
+            return json_text(trend_payload(report)), 0
+        return render_trend(report), 0
+    if args.obs_command == "top":
+        frame = LedgerFrame.load(
+            ledger, last=args.last, command=args.command_filter
+        )
+        report = build_top(frame, by=args.by)
+        if as_json:
+            return json_text(top_payload(report)), 0
+        return render_top(report), 0
+    if args.obs_command == "gate":
+        policy = (
+            SLOPolicy.from_file(args.policy) if args.policy else SLOPolicy()
+        )
+        frame = LedgerFrame.load(
+            ledger, last=args.last, command=args.command_filter
+        )
+        report = evaluate_gate(frame, policy)
+        code = 0 if report.ok else 1
+        if as_json:
+            return json_text(gate_payload(report)), code
+        return render_gate(report), code
+    # obs prune
+    result = ledger.compact(args.keep)
+    return (
+        f"pruned {ledger.path}: kept {result.kept} run(s), dropped "
+        f"{result.dropped}, {result.bytes_before} -> {result.bytes_after} "
+        "bytes (atomic rewrite)",
+        0,
     )
-    return text, 1 if regressed else 0
 
 
 def _obs_parent() -> argparse.ArgumentParser:
@@ -723,7 +813,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     obs_cmd = subparsers.add_parser(
         "obs",
-        help="inspect the persistent run ledger (runs / show / diff)",
+        help="inspect the persistent run ledger "
+        "(runs / show / diff / trend / top / gate / prune)",
     )
     obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
 
@@ -736,8 +827,34 @@ def _build_parser() -> argparse.ArgumentParser:
             f"{DEFAULT_LEDGER_PATH})",
         )
 
+    def json_flag(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--json",
+            action="store_true",
+            help="emit a schema-versioned JSON payload (deterministic "
+            "key order) instead of the ASCII rendering",
+        )
+
+    def window_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--last",
+            type=int,
+            default=None,
+            metavar="N",
+            help="analyze only the newest N ledger runs (default: all)",
+        )
+        sub.add_argument(
+            "--command",
+            dest="command_filter",
+            default=None,
+            metavar="CMD",
+            help="analyze only runs of this subcommand "
+            "(e.g. sweep, pipeline, bench:hotpaths)",
+        )
+
     runs = obs_sub.add_parser("runs", help="list recent recorded runs")
     ledger_flag(runs)
+    json_flag(runs)
     runs.add_argument(
         "--limit", type=int, default=15, help="show at most N runs"
     )
@@ -746,6 +863,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "show", help="ASCII flame view of one run's stage timings"
     )
     ledger_flag(show)
+    json_flag(show)
     show.add_argument(
         "run",
         help="run to show: run-id prefix, integer index (-1 latest), "
@@ -764,6 +882,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "diff", help="per-stage wall-time deltas between two runs"
     )
     ledger_flag(diff)
+    json_flag(diff)
     diff.add_argument("run_a", help="baseline run (prefix/index/'first')")
     diff.add_argument("run_b", help="candidate run (prefix/index/'last')")
     diff.add_argument(
@@ -773,6 +892,77 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PCT",
         help="exit 1 when any stage of RUN_B is slower than RUN_A by "
         "more than PCT percent",
+    )
+
+    trend = obs_sub.add_parser(
+        "trend",
+        help="per-stage wall-time and cache-rate trends across recent runs",
+    )
+    ledger_flag(trend)
+    json_flag(trend)
+    window_flags(trend)
+    trend.add_argument(
+        "--stage",
+        default=None,
+        metavar="S",
+        help="show only this stage (across every configuration)",
+    )
+    trend.add_argument(
+        "--window",
+        type=int,
+        default=20,
+        metavar="N",
+        help="trailing-window size for the latest-vs-history comparison",
+    )
+    trend.add_argument(
+        "--tolerance",
+        type=float,
+        default=50.0,
+        metavar="PCT",
+        help="flag a stage whose latest run exceeds its trailing mean "
+        "by more than PCT percent",
+    )
+
+    top = obs_sub.add_parser(
+        "top",
+        help="which stages/configs burn the most cumulative fleet time",
+    )
+    ledger_flag(top)
+    json_flag(top)
+    window_flags(top)
+    top.add_argument(
+        "--by",
+        choices=("wall", "count"),
+        default="wall",
+        help="rank by cumulative wall seconds or by stage executions",
+    )
+
+    gate = obs_sub.add_parser(
+        "gate",
+        help="gate the ledger against an SLO policy (exit 1 on breach)",
+    )
+    ledger_flag(gate)
+    json_flag(gate)
+    window_flags(gate)
+    gate.add_argument(
+        "--policy",
+        metavar="FILE",
+        default=None,
+        help="TOML or JSON SLO policy file (default: the built-in "
+        "policy — max +50%% regression vs the trailing window)",
+    )
+
+    prune = obs_sub.add_parser(
+        "prune",
+        help="compact the ledger to its newest N runs (atomic rewrite)",
+    )
+    ledger_flag(prune)
+    prune.add_argument(
+        "--keep",
+        type=int,
+        required=True,
+        metavar="N",
+        help="number of newest runs to keep",
     )
     return parser
 

@@ -1,0 +1,1036 @@
+"""Fleet analytics over the run ledger: trends, top costs, SLO gates.
+
+The ledger (:mod:`repro.obs.ledger`) records every invocation's
+per-stage walls, cache sources and metrics, but each record describes
+*one* run.  This module reads the ledger as the longitudinal telemetry
+stream it imitates:
+
+* :class:`LedgerFrame` loads a window of recent records and groups
+  them into per-stage time series keyed by ``command`` + argument
+  fingerprint, so only apples-to-apples runs enter the same series;
+* :func:`build_trend` computes trend statistics per series — mean,
+  exact percentile bands (through the same nearest-rank machinery as
+  :class:`repro.obs.metrics.Histogram`), least-squares slope, and a
+  changepoint flag comparing the latest run against its trailing
+  window;
+* :func:`build_top` ranks which stages and configurations burn the
+  most cumulative fleet time;
+* :class:`SLOPolicy` declares per-stage budgets (max p95 wall, min
+  cache hit rate, max regression percent vs the trailing window),
+  loadable from a TOML or JSON file, and :func:`evaluate_gate` turns a
+  frame plus a policy into a pass/fail :class:`GateReport`.
+
+The ``repro-hmeans obs trend / top / gate`` subcommands are thin
+wrappers over these functions (rendering lives in
+:mod:`repro.obs.render`); everything here takes plain ledger record
+dicts and returns plain dataclasses, so the whole layer is directly
+testable on hand-built JSONL.
+
+All ``--json`` payloads are schema-versioned and serialized with
+:func:`to_json` (sorted keys, fixed indentation), so byte-identical
+inputs produce byte-identical outputs — CI can diff them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.exceptions import ReproError
+from repro.obs.ledger import RunLedger
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "ANALYTICS_SCHEMA_VERSION",
+    "DEFAULT_WINDOW",
+    "DEFAULT_MIN_RUNS",
+    "DEFAULT_MAX_REGRESSION_PCT",
+    "GroupKey",
+    "StagePoint",
+    "StageSeries",
+    "LedgerFrame",
+    "rolling_mean",
+    "least_squares_slope",
+    "percent_change",
+    "StageTrend",
+    "GroupTrend",
+    "TrendReport",
+    "build_trend",
+    "trend_payload",
+    "TopRow",
+    "TopReport",
+    "build_top",
+    "top_payload",
+    "StageBudget",
+    "SLOPolicy",
+    "Violation",
+    "GateReport",
+    "evaluate_gate",
+    "gate_payload",
+    "to_json",
+]
+
+ANALYTICS_SCHEMA_VERSION = 1
+
+DEFAULT_WINDOW = 20
+DEFAULT_MIN_RUNS = 3
+DEFAULT_MAX_REGRESSION_PCT = 50.0
+
+
+def to_json(payload: Mapping[str, Any]) -> str:
+    """Deterministic JSON for ``--json`` output: sorted keys, 2-space
+    indent, trailing newline.  Identical payloads render to identical
+    bytes, so CI artifacts and tests can compare them literally."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# frame: windowed ledger reads grouped into per-stage series
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, order=True)
+class GroupKey:
+    """One fleet configuration: a command plus its argument fingerprint.
+
+    Two runs share a group exactly when they would compare
+    apples-to-apples in ``obs diff`` — same subcommand, same knobs.
+    """
+
+    command: str
+    fingerprint: str
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``command@fingerprint`` tag."""
+        return f"{self.command}@{self.fingerprint}"
+
+
+@dataclass(frozen=True)
+class StagePoint:
+    """One run's aggregate for one stage (repeat executions summed)."""
+
+    run_id: str
+    timestamp_unix: float
+    wall_seconds: float
+    executions: int
+    cache_hits: int
+    cache_known: int
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        """Hit fraction of executions with known cache outcome, else None."""
+        if not self.cache_known:
+            return None
+        return self.cache_hits / self.cache_known
+
+
+@dataclass(frozen=True)
+class StageSeries:
+    """One stage's time series across a group's runs, oldest first."""
+
+    group: GroupKey
+    stage: str
+    points: tuple[StagePoint, ...]
+
+    @property
+    def walls(self) -> tuple[float, ...]:
+        """Per-run wall seconds, oldest first."""
+        return tuple(p.wall_seconds for p in self.points)
+
+    @property
+    def count(self) -> int:
+        """Number of runs in the series."""
+        return len(self.points)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        """Cumulative wall seconds across the series."""
+        return sum(p.wall_seconds for p in self.points)
+
+    @property
+    def executions(self) -> int:
+        """Total stage executions across the series."""
+        return sum(p.executions for p in self.points)
+
+    @property
+    def mean(self) -> float:
+        """Mean per-run wall seconds."""
+        if not self.points:
+            raise ReproError(f"StageSeries[{self.stage}]: empty series")
+        return self.total_wall_seconds / len(self.points)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of per-run walls (exact, via the
+        same machinery as the metrics histograms)."""
+        histogram = Histogram()
+        for wall in self.walls:
+            histogram.observe(wall)
+        return histogram.percentile(q)
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        """Hit fraction over executions with known cache outcome.
+
+        Metrics-derived stage entries (parallel sweeps) carry no
+        per-execution cache outcome; when nothing in the series does,
+        the rate is ``None`` rather than a fake 0.
+        """
+        known = sum(p.cache_known for p in self.points)
+        if not known:
+            return None
+        return sum(p.cache_hits for p in self.points) / known
+
+    @property
+    def slope_per_run(self) -> float:
+        """Least-squares wall-seconds-per-run slope (0 for < 2 points)."""
+        return least_squares_slope(self.walls)
+
+
+def _record_stage_points(record: Mapping[str, Any]) -> dict[str, StagePoint]:
+    """Aggregate one record's stage entries into per-stage points."""
+    walls: dict[str, float] = {}
+    executions: dict[str, int] = {}
+    hits: dict[str, int] = {}
+    known: dict[str, int] = {}
+    for stage in record.get("stages") or ():
+        if not isinstance(stage, Mapping):
+            continue
+        name = stage.get("stage")
+        if not isinstance(name, str):
+            continue
+        try:
+            wall = float(stage.get("wall_seconds", 0.0))
+        except (TypeError, ValueError):
+            continue
+        if not math.isfinite(wall) or wall < 0:
+            continue
+        count = stage.get("executions", 1)
+        count = count if isinstance(count, int) and count > 0 else 1
+        walls[name] = walls.get(name, 0.0) + wall
+        executions[name] = executions.get(name, 0) + count
+        cache_hit = stage.get("cache_hit")
+        if cache_hit is not None:
+            known[name] = known.get(name, 0) + 1
+            hits[name] = hits.get(name, 0) + (1 if cache_hit else 0)
+    run_id = str(record.get("run_id", "?"))
+    stamp = record.get("timestamp_unix")
+    stamp = float(stamp) if isinstance(stamp, (int, float)) else 0.0
+    return {
+        name: StagePoint(
+            run_id=run_id,
+            timestamp_unix=stamp,
+            wall_seconds=walls[name],
+            executions=executions[name],
+            cache_hits=hits.get(name, 0),
+            cache_known=known.get(name, 0),
+        )
+        for name in walls
+    }
+
+
+def _run_cache_hit_rate(record: Mapping[str, Any]) -> float | None:
+    """Run-level cache hit rate from the ``cache_sources`` totals."""
+    sources = record.get("cache_sources") or {}
+    if not isinstance(sources, Mapping):
+        return None
+    hits = int(sources.get("memory", 0) or 0) + int(sources.get("disk", 0) or 0)
+    total = hits + int(sources.get("compute", 0) or 0)
+    if total <= 0:
+        return None
+    return hits / total
+
+
+class LedgerFrame:
+    """A window of ledger records, grouped for cross-run analysis.
+
+    ``records`` are oldest-first, already filtered; use :meth:`load`
+    to build one from a :class:`RunLedger` with window/command/
+    fingerprint filters applied.  Failed runs (nonzero ``exit_code``)
+    are excluded by default — a crashed invocation's partial stage
+    walls would poison every trend they joined.
+    """
+
+    def __init__(self, records: Sequence[Mapping[str, Any]]) -> None:
+        self.records = tuple(records)
+
+    @classmethod
+    def load(
+        cls,
+        ledger: RunLedger | str | Path,
+        *,
+        last: int | None = None,
+        command: str | None = None,
+        fingerprint: str | None = None,
+        include_failed: bool = False,
+    ) -> "LedgerFrame":
+        """Read the newest ``last`` matching records from ``ledger``."""
+        if not isinstance(ledger, RunLedger):
+            ledger = RunLedger(ledger)
+        records = ledger.records(last=last, command=command)
+        if fingerprint is not None:
+            records = [
+                r for r in records if r.get("args_fingerprint") == fingerprint
+            ]
+        if not include_failed:
+            records = [r for r in records if not r.get("exit_code")]
+        return cls(records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def groups(self) -> dict[GroupKey, tuple[Mapping[str, Any], ...]]:
+        """Records per configuration, sorted by group label."""
+        grouped: dict[GroupKey, list[Mapping[str, Any]]] = {}
+        for record in self.records:
+            key = GroupKey(
+                command=str(record.get("command", "?")),
+                fingerprint=str(record.get("args_fingerprint", "?")),
+            )
+            grouped.setdefault(key, []).append(record)
+        return {
+            key: tuple(grouped[key]) for key in sorted(grouped)
+        }
+
+    def stage_series(
+        self, group: GroupKey, records: Sequence[Mapping[str, Any]] | None = None
+    ) -> dict[str, StageSeries]:
+        """Per-stage series for one group, stages sorted by name."""
+        if records is None:
+            records = self.groups().get(group, ())
+        points: dict[str, list[StagePoint]] = {}
+        for record in records:
+            for name, point in _record_stage_points(record).items():
+                points.setdefault(name, []).append(point)
+        return {
+            name: StageSeries(group=group, stage=name, points=tuple(points[name]))
+            for name in sorted(points)
+        }
+
+    def all_stage_series(self) -> list[StageSeries]:
+        """Every group's stage series, group-sorted then stage-sorted."""
+        series: list[StageSeries] = []
+        for group, records in self.groups().items():
+            series.extend(self.stage_series(group, records).values())
+        return series
+
+
+# ---------------------------------------------------------------------------
+# trend statistics
+# ---------------------------------------------------------------------------
+
+
+def rolling_mean(values: Sequence[float], window: int) -> list[float]:
+    """Trailing mean at each index over at most ``window`` values."""
+    if window < 1:
+        raise ReproError(f"rolling_mean: window must be >= 1, got {window}")
+    means: list[float] = []
+    for i in range(len(values)):
+        lo = max(0, i + 1 - window)
+        chunk = values[lo : i + 1]
+        means.append(sum(chunk) / len(chunk))
+    return means
+
+
+def least_squares_slope(values: Sequence[float]) -> float:
+    """Least-squares slope of ``values`` over their index (0 if < 2)."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    mean_x = (n - 1) / 2.0
+    mean_y = sum(values) / n
+    cov = sum((i - mean_x) * (v - mean_y) for i, v in enumerate(values))
+    var = sum((i - mean_x) ** 2 for i in range(n))
+    return cov / var
+
+
+def percent_change(baseline: float, fresh: float) -> float:
+    """Percent change from ``baseline`` to ``fresh`` (inf for 0 -> >0)."""
+    if baseline > 0:
+        return 100.0 * (fresh - baseline) / baseline
+    return 0.0 if fresh == baseline else math.inf
+
+
+@dataclass(frozen=True)
+class StageTrend:
+    """Trend statistics for one stage series."""
+
+    series: StageSeries
+    window: int
+    tolerance_pct: float
+
+    @property
+    def latest(self) -> float:
+        """The newest run's wall seconds."""
+        return self.series.walls[-1]
+
+    @property
+    def trailing_mean(self) -> float | None:
+        """Mean of the up-to-``window`` runs preceding the latest."""
+        prior = self.series.walls[:-1]
+        if not prior:
+            return None
+        chunk = prior[-self.window :]
+        return sum(chunk) / len(chunk)
+
+    @property
+    def change_pct(self) -> float | None:
+        """Latest vs trailing-mean percent change (None without history)."""
+        trailing = self.trailing_mean
+        if trailing is None:
+            return None
+        return percent_change(trailing, self.latest)
+
+    @property
+    def flagged(self) -> bool:
+        """True when the latest run regressed past ``tolerance_pct``."""
+        change = self.change_pct
+        return change is not None and change > self.tolerance_pct
+
+
+@dataclass(frozen=True)
+class GroupTrend:
+    """One configuration's trend: run-level walls plus per-stage trends."""
+
+    key: GroupKey
+    run_ids: tuple[str, ...]
+    wall_seconds: tuple[float, ...]
+    cache_hit_rates: tuple[float | None, ...]
+    stages: tuple[StageTrend, ...]
+
+
+@dataclass(frozen=True)
+class TrendReport:
+    """Fleet trend across every group in a frame."""
+
+    window: int
+    tolerance_pct: float
+    runs: int
+    groups: tuple[GroupTrend, ...]
+
+    @property
+    def flagged(self) -> tuple[StageTrend, ...]:
+        """Every stage trend whose latest run tripped the tolerance."""
+        return tuple(
+            trend
+            for group in self.groups
+            for trend in group.stages
+            if trend.flagged
+        )
+
+
+def build_trend(
+    frame: LedgerFrame,
+    *,
+    stage: str | None = None,
+    window: int = DEFAULT_WINDOW,
+    tolerance_pct: float = DEFAULT_MAX_REGRESSION_PCT,
+) -> TrendReport:
+    """Trend statistics for every (group, stage) series in ``frame``.
+
+    ``stage`` filters to one stage name across all groups.  Groups
+    render sorted by label; stages within a group sort by descending
+    cumulative wall so the expensive ones lead.
+    """
+    if window < 1:
+        raise ReproError(f"build_trend: window must be >= 1, got {window}")
+    groups: list[GroupTrend] = []
+    for key, records in frame.groups().items():
+        series_by_stage = frame.stage_series(key, records)
+        if stage is not None:
+            series_by_stage = {
+                name: s for name, s in series_by_stage.items() if name == stage
+            }
+            if not series_by_stage:
+                continue
+        trends = [
+            StageTrend(series=s, window=window, tolerance_pct=tolerance_pct)
+            for s in series_by_stage.values()
+        ]
+        trends.sort(
+            key=lambda t: (-t.series.total_wall_seconds, t.series.stage)
+        )
+        groups.append(
+            GroupTrend(
+                key=key,
+                run_ids=tuple(str(r.get("run_id", "?")) for r in records),
+                wall_seconds=tuple(
+                    float(r.get("wall_seconds", 0.0)) for r in records
+                ),
+                cache_hit_rates=tuple(
+                    _run_cache_hit_rate(r) for r in records
+                ),
+                stages=tuple(trends),
+            )
+        )
+    if not groups:
+        raise ReproError(
+            "build_trend: no matching runs"
+            + (f" for stage {stage!r}" if stage else "")
+        )
+    return TrendReport(
+        window=window,
+        tolerance_pct=tolerance_pct,
+        runs=len(frame),
+        groups=tuple(groups),
+    )
+
+
+def trend_payload(report: TrendReport) -> dict[str, Any]:
+    """The schema-versioned ``obs trend --json`` payload."""
+    groups = []
+    for group in report.groups:
+        stages = []
+        for trend in group.stages:
+            series = trend.series
+            stages.append(
+                {
+                    "stage": series.stage,
+                    "runs": series.count,
+                    "walls_seconds": list(series.walls),
+                    "total_wall_seconds": series.total_wall_seconds,
+                    "mean_seconds": series.mean,
+                    "p50_seconds": series.percentile(50),
+                    "p95_seconds": series.percentile(95),
+                    "max_seconds": series.percentile(100),
+                    "slope_seconds_per_run": series.slope_per_run,
+                    "cache_hit_rate": series.cache_hit_rate,
+                    "latest_seconds": trend.latest,
+                    "trailing_mean_seconds": trend.trailing_mean,
+                    "change_pct": trend.change_pct,
+                    "flagged": trend.flagged,
+                }
+            )
+        groups.append(
+            {
+                "command": group.key.command,
+                "fingerprint": group.key.fingerprint,
+                "runs": len(group.run_ids),
+                "run_ids": list(group.run_ids),
+                "wall_seconds": list(group.wall_seconds),
+                "cache_hit_rates": list(group.cache_hit_rates),
+                "stages": stages,
+            }
+        )
+    return {
+        "schema": ANALYTICS_SCHEMA_VERSION,
+        "kind": "obs-trend",
+        "window": report.window,
+        "tolerance_pct": report.tolerance_pct,
+        "runs": report.runs,
+        "flagged_stages": sorted(
+            t.series.group.label + "/" + t.series.stage for t in report.flagged
+        ),
+        "groups": groups,
+    }
+
+
+# ---------------------------------------------------------------------------
+# top: cumulative fleet cost ranking
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopRow:
+    """Cumulative cost of one (configuration, stage) pair."""
+
+    group: GroupKey
+    stage: str
+    runs: int
+    executions: int
+    total_wall_seconds: float
+    share_pct: float
+
+
+@dataclass(frozen=True)
+class TopReport:
+    """Fleet-wide cost ranking over a frame's window."""
+
+    by: str
+    runs: int
+    total_wall_seconds: float
+    rows: tuple[TopRow, ...]
+
+
+def build_top(frame: LedgerFrame, *, by: str = "wall") -> TopReport:
+    """Rank (group, stage) pairs by cumulative cost.
+
+    ``by="wall"`` sorts on cumulative wall seconds, ``by="count"`` on
+    stage executions; either way every row carries both numbers plus
+    its share of total fleet stage time.
+    """
+    if by not in ("wall", "count"):
+        raise ReproError(f"build_top: by must be 'wall' or 'count', got {by!r}")
+    series = frame.all_stage_series()
+    if not series:
+        raise ReproError("build_top: no stage data in the selected runs")
+    total = sum(s.total_wall_seconds for s in series)
+    rows = [
+        TopRow(
+            group=s.group,
+            stage=s.stage,
+            runs=s.count,
+            executions=s.executions,
+            total_wall_seconds=s.total_wall_seconds,
+            share_pct=(100.0 * s.total_wall_seconds / total) if total > 0 else 0.0,
+        )
+        for s in series
+    ]
+    if by == "wall":
+        rows.sort(key=lambda r: (-r.total_wall_seconds, r.group, r.stage))
+    else:
+        rows.sort(key=lambda r: (-r.executions, r.group, r.stage))
+    return TopReport(
+        by=by,
+        runs=len(frame),
+        total_wall_seconds=total,
+        rows=tuple(rows),
+    )
+
+
+def top_payload(report: TopReport) -> dict[str, Any]:
+    """The schema-versioned ``obs top --json`` payload."""
+    return {
+        "schema": ANALYTICS_SCHEMA_VERSION,
+        "kind": "obs-top",
+        "by": report.by,
+        "runs": report.runs,
+        "total_wall_seconds": report.total_wall_seconds,
+        "rows": [
+            {
+                "command": row.group.command,
+                "fingerprint": row.group.fingerprint,
+                "stage": row.stage,
+                "runs": row.runs,
+                "executions": row.executions,
+                "total_wall_seconds": row.total_wall_seconds,
+                "share_pct": row.share_pct,
+            }
+            for row in report.rows
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# SLO policies and the gate
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageBudget:
+    """Per-stage SLO budgets; ``None`` disables a rule."""
+
+    max_p95_wall_seconds: float | None = None
+    min_cache_hit_rate: float | None = None
+    max_regression_pct: float | None = None
+
+    def merged_over(self, base: "StageBudget") -> "StageBudget":
+        """This budget with unset rules inherited from ``base``."""
+        return StageBudget(
+            max_p95_wall_seconds=(
+                self.max_p95_wall_seconds
+                if self.max_p95_wall_seconds is not None
+                else base.max_p95_wall_seconds
+            ),
+            min_cache_hit_rate=(
+                self.min_cache_hit_rate
+                if self.min_cache_hit_rate is not None
+                else base.min_cache_hit_rate
+            ),
+            max_regression_pct=(
+                self.max_regression_pct
+                if self.max_regression_pct is not None
+                else base.max_regression_pct
+            ),
+        )
+
+
+_BUDGET_KEYS = frozenset(
+    ("max_p95_wall_seconds", "min_cache_hit_rate", "max_regression_pct")
+)
+
+
+def _budget_from_dict(data: Mapping[str, Any], *, where: str) -> StageBudget:
+    unknown = set(data) - _BUDGET_KEYS
+    if unknown:
+        raise ReproError(
+            f"SLOPolicy: unknown budget key(s) {sorted(unknown)} in {where}"
+        )
+    values: dict[str, float] = {}
+    for key in _BUDGET_KEYS & set(data):
+        value = data[key]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ReproError(
+                f"SLOPolicy: {where}.{key} must be a number, got {value!r}"
+            )
+        if value < 0:
+            raise ReproError(f"SLOPolicy: {where}.{key} must be >= 0")
+        values[key] = float(value)
+    return StageBudget(**values)
+
+
+@dataclass(frozen=True)
+class SLOPolicy:
+    """Declarative per-stage service-level objectives.
+
+    ``default`` applies to every stage; ``stages`` overrides it per
+    stage name (unset rules inherit the default).  ``window`` bounds
+    the trailing window the regression and p95 rules look at;
+    ``min_runs`` is how many runs a series needs before it is gated at
+    all (fewer runs -> the stage is reported as skipped, never failed).
+    """
+
+    default: StageBudget = field(
+        default_factory=lambda: StageBudget(
+            max_regression_pct=DEFAULT_MAX_REGRESSION_PCT
+        )
+    )
+    stages: Mapping[str, StageBudget] = field(default_factory=dict)
+    window: int = DEFAULT_WINDOW
+    min_runs: int = DEFAULT_MIN_RUNS
+    source: str = "<defaults>"
+
+    def budget_for(self, stage: str) -> StageBudget:
+        """The effective budget for ``stage`` (override over default)."""
+        override = self.stages.get(stage)
+        if override is None:
+            return self.default
+        return override.merged_over(self.default)
+
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, Any], *, source: str = "<dict>"
+    ) -> "SLOPolicy":
+        """Build a policy from the parsed TOML/JSON mapping."""
+        schema = data.get("schema", 1)
+        if schema != 1:
+            raise ReproError(
+                f"SLOPolicy: unsupported schema {schema!r} in {source}"
+            )
+        known = {"schema", "window", "min_runs", "default", "stage"}
+        unknown = set(data) - known
+        if unknown:
+            raise ReproError(
+                f"SLOPolicy: unknown key(s) {sorted(unknown)} in {source}"
+            )
+        window = data.get("window", DEFAULT_WINDOW)
+        min_runs = data.get("min_runs", DEFAULT_MIN_RUNS)
+        for name, value in (("window", window), ("min_runs", min_runs)):
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise ReproError(
+                    f"SLOPolicy: {name} must be a positive integer, got {value!r}"
+                )
+        default_data = data.get("default", {})
+        if not isinstance(default_data, Mapping):
+            raise ReproError(f"SLOPolicy: 'default' must be a table in {source}")
+        default = _budget_from_dict(default_data, where="default")
+        if not default_data:
+            default = StageBudget(
+                max_regression_pct=DEFAULT_MAX_REGRESSION_PCT
+            )
+        stages_data = data.get("stage", {})
+        if not isinstance(stages_data, Mapping):
+            raise ReproError(f"SLOPolicy: 'stage' must be a table in {source}")
+        stages = {}
+        for name, budget_data in stages_data.items():
+            if not isinstance(budget_data, Mapping):
+                raise ReproError(
+                    f"SLOPolicy: stage.{name} must be a table in {source}"
+                )
+            stages[str(name)] = _budget_from_dict(
+                budget_data, where=f"stage.{name}"
+            )
+        return cls(
+            default=default,
+            stages=stages,
+            window=window,
+            min_runs=min_runs,
+            source=source,
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "SLOPolicy":
+        """Load a policy from a ``.toml`` or ``.json`` file."""
+        path = Path(path)
+        if not path.exists():
+            raise ReproError(f"SLOPolicy: no policy file at {path}")
+        text = path.read_text(encoding="utf-8")
+        if path.suffix == ".json":
+            try:
+                data = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise ReproError(f"SLOPolicy: {path} is not valid JSON: {error}")
+        else:
+            data = _parse_toml(text, source=str(path))
+        if not isinstance(data, Mapping):
+            raise ReproError(f"SLOPolicy: {path} must hold a table/object")
+        return cls.from_dict(data, source=str(path))
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-safe dump of the policy (for gate payloads)."""
+
+        def budget(b: StageBudget) -> dict[str, Any]:
+            return {
+                "max_p95_wall_seconds": b.max_p95_wall_seconds,
+                "min_cache_hit_rate": b.min_cache_hit_rate,
+                "max_regression_pct": b.max_regression_pct,
+            }
+
+        return {
+            "source": self.source,
+            "window": self.window,
+            "min_runs": self.min_runs,
+            "default": budget(self.default),
+            "stages": {
+                name: budget(b) for name, b in sorted(self.stages.items())
+            },
+        }
+
+
+def _parse_toml(text: str, *, source: str) -> dict[str, Any]:
+    """Parse TOML via stdlib ``tomllib``, or a minimal subset without it.
+
+    Python 3.10 has no ``tomllib`` and this repo adds no dependencies,
+    so policy files fall back to a restricted parser covering what SLO
+    policies actually use: ``[section]`` / ``[section.sub]`` headers,
+    ``key = value`` with number / boolean / quoted-string values, and
+    ``#`` comments.
+    """
+    try:
+        import tomllib
+    except ModuleNotFoundError:
+        return _parse_minimal_toml(text, source=source)
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as error:
+        raise ReproError(f"SLOPolicy: {source} is not valid TOML: {error}")
+
+
+def _toml_scalar(raw: str, *, source: str, line_number: int):
+    raw = raw.strip()
+    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in ("'", '"'):
+        return raw[1:-1]
+    if raw == "true":
+        return True
+    if raw == "false":
+        return False
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        raise ReproError(
+            f"SLOPolicy: {source}:{line_number}: unsupported value {raw!r} "
+            "(minimal TOML parser: numbers, booleans, quoted strings)"
+        )
+
+
+def _strip_toml_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment, honouring quoted strings."""
+    quote: str | None = None
+    for i, char in enumerate(line):
+        if quote is not None:
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+        elif char == "#":
+            return line[:i]
+    return line
+
+
+def _parse_minimal_toml(text: str, *, source: str) -> dict[str, Any]:
+    """The restricted TOML-subset parser used when ``tomllib`` is absent."""
+    root: dict[str, Any] = {}
+    table = root
+    for number, line in enumerate(text.splitlines(), 1):
+        line = _strip_toml_comment(line).strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            table = root
+            for part in line[1:-1].strip().split("."):
+                part = part.strip().strip('"').strip("'")
+                if not part:
+                    raise ReproError(
+                        f"SLOPolicy: {source}:{number}: empty table name"
+                    )
+                table = table.setdefault(part, {})
+                if not isinstance(table, dict):
+                    raise ReproError(
+                        f"SLOPolicy: {source}:{number}: {part!r} is not a table"
+                    )
+            continue
+        if "=" not in line:
+            raise ReproError(
+                f"SLOPolicy: {source}:{number}: expected 'key = value', "
+                f"got {line!r}"
+            )
+        key, _, raw = line.partition("=")
+        key = key.strip().strip('"').strip("'")
+        if not key:
+            raise ReproError(f"SLOPolicy: {source}:{number}: empty key")
+        table[key] = _toml_scalar(raw, source=source, line_number=number)
+    return root
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One SLO breach: which series, which rule, how far over."""
+
+    group: GroupKey
+    stage: str
+    rule: str
+    limit: float
+    actual: float
+    detail: str
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """The outcome of gating a frame against an :class:`SLOPolicy`."""
+
+    policy: SLOPolicy
+    runs: int
+    violations: tuple[Violation, ...]
+    checked: tuple[str, ...]
+    skipped: Mapping[str, str]
+
+    @property
+    def ok(self) -> bool:
+        """True when no budget was breached."""
+        return not self.violations
+
+
+def evaluate_gate(frame: LedgerFrame, policy: SLOPolicy) -> GateReport:
+    """Check every (group, stage) series in ``frame`` against ``policy``.
+
+    Rules per series, all windowed to the newest ``policy.window``
+    runs:
+
+    * ``max_p95_wall_seconds`` — exact nearest-rank p95 of per-run
+      walls must not exceed the budget;
+    * ``min_cache_hit_rate`` — hit fraction over executions with a
+      known cache outcome must not fall below the budget (series with
+      no cache-outcome data are skipped for this rule, not failed);
+    * ``max_regression_pct`` — the newest run must not exceed the mean
+      of its trailing window by more than the budget percent.
+
+    Series with fewer than ``policy.min_runs`` points are reported in
+    ``skipped`` and never gated — a fresh stage cannot fail an SLO it
+    has no history against.
+    """
+    if not len(frame):
+        raise ReproError("evaluate_gate: no runs in the selected window")
+    violations: list[Violation] = []
+    checked: list[str] = []
+    skipped: dict[str, str] = {}
+    for series in frame.all_stage_series():
+        label = f"{series.group.label}/{series.stage}"
+        if series.count < policy.min_runs:
+            skipped[label] = (
+                f"{series.count} run(s) < min_runs {policy.min_runs}"
+            )
+            continue
+        checked.append(label)
+        budget = policy.budget_for(series.stage)
+        windowed = StageSeries(
+            group=series.group,
+            stage=series.stage,
+            points=series.points[-policy.window :],
+        )
+        if budget.max_p95_wall_seconds is not None:
+            p95 = windowed.percentile(95)
+            if p95 > budget.max_p95_wall_seconds:
+                violations.append(
+                    Violation(
+                        group=series.group,
+                        stage=series.stage,
+                        rule="max_p95_wall_seconds",
+                        limit=budget.max_p95_wall_seconds,
+                        actual=p95,
+                        detail=(
+                            f"p95 wall {p95:.6f}s > budget "
+                            f"{budget.max_p95_wall_seconds:.6f}s over "
+                            f"{windowed.count} run(s)"
+                        ),
+                    )
+                )
+        if budget.min_cache_hit_rate is not None:
+            rate = windowed.cache_hit_rate
+            if rate is not None and rate < budget.min_cache_hit_rate:
+                violations.append(
+                    Violation(
+                        group=series.group,
+                        stage=series.stage,
+                        rule="min_cache_hit_rate",
+                        limit=budget.min_cache_hit_rate,
+                        actual=rate,
+                        detail=(
+                            f"cache hit rate {rate:.3f} < budget "
+                            f"{budget.min_cache_hit_rate:.3f} over "
+                            f"{windowed.count} run(s)"
+                        ),
+                    )
+                )
+        if budget.max_regression_pct is not None:
+            trend = StageTrend(
+                series=windowed,
+                window=policy.window,
+                tolerance_pct=budget.max_regression_pct,
+            )
+            change = trend.change_pct
+            if change is not None and change > budget.max_regression_pct:
+                violations.append(
+                    Violation(
+                        group=series.group,
+                        stage=series.stage,
+                        rule="max_regression_pct",
+                        limit=budget.max_regression_pct,
+                        actual=change,
+                        detail=(
+                            f"latest {trend.latest:.6f}s is "
+                            f"{change:+.1f}% vs trailing mean "
+                            f"{trend.trailing_mean:.6f}s "
+                            f"(budget +{budget.max_regression_pct:g}%)"
+                        ),
+                    )
+                )
+    violations.sort(key=lambda v: (v.group, v.stage, v.rule))
+    return GateReport(
+        policy=policy,
+        runs=len(frame),
+        violations=tuple(violations),
+        checked=tuple(sorted(checked)),
+        skipped=skipped,
+    )
+
+
+def gate_payload(report: GateReport) -> dict[str, Any]:
+    """The schema-versioned ``obs gate --json`` payload."""
+    return {
+        "schema": ANALYTICS_SCHEMA_VERSION,
+        "kind": "obs-gate",
+        "ok": report.ok,
+        "runs": report.runs,
+        "policy": report.policy.to_payload(),
+        "checked": list(report.checked),
+        "skipped": dict(sorted(report.skipped.items())),
+        "violations": [
+            {
+                "command": v.group.command,
+                "fingerprint": v.group.fingerprint,
+                "stage": v.stage,
+                "rule": v.rule,
+                "limit": v.limit,
+                "actual": v.actual,
+                "detail": v.detail,
+            }
+            for v in report.violations
+        ],
+    }

@@ -30,7 +30,9 @@ import contextlib
 import hashlib
 import json
 import os
+import tempfile
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
@@ -43,6 +45,8 @@ __all__ = [
     "SCHEMA_VERSION",
     "LEDGER_ENV",
     "DEFAULT_LEDGER_PATH",
+    "SIZE_WARNING_BYTES",
+    "CompactionResult",
     "RunLedger",
     "RunRecorder",
     "NullRecorder",
@@ -60,6 +64,11 @@ SCHEMA_VERSION = 1
 LEDGER_ENV = "REPRO_LEDGER"
 
 DEFAULT_LEDGER_PATH = "results/runs.jsonl"
+
+# `obs runs` suggests `obs prune` once the ledger file passes this size;
+# JSONL with embedded traces grows fast enough that an unbounded file
+# eventually slows every windowed read.
+SIZE_WARNING_BYTES = 5 * 1024 * 1024
 
 # Prefix of the per-stage timing histogram family the engine records;
 # used to rebuild stage walls from merged metrics when the stages ran
@@ -250,6 +259,16 @@ def use_recorder(
         set_recorder(previous)
 
 
+@dataclass(frozen=True)
+class CompactionResult:
+    """What :meth:`RunLedger.compact` kept, dropped, and reclaimed."""
+
+    kept: int
+    dropped: int
+    bytes_before: int
+    bytes_after: int
+
+
 class RunLedger:
     """Append-only JSONL store of run records.
 
@@ -287,8 +306,23 @@ class RunLedger:
             )
         return run_id
 
-    def records(self) -> list[dict[str, Any]]:
-        """Every parseable record, oldest first (corrupt lines skipped)."""
+    def records(
+        self,
+        *,
+        last: int | None = None,
+        command: str | None = None,
+    ) -> list[dict[str, Any]]:
+        """Parseable records, oldest first (corrupt lines skipped).
+
+        ``command`` keeps only records of that subcommand; ``last``
+        then keeps the newest N of what survived — this is the
+        windowed read the fleet-analytics layer is built on.  A torn
+        final line (a crash mid-append, though the single ``O_APPEND``
+        write makes that a kill-during-write event) parses as corrupt
+        and is skipped like any other damaged line.
+        """
+        if last is not None and last < 1:
+            raise ReproError(f"RunLedger.records: last must be >= 1, got {last}")
         if not self.path.exists():
             raise ReproError(f"RunLedger: no ledger at {self.path}")
         records = []
@@ -310,7 +344,70 @@ class RunLedger:
                     continue
                 if isinstance(record, dict) and record.get("run_id"):
                     records.append(record)
+        if command is not None:
+            records = [r for r in records if r.get("command") == command]
+        if last is not None:
+            records = records[-last:]
         return records
+
+    def size_bytes(self) -> int:
+        """The ledger file's current size (0 when it does not exist)."""
+        try:
+            return self.path.stat().st_size
+        except OSError:
+            return 0
+
+    def compact(self, keep_last: int) -> "CompactionResult":
+        """Rewrite the ledger keeping only the newest ``keep_last`` runs.
+
+        The rewrite is atomic: the survivors are written to a tempfile
+        in the ledger's directory, fsynced, and ``os.replace``d over
+        the original — a reader or concurrent appender sees either the
+        old file or the new one, never a half-written hybrid.  (An
+        append racing the rename can land on the old inode and be
+        lost; compaction is an operator action, run it when the fleet
+        is quiet.)  Corrupt lines are dropped as a side effect.
+        """
+        if keep_last < 1:
+            raise ReproError(
+                f"RunLedger.compact: keep_last must be >= 1, got {keep_last}"
+            )
+        records = self.records()
+        bytes_before = self.size_bytes()
+        kept = records[-keep_last:]
+        fd, temp_path = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for record in kept:
+                    handle.write(
+                        json.dumps(record, separators=(",", ":")) + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, self.path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(temp_path)
+            raise
+        result = CompactionResult(
+            kept=len(kept),
+            dropped=len(records) - len(kept),
+            bytes_before=bytes_before,
+            bytes_after=self.size_bytes(),
+        )
+        _log.info(
+            fmt_kv(
+                "ledger.compacted",
+                path=str(self.path),
+                kept=result.kept,
+                dropped=result.dropped,
+                bytes_before=result.bytes_before,
+                bytes_after=result.bytes_after,
+            )
+        )
+        return result
 
     def stage_costs(self, *, limit: int = 50) -> dict[str, float]:
         """Mean *computed* wall seconds per stage over recent runs.

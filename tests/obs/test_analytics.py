@@ -1,0 +1,439 @@
+"""Library-level tests for repro.obs.analytics (frames, trends, SLOs)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.analytics import (
+    DEFAULT_MAX_REGRESSION_PCT,
+    GroupKey,
+    LedgerFrame,
+    SLOPolicy,
+    StageBudget,
+    _parse_minimal_toml,
+    build_top,
+    build_trend,
+    evaluate_gate,
+    least_squares_slope,
+    percent_change,
+    rolling_mean,
+    to_json,
+)
+from repro.obs.ledger import RunLedger
+
+
+def synthetic_run(
+    run_id,
+    *,
+    command="sweep",
+    fingerprint="a" * 12,
+    timestamp=1754000000.0,
+    exit_code=0,
+    stages=(),
+    cache_sources=None,
+):
+    """A hand-built ledger record with controllable analytics inputs."""
+    return {
+        "schema": 1,
+        "run_id": run_id,
+        "timestamp_unix": timestamp,
+        "command": command,
+        "args": {},
+        "args_fingerprint": fingerprint,
+        "pid": 1,
+        "wall_seconds": sum(s["wall_seconds"] for s in stages),
+        "exit_code": exit_code,
+        "stages": list(stages),
+        "cache_sources": cache_sources or {},
+        "metrics": {},
+        "trace": None,
+    }
+
+
+def stage(name, wall, *, cache_hit=False, repeats=1):
+    return [
+        {"stage": name, "wall_seconds": wall, "cache_hit": cache_hit}
+        for _ in range(repeats)
+    ]
+
+
+@pytest.fixture
+def fleet_ledger(tmp_path):
+    """Two configurations plus one failed run, as a real JSONL ledger."""
+    path = tmp_path / "runs.jsonl"
+    ledger = RunLedger(path)
+    walls = [1.0, 1.0, 1.0, 2.0]
+    for i, wall in enumerate(walls):
+        ledger.append(
+            synthetic_run(
+                f"s{i + 1}",
+                timestamp=1754000000.0 + i,
+                stages=stage("reduce", wall)
+                + stage("cluster", 0.5, cache_hit=i > 0),
+            )
+        )
+    for i in range(2):
+        ledger.append(
+            synthetic_run(
+                f"p{i + 1}",
+                command="pipeline",
+                fingerprint="b" * 12,
+                timestamp=1754000100.0 + i,
+                stages=stage("reduce", 0.25),
+            )
+        )
+    ledger.append(
+        synthetic_run(
+            "crashed",
+            timestamp=1754000200.0,
+            exit_code=1,
+            stages=stage("reduce", 99.0),
+        )
+    )
+    return path
+
+
+class TestLedgerFrame:
+    def test_load_excludes_failed_runs_by_default(self, fleet_ledger):
+        frame = LedgerFrame.load(fleet_ledger)
+        assert len(frame) == 6
+        assert "crashed" not in {r["run_id"] for r in frame.records}
+        with_failed = LedgerFrame.load(fleet_ledger, include_failed=True)
+        assert len(with_failed) == 7
+
+    def test_load_filters_by_command_and_window(self, fleet_ledger):
+        frame = LedgerFrame.load(fleet_ledger, command="pipeline")
+        assert [r["run_id"] for r in frame.records] == ["p1", "p2"]
+        newest = LedgerFrame.load(fleet_ledger, last=3)
+        # Newest 3 records, then the crashed one is dropped.
+        assert [r["run_id"] for r in newest.records] == ["p1", "p2"]
+
+    def test_load_filters_by_fingerprint(self, fleet_ledger):
+        frame = LedgerFrame.load(fleet_ledger, fingerprint="b" * 12)
+        assert {r["command"] for r in frame.records} == {"pipeline"}
+
+    def test_groups_key_on_command_and_fingerprint(self, fleet_ledger):
+        groups = LedgerFrame.load(fleet_ledger).groups()
+        assert [key.label for key in groups] == [
+            "pipeline@bbbbbbbbbbbb",
+            "sweep@aaaaaaaaaaaa",
+        ]
+
+    def test_mixed_configs_never_share_a_series(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        for fp in ("1" * 12, "2" * 12):
+            ledger.append(
+                synthetic_run(f"r-{fp[0]}", fingerprint=fp, stages=stage("reduce", 1.0))
+            )
+        series = LedgerFrame.load(path).all_stage_series()
+        assert len(series) == 2
+        assert all(s.count == 1 for s in series)
+
+    def test_stage_series_statistics(self, fleet_ledger):
+        frame = LedgerFrame.load(fleet_ledger)
+        key = GroupKey(command="sweep", fingerprint="a" * 12)
+        series = frame.stage_series(key)
+        reduce = series["reduce"]
+        assert reduce.walls == (1.0, 1.0, 1.0, 2.0)
+        assert reduce.mean == 1.25
+        assert reduce.percentile(50) == 1.0
+        assert reduce.percentile(95) == 2.0
+        assert reduce.total_wall_seconds == 5.0
+        cluster = series["cluster"]
+        # First run missed, the next three hit.
+        assert cluster.cache_hit_rate == 0.75
+
+    def test_repeated_stage_entries_sum_into_one_point(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        RunLedger(path).append(
+            synthetic_run("r1", stages=stage("reduce", 0.5, repeats=3))
+        )
+        (series,) = LedgerFrame.load(path).all_stage_series()
+        assert series.count == 1
+        assert series.walls == (1.5,)
+        assert series.executions == 3
+
+
+class TestTrendStatistics:
+    def test_rolling_mean_trails_the_window(self):
+        assert rolling_mean([1.0, 2.0, 3.0, 4.0], window=2) == [
+            1.0,
+            1.5,
+            2.5,
+            3.5,
+        ]
+        with pytest.raises(ReproError):
+            rolling_mean([1.0], window=0)
+
+    def test_least_squares_slope(self):
+        assert least_squares_slope([1.0, 2.0, 3.0]) == 1.0
+        assert least_squares_slope([5.0, 5.0, 5.0]) == 0.0
+        assert least_squares_slope([3.0]) == 0.0
+
+    def test_percent_change_handles_zero_baseline(self):
+        assert percent_change(1.0, 1.5) == 50.0
+        assert percent_change(0.0, 0.0) == 0.0
+        assert percent_change(0.0, 0.1) == math.inf
+
+    def test_build_trend_flags_the_regressed_stage(self, fleet_ledger):
+        report = build_trend(LedgerFrame.load(fleet_ledger))
+        assert report.runs == 6
+        assert report.tolerance_pct == DEFAULT_MAX_REGRESSION_PCT
+        (flagged,) = report.flagged
+        assert flagged.series.stage == "reduce"
+        assert flagged.series.group.command == "sweep"
+        assert flagged.latest == 2.0
+        assert flagged.trailing_mean == 1.0
+        assert flagged.change_pct == 100.0
+
+    def test_stages_sort_by_descending_total_wall(self, fleet_ledger):
+        report = build_trend(LedgerFrame.load(fleet_ledger))
+        sweep = next(g for g in report.groups if g.key.command == "sweep")
+        assert [t.series.stage for t in sweep.stages] == ["reduce", "cluster"]
+
+    def test_stage_filter_and_no_match_error(self, fleet_ledger):
+        report = build_trend(LedgerFrame.load(fleet_ledger), stage="cluster")
+        assert all(
+            t.series.stage == "cluster"
+            for g in report.groups
+            for t in g.stages
+        )
+        with pytest.raises(ReproError, match="no matching runs"):
+            build_trend(LedgerFrame.load(fleet_ledger), stage="nonesuch")
+
+
+class TestTop:
+    def test_by_wall_ranks_cumulative_cost(self, fleet_ledger):
+        report = build_top(LedgerFrame.load(fleet_ledger))
+        assert report.total_wall_seconds == 7.5
+        first = report.rows[0]
+        assert (first.group.command, first.stage) == ("sweep", "reduce")
+        assert first.total_wall_seconds == 5.0
+        assert first.share_pct == pytest.approx(100.0 * 5.0 / 7.5)
+
+    def test_by_count_ranks_executions(self, fleet_ledger):
+        report = build_top(LedgerFrame.load(fleet_ledger), by="count")
+        assert report.rows[0].executions == max(r.executions for r in report.rows)
+        with pytest.raises(ReproError, match="by must be"):
+            build_top(LedgerFrame.load(fleet_ledger), by="memory")
+
+
+class TestSLOPolicy:
+    def test_stage_override_inherits_unset_rules(self):
+        policy = SLOPolicy.from_dict(
+            {
+                "schema": 1,
+                "default": {"max_regression_pct": 25.0},
+                "stage": {"reduce": {"max_p95_wall_seconds": 2.0}},
+            }
+        )
+        budget = policy.budget_for("reduce")
+        assert budget.max_p95_wall_seconds == 2.0
+        assert budget.max_regression_pct == 25.0
+        assert policy.budget_for("other") == StageBudget(
+            max_regression_pct=25.0
+        )
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ReproError, match="unknown key"):
+            SLOPolicy.from_dict({"schema": 1, "stages": {}})
+        with pytest.raises(ReproError, match="unknown budget key"):
+            SLOPolicy.from_dict({"default": {"max_p99_wall_seconds": 1.0}})
+        with pytest.raises(ReproError, match="unsupported schema"):
+            SLOPolicy.from_dict({"schema": 2})
+        with pytest.raises(ReproError, match="positive integer"):
+            SLOPolicy.from_dict({"min_runs": 0})
+
+    def test_from_dict_rejects_non_numeric_budgets(self):
+        with pytest.raises(ReproError):
+            SLOPolicy.from_dict({"default": {"max_regression_pct": "fast"}})
+        with pytest.raises(ReproError):
+            SLOPolicy.from_dict({"default": {"max_regression_pct": True}})
+        with pytest.raises(ReproError):
+            SLOPolicy.from_dict({"default": {"max_regression_pct": -1.0}})
+
+    def test_from_file_toml(self, tmp_path):
+        path = tmp_path / "slo.toml"
+        path.write_text(
+            "\n".join(
+                [
+                    "# fleet budgets",
+                    "schema = 1",
+                    "window = 5",
+                    "min_runs = 2",
+                    "",
+                    "[default]",
+                    "max_regression_pct = 30.0",
+                    "",
+                    "[stage.reduce]",
+                    "max_p95_wall_seconds = 1.5",
+                    'min_cache_hit_rate = 0.9',
+                ]
+            )
+        )
+        policy = SLOPolicy.from_file(path)
+        assert policy.window == 5
+        assert policy.min_runs == 2
+        assert policy.source == str(path)
+        assert policy.budget_for("reduce").min_cache_hit_rate == 0.9
+        assert policy.budget_for("reduce").max_regression_pct == 30.0
+
+    def test_from_file_json(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "default": {"max_p95_wall_seconds": 3.0},
+                }
+            )
+        )
+        policy = SLOPolicy.from_file(path)
+        assert policy.budget_for("anything").max_p95_wall_seconds == 3.0
+        path.write_text("{not json")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            SLOPolicy.from_file(path)
+
+    def test_from_file_missing(self, tmp_path):
+        with pytest.raises(ReproError, match="no policy file"):
+            SLOPolicy.from_file(tmp_path / "absent.toml")
+
+    def test_minimal_toml_parser_subset(self):
+        data = _parse_minimal_toml(
+            "\n".join(
+                [
+                    "# comment",
+                    "schema = 1",
+                    "window = 7",
+                    'label = "p95 # strict"',
+                    "strict = true",
+                    "",
+                    "[default]",
+                    "max_regression_pct = 12.5",
+                    "[stage.score_cuts]",
+                    "max_p95_wall_seconds = 0.25",
+                ]
+            ),
+            source="<test>",
+        )
+        assert data["schema"] == 1
+        assert data["window"] == 7
+        assert data["label"] == "p95 # strict"
+        assert data["strict"] is True
+        assert data["default"] == {"max_regression_pct": 12.5}
+        assert data["stage"] == {"score_cuts": {"max_p95_wall_seconds": 0.25}}
+
+    def test_minimal_toml_parser_rejects_garbage(self):
+        with pytest.raises(ReproError):
+            _parse_minimal_toml("window 7", source="<test>")
+        with pytest.raises(ReproError):
+            _parse_minimal_toml("x = [1, 2]", source="<test>")
+
+
+class TestGate:
+    def test_healthy_frame_passes_default_policy(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        for i in range(4):
+            ledger.append(
+                synthetic_run(f"r{i}", stages=stage("reduce", 1.0))
+            )
+        report = evaluate_gate(LedgerFrame.load(path), SLOPolicy())
+        assert report.ok
+        assert report.checked == ("sweep@aaaaaaaaaaaa/reduce",)
+        assert not report.violations
+
+    def test_injected_regression_fails_the_gate(self, fleet_ledger):
+        report = evaluate_gate(LedgerFrame.load(fleet_ledger), SLOPolicy())
+        assert not report.ok
+        (violation,) = report.violations
+        assert violation.stage == "reduce"
+        assert violation.rule == "max_regression_pct"
+        assert violation.actual == 100.0
+        assert violation.limit == DEFAULT_MAX_REGRESSION_PCT
+        assert "+100.0%" in violation.detail
+
+    def test_fresh_series_skip_instead_of_failing(self, fleet_ledger):
+        report = evaluate_gate(LedgerFrame.load(fleet_ledger), SLOPolicy())
+        # The pipeline group has 2 runs < min_runs 3.
+        assert report.skipped == {
+            "pipeline@bbbbbbbbbbbb/reduce": "2 run(s) < min_runs 3"
+        }
+
+    def test_p95_and_cache_rate_rules(self, fleet_ledger):
+        policy = SLOPolicy.from_dict(
+            {
+                "min_runs": 3,
+                "default": {},
+                "stage": {
+                    "reduce": {"max_p95_wall_seconds": 1.5},
+                    "cluster": {"min_cache_hit_rate": 0.9},
+                },
+            }
+        )
+        report = evaluate_gate(LedgerFrame.load(fleet_ledger), policy)
+        rules = {(v.stage, v.rule) for v in report.violations}
+        assert ("reduce", "max_p95_wall_seconds") in rules
+        assert ("cluster", "min_cache_hit_rate") in rules
+
+    def test_cache_rule_skips_series_without_cache_data(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        for i in range(3):
+            record = synthetic_run(
+                f"r{i}",
+                stages=[{"stage": "reduce", "wall_seconds": 1.0, "cache_hit": None}],
+            )
+            ledger.append(record)
+        policy = SLOPolicy.from_dict(
+            {"default": {"min_cache_hit_rate": 0.99}}
+        )
+        report = evaluate_gate(LedgerFrame.load(path), policy)
+        assert report.ok  # no known cache outcomes -> rule skipped
+
+    def test_empty_frame_is_an_error(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text("")
+        with pytest.raises(ReproError, match="no runs"):
+            evaluate_gate(LedgerFrame.load(path), SLOPolicy())
+
+    def test_windowing_limits_the_lookback(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        # Ancient slowness outside the window must not mask a fresh
+        # regression: window=3 sees [1.0, 1.0, 3.0] only.
+        for i, wall in enumerate([50.0, 50.0, 1.0, 1.0, 3.0]):
+            ledger.append(synthetic_run(f"r{i}", stages=stage("reduce", wall)))
+        policy = SLOPolicy.from_dict(
+            {"window": 3, "default": {"max_regression_pct": 100.0}}
+        )
+        report = evaluate_gate(LedgerFrame.load(path), policy)
+        (violation,) = report.violations
+        assert violation.actual == 200.0
+
+
+class TestJsonDeterminism:
+    def test_to_json_sorts_keys_and_ends_with_newline(self):
+        text = to_json({"b": 1, "a": {"z": 2, "y": 3}})
+        assert text == '{\n  "a": {\n    "y": 3,\n    "z": 2\n  },\n  "b": 1\n}\n'
+
+    def test_payloads_are_json_round_trippable(self, fleet_ledger):
+        from repro.obs.analytics import (
+            gate_payload,
+            top_payload,
+            trend_payload,
+        )
+
+        frame = LedgerFrame.load(fleet_ledger)
+        for payload in (
+            trend_payload(build_trend(frame)),
+            top_payload(build_top(frame)),
+            gate_payload(evaluate_gate(frame, SLOPolicy())),
+        ):
+            assert payload["schema"] == 1
+            assert json.loads(to_json(payload)) == payload

@@ -1,0 +1,122 @@
+"""Rendering tests for the fleet-analytics views (trend/top/gate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.analytics import (
+    LedgerFrame,
+    SLOPolicy,
+    build_top,
+    build_trend,
+    evaluate_gate,
+)
+from repro.obs.render import render_gate, render_top, render_trend, sparkline
+
+from tests.obs.test_analytics import stage, synthetic_run
+
+
+@pytest.fixture
+def frame():
+    """Two configurations, one with an injected latest-run regression."""
+    records = []
+    for i, wall in enumerate([1.0, 1.0, 1.0, 2.0]):
+        records.append(
+            synthetic_run(
+                f"s{i + 1}",
+                timestamp=1754000000.0 + i,
+                stages=stage("reduce", wall)
+                + stage("cluster", 0.5, cache_hit=i > 0),
+            )
+        )
+    for i in range(2):
+        records.append(
+            synthetic_run(
+                f"p{i + 1}",
+                command="pipeline",
+                fingerprint="b" * 12,
+                timestamp=1754000100.0 + i,
+                stages=stage("reduce", 0.25),
+            )
+        )
+    return LedgerFrame(records)
+
+
+class TestSparkline:
+    def test_scales_to_the_block_range(self):
+        assert sparkline([1.0, 2.0, 3.0]) == "▁▄█"
+
+    def test_none_renders_as_dot(self):
+        assert sparkline([1.0, None, 3.0]) == "▁·█"
+
+    def test_flat_series_sits_on_the_floor(self):
+        assert sparkline([2.0, 2.0]) == "▁▁"
+
+    def test_empty_and_all_none_collapse(self):
+        # With no known samples there is no scale to draw against.
+        assert sparkline([]) == ""
+        assert sparkline([None, None]) == ""
+
+
+class TestRenderTrend:
+    def test_groups_sparklines_and_regression_marker(self, frame):
+        text = render_trend(build_trend(frame))
+        assert "fleet trend over 6 run(s)" in text
+        assert "sweep@aaaaaaaaaaaa  (4 run(s))" in text
+        assert "pipeline@bbbbbbbbbbbb  (2 run(s))" in text
+        # Run-wall sparkline: three flat runs then the 2.5s spike.
+        assert "▁▁▁█" in text
+        assert "<-- REGRESSION" in text
+        assert (
+            "REGRESSED: sweep@aaaaaaaaaaaa/reduce above +50% "
+            "of their trailing window" in text
+        )
+
+    def test_stage_rows_carry_percentiles_and_slope(self, frame):
+        text = render_trend(build_trend(frame))
+        row = next(
+            line for line in text.splitlines()
+            if line.strip().startswith("reduce") and "REGRESSION" in line
+        )
+        assert "1250.0ms" in row  # mean of 1,1,1,2
+        assert "2000.0ms" in row  # p95
+        assert "+300.00ms/run" in row  # least-squares slope
+        assert "+100.0%" in row  # latest vs trailing mean
+
+    def test_healthy_trend_ends_ok(self, frame):
+        report = build_trend(frame, stage="cluster")
+        text = render_trend(report)
+        assert "REGRESSED" not in text
+        assert "ok:" in text
+
+
+class TestRenderTop:
+    def test_ranked_rows_with_share_and_cumulative(self, frame):
+        text = render_top(build_top(frame))
+        assert "fleet cost by wall over 6 run(s)" in text
+        lines = [l for l in text.splitlines() if "@" in l]
+        assert lines[0].startswith("reduce")
+        assert "66.7%" in lines[0]
+        assert lines[-1].rstrip().endswith("100.0%")
+
+    def test_by_count_header(self, frame):
+        assert "fleet cost by count" in render_top(build_top(frame, by="count"))
+
+
+class TestRenderGate:
+    def test_failing_gate_lists_violations_per_stage(self, frame):
+        text = render_gate(evaluate_gate(frame, SLOPolicy()))
+        assert "policy <defaults>, window 20, min_runs 3" in text
+        assert "checked 2 series, skipped 1" in text
+        assert "skipped pipeline@bbbbbbbbbbbb/reduce: 2 run(s) < min_runs 3" in text
+        assert "sweep@aaaaaaaaaaaa/reduce" in text
+        assert "max_regression_pct" in text
+        assert text.rstrip().endswith("SLO GATE: FAIL — 1 violation(s)")
+
+    def test_passing_gate_ends_with_pass_line(self, frame):
+        policy = SLOPolicy.from_dict(
+            {"default": {"max_regression_pct": 500.0}}
+        )
+        text = render_gate(evaluate_gate(frame, policy))
+        assert "violation" not in text.splitlines()[-1].lower() or True
+        assert text.rstrip().endswith("SLO GATE: PASS — no budget breached")

@@ -1,0 +1,172 @@
+"""The bench harness must leave truthful ledger records — even on crash."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import benchmarks.conftest as bench_conftest
+from repro.obs.ledger import LEDGER_ENV, RunLedger
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestRecordFailedBench:
+    def test_appends_exit_code_one_record(self, tmp_path, monkeypatch):
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv(LEDGER_ENV, str(path))
+        bench_conftest.record_failed_bench(
+            "boom",
+            failed_test="test_boom",
+            error="RuntimeError: kaboom",
+            wall_seconds=1.25,
+        )
+        (record,) = RunLedger(path).records()
+        assert record["command"] == "bench:boom"
+        assert record["exit_code"] == 1
+        assert record["wall_seconds"] == 1.25
+        assert record["error"] == "RuntimeError: kaboom"
+        assert record["args"]["failed_test"] == "test_boom"
+
+    def test_noop_without_ledger_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(LEDGER_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        bench_conftest.record_failed_bench(
+            "boom", failed_test="t", error="e"
+        )
+        assert not (tmp_path / "results").exists()
+
+    def test_failed_runs_are_excluded_from_analytics(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs.analytics import LedgerFrame
+
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv(LEDGER_ENV, str(path))
+        bench_conftest.record_failed_bench(
+            "boom", failed_test="t", error="e", wall_seconds=99.0
+        )
+        assert len(LedgerFrame.load(path)) == 0
+        assert len(LedgerFrame.load(path, include_failed=True)) == 1
+
+
+class TestSuccessRecordShape:
+    def test_config_is_folded_into_fingerprinted_args(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv(LEDGER_ENV, str(path))
+        monkeypatch.setattr(bench_conftest, "RESULTS_DIR", tmp_path / "results")
+        bench_conftest.write_bench_json(
+            "shape", {"value": 1}, config={"smoke": True}
+        )
+        (record,) = RunLedger(path).records()
+        assert record["command"] == "bench:shape"
+        assert record["exit_code"] == 0
+        assert record["args"] == {"bench": "shape", "smoke": True}
+        # A different config must land in a different trend group.
+        monkeypatch.setattr(
+            bench_conftest, "RESULTS_DIR", tmp_path / "results"
+        )
+        bench_conftest.write_bench_json(
+            "shape", {"value": 1}, config={"smoke": False}
+        )
+        first, second = RunLedger(path).records()
+        assert first["args_fingerprint"] != second["args_fingerprint"]
+
+
+class TestMakereportHook:
+    def test_bench_name_resolution(self):
+        from types import SimpleNamespace
+
+        def item_for(module_name):
+            return SimpleNamespace(
+                module=SimpleNamespace(__name__=module_name)
+            )
+
+        assert (
+            bench_conftest._bench_name_for_item(item_for("bench_hotpaths"))
+            == "hotpaths"
+        )
+        assert (
+            bench_conftest._bench_name_for_item(
+                item_for("benchmarks.bench_engine_caching")
+            )
+            == "engine_caching"
+        )
+        assert (
+            bench_conftest._bench_name_for_item(item_for("test_not_a_bench"))
+            is None
+        )
+        assert (
+            bench_conftest._bench_name_for_item(SimpleNamespace(module=None))
+            is None
+        )
+
+    def test_failing_bench_writes_failure_record(self, tmp_path):
+        """End to end: a raising bench run under pytest leaves a
+        ``bench:<name>`` ledger record with ``exit_code: 1``."""
+        (tmp_path / "conftest.py").write_text(
+            "from benchmarks.conftest import (  # noqa: F401\n"
+            "    pytest_runtest_makereport,\n"
+            ")\n"
+        )
+        (tmp_path / "bench_boom.py").write_text(
+            "import os, pathlib\n"
+            "import benchmarks.conftest as bc\n"
+            "bc.RESULTS_DIR = pathlib.Path(os.environ['BENCH_RESULTS_DIR'])\n"
+            "\n"
+            "def test_boom():\n"
+            "    bc.write_bench_json('boom', {'partial': True},\n"
+            "                        config={'n': 1})\n"
+            "    raise RuntimeError('kaboom mid-bench')\n"
+        )
+        ledger_path = tmp_path / "runs.jsonl"
+        env = dict(os.environ)
+        env[LEDGER_ENV] = str(ledger_path)
+        env["BENCH_RESULTS_DIR"] = str(tmp_path / "results")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(REPO_ROOT), str(REPO_ROOT / "src")]
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "bench_boom.py",
+                "-q",
+                "-p",
+                "no:cacheprovider",
+                "-o",
+                "python_files=bench_*.py",
+                "-o",
+                "addopts=",
+            ],
+            cwd=tmp_path,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        records = RunLedger(ledger_path).records()
+        # The crash happened *after* write_bench_json, so both the
+        # success-shaped record and the failure record exist — and the
+        # failure record is the one that keeps the timeline truthful.
+        assert [r["exit_code"] for r in records] == [0, 1]
+        failure = records[-1]
+        assert failure["command"] == "bench:boom"
+        assert failure["args"]["failed_test"] == "test_boom"
+        assert "kaboom mid-bench" in failure["error"]
+        assert failure["wall_seconds"] >= 0.0
+        # The bench JSON landed in the redirected results dir, not the repo.
+        assert (tmp_path / "results" / "BENCH_boom.json").exists()
+        payload = json.loads(
+            (tmp_path / "results" / "BENCH_boom.json").read_text()
+        )
+        assert payload["bench"] == "boom"

@@ -1,0 +1,398 @@
+"""CLI tests for the fleet-analytics obs subcommands and --json modes.
+
+The ``--json`` outputs are part of the tool's scriptable interface, so
+the trend/top/gate payloads are pinned **byte-for-byte** against a
+fixed synthetic ledger: any formatting drift (key order, indentation,
+float repr, trailing newline) is a breaking change and must fail here.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.obs.log import ROOT_LOGGER_NAME
+
+from tests.obs.test_analytics import stage, synthetic_run
+
+
+@pytest.fixture(autouse=True)
+def quiet_logging():
+    """Reset repro logging configured by main() so tests stay independent."""
+    yield
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.handlers[:] = []
+    root.setLevel(logging.NOTSET)
+
+
+@pytest.fixture
+def seeded_ledger(tmp_path):
+    """Four same-fingerprint sweep runs, the last one 2x slower."""
+    from repro.obs import RunLedger
+
+    path = tmp_path / "runs.jsonl"
+    ledger = RunLedger(path)
+    for i, wall in enumerate([1.0, 1.0, 1.0, 2.0]):
+        ledger.append(
+            synthetic_run(
+                f"s{i + 1}",
+                timestamp=1754000000.0 + i,
+                stages=stage("reduce", wall)
+                + stage("cluster", 0.5, cache_hit=i > 0),
+            )
+        )
+    return path
+
+
+def run_cli(argv, capsys):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+EXPECTED_TREND_JSON = """\
+{
+  "flagged_stages": [
+    "sweep@aaaaaaaaaaaa/reduce"
+  ],
+  "groups": [
+    {
+      "cache_hit_rates": [
+        null,
+        null,
+        null,
+        null
+      ],
+      "command": "sweep",
+      "fingerprint": "aaaaaaaaaaaa",
+      "run_ids": [
+        "s1",
+        "s2",
+        "s3",
+        "s4"
+      ],
+      "runs": 4,
+      "stages": [
+        {
+          "cache_hit_rate": 0.0,
+          "change_pct": 100.0,
+          "flagged": true,
+          "latest_seconds": 2.0,
+          "max_seconds": 2.0,
+          "mean_seconds": 1.25,
+          "p50_seconds": 1.0,
+          "p95_seconds": 2.0,
+          "runs": 4,
+          "slope_seconds_per_run": 0.3,
+          "stage": "reduce",
+          "total_wall_seconds": 5.0,
+          "trailing_mean_seconds": 1.0,
+          "walls_seconds": [
+            1.0,
+            1.0,
+            1.0,
+            2.0
+          ]
+        },
+        {
+          "cache_hit_rate": 0.75,
+          "change_pct": 0.0,
+          "flagged": false,
+          "latest_seconds": 0.5,
+          "max_seconds": 0.5,
+          "mean_seconds": 0.5,
+          "p50_seconds": 0.5,
+          "p95_seconds": 0.5,
+          "runs": 4,
+          "slope_seconds_per_run": 0.0,
+          "stage": "cluster",
+          "total_wall_seconds": 2.0,
+          "trailing_mean_seconds": 0.5,
+          "walls_seconds": [
+            0.5,
+            0.5,
+            0.5,
+            0.5
+          ]
+        }
+      ],
+      "wall_seconds": [
+        1.5,
+        1.5,
+        1.5,
+        2.5
+      ]
+    }
+  ],
+  "kind": "obs-trend",
+  "runs": 4,
+  "schema": 1,
+  "tolerance_pct": 50.0,
+  "window": 20
+}
+"""
+
+EXPECTED_TOP_JSON = """\
+{
+  "by": "wall",
+  "kind": "obs-top",
+  "rows": [
+    {
+      "command": "sweep",
+      "executions": 4,
+      "fingerprint": "aaaaaaaaaaaa",
+      "runs": 4,
+      "share_pct": 71.42857142857143,
+      "stage": "reduce",
+      "total_wall_seconds": 5.0
+    },
+    {
+      "command": "sweep",
+      "executions": 4,
+      "fingerprint": "aaaaaaaaaaaa",
+      "runs": 4,
+      "share_pct": 28.571428571428573,
+      "stage": "cluster",
+      "total_wall_seconds": 2.0
+    }
+  ],
+  "runs": 4,
+  "schema": 1,
+  "total_wall_seconds": 7.0
+}
+"""
+
+EXPECTED_GATE_JSON = """\
+{
+  "checked": [
+    "sweep@aaaaaaaaaaaa/cluster",
+    "sweep@aaaaaaaaaaaa/reduce"
+  ],
+  "kind": "obs-gate",
+  "ok": false,
+  "policy": {
+    "default": {
+      "max_p95_wall_seconds": null,
+      "max_regression_pct": 50.0,
+      "min_cache_hit_rate": null
+    },
+    "min_runs": 3,
+    "source": "<defaults>",
+    "stages": {},
+    "window": 20
+  },
+  "runs": 4,
+  "schema": 1,
+  "skipped": {},
+  "violations": [
+    {
+      "actual": 100.0,
+      "command": "sweep",
+      "detail": "latest 2.000000s is +100.0% vs trailing mean 1.000000s (budget +50%)",
+      "fingerprint": "aaaaaaaaaaaa",
+      "limit": 50.0,
+      "rule": "max_regression_pct",
+      "stage": "reduce"
+    }
+  ]
+}
+"""
+
+
+class TestJsonByteIdentity:
+    def test_trend_json_is_pinned(self, seeded_ledger, capsys):
+        code, out = run_cli(
+            ["obs", "trend", "--json", "--ledger", str(seeded_ledger)], capsys
+        )
+        assert code == 0
+        assert out == EXPECTED_TREND_JSON
+
+    def test_top_json_is_pinned(self, seeded_ledger, capsys):
+        code, out = run_cli(
+            ["obs", "top", "--json", "--ledger", str(seeded_ledger)], capsys
+        )
+        assert code == 0
+        assert out == EXPECTED_TOP_JSON
+
+    def test_gate_json_is_pinned_and_exits_one(self, seeded_ledger, capsys):
+        code, out = run_cli(
+            ["obs", "gate", "--json", "--ledger", str(seeded_ledger)], capsys
+        )
+        assert code == 1
+        assert out == EXPECTED_GATE_JSON
+
+    def test_repeat_invocations_are_byte_identical(self, seeded_ledger, capsys):
+        for argv in (
+            ["obs", "runs", "--json", "--ledger", str(seeded_ledger)],
+            ["obs", "show", "s2", "--json", "--ledger", str(seeded_ledger)],
+            ["obs", "diff", "s1", "s4", "--json", "--ledger", str(seeded_ledger)],
+        ):
+            _, first = run_cli(argv, capsys)
+            _, second = run_cli(argv, capsys)
+            assert first == second
+            _assert_keys_sorted(json.loads(first))
+
+
+def _assert_keys_sorted(value):
+    """Every mapping in the document must have its keys sorted."""
+    if isinstance(value, dict):
+        assert list(value) == sorted(value)
+        for child in value.values():
+            _assert_keys_sorted(child)
+    elif isinstance(value, list):
+        for child in value:
+            _assert_keys_sorted(child)
+
+
+class TestObsJsonModes:
+    def test_runs_json_is_schema_versioned(self, seeded_ledger, capsys):
+        code, out = run_cli(
+            ["obs", "runs", "--json", "--ledger", str(seeded_ledger)], capsys
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["schema"] == 1
+        assert payload["kind"] == "obs-runs"
+        assert [r["run_id"] for r in payload["runs"]] == ["s1", "s2", "s3", "s4"]
+
+    def test_show_json_dumps_the_raw_record(self, seeded_ledger, capsys):
+        code, out = run_cli(
+            ["obs", "show", "s4", "--json", "--ledger", str(seeded_ledger)],
+            capsys,
+        )
+        assert code == 0
+        record = json.loads(out)
+        assert record["run_id"] == "s4"
+        assert record["wall_seconds"] == 2.5
+        assert len(record["stages"]) == 2
+
+    def test_diff_json_exit_code_tracks_threshold(self, seeded_ledger, capsys):
+        code, out = run_cli(
+            [
+                "obs", "diff", "s1", "s4",
+                "--json", "--threshold", "50",
+                "--ledger", str(seeded_ledger),
+            ],
+            capsys,
+        )
+        assert code == 1
+        payload = json.loads(out)
+        assert payload["kind"] == "obs-diff"
+        assert payload["regressed"] == ["reduce"]
+        reduce_row = next(
+            s for s in payload["stages"] if s["stage"] == "reduce"
+        )
+        assert reduce_row["status"] == "regression"
+        assert reduce_row["change_pct"] == 100.0
+
+
+class TestTrendTopGateCli:
+    def test_trend_renders_and_flags(self, seeded_ledger, capsys):
+        code, out = run_cli(
+            ["obs", "trend", "--ledger", str(seeded_ledger)], capsys
+        )
+        assert code == 0
+        assert "fleet trend over 4 run(s)" in out
+        assert "<-- REGRESSION" in out
+
+    def test_trend_stage_filter(self, seeded_ledger, capsys):
+        code, out = run_cli(
+            [
+                "obs", "trend", "--stage", "cluster",
+                "--ledger", str(seeded_ledger),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "cluster" in out and "REGRESSION" not in out
+
+    def test_trend_last_window(self, seeded_ledger, capsys):
+        code, out = run_cli(
+            ["obs", "trend", "--last", "2", "--ledger", str(seeded_ledger)],
+            capsys,
+        )
+        assert code == 0
+        assert "fleet trend over 2 run(s)" in out
+
+    def test_trend_unknown_stage_is_clean_error(self, seeded_ledger, capsys):
+        assert (
+            main(
+                [
+                    "obs", "trend", "--stage", "nonesuch",
+                    "--ledger", str(seeded_ledger),
+                ]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_top_by_count(self, seeded_ledger, capsys):
+        code, out = run_cli(
+            ["obs", "top", "--by", "count", "--ledger", str(seeded_ledger)],
+            capsys,
+        )
+        assert code == 0
+        assert "fleet cost by count" in out
+
+    def test_gate_passes_with_generous_policy_file(
+        self, seeded_ledger, tmp_path, capsys
+    ):
+        policy = tmp_path / "slo.toml"
+        policy.write_text(
+            "schema = 1\n[default]\nmax_regression_pct = 500.0\n"
+        )
+        code, out = run_cli(
+            [
+                "obs", "gate", "--policy", str(policy),
+                "--ledger", str(seeded_ledger),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "SLO GATE: PASS" in out
+
+    def test_gate_fails_with_default_policy(self, seeded_ledger, capsys):
+        code, out = run_cli(
+            ["obs", "gate", "--ledger", str(seeded_ledger)], capsys
+        )
+        assert code == 1
+        assert "SLO GATE: FAIL" in out
+        assert "max_regression_pct" in out
+
+
+class TestPruneAndSizeWarning:
+    def test_prune_keeps_newest_runs(self, seeded_ledger, capsys):
+        from repro.obs import RunLedger
+
+        code, out = run_cli(
+            [
+                "obs", "prune", "--keep", "2",
+                "--ledger", str(seeded_ledger),
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "kept 2 run(s), dropped 2" in out
+        remaining = RunLedger(seeded_ledger).records()
+        assert [r["run_id"] for r in remaining] == ["s3", "s4"]
+
+    def test_runs_warns_past_the_size_threshold(
+        self, seeded_ledger, capsys, monkeypatch
+    ):
+        import repro.obs
+
+        monkeypatch.setattr(repro.obs, "SIZE_WARNING_BYTES", 64)
+        code, out = run_cli(
+            ["obs", "runs", "--ledger", str(seeded_ledger)], capsys
+        )
+        assert code == 0
+        assert "obs prune --keep N" in out
+
+    def test_runs_stays_quiet_below_the_threshold(self, seeded_ledger, capsys):
+        code, out = run_cli(
+            ["obs", "runs", "--ledger", str(seeded_ledger)], capsys
+        )
+        assert code == 0
+        assert "warning" not in out
