@@ -1,0 +1,254 @@
+"""Perf hook — what the resident scoring daemon buys over cold CLI runs.
+
+The service's reason to exist is the warm substrate: one
+:class:`~repro.engine.PipelineEngine` (and one loaded suite) survives
+across requests, so a ``/score`` that a cold ``repro-hmeans pipeline``
+invocation would answer in CLI-startup-plus-compute time comes back in
+well under a millisecond.  This bench measures that claim and archives
+it in ``results/BENCH_service.json``:
+
+1. **cold CLI** — one ``repro-hmeans pipeline --machine A`` subprocess
+   (interpreter start, imports, full SAR-A stage chain), the wall a
+   script-per-request integration pays;
+2. **warm /score latency** — N sequential ``POST /score`` requests at
+   the SAR-A shape (both Table III machine columns under the Table IV
+   k=6 partition) against a live in-process daemon: p50/p95/p99 and
+   serial throughput;
+3. **concurrent throughput** — C clients x M requests over keep-alive
+   connections, end-to-end wall and aggregate requests/second;
+4. **analyze warm-up** — the first ``/analyze`` (computes the chain on
+   the daemon's engine) vs the second (pure memo replay): the
+   compute-counter delta must be zero on the replay.
+
+The acceptance gate (``check_bench_regression.py --service``) pins
+``score.speedup_vs_cold_cli >= 10``.  When ``REPRO_LEDGER`` is set the
+daemon writes its own ``service:<endpoint>`` records to the shared
+ledger; the bench record then carries only ``service_run_ids`` links —
+never a second copy of the stage walls (see
+:func:`benchmarks.conftest._ledger_bench_record`).
+
+Set ``BENCH_SERVICE_SMOKE=1`` for a seconds-long CI-sized run; the
+gates are identical, the request counts are smaller.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import emit, write_bench_json
+from repro.data.partitions import TABLE4_PARTITIONS
+from repro.data.table3 import speedups_for_machine
+from repro.obs.ledger import ledger_path_from_env
+from repro.service import ServiceRuntime, ServiceThread
+from repro.viz.tables import format_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+SMOKE = os.environ.get("BENCH_SERVICE_SMOKE") == "1"
+
+SCORE_REQUESTS = 60 if SMOKE else 400
+CONCURRENT_CLIENTS = 4 if SMOKE else 8
+REQUESTS_PER_CLIENT = 10 if SMOKE else 25
+
+# The SAR-A shape of the acceptance gate: both published Table III
+# speedup columns scored under the recovered Table IV k=6 partition.
+SCORE_BODY = {
+    "measurements": {
+        "A": dict(speedups_for_machine("A")),
+        "B": dict(speedups_for_machine("B")),
+    },
+    "partition": [list(block) for block in TABLE4_PARTITIONS[6].blocks],
+    "mean": "geometric",
+}
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    index = min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def _cold_cli_wall(tmp_path: Path) -> float:
+    """One full ``repro-hmeans pipeline --machine A`` subprocess wall."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    # The comparison run must not pollute the bench's ledger trail.
+    env.pop("REPRO_LEDGER", None)
+    started = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro.cli", "pipeline", "--machine", "A"],
+        check=True,
+        capture_output=True,
+        cwd=tmp_path,
+        env=env,
+    )
+    return time.perf_counter() - started
+
+
+def _serial_latencies(client, requests: int) -> list[float]:
+    latencies = []
+    for _ in range(requests):
+        started = time.perf_counter()
+        status, _ = client.post_json("/score", SCORE_BODY)
+        latencies.append(time.perf_counter() - started)
+        assert status == 200
+    return latencies
+
+
+def _concurrent_wall(server, clients: int, per_client: int) -> float:
+    def client_loop(_):
+        client = server.client()
+        for _ in range(per_client):
+            status, _ = client.post_json("/score", SCORE_BODY)
+            assert status == 200
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(clients) as pool:
+        list(pool.map(client_loop, range(clients)))
+    return time.perf_counter() - started
+
+
+@pytest.mark.benchmark(group="service")
+def test_service_latency_and_throughput(benchmark, tmp_path):
+    cold_cli = _cold_cli_wall(tmp_path)
+
+    runtime = ServiceRuntime(
+        cache_dir=tmp_path / "service-cache",
+        ledger_path=ledger_path_from_env(),
+    )
+    with ServiceThread(runtime=runtime, max_concurrency=CONCURRENT_CLIENTS) as server:
+        client = server.client()
+
+        # Analyze warm-up: first request computes the SAR-A chain on
+        # the daemon's engine, the replay must compute nothing.
+        started = time.perf_counter()
+        status, _ = client.analyze({"machine": "A"})
+        first_analyze = time.perf_counter() - started
+        assert status == 200
+        counts_after_first = runtime.compute_counts
+        started = time.perf_counter()
+        status, _ = client.analyze({"machine": "A"})
+        warm_analyze = time.perf_counter() - started
+        assert status == 200
+        assert runtime.compute_counts == counts_after_first
+
+        # One async job so the archived payload links at least one
+        # service run id even without REPRO_LEDGER.
+        status, job = client.analyze({"machine": "B", "wait": False})
+        assert status == 202
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            status, job_state = client.run(job["run_id"])
+            if job_state["status"] != "running":
+                break
+            time.sleep(0.05)
+        assert job_state["status"] == "done"
+
+        # Warm /score latency distribution (timed under pytest-benchmark
+        # so the suite's timing machinery sees the serial pass).
+        latencies = benchmark.pedantic(
+            _serial_latencies,
+            args=(client, SCORE_REQUESTS),
+            rounds=1,
+            iterations=1,
+        )
+        concurrent_wall = _concurrent_wall(
+            server, CONCURRENT_CLIENTS, REQUESTS_PER_CLIENT
+        )
+
+    ordered = sorted(latencies)
+    p50 = _percentile(ordered, 0.50)
+    p95 = _percentile(ordered, 0.95)
+    p99 = _percentile(ordered, 0.99)
+    serial_rps = len(latencies) / sum(latencies)
+    concurrent_requests = CONCURRENT_CLIENTS * REQUESTS_PER_CLIENT
+    concurrent_rps = concurrent_requests / concurrent_wall
+    speedup = cold_cli / p50
+
+    service_run_ids = [job["run_id"]]
+    if runtime.ledger is not None:
+        service_run_ids = [
+            r["run_id"]
+            for r in runtime.ledger.records()
+            if str(r.get("command", "")).startswith("service:")
+        ]
+
+    write_bench_json(
+        "service",
+        {
+            "smoke": SMOKE,
+            "cold_cli": {
+                "command": "repro-hmeans pipeline --machine A",
+                "wall_seconds": cold_cli,
+            },
+            "score": {
+                "requests": SCORE_REQUESTS,
+                "p50_seconds": p50,
+                "p95_seconds": p95,
+                "p99_seconds": p99,
+                "mean_seconds": sum(latencies) / len(latencies),
+                "serial_rps": serial_rps,
+                "speedup_vs_cold_cli": speedup,
+            },
+            "concurrent": {
+                "clients": CONCURRENT_CLIENTS,
+                "requests": concurrent_requests,
+                "wall_seconds": concurrent_wall,
+                "rps": concurrent_rps,
+            },
+            "analyze": {
+                "first_seconds": first_analyze,
+                "warm_seconds": warm_analyze,
+                "speedup": first_analyze / warm_analyze,
+                "compute_counts": counts_after_first,
+            },
+            "service_run_ids": service_run_ids,
+        },
+        config={
+            "smoke": SMOKE,
+            "requests": SCORE_REQUESTS,
+            "clients": CONCURRENT_CLIENTS,
+        },
+    )
+
+    emit(
+        "Scoring service: warm daemon vs cold CLI "
+        + ("(smoke)" if SMOKE else "(full)"),
+        format_table(
+            ["Measurement", "value"],
+            [
+                ("cold CLI pipeline wall", f"{cold_cli * 1e3:.1f} ms"),
+                (f"warm /score p50 (n={SCORE_REQUESTS})", f"{p50 * 1e3:.3f} ms"),
+                ("warm /score p95", f"{p95 * 1e3:.3f} ms"),
+                ("warm /score p99", f"{p99 * 1e3:.3f} ms"),
+                ("serial throughput", f"{serial_rps:.0f} req/s"),
+                (
+                    f"concurrent throughput ({CONCURRENT_CLIENTS} clients)",
+                    f"{concurrent_rps:.0f} req/s",
+                ),
+                ("speedup vs cold CLI", f"{speedup:.0f}x"),
+                ("first /analyze", f"{first_analyze * 1e3:.1f} ms"),
+                ("warm /analyze replay", f"{warm_analyze * 1e3:.1f} ms"),
+            ],
+        ),
+    )
+
+    # The PR's acceptance criterion: a warm /score must beat a cold
+    # CLI invocation by at least an order of magnitude at the same
+    # SAR-A shape.
+    assert speedup >= 10.0, (
+        f"warm /score p50 {p50 * 1e3:.3f}ms vs cold CLI "
+        f"{cold_cli * 1e3:.1f}ms: speedup {speedup:.1f}x < 10x"
+    )
+    # The warm engine's whole point: the replayed /analyze computes
+    # nothing and is decisively faster than the computing first pass.
+    assert warm_analyze < first_analyze
+    # Tail sanity: the distribution must not invert.
+    assert p50 <= p95 <= p99

@@ -99,15 +99,25 @@ def _ledger_bench_record(
         args.update(config)
     recorder = RunRecorder(f"bench:{name}", args)
     record = recorder.finish(exit_code=0)
-    # Benches report through heterogeneous payloads; surface any
-    # engine-style stage timings they carry so `obs diff` can compare
-    # bench runs, and keep the rest discoverable via the JSON file.
-    stages = payload.get("stages")
-    if isinstance(stages, list):
-        record["stages"] = [s for s in stages if isinstance(s, Mapping)]
-    metrics = payload.get("metrics")
-    if isinstance(metrics, Mapping):
-        record["metrics"] = dict(metrics)
+    service_run_ids = payload.get("service_run_ids")
+    if isinstance(service_run_ids, list) and service_run_ids:
+        # A bench that drove a live scoring daemon: every request it
+        # made already wrote its own ``service:<endpoint>`` record (with
+        # stage walls) to this same ledger.  Mirroring the payload's
+        # stages/metrics here would double-count those walls under a
+        # second record, so the bench record only *links* to the
+        # service-side run ids.
+        record["service_run_ids"] = [str(r) for r in service_run_ids]
+    else:
+        # Benches report through heterogeneous payloads; surface any
+        # engine-style stage timings they carry so `obs diff` can compare
+        # bench runs, and keep the rest discoverable via the JSON file.
+        stages = payload.get("stages")
+        if isinstance(stages, list):
+            record["stages"] = [s for s in stages if isinstance(s, Mapping)]
+        metrics = payload.get("metrics")
+        if isinstance(metrics, Mapping):
+            record["metrics"] = dict(metrics)
     record["bench_json"] = os.fspath(RESULTS_DIR / f"BENCH_{name}.json")
     RunLedger(ledger_path).append(record)
 

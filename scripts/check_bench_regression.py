@@ -1,12 +1,13 @@
 #!/usr/bin/env python
 """Gate CI on the committed benchmark payloads and/or the run ledger.
 
-Three independent checks, composable in one invocation::
+Four independent checks, composable in one invocation::
 
     python scripts/check_bench_regression.py \
         --baseline /tmp/baseline.json \
         --fresh results/BENCH_hotpaths.json [--strict-absolute] \
         --engine-caching results/BENCH_engine_caching.json \
+        --service results/BENCH_service.json \
         --ledger results/runs.jsonl --policy ci/slo.toml
 
 ``--baseline`` compares a fresh ``BENCH_hotpaths.json`` against the
@@ -16,7 +17,11 @@ tolerance (speedup >= 0.9 — the plan -> execute scheduler's whole
 point is that parallelism never loses to serial, even on a 1-CPU
 runner where the planner must pick serial), the warm dedup sweep must
 execute zero compute stages, and the sharded SOM merge must be
-bitwise identical to the unsharded run.  ``--ledger`` gates the run
+bitwise identical to the unsharded run.  ``--service`` gates the
+scoring-daemon bench: a warm ``/score`` p50 must stay at least 10x
+faster than one cold ``repro-hmeans pipeline`` CLI invocation at the
+same shape, and the warm ``/analyze`` replay must beat the computing
+first pass.  ``--ledger`` gates the run
 ledger against an SLO policy file — the trailing-window trend logic
 is **not** reimplemented here; it delegates wholesale to
 :mod:`repro.obs.analytics` (the same code path as ``repro-hmeans obs
@@ -54,6 +59,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 FAIL_RATIO = 2.0
 WARN_RATIO = 1.25
 FANOUT_MIN_SPEEDUP = 0.9
+SERVICE_MIN_SPEEDUP = 10.0
 
 
 def _numeric_leaves(payload, prefix=""):
@@ -132,6 +138,70 @@ def check_engine_caching(payload: dict):
             f"sharded.bitwise_identical: true "
             f"({sharded.get('shards')} shard(s), "
             f"{sharded.get('workers')} worker(s))",
+        )
+
+
+def check_service(payload: dict):
+    """Yield ``(level, message)`` findings for the scoring-service bench.
+
+    The gate is the PR-8 acceptance criterion: a warm ``/score``
+    against the resident daemon must answer at least 10x faster (p50)
+    than one cold ``repro-hmeans pipeline`` CLI invocation at the same
+    SAR-A shape, and the warm ``/analyze`` replay must not recompute.
+    """
+    score = payload.get("score")
+    if not isinstance(score, dict):
+        yield ("fail", "score: section missing from service payload")
+        return
+    speedup = score.get("speedup_vs_cold_cli")
+    if not isinstance(speedup, (int, float)):
+        yield ("fail", "score.speedup_vs_cold_cli: missing or non-numeric")
+    elif speedup < SERVICE_MIN_SPEEDUP:
+        yield (
+            "fail",
+            f"score.speedup_vs_cold_cli: {speedup:.1f} < "
+            f"{SERVICE_MIN_SPEEDUP:.0f} (warm /score p50 "
+            f"{score.get('p50_seconds', float('nan')) * 1e3:.3f}ms lost its "
+            "order-of-magnitude edge over a cold CLI run)",
+        )
+    else:
+        yield (
+            "ok",
+            f"score.speedup_vs_cold_cli: {speedup:.0f}x >= "
+            f"{SERVICE_MIN_SPEEDUP:.0f}x (p50 "
+            f"{score.get('p50_seconds', float('nan')) * 1e3:.3f}ms over "
+            f"{score.get('requests')} request(s))",
+        )
+    p50, p99 = score.get("p50_seconds"), score.get("p99_seconds")
+    if isinstance(p50, (int, float)) and isinstance(p99, (int, float)):
+        if p99 > p50 * 50:
+            yield (
+                "warn",
+                f"score.p99_seconds: {p99 * 1e3:.3f}ms is >50x p50 "
+                f"({p50 * 1e3:.3f}ms) — heavy tail",
+            )
+        else:
+            yield (
+                "ok",
+                f"score latency tail: p99 {p99 * 1e3:.3f}ms within 50x of "
+                f"p50 {p50 * 1e3:.3f}ms",
+            )
+    analyze = payload.get("analyze")
+    if not isinstance(analyze, dict):
+        yield ("warn", "analyze: section missing from service payload")
+    elif not isinstance(analyze.get("speedup"), (int, float)):
+        yield ("warn", "analyze.speedup: missing or non-numeric")
+    elif analyze["speedup"] <= 1.0:
+        yield (
+            "fail",
+            f"analyze.speedup: {analyze['speedup']:.2f} — the warm replay "
+            "was not faster than the computing first pass (memo broken)",
+        )
+    else:
+        yield (
+            "ok",
+            f"analyze.speedup: warm replay {analyze['speedup']:.1f}x faster "
+            "than the first computing pass",
         )
 
 
@@ -239,6 +309,16 @@ def main(argv=None) -> int:
         "merge bitwise identical)",
     )
     parser.add_argument(
+        "--service",
+        type=Path,
+        nargs="?",
+        const=Path("results/BENCH_service.json"),
+        help="BENCH_service payload to gate (warm /score p50 >= "
+        f"{SERVICE_MIN_SPEEDUP:.0f}x faster than a cold CLI pipeline run, "
+        "warm /analyze replay faster than the computing pass); "
+        "default path: results/BENCH_service.json",
+    )
+    parser.add_argument(
         "--ledger",
         type=Path,
         help="run-ledger JSONL to gate against an SLO policy "
@@ -260,9 +340,12 @@ def main(argv=None) -> int:
     if (
         args.baseline is None
         and args.engine_caching is None
+        and args.service is None
         and args.ledger is None
     ):
-        parser.error("pass --baseline, --engine-caching, and/or --ledger")
+        parser.error(
+            "pass --baseline, --engine-caching, --service, and/or --ledger"
+        )
 
     findings = []
     if args.baseline is not None:
@@ -274,6 +357,9 @@ def main(argv=None) -> int:
     if args.engine_caching is not None:
         payload = _load(args.engine_caching, bench="engine_caching")
         findings.extend(check_engine_caching(payload))
+    if args.service is not None:
+        payload = _load(args.service, bench="service")
+        findings.extend(check_service(payload))
     if args.ledger is not None:
         findings.extend(check_ledger_slo(args.ledger, args.policy, args.last))
 

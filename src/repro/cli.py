@@ -602,6 +602,50 @@ def _cmd_obs(args: argparse.Namespace) -> tuple[str, int]:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    """Run the resident scoring daemon until SIGTERM/SIGINT drains it.
+
+    The daemon does its own per-request ledger recording
+    (``service:<endpoint>`` records), so ``main()`` deliberately skips
+    the per-invocation recorder for this command; ``--ledger`` (or
+    ``REPRO_LEDGER``) names the file those request records go to.
+    """
+    import asyncio
+
+    from repro.obs.metrics import current_metrics
+    from repro.service import ScoringService, ServiceRuntime
+
+    ledger_path = getattr(args, "ledger", None) or ledger_path_from_env()
+    runtime = ServiceRuntime(
+        cache_dir=args.cache_dir,
+        ledger_path=ledger_path,
+        metrics=current_metrics(),
+    )
+    service = ScoringService(
+        runtime,
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        drain_grace=args.drain_grace,
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        service.install_signal_handlers()
+        # Printed (and flushed) before blocking so callers that bound
+        # --port 0 can read the resolved address.
+        print(
+            f"serving on http://{service.host}:{service.port} "
+            f"(max_concurrency={service.max_concurrency}, "
+            f"cache_dir={runtime.cache_dir}, ledger={ledger_path})",
+            flush=True,
+        )
+        await service.serve_forever()
+
+    asyncio.run(_serve())
+    return "drained; bye"
+
+
 def _obs_parent() -> argparse.ArgumentParser:
     """Observability flags shared by every subcommand."""
     parent = argparse.ArgumentParser(add_help=False)
@@ -811,6 +855,44 @@ def _build_parser() -> argparse.ArgumentParser:
         help="score-match tolerance",
     )
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the resident scoring daemon (POST /score, POST /analyze, "
+        "GET /runs/{id}, GET /healthz, GET /metricsz)",
+        parents=[obs],
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8311,
+        help="TCP port (0 picks a free one; the bound address is printed "
+        "before the daemon starts serving)",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent stage cache shared with CLI runs and across "
+        "daemon restarts",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker threads executing requests (requests beyond N queue)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long SIGTERM waits for in-flight work before dropping it",
+    )
+
     obs_cmd = subparsers.add_parser(
         "obs",
         help="inspect the persistent run ledger "
@@ -1003,6 +1085,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "subset": _cmd_subset,
         "confidence": _cmd_confidence,
         "solve": _cmd_solve,
+        "serve": _cmd_serve,
         "obs": _cmd_obs,
     }
 
@@ -1015,11 +1098,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     tracer = Tracer() if trace_path else None
     registry = MetricsRegistry()
     # The run ledger (flag or REPRO_LEDGER) persists this invocation's
-    # telemetry for `repro-hmeans obs`; ledger inspection commands
-    # themselves are not recorded.
+    # telemetry for `repro-hmeans obs`; ledger inspection commands are
+    # not recorded, and neither is `serve` as an invocation — the
+    # daemon writes its own per-request `service:<endpoint>` records.
     ledger_path = (
         getattr(args, "ledger", None) or ledger_path_from_env()
-        if args.command != "obs"
+        if args.command not in ("obs", "serve")
         else None
     )
     recorder = (

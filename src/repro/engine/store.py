@@ -16,6 +16,7 @@ upstream stages be served without recomputation.
 from __future__ import annotations
 
 import sys
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Mapping
@@ -170,7 +171,13 @@ class CacheInfo:
 
 
 class StageCache:
-    """LRU memo of stage outputs, keyed by stage cache key."""
+    """LRU memo of stage outputs, keyed by stage cache key.
+
+    Thread-safe: the scoring service shares one engine (and therefore
+    one cache) across request handler threads, so the LRU reordering
+    and the hit/miss counters are guarded by a lock.  Uncontended
+    acquisition is tens of nanoseconds — invisible next to a stage.
+    """
 
     def __init__(self, max_entries: int = 128) -> None:
         if max_entries < 1:
@@ -179,32 +186,37 @@ class StageCache:
         self._entries: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._lock = threading.RLock()
 
     def get(self, key: str) -> dict[str, Any] | None:
         """Cached outputs for ``key``, or ``None``; counts hit/miss."""
-        outputs = self._entries.get(key)
-        if outputs is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return outputs
+        with self._lock:
+            outputs = self._entries.get(key)
+            if outputs is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return outputs
 
     def put(self, key: str, outputs: Mapping[str, Any]) -> None:
         """Memoize one stage's outputs, evicting the LRU entry if full."""
-        self._entries[key] = dict(outputs)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = dict(outputs)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
 
     def info(self) -> CacheInfo:
         """Current hit/miss/entry counters."""
-        return CacheInfo(
-            hits=self._hits, misses=self._misses, entries=len(self._entries)
-        )
+        with self._lock:
+            return CacheInfo(
+                hits=self._hits, misses=self._misses, entries=len(self._entries)
+            )
 
     def clear(self) -> None:
         """Drop every memoized entry and reset the counters."""
-        self._entries.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0

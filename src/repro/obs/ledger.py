@@ -52,6 +52,7 @@ __all__ = [
     "NullRecorder",
     "NULL_RECORDER",
     "current_recorder",
+    "run_source",
     "set_recorder",
     "use_recorder",
     "ledger_path_from_env",
@@ -79,6 +80,22 @@ _STAGE_SECONDS_PREFIX = 'repro_engine_stage_seconds{stage="'
 def ledger_path_from_env() -> str | None:
     """The ``REPRO_LEDGER`` ledger path, or ``None`` when unset/empty."""
     return os.environ.get(LEDGER_ENV) or None
+
+
+def run_source(command: str) -> str:
+    """Classify a record's origin from its command prefix.
+
+    Three producers share the ledger: plain CLI invocations record
+    their subcommand (``pipeline``, ``sweep``, ...), benchmarks record
+    ``bench:<name>``, and the scoring daemon records
+    ``service:<endpoint>``.  ``obs runs`` surfaces this as the
+    ``source`` column so fleet views can slice by traffic origin.
+    """
+    if command.startswith("bench:"):
+        return "bench"
+    if command.startswith("service:"):
+        return "service"
+    return "cli"
 
 
 def _cache_sources_from_metrics(metrics: Mapping[str, Any]) -> dict[str, int]:

@@ -25,6 +25,7 @@ from __future__ import annotations
 import contextlib
 import math
 import random
+import threading
 from typing import Any, Iterator, Mapping, Sequence
 
 from repro.exceptions import ReproError
@@ -219,28 +220,36 @@ class MetricsRegistry:
         ] = {}
         self._kinds: dict[str, type] = {}
         self._histogram_max_samples = histogram_max_samples
+        # The scoring service shares one registry across handler
+        # threads; the lock keeps concurrent first-use creation from
+        # dropping an instrument (two threads racing past the None
+        # check would each build one and one would lose its counts).
+        self._lock = threading.RLock()
 
     def _get(
         self, kind: type, name: str, labels: Mapping[str, str]
     ) -> Counter | Gauge | Histogram:
         if not name:
             raise ReproError("MetricsRegistry: empty metric name")
-        registered = self._kinds.get(name)
-        if registered is not None and registered is not kind:
-            raise ReproError(
-                f"MetricsRegistry: {name!r} already registered as "
-                f"{registered.__name__}, requested {kind.__name__}"
-            )
-        key = (name, _label_key(labels))
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            if kind is Histogram:
-                instrument = Histogram(max_samples=self._histogram_max_samples)
-            else:
-                instrument = kind()
-            self._instruments[key] = instrument
-            self._kinds[name] = kind
-        return instrument
+        with self._lock:
+            registered = self._kinds.get(name)
+            if registered is not None and registered is not kind:
+                raise ReproError(
+                    f"MetricsRegistry: {name!r} already registered as "
+                    f"{registered.__name__}, requested {kind.__name__}"
+                )
+            key = (name, _label_key(labels))
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                if kind is Histogram:
+                    instrument = Histogram(
+                        max_samples=self._histogram_max_samples
+                    )
+                else:
+                    instrument = kind()
+                self._instruments[key] = instrument
+                self._kinds[name] = kind
+            return instrument
 
     def counter(self, name: str, **labels: str) -> Counter:
         """The counter for ``name`` + labels, created on first use."""
@@ -325,7 +334,8 @@ class MetricsRegistry:
         """Instruments sorted by name then label set: every dump —
         Prometheus text, :meth:`as_dict`, :meth:`snapshot` — renders in
         this one deterministic order regardless of creation order."""
-        return sorted(self._instruments.items(), key=lambda item: item[0])
+        with self._lock:
+            return sorted(self._instruments.items(), key=lambda item: item[0])
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-safe snapshot: ``{name{labels}: value-or-summary}``."""

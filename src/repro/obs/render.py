@@ -31,6 +31,7 @@ import time
 from typing import Any, Iterable, Mapping
 
 from repro.exceptions import ReproError
+from repro.obs.ledger import run_source
 from repro.viz.tables import format_table
 
 __all__ = [
@@ -83,11 +84,12 @@ def render_runs_table(
     if not rows:
         raise ReproError("render_runs_table: no runs to list")
     table = format_table(
-        ["run id", "when", "command", "wall", "stages", "cache", "args"],
+        ["run id", "when", "source", "command", "wall", "stages", "cache", "args"],
         [
             (
                 str(r.get("run_id", "?")),
                 _when(r),
+                run_source(str(r.get("command", "?"))),
                 str(r.get("command", "?")),
                 f"{float(r.get('wall_seconds', 0.0)):.3f}s",
                 len(r.get("stages") or ()),
@@ -248,6 +250,7 @@ def _run_summary(record: Mapping[str, Any]) -> dict[str, Any]:
         "run_id": str(record.get("run_id", "?")),
         "timestamp_unix": record.get("timestamp_unix"),
         "command": str(record.get("command", "?")),
+        "source": run_source(str(record.get("command", "?"))),
         "args_fingerprint": str(record.get("args_fingerprint", "?")),
         "wall_seconds": float(record.get("wall_seconds", 0.0)),
         "exit_code": record.get("exit_code"),

@@ -1,0 +1,562 @@
+""":class:`ScoringService` — the asyncio transport over the runtime.
+
+This module owns everything request-shaped: routing, the per-key
+**in-flight coalescing map**, bounded concurrency, structured request
+logs, and graceful drain.
+
+Coalescing: every validated ``/score`` and ``/analyze`` request is
+reduced to a canonical key (see
+:meth:`~repro.service.runtime.ServiceRuntime.request_key`).  The first
+request for a key becomes the *leader*: it runs the computation on the
+worker pool and the finished **response body bytes** resolve a shared
+``asyncio.Task`` kept in ``_inflight``.  Concurrent *followers* for
+the same key simply await that task, so identical work is computed
+once and every caller receives byte-identical JSON.  The entry is
+removed when the task resolves — later requests hit the warm engine
+cache instead.
+
+Drain: on SIGTERM (or :meth:`ScoringService.drain`) the listener
+closes, requests still executing run to completion (responses are
+written), idle keep-alive connections are dropped, and any async job
+that cannot finish within the grace window is marked ``dropped`` with
+its own ledger record — the ledger never loses track of submitted
+work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.exceptions import ReproError
+from repro.obs.log import fmt_kv, get_logger
+from repro.obs.metrics import set_metrics
+from repro.service.http import (
+    DEFAULT_MAX_BODY_BYTES,
+    HttpError,
+    HttpRequest,
+    error_response,
+    json_body,
+    json_response,
+    read_request,
+    response_bytes,
+)
+from repro.service.runtime import (
+    JOB_DONE,
+    JOB_DROPPED,
+    JOB_FAILED,
+    ServiceRuntime,
+)
+from repro.service.schemas import (
+    ValidationError,
+    validate_analyze_request,
+    validate_score_request,
+)
+
+__all__ = ["ScoringService"]
+
+_log = get_logger("service")
+
+DEFAULT_PORT = 8311
+DEFAULT_MAX_CONCURRENCY = 4
+DEFAULT_DRAIN_GRACE = 30.0
+
+_JSON = "application/json"
+_TEXT = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Response:
+    """One computed response plus the metadata the transport needs."""
+
+    __slots__ = ("status", "body", "content_type", "keep_alive", "stages")
+
+    def __init__(
+        self,
+        status: int,
+        body: bytes,
+        *,
+        content_type: str = _JSON,
+        keep_alive: bool = True,
+        stages: Any = None,
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.keep_alive = keep_alive
+        self.stages = stages
+
+
+class ScoringService:
+    """The daemon: asyncio server + coalescing + drain over a runtime."""
+
+    def __init__(
+        self,
+        runtime: ServiceRuntime | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
+        max_body: int = DEFAULT_MAX_BODY_BYTES,
+        drain_grace: float = DEFAULT_DRAIN_GRACE,
+    ) -> None:
+        self.runtime = runtime if runtime is not None else ServiceRuntime()
+        self.host = host
+        self.port = port
+        self.max_concurrency = max(1, int(max_concurrency))
+        self.max_body = max_body
+        self.drain_grace = drain_grace
+        self.draining = False
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._semaphore: asyncio.Semaphore | None = None
+        self._inflight: dict[str, asyncio.Task] = {}
+        self._connections: set[asyncio.Task] = set()
+        self._job_tasks: set[asyncio.Task] = set()
+        self._busy_requests = 0
+        self._stopped: asyncio.Event | None = None
+        self._prev_metrics = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and warm the ambient metrics registry."""
+        self._stopped = asyncio.Event()
+        self._semaphore = asyncio.Semaphore(self.max_concurrency)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.max_concurrency, thread_name_prefix="repro-service"
+        )
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        # SOM internals report through the ambient registry; point it
+        # at the runtime's so /metricsz sees the whole picture.
+        self._prev_metrics = set_metrics(self.runtime.registry)
+        _log.info(
+            fmt_kv(
+                "service.start",
+                host=self.host,
+                port=self.port,
+                max_concurrency=self.max_concurrency,
+                cache_dir=self.runtime.cache_dir,
+            )
+        )
+
+    def install_signal_handlers(self) -> None:
+        """Drain on SIGTERM/SIGINT (main-thread event loops only)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda s=sig: asyncio.ensure_future(self._on_signal(s))
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Not the main thread (ServiceThread) or no loop signal
+                # support on this platform; tests drain explicitly.
+                return
+
+    async def _on_signal(self, sig: int) -> None:
+        _log.info(fmt_kv("service.signal", signal=signal.Signals(sig).name))
+        await self.drain()
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`drain` completes."""
+        assert self._stopped is not None, "start() must run first"
+        await self._stopped.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: in-flight work finishes, the rest drops."""
+        if self.draining:
+            return
+        self.draining = True
+        _log.info(
+            fmt_kv(
+                "service.drain_begin",
+                busy=self._busy_requests,
+                jobs=len(self._job_tasks),
+            )
+        )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+        # Let executing requests and async jobs run to completion
+        # (responses written, ledger records appended) within grace.
+        deadline = time.monotonic() + self.drain_grace
+        while time.monotonic() < deadline:
+            if self._busy_requests == 0 and not self._job_tasks:
+                break
+            await asyncio.sleep(0.02)
+
+        # Whatever survived the grace window is dropped — with a
+        # ledger record per dropped job so no submitted work vanishes.
+        job_tasks = list(self._job_tasks)
+        for task in job_tasks:
+            task.cancel()
+        if job_tasks:
+            await asyncio.gather(*job_tasks, return_exceptions=True)
+        for job in self.runtime.jobs():
+            if job.status not in (JOB_DONE, JOB_FAILED, JOB_DROPPED):
+                self.runtime.finish_job(
+                    job, status=JOB_DROPPED, error="dropped: server draining"
+                )
+                self.runtime.record_request(
+                    job.endpoint,
+                    job.request,
+                    wall_seconds=time.time() - job.submitted_unix,
+                    exit_code=1,
+                    run_id=job.run_id,
+                    error="dropped: server draining",
+                )
+
+        # Shielded in-flight computations outlive their cancelled
+        # callers; reap them so closing the loop destroys no live task.
+        inflight = list(self._inflight.values())
+        for task in inflight:
+            task.cancel()
+        if inflight:
+            await asyncio.gather(*inflight, return_exceptions=True)
+
+        # Idle keep-alive connections have nothing left to say.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        if self._prev_metrics is not None:
+            set_metrics(self._prev_metrics)
+            self._prev_metrics = None
+        _log.info(fmt_kv("service.drain_done"))
+        if self._stopped is not None:
+            self._stopped.set()
+
+    # -- connection loop ---------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader, max_body=self.max_body)
+                except HttpError as err:
+                    status, body = error_response(err.status, err.detail)
+                    writer.write(
+                        response_bytes(status, body, keep_alive=False)
+                    )
+                    await writer.drain()
+                    self._observe(err.status, "parse", 0.0)
+                    break
+                if request is None:
+                    break
+                started = time.perf_counter()
+                self._busy_requests += 1
+                try:
+                    response = await self._dispatch(request)
+                finally:
+                    self._busy_requests -= 1
+                writer.write(
+                    response_bytes(
+                        response.status,
+                        response.body,
+                        content_type=response.content_type,
+                        keep_alive=response.keep_alive,
+                    )
+                )
+                await writer.drain()
+                wall = time.perf_counter() - started
+                self._observe(response.status, request.path, wall)
+                _log.info(
+                    fmt_kv(
+                        "service.request",
+                        method=request.method,
+                        path=request.path,
+                        status=response.status,
+                        wall_ms=round(wall * 1000.0, 3),
+                    )
+                )
+                if not response.keep_alive:
+                    break
+        except asyncio.CancelledError:
+            pass  # drain killed an idle connection
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    def _observe(self, status: int, endpoint: str, wall: float) -> None:
+        registry = self.runtime.registry
+        registry.counter(
+            "service_requests_total", endpoint=endpoint, status=str(status)
+        ).inc()
+        registry.histogram(
+            "service_request_seconds", endpoint=endpoint
+        ).observe(wall)
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(self, request: HttpRequest) -> _Response:
+        keep_alive = request.keep_alive
+        if self.draining:
+            status, body = error_response(
+                503, "server is draining; retry against another instance"
+            )
+            return _Response(status, body, keep_alive=False)
+        try:
+            if request.path == "/healthz":
+                self._require(request, "GET")
+                status, body = json_response(
+                    200,
+                    self.runtime.health(
+                        draining=self.draining, in_flight=self._busy_requests
+                    ),
+                )
+            elif request.path == "/metricsz":
+                self._require(request, "GET")
+                text = self.runtime.registry.render_prometheus()
+                return _Response(
+                    200,
+                    text.encode("utf-8"),
+                    content_type=_TEXT,
+                    keep_alive=keep_alive,
+                )
+            elif request.path.startswith("/runs/"):
+                self._require(request, "GET")
+                status, body = self._handle_run(request.path[len("/runs/"):])
+            elif request.path == "/score":
+                self._require(request, "POST")
+                status, body = await self._handle_score(request)
+            elif request.path == "/analyze":
+                self._require(request, "POST")
+                status, body = await self._handle_analyze(request)
+            else:
+                raise HttpError(404, f"no route for {request.path!r}")
+        except HttpError as err:
+            status, body = error_response(err.status, err.detail)
+            # Routing misses keep the connection; protocol damage
+            # (truncated/oversize bodies) closes it.
+            keep = err.status in (404, 405)
+            return _Response(status, body, keep_alive=keep_alive and keep)
+        except ValidationError as err:
+            status, body = error_response(400, err.detail, field=err.field)
+        except Exception as exc:  # never kill the connection loop
+            _log.error(
+                fmt_kv("service.error", path=request.path, error=repr(exc))
+            )
+            status, body = error_response(500, f"internal error: {exc}")
+        return _Response(status, body, keep_alive=keep_alive)
+
+    @staticmethod
+    def _require(request: HttpRequest, method: str) -> None:
+        if request.method != method:
+            raise HttpError(
+                405, f"{request.path} only supports {method}"
+            )
+
+    # -- endpoints ---------------------------------------------------------
+
+    def _handle_run(self, run_id: str) -> tuple[int, bytes]:
+        job = self.runtime.job(run_id)
+        if job is None:
+            raise HttpError(404, f"unknown run id {run_id!r}")
+        return json_response(200, job.payload())
+
+    async def _handle_score(self, request: HttpRequest) -> tuple[int, bytes]:
+        try:
+            score_request = validate_score_request(json_body(request))
+        except (HttpError, ValidationError):
+            self._record_rejection("score")
+            raise
+        canonical = score_request.canonical()
+        key = self.runtime.request_key("score", canonical)
+        started = time.perf_counter()
+        computed = await self._coalesce(
+            key, lambda: self._compute_score(score_request)
+        )
+        self.runtime.record_request(
+            "score",
+            canonical,
+            wall_seconds=time.perf_counter() - started,
+            exit_code=0 if computed.status < 400 else 1,
+            coalesced=not computed.leader,
+        )
+        return computed.status, computed.body
+
+    async def _handle_analyze(self, request: HttpRequest) -> tuple[int, bytes]:
+        try:
+            analyze_request = validate_analyze_request(json_body(request))
+        except (HttpError, ValidationError):
+            self._record_rejection("analyze")
+            raise
+        canonical = analyze_request.canonical()
+        key = self.runtime.request_key("analyze", canonical)
+
+        if not analyze_request.wait:
+            job = self.runtime.create_job("analyze", canonical)
+            task = asyncio.ensure_future(
+                self._run_job(job, key, analyze_request)
+            )
+            self._job_tasks.add(task)
+            task.add_done_callback(self._job_tasks.discard)
+            return json_response(
+                202,
+                {
+                    "schema": 1,
+                    "kind": "service-run",
+                    "run_id": job.run_id,
+                    "status": job.status,
+                    "poll": f"/runs/{job.run_id}",
+                },
+            )
+
+        started = time.perf_counter()
+        computed = await self._coalesce(
+            key, lambda: self._compute_analyze(analyze_request)
+        )
+        self.runtime.record_request(
+            "analyze",
+            canonical,
+            wall_seconds=time.perf_counter() - started,
+            exit_code=0 if computed.status < 400 else 1,
+            stages=computed.stages,
+            coalesced=not computed.leader,
+        )
+        return computed.status, computed.body
+
+    async def _run_job(self, job, key: str, analyze_request) -> None:
+        """Drive one async ``/analyze`` job through the coalescing map."""
+        started = time.perf_counter()
+        try:
+            computed = await self._coalesce(
+                key, lambda: self._compute_analyze(analyze_request)
+            )
+        except asyncio.CancelledError:
+            # Drain cancelled us; drain writes the dropped record.
+            raise
+        except Exception as exc:  # defensive: compute wraps its errors
+            self.runtime.finish_job(job, status=JOB_FAILED, error=repr(exc))
+            self.runtime.record_request(
+                job.endpoint,
+                job.request,
+                wall_seconds=time.perf_counter() - started,
+                exit_code=1,
+                run_id=job.run_id,
+                error=repr(exc),
+            )
+            return
+        if computed.status < 400:
+            self.runtime.finish_job(
+                job,
+                status=JOB_DONE,
+                result=json.loads(computed.body.decode("utf-8")),
+            )
+            error = None
+        else:
+            error = json.loads(computed.body.decode("utf-8"))["error"]["detail"]
+            self.runtime.finish_job(job, status=JOB_FAILED, error=error)
+        self.runtime.record_request(
+            job.endpoint,
+            job.request,
+            wall_seconds=time.perf_counter() - started,
+            exit_code=0 if computed.status < 400 else 1,
+            stages=computed.stages,
+            run_id=job.run_id,
+            coalesced=not computed.leader,
+            error=error,
+        )
+
+    def _record_rejection(self, endpoint: str) -> None:
+        self.runtime.record_request(
+            endpoint,
+            {},
+            wall_seconds=0.0,
+            exit_code=1,
+            error="request rejected by validation",
+        )
+
+    # -- coalescing --------------------------------------------------------
+
+    async def _coalesce(
+        self, key: str, compute: Callable[[], _Response]
+    ) -> "_Computed":
+        """Run ``compute`` once per key; everyone gets the same bytes.
+
+        The first caller for a key creates the shared task (the
+        *leader*); concurrent callers await the same task and receive
+        the identical response object.  ``asyncio.shield`` keeps one
+        cancelled follower from killing the computation for everyone.
+        """
+        task = self._inflight.get(key)
+        leader = task is None
+        if task is None:
+            task = asyncio.ensure_future(self._bounded_compute(compute))
+            self._inflight[key] = task
+            task.add_done_callback(
+                lambda _t, _key=key: self._inflight.pop(_key, None)
+            )
+        response = await asyncio.shield(task)
+        return _Computed(response, leader)
+
+    async def _bounded_compute(
+        self, compute: Callable[[], _Response]
+    ) -> _Response:
+        assert self._semaphore is not None and self._executor is not None
+        async with self._semaphore:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self._executor, compute)
+
+    # -- compute (worker threads) -----------------------------------------
+
+    def _compute_score(self, score_request) -> _Response:
+        try:
+            payload = self.runtime.score(score_request)
+        except ReproError as exc:
+            status, body = error_response(400, str(exc))
+            return _Response(status, body)
+        except Exception as exc:
+            _log.error(fmt_kv("service.score_error", error=repr(exc)))
+            status, body = error_response(500, f"internal error: {exc}")
+            return _Response(status, body)
+        status, body = json_response(200, payload)
+        return _Response(status, body)
+
+    def _compute_analyze(self, analyze_request) -> _Response:
+        try:
+            payload = self.runtime.analyze(analyze_request)
+        except ReproError as exc:
+            status, body = error_response(400, str(exc))
+            return _Response(status, body)
+        except Exception as exc:
+            _log.error(fmt_kv("service.analyze_error", error=repr(exc)))
+            status, body = error_response(500, f"internal error: {exc}")
+            return _Response(status, body)
+        status, body = json_response(200, payload)
+        return _Response(
+            status, body, stages=payload.get("report", {}).get("stages")
+        )
+
+
+class _Computed:
+    """A coalesced result: the shared response plus this caller's role."""
+
+    __slots__ = ("status", "body", "stages", "leader")
+
+    def __init__(self, response: _Response, leader: bool) -> None:
+        self.status = response.status
+        self.body = response.body
+        self.stages = response.stages
+        self.leader = leader

@@ -80,6 +80,99 @@ class TestSuccessRecordShape:
         assert first["args_fingerprint"] != second["args_fingerprint"]
 
 
+class TestServiceLinkedBench:
+    """A bench that drove the scoring daemon must not double-ledger.
+
+    The daemon already writes one ``service:<endpoint>`` record (with
+    stage walls) per request; if the bench record mirrored the payload's
+    stages/metrics on top, one engine run would appear twice in fleet
+    analytics under two run ids.  The bench record must carry *links*
+    (``service_run_ids``) instead.
+    """
+
+    def test_service_linked_record_skips_stage_mirroring(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv(LEDGER_ENV, str(path))
+        monkeypatch.setattr(bench_conftest, "RESULTS_DIR", tmp_path / "results")
+        bench_conftest.write_bench_json(
+            "svc",
+            {
+                "p50_seconds": 0.001,
+                "stages": [{"stage": "reduce", "wall_seconds": 0.2}],
+                "metrics": {"repro_engine_cache_hits_total": 5},
+                "service_run_ids": ["svc-1-0001", "20260807T000000-abc123"],
+            },
+            config={"smoke": True},
+        )
+        (record,) = RunLedger(path).records()
+        assert record["command"] == "bench:svc"
+        assert record["service_run_ids"] == [
+            "svc-1-0001",
+            "20260807T000000-abc123",
+        ]
+        assert "metrics" not in record or not record["metrics"]
+        assert record["stages"] == []
+
+    def test_unlinked_record_still_mirrors_stages(self, tmp_path, monkeypatch):
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv(LEDGER_ENV, str(path))
+        monkeypatch.setattr(bench_conftest, "RESULTS_DIR", tmp_path / "results")
+        bench_conftest.write_bench_json(
+            "plain",
+            {
+                "stages": [{"stage": "reduce", "wall_seconds": 0.2}],
+                "metrics": {"repro_engine_cache_hits_total": 5},
+                "service_run_ids": [],  # empty: nothing to link
+            },
+        )
+        (record,) = RunLedger(path).records()
+        assert record["stages"] == [{"stage": "reduce", "wall_seconds": 0.2}]
+        assert record["metrics"] == {"repro_engine_cache_hits_total": 5}
+        assert "service_run_ids" not in record
+
+    def test_bench_over_live_daemon_counts_each_run_once(
+        self, tmp_path, monkeypatch
+    ):
+        """End to end: service records carry the stage walls, the bench
+        record links them, and no run id appears twice."""
+        from repro.service import ServiceRuntime, ServiceThread
+
+        path = tmp_path / "runs.jsonl"
+        monkeypatch.setenv(LEDGER_ENV, str(path))
+        monkeypatch.setattr(bench_conftest, "RESULTS_DIR", tmp_path / "results")
+        runtime = ServiceRuntime(ledger_path=path)
+        with ServiceThread(runtime=runtime) as server:
+            status, payload = server.client().analyze({"machine": "A"})
+            assert status == 200
+        service_ids = [
+            r["run_id"]
+            for r in RunLedger(path).records()
+            if r["command"].startswith("service:")
+        ]
+        assert service_ids
+        bench_conftest.write_bench_json(
+            "svc_e2e",
+            {
+                "stages": payload["report"]["stages"],
+                "service_run_ids": service_ids,
+            },
+            config={"smoke": True},
+        )
+        records = RunLedger(path).records()
+        run_ids = [r["run_id"] for r in records]
+        assert len(run_ids) == len(set(run_ids))
+        (bench_record,) = [
+            r for r in records if r["command"] == "bench:svc_e2e"
+        ]
+        assert bench_record["service_run_ids"] == service_ids
+        # The engine's stage walls live exactly once in the ledger:
+        # on the service record, never duplicated onto the bench record.
+        carriers = [r for r in records if r.get("stages")]
+        assert [r["command"] for r in carriers] == ["service:analyze"]
+
+
 class TestMakereportHook:
     def test_bench_name_resolution(self):
         from types import SimpleNamespace

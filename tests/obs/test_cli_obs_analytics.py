@@ -256,6 +256,33 @@ class TestObsJsonModes:
         assert payload["schema"] == 1
         assert payload["kind"] == "obs-runs"
         assert [r["run_id"] for r in payload["runs"]] == ["s1", "s2", "s3", "s4"]
+        assert [r["source"] for r in payload["runs"]] == ["cli"] * 4
+
+    def test_runs_json_source_tracks_command_prefix(self, tmp_path, capsys):
+        from repro.obs import RunLedger
+
+        path = tmp_path / "runs.jsonl"
+        ledger = RunLedger(path)
+        for run_id, command in (
+            ("c1", "pipeline"),
+            ("b1", "bench:service"),
+            ("v1", "service:score"),
+            ("v2", "service:analyze"),
+        ):
+            ledger.append(
+                synthetic_run(run_id, command=command, timestamp=1754000000.0)
+            )
+        code, out = run_cli(
+            ["obs", "runs", "--json", "--ledger", str(path)], capsys
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert [(r["run_id"], r["source"]) for r in payload["runs"]] == [
+            ("c1", "cli"),
+            ("b1", "bench"),
+            ("v1", "service"),
+            ("v2", "service"),
+        ]
 
     def test_show_json_dumps_the_raw_record(self, seeded_ledger, capsys):
         code, out = run_cli(

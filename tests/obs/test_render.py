@@ -86,6 +86,20 @@ class TestRunsTable:
         assert "bare" in text
         assert "?" in text  # unknown timestamp/command render as ?
 
+    def test_source_column_classifies_command_prefix(self):
+        text = render_runs_table(
+            [
+                _run("r-cli", "pipeline"),
+                _run("r-bench", "bench:engine_caching"),
+                _run("r-svc", "service:analyze"),
+            ]
+        )
+        header, separator, *rows = text.splitlines()
+        assert "source" in header
+        assert "cli" in rows[0]
+        assert "bench" in rows[1]
+        assert "service" in rows[2]
+
 
 class TestFlame:
     def test_traced_run_renders_nested_tree_with_pids(self):

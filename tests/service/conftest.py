@@ -1,0 +1,30 @@
+"""Fixtures for the service-level test suite.
+
+Every fixture builds an **in-process** server on an ephemeral port
+(:class:`repro.service.ServiceThread`), so the suite needs no free
+well-known port and parallel test runs never collide.  Tests that
+assert on compute counters or the ledger get a function-scoped server
+with a fresh runtime; read-only golden tests share a module-scoped one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceRuntime, ServiceThread
+
+
+@pytest.fixture
+def service_server(tmp_path):
+    """A fresh daemon per test: clean compute counters, clean ledger."""
+    runtime = ServiceRuntime(
+        cache_dir=str(tmp_path / "cache"),
+        ledger_path=str(tmp_path / "runs.jsonl"),
+    )
+    with ServiceThread(runtime=runtime) as server:
+        yield server
+
+
+@pytest.fixture
+def service_client(service_server):
+    return service_server.client()

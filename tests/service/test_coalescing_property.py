@@ -1,0 +1,118 @@
+"""Hypothesis property: coalesced responses == the serial CLI path.
+
+For any batch of ``/analyze`` requests — duplicates, interleavings,
+sync and async spellings mixed — every response the shared in-flight
+map produces must be **byte-identical** (after the golden suite's JSON
+canonicalization) to what the serial path computes for that
+configuration: a fresh :class:`WorkloadAnalysisPipeline` run exported
+through :func:`repro.serialization.analysis_result_to_dict`, exactly
+as ``repro-hmeans export`` writes it.
+
+One server (and one warm engine) serves every example — deliberately:
+the property must hold not just within an example's interleaving but
+across the accumulated cache state earlier examples left behind.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.pipeline import WorkloadAnalysisPipeline
+from repro.serialization import analysis_result_to_dict
+from repro.service import ServiceThread
+from repro.workloads.suite import BenchmarkSuite
+
+from tests.golden.test_golden import _normalize
+
+# Small but meaningfully diverse config space: machine changes the
+# characterize stage, linkage changes the cluster stage, som_mode
+# changes the reduce stage — so interleavings cross real stage-chain
+# boundaries, not just argument spellings.
+CONFIGS = st.fixed_dictionaries(
+    {
+        "machine": st.sampled_from(["A", "B"]),
+        "linkage": st.sampled_from(["complete", "average"]),
+        "som_mode": st.sampled_from(["sequential", "batch"]),
+    }
+)
+
+
+def _canonical_bytes(payload: dict) -> str:
+    return json.dumps(_normalize(payload), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def shared_server():
+    with ServiceThread(max_concurrency=4) as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def serial_reference():
+    """Serial-path results, computed lazily and memoized per config."""
+    cache: dict[str, str] = {}
+    suite = BenchmarkSuite.paper_suite()
+
+    def lookup(config: dict) -> str:
+        key = json.dumps(config, sort_keys=True)
+        if key not in cache:
+            pipeline = WorkloadAnalysisPipeline(
+                characterization="sar",
+                machine=config["machine"],
+                linkage=config["linkage"],
+                som_mode=config["som_mode"],
+                seed=11,
+            )
+            result = pipeline.run(suite)
+            cache[key] = _canonical_bytes(analysis_result_to_dict(result))
+        return cache[key]
+
+    return lookup
+
+
+@given(batch=st.lists(CONFIGS, min_size=1, max_size=6))
+@settings(max_examples=12, deadline=None)
+def test_interleaved_batches_match_the_serial_path(
+    shared_server, serial_reference, batch
+):
+    client = shared_server.client(timeout=180)
+
+    def fire(config: dict):
+        status, payload = client.analyze(dict(config))
+        return config, status, payload
+
+    with ThreadPoolExecutor(max_workers=len(batch)) as pool:
+        outcomes = list(pool.map(fire, batch))
+
+    for config, status, payload in outcomes:
+        assert status == 200, payload
+        assert _canonical_bytes(payload["result"]) == serial_reference(
+            config
+        ), f"service result diverged from serial path for {config}"
+
+
+@given(config=CONFIGS, duplicates=st.integers(min_value=2, max_value=5))
+@settings(max_examples=8, deadline=None)
+def test_duplicate_storms_are_byte_identical(
+    shared_server, serial_reference, config, duplicates
+):
+    """All N responses to one duplicated request carry identical bytes
+    — and those bytes embed the serial-path result."""
+    client = shared_server.client(timeout=180)
+
+    def fire(_):
+        return client.post_json("/analyze", dict(config))
+
+    with ThreadPoolExecutor(max_workers=duplicates) as pool:
+        responses = list(pool.map(fire, range(duplicates)))
+
+    assert {status for status, _ in responses} == {200}
+    results = {
+        _canonical_bytes(json.loads(body)["result"]) for _, body in responses
+    }
+    assert results == {serial_reference(config)}

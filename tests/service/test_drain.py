@@ -1,0 +1,188 @@
+"""Graceful drain: SIGTERM finishes in-flight work, drops the rest.
+
+The ledger is the invariant under scrutiny: after a drain — however
+abrupt — every line of the run ledger must parse as a complete JSON
+record (the O_APPEND single-write discipline means a torn line is a
+bug), and any async job the daemon could not finish must leave a
+``dropped`` record rather than vanishing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceRuntime, ServiceThread
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _post(port: int, path: str, payload: dict, timeout: float = 60.0):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestSigtermDrain:
+    @pytest.fixture
+    def served(self, tmp_path):
+        """A real `repro-hmeans serve` subprocess on an ephemeral port."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        ledger = tmp_path / "runs.jsonl"
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--port",
+                "0",
+                "--cache-dir",
+                str(tmp_path / "cache"),
+                "--ledger",
+                str(ledger),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "serving on http://127.0.0.1:" in banner, banner
+            port = int(banner.split("http://127.0.0.1:")[1].split()[0])
+            yield process, port, ledger
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.wait(timeout=30)
+
+    def test_sigterm_mid_flight_leaves_no_torn_ledger_lines(self, served):
+        process, port, ledger = served
+        statuses: list[int] = []
+
+        def fire():
+            try:
+                status, _ = _post(
+                    port, "/analyze", {"machine": "A"}, timeout=120
+                )
+                statuses.append(status)
+            except (urllib.error.URLError, ConnectionError, OSError):
+                # The connection died mid-drain; acceptable for the
+                # torn-line invariant under test here.
+                statuses.append(-1)
+
+        # A quick request that completes, then work that is likely
+        # still in flight when SIGTERM lands.
+        status, _ = _post(
+            port,
+            "/score",
+            {"measurements": {"A": {"x": 2.0}}, "partition": [["x"]]},
+        )
+        assert status == 200
+        threads = [threading.Thread(target=fire) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.15)  # let the analyses reach the engine
+        process.send_signal(signal.SIGTERM)
+        for thread in threads:
+            thread.join(timeout=120)
+        assert process.wait(timeout=60) == 0
+
+        # THE invariant: every ledger line is one complete JSON record.
+        lines = ledger.read_text(encoding="utf-8").splitlines()
+        assert lines, "the completed /score must have been recorded"
+        records = [json.loads(line) for line in lines]
+        for record in records:
+            assert record["command"].startswith("service:")
+            assert "run_id" in record and "exit_code" in record
+        assert records[0]["command"] == "service:score"
+
+    def test_drained_daemon_exits_zero_and_says_so(self, served):
+        process, port, ledger = served
+        process.send_signal(signal.SIGTERM)
+        assert process.wait(timeout=60) == 0
+        assert "drained; bye" in process.stdout.read()
+
+
+class TestInProcessDrain:
+    def test_unfinished_async_job_is_dropped_with_a_ledger_record(
+        self, tmp_path
+    ):
+        runtime = ServiceRuntime(ledger_path=str(tmp_path / "runs.jsonl"))
+        server = ServiceThread(runtime=runtime, drain_grace=0.0).start()
+        try:
+            status, payload = server.client().analyze(
+                {"machine": "B", "wait": False}
+            )
+            assert status == 202
+            run_id = payload["run_id"]
+        finally:
+            server.stop()  # grace 0: the running job cannot finish
+
+        job = runtime.job(run_id)
+        assert job is not None and job.status == "dropped"
+        records = runtime.ledger.records()
+        dropped = [r for r in records if r.get("run_id") == run_id]
+        assert len(dropped) == 1
+        assert dropped[0]["exit_code"] == 1
+        assert dropped[0]["error"] == "dropped: server draining"
+
+    def test_requests_during_drain_get_503(self, tmp_path):
+        runtime = ServiceRuntime()
+        server = ServiceThread(runtime=runtime).start()
+        client = server.client()
+        try:
+            # Open a keep-alive connection by making a request first.
+            status, _ = client.health()
+            assert status == 200
+            server.service.draining = True
+            status, body = client.request("GET", "/healthz")
+            assert status == 503
+            error = json.loads(body)["error"]
+            assert "draining" in error["detail"]
+        finally:
+            server.service.draining = False
+            server.stop()
+
+    def test_completed_jobs_survive_drain_untouched(self, tmp_path):
+        runtime = ServiceRuntime(ledger_path=str(tmp_path / "runs.jsonl"))
+        server = ServiceThread(runtime=runtime).start()
+        try:
+            client = server.client()
+            status, payload = client.analyze({"wait": False})
+            assert status == 202
+            run_id = payload["run_id"]
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                status, job = client.run(run_id)
+                if job["status"] != "running":
+                    break
+                time.sleep(0.05)
+            assert job["status"] == "done"
+        finally:
+            server.stop()
+        assert runtime.job(run_id).status == "done"
+        statuses = [
+            (r.get("run_id"), r["exit_code"])
+            for r in runtime.ledger.records()
+            if r["command"] == "service:analyze"
+        ]
+        assert (run_id, 0) in statuses
+        # No duplicate drop record for the finished job.
+        assert sum(1 for rid, _ in statuses if rid == run_id) == 1

@@ -1,0 +1,119 @@
+"""Golden-pin ``POST /score`` against the Table III-VI fixtures.
+
+The service must reproduce the paper's published hierarchical
+geometric means exactly (to the golden suite's float tolerance): the
+Table III speedup columns scored under every recovered Table IV-VI
+partition.  Structure is asserted exactly; floats to ``FLOAT_RTOL``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.service import ServiceThread
+
+from tests.golden.test_golden import FLOAT_RTOL
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+
+
+def _fixture(stem: str) -> dict:
+    with open(GOLDEN_DIR / f"{stem}.json", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def score_server():
+    """One shared read-only server: /score touches no mutable state."""
+    with ServiceThread() as server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def speedups():
+    # The published Table III columns — the exact inputs the stored
+    # score_a/score_b fixtures were computed from (the table3.json
+    # fixture holds the *simulated* columns, which deliberately differ).
+    from repro.data.table3 import speedups_for_machine
+
+    return {
+        "A": dict(speedups_for_machine("A")),
+        "B": dict(speedups_for_machine("B")),
+    }
+
+
+TABLES = _fixture("tables456")["tables"]
+
+CASES = [
+    (table, k)
+    for table in sorted(TABLES)
+    for k in sorted(TABLES[table], key=int)
+]
+
+
+@pytest.mark.parametrize("table,k", CASES, ids=[f"{t}-k{k}" for t, k in CASES])
+def test_score_matches_published_tables(score_server, speedups, table, k):
+    entry = TABLES[table][k]
+    client = score_server.client()
+    status, payload = client.score(
+        {
+            "measurements": {"A": speedups["A"], "B": speedups["B"]},
+            "partition": entry["clusters"],
+            "mean": "geometric",
+        }
+    )
+    assert status == 200
+    assert payload["kind"] == "service-score"
+    assert payload["num_clusters"] == int(k)
+    assert payload["breakdowns"]["A"]["score"] == pytest.approx(
+        entry["score_a"], rel=FLOAT_RTOL
+    )
+    assert payload["breakdowns"]["B"]["score"] == pytest.approx(
+        entry["score_b"], rel=FLOAT_RTOL
+    )
+    # Ranking and the two-machine ratio must agree with the breakdowns.
+    expected_order = sorted(
+        payload["breakdowns"], key=lambda m: -payload["breakdowns"][m]["score"]
+    )
+    assert [name for name, _ in payload["ranking"]] == expected_order
+    assert payload["ratio"]["value"] == pytest.approx(
+        payload["breakdowns"]["A"]["score"] / payload["breakdowns"]["B"]["score"],
+        rel=FLOAT_RTOL,
+    )
+
+
+def test_score_breakdown_structure_is_complete(score_server, speedups):
+    entry = TABLES["table4"]["6"]
+    client = score_server.client()
+    status, payload = client.score(
+        {
+            "measurements": {"A": speedups["A"]},
+            "partition": entry["clusters"],
+        }
+    )
+    assert status == 200
+    breakdown = payload["breakdowns"]["A"]
+    assert breakdown["mean_family"] == "geometric"
+    assert breakdown["num_clusters"] == 6
+    assert sorted(breakdown["workload_scores"]) == sorted(speedups["A"])
+    members = sorted(
+        tuple(block["members"]) for block in breakdown["cluster_scores"]
+    )
+    assert members == sorted(tuple(b) for b in entry["clusters"])
+    assert "ratio" not in payload  # only emitted for exactly two machines
+
+
+def test_score_responses_are_deterministic_bytes(score_server, speedups):
+    """The same request twice returns the exact same bytes (sorted keys,
+    stable separators) — the substrate the coalescing guarantee rests on."""
+    client = score_server.client()
+    body = {
+        "measurements": {"A": speedups["A"], "B": speedups["B"]},
+        "partition": TABLES["table5"]["4"]["clusters"],
+    }
+    _, first = client.post_json("/score", body)
+    _, second = client.post_json("/score", body)
+    assert first == second
