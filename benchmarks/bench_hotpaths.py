@@ -19,6 +19,14 @@ side, and archives the numbers in ``results/BENCH_hotpaths.json``:
    ``hierarchical_mean`` calls vs the matrix resampler +
    ``hierarchical_mean_many``, equal at 1e-12 for the same seed.
 
+A second bench, ``test_som_scaling_reduce_stage``, sweeps the batch
+reduce stage across suite sizes (the paper's 13 workloads up to the
+ROADMAP's 1000) on :func:`repro.synthetic.big_suite` counter matrices,
+timing the exact search against the pruned strategy and the
+epoch-sharded accumulator, and archives
+``results/BENCH_som_scaling.json`` for the ``--som-scaling`` gate in
+``scripts/check_bench_regression.py``.
+
 ``scripts/check_bench_regression.py`` compares a fresh run of this
 bench against the committed baseline.  Set ``BENCH_HOTPATHS_SMOKE=1``
 (CI does) to shrink the workloads so the bench finishes in seconds;
@@ -34,12 +42,17 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import emit, write_bench_json
+from repro.analysis.shard import ShardedEpochAccumulator
 from repro.cluster.agglomerative import AgglomerativeClustering
 from repro.core.confidence import _resampled_speedup_matrix
 from repro.core.hierarchical import hierarchical_mean_many
 from repro.core.partition import Partition
+from repro.som.bmu import bmu_indices
+from repro.som.grid import Grid
+from repro.som.quality import quantization_error
 from repro.som.som import SOMConfig, SelfOrganizingMap
 from repro.stats.distance import DISTANCE_METRICS, pairwise_distances
+from repro.synthetic import big_suite
 from repro.viz.tables import format_table
 from repro.workloads.execution import RunSample
 
@@ -308,3 +321,159 @@ def test_hotpath_kernels_speedup(benchmark):
         assert payload["bootstrap"]["speedup"] > 5.0
         for stats in payload["pairwise"].values():
             assert stats["speedup"] > 1.0
+
+
+# -- reduce-stage scaling sweep ------------------------------------------
+
+# Suite sizes the reduce stage is swept over: the paper's 13x21 suite,
+# a mid-size 100-workload suite, and the ROADMAP's 1000-workload regime
+# at two counter dimensionalities.  Grids follow Vesanto's heuristic
+# via Grid.suggested_shape.
+SOM_SCALING_SHAPES = (
+    ((13, 21), (100, 45), (200, 32))
+    if SMOKE
+    else ((13, 21), (100, 45), (1000, 64), (1000, 500))
+)
+SOM_SCALING_REPEATS = 1 if SMOKE else 3
+SOM_SCALING_SEED = 20260807
+SOM_SCALING_SHARDS = 2
+
+
+def _standardized_suite(n_workloads: int, n_dims: int) -> np.ndarray:
+    """A big_suite counter matrix, columns standardized like real runs."""
+    raw = big_suite(n_workloads, n_dims, seed=SOM_SCALING_SEED)
+    std = raw.std(axis=0)
+    return (raw - raw.mean(axis=0)) / np.where(std > 0.0, std, 1.0)
+
+
+def _bench_som_scaling():
+    rows = {}
+    for n_workloads, n_dims in SOM_SCALING_SHAPES:
+        data = _standardized_suite(n_workloads, n_dims)
+        grid_rows, grid_cols = Grid.suggested_shape(n_workloads)
+        config = SOMConfig(rows=grid_rows, columns=grid_cols, seed=7)
+
+        # Interleave the exact and pruned measurements so drift in
+        # machine load hits both sides equally; best-of-N on each.
+        exact_seconds = pruned_seconds = float("inf")
+        som_exact = som_pruned = None
+        for _ in range(SOM_SCALING_REPEATS):
+            seconds, som_exact = _best_of(
+                lambda: SelfOrganizingMap(config).fit(data, mode="batch"),
+                repeats=1,
+            )
+            exact_seconds = min(exact_seconds, seconds)
+            seconds, som_pruned = _best_of(
+                lambda: SelfOrganizingMap(config).fit(
+                    data, mode="batch", bmu_strategy="pruned"
+                ),
+                repeats=1,
+            )
+            pruned_seconds = min(pruned_seconds, seconds)
+
+        qe_exact = quantization_error(som_exact, data)
+        qe_pruned = quantization_error(som_pruned, data)
+        qe_delta_pct = (
+            abs(qe_pruned - qe_exact) / qe_exact * 100.0 if qe_exact else 0.0
+        )
+        agreement = float(
+            np.mean(
+                bmu_indices(data, som_exact.weights)
+                == bmu_indices(data, som_pruned.weights)
+            )
+        )
+        search_stats = som_pruned.bmu_stats
+
+        # Epoch-scope sharding: a fixed shard count must give one
+        # well-defined result no matter where shards run — the pooled
+        # fit must be bitwise identical to the inline one.
+        with ShardedEpochAccumulator(
+            SOM_SCALING_SHARDS, workers=1
+        ) as inline_acc:
+            som_inline = SelfOrganizingMap(config).fit(
+                data, mode="batch", epoch_accumulator=inline_acc
+            )
+        with ShardedEpochAccumulator(
+            SOM_SCALING_SHARDS, workers=SOM_SCALING_SHARDS
+        ) as pooled_acc:
+            sharded_seconds, som_pooled = _best_of(
+                lambda: SelfOrganizingMap(config).fit(
+                    data, mode="batch", epoch_accumulator=pooled_acc
+                ),
+                repeats=1,
+            )
+            pooled = pooled_acc.pooled
+        bitwise = bool(
+            np.array_equal(som_inline.weights, som_pooled.weights)
+        )
+
+        assert qe_delta_pct <= 1.0, (
+            f"pruned QE drifted {qe_delta_pct:.3f}% at "
+            f"{n_workloads}x{n_dims} (tolerance is 1%)"
+        )
+        assert bitwise, (
+            f"pooled epoch sharding diverged from inline at "
+            f"{n_workloads}x{n_dims}"
+        )
+
+        rows[f"{n_workloads}x{n_dims}"] = {
+            "grid": f"{grid_rows}x{grid_cols}",
+            "epochs": som_exact.epochs_trained,
+            "exact_seconds": exact_seconds,
+            "pruned_seconds": pruned_seconds,
+            "sharded_seconds": sharded_seconds,
+            "pruned_speedup": exact_seconds / pruned_seconds,
+            "qe_exact": qe_exact,
+            "qe_pruned": qe_pruned,
+            "qe_delta_pct": qe_delta_pct,
+            "bmu_agreement": agreement,
+            "pruning_rate": search_stats["pruning_rate"],
+            "candidates_per_epoch": search_stats["candidates"]
+            / max(1, search_stats["calls"]),
+            "fallbacks": search_stats["fallbacks"],
+            "shards": SOM_SCALING_SHARDS,
+            "sharded_pooled": bool(pooled),
+            "sharded_bitwise_identical": bitwise,
+        }
+    return rows
+
+
+@pytest.mark.benchmark(group="hotpaths")
+def test_som_scaling_reduce_stage(benchmark):
+    payload = benchmark.pedantic(
+        lambda: {"smoke": SMOKE, "shapes": _bench_som_scaling()},
+        rounds=1,
+        iterations=1,
+    )
+    write_bench_json("som_scaling", payload, config={"smoke": SMOKE})
+
+    table_rows = [
+        (
+            shape,
+            stats["grid"],
+            stats["exact_seconds"],
+            stats["pruned_seconds"],
+            f"{stats['pruned_speedup']:.2f}x",
+            f"{stats['qe_delta_pct']:.4f}%",
+            f"{stats['pruning_rate'] * 100.0:.1f}%",
+            "yes" if stats["sharded_bitwise_identical"] else "NO",
+        )
+        for shape, stats in payload["shapes"].items()
+    ]
+    emit(
+        "SOM reduce-stage scaling: exact vs pruned vs sharded "
+        + ("(smoke)" if SMOKE else "(full)"),
+        format_table(
+            [
+                "Suite",
+                "Grid",
+                "exact s",
+                "pruned s",
+                "speedup",
+                "QE delta",
+                "pruned",
+                "sharded bitwise",
+            ],
+            table_rows,
+        ),
+    )

@@ -1,13 +1,14 @@
 #!/usr/bin/env python
 """Gate CI on the committed benchmark payloads and/or the run ledger.
 
-Four independent checks, composable in one invocation::
+Five independent checks, composable in one invocation::
 
     python scripts/check_bench_regression.py \
         --baseline /tmp/baseline.json \
         --fresh results/BENCH_hotpaths.json [--strict-absolute] \
         --engine-caching results/BENCH_engine_caching.json \
         --service results/BENCH_service.json \
+        --som-scaling results/BENCH_som_scaling.json \
         --ledger results/runs.jsonl --policy ci/slo.toml
 
 ``--baseline`` compares a fresh ``BENCH_hotpaths.json`` against the
@@ -21,7 +22,13 @@ bitwise identical to the unsharded run.  ``--service`` gates the
 scoring-daemon bench: a warm ``/score`` p50 must stay at least 10x
 faster than one cold ``repro-hmeans pipeline`` CLI invocation at the
 same shape, and the warm ``/analyze`` replay must beat the computing
-first pass.  ``--ledger`` gates the run
+first pass.  ``--som-scaling`` gates the reduce-stage scaling bench:
+every swept shape must keep its pruned quantization error within 1%
+of exact and its pooled epoch-sharded fit bitwise identical to the
+inline one, and on a full-size run the pruned strategy must be at
+least 4x faster than exact at the 1000x64 suite (smoke runs measure
+shapes too small for the speedup claim, so it downgrades to a
+warning there).  ``--ledger`` gates the run
 ledger against an SLO policy file — the trailing-window trend logic
 is **not** reimplemented here; it delegates wholesale to
 :mod:`repro.obs.analytics` (the same code path as ``repro-hmeans obs
@@ -60,6 +67,9 @@ FAIL_RATIO = 2.0
 WARN_RATIO = 1.25
 FANOUT_MIN_SPEEDUP = 0.9
 SERVICE_MIN_SPEEDUP = 10.0
+SOM_SCALING_MIN_SPEEDUP = 4.0
+SOM_SCALING_QE_TOLERANCE_PCT = 1.0
+SOM_SCALING_GATED_SHAPE = "1000x64"
 
 
 def _numeric_leaves(payload, prefix=""):
@@ -205,6 +215,81 @@ def check_service(payload: dict):
         )
 
 
+def check_som_scaling(payload: dict):
+    """Yield ``(level, message)`` findings for the reduce-scaling bench.
+
+    The speedup gate is the PR-9 acceptance criterion: on a full-size
+    run, the pruned BMU strategy must cut the 1000x64 batch fit by at
+    least 4x against the exact single-core search.  Correctness gates
+    (QE within 1% of exact, pooled epoch sharding bitwise identical to
+    inline) apply to every shape at every size, smoke included.
+    """
+    smoke = bool(payload.get("smoke"))
+    shapes = payload.get("shapes")
+    if not isinstance(shapes, dict) or not shapes:
+        yield ("fail", "shapes: section missing from som-scaling payload")
+        return
+    for shape, stats in sorted(shapes.items()):
+        if not isinstance(stats, dict):
+            yield ("fail", f"shapes.{shape}: malformed entry")
+            continue
+        qe_delta = stats.get("qe_delta_pct")
+        if not isinstance(qe_delta, (int, float)):
+            yield ("fail", f"shapes.{shape}.qe_delta_pct: missing")
+        elif qe_delta > SOM_SCALING_QE_TOLERANCE_PCT:
+            yield (
+                "fail",
+                f"shapes.{shape}.qe_delta_pct: {qe_delta:.3f}% > "
+                f"{SOM_SCALING_QE_TOLERANCE_PCT}% (pruned quantization "
+                "error drifted from exact)",
+            )
+        else:
+            yield (
+                "ok",
+                f"shapes.{shape}.qe_delta_pct: {qe_delta:.4f}% <= "
+                f"{SOM_SCALING_QE_TOLERANCE_PCT}%",
+            )
+        if stats.get("sharded_bitwise_identical") is not True:
+            yield (
+                "fail",
+                f"shapes.{shape}.sharded_bitwise_identical: "
+                f"{stats.get('sharded_bitwise_identical')!r} (pooled "
+                "epoch-sharded fit diverged from the inline one)",
+            )
+        else:
+            yield (
+                "ok",
+                f"shapes.{shape}.sharded_bitwise_identical: true "
+                f"({stats.get('shards')} shard(s), pooled="
+                f"{stats.get('sharded_pooled')})",
+            )
+    gated = shapes.get(SOM_SCALING_GATED_SHAPE)
+    speedup = gated.get("pruned_speedup") if isinstance(gated, dict) else None
+    if not isinstance(speedup, (int, float)):
+        level = "warn" if smoke else "fail"
+        yield (
+            level,
+            f"shapes.{SOM_SCALING_GATED_SHAPE}.pruned_speedup: missing "
+            + ("(smoke run measures smaller shapes)" if smoke else ""),
+        )
+    elif speedup < SOM_SCALING_MIN_SPEEDUP:
+        yield (
+            "warn" if smoke else "fail",
+            f"shapes.{SOM_SCALING_GATED_SHAPE}.pruned_speedup: "
+            f"{speedup:.2f}x < {SOM_SCALING_MIN_SPEEDUP:.0f}x"
+            + (" (smoke-size shapes cannot carry the claim)" if smoke else ""),
+        )
+    else:
+        yield (
+            "ok",
+            f"shapes.{SOM_SCALING_GATED_SHAPE}.pruned_speedup: "
+            f"{speedup:.2f}x >= {SOM_SCALING_MIN_SPEEDUP:.0f}x "
+            f"(exact {gated.get('exact_seconds', float('nan')) * 1e3:.1f}ms "
+            f"-> pruned "
+            f"{gated.get('pruned_seconds', float('nan')) * 1e3:.1f}ms)",
+        )
+
+
 def check_ledger_slo(ledger_path: Path, policy_path: Path | None, last):
     """Yield ``(level, message)`` findings from the SLO gate.
 
@@ -319,6 +404,17 @@ def main(argv=None) -> int:
         "default path: results/BENCH_service.json",
     )
     parser.add_argument(
+        "--som-scaling",
+        type=Path,
+        nargs="?",
+        const=Path("results/BENCH_som_scaling.json"),
+        help="BENCH_som_scaling payload to gate (pruned QE within "
+        f"{SOM_SCALING_QE_TOLERANCE_PCT}% of exact, pooled epoch sharding "
+        f"bitwise identical, pruned >= {SOM_SCALING_MIN_SPEEDUP:.0f}x at "
+        f"{SOM_SCALING_GATED_SHAPE} on full-size runs); "
+        "default path: results/BENCH_som_scaling.json",
+    )
+    parser.add_argument(
         "--ledger",
         type=Path,
         help="run-ledger JSONL to gate against an SLO policy "
@@ -341,10 +437,12 @@ def main(argv=None) -> int:
         args.baseline is None
         and args.engine_caching is None
         and args.service is None
+        and args.som_scaling is None
         and args.ledger is None
     ):
         parser.error(
-            "pass --baseline, --engine-caching, --service, and/or --ledger"
+            "pass --baseline, --engine-caching, --service, --som-scaling, "
+            "and/or --ledger"
         )
 
     findings = []
@@ -360,6 +458,9 @@ def main(argv=None) -> int:
     if args.service is not None:
         payload = _load(args.service, bench="service")
         findings.extend(check_service(payload))
+    if args.som_scaling is not None:
+        payload = _load(args.som_scaling, bench="som_scaling")
+        findings.extend(check_som_scaling(payload))
     if args.ledger is not None:
         findings.extend(check_ledger_slo(args.ledger, args.policy, args.last))
 

@@ -136,6 +136,12 @@ class WorkloadAnalysisPipeline:
         default) or ``"batch"`` (deterministic Kohonen batch update —
         the only mode whose BMU search can be sharded; see
         :mod:`repro.analysis.shard`).
+    som_bmu_strategy:
+        Batch-mode BMU search arithmetic: ``"exact"`` (default,
+        golden-pinned) or ``"pruned"`` (tolerance-bounded fast path
+        for large suites; see :mod:`repro.som.bmu_fast`).  A
+        non-default strategy joins the reduce stage's cache params,
+        so exact and pruned artifacts never alias.
 
     Example
     -------
@@ -159,6 +165,7 @@ class WorkloadAnalysisPipeline:
         custom_characterizer: "Callable[[BenchmarkSuite], CharacteristicVectors] | None" = None,
         engine: PipelineEngine | None = None,
         som_mode: str = "sequential",
+        som_bmu_strategy: str = "exact",
     ) -> None:
         if custom_characterizer is not None:
             if characterization != "custom":
@@ -196,6 +203,7 @@ class WorkloadAnalysisPipeline:
         self._linkage = linkage
         self._seed = seed
         self._som_mode = som_mode
+        self._som_bmu_strategy = som_bmu_strategy
         self._engine = engine if engine is not None else PipelineEngine()
 
     @staticmethod
@@ -222,6 +230,7 @@ class WorkloadAnalysisPipeline:
             cluster_counts=self._cluster_counts,
             alignment_group=self._alignment_group,
             som_mode=self._som_mode,
+            som_bmu_strategy=self._som_bmu_strategy,
         )
 
     # -- stages (individually callable, engine-free) -----------------------

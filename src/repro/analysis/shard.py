@@ -1,11 +1,12 @@
 """Sharded execution of one large batch-SOM analysis run.
 
 Fan-out (:mod:`repro.analysis.sweep`) parallelizes *across* variants;
-this module parallelizes *within* one: the batch-mode SOM's per-epoch
-BMU search — the pipeline's dominant term — is split into contiguous
-sample shards computed by a fork pool and concatenated back.
+this module parallelizes *within* one, at two scopes:
 
-The merge is deterministic and **bitwise**: the einsum BMU kernel
+**Search scope** (:class:`ShardedBMUSearch`, the PR 6 contract): only
+the batch SOM's per-epoch BMU search is split into contiguous sample
+shards.  The merge is deterministic and **bitwise identical to an
+unsharded run**: the einsum BMU kernel
 (:func:`repro.som.bmu.bmu_indices`) is row-slice invariant —
 ``bmu_indices(matrix[a:b], weights)`` equals
 ``bmu_indices(matrix, weights)[a:b]`` exactly, not approximately
@@ -15,6 +16,18 @@ downstream clusters.  That identity is also why the hook is *not*
 part of the reduce stage's params: both runs share one cache key, so
 a sharded run's artifacts are replayed by later unsharded runs (and
 vice versa) through the shared disk cache.
+
+**Epoch scope** (:class:`ShardedEpochAccumulator`): the *whole* epoch
+— search plus the influence/numerator accumulation that dominates
+once the search is fast — is computed per shard and merged by a fixed
+left-to-right fold of the partial sums
+(:func:`repro.som.batch.merge_epoch_terms`).  The fold order makes a
+fixed ``--shards N`` **placement-invariant**: a pool run and an
+inline run of the same N produce bitwise-identical weights.  It is
+*not* bitwise identical to the unsharded epoch (the partial sums
+reassociate floating-point addition), which is why epoch-sharded
+reduce stages carry ``epoch_shards`` in their params and cache under
+their own keys.
 
 Only ``som_mode="batch"`` shards.  Sequential training updates the
 map after every sample draw, so its BMU searches are order-dependent
@@ -36,11 +49,23 @@ from repro.engine.fanout import derive_seed, fork_available
 from repro.engine.hostinfo import available_cpus
 from repro.exceptions import MeasurementError
 from repro.obs.log import fmt_kv, get_logger
+from repro.som.batch import (
+    EpochTerms,
+    GroupedEpochTerms,
+    exact_epoch_terms,
+    merge_epoch_terms,
+)
 from repro.som.bmu import bmu_indices, shard_bounds
+from repro.som.bmu_fast import PrunedBMUSearch
 from repro.som.stages import SOMReduceStage
 from repro.workloads.suite import BenchmarkSuite
 
-__all__ = ["ShardedBMUSearch", "ShardedRun", "run_sharded_analysis"]
+__all__ = [
+    "ShardedBMUSearch",
+    "ShardedEpochAccumulator",
+    "ShardedRun",
+    "run_sharded_analysis",
+]
 
 _log = get_logger("analysis.shard")
 
@@ -94,6 +119,11 @@ class ShardedBMUSearch:
                 )
             )
 
+    @property
+    def pooled(self) -> bool:
+        """True when shards actually run on a fork pool (not inline)."""
+        return self._pooled
+
     def __call__(self, weights: np.ndarray, matrix: np.ndarray) -> np.ndarray:
         bounds = shard_bounds(matrix.shape[0], self.shards)
         self.calls += 1
@@ -123,6 +153,164 @@ class ShardedBMUSearch:
         self.close()
 
 
+def _epoch_shard_task(payload: tuple) -> tuple:
+    """Pool body: one shard's epoch terms (search + accumulate).
+
+    Deliberately **stateless**: the pruned search and the grouped
+    accumulation are rebuilt from the shard's bytes every call, so a
+    shard's partial terms depend only on (weights, chunk, sigma) —
+    never on which worker computed it or what that worker computed
+    before.  That is what makes a fixed shard count placement-
+    invariant.  Returns ``(totals, numerator, stats_or_None)``.
+    """
+    weights, chunk, kernel, sq_table, sigma, strategy = payload
+    if strategy == "pruned":
+        search = PrunedBMUSearch()
+        bmus = search(weights, chunk)
+        terms = GroupedEpochTerms()(
+            weights,
+            chunk,
+            kernel=kernel,
+            sq_table=sq_table,
+            sigma=sigma,
+            bmus=bmus,
+        )
+        return terms.totals, terms.numerator, search.stats()
+    terms = exact_epoch_terms(
+        weights, chunk, kernel=kernel, sq_table=sq_table, sigma=sigma
+    )
+    return terms.totals, terms.numerator, None
+
+
+class ShardedEpochAccumulator:
+    """An ``epoch_accumulator`` hook computing whole epochs per shard.
+
+    Each call splits the samples into contiguous shards
+    (:func:`repro.som.bmu.shard_bounds`), computes every shard's
+    partial :class:`EpochTerms` — BMU search *and* influence
+    accumulation — on a persistent fork pool (or inline with one
+    worker / no fork), and merges the partials with the fixed
+    left-to-right fold of :func:`repro.som.batch.merge_epoch_terms`.
+
+    Determinism: for a fixed ``shards`` count the merged terms are
+    bitwise identical however the shards were placed (pool == inline;
+    see ``tests/som/test_epoch_sharding.py`` at shards 2/3/5/13).
+    Different shard counts legitimately differ in the last bits — the
+    fold reassociates addition — which is why the reduce stage keys
+    its cache on ``epoch_shards``.
+
+    Parameters
+    ----------
+    shards:
+        Contiguous sample ranges per epoch.
+    workers:
+        Pool size; defaults to ``min(shards, available_cpus())``.
+    bmu_strategy:
+        ``"exact"`` or ``"pruned"`` — the per-shard search/accumulate
+        arithmetic.  Pruned shards recompute their projection basis
+        every epoch (statelessness is what buys placement
+        invariance), so single-process ``bmu_strategy="pruned"`` is
+        usually the faster choice unless cores are plentiful.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        *,
+        workers: int | None = None,
+        bmu_strategy: str = "exact",
+    ) -> None:
+        if shards < 1:
+            raise MeasurementError(
+                f"ShardedEpochAccumulator: shards must be >= 1, got {shards}"
+            )
+        if bmu_strategy not in ("exact", "pruned"):
+            raise MeasurementError(
+                "ShardedEpochAccumulator: bmu_strategy must be 'exact' or "
+                f"'pruned', got {bmu_strategy!r}"
+            )
+        self.shards = shards
+        if workers is None:
+            workers = min(shards, available_cpus())
+        if workers < 1:
+            raise MeasurementError(
+                f"ShardedEpochAccumulator: workers must be >= 1, got {workers}"
+            )
+        self.workers = workers
+        self.bmu_strategy = bmu_strategy
+        self.calls = 0
+        self._stats_sink = PrunedBMUSearch()  # counter aggregation only
+        self._pool = None
+        self._pooled = self.workers > 1 and fork_available()
+        if self.workers > 1 and not self._pooled:
+            _log.warning(
+                fmt_kv(
+                    "shard.no_fork", workers=self.workers, fallback="inline"
+                )
+            )
+
+    @property
+    def pooled(self) -> bool:
+        """True when shards actually run on a fork pool (not inline)."""
+        return self._pooled
+
+    @property
+    def search_stats(self) -> dict | None:
+        """Aggregated pruned-search counters, or None for exact runs."""
+        if self.bmu_strategy != "pruned":
+            return None
+        return self._stats_sink.stats()
+
+    def __call__(
+        self,
+        weights: np.ndarray,
+        matrix: np.ndarray,
+        *,
+        kernel,
+        sq_table: np.ndarray,
+        sigma: float,
+    ) -> EpochTerms:
+        bounds = shard_bounds(matrix.shape[0], self.shards)
+        self.calls += 1
+        payloads = [
+            (
+                weights,
+                matrix[start:stop],
+                kernel,
+                sq_table,
+                sigma,
+                self.bmu_strategy,
+            )
+            for start, stop in bounds
+        ]
+        if self._pooled and len(bounds) > 1:
+            if self._pool is None:
+                context = multiprocessing.get_context("fork")
+                self._pool = context.Pool(processes=self.workers)
+            parts = self._pool.map(_epoch_shard_task, payloads)
+        else:
+            parts = [_epoch_shard_task(payload) for payload in payloads]
+        for _, _, stats in parts:
+            if stats:
+                self._stats_sink.absorb_stats(stats)
+        return merge_epoch_terms(
+            [EpochTerms(totals, numerator) for totals, numerator, _ in parts]
+        )
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedEpochAccumulator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 @dataclass(frozen=True)
 class ShardedRun:
     """One sharded analysis run plus how it was split."""
@@ -132,6 +320,8 @@ class ShardedRun:
     shards: int
     workers: int
     searches: int
+    scope: str = "search"
+    bmu_strategy: str = "exact"
 
 
 def run_sharded_analysis(
@@ -142,21 +332,45 @@ def run_sharded_analysis(
     workers: int | None = None,
     cache_dir: str | Path | None = None,
     base_seed: int = 11,
+    scope: str = "search",
+    bmu_strategy: str = "exact",
 ) -> ShardedRun:
-    """Run one variant with its BMU search sharded across processes.
+    """Run one variant with its SOM reduce stage sharded across processes.
 
     Requires ``variant.som_mode == "batch"``.  The variant's normal
     stage graph executes on a normal engine — only the reduce stage is
-    swapped for one carrying the sharded search hook — so cache
-    write-through lands under the canonical stage keys and the merged
-    output is bitwise identical to an unsharded run of the same
-    variant.
+    swapped for one carrying the sharding hook.
+
+    ``scope="search"`` (default, the PR 6 contract) shards only the
+    BMU search: the merged output is bitwise identical to an
+    unsharded run, so cache write-through lands under the canonical
+    stage keys.  It requires ``bmu_strategy="exact"`` — the pruned
+    search is tolerance-bounded, which would silently break the
+    bitwise contract this scope exists to provide.
+
+    ``scope="epoch"`` shards the whole epoch (search + accumulate)
+    via :class:`ShardedEpochAccumulator`: deterministic and
+    placement-invariant for a fixed ``shards``, but *not* bitwise
+    identical to unsharded, so the swapped stage carries
+    ``epoch_shards`` (and any non-default ``bmu_strategy``) in its
+    params and caches under its own keys.
     """
     if variant.som_mode != "batch":
         raise MeasurementError(
             f"run_sharded_analysis: variant {variant.name!r} uses "
             f"som_mode={variant.som_mode!r}; only batch-mode SOM training "
             "has an order-independent BMU search to shard"
+        )
+    if scope not in ("search", "epoch"):
+        raise MeasurementError(
+            f"run_sharded_analysis: unknown scope {scope!r}; "
+            "use 'search' or 'epoch'"
+        )
+    if scope == "search" and bmu_strategy != "exact":
+        raise MeasurementError(
+            "run_sharded_analysis: scope='search' promises bitwise "
+            "identity with unsharded runs, which the tolerance-bounded "
+            f"bmu_strategy={bmu_strategy!r} cannot keep; use scope='epoch'"
         )
     seed = (
         variant.seed
@@ -167,29 +381,55 @@ def run_sharded_analysis(
         disk_cache=None if cache_dir is None else str(cache_dir)
     )
     pipeline = variant.pipeline(seed, engine)
-    with ShardedBMUSearch(shards, workers=workers) as search:
-        stages = tuple(
-            SOMReduceStage(stage.config, mode=stage.mode, bmu_search=search)
-            if isinstance(stage, SOMReduceStage)
-            else stage
-            for stage in pipeline.stages()
-        )
-        result = pipeline.run_stages(suite, stages)
-        searches = search.calls
+    if scope == "epoch":
+        with ShardedEpochAccumulator(
+            shards, workers=workers, bmu_strategy=bmu_strategy
+        ) as accumulator:
+            stages = tuple(
+                SOMReduceStage(
+                    stage.config,
+                    mode=stage.mode,
+                    bmu_strategy=bmu_strategy,
+                    epoch_accumulator=accumulator,
+                )
+                if isinstance(stage, SOMReduceStage)
+                else stage
+                for stage in pipeline.stages()
+            )
+            result = pipeline.run_stages(suite, stages)
+            searches = accumulator.calls
+            used_workers = accumulator.workers
+    else:
+        with ShardedBMUSearch(shards, workers=workers) as search:
+            stages = tuple(
+                SOMReduceStage(
+                    stage.config, mode=stage.mode, bmu_search=search
+                )
+                if isinstance(stage, SOMReduceStage)
+                else stage
+                for stage in pipeline.stages()
+            )
+            result = pipeline.run_stages(suite, stages)
+            searches = search.calls
+            used_workers = search.workers
     if _log.isEnabledFor(20):  # INFO
         _log.info(
             fmt_kv(
                 "shard.run",
                 variant=variant.name,
-                shards=search.shards,
-                workers=search.workers,
+                scope=scope,
+                strategy=bmu_strategy,
+                shards=shards,
+                workers=used_workers,
                 searches=searches,
             )
         )
     return ShardedRun(
         result=result,
         seed=seed,
-        shards=search.shards,
-        workers=search.workers,
+        shards=shards,
+        workers=used_workers,
         searches=searches,
+        scope=scope,
+        bmu_strategy=bmu_strategy,
     )

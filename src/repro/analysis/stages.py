@@ -154,6 +154,7 @@ def analysis_stages(
     mean: str = "geometric",
     som_mode: str = "sequential",
     som_bmu_search: Any = None,
+    som_bmu_strategy: str = "exact",
 ) -> tuple[Stage, ...]:
     """The six paper stages, wired as one ``suite``-rooted graph.
 
@@ -172,7 +173,12 @@ def analysis_stages(
         PreprocessStage(
             style="method-bits" if characterization == "methods" else "counters"
         ),
-        SOMReduceStage(som_config, mode=som_mode, bmu_search=som_bmu_search),
+        SOMReduceStage(
+            som_config,
+            mode=som_mode,
+            bmu_search=som_bmu_search,
+            bmu_strategy=som_bmu_strategy,
+        ),
         ClusterStage(linkage=linkage),
         ScoreCutsStage(
             speedups=speedups, cluster_counts=cluster_counts, mean=mean

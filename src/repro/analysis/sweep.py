@@ -77,6 +77,7 @@ class PipelineVariant:
     alignment_group: tuple[str, ...] | None = None
     seed: int | None = None
     som_mode: str = "sequential"
+    bmu_strategy: str = "exact"
 
     def pipeline(self, seed: int, engine: PipelineEngine | None) -> WorkloadAnalysisPipeline:
         """Materialize the configured pipeline for one concrete seed."""
@@ -92,6 +93,7 @@ class PipelineVariant:
             seed=seed,
             engine=engine,
             som_mode=self.som_mode,
+            som_bmu_strategy=self.bmu_strategy,
         )
 
 

@@ -12,7 +12,11 @@ Installed as ``repro-hmeans``.  Subcommands:
   (``--stats`` prints the engine's per-stage instrumentation;
   ``--cache-dir`` persists stage outputs so re-runs skip them;
   ``--som-mode batch --shards N`` shards the SOM's BMU search across
-  processes with a bitwise-identical merged result).
+  processes with a bitwise-identical merged result;
+  ``--shard-scope epoch`` widens the sharding to whole epochs —
+  deterministic for a fixed N, pool == inline bitwise;
+  ``--bmu-strategy pruned`` swaps in the tolerance-bounded fast BMU
+  search for large suites, see ``docs/PERFORMANCE.md``).
 * ``sweep`` — re-run the analysis across several linkage rules, with
   unchanged upstream stages computed once and served from cache.
   Sweeps are planned before they run (see ``docs/SCHEDULING.md``):
@@ -125,6 +129,12 @@ def _build_pipeline(args: argparse.Namespace) -> WorkloadAnalysisPipeline:
 
         engine = PipelineEngine(disk_cache=cache_dir)
     som_mode = getattr(args, "som_mode", "sequential")
+    bmu_strategy = getattr(args, "bmu_strategy", "exact")
+    if bmu_strategy != "exact" and som_mode != "batch":
+        raise ReproError(
+            "--bmu-strategy pruned requires --som-mode batch (sequential "
+            "training searches one sample at a time; nothing to prune)"
+        )
     if args.characterization in ("methods", "micro"):
         return WorkloadAnalysisPipeline(
             characterization=args.characterization,
@@ -132,6 +142,7 @@ def _build_pipeline(args: argparse.Namespace) -> WorkloadAnalysisPipeline:
             seed=args.seed,
             engine=engine,
             som_mode=som_mode,
+            som_bmu_strategy=bmu_strategy,
         )
     return WorkloadAnalysisPipeline(
         characterization="sar",
@@ -139,6 +150,7 @@ def _build_pipeline(args: argparse.Namespace) -> WorkloadAnalysisPipeline:
         seed=args.seed,
         engine=engine,
         som_mode=som_mode,
+        som_bmu_strategy=bmu_strategy,
     )
 
 
@@ -188,6 +200,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
             shards=shards,
             cache_dir=getattr(args, "cache_dir", None),
             base_seed=args.seed,
+            scope=getattr(args, "shard_scope", "search"),
+            bmu_strategy=getattr(args, "bmu_strategy", "exact"),
         )
         result = sharded.result
     else:
@@ -205,11 +219,19 @@ def _cmd_pipeline(args: argparse.Namespace) -> str:
         f"recommended cluster count: {result.recommended_clusters}",
     ]
     if shards:
-        lines.append(
-            f"sharded SOM reduce: {sharded.shards} shard(s) on "
-            f"{sharded.workers} worker(s), {sharded.searches} BMU "
-            "search(es) — merged output bitwise identical to unsharded"
-        )
+        if sharded.scope == "epoch":
+            lines.append(
+                f"sharded SOM reduce (epoch scope): {sharded.shards} "
+                f"shard(s) on {sharded.workers} worker(s), "
+                f"{sharded.searches} epoch(s) — merged terms "
+                "deterministic for fixed --shards (pool == inline bitwise)"
+            )
+        else:
+            lines.append(
+                f"sharded SOM reduce: {sharded.shards} shard(s) on "
+                f"{sharded.workers} worker(s), {sharded.searches} BMU "
+                "search(es) — merged output bitwise identical to unsharded"
+            )
     shared = result.shared_cells()
     if shared:
         lines.append("shared SOM cells (particularly similar workloads):")
@@ -266,9 +288,20 @@ def _som_stats_line(result) -> str | None:
         if history
         else ""
     )
+    pruning = ""
+    stats = som.bmu_stats
+    if stats and stats.get("calls"):
+        scored = int(stats.get("candidates", 0)) + int(
+            stats.get("exhaustive", 0)
+        )
+        per_epoch = scored / max(1, int(stats["calls"]))
+        pruning = (
+            f", BMU pruning rate {100.0 * stats.get('pruning_rate', 0.0):.1f}%"
+            f" ({per_epoch:.0f} candidates/epoch exactly scored)"
+        )
     return (
         f"  SOM: {som.epochs_trained} epochs, final quantization error "
-        f"{qe:.3f}, topographic error {te:.3f}{trajectory}"
+        f"{qe:.3f}, topographic error {te:.3f}{trajectory}{pruning}"
     )
 
 
@@ -756,9 +789,29 @@ def _build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=None,
                 metavar="N",
-                help="shard the batch SOM's BMU search into N sample ranges "
-                "across a process pool (requires --som-mode batch; merged "
-                "output is bitwise identical to an unsharded run)",
+                help="shard the batch SOM across N sample ranges on a "
+                "process pool (requires --som-mode batch; see "
+                "--shard-scope for the determinism contract)",
+            )
+            sub.add_argument(
+                "--shard-scope",
+                choices=("search", "epoch"),
+                default="search",
+                help="what --shards splits: 'search' shards only the BMU "
+                "search (merged output bitwise identical to unsharded); "
+                "'epoch' shards the whole epoch including the update sums "
+                "(deterministic for a fixed N, pool == inline bitwise, but "
+                "not bitwise equal to unsharded)",
+            )
+            sub.add_argument(
+                "--bmu-strategy",
+                choices=("exact", "pruned"),
+                default="exact",
+                help="batch SOM BMU search arithmetic: 'exact' (default, "
+                "golden-pinned) or 'pruned' (projected lower-bound "
+                "pre-filter + grouped update; tolerance-bounded, ~5x "
+                "faster reduce stage on 1000-workload suites; requires "
+                "--som-mode batch)",
             )
 
     sweep = subparsers.add_parser(

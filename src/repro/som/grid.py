@@ -63,6 +63,26 @@ class Grid:
 
     # -- shape ------------------------------------------------------------
 
+    @staticmethod
+    def suggested_shape(n_samples: int) -> tuple[int, int]:
+        """A square lattice sized by the ``5 * sqrt(n)`` unit heuristic.
+
+        The standard SOM sizing rule of thumb (Vesanto's heuristic):
+        about five units per square root of the sample count, rounded
+        up to a square no smaller than 4x4.  The paper's 13-workload
+        suite lands at 5x5 (its figures use a roomier 8x8); 100
+        workloads suggest 8x8; 1000 suggest 13x13 — the shapes the
+        scaling benchmark sweeps.
+        """
+        if n_samples < 1:
+            raise SOMError(
+                f"Grid.suggested_shape: needs a positive sample count, "
+                f"got {n_samples}"
+            )
+        units = 5.0 * float(np.sqrt(n_samples))
+        side = max(4, int(np.ceil(np.sqrt(units))))
+        return side, side
+
     @property
     def rows(self) -> int:
         """Number of rows."""

@@ -15,7 +15,57 @@ import numpy as np
 from repro.core.partition import Partition
 from repro.exceptions import MeasurementError
 
-__all__ = ["PlantedProblem", "planted_characteristics", "planted_scores"]
+__all__ = [
+    "PlantedProblem",
+    "big_suite",
+    "planted_characteristics",
+    "planted_scores",
+]
+
+
+def big_suite(
+    n_workloads: int, n_dims: int, seed: int = 0
+) -> np.ndarray:
+    """A realistic correlated counter matrix at arbitrary scale.
+
+    Real workload suites ("Characterizing and Subsetting Big Data
+    Workloads" and kin) measure hundreds of workloads on dozens to
+    hundreds of counters with three signature properties this
+    generator plants:
+
+    - **correlation**: workloads are mixtures of a handful of latent
+      behaviors (compute-bound, memory-bound, IO-bound, ...), so the
+      counter matrix is approximately low-rank plus noise;
+    - **positivity and scale spread**: counters are rates and counts
+      whose magnitudes span several decades (cache misses per second
+      vs page faults per second), modeled log-normally with a
+      per-counter scale drawn from four decades;
+    - **measurement noise**: per-(workload, counter) jitter.
+
+    Returns the raw ``(n_workloads, n_dims)`` counter matrix — run it
+    through the pipeline's preprocessing (or standardize columns) the
+    way real counters are treated.  Deterministic per ``seed``; used
+    by the SOM scaling bench and the property-test strategies.
+    """
+    if n_workloads < 1 or n_dims < 1:
+        raise MeasurementError(
+            "big_suite: n_workloads and n_dims must be >= 1, got "
+            f"{n_workloads}x{n_dims}"
+        )
+    rng = np.random.default_rng(seed)
+    rank = max(1, min(8, n_dims, n_workloads))
+    # Latent behavior mixtures: every workload is a weighted blend of
+    # `rank` behavior profiles, plus per-measurement jitter.
+    mixtures = rng.normal(size=(n_workloads, rank))
+    behaviors = rng.normal(size=(rank, n_dims))
+    log_activity = mixtures @ behaviors + 0.3 * rng.normal(
+        size=(n_workloads, n_dims)
+    )
+    spread = float(np.std(log_activity))
+    if spread > 0.0:
+        log_activity /= spread
+    scales = 10.0 ** rng.uniform(0.0, 4.0, size=n_dims)
+    return scales[None, :] * np.exp(0.5 * log_activity)
 
 
 @dataclass(frozen=True)

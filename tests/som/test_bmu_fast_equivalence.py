@@ -1,0 +1,244 @@
+"""The pruned BMU search: equivalence, bound soundness, fallbacks.
+
+Three layers of contract, strongest first:
+
+1. **Exact equality of indices** — the projected lower bound is
+   conservative and shortlist scoring reuses the exact einsum kernel
+   with the same tie-break, so :class:`PrunedBMUSearch` must return
+   the *same* indices as :func:`bmu_indices`, bit for bit, on any
+   well-conditioned input (pinned by Hypothesis below, not just on
+   friendly fixtures).
+2. **Bound soundness** — the diagnostic ``shortlist_mask`` must always
+   contain the true BMU (the property the equality above rests on).
+3. **Fit-level tolerance** — a pruned *fit* additionally swaps the
+   batch update for the grouped accumulation, which reorders float
+   additions; there the contract is quantization error within 1% of
+   exact and identical recommended cluster counts on the paper
+   fixtures, not bitwise weights.
+
+Forced-fallback paths (rank-starved data, bound-defeating weights)
+must degrade to the exact search for the whole call and say so in the
+stats.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.sweep import PipelineVariant
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.som.bmu import bmu_indices
+from repro.som.bmu_fast import PrunedBMUSearch, bmu_indices_among
+from repro.som.grid import Grid
+from repro.som.quality import quantization_error
+from repro.som.som import SOMConfig, SelfOrganizingMap
+from repro.synthetic import big_suite
+
+
+def _standardized(n_workloads: int, n_dims: int, seed: int = 3) -> np.ndarray:
+    raw = big_suite(n_workloads, n_dims, seed=seed)
+    std = raw.std(axis=0)
+    return (raw - raw.mean(axis=0)) / np.where(std > 0.0, std, 1.0)
+
+
+@st.composite
+def search_problems(draw):
+    samples = draw(st.integers(min_value=1, max_value=40))
+    units = draw(st.integers(min_value=1, max_value=30))
+    dim = draw(st.integers(min_value=1, max_value=12))
+    finite = st.floats(min_value=-100.0, max_value=100.0, width=32)
+    matrix = np.array(
+        draw(st.lists(finite, min_size=samples * dim, max_size=samples * dim))
+    ).reshape(samples, dim)
+    weights = np.array(
+        draw(st.lists(finite, min_size=units * dim, max_size=units * dim))
+    ).reshape(units, dim)
+    return matrix, weights
+
+
+class TestIndexEquality:
+    @given(search_problems())
+    @settings(max_examples=80, deadline=None)
+    def test_pruned_equals_exact_bitwise(self, problem):
+        """Same winner and same tie-break as the exact search, always."""
+        matrix, weights = problem
+        search = PrunedBMUSearch()
+        np.testing.assert_array_equal(
+            search(weights, matrix), bmu_indices(matrix, weights)
+        )
+
+    @given(search_problems())
+    @settings(max_examples=80, deadline=None)
+    def test_shortlist_contains_the_true_bmu(self, problem):
+        """Bound soundness: no true BMU is ever pruned away."""
+        matrix, weights = problem
+        search = PrunedBMUSearch()
+        mask, _ = search.shortlist_mask(weights, matrix)
+        true_bmus = bmu_indices(matrix, weights)
+        assert mask[np.arange(matrix.shape[0]), true_bmus].all()
+
+    def test_big_suite_agreement(self):
+        """Full agreement on the realistic correlated counter matrix."""
+        data = _standardized(200, 32)
+        rows, cols = Grid.suggested_shape(200)
+        rng = np.random.default_rng(7)
+        weights = rng.normal(size=(rows * cols, 32))
+        search = PrunedBMUSearch()
+        np.testing.assert_array_equal(
+            search(weights, data), bmu_indices(data, weights)
+        )
+        assert search.fallbacks == 0
+        assert search.pruning_rate > 0.5
+
+    def test_duplicate_rows_and_tied_weights(self):
+        """Adversarial exact ties still pick the lowest unit index."""
+        matrix = np.tile([[1.0, 2.0], [3.0, -1.0]], (6, 1))
+        weights = np.tile([[1.0, 2.0], [0.0, 0.0], [1.0, 2.0]], (4, 1))
+        search = PrunedBMUSearch()
+        np.testing.assert_array_equal(
+            search(weights, matrix), bmu_indices(matrix, weights)
+        )
+
+
+class TestRestrictedScoring:
+    def test_bmu_indices_among_with_true_bmu_listed(self):
+        rng = np.random.default_rng(5)
+        matrix = rng.normal(size=(20, 6))
+        weights = rng.normal(size=(9, 6))
+        exact = bmu_indices(matrix, weights)
+        candidates = np.sort(
+            np.stack([exact, (exact + 1) % 9, (exact + 3) % 9], axis=1),
+            axis=1,
+        )
+        np.testing.assert_array_equal(
+            bmu_indices_among(matrix, weights, candidates), exact
+        )
+
+    def test_ties_break_toward_earliest_column(self):
+        matrix = np.array([[0.0, 0.0]])
+        weights = np.array([[1.0, 0.0], [1.0, 0.0], [0.5, 0.5]])
+        candidates = np.array([[0, 1]])
+        assert bmu_indices_among(matrix, weights, candidates)[0] == 0
+
+
+class TestFallbacks:
+    def test_rank_starved_data_falls_back_exactly(self):
+        """1-D data leaves no projection room: whole-call exact."""
+        rng = np.random.default_rng(11)
+        matrix = rng.normal(size=(30, 1))
+        weights = rng.normal(size=(16, 1))
+        search = PrunedBMUSearch()
+        np.testing.assert_array_equal(
+            search(weights, matrix), bmu_indices(matrix, weights)
+        )
+        assert search.fallbacks == 1
+        assert search.exhaustive == 30 * 16
+        assert search.pruning_rate == 0.0
+
+    def test_tiny_maps_fall_back(self):
+        """U <= 8 units cannot amortize the prefilter."""
+        rng = np.random.default_rng(12)
+        matrix = rng.normal(size=(25, 5))
+        weights = rng.normal(size=(6, 5))
+        search = PrunedBMUSearch()
+        np.testing.assert_array_equal(
+            search(weights, matrix), bmu_indices(matrix, weights)
+        )
+        assert search.fallbacks == 1
+
+    def test_identical_weights_defeat_the_bound_exactly(self):
+        """Every unit ties: the shortlist covers everything, so the
+        max_share guard hands the whole call to the exact search."""
+        rng = np.random.default_rng(13)
+        matrix = rng.normal(size=(40, 6))
+        weights = np.tile(rng.normal(size=(1, 6)), (16, 1))
+        search = PrunedBMUSearch()
+        result = search(weights, matrix)
+        np.testing.assert_array_equal(result, bmu_indices(matrix, weights))
+        assert result.max() == 0  # ties all resolve to unit 0
+        assert search.fallbacks == 1
+
+    def test_stats_absorb(self):
+        first = PrunedBMUSearch()
+        rng = np.random.default_rng(14)
+        first(rng.normal(size=(12, 4)), rng.normal(size=(30, 4)))
+        sink = PrunedBMUSearch()
+        sink.absorb_stats(first.stats())
+        assert sink.stats() == first.stats()
+
+
+class TestPrunedFit:
+    @pytest.fixture(scope="class")
+    def fits(self):
+        data = _standardized(200, 32)
+        rows, cols = Grid.suggested_shape(200)
+        config = SOMConfig(rows=rows, columns=cols, seed=7)
+        exact = SelfOrganizingMap(config).fit(data, mode="batch")
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            pruned = SelfOrganizingMap(config).fit(
+                data, mode="batch", bmu_strategy="pruned"
+            )
+        return data, exact, pruned, registry
+
+    def test_quantization_error_within_one_percent(self, fits):
+        data, exact, pruned, _ = fits
+        qe_exact = quantization_error(exact, data)
+        qe_pruned = quantization_error(pruned, data)
+        assert abs(qe_pruned - qe_exact) <= 0.01 * qe_exact
+
+    def test_stats_cover_every_epoch(self, fits):
+        _, _, pruned, _ = fits
+        stats = pruned.bmu_stats
+        assert stats["calls"] == pruned.epochs_trained
+        assert stats["fallbacks"] == 0
+        assert 0.5 < stats["pruning_rate"] <= 1.0
+
+    def test_metrics_published(self, fits):
+        _, _, pruned, registry = fits
+        snapshot = registry.as_dict()
+        stats = pruned.bmu_stats
+        assert (
+            snapshot["repro_som_bmu_candidates_total"]
+            == stats["candidates"] + stats["exhaustive"]
+        )
+        assert snapshot["repro_som_bmu_pruned_total"] == stats["pruned_pairs"]
+
+    def test_exact_fit_has_no_bmu_stats(self, fits):
+        _, exact, _, _ = fits
+        assert exact.bmu_stats is None
+
+    def test_strategy_guards(self):
+        data = _standardized(30, 8)
+        som = SelfOrganizingMap(SOMConfig(seed=1))
+        with pytest.raises(Exception, match="bmu_strategy"):
+            som.fit(data, bmu_strategy="pruned")  # sequential mode
+        with pytest.raises(Exception, match="bmu_strategy"):
+            som.fit(data, mode="batch", bmu_strategy="fastest")
+
+
+class TestPaperPipelineAgreement:
+    def test_identical_recommendation_on_paper_fixtures(self, paper_suite):
+        """Exact and pruned batch pipelines recommend the same cut."""
+        exact = (
+            PipelineVariant(name="exact", som_mode="batch", seed=11)
+            .pipeline(11, None)
+            .run(paper_suite)
+        )
+        pruned = (
+            PipelineVariant(
+                name="pruned",
+                som_mode="batch",
+                seed=11,
+                bmu_strategy="pruned",
+            )
+            .pipeline(11, None)
+            .run(paper_suite)
+        )
+        assert (
+            pruned.recommended_clusters == exact.recommended_clusters
+        )
+        assert pruned.positions == exact.positions

@@ -1,0 +1,207 @@
+"""Epoch-wide sharding: placement invariance and the fixed merge.
+
+The contract differs from search-scope sharding on purpose.  Search
+scope (PR 6, ``tests/analysis/test_shard.py``) is bitwise identical
+to an *unsharded* run.  Epoch scope shards the whole epoch — search
+plus influence accumulation — so a fixed ``--shards N`` defines its
+own result: the left-to-right merge of per-shard terms.  What must
+hold, and is pinned here at shards 2/3/5/13, is that this result
+never depends on *where* the shards ran: a fork pool and the inline
+loop produce bitwise identical weights, because every shard task is
+stateless and the fold order is fixed.  One shard degenerates to the
+plain batch fit exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.shard import ShardedEpochAccumulator, run_sharded_analysis
+from repro.analysis.sweep import PipelineVariant
+from repro.engine.fanout import fork_available
+from repro.exceptions import MeasurementError
+from repro.som.grid import Grid
+from repro.som.quality import quantization_error
+from repro.som.som import SOMConfig, SelfOrganizingMap
+from repro.synthetic import big_suite
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method unavailable"
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    raw = big_suite(120, 24, seed=9)
+    std = raw.std(axis=0)
+    return (raw - raw.mean(axis=0)) / np.where(std > 0.0, std, 1.0)
+
+
+@pytest.fixture(scope="module")
+def config():
+    rows, cols = Grid.suggested_shape(120)
+    return SOMConfig(rows=rows, columns=cols, seed=7)
+
+
+def _fit_with(config, data, accumulator, strategy="exact"):
+    return SelfOrganizingMap(config).fit(
+        data,
+        mode="batch",
+        bmu_strategy=strategy,
+        epoch_accumulator=accumulator,
+    )
+
+
+class TestPlacementInvariance:
+    @needs_fork
+    @pytest.mark.parametrize("shards", [2, 3, 5, 13])
+    def test_pool_equals_inline_bitwise(self, config, data, shards):
+        with ShardedEpochAccumulator(shards, workers=1) as inline:
+            inline_som = _fit_with(config, data, inline)
+            assert not inline.pooled
+        with ShardedEpochAccumulator(shards, workers=2) as pooled:
+            pooled_som = _fit_with(config, data, pooled)
+            assert pooled.pooled
+        np.testing.assert_array_equal(
+            inline_som.weights, pooled_som.weights
+        )
+
+    @needs_fork
+    def test_pruned_shards_pool_equals_inline_bitwise(self, config, data):
+        with ShardedEpochAccumulator(
+            3, workers=1, bmu_strategy="pruned"
+        ) as inline:
+            inline_som = _fit_with(config, data, inline, strategy="pruned")
+        with ShardedEpochAccumulator(
+            3, workers=2, bmu_strategy="pruned"
+        ) as pooled:
+            pooled_som = _fit_with(config, data, pooled, strategy="pruned")
+        np.testing.assert_array_equal(
+            inline_som.weights, pooled_som.weights
+        )
+
+    def test_repeat_runs_are_deterministic(self, config, data):
+        with ShardedEpochAccumulator(3, workers=1) as first:
+            first_som = _fit_with(config, data, first)
+        with ShardedEpochAccumulator(3, workers=1) as second:
+            second_som = _fit_with(config, data, second)
+        np.testing.assert_array_equal(
+            first_som.weights, second_som.weights
+        )
+
+
+class TestMergeSemantics:
+    def test_single_shard_equals_plain_batch_fit(self, config, data):
+        """One shard is the whole matrix: merge of one == plain epoch."""
+        plain = SelfOrganizingMap(config).fit(data, mode="batch")
+        with ShardedEpochAccumulator(1, workers=1) as accumulator:
+            sharded = _fit_with(config, data, accumulator)
+        np.testing.assert_array_equal(plain.weights, sharded.weights)
+
+    def test_sharded_quality_matches_unsharded(self, config, data):
+        """Different shard counts reassociate additions, nothing more."""
+        plain = SelfOrganizingMap(config).fit(data, mode="batch")
+        with ShardedEpochAccumulator(5, workers=1) as accumulator:
+            sharded = _fit_with(config, data, accumulator)
+        qe_plain = quantization_error(plain, data)
+        qe_sharded = quantization_error(sharded, data)
+        assert abs(qe_sharded - qe_plain) <= 0.01 * qe_plain
+
+    def test_pruned_shards_aggregate_search_stats(self, config, data):
+        with ShardedEpochAccumulator(
+            4, workers=1, bmu_strategy="pruned"
+        ) as accumulator:
+            som = _fit_with(config, data, accumulator, strategy="pruned")
+            stats = accumulator.search_stats
+        assert stats is not None
+        assert stats["calls"] == som.epochs_trained * 4
+        assert som.bmu_stats == stats
+
+    def test_exact_shards_report_no_search_stats(self, config, data):
+        with ShardedEpochAccumulator(2, workers=1) as accumulator:
+            _fit_with(config, data, accumulator)
+            assert accumulator.search_stats is None
+
+
+class TestPipelineScope:
+    def test_epoch_scope_reaches_the_same_recommendation(self, paper_suite):
+        variant = PipelineVariant(name="batch", som_mode="batch", seed=11)
+        plain = variant.pipeline(11, None).run(paper_suite)
+        sharded = run_sharded_analysis(
+            variant, paper_suite, shards=3, scope="epoch"
+        )
+        assert sharded.scope == "epoch"
+        assert sharded.searches == plain.som.epochs_trained
+        assert (
+            sharded.result.recommended_clusters
+            == plain.recommended_clusters
+        )
+
+    def test_epoch_scope_with_pruned_strategy(self, paper_suite):
+        variant = PipelineVariant(name="batch", som_mode="batch", seed=11)
+        plain = variant.pipeline(11, None).run(paper_suite)
+        sharded = run_sharded_analysis(
+            variant,
+            paper_suite,
+            shards=2,
+            scope="epoch",
+            bmu_strategy="pruned",
+        )
+        assert sharded.bmu_strategy == "pruned"
+        assert (
+            sharded.result.recommended_clusters
+            == plain.recommended_clusters
+        )
+
+
+class TestGuards:
+    def test_search_scope_refuses_pruned(self, paper_suite):
+        variant = PipelineVariant(name="batch", som_mode="batch", seed=11)
+        with pytest.raises(MeasurementError, match="bitwise"):
+            run_sharded_analysis(
+                variant, paper_suite, shards=2, bmu_strategy="pruned"
+            )
+
+    def test_unknown_scope_rejected(self, paper_suite):
+        variant = PipelineVariant(name="batch", som_mode="batch", seed=11)
+        with pytest.raises(MeasurementError, match="scope"):
+            run_sharded_analysis(
+                variant, paper_suite, shards=2, scope="sample"
+            )
+
+    def test_sequential_mode_refuses_epoch_scope(self, paper_suite):
+        sequential = PipelineVariant(
+            name="seq", som_mode="sequential", seed=11
+        )
+        with pytest.raises(MeasurementError, match="batch"):
+            run_sharded_analysis(
+                sequential, paper_suite, shards=2, scope="epoch"
+            )
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(MeasurementError, match="shards"):
+            ShardedEpochAccumulator(0)
+        with pytest.raises(MeasurementError, match="workers"):
+            ShardedEpochAccumulator(2, workers=0)
+        with pytest.raises(MeasurementError, match="bmu_strategy"):
+            ShardedEpochAccumulator(2, bmu_strategy="fast")
+
+    def test_accumulator_requires_batch_mode(self, data):
+        som = SelfOrganizingMap(SOMConfig(seed=1))
+        with ShardedEpochAccumulator(2, workers=1) as accumulator:
+            with pytest.raises(Exception, match="batch"):
+                som.fit(data, epoch_accumulator=accumulator)
+
+    def test_accumulator_strategy_must_match_fit_strategy(self, data):
+        som = SelfOrganizingMap(SOMConfig(seed=1))
+        with ShardedEpochAccumulator(
+            2, workers=1, bmu_strategy="pruned"
+        ) as accumulator:
+            with pytest.raises(Exception, match="strategy"):
+                som.fit(
+                    data,
+                    mode="batch",
+                    bmu_strategy="exact",
+                    epoch_accumulator=accumulator,
+                )

@@ -1,0 +1,143 @@
+"""Streaming batch training: chunk folds, providers, accumulation.
+
+``partial_fit`` folds per-chunk epoch terms in chunk order, which
+makes its numerics *defined*, not approximate: a single-chunk call is
+bitwise identical to ``fit(mode="batch")``, and chunking at the shard
+boundaries of ``shard_bounds(S, n)`` is bitwise identical to an
+epoch-sharded fit at ``n`` shards — the two features share one merge.
+Provider handling (arrays auto-chunked under the tiling budget,
+sequences, callables, one-shot iterators rejected) and the
+``epochs_trained`` accumulation that makes the method *partial* are
+pinned alongside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.shard import ShardedEpochAccumulator
+from repro.exceptions import SOMError
+from repro.som.bmu import shard_bounds
+from repro.som.grid import Grid
+from repro.som.quality import quantization_error
+from repro.som.som import SOMConfig, SelfOrganizingMap
+from repro.synthetic import big_suite
+
+
+@pytest.fixture(scope="module")
+def data():
+    raw = big_suite(150, 20, seed=4)
+    std = raw.std(axis=0)
+    return (raw - raw.mean(axis=0)) / np.where(std > 0.0, std, 1.0)
+
+
+@pytest.fixture(scope="module")
+def config():
+    rows, cols = Grid.suggested_shape(150)
+    return SOMConfig(rows=rows, columns=cols, seed=7)
+
+
+@pytest.fixture(scope="module")
+def batch_fit(config, data):
+    return SelfOrganizingMap(config).fit(data, mode="batch")
+
+
+class TestEquivalence:
+    def test_single_chunk_is_bitwise_batch_fit(self, config, data, batch_fit):
+        """A matrix within the tiling budget trains as one chunk."""
+        streamed = SelfOrganizingMap(config).partial_fit(data)
+        np.testing.assert_array_equal(
+            streamed.weights, batch_fit.weights
+        )
+        assert streamed.epochs_trained == batch_fit.epochs_trained
+
+    def test_shard_boundary_chunks_match_epoch_sharding(self, config, data):
+        """Chunking at shard bounds == the epoch-sharded fit, bitwise."""
+        chunks = [
+            data[start:stop] for start, stop in shard_bounds(len(data), 3)
+        ]
+        # Sequence input seeds from the first chunk; initialize from
+        # the full matrix so both sides share their starting weights.
+        streamed = SelfOrganizingMap(config).initialize(data).partial_fit(
+            chunks
+        )
+        with ShardedEpochAccumulator(3, workers=1) as accumulator:
+            sharded = SelfOrganizingMap(config).fit(
+                data, mode="batch", epoch_accumulator=accumulator
+            )
+        np.testing.assert_array_equal(streamed.weights, sharded.weights)
+
+    def test_explicit_chunk_rows_keep_quality(self, config, data, batch_fit):
+        streamed = SelfOrganizingMap(config).partial_fit(data, chunk_rows=7)
+        qe_batch = quantization_error(batch_fit, data)
+        qe_streamed = quantization_error(streamed, data)
+        assert abs(qe_streamed - qe_batch) <= 0.01 * qe_batch
+
+    def test_pruned_streaming_keeps_quality(self, config, data, batch_fit):
+        streamed = SelfOrganizingMap(config).partial_fit(
+            data, chunk_rows=40, bmu_strategy="pruned"
+        )
+        qe_batch = quantization_error(batch_fit, data)
+        qe_streamed = quantization_error(streamed, data)
+        assert abs(qe_streamed - qe_batch) <= 0.01 * qe_batch
+        stats = streamed.bmu_stats
+        chunks_per_epoch = -(-len(data) // 40)
+        assert stats["calls"] == 50 * chunks_per_epoch
+        assert stats["fallbacks"] == 0
+
+
+class TestProviders:
+    def test_callable_provider(self, config, data, batch_fit):
+        chunks = [data[:80], data[80:]]
+        streamed = SelfOrganizingMap(config).partial_fit(lambda: iter(chunks))
+        assert streamed.epochs_trained == 50
+        qe_batch = quantization_error(batch_fit, data)
+        qe_streamed = quantization_error(streamed, data)
+        assert abs(qe_streamed - qe_batch) <= 0.01 * qe_batch
+
+    def test_one_shot_iterator_rejected(self, config, data):
+        iterator = iter([data[:80], data[80:]])
+        with pytest.raises(SOMError, match="one-shot"):
+            SelfOrganizingMap(config).partial_fit(iterator)
+
+    def test_empty_provider_rejected(self, config):
+        with pytest.raises(SOMError, match="no chunks"):
+            SelfOrganizingMap(config).partial_fit([])
+
+    def test_dimension_mismatch_rejected(self, config, data):
+        with pytest.raises(SOMError, match="dimension"):
+            SelfOrganizingMap(config).partial_fit(
+                [data[:80], data[80:, :10]]
+            )
+
+    def test_bad_epochs_and_chunk_rows_rejected(self, config, data):
+        with pytest.raises(SOMError, match="epochs"):
+            SelfOrganizingMap(config).partial_fit(data, epochs=0)
+        with pytest.raises(SOMError, match="chunk_rows"):
+            SelfOrganizingMap(config).partial_fit(data, chunk_rows=0)
+
+
+class TestAccumulation:
+    def test_epochs_accumulate_across_calls(self, config, data):
+        som = SelfOrganizingMap(config)
+        som.partial_fit(data, epochs=10)
+        assert som.epochs_trained == 10
+        som.partial_fit(data, epochs=15)
+        assert som.epochs_trained == 25
+
+    def test_untrained_map_initializes_like_fit(self, config, data):
+        """Streaming starts from the exact state fit() starts from."""
+        initialized = SelfOrganizingMap(config).initialize(data)
+        reference = SelfOrganizingMap(config).initialize(data)
+        np.testing.assert_array_equal(
+            initialized.weights, reference.weights
+        )
+        assert initialized.epochs_trained == 0
+
+    def test_continuing_from_trained_weights(self, config, data):
+        som = SelfOrganizingMap(config).fit(data, mode="batch")
+        weights_before = som.weights
+        som.partial_fit(data, epochs=5)
+        assert som.epochs_trained == 55
+        assert not np.array_equal(weights_before, som.weights)
