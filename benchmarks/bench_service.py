@@ -18,10 +18,13 @@ it in ``results/BENCH_service.json``:
    connections, end-to-end wall and aggregate requests/second;
 4. **analyze warm-up** — the first ``/analyze`` (computes the chain on
    the daemon's engine) vs the second (pure memo replay): the
-   compute-counter delta must be zero on the replay.
+   compute-counter delta must be zero on the replay;
+5. **SSE subscriber overhead** — warm ``/score`` p50 with vs. without
+   one live, actively heartbeating ``/events/{run_id}?follow=1``
+   subscription riding the same event loop.
 
 The acceptance gate (``check_bench_regression.py --service``) pins
-``score.speedup_vs_cold_cli >= 10``.  When ``REPRO_LEDGER`` is set the
+``score.speedup_vs_cold_cli >= 10`` and ``sse.overhead_pct <= 10``.  When ``REPRO_LEDGER`` is set the
 daemon writes its own ``service:<endpoint>`` records to the shared
 ledger; the bench record then carries only ``service_run_ids`` links —
 never a second copy of the stage walls (see
@@ -33,9 +36,11 @@ gates are identical, the request counts are smaller.
 
 from __future__ import annotations
 
+import http.client
 import os
 import subprocess
 import sys
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -73,6 +78,38 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     """Nearest-rank percentile over an already-sorted sample."""
     index = min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1)))
     return sorted_values[index]
+
+
+class _SseSubscriber:
+    """One live ``GET /events/{run_id}?follow=1`` subscription.
+
+    A daemon thread keeps reading frames/heartbeats so the server-side
+    stream loop never blocks on a full socket buffer — the subscriber
+    is *active* for the whole measurement window, exactly like a real
+    ``obs tail --follow`` session.
+    """
+
+    def __init__(self, host: str, port: int, run_id: str) -> None:
+        self._connection = http.client.HTTPConnection(host, port, timeout=60)
+        self._connection.request("GET", f"/events/{run_id}?follow=1")
+        response = self._connection.getresponse()
+        assert response.status == 200, response.status
+        self._thread = threading.Thread(
+            target=self._consume, args=(response,), daemon=True
+        )
+        self._thread.start()
+
+    @staticmethod
+    def _consume(response) -> None:
+        try:
+            for _line in response:
+                pass
+        except Exception:
+            pass  # connection torn down by close()
+
+    def close(self) -> None:
+        self._connection.close()
+        self._thread.join(timeout=10)
 
 
 def _cold_cli_wall(tmp_path: Path) -> float:
@@ -123,7 +160,13 @@ def test_service_latency_and_throughput(benchmark, tmp_path):
         cache_dir=tmp_path / "service-cache",
         ledger_path=ledger_path_from_env(),
     )
-    with ServiceThread(runtime=runtime, max_concurrency=CONCURRENT_CLIENTS) as server:
+    with ServiceThread(
+        runtime=runtime,
+        max_concurrency=CONCURRENT_CLIENTS,
+        # Fast heartbeats so the SSE-overhead pass below measures an
+        # actively heartbeating subscriber, not a silent socket.
+        heartbeat_seconds=0.25,
+    ) as server:
         client = server.client()
 
         # Analyze warm-up: first request computes the SAR-A chain on
@@ -162,6 +205,21 @@ def test_service_latency_and_throughput(benchmark, tmp_path):
         concurrent_wall = _concurrent_wall(
             server, CONCURRENT_CLIENTS, REQUESTS_PER_CLIENT
         )
+
+        # SSE subscriber overhead: a live follow-mode subscription on
+        # the finished job's event stream (heartbeating every
+        # heartbeat_seconds) rides the same event loop as /score.
+        # Both passes are measured back to back so the comparison sees
+        # the same thermal/cache state.
+        unsub = sorted(_serial_latencies(client, SCORE_REQUESTS))
+        subscriber = _SseSubscriber(server.host, server.port, job["run_id"])
+        try:
+            sub = sorted(_serial_latencies(client, SCORE_REQUESTS))
+        finally:
+            subscriber.close()
+        sse_p50_unsub = _percentile(unsub, 0.50)
+        sse_p50_sub = _percentile(sub, 0.50)
+        sse_overhead_pct = (sse_p50_sub / sse_p50_unsub - 1.0) * 100.0
 
     ordered = sorted(latencies)
     p50 = _percentile(ordered, 0.50)
@@ -209,6 +267,14 @@ def test_service_latency_and_throughput(benchmark, tmp_path):
                 "speedup": first_analyze / warm_analyze,
                 "compute_counts": counts_after_first,
             },
+            "sse": {
+                "subscribers": 1,
+                "requests": SCORE_REQUESTS,
+                "heartbeat_seconds": 0.25,
+                "p50_unsubscribed_seconds": sse_p50_unsub,
+                "p50_subscribed_seconds": sse_p50_sub,
+                "overhead_pct": sse_overhead_pct,
+            },
             "service_run_ids": service_run_ids,
         },
         config={
@@ -236,6 +302,9 @@ def test_service_latency_and_throughput(benchmark, tmp_path):
                 ("speedup vs cold CLI", f"{speedup:.0f}x"),
                 ("first /analyze", f"{first_analyze * 1e3:.1f} ms"),
                 ("warm /analyze replay", f"{warm_analyze * 1e3:.1f} ms"),
+                ("/score p50, no subscriber", f"{sse_p50_unsub * 1e3:.3f} ms"),
+                ("/score p50, 1 SSE subscriber", f"{sse_p50_sub * 1e3:.3f} ms"),
+                ("SSE subscriber overhead", f"{sse_overhead_pct:+.1f} %"),
             ],
         ),
     )

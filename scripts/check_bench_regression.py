@@ -21,8 +21,9 @@ execute zero compute stages, and the sharded SOM merge must be
 bitwise identical to the unsharded run.  ``--service`` gates the
 scoring-daemon bench: a warm ``/score`` p50 must stay at least 10x
 faster than one cold ``repro-hmeans pipeline`` CLI invocation at the
-same shape, and the warm ``/analyze`` replay must beat the computing
-first pass.  ``--som-scaling`` gates the reduce-stage scaling bench:
+same shape, the warm ``/analyze`` replay must beat the computing
+first pass, and one live ``/events/{run_id}`` SSE subscriber must
+cost the warm ``/score`` p50 at most 10%.  ``--som-scaling`` gates the reduce-stage scaling bench:
 every swept shape must keep its pruned quantization error within 1%
 of exact and its pooled epoch-sharded fit bitwise identical to the
 inline one, and on a full-size run the pruned strategy must be at
@@ -67,6 +68,7 @@ FAIL_RATIO = 2.0
 WARN_RATIO = 1.25
 FANOUT_MIN_SPEEDUP = 0.9
 SERVICE_MIN_SPEEDUP = 10.0
+SERVICE_MAX_SSE_OVERHEAD_PCT = 10.0
 SOM_SCALING_MIN_SPEEDUP = 4.0
 SOM_SCALING_QE_TOLERANCE_PCT = 1.0
 SOM_SCALING_GATED_SHAPE = "1000x64"
@@ -212,6 +214,30 @@ def check_service(payload: dict):
             "ok",
             f"analyze.speedup: warm replay {analyze['speedup']:.1f}x faster "
             "than the first computing pass",
+        )
+    sse = payload.get("sse")
+    if not isinstance(sse, dict):
+        yield ("warn", "sse: section missing from service payload "
+               "(pre-SSE bench run?)")
+    elif not isinstance(sse.get("overhead_pct"), (int, float)):
+        yield ("fail", "sse.overhead_pct: missing or non-numeric")
+    elif sse["overhead_pct"] > SERVICE_MAX_SSE_OVERHEAD_PCT:
+        yield (
+            "fail",
+            f"sse.overhead_pct: {sse['overhead_pct']:+.1f}% > "
+            f"{SERVICE_MAX_SSE_OVERHEAD_PCT:.0f}% (one live "
+            "/events subscriber taxes the warm /score p50: "
+            f"{sse.get('p50_unsubscribed_seconds', float('nan')) * 1e3:.3f}ms "
+            f"-> {sse.get('p50_subscribed_seconds', float('nan')) * 1e3:.3f}ms)",
+        )
+    else:
+        yield (
+            "ok",
+            f"sse.overhead_pct: {sse['overhead_pct']:+.1f}% <= "
+            f"{SERVICE_MAX_SSE_OVERHEAD_PCT:.0f}% with "
+            f"{sse.get('subscribers')} live subscriber(s) (p50 "
+            f"{sse.get('p50_unsubscribed_seconds', float('nan')) * 1e3:.3f}ms "
+            f"-> {sse.get('p50_subscribed_seconds', float('nan')) * 1e3:.3f}ms)",
         )
 
 
@@ -400,7 +426,8 @@ def main(argv=None) -> int:
         const=Path("results/BENCH_service.json"),
         help="BENCH_service payload to gate (warm /score p50 >= "
         f"{SERVICE_MIN_SPEEDUP:.0f}x faster than a cold CLI pipeline run, "
-        "warm /analyze replay faster than the computing pass); "
+        "warm /analyze replay faster than the computing pass, SSE "
+        f"subscriber overhead <= {SERVICE_MAX_SSE_OVERHEAD_PCT:.0f}%); "
         "default path: results/BENCH_service.json",
     )
     parser.add_argument(

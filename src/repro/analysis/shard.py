@@ -37,6 +37,7 @@ by construction — there is nothing independent to split.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -48,7 +49,9 @@ from repro.engine.executor import PipelineEngine
 from repro.engine.fanout import derive_seed, fork_available
 from repro.engine.hostinfo import available_cpus
 from repro.exceptions import MeasurementError
+from repro.obs.context import TraceContext, current_context, use_context
 from repro.obs.log import fmt_kv, get_logger
+from repro.obs.trace import Tracer, current_tracer, span_from_payload, use_tracer
 from repro.som.batch import (
     EpochTerms,
     GroupedEpochTerms,
@@ -161,25 +164,64 @@ def _epoch_shard_task(payload: tuple) -> tuple:
     shard's partial terms depend only on (weights, chunk, sigma) —
     never on which worker computed it or what that worker computed
     before.  That is what makes a fixed shard count placement-
-    invariant.  Returns ``(totals, numerator, stats_or_None)``.
+    invariant.  Returns
+    ``(totals, numerator, stats_or_None, span_payload_or_None)``.
+
+    When the originating run is traced, the request's
+    :class:`~repro.obs.context.TraceContext` rides in the payload and
+    the shard's work is recorded under a ``shard.epoch_task`` span
+    stamped with the request ``trace_id`` — the accumulator grafts it
+    back into the parent trace, so sharded epochs stay attached to the
+    run that asked for them.  Tracing never touches the arithmetic:
+    the computation is identical with and without a context.
     """
-    weights, chunk, kernel, sq_table, sigma, strategy = payload
-    if strategy == "pruned":
-        search = PrunedBMUSearch()
-        bmus = search(weights, chunk)
-        terms = GroupedEpochTerms()(
-            weights,
-            chunk,
-            kernel=kernel,
-            sq_table=sq_table,
-            sigma=sigma,
-            bmus=bmus,
-        )
-        return terms.totals, terms.numerator, search.stats()
-    terms = exact_epoch_terms(
-        weights, chunk, kernel=kernel, sq_table=sq_table, sigma=sigma
+    weights, chunk, kernel, sq_table, sigma, strategy, shard_index, context_payload = payload
+    context = (
+        TraceContext.from_payload(context_payload)
+        if context_payload is not None
+        else None
     )
-    return terms.totals, terms.numerator, None
+    tracer = Tracer() if context_payload is not None else None
+
+    def compute() -> tuple:
+        if strategy == "pruned":
+            search = PrunedBMUSearch()
+            bmus = search(weights, chunk)
+            terms = GroupedEpochTerms()(
+                weights,
+                chunk,
+                kernel=kernel,
+                sq_table=sq_table,
+                sigma=sigma,
+                bmus=bmus,
+            )
+            return terms, search.stats()
+        terms = exact_epoch_terms(
+            weights, chunk, kernel=kernel, sq_table=sq_table, sigma=sigma
+        )
+        return terms, None
+
+    if tracer is None:
+        terms, stats = compute()
+        return terms.totals, terms.numerator, stats, None
+    with use_context(context), use_tracer(tracer):
+        with tracer.span(
+            "shard.epoch_task",
+            shard=shard_index,
+            samples=int(chunk.shape[0]),
+            sigma=float(sigma),
+            strategy=strategy,
+            worker_pid=os.getpid(),
+        ) as span:
+            if context is not None:
+                span.set(parent_span_id=context.span_id)
+            terms, stats = compute()
+    return (
+        terms.totals,
+        terms.numerator,
+        stats,
+        tracer.roots[0].to_payload(),
+    )
 
 
 class ShardedEpochAccumulator:
@@ -272,6 +314,15 @@ class ShardedEpochAccumulator:
     ) -> EpochTerms:
         bounds = shard_bounds(matrix.shape[0], self.shards)
         self.calls += 1
+        tracer = current_tracer()
+        trace_context = current_context()
+        context_payload = (
+            trace_context.to_payload()
+            if getattr(tracer, "enabled", False)
+            and trace_context is not None
+            and trace_context.sampled
+            else None
+        )
         payloads = [
             (
                 weights,
@@ -280,8 +331,10 @@ class ShardedEpochAccumulator:
                 sq_table,
                 sigma,
                 self.bmu_strategy,
+                index,
+                context_payload,
             )
-            for start, stop in bounds
+            for index, (start, stop) in enumerate(bounds)
         ]
         if self._pooled and len(bounds) > 1:
             if self._pool is None:
@@ -290,11 +343,19 @@ class ShardedEpochAccumulator:
             parts = self._pool.map(_epoch_shard_task, payloads)
         else:
             parts = [_epoch_shard_task(payload) for payload in payloads]
-        for _, _, stats in parts:
+        for _, _, stats, span_payload in parts:
             if stats:
                 self._stats_sink.absorb_stats(stats)
+            # Attach each shard's span tree under the currently open
+            # span (the SOM's som.epoch), trace_id intact — one
+            # connected tree per request however the shards were placed.
+            if span_payload is not None:
+                tracer.graft(span_from_payload(span_payload))
         return merge_epoch_terms(
-            [EpochTerms(totals, numerator) for totals, numerator, _ in parts]
+            [
+                EpochTerms(totals, numerator)
+                for totals, numerator, _, _ in parts
+            ]
         )
 
     def close(self) -> None:
@@ -334,12 +395,17 @@ def run_sharded_analysis(
     base_seed: int = 11,
     scope: str = "search",
     bmu_strategy: str = "exact",
+    engine: PipelineEngine | None = None,
 ) -> ShardedRun:
     """Run one variant with its SOM reduce stage sharded across processes.
 
     Requires ``variant.som_mode == "batch"``.  The variant's normal
     stage graph executes on a normal engine — only the reduce stage is
-    swapped for one carrying the sharding hook.
+    swapped for one carrying the sharding hook.  ``engine`` lets a
+    resident caller (the scoring service) supply its warm, hooked
+    engine instead of a throwaway one, so sharded runs share the memo
+    and fire the same per-stage hooks as unsharded runs; it overrides
+    ``cache_dir``.
 
     ``scope="search"`` (default, the PR 6 contract) shards only the
     BMU search: the merged output is bitwise identical to an
@@ -377,9 +443,10 @@ def run_sharded_analysis(
         if variant.seed is not None
         else derive_seed(base_seed, 0, variant.name)
     )
-    engine = PipelineEngine(
-        disk_cache=None if cache_dir is None else str(cache_dir)
-    )
+    if engine is None:
+        engine = PipelineEngine(
+            disk_cache=None if cache_dir is None else str(cache_dir)
+        )
     pipeline = variant.pipeline(seed, engine)
     if scope == "epoch":
         with ShardedEpochAccumulator(

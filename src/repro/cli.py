@@ -76,6 +76,8 @@ from repro.obs import (
     configure_logging,
     fmt_kv,
     ledger_path_from_env,
+    new_context,
+    use_context,
     use_metrics,
     use_recorder,
     use_tracer,
@@ -550,6 +552,9 @@ def _cmd_obs(args: argparse.Namespace) -> tuple[str, int]:
         runs_payload,
     )
 
+    if args.obs_command == "tail":
+        return _obs_tail(args)
+
     ledger = _resolve_ledger(args)
     as_json = getattr(args, "json", False)
 
@@ -635,6 +640,43 @@ def _cmd_obs(args: argparse.Namespace) -> tuple[str, int]:
     )
 
 
+def _obs_tail(args: argparse.Namespace) -> tuple[str, int]:
+    """Stream one run's live SSE events from a daemon to stdout.
+
+    Unlike the other ``obs`` views this reads the *live* daemon, not
+    the ledger: each event prints (flushed) as it arrives, so a
+    long-running async ``/analyze`` narrates its stages and SOM epochs
+    in real time.  ``--follow`` keeps the subscription (heartbeats)
+    after the run completes; Ctrl-C detaches cleanly.
+    """
+    from repro.obs.render import render_event
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(
+        args.service_host, args.service_port, timeout=None
+    )
+    count, last = 0, args.after
+    try:
+        for event in client.events(
+            args.run, after=args.after, follow=args.follow
+        ):
+            print(render_event(event.seq, event.name, event.data), flush=True)
+            count, last = count + 1, event.seq
+    except KeyboardInterrupt:
+        pass
+    except BrokenPipeError:
+        # Downstream closed (e.g. `obs tail ... | head`): detach
+        # quietly, exactly like any well-behaved line filter.  Stdout
+        # is dead, so point it at devnull before main() prints.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return "", 0
+    except (OSError, RuntimeError, ValueError) as exc:
+        raise ReproError(f"obs tail: {exc}") from exc
+    return f"stream ended: {count} event(s), last id {last}", 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
     """Run the resident scoring daemon until SIGTERM/SIGINT drains it.
 
@@ -660,6 +702,11 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         port=args.port,
         max_concurrency=args.max_concurrency,
         drain_grace=args.drain_grace,
+        # The shared --trace flag: per-request analyze span trees
+        # accumulate in the daemon and are written here on drain.
+        trace_path=getattr(args, "trace", None),
+        slow_request_ms=args.slow_request_ms,
+        heartbeat_seconds=args.heartbeat_seconds,
     )
 
     async def _serve() -> None:
@@ -911,7 +958,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve",
         help="run the resident scoring daemon (POST /score, POST /analyze, "
-        "GET /runs/{id}, GET /healthz, GET /metricsz)",
+        "GET /runs/{id}, GET /events/{run_id}, GET /healthz, GET /metricsz)",
         parents=[obs],
     )
     serve.add_argument(
@@ -944,6 +991,22 @@ def _build_parser() -> argparse.ArgumentParser:
         default=30.0,
         metavar="SECONDS",
         help="how long SIGTERM waits for in-flight work before dropping it",
+    )
+    serve.add_argument(
+        "--slow-request-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log a structured service.slow_request warning (with the "
+        "request's trace_id) for any request at or above this wall time",
+    )
+    serve.add_argument(
+        "--heartbeat-seconds",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="comment-heartbeat interval on quiet /events/{run_id} "
+        "streams (keeps proxies from reaping idle subscriptions)",
     )
 
     obs_cmd = subparsers.add_parser(
@@ -986,6 +1049,38 @@ def _build_parser() -> argparse.ArgumentParser:
             help="analyze only runs of this subcommand "
             "(e.g. sweep, pipeline, bench:hotpaths)",
         )
+
+    tail = obs_sub.add_parser(
+        "tail",
+        help="stream one service run's live progress events (SSE) from a "
+        "running daemon to stdout",
+    )
+    tail.add_argument("run", help="service run id (svc-..., from POST /analyze)")
+    tail.add_argument(
+        "--service-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="daemon host to subscribe to",
+    )
+    tail.add_argument(
+        "--service-port",
+        type=int,
+        default=8311,
+        metavar="PORT",
+        help="daemon port to subscribe to",
+    )
+    tail.add_argument(
+        "--follow",
+        action="store_true",
+        help="stay subscribed (heartbeating) after the run finishes",
+    )
+    tail.add_argument(
+        "--after",
+        type=int,
+        default=0,
+        metavar="SEQ",
+        help="resume past event SEQ (sent as Last-Event-ID)",
+    )
 
     runs = obs_sub.add_parser("runs", help="list recent recorded runs")
     ledger_flag(runs)
@@ -1146,9 +1241,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     # A real tracer only when requested: the no-op default keeps
-    # instrumentation free on untraced runs.  Metrics always collect
-    # into a per-invocation registry so --metrics dumps one run.
+    # instrumentation free on untraced runs.  Traced runs also get a
+    # fresh TraceContext, so every span of the invocation — including
+    # ones grafted back from fork-pool workers — carries one trace_id
+    # the ledger record stores (`obs show <trace-prefix>` resolves
+    # it).  Metrics always collect into a per-invocation registry so
+    # --metrics dumps one run.
     tracer = Tracer() if trace_path else None
+    context = new_context() if trace_path else None
     registry = MetricsRegistry()
     # The run ledger (flag or REPRO_LEDGER) persists this invocation's
     # telemetry for `repro-hmeans obs`; ledger inspection commands are
@@ -1170,7 +1270,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             return
         run_id = RunLedger(ledger_path).append(
             recorder.finish(
-                metrics=registry, tracer=tracer, exit_code=exit_code
+                metrics=registry,
+                tracer=tracer,
+                exit_code=exit_code,
+                trace_id=context.trace_id if context is not None else None,
             )
         )
         log.info(fmt_kv("ledger.recorded", run_id=run_id, path=ledger_path))
@@ -1181,6 +1284,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             if recorder is not None:
                 stack.enter_context(use_recorder(recorder))
             if tracer is not None:
+                if context is not None:
+                    stack.enter_context(use_context(context))
                 stack.enter_context(use_tracer(tracer))
                 stack.enter_context(
                     tracer.span(f"cli.{args.command}", command=args.command)

@@ -177,7 +177,11 @@ class PipelineEngine:
         ``None`` (default) keeps memoization in-memory only.
     hooks:
         Callables invoked with each :class:`StageStats` as stages
-        finish — e.g. a progress printer or a metrics exporter.
+        finish — e.g. a progress printer or a metrics exporter.  A
+        hook object that additionally exposes a
+        ``stage_started(stage_name, key)`` method is notified *before*
+        each stage executes as well; the scoring service uses this
+        pair to stream live per-stage progress events.
     tracer:
         Tracer to record ``engine.run`` / ``stage.*`` spans on.  The
         default (``None``) resolves :func:`repro.obs.current_tracer`
@@ -267,6 +271,11 @@ class PipelineEngine:
         """Execute (or replay) one stage inside a ``stage.<name>`` span."""
         input_prints = [store.artifact(name).fingerprint for name in stage.inputs]
         key = combine(stage.signature, *input_prints)
+
+        for hook in self._hooks:
+            started_hook = getattr(hook, "stage_started", None)
+            if started_hook is not None:
+                started_hook(stage.name, key)
 
         with tracer.span(f"stage.{stage.name}", stage=stage.name) as span:
             started = time.perf_counter()

@@ -60,6 +60,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.engine.hostinfo import available_cpus
 from repro.engine.plan import PlanEntry, SweepPlan, SweepPlanner
 from repro.exceptions import EngineError
+from repro.obs.context import TraceContext, current_context, use_context
 from repro.obs.log import fmt_kv, get_logger
 from repro.obs.metrics import MetricsRegistry, current_metrics, use_metrics
 from repro.obs.trace import (
@@ -148,7 +149,9 @@ class VariantOutcome:
         return self.worker_pid == os.getpid()
 
 
-_InvokePayload = tuple[TaskFn, dict[str, Any], int, str, str, bool]
+_InvokePayload = tuple[
+    TaskFn, dict[str, Any], int, str, str, bool, dict[str, Any] | None
+]
 _InvokeResult = tuple[Any, float, int, dict[str, Any] | None, dict[str, Any]]
 
 
@@ -161,12 +164,24 @@ def _invoke(payload: _InvokePayload) -> _InvokeResult:
     ``fanout.variant`` span).  Both ship back with the result so the
     parent can graft the real span tree and merge the metrics —
     identically in serial and parallel mode.
+
+    The parent's :class:`~repro.obs.context.TraceContext` rides in the
+    payload and is reinstalled before the first span opens, so every
+    worker span carries the originating request's ``trace_id`` and the
+    variant root records the parent span id it attaches under.
     """
-    task, params, seed, name, mode, traced = payload
+    task, params, seed, name, mode, traced, context_payload = payload
+    context = (
+        TraceContext.from_payload(context_payload)
+        if context_payload is not None
+        else None
+    )
     child_metrics = MetricsRegistry()
     child_tracer = Tracer() if traced else None
     with contextlib.ExitStack() as stack:
         stack.enter_context(use_metrics(child_metrics))
+        if context is not None:
+            stack.enter_context(use_context(context))
         if child_tracer is not None:
             stack.enter_context(use_tracer(child_tracer))
             span = stack.enter_context(
@@ -174,6 +189,8 @@ def _invoke(payload: _InvokePayload) -> _InvokeResult:
                     "fanout.variant", variant=name, seed=seed, mode=mode
                 )
             )
+            if context is not None:
+                span.set(parent_span_id=context.span_id)
         else:
             span = None
         started = time.perf_counter()
@@ -268,6 +285,12 @@ class SweepScheduler:
         mode = "parallel" if parallel else "serial"
         workers = plan.workers if parallel else 1
         traced = bool(getattr(tracer, "enabled", False))
+        context = current_context()
+        context_payload = (
+            context.to_payload()
+            if context is not None and context.sampled
+            else None
+        )
         pooled = [
             parallel and planned[variant.name].pool_eligible
             for variant in variants
@@ -280,6 +303,7 @@ class SweepScheduler:
                 variant.name,
                 "parallel" if in_pool else "serial",
                 traced,
+                context_payload,
             )
             for variant, in_pool in zip(variants, pooled)
         ]
@@ -317,7 +341,7 @@ class SweepScheduler:
             for payload, result in zip(payloads, results):
                 assert result is not None
                 value, wall, pid, span_payload, snapshot = result
-                _task, _params, seed, name, _mode, _traced = payload
+                _task, _params, seed, name, _mode, _traced, _context = payload
                 # Graft the child's real span tree (true start/end
                 # timestamps, worker pid) under fanout.run and fold its
                 # metrics into the ambient registry: the trace and the

@@ -22,7 +22,13 @@ thread through every run:
   analytics reports (run tables, flame views, regression diffs,
   sparkline trends, SLO verdicts);
 * :mod:`repro.obs.log` — stdlib logging under the ``repro`` namespace
-  with an ``event key=value`` line format.
+  with an ``event key=value`` line format;
+* :mod:`repro.obs.context` — the propagatable
+  :class:`~repro.obs.context.TraceContext` (128-bit trace id, parent
+  span id, sampled flag) carried ambiently in a ``ContextVar`` and
+  serialized across HTTP (``traceparent``) and fork-pool boundaries,
+  so every span, ledger record and service response of one request
+  shares one identity.
 
 All three are *ambient*: library code reads :func:`current_tracer` /
 :func:`current_metrics` and the defaults (a no-op tracer, a process
@@ -38,6 +44,16 @@ real collectors with :func:`use_tracer` / :func:`use_metrics`::
     print(metrics.render_prometheus())
 """
 
+from repro.obs.context import (
+    TRACEPARENT_VERSION,
+    TraceContext,
+    current_context,
+    new_context,
+    new_span_id,
+    new_trace_id,
+    set_context,
+    use_context,
+)
 from repro.obs.analytics import (
     GateReport,
     GroupKey,
@@ -104,6 +120,15 @@ __all__ = [
     "set_tracer",
     "use_tracer",
     "span_from_payload",
+    # trace context
+    "TRACEPARENT_VERSION",
+    "TraceContext",
+    "current_context",
+    "new_context",
+    "new_span_id",
+    "new_trace_id",
+    "set_context",
+    "use_context",
     # run ledger
     "DEFAULT_LEDGER_PATH",
     "LEDGER_ENV",

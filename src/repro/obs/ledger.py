@@ -37,12 +37,14 @@ from pathlib import Path
 from typing import Any, Iterator, Mapping
 
 from repro.exceptions import ReproError
+from repro.obs.context import current_context
 from repro.obs.log import fmt_kv, get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NullTracer, Tracer
 
 __all__ = [
     "SCHEMA_VERSION",
+    "new_run_id",
     "LEDGER_ENV",
     "DEFAULT_LEDGER_PATH",
     "SIZE_WARNING_BYTES",
@@ -122,7 +124,7 @@ def _args_fingerprint(args: Mapping[str, Any]) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
 
-def _new_run_id(command: str) -> str:
+def new_run_id(command: str) -> str:
     """A readable, collision-resistant run id: timestamp + short hash."""
     stamp = time.strftime("%Y%m%dT%H%M%S", time.localtime())
     digest = hashlib.sha256(
@@ -195,8 +197,16 @@ class RunRecorder:
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | NullTracer | None = None,
         exit_code: int = 0,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
-        """The finished, JSON-safe ledger record for this invocation."""
+        """The finished, JSON-safe ledger record for this invocation.
+
+        ``trace_id`` pins the record to a request identity explicitly;
+        when omitted, the ambient :class:`~repro.obs.context.TraceContext`
+        (if any) supplies it — which is what lets
+        ``obs show <trace-prefix>`` resolve the run a service response
+        header pointed at.
+        """
         metrics_dict = metrics.as_dict() if metrics is not None else {}
         stages = list(self._stages)
         if not stages and metrics_dict:
@@ -213,13 +223,17 @@ class RunRecorder:
             trace = [
                 root.to_payload() for root in tracer.roots if root.finished
             ]
+        if trace_id is None:
+            context = current_context()
+            if context is not None and context.sampled:
+                trace_id = context.trace_id
         # Local import: repro.engine packages import this module at
         # load time, so a top-level import would be circular.
         from repro.engine.hostinfo import available_cpus
 
         return {
             "schema": SCHEMA_VERSION,
-            "run_id": _new_run_id(self.command),
+            "run_id": new_run_id(self.command),
             "timestamp_unix": self._started_unix,
             "command": self.command,
             "args": self.args,
@@ -232,6 +246,7 @@ class RunRecorder:
             "cache_sources": sources,
             "metrics": metrics_dict,
             "trace": trace,
+            "trace_id": trace_id,
         }
 
 
@@ -466,8 +481,10 @@ class RunLedger:
         """Resolve one run by reference.
 
         ``ref`` may be ``last``/``first``, an integer index into the
-        ledger (``0`` oldest, ``-1`` latest), or a ``run_id`` prefix
-        that matches exactly one record.
+        ledger (``0`` oldest, ``-1`` latest), a ``run_id`` prefix, or
+        a ``trace_id`` prefix (the hex id a service response header or
+        ``traceparent`` carried) — either prefix must match exactly
+        one record.
         """
         records = self.records()
         if not records:
@@ -489,6 +506,12 @@ class RunLedger:
                     f"({len(records)} run(s) in {self.path})"
                 )
         matches = [r for r in records if str(r["run_id"]).startswith(ref)]
+        if not matches:
+            matches = [
+                r
+                for r in records
+                if str(r.get("trace_id") or "").startswith(ref)
+            ]
         if len(matches) == 1:
             return matches[0]
         known = ", ".join(str(r["run_id"]) for r in records[-5:])

@@ -92,9 +92,22 @@ class Histogram:
     the cap enter a deterministic reservoir (Algorithm R over a
     fixed-seed PRNG), keeping ``count``/``total``/``max`` exact while
     percentiles become reservoir estimates.
+
+    An observation may carry a **trace-id exemplar**
+    (``observe(dt, trace_id=...)``): the histogram remembers the id of
+    its worst such observation, so a latency spike on ``/metricsz``
+    points straight at the run that caused it (``obs show <id>``).
     """
 
-    __slots__ = ("_values", "_count", "_sum", "_max", "max_samples", "_rng")
+    __slots__ = (
+        "_values",
+        "_count",
+        "_sum",
+        "_max",
+        "_exemplar",
+        "max_samples",
+        "_rng",
+    )
 
     def __init__(self, max_samples: int | None = None) -> None:
         if max_samples is not None and max_samples < 1:
@@ -105,12 +118,17 @@ class Histogram:
         self._count = 0
         self._sum = 0.0
         self._max: float | None = None
+        self._exemplar: dict[str, Any] | None = None
         self.max_samples = max_samples
         # Seeded so capped percentile estimates are reproducible.
         self._rng = random.Random(0x5EED) if max_samples is not None else None
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, *, trace_id: str | None = None) -> None:
+        """Record one observation, optionally tagged with a trace id.
+
+        Exemplar policy is *worst wins*: the histogram keeps the trace
+        id of the largest tagged observation seen so far.
+        """
         if not math.isfinite(value):
             raise ReproError(f"Histogram.observe: non-finite value {value}")
         value = float(value)
@@ -118,6 +136,10 @@ class Histogram:
         self._sum += value
         if self._max is None or value > self._max:
             self._max = value
+        if trace_id is not None and (
+            self._exemplar is None or value > self._exemplar["value"]
+        ):
+            self._exemplar = {"value": value, "trace_id": str(trace_id)}
         self._keep(value)
 
     def _keep(self, value: float) -> None:
@@ -147,6 +169,17 @@ class Histogram:
         for value in samples:
             self._keep(float(value))
 
+    def _absorb_exemplar(self, exemplar: Mapping[str, Any] | None) -> None:
+        """Adopt another histogram's exemplar when it is worse than ours."""
+        if not exemplar or "trace_id" not in exemplar:
+            return
+        value = float(exemplar.get("value", 0.0))
+        if self._exemplar is None or value > self._exemplar["value"]:
+            self._exemplar = {
+                "value": value,
+                "trace_id": str(exemplar["trace_id"]),
+            }
+
     @property
     def count(self) -> int:
         """Number of observations (exact even when sampling is capped)."""
@@ -168,6 +201,11 @@ class Histogram:
         if self._max is None:
             raise ReproError("Histogram.max: no observations")
         return self._max
+
+    @property
+    def exemplar(self) -> dict[str, Any] | None:
+        """``{"value", "trace_id"}`` of the worst tagged observation."""
+        return dict(self._exemplar) if self._exemplar is not None else None
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile, ``q`` in [0, 100]."""
@@ -292,6 +330,8 @@ class MetricsRegistry:
                 entry["sum"] = instrument.total
                 entry["max"] = instrument.max if instrument.count else None
                 entry["samples"] = list(instrument.samples)
+                if instrument.exemplar is not None:
+                    entry["exemplar"] = instrument.exemplar
             instruments.append(entry)
         return {"schema": 1, "instruments": instruments}
 
@@ -314,12 +354,14 @@ class MetricsRegistry:
                 self.gauge(name, **labels).set(float(entry.get("value", 0.0)))
             elif kind == "histogram":
                 maximum = entry.get("max")
-                self.histogram(name, **labels)._absorb(
+                histogram = self.histogram(name, **labels)
+                histogram._absorb(
                     int(entry.get("count", 0)),
                     float(entry.get("sum", 0.0)),
                     None if maximum is None else float(maximum),
                     [float(v) for v in entry.get("samples") or ()],
                 )
+                histogram._absorb_exemplar(entry.get("exemplar"))
             else:
                 raise ReproError(
                     f"MetricsRegistry.merge: unknown instrument kind {kind!r} "
@@ -368,6 +410,7 @@ class MetricsRegistry:
             suffix = _format_labels(labels)
             if isinstance(instrument, Histogram):
                 if instrument.count:
+                    exemplar = instrument.exemplar
                     for q, value in (
                         ("0.5", instrument.p50),
                         ("0.95", instrument.p95),
@@ -376,9 +419,16 @@ class MetricsRegistry:
                         q_labels = _label_key(
                             dict(labels, quantile=q)
                         )
-                        lines.append(
-                            f"{name}{_format_labels(q_labels)} {value:.9g}"
-                        )
+                        line = f"{name}{_format_labels(q_labels)} {value:.9g}"
+                        # OpenMetrics-style exemplar on the worst
+                        # quantile: the trace id of the slowest tagged
+                        # observation, resolvable via `obs show <id>`.
+                        if q == "1" and exemplar is not None:
+                            line += (
+                                f' # {{trace_id="{exemplar["trace_id"]}"}}'
+                                f' {exemplar["value"]:.9g}'
+                            )
+                        lines.append(line)
                 lines.append(f"{name}_count{suffix} {instrument.count}")
                 lines.append(f"{name}_sum{suffix} {instrument.total:.9g}")
             else:

@@ -39,6 +39,7 @@ __all__ = [
     "render_runs_table",
     "render_flame",
     "render_diff",
+    "render_event",
     "runs_payload",
     "diff_payload",
     "sparkline",
@@ -76,6 +77,12 @@ def _cache_summary(record: Mapping[str, Any]) -> str:
     return ",".join(f"{k}:{v}" for k, v in sorted(sources.items()))
 
 
+def _trace_prefix(record: Mapping[str, Any]) -> str:
+    """A resolvable 12-hex prefix of the record's trace id (or ``-``)."""
+    trace_id = record.get("trace_id")
+    return str(trace_id)[:12] if trace_id else "-"
+
+
 def render_runs_table(
     records: Iterable[Mapping[str, Any]], *, limit: int = 15
 ) -> str:
@@ -84,7 +91,17 @@ def render_runs_table(
     if not rows:
         raise ReproError("render_runs_table: no runs to list")
     table = format_table(
-        ["run id", "when", "source", "command", "wall", "stages", "cache", "args"],
+        [
+            "run id",
+            "when",
+            "source",
+            "command",
+            "wall",
+            "stages",
+            "cache",
+            "args",
+            "trace",
+        ],
         [
             (
                 str(r.get("run_id", "?")),
@@ -95,6 +112,7 @@ def render_runs_table(
                 len(r.get("stages") or ()),
                 _cache_summary(r),
                 str(r.get("args_fingerprint", "?")),
+                _trace_prefix(r),
             )
             for r in rows
         ],
@@ -141,6 +159,8 @@ def render_flame(
         f"wall={float(record.get('wall_seconds', 0.0)):.3f}s  "
         f"({_when(record)})"
     )
+    if record.get("trace_id"):
+        header += f"\ntrace_id {record['trace_id']}"
     trace = record.get("trace")
     if trace:
         longest = max(
@@ -162,6 +182,44 @@ def render_flame(
         bar = "█" * max(1, round(wall * scale)) if wall > 0 else "·"
         lines.append(f"  {name:<16} {wall * 1e3:9.1f}ms  {bar}")
     return "\n".join(lines)
+
+
+def render_event(seq: int, name: str, data: Mapping[str, Any]) -> str:
+    """One live-progress event (``obs tail``) as a single aligned line.
+
+    Stage and SOM events get purpose-built layouts (wall/cache-source
+    for stages, epoch/QE for SOM training); anything else falls back
+    to sorted ``key=value`` pairs, so new event kinds render without a
+    client upgrade.
+    """
+    if name == "stage.started":
+        detail = f"{data.get('stage', '?')} ..."
+    elif name == "stage.finished":
+        wall = float(data.get("wall_seconds", 0.0))
+        detail = (
+            f"{data.get('stage', '?')} {wall * 1e3:9.1f}ms  "
+            f"[{data.get('cache_source', '?')}]"
+        )
+    elif name == "som.epoch":
+        parts = [f"epoch {data.get('epoch', '?')}"]
+        if "wall_seconds" in data:
+            parts.append(f"{float(data['wall_seconds']) * 1e3:9.1f}ms")
+        if "quantization_error" in data:
+            parts.append(f"qe={float(data['quantization_error']):.6f}")
+        detail = "  ".join(parts)
+    elif name == "som.qe":
+        detail = (
+            f"step {data.get('step', '?')}  "
+            f"qe={float(data.get('value', 0.0)):.6f}"
+        )
+    elif name in ("run.started", "run.finished"):
+        detail = " ".join(
+            f"{key}={data[key]}" for key in sorted(data) if key != "run_id"
+        )
+        detail = f"{data.get('run_id', '?')} {detail}".rstrip()
+    else:
+        detail = " ".join(f"{key}={data[key]}" for key in sorted(data))
+    return f"{seq:>5}  {name:<16} {detail}"
 
 
 def render_diff(

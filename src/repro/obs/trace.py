@@ -24,12 +24,22 @@ installed tracer and the default is :data:`NULL_TRACER`, whose
 ``span()`` hands back one shared no-op span — the disabled path does
 no allocation and no clock reads, so leaving trace calls in hot code
 is free.  Install a real tracer for one region with :func:`use_tracer`
-(the CLI does this when ``--trace`` is given).
+(the CLI does this when ``--trace`` is given).  The ambient slot is a
+:class:`contextvars.ContextVar`, so concurrent request handlers (the
+scoring service runs them on a thread pool) can each install their own
+tracer without racing over a process global.
+
+When a :class:`~repro.obs.context.TraceContext` is ambient (see
+:mod:`repro.obs.context`), every span opened while it is installed is
+stamped with its ``trace_id`` — including spans rebuilt from worker
+payloads, which carry the stamp through :meth:`Span.to_payload` — so
+a whole cross-process span forest shares one request identity.
 """
 
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import io
 import json
 import os
@@ -37,6 +47,7 @@ import time
 from typing import Any, Iterator, Mapping
 
 from repro.exceptions import ReproError
+from repro.obs.context import current_context
 
 __all__ = [
     "Span",
@@ -78,6 +89,7 @@ class Span:
         "start_seconds",
         "end_seconds",
         "start_unix",
+        "trace_id",
         "_tracer",
     )
 
@@ -90,6 +102,7 @@ class Span:
         self.start_seconds: float = 0.0
         self.end_seconds: float | None = None
         self.start_unix: float = 0.0
+        self.trace_id: str | None = None
         self._tracer = tracer
 
     # -- annotation --------------------------------------------------------
@@ -167,6 +180,8 @@ class Span:
             "start_seconds": self.start_seconds,
             "end_seconds": self.end_seconds,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
         if self.attributes:
             payload["attributes"] = _json_safe(self.attributes)
         if self.counters:
@@ -184,6 +199,8 @@ class Span:
             "duration_seconds": self.duration_seconds,
             "start_unix": self.start_unix,
         }
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
         if self.attributes:
             record["attributes"] = _json_safe(self.attributes)
         if self.counters:
@@ -247,6 +264,13 @@ class Tracer:
     # -- stack maintenance (called by Span) --------------------------------
 
     def _push(self, span: Span) -> None:
+        # Stamp the request identity onto every span opened while a
+        # trace context is ambient (see repro.obs.context); spans
+        # opened outside any request stay unstamped.
+        if span.trace_id is None:
+            context = current_context()
+            if context is not None and context.sampled:
+                span.trace_id = context.trace_id
         if self._stack:
             self._stack[-1].children.append(span)
         else:
@@ -426,19 +450,23 @@ class NullTracer:
 
 NULL_TRACER = NullTracer()
 
-_current_tracer: Tracer | NullTracer = NULL_TRACER
+# A ContextVar, not a module global: each asyncio task and each worker
+# thread that installs a tracer sees only its own, so the scoring
+# service can trace concurrent requests without cross-talk.
+_current_tracer_var: contextvars.ContextVar[Tracer | NullTracer] = (
+    contextvars.ContextVar("repro_tracer", default=NULL_TRACER)
+)
 
 
 def current_tracer() -> Tracer | NullTracer:
     """The ambient tracer (:data:`NULL_TRACER` unless one is installed)."""
-    return _current_tracer
+    return _current_tracer_var.get()
 
 
 def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
     """Install ``tracer`` as the ambient tracer; returns the previous one."""
-    global _current_tracer
-    previous = _current_tracer
-    _current_tracer = tracer
+    previous = _current_tracer_var.get()
+    _current_tracer_var.set(tracer)
     return previous
 
 
@@ -472,6 +500,8 @@ def span_from_payload(payload: Mapping[str, Any]) -> Span:
             f"span_from_payload: span {name!r} ends before it starts"
         )
     span = Span(None, name, dict(payload.get("attributes") or {}))  # type: ignore[arg-type]
+    trace_id = payload.get("trace_id")
+    span.trace_id = str(trace_id) if trace_id is not None else None
     span.start_unix = float(payload.get("start_unix", 0.0))
     span.start_seconds = start_seconds
     span.end_seconds = end_seconds

@@ -31,7 +31,14 @@ Start one with ``repro-hmeans serve --port 8311`` and see
 """
 
 from repro.service.app import ScoringService
-from repro.service.client import ServiceClient, ServiceThread
+from repro.service.client import ServiceClient, ServiceThread, SseEvent
+from repro.service.events import (
+    EngineEventHook,
+    EventTapTracer,
+    RunEventStream,
+    current_stream,
+    use_stream,
+)
 from repro.service.runtime import ServiceRuntime
 from repro.service.schemas import (
     AnalyzeRequest,
@@ -43,12 +50,18 @@ from repro.service.schemas import (
 
 __all__ = [
     "AnalyzeRequest",
+    "EngineEventHook",
+    "EventTapTracer",
+    "RunEventStream",
     "ScoreRequest",
     "ScoringService",
     "ServiceClient",
     "ServiceRuntime",
     "ServiceThread",
+    "SseEvent",
     "ValidationError",
+    "current_stream",
+    "use_stream",
     "validate_analyze_request",
     "validate_score_request",
 ]

@@ -26,15 +26,21 @@ work.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import signal
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable
 
 from repro.exceptions import ReproError
+from repro.obs.context import TraceContext, current_context, new_context, use_context
+from repro.obs.ledger import new_run_id
 from repro.obs.log import fmt_kv, get_logger
 from repro.obs.metrics import set_metrics
+from repro.obs.trace import Tracer, use_tracer
+from repro.service.events import EventTapTracer, RunEventStream, use_stream
 from repro.service.http import (
     DEFAULT_MAX_BODY_BYTES,
     HttpError,
@@ -44,6 +50,8 @@ from repro.service.http import (
     json_response,
     read_request,
     response_bytes,
+    sse_frame,
+    sse_head_bytes,
 )
 from repro.service.runtime import (
     JOB_DONE,
@@ -64,9 +72,23 @@ _log = get_logger("service")
 DEFAULT_PORT = 8311
 DEFAULT_MAX_CONCURRENCY = 4
 DEFAULT_DRAIN_GRACE = 30.0
+DEFAULT_HEARTBEAT_SECONDS = 10.0
 
 _JSON = "application/json"
 _TEXT = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _endpoint_label(path: str) -> str:
+    """Collapse id-bearing paths to one telemetry label per endpoint.
+
+    Without this, every ``/runs/{id}`` poll would mint its own
+    histogram series and the registry would grow with traffic.
+    """
+    if path.startswith("/runs/"):
+        return "/runs/{id}"
+    if path.startswith("/events/"):
+        return "/events/{run_id}"
+    return path
 
 
 class _Response:
@@ -90,6 +112,17 @@ class _Response:
         self.stages = stages
 
 
+class _SseHandoff:
+    """A routed ``GET /events/{run_id}``: stream it instead of buffering."""
+
+    __slots__ = ("stream", "after", "follow")
+
+    def __init__(self, stream: RunEventStream, after: int, follow: bool) -> None:
+        self.stream = stream
+        self.after = after
+        self.follow = follow
+
+
 class ScoringService:
     """The daemon: asyncio server + coalescing + drain over a runtime."""
 
@@ -102,6 +135,9 @@ class ScoringService:
         max_concurrency: int = DEFAULT_MAX_CONCURRENCY,
         max_body: int = DEFAULT_MAX_BODY_BYTES,
         drain_grace: float = DEFAULT_DRAIN_GRACE,
+        trace_path: str | None = None,
+        slow_request_ms: float | None = None,
+        heartbeat_seconds: float = DEFAULT_HEARTBEAT_SECONDS,
     ) -> None:
         self.runtime = runtime if runtime is not None else ServiceRuntime()
         self.host = host
@@ -109,16 +145,25 @@ class ScoringService:
         self.max_concurrency = max(1, int(max_concurrency))
         self.max_body = max_body
         self.drain_grace = drain_grace
+        self.trace_path = trace_path
+        self.slow_request_ms = slow_request_ms
+        self.heartbeat_seconds = heartbeat_seconds
         self.draining = False
         self._server: asyncio.base_events.Server | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._semaphore: asyncio.Semaphore | None = None
-        self._inflight: dict[str, asyncio.Task] = {}
+        self._inflight: dict[str, _Inflight] = {}
         self._connections: set[asyncio.Task] = set()
         self._job_tasks: set[asyncio.Task] = set()
         self._busy_requests = 0
+        self._queued_requests = 0
         self._stopped: asyncio.Event | None = None
         self._prev_metrics = None
+        # Per-request analyze tracers graft into this daemon-lifetime
+        # sink (worker threads serialize on the lock); drain writes it
+        # to trace_path — the fix for `serve --trace` being ignored.
+        self._trace_sink: Tracer | None = Tracer() if trace_path else None
+        self._trace_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -215,11 +260,15 @@ class ScoringService:
 
         # Shielded in-flight computations outlive their cancelled
         # callers; reap them so closing the loop destroys no live task.
-        inflight = list(self._inflight.values())
+        inflight = [entry.task for entry in self._inflight.values()]
         for task in inflight:
             task.cancel()
         if inflight:
             await asyncio.gather(*inflight, return_exceptions=True)
+
+        # Event streams end before their connections are cancelled, so
+        # non-following SSE subscribers drain and exit cleanly.
+        self.runtime.close_streams()
 
         # Idle keep-alive connections have nothing left to say.
         for task in list(self._connections):
@@ -229,6 +278,24 @@ class ScoringService:
 
         if self._executor is not None:
             self._executor.shutdown(wait=False)
+        if self._trace_sink is not None and self.trace_path:
+            try:
+                self._trace_sink.write(self.trace_path)
+                _log.info(
+                    fmt_kv(
+                        "service.trace_written",
+                        path=self.trace_path,
+                        spans=sum(1 for _ in self._trace_sink.spans()),
+                    )
+                )
+            except OSError as exc:
+                _log.warning(
+                    fmt_kv(
+                        "service.trace_error",
+                        path=self.trace_path,
+                        error=str(exc),
+                    )
+                )
         if self._prev_metrics is not None:
             set_metrics(self._prev_metrics)
             self._prev_metrics = None
@@ -258,23 +325,39 @@ class ScoringService:
                     break
                 if request is None:
                     break
+                context = self._request_context(request)
+                trace_headers = {
+                    "X-Repro-Run-Id": context.trace_id,
+                    "traceparent": context.to_traceparent(),
+                }
                 started = time.perf_counter()
                 self._busy_requests += 1
+                self._set_gauges()
                 try:
-                    response = await self._dispatch(request)
+                    with use_context(context):
+                        response = await self._dispatch(request)
                 finally:
                     self._busy_requests -= 1
+                    self._set_gauges()
+                endpoint = _endpoint_label(request.path)
+                if isinstance(response, _SseHandoff):
+                    # The subscription itself is instant; the stream
+                    # then runs for the life of the watched job.
+                    self._observe(200, endpoint, 0.0, context=context)
+                    await self._stream_events(writer, response, trace_headers)
+                    break  # SSE connections are single-use
                 writer.write(
                     response_bytes(
                         response.status,
                         response.body,
                         content_type=response.content_type,
                         keep_alive=response.keep_alive,
+                        extra_headers=trace_headers,
                     )
                 )
                 await writer.drain()
                 wall = time.perf_counter() - started
-                self._observe(response.status, request.path, wall)
+                self._observe(response.status, endpoint, wall, context=context)
                 _log.info(
                     fmt_kv(
                         "service.request",
@@ -282,6 +365,7 @@ class ScoringService:
                         path=request.path,
                         status=response.status,
                         wall_ms=round(wall * 1000.0, 3),
+                        trace_id=context.trace_id,
                     )
                 )
                 if not response.keep_alive:
@@ -298,18 +382,117 @@ class ScoringService:
             except Exception:
                 pass
 
-    def _observe(self, status: int, endpoint: str, wall: float) -> None:
+    @staticmethod
+    def _request_context(request: HttpRequest) -> TraceContext:
+        """This request's trace identity: adopted or freshly minted.
+
+        A caller-supplied ``traceparent`` continues the caller's trace
+        (same trace_id, fresh span id); a missing or malformed header
+        starts a new one (malformed headers are ignored per the W3C
+        trace-context rules rather than failing the request).
+        """
+        header = request.headers.get("traceparent")
+        if header:
+            try:
+                return TraceContext.from_traceparent(header).child()
+            except ReproError:
+                pass
+        return new_context()
+
+    def _observe(
+        self,
+        status: int,
+        endpoint: str,
+        wall: float,
+        *,
+        context: TraceContext | None = None,
+    ) -> None:
         registry = self.runtime.registry
         registry.counter(
             "service_requests_total", endpoint=endpoint, status=str(status)
         ).inc()
+        trace_id = (
+            context.trace_id if context is not None and context.sampled else None
+        )
         registry.histogram(
-            "service_request_seconds", endpoint=endpoint
-        ).observe(wall)
+            "service_request_seconds", endpoint=endpoint, status=str(status)
+        ).observe(wall, trace_id=trace_id)
+        if (
+            self.slow_request_ms is not None
+            and wall * 1000.0 >= self.slow_request_ms
+        ):
+            _log.warning(
+                fmt_kv(
+                    "service.slow_request",
+                    endpoint=endpoint,
+                    status=status,
+                    wall_ms=round(wall * 1000.0, 3),
+                    threshold_ms=self.slow_request_ms,
+                    trace_id=trace_id,
+                )
+            )
+
+    def _set_gauges(self) -> None:
+        registry = self.runtime.registry
+        registry.gauge("service_in_flight").set(self._busy_requests)
+        registry.gauge("service_queue_depth").set(self._queued_requests)
+
+    # -- server-sent events ------------------------------------------------
+
+    async def _stream_events(
+        self,
+        writer: asyncio.StreamWriter,
+        handoff: _SseHandoff,
+        extra_headers: dict[str, str],
+    ) -> None:
+        """Write one run's event stream as SSE until it drains.
+
+        Events already buffered (or everything past ``Last-Event-ID``
+        on resume) replay immediately; afterwards the loop sleeps on a
+        wakeup the stream fires from compute threads, emitting comment
+        heartbeats when the run is quiet.  A closed stream ends the
+        response unless the subscriber asked to ``follow`` (used by
+        clients that want heartbeats after completion); server drain
+        ends every stream.
+        """
+        stream = handoff.stream
+        loop = asyncio.get_running_loop()
+        wake = asyncio.Event()
+
+        def _wake() -> None:  # called from compute threads
+            loop.call_soon_threadsafe(wake.set)
+
+        stream.add_wakeup(_wake)
+        try:
+            writer.write(sse_head_bytes(extra_headers))
+            if handoff.after and handoff.after < stream.dropped:
+                writer.write(b": resume gap: oldest events dropped\n\n")
+            last = handoff.after
+            while True:
+                batch = stream.events_after(last)
+                for seq, name, data in batch:
+                    writer.write(sse_frame(seq, name, data))
+                    last = seq
+                await writer.drain()
+                if self.draining:
+                    break
+                if stream.closed and not stream.events_after(last):
+                    if not handoff.follow:
+                        break
+                wake.clear()
+                try:
+                    await asyncio.wait_for(
+                        wake.wait(), timeout=self.heartbeat_seconds
+                    )
+                except asyncio.TimeoutError:
+                    writer.write(b": heartbeat\n\n")
+                    await writer.drain()
+        finally:
+            stream.remove_wakeup(_wake)
 
     # -- routing -----------------------------------------------------------
 
-    async def _dispatch(self, request: HttpRequest) -> _Response:
+    async def _dispatch(self, request: HttpRequest) -> "_Response | _SseHandoff":
         keep_alive = request.keep_alive
         if self.draining:
             status, body = error_response(
@@ -337,6 +520,9 @@ class ScoringService:
             elif request.path.startswith("/runs/"):
                 self._require(request, "GET")
                 status, body = self._handle_run(request.path[len("/runs/"):])
+            elif request.path.startswith("/events/"):
+                self._require(request, "GET")
+                return self._handle_events(request)
             elif request.path == "/score":
                 self._require(request, "POST")
                 status, body = await self._handle_score(request)
@@ -375,6 +561,31 @@ class ScoringService:
             raise HttpError(404, f"unknown run id {run_id!r}")
         return json_response(200, job.payload())
 
+    def _handle_events(self, request: HttpRequest) -> _SseHandoff:
+        """Resolve ``GET /events/{run_id}`` to its live stream.
+
+        ``Last-Event-ID`` (standard SSE reconnect) or ``?after=N``
+        resumes past already-delivered events; ``?follow=1`` keeps the
+        connection open (heartbeating) after the run finishes.
+        """
+        run_id = request.path[len("/events/"):]
+        stream = self.runtime.stream(run_id)
+        if stream is None:
+            raise HttpError(404, f"unknown run id {run_id!r}")
+        resume = request.headers.get("last-event-id") or request.query.get(
+            "after", ""
+        )
+        after = 0
+        if resume:
+            try:
+                after = max(0, int(resume))
+            except ValueError:
+                raise HttpError(
+                    400, f"malformed Last-Event-ID {resume!r}"
+                ) from None
+        follow = request.query.get("follow", "") in ("1", "true", "yes")
+        return _SseHandoff(stream, after, follow)
+
     async def _handle_score(self, request: HttpRequest) -> tuple[int, bytes]:
         try:
             score_request = validate_score_request(json_body(request))
@@ -384,15 +595,20 @@ class ScoringService:
         canonical = score_request.canonical()
         key = self.runtime.request_key("score", canonical)
         started = time.perf_counter()
+        # Pre-minted so the leader's run id is known to followers the
+        # moment the shared task exists (coalesced_with needs it).
+        run_id = new_run_id("service:score")
         computed = await self._coalesce(
-            key, lambda: self._compute_score(score_request)
+            key, lambda: self._compute_score(score_request), run_id=run_id
         )
         self.runtime.record_request(
             "score",
             canonical,
             wall_seconds=time.perf_counter() - started,
             exit_code=0 if computed.status < 400 else 1,
+            run_id=run_id,
             coalesced=not computed.leader,
+            coalesced_with=None if computed.leader else computed.leader_run_id,
         )
         return computed.status, computed.body
 
@@ -424,8 +640,12 @@ class ScoringService:
             )
 
         started = time.perf_counter()
+        context = current_context()
+        run_id = new_run_id("service:analyze")
         computed = await self._coalesce(
-            key, lambda: self._compute_analyze(analyze_request)
+            key,
+            lambda: self._compute_analyze(analyze_request, context=context),
+            run_id=run_id,
         )
         self.runtime.record_request(
             "analyze",
@@ -433,16 +653,30 @@ class ScoringService:
             wall_seconds=time.perf_counter() - started,
             exit_code=0 if computed.status < 400 else 1,
             stages=computed.stages,
+            run_id=run_id,
             coalesced=not computed.leader,
+            coalesced_with=None if computed.leader else computed.leader_run_id,
         )
         return computed.status, computed.body
 
     async def _run_job(self, job, key: str, analyze_request) -> None:
-        """Drive one async ``/analyze`` job through the coalescing map."""
+        """Drive one async ``/analyze`` job through the coalescing map.
+
+        The job's event stream and the submitting request's trace
+        context ride into the compute closure explicitly — executor
+        threads inherit neither, and the coalescing leader's closure
+        is the one that actually runs.
+        """
         started = time.perf_counter()
+        stream = self.runtime.stream(job.run_id)
+        context = current_context()
         try:
             computed = await self._coalesce(
-                key, lambda: self._compute_analyze(analyze_request)
+                key,
+                lambda: self._compute_analyze(
+                    analyze_request, context=context, stream=stream
+                ),
+                run_id=job.run_id,
             )
         except asyncio.CancelledError:
             # Drain cancelled us; drain writes the dropped record.
@@ -476,6 +710,7 @@ class ScoringService:
             stages=computed.stages,
             run_id=job.run_id,
             coalesced=not computed.leader,
+            coalesced_with=None if computed.leader else computed.leader_run_id,
             error=error,
         )
 
@@ -491,7 +726,7 @@ class ScoringService:
     # -- coalescing --------------------------------------------------------
 
     async def _coalesce(
-        self, key: str, compute: Callable[[], _Response]
+        self, key: str, compute: Callable[[], _Response], *, run_id: str | None = None
     ) -> "_Computed":
         """Run ``compute`` once per key; everyone gets the same bytes.
 
@@ -499,25 +734,39 @@ class ScoringService:
         *leader*); concurrent callers await the same task and receive
         the identical response object.  ``asyncio.shield`` keeps one
         cancelled follower from killing the computation for everyone.
+        The leader's ``run_id`` is pinned on the in-flight entry at
+        creation, so every follower can stamp ``coalesced_with`` on
+        its own ledger record without waiting for the leader to
+        record first.
         """
-        task = self._inflight.get(key)
-        leader = task is None
-        if task is None:
+        entry = self._inflight.get(key)
+        leader = entry is None
+        if entry is None:
             task = asyncio.ensure_future(self._bounded_compute(compute))
-            self._inflight[key] = task
+            entry = _Inflight(task, run_id)
+            self._inflight[key] = entry
             task.add_done_callback(
                 lambda _t, _key=key: self._inflight.pop(_key, None)
             )
-        response = await asyncio.shield(task)
-        return _Computed(response, leader)
+        response = await asyncio.shield(entry.task)
+        return _Computed(response, leader, entry.run_id)
 
     async def _bounded_compute(
         self, compute: Callable[[], _Response]
     ) -> _Response:
         assert self._semaphore is not None and self._executor is not None
-        async with self._semaphore:
+        self._queued_requests += 1
+        self._set_gauges()
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self._queued_requests -= 1
+            self._set_gauges()
+        try:
             loop = asyncio.get_running_loop()
             return await loop.run_in_executor(self._executor, compute)
+        finally:
+            self._semaphore.release()
 
     # -- compute (worker threads) -----------------------------------------
 
@@ -534,29 +783,80 @@ class ScoringService:
         status, body = json_response(200, payload)
         return _Response(status, body)
 
-    def _compute_analyze(self, analyze_request) -> _Response:
+    def _compute_analyze(
+        self,
+        analyze_request,
+        *,
+        context: TraceContext | None = None,
+        stream: RunEventStream | None = None,
+    ) -> _Response:
+        """Run one analyze on a worker thread with observability installed.
+
+        The originating request's trace context, the job's event
+        stream, and (when the daemon traces) a per-request tracer are
+        installed ambiently *inside this thread* — the engine and the
+        SOM pick them up via their ContextVars.  The tracer is an
+        :class:`EventTapTracer` when a stream wants live SOM progress.
+        """
+        tracer: Tracer | None = None
+        if stream is not None:
+            tracer = EventTapTracer(stream)
+        elif self._trace_sink is not None:
+            tracer = Tracer()
         try:
-            payload = self.runtime.analyze(analyze_request)
+            with contextlib.ExitStack() as scopes:
+                if context is not None:
+                    scopes.enter_context(use_context(context))
+                if stream is not None:
+                    scopes.enter_context(use_stream(stream))
+                if tracer is not None:
+                    scopes.enter_context(use_tracer(tracer))
+                payload = self.runtime.analyze(analyze_request)
         except ReproError as exc:
             status, body = error_response(400, str(exc))
-            return _Response(status, body)
+            response = _Response(status, body)
         except Exception as exc:
             _log.error(fmt_kv("service.analyze_error", error=repr(exc)))
             status, body = error_response(500, f"internal error: {exc}")
-            return _Response(status, body)
-        status, body = json_response(200, payload)
-        return _Response(
-            status, body, stages=payload.get("report", {}).get("stages")
-        )
+            response = _Response(status, body)
+        else:
+            status, body = json_response(200, payload)
+            response = _Response(
+                status, body, stages=payload.get("report", {}).get("stages")
+            )
+        self._absorb_trace(tracer)
+        return response
+
+    def _absorb_trace(self, tracer: Tracer | None) -> None:
+        """Graft one request's finished spans into the daemon trace sink."""
+        if tracer is None or self._trace_sink is None:
+            return
+        with self._trace_lock:
+            for root in tracer.roots:
+                if root.finished:
+                    self._trace_sink.graft(root)
+
+
+class _Inflight:
+    """One coalesced in-flight computation: shared task + leader run id."""
+
+    __slots__ = ("task", "run_id")
+
+    def __init__(self, task: asyncio.Task, run_id: str | None) -> None:
+        self.task = task
+        self.run_id = run_id
 
 
 class _Computed:
     """A coalesced result: the shared response plus this caller's role."""
 
-    __slots__ = ("status", "body", "stages", "leader")
+    __slots__ = ("status", "body", "stages", "leader", "leader_run_id")
 
-    def __init__(self, response: _Response, leader: bool) -> None:
+    def __init__(
+        self, response: _Response, leader: bool, leader_run_id: str | None
+    ) -> None:
         self.status = response.status
         self.body = response.body
         self.stages = response.stages
         self.leader = leader
+        self.leader_run_id = leader_run_id

@@ -22,19 +22,33 @@ import asyncio
 import http.client
 import json
 import threading
-from typing import Any
+from typing import Any, Iterator
 
 from repro.service.app import ScoringService
 from repro.service.runtime import ServiceRuntime
 
-__all__ = ["ServiceClient", "ServiceThread"]
+__all__ = ["ServiceClient", "ServiceThread", "SseEvent"]
+
+
+class SseEvent:
+    """One parsed Server-Sent Event: sequence id, name, JSON data."""
+
+    __slots__ = ("seq", "name", "data")
+
+    def __init__(self, seq: int, name: str, data: dict[str, Any]) -> None:
+        self.seq = seq
+        self.name = name
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"SseEvent({self.seq}, {self.name!r}, {self.data!r})"
 
 
 class ServiceClient:
     """Blocking JSON-over-HTTP client for one service instance."""
 
     def __init__(
-        self, host: str, port: int, *, timeout: float = 60.0
+        self, host: str, port: int, *, timeout: float | None = 60.0
     ) -> None:
         self.host = host
         self.port = port
@@ -49,6 +63,25 @@ class ServiceClient:
         headers: dict[str, str] | None = None,
     ) -> tuple[int, bytes]:
         """One exchange; returns (status, exact body bytes)."""
+        status, response_body, _headers = self.request_with_headers(
+            method, path, body, headers=headers
+        )
+        return status, response_body
+
+    def request_with_headers(
+        self,
+        method: str,
+        path: str,
+        body: bytes | None = None,
+        *,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, bytes, dict[str, str]]:
+        """One exchange; returns (status, body bytes, response headers).
+
+        Header names are lowercased, matching how the service parses
+        incoming ones — ``headers["x-repro-run-id"]`` is the request's
+        trace id.
+        """
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -57,7 +90,66 @@ class ServiceClient:
                 method, path, body=body, headers=headers or {}
             )
             response = connection.getresponse()
-            return response.status, response.read()
+            response_headers = {
+                name.lower(): value for name, value in response.getheaders()
+            }
+            return response.status, response.read(), response_headers
+        finally:
+            connection.close()
+
+    def events(
+        self,
+        run_id: str,
+        *,
+        after: int = 0,
+        follow: bool = False,
+        headers: dict[str, str] | None = None,
+    ) -> Iterator[SseEvent]:
+        """Stream ``GET /events/{run_id}`` as parsed :class:`SseEvent`s.
+
+        Yields until the server closes the stream (the run finished)
+        or the socket times out.  ``after`` resumes past
+        already-delivered events (sent as ``Last-Event-ID``);
+        ``follow`` asks the server to keep the stream open after the
+        run completes.  Comment frames (heartbeats) are skipped.
+        """
+        path = f"/events/{run_id}"
+        if follow:
+            path += "?follow=1"
+        request_headers = dict(headers or {})
+        if after:
+            request_headers["Last-Event-ID"] = str(after)
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request("GET", path, headers=request_headers)
+            response = connection.getresponse()
+            if response.status != 200:
+                detail = response.read().decode("utf-8", "replace").strip()
+                raise RuntimeError(
+                    f"events stream failed: {response.status} {detail}"
+                )
+            seq = 0
+            name = ""
+            data = ""
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if not line:  # frame boundary
+                    if name:
+                        yield SseEvent(seq, name, json.loads(data or "{}"))
+                    seq, name, data = 0, "", ""
+                    continue
+                if line.startswith(":"):
+                    continue  # comment / heartbeat
+                field, _, value = line.partition(":")
+                value = value.removeprefix(" ")
+                if field == "id":
+                    seq = int(value)
+                elif field == "event":
+                    name = value
+                elif field == "data":
+                    data = data + value if data else value
         finally:
             connection.close()
 

@@ -1,0 +1,255 @@
+"""Per-run live progress events: the source the SSE endpoint streams.
+
+A long ``/analyze`` over a big suite used to be a black box until its
+ledger record appeared.  This module makes the run observable *while
+it executes*: the runtime gives every async job a bounded
+:class:`RunEventStream`, the engine's per-stage hooks and the SOM's
+span activity fan into it from the compute thread, and
+``GET /events/{run_id}`` (see :mod:`repro.service.app`) replays and
+follows it over Server-Sent Events.
+
+Three cooperating pieces:
+
+* :class:`RunEventStream` — a thread-safe, bounded, sequence-numbered
+  event log with replay (``events_after``) for ``Last-Event-ID``
+  resume and thread-to-loop wakeups for live followers.  Bounded by
+  ``max_events``: a runaway producer overwrites the oldest events
+  (tracked in ``dropped``) instead of growing without limit.
+* :class:`EngineEventHook` — a :class:`~repro.engine.PipelineEngine`
+  hook pair (``stage_started`` + finished callable) that emits
+  ``stage.started`` / ``stage.finished`` events into the *ambient*
+  stream.  Ambient carriage uses a ``ContextVar``
+  (:func:`use_stream`), so one shared engine serving concurrent
+  requests attributes each stage to the run that executed it.
+* :class:`EventTapTracer` — a recording :class:`~repro.obs.trace.Tracer`
+  whose spans mirror SOM training progress into the stream:
+  ``som.epoch`` completions (epoch index, wall, opt-in quantization
+  error) and ``qe`` quality samples become ``som.epoch`` / ``som.qe``
+  events, so the slow middle of a run narrates itself.
+
+Event payloads are JSON-safe dicts; the SSE layer serializes them with
+sorted keys so a resumed consumer sees byte-identical frames.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+from collections import deque
+from typing import Any, Callable, Iterator
+
+from repro.engine.executor import StageStats
+from repro.exceptions import ReproError
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "DEFAULT_MAX_EVENTS",
+    "RunEventStream",
+    "EngineEventHook",
+    "EventTapTracer",
+    "current_stream",
+    "use_stream",
+]
+
+EVENT_SCHEMA_VERSION = 1
+
+# Events retained per run for replay.  A full analyze pipeline emits
+# ~2 events per stage plus one per SOM epoch — hundreds, not tens of
+# thousands — so this bounds memory without losing real runs.
+DEFAULT_MAX_EVENTS = 1024
+
+
+class RunEventStream:
+    """A bounded, replayable, sequence-numbered event log for one run.
+
+    Producers (engine hooks on compute threads) call :meth:`emit`;
+    consumers (SSE handlers on the event loop) read
+    :meth:`events_after` and register a wakeup callable to learn about
+    new events without polling.  :meth:`close` marks the stream
+    terminal — consumers drain what remains and stop.
+    """
+
+    def __init__(
+        self, run_id: str, *, max_events: int = DEFAULT_MAX_EVENTS
+    ) -> None:
+        self.run_id = run_id
+        self._events: deque[tuple[int, str, dict[str, Any]]] = deque(
+            maxlen=max(1, int(max_events))
+        )
+        self._next_seq = 1
+        self._dropped = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._wakeups: list[Callable[[], None]] = []
+
+    # -- producing ---------------------------------------------------------
+
+    def emit(self, name: str, **data: Any) -> int:
+        """Append one event; returns its sequence number (0 if closed)."""
+        with self._lock:
+            if self._closed:
+                return 0
+            seq = self._next_seq
+            self._next_seq += 1
+            if len(self._events) == self._events.maxlen:
+                self._dropped += 1
+            self._events.append((seq, name, data))
+            wakeups = list(self._wakeups)
+        for wake in wakeups:
+            wake()
+        return seq
+
+    def close(self) -> None:
+        """Mark the stream terminal and wake every follower (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            wakeups = list(self._wakeups)
+        for wake in wakeups:
+            wake()
+
+    # -- consuming ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once the run has finished (no further events)."""
+        with self._lock:
+            return self._closed
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest event (0 when empty)."""
+        with self._lock:
+            return self._next_seq - 1
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to the bound (a resume may have a gap this size)."""
+        with self._lock:
+            return self._dropped
+
+    def events_after(self, seq: int) -> list[tuple[int, str, dict[str, Any]]]:
+        """Every retained event with a sequence number above ``seq``."""
+        with self._lock:
+            return [e for e in self._events if e[0] > seq]
+
+    def add_wakeup(self, wake: Callable[[], None]) -> None:
+        """Register a zero-arg callable invoked on emit/close.
+
+        The callable must be thread-safe — producers run on compute
+        threads (SSE handlers pass ``loop.call_soon_threadsafe``).
+        """
+        with self._lock:
+            self._wakeups.append(wake)
+
+    def remove_wakeup(self, wake: Callable[[], None]) -> None:
+        """Unregister a wakeup (missing callables are ignored)."""
+        with self._lock:
+            with contextlib.suppress(ValueError):
+                self._wakeups.remove(wake)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunEventStream({self.run_id!r}, events={self.last_seq}, "
+            f"closed={self.closed})"
+        )
+
+
+_stream_var: contextvars.ContextVar[RunEventStream | None] = (
+    contextvars.ContextVar("repro_event_stream", default=None)
+)
+
+
+def current_stream() -> RunEventStream | None:
+    """The ambient event stream, or ``None`` outside a streamed run."""
+    return _stream_var.get()
+
+
+@contextlib.contextmanager
+def use_stream(stream: RunEventStream | None) -> Iterator[RunEventStream | None]:
+    """Install ``stream`` ambiently for the duration of a ``with`` block."""
+    token = _stream_var.set(stream)
+    try:
+        yield stream
+    finally:
+        _stream_var.reset(token)
+
+
+class EngineEventHook:
+    """Engine hook pair fanning stage lifecycle into the ambient stream.
+
+    Install once on a shared engine; with no ambient stream both
+    callbacks return after one ``ContextVar`` read, so unstreamed
+    requests pay nothing.
+    """
+
+    def stage_started(self, stage: str, key: str) -> None:
+        """Emit ``stage.started`` before the engine executes a stage."""
+        stream = current_stream()
+        if stream is not None:
+            stream.emit("stage.started", stage=stage, key=key)
+
+    def __call__(self, stats: StageStats) -> None:
+        stream = current_stream()
+        if stream is not None:
+            stream.emit(
+                "stage.finished",
+                stage=stats.stage,
+                cache_source=stats.cache_source,
+                cache_hit=stats.cache_hit,
+                wall_seconds=stats.wall_seconds,
+            )
+
+
+class _TapSpan(Span):
+    """A span that mirrors its ``qe`` quality samples into the stream."""
+
+    __slots__ = ()
+
+    def add_event(self, name: str, **attributes: Any) -> "Span":
+        super().add_event(name, **attributes)
+        stream = self._tracer._stream  # type: ignore[union-attr]
+        if name == "qe":
+            stream.emit("som.qe", **attributes)
+        return self
+
+
+class EventTapTracer(Tracer):
+    """A recording tracer that narrates SOM progress as it happens.
+
+    Behaves exactly like :class:`~repro.obs.trace.Tracer` (spans are
+    recorded, trace-context stamping applies, the finished forest can
+    be grafted or exported) and *additionally* emits:
+
+    * ``som.epoch`` — when an epoch span closes: epoch index, wall
+      seconds, quantization error when the span tracked one, and the
+      pruning counters the span carries;
+    * ``som.qe`` — each quality-history sample the SOM records.
+    """
+
+    def __init__(self, stream: RunEventStream) -> None:
+        super().__init__()
+        self._stream = stream
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        if not name:
+            raise ReproError("Tracer.span: empty span name")
+        return _TapSpan(self, name, attributes)
+
+    def _pop(self, span: Span) -> None:
+        super()._pop(span)
+        if span.name != "som.epoch":
+            return
+        data: dict[str, Any] = {}
+        for field in ("epoch", "quantization_error", "sigma"):
+            value = span.attributes.get(field)
+            if value is not None:
+                data[field] = value
+        if span.counters:
+            data.update(span.counters)
+        if span.end_seconds is not None:
+            data["wall_seconds"] = span.end_seconds - span.start_seconds
+        self._stream.emit("som.epoch", **data)

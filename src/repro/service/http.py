@@ -32,6 +32,8 @@ __all__ = [
     "response_bytes",
     "json_response",
     "error_response",
+    "sse_head_bytes",
+    "sse_frame",
 ]
 
 MAX_HEADER_BYTES = 16 * 1024
@@ -188,6 +190,34 @@ def response_bytes(
         lines.append(f"{name}: {value}")
     head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
     return head + body
+
+
+def sse_head_bytes(extra_headers: Mapping[str, str] | None = None) -> bytes:
+    """The response head opening a Server-Sent Events stream.
+
+    SSE bodies have no ``Content-Length`` — frames are written as the
+    run produces events — so the connection is single-use
+    (``Connection: close``) and the client reads until EOF.
+    """
+    lines = [
+        "HTTP/1.1 200 OK",
+        "Content-Type: text/event-stream",
+        "Cache-Control: no-store",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def sse_frame(seq: int, name: str, data: Mapping[str, Any]) -> bytes:
+    """One SSE frame: ``id``/``event`` lines plus a deterministic JSON
+    ``data`` payload (sorted keys), so replays after ``Last-Event-ID``
+    resume are byte-identical to the original delivery."""
+    payload = json.dumps(
+        data, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return f"id: {seq}\nevent: {name}\ndata: {payload}\n\n".encode("utf-8")
 
 
 def json_response(status: int, payload: Any) -> tuple[int, bytes]:

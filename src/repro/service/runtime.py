@@ -47,7 +47,7 @@ from repro.exceptions import ReproError
 from repro.obs.ledger import RunLedger, RunRecorder
 from repro.obs.log import fmt_kv, get_logger
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import NULL_TRACER
+from repro.service.events import EngineEventHook, RunEventStream
 from repro.service.schemas import AnalyzeRequest, ScoreRequest
 from repro.som.som import SOMConfig
 from repro.workloads.suite import BenchmarkSuite
@@ -132,15 +132,20 @@ class ServiceRuntime:
         self._compute_counts: dict[str, int] = {}
         self._jobs: dict[str, Job] = {}
         self._job_counter = 0
+        self._streams: dict[str, RunEventStream] = {}
         # One engine for the daemon's lifetime: the warm substrate.
-        # Metrics are pinned to the runtime registry and tracing is
-        # pinned off so per-request handler threads never race over
-        # the process-global ambient observability state.
+        # Metrics are pinned to the runtime registry; the tracer is
+        # left unpinned (None) so each run resolves the *ambient*
+        # tracer — a ContextVar, so concurrent handler threads that
+        # install per-request tracers stay isolated while untraced
+        # requests fall through to the free NullTracer path.  The
+        # event hook fans stage lifecycle into the ambient per-run
+        # stream (also a ContextVar; no stream → no cost).
         self.engine = PipelineEngine(
             disk_cache=self.cache_dir,
             metrics=self.registry,
-            tracer=NULL_TRACER,
-            hooks=(self._count_compute,),
+            tracer=None,
+            hooks=(self._count_compute, EngineEventHook()),
         )
 
     # -- observability -----------------------------------------------------
@@ -173,16 +178,21 @@ class ServiceRuntime:
         stages: Sequence[Mapping[str, Any]] | None = None,
         run_id: str | None = None,
         coalesced: bool = False,
+        coalesced_with: str | None = None,
         error: str | None = None,
+        trace_id: str | None = None,
     ) -> str | None:
         """Append one ``service:<endpoint>`` ledger record; returns its id.
 
         Stage entries come from the explicit response ``stages`` list
         (never the ambient recorder — handler threads would
         cross-contaminate a global).  Coalesced followers record with
-        an empty stage list: the leader's record carries the
-        computation, so fleet analytics never double-counts one
-        engine run.
+        an empty stage list and a ``coalesced_with`` pointer at the
+        leader's ledger record: the leader carries the computation, so
+        fleet analytics never double-counts one engine run while
+        ``obs show`` can still hop follower → leader.  ``trace_id``
+        stamps the originating request identity so the record resolves
+        by trace-id prefix (``obs show <prefix>``).
         """
         if self.ledger is None:
             return None
@@ -197,9 +207,11 @@ class ServiceRuntime:
                         cache_hit=stats["cache_source"] != "compute",
                     )
                 )
-        record = recorder.finish(exit_code=exit_code)
+        record = recorder.finish(exit_code=exit_code, trace_id=trace_id)
         record["wall_seconds"] = wall_seconds
         record["coalesced"] = coalesced
+        if coalesced_with is not None:
+            record["coalesced_with"] = coalesced_with
         if error is not None:
             record["error"] = error
         if run_id is not None:
@@ -304,6 +316,7 @@ class ServiceRuntime:
                 shards=request.shards,
                 cache_dir=self.cache_dir,
                 base_seed=request.seed,
+                engine=self.engine,
             )
             result = sharded.result
         else:
@@ -344,7 +357,12 @@ class ServiceRuntime:
     # -- async job registry ------------------------------------------------
 
     def create_job(self, endpoint: str, request: dict[str, Any]) -> Job:
-        """Register a new running job under a fresh service run id."""
+        """Register a new running job under a fresh service run id.
+
+        Every job gets a live :class:`RunEventStream` (the source for
+        ``GET /events/{run_id}``), opened with a ``run.started`` event
+        so even an immediate subscriber sees the submission.
+        """
         with self._lock:
             self._job_counter += 1
             run_id = (
@@ -352,6 +370,9 @@ class ServiceRuntime:
             )
             job = Job(run_id=run_id, endpoint=endpoint, request=request)
             self._jobs[run_id] = job
+            stream = RunEventStream(run_id)
+            self._streams[run_id] = stream
+        stream.emit("run.started", run_id=run_id, endpoint=endpoint)
         return job
 
     def job(self, run_id: str) -> Job | None:
@@ -372,7 +393,12 @@ class ServiceRuntime:
         result: dict[str, Any] | None = None,
         error: str | None = None,
     ) -> None:
-        """Move a job to a terminal state (idempotent for drops)."""
+        """Move a job to a terminal state (idempotent for drops).
+
+        The job's event stream gets a final ``run.finished`` event
+        mirroring the terminal ``GET /runs/{id}`` status and is then
+        closed, so SSE followers drain and disconnect cleanly.
+        """
         with self._lock:
             if job.status != JOB_RUNNING:
                 return
@@ -380,6 +406,27 @@ class ServiceRuntime:
             job.finished_unix = time.time()
             job.result = result
             job.error = error
+            stream = self._streams.get(job.run_id)
+        if stream is not None:
+            data: dict[str, Any] = {"run_id": job.run_id, "status": status}
+            if error is not None:
+                data["error"] = error
+            stream.emit("run.finished", **data)
+            stream.close()
+
+    # -- live event streams ------------------------------------------------
+
+    def stream(self, run_id: str) -> RunEventStream | None:
+        """The live event stream for one job (``None`` when unknown)."""
+        with self._lock:
+            return self._streams.get(run_id)
+
+    def close_streams(self) -> None:
+        """Close every stream (drain: followers exit their read loops)."""
+        with self._lock:
+            streams = list(self._streams.values())
+        for stream in streams:
+            stream.close()
 
     # -- health ------------------------------------------------------------
 

@@ -22,7 +22,7 @@ from repro.obs import (
     use_recorder,
     use_tracer,
 )
-from repro.obs.ledger import _new_run_id
+from repro.obs.ledger import new_run_id
 
 
 def _stats(stage="reduce", wall=0.25, source="compute", hit=False):
@@ -221,7 +221,7 @@ class TestRunLedger:
         assert ledger.find("run-aa")["command"] == "a"
 
     def test_run_ids_are_unique(self):
-        ids = {_new_run_id("sweep") for _ in range(50)}
+        ids = {new_run_id("sweep") for _ in range(50)}
         assert len(ids) == 50
 
 

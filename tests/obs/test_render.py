@@ -7,6 +7,7 @@ import pytest
 from repro.exceptions import ReproError
 from repro.obs.render import (
     render_diff,
+    render_event,
     render_flame,
     render_runs_table,
     stage_walls,
@@ -216,3 +217,46 @@ class TestDiff:
         b = _run("run-b", stages=[{"stage": "s", "wall_seconds": 1.0}])
         text, _ = render_diff(a, b)
         assert "a: run-a" in text and "b: run-b" in text
+
+
+class TestRenderEvent:
+    """`obs tail` line formats: one aligned line per live event."""
+
+    def test_stage_started(self):
+        line = render_event(3, "stage.started", {"stage": "reduce"})
+        assert line == "    3  stage.started    reduce ..."
+
+    def test_stage_finished_shows_wall_and_cache_source(self):
+        line = render_event(
+            4,
+            "stage.finished",
+            {"stage": "reduce", "wall_seconds": 0.0413, "cache_source": "disk"},
+        )
+        assert "reduce" in line and "41.3ms" in line and "[disk]" in line
+
+    def test_som_epoch_optional_fields(self):
+        bare = render_event(5, "som.epoch", {"epoch": 2})
+        assert "epoch 2" in bare and "qe=" not in bare
+        full = render_event(
+            6,
+            "som.epoch",
+            {"epoch": 2, "wall_seconds": 0.001, "quantization_error": 0.25},
+        )
+        assert "qe=0.250000" in full and "1.0ms" in full
+
+    def test_som_qe(self):
+        line = render_event(7, "som.qe", {"step": 9, "value": 0.5})
+        assert "step 9" in line and "qe=0.500000" in line
+
+    def test_run_lifecycle_leads_with_run_id(self):
+        line = render_event(
+            1, "run.started", {"run_id": "r-1", "endpoint": "analyze"}
+        )
+        assert "r-1 endpoint=analyze" in line
+
+    def test_unknown_event_falls_back_to_sorted_kv(self):
+        line = render_event(8, "custom.event", {"b": 2, "a": 1})
+        assert line.endswith("a=1 b=2")
+
+    def test_seq_is_right_aligned_in_five_columns(self):
+        assert render_event(12345, "x", {}).startswith("12345  ")
